@@ -1,0 +1,150 @@
+//! Figure 12 — "Execution time on TPC-H dataset."
+//!
+//! Reproduces §6.3's analytical experiment: TPC-H Q1, Q6 and Q19 run under
+//!
+//! - **Baseline**: verifiability disabled,
+//! - **VeriDB**: RS/WS maintenance on (the figure's "w/ RSWS" bars),
+//!
+//! with each query's time split into **scan nodes** (the verified leaf
+//! access methods, where all of VeriDB's overhead lives) and **other
+//! nodes** (joins/aggregation inside the enclave, which the paper observes
+//! add *no* extra overhead). Q19 runs under both plans the paper
+//! discusses: MergeJoin and NestedLoopJoin.
+//!
+//! Paper's claims to reproduce in shape: overhead concentrated in the scan
+//! nodes; relative overhead 9% (Q19 NLJ, compute-bound) to 39% (Q1/Q6,
+//! scan-bound).
+
+use std::time::Instant;
+use veridb::{PlanOptions, PreferredJoin, VeriDb, VeriDbConfig};
+use veridb_bench::{f2, scale_from_env, FigureTable, Scale};
+use veridb_workloads::tpch::{self, TpchConfig, TpchData};
+
+fn config(scale: Scale) -> TpchConfig {
+    match scale {
+        Scale::Paper => TpchConfig { lineitem_rows: 600_000, part_rows: 20_000, ..TpchConfig::default() },
+        Scale::Small => TpchConfig::default(), // 60k lineitem / 2k part
+    }
+}
+
+struct Measured {
+    total_s: f64,
+    scan_s: f64,
+    rows: usize,
+}
+
+/// Time a query, plus the bare verified-scan time of the tables it reads
+/// (the "scan nodes" share of the figure's stacked bars).
+fn measure(db: &VeriDb, sql: &str, opts: &PlanOptions, tables: &[&str]) -> Measured {
+    // Warm-up run (first touch marks pages, faults page maps in).
+    let _ = db.sql_with(sql, opts).expect("query");
+    let start = Instant::now();
+    let r = db.sql_with(sql, opts).expect("query");
+    let total_s = start.elapsed().as_secs_f64();
+
+    let mut scan_s = 0.0;
+    for t in tables {
+        let table = db.table(t).expect("table");
+        let start = Instant::now();
+        let mut scan = table.seq_scan();
+        let mut n = 0usize;
+        for row in &mut scan {
+            row.expect("verified row");
+            n += 1;
+        }
+        std::hint::black_box(n);
+        scan_s += start.elapsed().as_secs_f64();
+    }
+    Measured { total_s, scan_s: scan_s.min(total_s), rows: r.rows.len() }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = config(scale);
+    println!(
+        "Figure 12 reproduction — lineitem: {} rows, part: {} rows (scale {scale:?})",
+        cfg.lineitem_rows, cfg.part_rows
+    );
+    let data = TpchData::generate(&cfg);
+
+    let mut base_cfg = VeriDbConfig::baseline();
+    base_cfg.verify_every_ops = None;
+    let baseline_db = VeriDb::open(base_cfg).expect("open");
+    data.load(&baseline_db).expect("load baseline");
+
+    let mut v_cfg = VeriDbConfig::rsws();
+    v_cfg.verify_every_ops = Some(1000);
+    let veridb_db = VeriDb::open(v_cfg).expect("open");
+    data.load(&veridb_db).expect("load veridb");
+
+    let auto = PlanOptions::default();
+    let merge = PlanOptions { prefer_join: PreferredJoin::Merge };
+    let nlj = PlanOptions { prefer_join: PreferredJoin::NestedLoop };
+
+    let cases: Vec<(&str, &str, PlanOptions, Vec<&str>)> = vec![
+        ("Q1", tpch::q1(), auto, vec!["lineitem"]),
+        ("Q6", tpch::q6(), auto, vec!["lineitem"]),
+        ("Q19 (MergeJoin)", tpch::q19(), merge, vec!["lineitem", "part"]),
+        ("Q19 (NestedLoopJoin)", tpch::q19(), nlj, vec!["lineitem", "part"]),
+        // Beyond the paper's set: a 3-way join with grouping/order/limit,
+        // showing the engine generalizes past the evaluated queries.
+        ("Q3 (extra)", tpch::q3(), auto, vec!["lineitem", "orders", "customer"]),
+    ];
+
+    let mut t = FigureTable::new(
+        "Figure 12: TPC-H execution time (s), split scan-nodes vs other-nodes",
+        &[
+            "query",
+            "base scan",
+            "base other",
+            "base total",
+            "veridb scan",
+            "veridb other",
+            "veridb total",
+            "overhead",
+        ],
+    );
+    let mut json = serde_json::Map::new();
+    for (name, sql, opts, tables) in cases {
+        let b = measure(&baseline_db, sql, &opts, &tables);
+        let v = measure(&veridb_db, sql, &opts, &tables);
+        assert_eq!(b.rows, v.rows, "both configs must return the same answer");
+        let overhead = (v.total_s - b.total_s) / b.total_s;
+        t.row(vec![
+            name.to_string(),
+            f2(b.scan_s),
+            f2(b.total_s - b.scan_s),
+            f2(b.total_s),
+            f2(v.scan_s),
+            f2(v.total_s - v.scan_s),
+            f2(v.total_s),
+            format!("{:.0}%", overhead * 100.0),
+        ]);
+        json.insert(
+            name.to_string(),
+            serde_json::json!({
+                "baseline_total_s": b.total_s,
+                "baseline_scan_s": b.scan_s,
+                "veridb_total_s": v.total_s,
+                "veridb_scan_s": v.scan_s,
+                "overhead": overhead,
+            }),
+        );
+    }
+    // Sanity: verified run detects nothing (honest host) and answers match
+    // the reference implementation.
+    veridb_db.verify_now().expect("honest run verifies");
+    let q6_ref = tpch::q6_expected(&data);
+    let got = veridb_db.sql(tpch::q6()).expect("q6").rows[0][0]
+        .as_f64()
+        .unwrap_or(0.0);
+    assert!(
+        (got - q6_ref).abs() < 1e-6 * q6_ref.abs().max(1.0),
+        "Q6 must match the reference: {got} vs {q6_ref}"
+    );
+
+    t.note("paper claim: overhead dominated by scan nodes; in-enclave operators add none");
+    t.note("paper overheads: Q1/Q6 up to 39% (scan-bound); Q19 NLJ ~9% (compute-bound)");
+    t.print();
+    veridb_bench::write_json("fig12", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,118 @@
+//! Figure 13 — "Transaction throughput on TPC-C dataset."
+//!
+//! Reproduces §6.3's concurrency experiment: TPC-C NewOrder/Payment
+//! throughput as the number of client threads grows from 1 to 8, for
+//!
+//! - **No RSWS updates** (the ordinary-database baseline), and
+//! - RSWS partition counts **1024 / 128 / 16 / 4 / 1**.
+//!
+//! Paper's claims to reproduce in shape: more RSWSs → less digest-lock
+//! contention → higher throughput; with enough partitions the scaling
+//! curve tracks the baseline's shape; a single RSWS collapses under
+//! concurrency; the RSWS hash updates cost a constant factor on
+//! throughput (the paper reports ~3-4× at 1024 RSWSs on their testbed).
+
+use std::sync::Arc;
+use veridb::{VeriDb, VeriDbConfig};
+use veridb_bench::{f1, scale_from_env, FigureTable, Scale};
+use veridb_workloads::{TpccConfig, TpccDriver};
+
+fn tpcc_config(scale: Scale) -> TpccConfig {
+    match scale {
+        // The paper's 20 warehouses (population still laptop-scaled).
+        Scale::Paper => TpccConfig::default(),
+        Scale::Small => TpccConfig {
+            warehouses: 8,
+            districts_per_warehouse: 5,
+            customers_per_district: 20,
+            items: 400,
+            ..TpccConfig::default()
+        },
+    }
+}
+
+fn txns_per_client(scale: Scale) -> u64 {
+    match scale {
+        Scale::Paper => 500,
+        Scale::Small => 150,
+    }
+}
+
+/// Throughput for one (verification config, client count) cell.
+fn run_cell(
+    verify: Option<usize>, // None = baseline; Some(p) = p RSWS partitions
+    clients: usize,
+    tpcc: &TpccConfig,
+    txns: u64,
+) -> f64 {
+    let mut cfg = if verify.is_some() {
+        VeriDbConfig::rsws()
+    } else {
+        VeriDbConfig::baseline()
+    };
+    if let Some(p) = verify {
+        cfg.rsws_partitions = p;
+    }
+    cfg.verify_every_ops = None; // Figure 13 isolates RSWS lock contention
+    let db = VeriDb::open(cfg).expect("open");
+    let driver = Arc::new(TpccDriver::load(&db, tpcc.clone()).expect("load"));
+    let stats = driver.run_clients(clients, txns);
+    if verify.is_some() {
+        db.verify_now().expect("honest run verifies");
+    }
+    stats.tps()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let tpcc = tpcc_config(scale);
+    let txns = txns_per_client(scale);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Figure 13 reproduction — {} warehouses, {} txns/client, {} CPU core(s) \
+         (scale {scale:?})",
+        tpcc.warehouses, txns, cores
+    );
+    if cores < 4 {
+        println!(
+            "NOTE: {cores} core(s) available — client-count scaling (the rising \
+             part of the paper's curves) needs real parallelism; on few cores \
+             the reproducible signals are the RSWS constant-factor overhead \
+             and the single-RSWS degradation under concurrency."
+        );
+    }
+
+    let configs: Vec<(String, Option<usize>)> = vec![
+        ("No RSWS updates".into(), None),
+        ("1024 RSWSs".into(), Some(1024)),
+        ("128 RSWSs".into(), Some(128)),
+        ("16 RSWSs".into(), Some(16)),
+        ("4 RSWSs".into(), Some(4)),
+        ("1 RSWS".into(), Some(1)),
+    ];
+    let client_counts: Vec<usize> = (1..=8).collect();
+
+    let mut t = FigureTable::new(
+        "Figure 13: TPC-C throughput (TPS) vs #clients",
+        &["config", "1", "2", "3", "4", "5", "6", "7", "8"],
+    );
+    let mut json = serde_json::Map::new();
+    for (name, verify) in &configs {
+        let mut cells = vec![name.clone()];
+        let mut series = Vec::new();
+        for &c in &client_counts {
+            let tps = run_cell(*verify, c, &tpcc, txns);
+            cells.push(f1(tps));
+            series.push(tps);
+        }
+        t.row(cells);
+        json.insert(name.clone(), serde_json::json!(series));
+    }
+    t.note("paper claims: more RSWSs reduce lock contention; with many RSWSs the");
+    t.note("scaling curve tracks the no-verification baseline's shape; RSWS hash");
+    t.note("updates cost a constant throughput factor (paper: ~3-4x at 1024 RSWSs)");
+    t.print();
+    veridb_bench::write_json("fig13", &serde_json::Value::Object(json));
+}

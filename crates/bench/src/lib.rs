@@ -1,0 +1,151 @@
+//! Shared plumbing for the VeriDB benchmark harness.
+//!
+//! Every figure of the paper's evaluation has one bench target in
+//! `benches/`; each prints an aligned table with the measured series next
+//! to the paper's reported series (digitized from the figures, so
+//! approximate), and drops a machine-readable JSON file under
+//! `target/veridb-bench/` for EXPERIMENTS.md.
+//!
+//! Scale control: set `VERIDB_BENCH_SCALE=paper` for the paper's full
+//! workload sizes (minutes), or leave unset for laptop scale (seconds).
+//! The chosen scale is printed with each table.
+
+use std::time::Instant;
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure laptop scale (default).
+    Small,
+    /// The paper's workload sizes.
+    Paper,
+}
+
+/// Read the scale from `VERIDB_BENCH_SCALE`.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("VERIDB_BENCH_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+        _ => Scale::Small,
+    }
+}
+
+/// Time `f` once, in seconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Mean microseconds per call over individually timed invocations.
+pub fn mean_us(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64 * 1e6
+}
+
+/// An aligned text table with a title and a footnote.
+pub struct FigureTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl FigureTable {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        FigureTable {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Add a footnote line.
+    pub fn note(&mut self, s: &str) {
+        self.notes.push(s.to_owned());
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("\n=== {} ===", self.title);
+        for (i, h) in self.headers.iter().enumerate() {
+            print!("{:<w$}  ", h, w = widths[i]);
+        }
+        println!();
+        println!("{}", "-".repeat(line));
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                print!("{:<w$}  ", c, w = widths[i]);
+            }
+            println!();
+        }
+        for n in &self.notes {
+            println!("  * {n}");
+        }
+    }
+}
+
+/// Write a JSON results blob under the workspace's
+/// `target/veridb-bench/<name>.json`.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/veridb-bench");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        println!("  (results written to {})", path.display());
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_does_not_panic() {
+        let mut t = FigureTable::new("Test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note");
+        t.print();
+    }
+
+    #[test]
+    fn mean_us_math() {
+        assert_eq!(mean_us(&[]), 0.0);
+        assert!((mean_us(&[1e-6, 3e-6]) - 2.0).abs() < 1e-9);
+    }
+}

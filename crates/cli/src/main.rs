@@ -1,0 +1,233 @@
+//! `veridb` — an interactive SQL shell over a VeriDB instance.
+//!
+//! ```text
+//! $ cargo run -p veridb-cli --release
+//! veridb> CREATE TABLE t (id INT PRIMARY KEY, v TEXT)
+//! veridb> INSERT INTO t VALUES (1, 'hello')
+//! veridb> SELECT * FROM t
+//! veridb> .verify
+//! veridb> .help
+//! ```
+//!
+//! Meta commands: `.help`, `.tables`, `.schema <table>`, `.verify`,
+//! `.costs`, `.timing on|off`, `.demo` (loads the paper's quote/inventory
+//! example), `.tpch [rows]` (loads a small TPC-H dataset), `.quit`.
+//! Everything else is SQL, executed through the in-enclave engine with
+//! verified storage underneath.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+use veridb::{PlanOptions, VeriDb, VeriDbConfig};
+
+fn main() {
+    let db = match VeriDb::open(VeriDbConfig::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open database: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "VeriDB shell — {} RSWS partitions, verifier every {:?} ops.\n\
+         Type SQL, or .help for meta commands.",
+        db.config().rsws_partitions,
+        db.config().verify_every_ops
+    );
+
+    let stdin = std::io::stdin();
+    let mut timing = true;
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("veridb> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if buffer.is_empty() && line.starts_with('.') {
+            if !meta_command(&db, line, &mut timing) {
+                break;
+            }
+            continue;
+        }
+        // Accumulate until a statement terminator (or take the line as-is).
+        buffer.push_str(line);
+        buffer.push(' ');
+        if !line.ends_with(';') && line.ends_with('\\') {
+            buffer.pop();
+            buffer.pop(); // strip the continuation backslash
+            continue;
+        }
+        let sql = buffer.trim().trim_end_matches(';').to_owned();
+        buffer.clear();
+        run_sql(&db, &sql, timing);
+    }
+    println!();
+}
+
+fn run_sql(db: &VeriDb, sql: &str, timing: bool) {
+    let start = Instant::now();
+    match db.sql(sql) {
+        Ok(result) => {
+            let dt = start.elapsed();
+            if result.columns == ["rows_affected"] {
+                println!("ok ({} row(s) affected)", result.rows[0][0]);
+            } else {
+                print!("{}", result.to_table());
+                println!("({} row(s))", result.rows.len());
+            }
+            if timing {
+                println!("-- {:.3} ms", dt.as_secs_f64() * 1e3);
+            }
+        }
+        Err(e) => {
+            if e.is_security_violation() {
+                eprintln!("SECURITY ALARM: {e}");
+            } else {
+                eprintln!("error: {e}");
+            }
+        }
+    }
+}
+
+/// Handle a `.meta` command; returns false to exit the shell.
+fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
+    let mut parts = line.split_whitespace();
+    match parts.next().unwrap_or("") {
+        ".quit" | ".exit" | ".q" => return false,
+        ".help" => {
+            println!(
+                "meta commands:\n\
+                 \x20 .tables            list tables\n\
+                 \x20 .schema <table>    show a table's columns and chains\n\
+                 \x20 .explain <sql>     show the physical plan\n\
+                 \x20 .verify            run a full verification pass\n\
+                 \x20 .costs             simulated SGX cost counters\n\
+                 \x20 .timing on|off     toggle query timing\n\
+                 \x20 .demo              load the paper's quote/inventory tables\n\
+                 \x20 .tpch [rows]       load a small TPC-H dataset\n\
+                 \x20 .quit              exit\n\
+                 anything else is executed as SQL"
+            );
+        }
+        ".tables" => {
+            for name in db.catalog().table_names() {
+                let t = db.catalog().table(&name).expect("listed");
+                println!("{name}  ({} rows)", t.row_count());
+            }
+        }
+        ".schema" => match parts.next() {
+            Some(name) => match db.table(name) {
+                Ok(t) => {
+                    for (i, col) in t.schema().columns().iter().enumerate() {
+                        println!(
+                            "{:<3} {:<20} {:<6} {}",
+                            i,
+                            col.name,
+                            col.ty.to_string(),
+                            if col.chained { "CHAINED" } else { "" }
+                        );
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+            None => eprintln!("usage: .schema <table>"),
+        },
+        ".explain" => {
+            let sql: String = parts.collect::<Vec<_>>().join(" ");
+            match db.explain(&sql, &PlanOptions::default()) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        ".verify" => {
+            let start = Instant::now();
+            match db.verify_now() {
+                Ok(report) => println!(
+                    "verification PASSED: {} pages processed ({} re-read) in {:.3} ms",
+                    report.pages_processed,
+                    report.pages_read,
+                    start.elapsed().as_secs_f64() * 1e3
+                ),
+                Err(e) => eprintln!("SECURITY ALARM: {e}"),
+            }
+        }
+        ".costs" => {
+            let c = db.costs();
+            println!(
+                "prf evals: {}\nverified reads: {}\nverified writes: {}\n\
+                 pages scanned: {}\necalls: {}\nepc swaps: {}\n\
+                 simulated cycles: {}",
+                c.prf_evals,
+                c.verified_reads,
+                c.verified_writes,
+                c.pages_scanned,
+                c.ecalls,
+                c.epc_swaps,
+                c.simulated_cycles
+            );
+        }
+        ".timing" => match parts.next() {
+            Some("on") => *timing = true,
+            Some("off") => *timing = false,
+            _ => eprintln!("usage: .timing on|off"),
+        },
+        ".demo" => {
+            for sql in [
+                "CREATE TABLE quote (id INT PRIMARY KEY, count INT, price INT)",
+                "CREATE TABLE inventory (id INT PRIMARY KEY, count INT, descr TEXT)",
+                "INSERT INTO quote VALUES (1,100,100),(2,100,200),(3,500,100),(4,600,100)",
+                "INSERT INTO inventory VALUES (1,50,'desc1'),(3,200,'desc3'),\
+                 (4,100,'desc4'),(6,100,'desc6')",
+            ] {
+                if let Err(e) = db.sql(sql) {
+                    eprintln!("error: {e}");
+                    return true;
+                }
+            }
+            println!("loaded quote (4 rows) and inventory (4 rows) — try:");
+            println!(
+                "  SELECT q.id, q.count, i.count FROM quote q, inventory i \
+                 WHERE q.id = i.id AND q.count > i.count"
+            );
+        }
+        ".tpch" => {
+            let rows: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10_000);
+            let cfg = veridb_workloads::TpchConfig {
+                lineitem_rows: rows,
+                part_rows: (rows / 30).max(50),
+                ..Default::default()
+            };
+            println!("generating TPC-H ({rows} lineitem rows)…");
+            let data = veridb_workloads::TpchData::generate(&cfg);
+            match data.load(db) {
+                Ok(()) => println!("loaded lineitem and part — try Q6:\n  {}", q6_short()),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        other => eprintln!("unknown meta command {other} (.help for help)"),
+    }
+    true
+}
+
+fn q6_short() -> &'static str {
+    "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+     WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+     AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+}

@@ -1,0 +1,164 @@
+//! Unified error type for the VeriDB workspace.
+//!
+//! Errors fall into three families with very different consequences:
+//!
+//! 1. **Routine errors** (`PageFull`, `KeyNotFound`, …) — normal control
+//!    flow; callers retry, split pages, or report "no rows".
+//! 2. **Client-side misuse** (`Parse`, `Plan`, `Type`, …) — the query or
+//!    schema is malformed.
+//! 3. **Security violations** (`VerificationFailed`, `TamperDetected`,
+//!    `AuthFailed`, `RollbackDetected`, `ReplayDetected`) — evidence of a
+//!    misbehaving host. These must never be silently swallowed; the paper's
+//!    whole point is that they are *detectable with evidence*.
+
+use std::fmt;
+
+/// Convenience alias used across all VeriDB crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type shared by every VeriDB crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    // ---- routine storage / engine errors -------------------------------
+    /// The target page has insufficient contiguous free space.
+    PageFull { page: u64, needed: usize, available: usize },
+    /// The requested page id is not registered with the verified memory.
+    PageNotFound(u64),
+    /// The requested slot does not exist or has been deleted.
+    SlotNotFound { page: u64, slot: u16 },
+    /// No record with the given key exists (point lookups that require one).
+    KeyNotFound(String),
+    /// A record with the same key already exists in a chained column.
+    DuplicateKey(String),
+    /// A named table does not exist in the catalog.
+    TableNotFound(String),
+    /// A table with the same name already exists.
+    TableExists(String),
+    /// A named column does not exist in the schema.
+    ColumnNotFound(String),
+    /// The enclave's EPC budget is exhausted and paging is disabled.
+    EpcExhausted { requested: usize, budget: usize },
+
+    // ---- client-side misuse --------------------------------------------
+    /// SQL lexing/parsing failure.
+    Parse(String),
+    /// Query planning failure (unsupported construct, unresolved name, ...).
+    Plan(String),
+    /// Type error during planning or evaluation.
+    Type(String),
+    /// Row/record encoding or decoding failed (corrupt or truncated bytes).
+    Codec(String),
+    /// Invalid configuration (e.g. zero RSWS partitions).
+    Config(String),
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+
+    // ---- security violations -------------------------------------------
+    /// Deferred verification found `h(RS) != h(WS)`: the untrusted memory
+    /// was modified outside the protected primitives.
+    VerificationFailed { partition: usize, epoch: u64 },
+    /// An access-method evidence check failed: the untrusted index or host
+    /// returned data inconsistent with the `⟨key, nKey⟩` evidence.
+    TamperDetected(String),
+    /// A MAC did not verify, or an enclave attestation check failed.
+    AuthFailed(String),
+    /// The client observed a repeated sequence number: the server rolled
+    /// the database back to an earlier state (§5.1 rollback defense).
+    RollbackDetected { sequence: u64 },
+    /// The portal saw a query id it has already executed (replay attempt).
+    ReplayDetected { qid: u64 },
+}
+
+impl Error {
+    /// True if this error is evidence of host misbehavior rather than a
+    /// routine failure. Callers surfacing results to clients must treat
+    /// these as alarms, never as empty results.
+    pub fn is_security_violation(&self) -> bool {
+        matches!(
+            self,
+            Error::VerificationFailed { .. }
+                | Error::TamperDetected(_)
+                | Error::AuthFailed(_)
+                | Error::RollbackDetected { .. }
+                | Error::ReplayDetected { .. }
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageFull { page, needed, available } => write!(
+                f,
+                "page {page} full: need {needed} bytes, {available} available"
+            ),
+            Error::PageNotFound(p) => write!(f, "page {p} not registered"),
+            Error::SlotNotFound { page, slot } => {
+                write!(f, "slot {slot} not found in page {page}")
+            }
+            Error::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            Error::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            Error::TableNotFound(t) => write!(f, "table not found: {t}"),
+            Error::TableExists(t) => write!(f, "table already exists: {t}"),
+            Error::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            Error::EpcExhausted { requested, budget } => write!(
+                f,
+                "EPC exhausted: requested {requested} bytes of {budget} budget"
+            ),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::VerificationFailed { partition, epoch } => write!(
+                f,
+                "VERIFICATION FAILED: h(RS) != h(WS) for RSWS partition \
+                 {partition} at epoch {epoch}; untrusted memory was tampered"
+            ),
+            Error::TamperDetected(m) => write!(f, "TAMPER DETECTED: {m}"),
+            Error::AuthFailed(m) => write!(f, "authentication failed: {m}"),
+            Error::RollbackDetected { sequence } => write!(
+                f,
+                "ROLLBACK DETECTED: sequence number {sequence} repeated"
+            ),
+            Error::ReplayDetected { qid } => {
+                write!(f, "query replay detected: qid {qid} already executed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_violations_are_flagged() {
+        assert!(Error::VerificationFailed { partition: 0, epoch: 3 }
+            .is_security_violation());
+        assert!(Error::TamperDetected("x".into()).is_security_violation());
+        assert!(Error::AuthFailed("bad mac".into()).is_security_violation());
+        assert!(Error::RollbackDetected { sequence: 7 }.is_security_violation());
+        assert!(Error::ReplayDetected { qid: 9 }.is_security_violation());
+    }
+
+    #[test]
+    fn routine_errors_are_not_flagged() {
+        assert!(!Error::KeyNotFound("k".into()).is_security_violation());
+        assert!(!Error::PageFull { page: 1, needed: 10, available: 2 }
+            .is_security_violation());
+        assert!(!Error::Parse("x".into()).is_security_violation());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::VerificationFailed { partition: 2, epoch: 14 };
+        let s = e.to_string();
+        assert!(s.contains("partition 2"));
+        assert!(s.contains("epoch 14"));
+        assert!(s.contains("VERIFICATION FAILED"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared foundation types for the VeriDB workspace.
+//!
+//! This crate defines the vocabulary every other VeriDB crate speaks:
+//!
+//! - [`Value`] / [`ColumnType`] — the SQL value model (integers, floats,
+//!   strings, dates, null) with a deterministic total order and a canonical
+//!   byte encoding, both of which the verification protocols depend on
+//!   (set digests are computed over encoded bytes; `⟨key, nKey⟩` chains are
+//!   ordered by the value order).
+//! - [`Schema`] / [`ColumnDef`] — relational schemas, including which
+//!   columns carry verifiable `⟨key, nKey⟩` chains.
+//! - [`Row`] — a tuple of values plus the row codec used to lay tuples out
+//!   in untrusted pages.
+//! - [`VeriDbConfig`] — every tunable the paper's evaluation sweeps
+//!   (page size, RSWS partition count, verification frequency, metadata
+//!   verification, PRF backend).
+//! - [`Error`] — the unified error type. Verification failures are
+//!   deliberately loud, separate variants so callers cannot confuse
+//!   "tampering detected" with a routine storage error.
+//!
+//! Nothing in this crate trusts or distrusts anything; it is pure data.
+
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use config::{PrfBackend, VeriDbConfig};
+pub use error::{Error, Result};
+pub use row::Row;
+pub use schema::{ColumnDef, Schema};
+pub use value::{ColumnType, Value};

@@ -1,0 +1,219 @@
+//! Tuples and the row codec.
+//!
+//! A [`Row`] is an owned tuple of [`Value`]s. The codec writes a column
+//! count followed by each value's canonical encoding; it is the `data`
+//! payload stored inside storage-layer records and the unit the volcano
+//! operators pass between each other.
+
+use crate::codec::{put_u16, Reader};
+use crate::error::Result;
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// An owned tuple of values.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the row, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at `idx` (panics on out-of-range, like slice indexing).
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Append a value (used when operators widen tuples, e.g. joins).
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(mut self, other: Row) -> Row {
+        self.values.extend(other.values);
+        self
+    }
+
+    /// Project this row onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Canonical encoding: u16 column count + each value's encoding.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u16(buf, self.values.len() as u16);
+        for v in &self.values {
+            v.encode(buf);
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.values.len() * 12);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a row from `r`, advancing it.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Row> {
+        let n = r.get_u16()? as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(Value::decode(r)?);
+        }
+        Ok(Row { values })
+    }
+
+    /// Decode a row that occupies the whole buffer.
+    pub fn decode_from_slice(buf: &[u8]) -> Result<Row> {
+        let mut r = Reader::new(buf);
+        Row::decode(&mut r)
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row { values: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        Row::new(vec![
+            Value::Int(42),
+            Value::Str("widget".into()),
+            Value::Float(9.99),
+            Value::Null,
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let row = sample();
+        let buf = row.encode_to_vec();
+        assert_eq!(Row::decode_from_slice(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_row_round_trips() {
+        let row = Row::default();
+        let buf = row.encode_to_vec();
+        assert_eq!(Row::decode_from_slice(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let row = sample();
+        let p = row.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Float(9.99), Value::Int(42)]);
+
+        let joined = p.concat(Row::new(vec![Value::Int(1)]));
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined[2], Value::Int(1));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let row = sample();
+        let buf = row.encode_to_vec();
+        assert!(Row::decode_from_slice(&buf[..buf.len() - 1]).is_err());
+        assert!(Row::decode_from_slice(&buf[..1]).is_err());
+    }
+
+    #[test]
+    fn display_renders_tuples() {
+        assert_eq!(
+            Row::new(vec![Value::Int(1), Value::Null]).to_string(),
+            "(1, NULL)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Float),
+            "[a-zA-Z0-9 ]{0,32}".prop_map(Value::Str),
+            any::<i32>().prop_map(Value::Date),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_row_round_trips(values in prop::collection::vec(arb_value(), 0..24)) {
+            let row = Row::new(values);
+            let buf = row.encode_to_vec();
+            let back = Row::decode_from_slice(&buf).unwrap();
+            // NaN-containing rows still round trip because Value::eq uses
+            // total ordering.
+            prop_assert_eq!(row, back);
+        }
+
+        #[test]
+        fn value_ordering_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+            let mut v = [a, b, c];
+            v.sort();
+            prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Relational schemas.
+//!
+//! A [`Schema`] is an ordered list of [`ColumnDef`]s. Columns flagged
+//! `chained` carry a verifiable `⟨key, nKey⟩` chain in the storage layer
+//! (Definition 5.2 in the paper): point lookups and range scans on those
+//! columns come with completeness evidence. The first chained column is the
+//! primary key; its values must be unique.
+
+use crate::error::{Error, Result};
+use crate::value::{ColumnType, Value};
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ColumnDef {
+    /// Column name (case-insensitive at the SQL layer; stored lower-case).
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+    /// Whether the storage layer maintains a `⟨key, nKey⟩` chain on this
+    /// column, enabling verified point/range access (Def. 5.2).
+    pub chained: bool,
+}
+
+impl ColumnDef {
+    /// A plain (un-chained) column.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        ColumnDef { name: name.to_ascii_lowercase(), ty, chained: false }
+    }
+
+    /// A chained column (verified access methods available).
+    pub fn chained(name: &str, ty: ColumnType) -> Self {
+        ColumnDef { name: name.to_ascii_lowercase(), ty, chained: true }
+    }
+}
+
+/// An ordered list of columns describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema. The first column is implicitly the primary key and is
+    /// forced to be chained (the paper's Definition 4.2 requires a primary
+    /// key chain on every relation).
+    pub fn new(mut columns: Vec<ColumnDef>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(Error::Config("schema needs at least one column".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(Error::Config(format!("duplicate column {}", c.name)));
+            }
+        }
+        columns[0].chained = true;
+        Ok(Schema { columns })
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns (cannot happen post-`new`).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of `name`, or an error naming the missing column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lname)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_owned()))
+    }
+
+    /// The column definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Indices of all chained columns, in schema order. Index 0 (the
+    /// primary key) is always first.
+    pub fn chained_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.chained)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Primary-key column index (always 0).
+    pub fn primary_key(&self) -> usize {
+        0
+    }
+
+    /// Validate and coerce a row against this schema.
+    pub fn check_row(&self, row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Type(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if c.chained && v.is_null() {
+                    return Err(Error::Type(format!(
+                        "chained column {} cannot be NULL",
+                        c.name
+                    )));
+                }
+                v.coerce(c.ty)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::chained("count", ColumnType::Int),
+            ColumnDef::new("price", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn first_column_becomes_primary_chain() {
+        let s = sample();
+        assert!(s.column(0).chained);
+        assert_eq!(s.chained_columns(), vec![0, 1]);
+        assert_eq!(s.primary_key(), 0);
+    }
+
+    #[test]
+    fn name_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID").unwrap(), 0);
+        assert_eq!(s.index_of("Price").unwrap(), 2);
+        assert!(matches!(s.index_of("nope"), Err(Error::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::new(vec![
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("A", ColumnType::Str),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn check_row_coerces_and_validates() {
+        let s = sample();
+        let ok = s
+            .check_row(vec![Value::Int(1), Value::Int(10), Value::Int(5)])
+            .unwrap();
+        assert_eq!(ok[2], Value::Float(5.0)); // Int coerced to Float column
+
+        // wrong arity
+        assert!(s.check_row(vec![Value::Int(1)]).is_err());
+        // NULL in a chained column
+        assert!(s
+            .check_row(vec![Value::Int(1), Value::Null, Value::Float(1.0)])
+            .is_err());
+        // un-coercible type
+        assert!(s
+            .check_row(vec![Value::Str("x".into()), Value::Int(1), Value::Float(1.0)])
+            .is_err());
+    }
+}

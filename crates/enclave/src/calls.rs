@@ -1,0 +1,13 @@
+//! ECall/OCall cost constants.
+//!
+//! The numbers come straight from the paper's background section (§2.1):
+//! "an ECall is expensive, which is about 8000 cycles" (citing HotCalls and
+//! Eleos), and "a page swapping can easily consume 40000 CPU cycles".
+//! OCalls are comparable to ECalls in published measurements; we use the
+//! same figure.
+
+/// Simulated cycle cost of entering the enclave (one ECall).
+pub const ECALL_CYCLES: u64 = 8_000;
+
+/// Simulated cycle cost of leaving the enclave (one OCall).
+pub const OCALL_CYCLES: u64 = 8_000;

@@ -1,0 +1,189 @@
+//! Simulated SGX cost accounting.
+//!
+//! The paper's design decisions are driven by three cost facts (§2.1):
+//! ECalls cost ≈8 000 cycles, EPC page swaps ≈40 000 cycles, and EPC is
+//! limited to ~96 MB. The [`CostModel`] charges those costs as pure
+//! accounting so benchmarks and examples can report *how many* boundary
+//! crossings and EPC faults a design incurs — the quantity VeriDB's
+//! architecture minimizes — without pretending to emulate wall-clock SGX
+//! latency.
+
+use crate::calls::{ECALL_CYCLES, OCALL_CYCLES};
+use crate::epc::EPC_SWAP_CYCLES;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe simulated-cost counters for one enclave.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    ecalls: AtomicU64,
+    ocalls: AtomicU64,
+    epc_swaps: AtomicU64,
+    prf_evals: AtomicU64,
+    verified_reads: AtomicU64,
+    verified_writes: AtomicU64,
+    pages_scanned: AtomicU64,
+    simulated_cycles: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostSnapshot {
+    /// ECall boundary crossings charged.
+    pub ecalls: u64,
+    /// OCall boundary crossings charged.
+    pub ocalls: u64,
+    /// EPC page swaps charged (allocations beyond the budget).
+    pub epc_swaps: u64,
+    /// PRF evaluations performed for RS/WS digest updates.
+    pub prf_evals: u64,
+    /// Verified read primitives executed.
+    pub verified_reads: u64,
+    /// Verified write primitives executed.
+    pub verified_writes: u64,
+    /// Pages scanned by the deferred verifier.
+    pub pages_scanned: u64,
+    /// Total simulated cycles across all charged events.
+    pub simulated_cycles: u64,
+}
+
+impl CostSnapshot {
+    /// Difference of two snapshots (self - earlier), saturating.
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            ecalls: self.ecalls.saturating_sub(earlier.ecalls),
+            ocalls: self.ocalls.saturating_sub(earlier.ocalls),
+            epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
+            prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
+            verified_reads: self.verified_reads.saturating_sub(earlier.verified_reads),
+            verified_writes: self
+                .verified_writes
+                .saturating_sub(earlier.verified_writes),
+            pages_scanned: self.pages_scanned.saturating_sub(earlier.pages_scanned),
+            simulated_cycles: self
+                .simulated_cycles
+                .saturating_sub(earlier.simulated_cycles),
+        }
+    }
+}
+
+impl CostModel {
+    /// Fresh, zeroed model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one ECall.
+    pub fn charge_ecall(&self) {
+        self.ecalls.fetch_add(1, Ordering::Relaxed);
+        self.simulated_cycles.fetch_add(ECALL_CYCLES, Ordering::Relaxed);
+    }
+
+    /// Charge one OCall.
+    pub fn charge_ocall(&self) {
+        self.ocalls.fetch_add(1, Ordering::Relaxed);
+        self.simulated_cycles.fetch_add(OCALL_CYCLES, Ordering::Relaxed);
+    }
+
+    /// Charge one EPC page swap.
+    pub fn charge_epc_swap(&self) {
+        self.epc_swaps.fetch_add(1, Ordering::Relaxed);
+        self.simulated_cycles.fetch_add(EPC_SWAP_CYCLES, Ordering::Relaxed);
+    }
+
+    /// Record `n` PRF evaluations (dominant RS/WS maintenance cost, §6.1).
+    pub fn charge_prf(&self, n: u64) {
+        self.prf_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a verified read primitive.
+    pub fn charge_verified_read(&self) {
+        self.verified_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a verified write primitive.
+    pub fn charge_verified_write(&self) {
+        self.verified_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a page scanned by the deferred verifier.
+    pub fn charge_page_scan(&self) {
+        self.pages_scanned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy all counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            ecalls: self.ecalls.load(Ordering::Relaxed),
+            ocalls: self.ocalls.load(Ordering::Relaxed),
+            epc_swaps: self.epc_swaps.load(Ordering::Relaxed),
+            prf_evals: self.prf_evals.load(Ordering::Relaxed),
+            verified_reads: self.verified_reads.load(Ordering::Relaxed),
+            verified_writes: self.verified_writes.load(Ordering::Relaxed),
+            pages_scanned: self.pages_scanned.load(Ordering::Relaxed),
+            simulated_cycles: self.simulated_cycles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (benchmark harness hook).
+    pub fn reset(&self) {
+        self.ecalls.store(0, Ordering::Relaxed);
+        self.ocalls.store(0, Ordering::Relaxed);
+        self.epc_swaps.store(0, Ordering::Relaxed);
+        self.prf_evals.store(0, Ordering::Relaxed);
+        self.verified_reads.store(0, Ordering::Relaxed);
+        self.verified_writes.store(0, Ordering::Relaxed);
+        self.pages_scanned.store(0, Ordering::Relaxed);
+        self.simulated_cycles.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_into_cycles() {
+        let m = CostModel::new();
+        m.charge_ecall();
+        m.charge_ecall();
+        m.charge_ocall();
+        m.charge_epc_swap();
+        m.charge_prf(5);
+        m.charge_verified_read();
+        m.charge_verified_write();
+        m.charge_page_scan();
+        let s = m.snapshot();
+        assert_eq!(s.ecalls, 2);
+        assert_eq!(s.ocalls, 1);
+        assert_eq!(s.epc_swaps, 1);
+        assert_eq!(s.prf_evals, 5);
+        assert_eq!(s.verified_reads, 1);
+        assert_eq!(s.verified_writes, 1);
+        assert_eq!(s.pages_scanned, 1);
+        assert_eq!(
+            s.simulated_cycles,
+            2 * ECALL_CYCLES + OCALL_CYCLES + EPC_SWAP_CYCLES
+        );
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let m = CostModel::new();
+        m.charge_ecall();
+        let a = m.snapshot();
+        m.charge_ecall();
+        m.charge_prf(3);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.ecalls, 1);
+        assert_eq!(d.prf_evals, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = CostModel::new();
+        m.charge_ecall();
+        m.reset();
+        assert_eq!(m.snapshot(), CostSnapshot::default());
+    }
+}

@@ -1,0 +1,83 @@
+//! Strictly increasing counters.
+//!
+//! Two protocol roles, one mechanism:
+//!
+//! - Per-cell **timestamps** of the write-read-consistent memory: the Blum
+//!   checker needs each write to carry a timestamp strictly greater than
+//!   any the cell has seen, or replaying a stale value would cancel out of
+//!   the RS/WS digests.
+//! - Query **sequence numbers** for the rollback defense (§5.1): the portal
+//!   assigns each query the next counter value; a rollback necessarily
+//!   repeats a value the client has already seen.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe, strictly increasing `u64` counter.
+#[derive(Debug)]
+pub struct MonotonicCounter {
+    next: AtomicU64,
+}
+
+impl MonotonicCounter {
+    /// Counter whose first `next()` returns `start`.
+    pub fn new(start: u64) -> Self {
+        MonotonicCounter { next: AtomicU64::new(start) }
+    }
+
+    /// Take the next value. Each call returns a strictly larger value than
+    /// every previous call, across threads.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The value the next `next()` call would return.
+    pub fn current(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Move the counter forward so that future values exceed `at_least`.
+    /// Never moves backwards (monotonicity is the security property).
+    pub fn advance_to(&self, at_least: u64) {
+        self.next.fetch_max(at_least.saturating_add(1), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_values_increase() {
+        let c = MonotonicCounter::new(10);
+        assert_eq!(c.next(), 10);
+        assert_eq!(c.next(), 11);
+        assert_eq!(c.current(), 12);
+    }
+
+    #[test]
+    fn advance_only_forward() {
+        let c = MonotonicCounter::new(0);
+        c.advance_to(100);
+        assert_eq!(c.next(), 101);
+        c.advance_to(50);
+        assert_eq!(c.next(), 102);
+    }
+
+    #[test]
+    fn concurrent_uniqueness() {
+        let c = Arc::new(MonotonicCounter::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.next()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000, "counter values must be unique");
+    }
+}

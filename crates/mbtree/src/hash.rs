@@ -1,0 +1,77 @@
+//! Merkle hashing for MB-Tree nodes.
+
+use sha2::{Digest, Sha256};
+use veridb_common::Value;
+
+/// A 32-byte Merkle hash.
+pub type NodeHash = [u8; 32];
+
+/// Hash of one leaf entry: `H("entry" ‖ key ‖ value)`.
+pub fn entry_hash(key: &Value, value: &[u8]) -> NodeHash {
+    let mut h = Sha256::new();
+    h.update(b"entry");
+    let kb = key.encode_to_vec();
+    h.update((kb.len() as u64).to_le_bytes());
+    h.update(&kb);
+    h.update((value.len() as u64).to_le_bytes());
+    h.update(value);
+    h.finalize().into()
+}
+
+/// Hash of a leaf node: `H("leaf" ‖ entry hashes)`.
+pub fn leaf_hash(entry_hashes: &[NodeHash]) -> NodeHash {
+    let mut h = Sha256::new();
+    h.update(b"leaf");
+    h.update((entry_hashes.len() as u64).to_le_bytes());
+    for eh in entry_hashes {
+        h.update(eh);
+    }
+    h.finalize().into()
+}
+
+/// Hash of an internal node: `H("node" ‖ separator keys ‖ child hashes)`.
+pub fn internal_hash(keys: &[Value], child_hashes: &[NodeHash]) -> NodeHash {
+    let mut h = Sha256::new();
+    h.update(b"node");
+    h.update((keys.len() as u64).to_le_bytes());
+    for k in keys {
+        let kb = k.encode_to_vec();
+        h.update((kb.len() as u64).to_le_bytes());
+        h.update(&kb);
+    }
+    h.update((child_hashes.len() as u64).to_le_bytes());
+    for ch in child_hashes {
+        h.update(ch);
+    }
+    h.finalize().into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_hash_binds_key_and_value() {
+        let a = entry_hash(&Value::Int(1), b"v");
+        assert_ne!(a, entry_hash(&Value::Int(2), b"v"));
+        assert_ne!(a, entry_hash(&Value::Int(1), b"w"));
+        assert_eq!(a, entry_hash(&Value::Int(1), b"v"));
+    }
+
+    #[test]
+    fn node_hashes_are_order_sensitive() {
+        let e1 = entry_hash(&Value::Int(1), b"a");
+        let e2 = entry_hash(&Value::Int(2), b"b");
+        assert_ne!(leaf_hash(&[e1, e2]), leaf_hash(&[e2, e1]));
+        assert_ne!(
+            internal_hash(&[Value::Int(5)], &[e1, e2]),
+            internal_hash(&[Value::Int(6)], &[e1, e2])
+        );
+    }
+
+    #[test]
+    fn domain_separation_between_leaf_and_internal() {
+        let e = entry_hash(&Value::Int(1), b"a");
+        assert_ne!(leaf_hash(&[e]), internal_hash(&[], &[e]));
+    }
+}

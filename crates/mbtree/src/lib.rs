@@ -1,0 +1,29 @@
+//! MB-Tree: the classic MHT-based verifiable index VeriDB is compared
+//! against (Li et al., reference \[14\]; §6.2, Figure 11 of the VeriDB paper).
+//!
+//! An MB-Tree is a B+-tree whose every node carries a Merkle hash:
+//!
+//! - a leaf's hash covers its sorted `(key, value)` entries,
+//! - an internal node's hash covers its separator keys and children hashes,
+//! - the **root hash** is the single authenticator the client must track.
+//!
+//! Reads return a *verification object* (VO): the tree with all subtrees
+//! irrelevant to the query pruned to bare hashes. The client recomputes
+//! the root hash from the VO and compares it against the tracked root;
+//! range completeness follows from revealing one boundary record on each
+//! side (the paper's Example 2.1) plus the structural guarantee that no
+//! in-range subtree is pruned.
+//!
+//! The architectural property the paper criticizes is reproduced
+//! faithfully: **every operation serializes on the root** — writes must
+//! recompute the root hash before any subsequent read can produce a VO,
+//! so the whole tree sits behind one lock. That is the concurrency
+//! bottleneck Figure 11/13 contrast against VeriDB's partitioned RSWSs.
+
+pub mod hash;
+pub mod tree;
+pub mod vo;
+
+pub use hash::NodeHash;
+pub use tree::MbTree;
+pub use vo::{verify_point, verify_range, VerifyOutcome, VoNode};

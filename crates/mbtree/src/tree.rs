@@ -1,0 +1,518 @@
+//! The MB-Tree itself: an in-memory B+-tree with per-node Merkle hashes
+//! and a single global lock.
+//!
+//! Writes update the path from the affected leaf to the root, recomputing
+//! each node's hash — the root-hash maintenance that makes MHT-based
+//! designs serialize all operations (§2.2). Deletes do not rebalance
+//! (entries are removed and hashes recomputed; structural slack is
+//! acceptable for a baseline and keeps deletion semantics obvious).
+
+use crate::hash::{entry_hash, internal_hash, leaf_hash, NodeHash};
+use crate::vo::VoNode;
+use parking_lot::Mutex;
+use std::ops::Bound;
+use veridb_common::{Error, Value};
+
+/// Maximum entries per leaf / children per internal node.
+const DEFAULT_ORDER: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(Value, Vec<u8>)>,
+        hash: NodeHash,
+    },
+    Internal {
+        /// Separator keys; child `i` holds keys `< keys[i]`,
+        /// child `i+1` holds keys `>= keys[i]`.
+        keys: Vec<Value>,
+        children: Vec<usize>,
+        child_hashes: Vec<NodeHash>,
+        hash: NodeHash,
+    },
+}
+
+struct TreeInner {
+    arena: Vec<Node>,
+    root: usize,
+    len: usize,
+}
+
+/// A Merkle B+-tree behind one global lock.
+pub struct MbTree {
+    inner: Mutex<TreeInner>,
+    order: usize,
+}
+
+impl Default for MbTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MbTree {
+    /// Empty tree with the default fanout.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Empty tree with fanout `order` (≥ 4).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "order must be >= 4");
+        let leaf = Node::Leaf { entries: Vec::new(), hash: leaf_hash(&[]) };
+        MbTree {
+            inner: Mutex::new(TreeInner { arena: vec![leaf], root: 0, len: 0 }),
+            order,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current root hash — the authenticator the client tracks. Every
+    /// verification compares against this value.
+    pub fn root_hash(&self) -> NodeHash {
+        let t = self.inner.lock();
+        node_hash(&t.arena[t.root])
+    }
+
+    /// Insert or overwrite `key`. Returns `true` if the key was new.
+    pub fn insert(&self, key: Value, value: Vec<u8>) -> bool {
+        let mut t = self.inner.lock();
+        let order = self.order;
+        let root = t.root;
+        let (split, was_new) = insert_rec(&mut t.arena, root, key, value, order);
+        if was_new {
+            t.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let left = t.root;
+            let lh = node_hash(&t.arena[left]);
+            let rh = node_hash(&t.arena[right]);
+            let keys = vec![sep];
+            let hash = internal_hash(&keys, &[lh, rh]);
+            t.arena.push(Node::Internal {
+                keys,
+                children: vec![left, right],
+                child_hashes: vec![lh, rh],
+                hash,
+            });
+            t.root = t.arena.len() - 1;
+        }
+        was_new
+    }
+
+    /// Remove `key`. Returns the old value if present.
+    pub fn delete(&self, key: &Value) -> Option<Vec<u8>> {
+        let mut t = self.inner.lock();
+        let root = t.root;
+        let removed = delete_rec(&mut t.arena, root, key);
+        if removed.is_some() {
+            t.len -= 1;
+        }
+        removed
+    }
+
+    /// Overwrite the value of an existing key. Returns `false` if absent.
+    pub fn update(&self, key: &Value, value: Vec<u8>) -> bool {
+        let mut t = self.inner.lock();
+        let root = t.root;
+        update_rec(&mut t.arena, root, key, value)
+    }
+
+    /// Point lookup with a verification object.
+    pub fn get(&self, key: &Value) -> (Option<Vec<u8>>, VoNode) {
+        let t = self.inner.lock();
+        let vo = build_point_vo(&t.arena, t.root, key);
+        let found = lookup(&t.arena, t.root, key);
+        (found, vo)
+    }
+
+    /// Range scan `[lo, hi]` with a verification object. Returns the
+    /// matching `(key, value)` pairs in key order.
+    pub fn range(
+        &self,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> (Vec<(Value, Vec<u8>)>, VoNode) {
+        let t = self.inner.lock();
+        let vo = build_range_vo(&t.arena, t.root, &lo, &hi);
+        let mut out = Vec::new();
+        collect_range(&t.arena, t.root, &lo, &hi, &mut out);
+        (out, vo)
+    }
+
+    /// Rebuild from sorted bulk data (bench setup helper).
+    pub fn bulk_load(&self, items: impl IntoIterator<Item = (Value, Vec<u8>)>) {
+        for (k, v) in items {
+            self.insert(k, v);
+        }
+    }
+}
+
+fn node_hash(n: &Node) -> NodeHash {
+    match n {
+        Node::Leaf { hash, .. } | Node::Internal { hash, .. } => *hash,
+    }
+}
+
+fn rehash_leaf(entries: &[(Value, Vec<u8>)]) -> NodeHash {
+    let ehashes: Vec<NodeHash> =
+        entries.iter().map(|(k, v)| entry_hash(k, v)).collect();
+    leaf_hash(&ehashes)
+}
+
+/// Route a key to a child index given separator keys.
+fn route(keys: &[Value], key: &Value) -> usize {
+    keys.partition_point(|k| key >= k)
+}
+
+fn insert_rec(
+    arena: &mut Vec<Node>,
+    node: usize,
+    key: Value,
+    value: Vec<u8>,
+    order: usize,
+) -> (Option<(Value, usize)>, bool) {
+    match &mut arena[node] {
+        Node::Leaf { entries, hash } => {
+            let was_new = match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => {
+                    entries[i].1 = value;
+                    false
+                }
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    true
+                }
+            };
+            if entries.len() <= order {
+                *hash = rehash_leaf(entries);
+                return (None, was_new);
+            }
+            // Split.
+            let mid = entries.len() / 2;
+            let right_entries: Vec<_> = entries.split_off(mid);
+            let sep = right_entries[0].0.clone();
+            *hash = rehash_leaf(entries);
+            let rhash = rehash_leaf(&right_entries);
+            arena.push(Node::Leaf { entries: right_entries, hash: rhash });
+            (Some((sep, arena.len() - 1)), was_new)
+        }
+        Node::Internal { keys, children, .. } => {
+            let idx = route(keys, &key);
+            let child = children[idx];
+            let (split, was_new) = insert_rec(arena, child, key, value, order);
+            // Re-borrow after recursion.
+            let child_hash = node_hash(&arena[child]);
+            let split_info = split.map(|(sep, right)| {
+                let rh = node_hash(&arena[right]);
+                (sep, right, rh)
+            });
+            let Node::Internal { keys, children, child_hashes, hash } =
+                &mut arena[node]
+            else {
+                unreachable!()
+            };
+            child_hashes[idx] = child_hash;
+            if let Some((sep, right, rh)) = split_info {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                child_hashes.insert(idx + 1, rh);
+            }
+            if children.len() <= order {
+                *hash = internal_hash(keys, child_hashes);
+                return (None, was_new);
+            }
+            // Split the internal node: middle key moves up.
+            let mid = keys.len() / 2;
+            let sep_up = keys[mid].clone();
+            let right_keys: Vec<Value> = keys.split_off(mid + 1);
+            keys.pop(); // remove the separator that moves up
+            let right_children: Vec<usize> = children.split_off(mid + 1);
+            let right_chashes: Vec<NodeHash> = child_hashes.split_off(mid + 1);
+            *hash = internal_hash(keys, child_hashes);
+            let rhash = internal_hash(&right_keys, &right_chashes);
+            arena.push(Node::Internal {
+                keys: right_keys,
+                children: right_children,
+                child_hashes: right_chashes,
+                hash: rhash,
+            });
+            (Some((sep_up, arena.len() - 1)), was_new)
+        }
+    }
+}
+
+fn delete_rec(arena: &mut [Node], node: usize, key: &Value) -> Option<Vec<u8>> {
+    match &mut arena[node] {
+        Node::Leaf { entries, hash } => {
+            match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => {
+                    let (_, v) = entries.remove(i);
+                    *hash = rehash_leaf(entries);
+                    Some(v)
+                }
+                Err(_) => None,
+            }
+        }
+        Node::Internal { keys, children, .. } => {
+            let idx = route(keys, key);
+            let child = children[idx];
+            let removed = delete_rec(arena, child, key)?;
+            let ch = node_hash(&arena[child]);
+            let Node::Internal { keys, child_hashes, hash, .. } = &mut arena[node]
+            else {
+                unreachable!()
+            };
+            child_hashes[idx] = ch;
+            *hash = internal_hash(keys, child_hashes);
+            Some(removed)
+        }
+    }
+}
+
+fn update_rec(arena: &mut [Node], node: usize, key: &Value, value: Vec<u8>) -> bool {
+    match &mut arena[node] {
+        Node::Leaf { entries, hash } => {
+            match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => {
+                    entries[i].1 = value;
+                    *hash = rehash_leaf(entries);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        Node::Internal { keys, children, .. } => {
+            let idx = route(keys, key);
+            let child = children[idx];
+            if !update_rec(arena, child, key, value) {
+                return false;
+            }
+            let ch = node_hash(&arena[child]);
+            let Node::Internal { keys, child_hashes, hash, .. } = &mut arena[node]
+            else {
+                unreachable!()
+            };
+            child_hashes[idx] = ch;
+            *hash = internal_hash(keys, child_hashes);
+            true
+        }
+    }
+}
+
+fn lookup(arena: &[Node], node: usize, key: &Value) -> Option<Vec<u8>> {
+    match &arena[node] {
+        Node::Leaf { entries, .. } => entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| entries[i].1.clone()),
+        Node::Internal { keys, children, .. } => {
+            lookup(arena, children[route(keys, key)], key)
+        }
+    }
+}
+
+fn build_point_vo(arena: &[Node], node: usize, key: &Value) -> VoNode {
+    match &arena[node] {
+        Node::Leaf { entries, .. } => VoNode::Leaf { entries: entries.clone() },
+        Node::Internal { keys, children, child_hashes, .. } => {
+            let idx = route(keys, key);
+            let vo_children = children
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    if i == idx {
+                        build_point_vo(arena, c, key)
+                    } else {
+                        VoNode::Pruned(child_hashes[i])
+                    }
+                })
+                .collect();
+            VoNode::Internal { keys: keys.clone(), children: vo_children }
+        }
+    }
+}
+
+/// Which children of an internal node must be revealed for `[lo, hi]`:
+/// every intersecting child plus one extra on each side (the boundary
+/// records of Example 2.1).
+pub(crate) fn reveal_range(keys: &[Value], lo: &Bound<Value>, hi: &Bound<Value>, n: usize) -> (usize, usize) {
+    let lo_idx = match lo {
+        Bound::Unbounded => 0,
+        Bound::Included(v) | Bound::Excluded(v) => route(keys, v),
+    };
+    let hi_idx = match hi {
+        Bound::Unbounded => n - 1,
+        Bound::Included(v) | Bound::Excluded(v) => route(keys, v),
+    };
+    (lo_idx.saturating_sub(1), (hi_idx + 1).min(n - 1))
+}
+
+fn build_range_vo(
+    arena: &[Node],
+    node: usize,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+) -> VoNode {
+    match &arena[node] {
+        Node::Leaf { entries, .. } => VoNode::Leaf { entries: entries.clone() },
+        Node::Internal { keys, children, child_hashes, .. } => {
+            let (a, b) = reveal_range(keys, lo, hi, children.len());
+            let vo_children = children
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    if i >= a && i <= b {
+                        build_range_vo(arena, c, lo, hi)
+                    } else {
+                        VoNode::Pruned(child_hashes[i])
+                    }
+                })
+                .collect();
+            VoNode::Internal { keys: keys.clone(), children: vo_children }
+        }
+    }
+}
+
+fn in_bounds(k: &Value, lo: &Bound<Value>, hi: &Bound<Value>) -> bool {
+    let lo_ok = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(v) => k >= v,
+        Bound::Excluded(v) => k > v,
+    };
+    let hi_ok = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(v) => k <= v,
+        Bound::Excluded(v) => k < v,
+    };
+    lo_ok && hi_ok
+}
+
+fn collect_range(
+    arena: &[Node],
+    node: usize,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+    out: &mut Vec<(Value, Vec<u8>)>,
+) {
+    match &arena[node] {
+        Node::Leaf { entries, .. } => {
+            for (k, v) in entries {
+                if in_bounds(k, lo, hi) {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        Node::Internal { keys, children, .. } => {
+            let (a, b) = reveal_range(keys, lo, hi, children.len());
+            for &c in &children[a..=b] {
+                collect_range(arena, c, lo, hi, out);
+            }
+        }
+    }
+}
+
+/// Internal error helper used by verification.
+pub(crate) fn tamper(msg: impl Into<String>) -> Error {
+    Error::TamperDetected(msg.into())
+}
+
+/// Re-exported for `vo::verify_*`.
+pub(crate) fn route_pub(keys: &[Value], key: &Value) -> usize {
+    route(keys, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(n: i64) -> MbTree {
+        let t = MbTree::with_order(8);
+        for i in 0..n {
+            assert!(t.insert(Value::Int(i), format!("v{i}").into_bytes()));
+        }
+        t
+    }
+
+    #[test]
+    fn insert_get_basics() {
+        let t = tree_with(100);
+        assert_eq!(t.len(), 100);
+        let (v, _) = t.get(&Value::Int(42));
+        assert_eq!(v.unwrap(), b"v42");
+        let (v, _) = t.get(&Value::Int(500));
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn insert_overwrites_and_reports() {
+        let t = tree_with(10);
+        assert!(!t.insert(Value::Int(5), b"replaced".to_vec()));
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.get(&Value::Int(5)).0.unwrap(), b"replaced");
+    }
+
+    #[test]
+    fn root_hash_changes_on_every_write() {
+        let t = tree_with(50);
+        let h0 = t.root_hash();
+        t.update(&Value::Int(7), b"new".to_vec());
+        let h1 = t.root_hash();
+        assert_ne!(h0, h1);
+        t.delete(&Value::Int(7));
+        let h2 = t.root_hash();
+        assert_ne!(h1, h2);
+        t.insert(Value::Int(7), b"back".to_vec());
+        assert_ne!(h2, t.root_hash());
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let t = tree_with(100);
+        assert_eq!(t.delete(&Value::Int(10)).unwrap(), b"v10");
+        assert!(t.delete(&Value::Int(10)).is_none());
+        assert_eq!(t.len(), 99);
+        assert!(t.update(&Value::Int(11), b"x".to_vec()));
+        assert!(!t.update(&Value::Int(10), b"x".to_vec()));
+    }
+
+    #[test]
+    fn range_collects_in_order() {
+        let t = tree_with(200);
+        let (rows, _) =
+            t.range(Bound::Included(Value::Int(50)), Bound::Excluded(Value::Int(60)));
+        let keys: Vec<i64> = rows.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
+        assert_eq!(keys, (50..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_tree_stays_consistent() {
+        let t = MbTree::new();
+        // Insert shuffled keys.
+        let mut keys: Vec<i64> = (0..5000).collect();
+        let mut s = 0x12345u64;
+        for i in (1..keys.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            keys.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for k in &keys {
+            t.insert(Value::Int(*k), k.to_le_bytes().to_vec());
+        }
+        assert_eq!(t.len(), 5000);
+        for k in [0i64, 1, 999, 2500, 4999] {
+            assert!(t.get(&Value::Int(k)).0.is_some());
+        }
+        let (rows, _) = t.range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(rows.len(), 5000);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

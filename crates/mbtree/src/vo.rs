@@ -1,0 +1,326 @@
+//! Verification objects and client-side checks.
+//!
+//! A [`VoNode`] is the pruned tree the server returns with each answer.
+//! The client holds only the trusted root hash; verification recomputes
+//! the root from the VO and checks, structurally, that no subtree that
+//! could contain an answer was pruned away.
+
+use crate::hash::{entry_hash, internal_hash, leaf_hash, NodeHash};
+use crate::tree::{route_pub, tamper};
+use std::ops::Bound;
+use veridb_common::{Result, Value};
+
+/// A node of a verification object.
+#[derive(Debug, Clone)]
+pub enum VoNode {
+    /// A subtree irrelevant to the query, reduced to its hash.
+    Pruned(NodeHash),
+    /// A revealed internal node.
+    Internal {
+        /// Separator keys.
+        keys: Vec<Value>,
+        /// Children (revealed or pruned).
+        children: Vec<VoNode>,
+    },
+    /// A fully revealed leaf.
+    Leaf {
+        /// The leaf's `(key, value)` entries.
+        entries: Vec<(Value, Vec<u8>)>,
+    },
+}
+
+impl VoNode {
+    /// Recompute this VO node's Merkle hash.
+    pub fn hash(&self) -> NodeHash {
+        match self {
+            VoNode::Pruned(h) => *h,
+            VoNode::Leaf { entries } => {
+                let ehashes: Vec<NodeHash> =
+                    entries.iter().map(|(k, v)| entry_hash(k, v)).collect();
+                leaf_hash(&ehashes)
+            }
+            VoNode::Internal { keys, children } => {
+                let chashes: Vec<NodeHash> =
+                    children.iter().map(|c| c.hash()).collect();
+                internal_hash(keys, &chashes)
+            }
+        }
+    }
+
+    /// Total serialized size in bytes (the "VO size" metric of the
+    /// verifiable-database literature).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            VoNode::Pruned(_) => 32,
+            VoNode::Leaf { entries } => entries
+                .iter()
+                .map(|(k, v)| k.encode_to_vec().len() + v.len())
+                .sum::<usize>(),
+            VoNode::Internal { keys, children } => {
+                keys.iter().map(|k| k.encode_to_vec().len()).sum::<usize>()
+                    + children.iter().map(|c| c.size_bytes()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Client outcome of a verified point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Key present with this value.
+    Present(Vec<u8>),
+    /// Key verifiably absent.
+    Absent,
+}
+
+/// Client-side verification of a point lookup: recompute the root hash,
+/// then walk the VO along the key's routing path; the path must be fully
+/// revealed and end in a leaf that settles presence or absence.
+pub fn verify_point(
+    vo: &VoNode,
+    trusted_root: &NodeHash,
+    key: &Value,
+) -> Result<VerifyOutcome> {
+    if &vo.hash() != trusted_root {
+        return Err(tamper("VO root hash does not match the trusted root"));
+    }
+    let mut node = vo;
+    loop {
+        match node {
+            VoNode::Pruned(_) => {
+                return Err(tamper(
+                    "the subtree that could contain the key was pruned from the VO",
+                ));
+            }
+            VoNode::Internal { keys, children } => {
+                let idx = route_pub(keys, key);
+                node = children.get(idx).ok_or_else(|| {
+                    tamper("malformed VO: routing index out of bounds")
+                })?;
+            }
+            VoNode::Leaf { entries } => {
+                return Ok(match entries.iter().find(|(k, _)| k == key) {
+                    Some((_, v)) => VerifyOutcome::Present(v.clone()),
+                    None => VerifyOutcome::Absent,
+                });
+            }
+        }
+    }
+}
+
+/// Client-side verification of a range scan `[lo, hi]`: recompute the root
+/// hash; check that every subtree intersecting the range is revealed; and
+/// return the complete, ordered in-range entries harvested from the VO.
+pub fn verify_range(
+    vo: &VoNode,
+    trusted_root: &NodeHash,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+) -> Result<Vec<(Value, Vec<u8>)>> {
+    if &vo.hash() != trusted_root {
+        return Err(tamper("VO root hash does not match the trusted root"));
+    }
+    let mut out = Vec::new();
+    walk_range(vo, lo, hi, &mut out)?;
+    // Entries arrive in tree order; enforce it as a defensive invariant.
+    if !out.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(tamper("VO leaves are not in key order"));
+    }
+    Ok(out)
+}
+
+fn bound_contains(lo: &Bound<Value>, hi: &Bound<Value>, k: &Value) -> bool {
+    let lo_ok = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(v) => k >= v,
+        Bound::Excluded(v) => k > v,
+    };
+    let hi_ok = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(v) => k <= v,
+        Bound::Excluded(v) => k < v,
+    };
+    lo_ok && hi_ok
+}
+
+fn walk_range(
+    node: &VoNode,
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+    out: &mut Vec<(Value, Vec<u8>)>,
+) -> Result<()> {
+    match node {
+        VoNode::Pruned(_) => Ok(()), // checked for relevance by the caller
+        VoNode::Leaf { entries } => {
+            for (k, v) in entries {
+                if bound_contains(lo, hi, k) {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+            Ok(())
+        }
+        VoNode::Internal { keys, children } => {
+            // Child i covers keys in [keys[i-1], keys[i]). It intersects
+            // the range unless it lies wholly below lo or wholly above hi.
+            for (i, child) in children.iter().enumerate() {
+                let child_max = keys.get(i); // exclusive upper bound of child i
+                let child_min = if i == 0 { None } else { keys.get(i - 1) };
+                let below = match (lo, child_max) {
+                    (Bound::Included(v), Some(mx)) => mx <= v,
+                    (Bound::Excluded(v), Some(mx)) => mx <= v,
+                    _ => false,
+                };
+                let above = match (hi, child_min) {
+                    (Bound::Included(v), Some(mn)) => mn > v,
+                    (Bound::Excluded(v), Some(mn)) => mn > v,
+                    _ => false,
+                };
+                let intersects = !below && !above;
+                if intersects {
+                    if matches!(child, VoNode::Pruned(_)) {
+                        return Err(tamper(
+                            "a subtree intersecting the queried range was \
+                             pruned from the VO (possible omission)",
+                        ));
+                    }
+                    walk_range(child, lo, hi, out)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MbTree;
+
+    fn tree_with(n: i64) -> MbTree {
+        let t = MbTree::with_order(8);
+        for i in 0..n {
+            t.insert(Value::Int(i * 2), format!("v{i}").into_bytes());
+        }
+        t
+    }
+
+    #[test]
+    fn honest_point_lookup_verifies() {
+        let t = tree_with(100);
+        let root = t.root_hash();
+        let (v, vo) = t.get(&Value::Int(42));
+        assert_eq!(
+            verify_point(&vo, &root, &Value::Int(42)).unwrap(),
+            VerifyOutcome::Present(v.unwrap())
+        );
+        // Absence (odd keys don't exist).
+        let (v, vo) = t.get(&Value::Int(43));
+        assert!(v.is_none());
+        assert_eq!(
+            verify_point(&vo, &root, &Value::Int(43)).unwrap(),
+            VerifyOutcome::Absent
+        );
+    }
+
+    #[test]
+    fn stale_root_rejected() {
+        let t = tree_with(100);
+        let stale_root = t.root_hash();
+        t.update(&Value::Int(0), b"changed".to_vec());
+        let (_, vo) = t.get(&Value::Int(42));
+        assert!(verify_point(&vo, &stale_root, &Value::Int(42)).is_err());
+    }
+
+    #[test]
+    fn forged_value_in_vo_rejected() {
+        let t = tree_with(100);
+        let root = t.root_hash();
+        let (_, mut vo) = t.get(&Value::Int(42));
+        // The host tampers with a revealed leaf entry in transit.
+        fn corrupt(n: &mut VoNode) -> bool {
+            match n {
+                VoNode::Leaf { entries } => {
+                    if let Some((_, v)) = entries.first_mut() {
+                        v.push(0xFF);
+                        return true;
+                    }
+                    false
+                }
+                VoNode::Internal { children, .. } => {
+                    children.iter_mut().any(corrupt)
+                }
+                VoNode::Pruned(_) => false,
+            }
+        }
+        assert!(corrupt(&mut vo));
+        assert!(verify_point(&vo, &root, &Value::Int(42)).is_err());
+    }
+
+    #[test]
+    fn honest_range_verifies_and_is_complete() {
+        let t = tree_with(200); // keys 0,2,...,398
+        let root = t.root_hash();
+        let lo = Bound::Included(Value::Int(100));
+        let hi = Bound::Included(Value::Int(140));
+        let (rows, vo) = t.range(lo.clone(), hi.clone());
+        let verified = verify_range(&vo, &root, &lo, &hi).unwrap();
+        assert_eq!(verified, rows);
+        let keys: Vec<i64> =
+            verified.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
+        assert_eq!(keys, (100..=140).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_omission_detected() {
+        let t = tree_with(200);
+        let root = t.root_hash();
+        let lo = Bound::Included(Value::Int(100));
+        let hi = Bound::Included(Value::Int(140));
+        let (_, vo) = t.range(lo.clone(), hi.clone());
+        // Maliciously prune a revealed in-range subtree.
+        fn prune_first_revealed(n: &mut VoNode) -> bool {
+            if let VoNode::Internal { children, .. } = n {
+                for c in children.iter_mut() {
+                    match c {
+                        VoNode::Leaf { .. } | VoNode::Internal { .. } => {
+                            let h = c.hash();
+                            *c = VoNode::Pruned(h);
+                            return true;
+                        }
+                        VoNode::Pruned(_) => continue,
+                    }
+                }
+            }
+            false
+        }
+        let mut forged = vo.clone();
+        assert!(prune_first_revealed(&mut forged));
+        // Root hash still matches (pruning preserves hashes), but the
+        // structural completeness check fires.
+        let err = verify_range(&forged, &root, &lo, &hi);
+        assert!(err.is_err(), "omission via pruning must be detected");
+    }
+
+    #[test]
+    fn vo_size_is_sublinear_for_point_queries() {
+        let t = MbTree::new();
+        for i in 0..20_000i64 {
+            t.insert(Value::Int(i), vec![0u8; 64]);
+        }
+        let (_, vo) = t.get(&Value::Int(10_000));
+        // A point VO must be far smaller than the full data (20k * 64B).
+        assert!(vo.size_bytes() < 64 * 1024, "VO is {} bytes", vo.size_bytes());
+    }
+
+    #[test]
+    fn empty_tree_point_lookup() {
+        let t = MbTree::new();
+        let root = t.root_hash();
+        let (v, vo) = t.get(&Value::Int(1));
+        assert!(v.is_none());
+        assert_eq!(
+            verify_point(&vo, &root, &Value::Int(1)).unwrap(),
+            VerifyOutcome::Absent
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based model checking of the MB-Tree baseline: arbitrary op
+//! sequences match a `BTreeMap` model, every point lookup and range scan
+//! verifies against the tracked root hash, and stale roots are rejected.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use veridb_common::Value;
+use veridb_mbtree::{verify_point, verify_range, MbTree, VerifyOutcome};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i16, u8),
+    Delete(i16),
+    Update(i16, u8),
+    Get(i16),
+    Range(i16, i16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<i16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => any::<i16>().prop_map(Op::Delete),
+        2 => (any::<i16>(), any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
+        3 => any::<i16>().prop_map(Op::Get),
+        2 => (any::<i16>(), any::<i16>()).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn mbtree_matches_model_and_always_verifies(
+        ops in prop::collection::vec(arb_op(), 0..150),
+        order in prop_oneof![Just(4usize), Just(8), Just(32)],
+    ) {
+        let tree = MbTree::with_order(order);
+        let mut model: BTreeMap<i64, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let was_new = tree.insert(Value::Int(k as i64), vec![v]);
+                    prop_assert_eq!(
+                        was_new,
+                        model.insert(k as i64, vec![v]).is_none()
+                    );
+                }
+                Op::Delete(k) => {
+                    prop_assert_eq!(
+                        tree.delete(&Value::Int(k as i64)),
+                        model.remove(&(k as i64))
+                    );
+                }
+                Op::Update(k, v) => {
+                    let hit = tree.update(&Value::Int(k as i64), vec![v]);
+                    if let Some(slot) = model.get_mut(&(k as i64)) {
+                        prop_assert!(hit);
+                        *slot = vec![v];
+                    } else {
+                        prop_assert!(!hit);
+                    }
+                }
+                Op::Get(k) => {
+                    let root = tree.root_hash();
+                    let (got, vo) = tree.get(&Value::Int(k as i64));
+                    prop_assert_eq!(got.as_ref(), model.get(&(k as i64)));
+                    let outcome =
+                        verify_point(&vo, &root, &Value::Int(k as i64)).unwrap();
+                    match model.get(&(k as i64)) {
+                        Some(v) => prop_assert_eq!(
+                            outcome,
+                            VerifyOutcome::Present(v.clone())
+                        ),
+                        None => prop_assert_eq!(outcome, VerifyOutcome::Absent),
+                    }
+                }
+                Op::Range(a, b) => {
+                    let root = tree.root_hash();
+                    let lo = Bound::Included(Value::Int(a as i64));
+                    let hi = Bound::Included(Value::Int(b as i64));
+                    let (rows, vo) = tree.range(lo.clone(), hi.clone());
+                    let verified = verify_range(&vo, &root, &lo, &hi).unwrap();
+                    prop_assert_eq!(&verified, &rows);
+                    let got: Vec<i64> =
+                        rows.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
+                    let want: Vec<i64> =
+                        model.range(a as i64..=b as i64).map(|(&k, _)| k).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    #[test]
+    fn stale_roots_always_rejected(
+        seed in prop::collection::vec((any::<i16>(), any::<u8>()), 1..40),
+        mutate_key in any::<i16>(),
+    ) {
+        let tree = MbTree::with_order(8);
+        for (k, v) in &seed {
+            tree.insert(Value::Int(*k as i64), vec![*v]);
+        }
+        let stale = tree.root_hash();
+        // Any state-changing write invalidates old roots.
+        tree.insert(Value::Int(mutate_key as i64), b"mutated".to_vec());
+        let probe = Value::Int(seed[0].0 as i64);
+        let (_, vo) = tree.get(&probe);
+        prop_assert!(verify_point(&vo, &stale, &probe).is_err());
+    }
+}

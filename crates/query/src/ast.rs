@@ -1,0 +1,384 @@
+//! Abstract syntax for the supported SQL subset.
+//!
+//! The subset covers everything the paper's evaluation runs — SPJA
+//! queries (select-project-join-aggregate, §3.2) including TPC-H Q1/Q6/Q19
+//! and the TPC-C transaction statements — plus the DDL/DML needed to
+//! stand the schemas up.
+
+use veridb_common::{ColumnType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [PRIMARY KEY] [CHAINED], …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions: `(name, type, chained)`. The first column
+        /// (or the one marked PRIMARY KEY, which must be first) is the
+        /// primary key.
+        columns: Vec<(String, ColumnType, bool)>,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`.
+    Insert {
+        /// Table name.
+        table: String,
+        /// One literal tuple per row.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE name SET col = expr, … [WHERE pred]`.
+    Update {
+        /// Table name.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM name [WHERE pred]`.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Row filter.
+        filter: Option<Expr>,
+    },
+    /// A `SELECT` query.
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT …`: render the physical plan instead of running.
+    Explain(SelectStmt),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (comma-joined or explicit `JOIN … ON`).
+    pub from: Vec<TableRef>,
+    /// `ON` predicates of explicit joins, in join order.
+    pub join_on: Vec<Expr>,
+    /// WHERE predicate.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate (over groups/aggregates).
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<(Expr, bool)>, // (expr, descending)
+    /// LIMIT.
+    pub limit: Option<u64>,
+}
+
+/// One entry of a select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr(Expr, Option<String>),
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (`FROM quote AS q`), defaulting to the table name.
+    pub alias: String,
+}
+
+/// Scalar (non-aggregate) function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// `UPPER(s)`.
+    Upper,
+    /// `LOWER(s)`.
+    Lower,
+    /// `LENGTH(s)` (characters).
+    Length,
+    /// `ABS(x)`.
+    Abs,
+    /// `SUBSTR(s, start [, len])` — 1-based start, like SQL.
+    Substr,
+}
+
+impl ScalarFunc {
+    /// Parse a scalar function name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "upper" => Some(ScalarFunc::Upper),
+            "lower" => Some(ScalarFunc::Lower),
+            "length" => Some(ScalarFunc::Length),
+            "abs" => Some(ScalarFunc::Abs),
+            "substr" | "substring" => Some(ScalarFunc::Substr),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference: optional qualifier + name (pre-resolution).
+    Column {
+        /// Table / alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A resolved column (index into the operator's input row). Produced
+    /// by the planner, never the parser.
+    ColumnRef(usize),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary negation (`-x`).
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, …)`.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The candidate list.
+        list: Vec<Expr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// An aggregate call. Only valid in select lists / HAVING position.
+    Agg {
+        /// Function.
+        func: AggFunc,
+        /// Argument; `None` for `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+    },
+    /// A resolved aggregate output (index into the aggregate operator's
+    /// output). Produced by the planner.
+    AggRef(usize),
+    /// `expr [NOT] LIKE pattern` (`%` = any run, `_` = any one char).
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The pattern expression (usually a literal).
+        pattern: Box<Expr>,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// A scalar function call.
+    Func {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// An uncorrelated scalar subquery `(SELECT …)`; the planner lowers it
+    /// to a literal before execution (§3.2's "nested queries" extension).
+    Subquery(Box<SelectStmt>),
+    /// `expr [NOT] IN (SELECT …)`; lowered to an IN-list by the planner.
+    InSubquery {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The subquery producing the candidate set (one column).
+        query: Box<SelectStmt>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: column without qualifier.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_owned() }
+    }
+
+    /// Convenience: literal integer.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            Expr::Agg { .. } | Expr::AggRef(_) => true,
+            Expr::Literal(_) | Expr::Column { .. } | Expr::ColumnRef(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_agg() || right.contains_agg()
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.contains_agg(),
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_agg() || low.contains_agg() || high.contains_agg()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_agg() || list.iter().any(|e| e.contains_agg())
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_agg() || pattern.contains_agg()
+            }
+            Expr::Func { args, .. } => args.iter().any(|a| a.contains_agg()),
+            // Subqueries are lowered before aggregate analysis; their
+            // internals don't count as aggregates of the outer query.
+            Expr::Subquery(_) => false,
+            Expr::InSubquery { expr, .. } => expr.contains_agg(),
+        }
+    }
+
+    /// Split a conjunction into its conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                let mut out = left.split_conjuncts();
+                out.extend(right.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from conjuncts (`None` for an empty list).
+    pub fn conjoin(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let first = if exprs.is_empty() { return None } else { exprs.remove(0) };
+        Some(exprs.into_iter().fold(first, |acc, e| Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(acc),
+            right: Box::new(e),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting_round_trips() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(Expr::col("a")),
+                right: Box::new(Expr::col("b")),
+            }),
+            right: Box::new(Expr::col("c")),
+        };
+        let parts = e.clone().split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        let back = Expr::conjoin(parts).unwrap();
+        // Rebuild is left-assoc; splitting again yields the same parts.
+        assert_eq!(back.split_conjuncts().len(), 3);
+        assert_eq!(Expr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))) };
+        assert!(agg.contains_agg());
+        let nested = Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(agg),
+            right: Box::new(Expr::int(2)),
+        };
+        assert!(nested.contains_agg());
+        assert!(!Expr::col("x").contains_agg());
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::from_name("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

@@ -1,0 +1,311 @@
+//! The parse → plan → execute entry point.
+
+use crate::ast::{SelectItem, SelectStmt, Statement, TableRef};
+use crate::exec;
+use crate::expr::eval;
+use crate::parser::parse;
+use crate::planner::{plan_select, PlannedQuery};
+use std::sync::Arc;
+use veridb_common::{ColumnDef, Error, Result, Row, Schema, Value};
+use veridb_storage::Catalog;
+
+/// Join-algorithm preference, used by the Figure 12 Q19 experiment to
+/// compare the MergeJoin and NestedLoopJoin plans the paper discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreferredJoin {
+    /// Planner decides: index nested-loop when the inner side has a chain
+    /// on the join column, merge when inputs arrive sorted, hash otherwise.
+    #[default]
+    Auto,
+    /// Force hash joins.
+    Hash,
+    /// Force merge joins (sorting inputs if needed).
+    Merge,
+    /// Force nested-loop joins (index-driven when possible, block
+    /// nested-loop with a materialized inner otherwise).
+    NestedLoop,
+}
+
+/// Planner options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanOptions {
+    /// Join algorithm preference.
+    pub prefer_join: PreferredJoin,
+}
+
+/// The outcome of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    fn affected(n: u64) -> QueryResult {
+        QueryResult {
+            columns: vec!["rows_affected".into()],
+            rows: vec![Row::new(vec![Value::Int(n as i64)])],
+        }
+    }
+
+    /// Render as an aligned text table (examples / debugging).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{}  ", "-".repeat(widths[i])));
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The in-enclave SQL engine bound to one catalog.
+pub struct QueryEngine {
+    catalog: Arc<Catalog>,
+    /// Spill threshold for large intermediate state (bytes; 0 = disabled).
+    /// When set, materialization points overflow into verified storage
+    /// (§5.4) instead of growing enclave-resident buffers.
+    spill_threshold: std::sync::atomic::AtomicUsize,
+}
+
+impl QueryEngine {
+    /// Wrap a catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        QueryEngine { catalog, spill_threshold: std::sync::atomic::AtomicUsize::new(0) }
+    }
+
+    /// Enable (or disable with `None`) spilling of large intermediate
+    /// state into verified storage.
+    pub fn set_spill_threshold(&self, bytes: Option<usize>) {
+        self.spill_threshold
+            .store(bytes.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn exec_context(&self) -> crate::spill::ExecContext {
+        let t = self.spill_threshold.load(std::sync::atomic::Ordering::Relaxed);
+        if t == 0 {
+            crate::spill::ExecContext::default()
+        } else {
+            crate::spill::ExecContext::with_spill(
+                Arc::clone(self.catalog.memory()),
+                t,
+            )
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Execute one SQL statement with default planning options.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with(sql, &PlanOptions::default())
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute_with(&self, sql: &str, opts: &PlanOptions) -> Result<QueryResult> {
+        match parse(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let defs: Vec<ColumnDef> = columns
+                    .into_iter()
+                    .map(|(n, ty, chained)| {
+                        let mut d = ColumnDef::new(&n, ty);
+                        d.chained = chained;
+                        d
+                    })
+                    .collect();
+                self.catalog.create_table(&name, Schema::new(defs)?)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.table(&table)?;
+                let empty = Row::default();
+                let mut n = 0;
+                for exprs in rows {
+                    let vals: Vec<Value> = exprs
+                        .iter()
+                        .map(|e| eval(e, &empty))
+                        .collect::<Result<_>>()?;
+                    t.insert(Row::new(vals))?;
+                    n += 1;
+                }
+                Ok(QueryResult::affected(n))
+            }
+            Statement::Update { table, sets, filter } => {
+                let t = self.catalog.table(&table)?;
+                let pk_col = t.schema().primary_key();
+                let matching = self.matching_rows(&table, filter, opts)?;
+                // Resolve SET expressions against the table's own columns.
+                let set_cols: Vec<(usize, crate::ast::Expr)> = sets
+                    .into_iter()
+                    .map(|(c, e)| -> Result<(usize, crate::ast::Expr)> {
+                        Ok((t.schema().index_of(&c)?, resolve_local(&t, e)?))
+                    })
+                    .collect::<Result<_>>()?;
+                let mut n = 0;
+                for row in matching {
+                    let pk = row[pk_col].clone();
+                    let mut failed = None;
+                    t.update_with(&pk, |r| {
+                        let mut vals = r.values().to_vec();
+                        for (ci, e) in &set_cols {
+                            match eval(e, r) {
+                                Ok(v) => vals[*ci] = v,
+                                Err(e) => {
+                                    failed = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                        *r = Row::new(vals);
+                    })?;
+                    if let Some(e) = failed {
+                        return Err(e);
+                    }
+                    n += 1;
+                }
+                Ok(QueryResult::affected(n))
+            }
+            Statement::Delete { table, filter } => {
+                let t = self.catalog.table(&table)?;
+                let pk_col = t.schema().primary_key();
+                let matching = self.matching_rows(&table, filter, opts)?;
+                let mut n = 0;
+                for row in matching {
+                    t.delete(&row[pk_col])?;
+                    n += 1;
+                }
+                Ok(QueryResult::affected(n))
+            }
+            Statement::Select(stmt) => {
+                let PlannedQuery { plan, columns } =
+                    plan_select(&self.catalog, stmt, opts)?;
+                let rows = exec::run_ctx(&plan, &self.exec_context())?;
+                Ok(QueryResult { columns, rows })
+            }
+            Statement::Explain(stmt) => {
+                let PlannedQuery { plan, .. } =
+                    plan_select(&self.catalog, stmt, opts)?;
+                let rows = plan
+                    .explain()
+                    .lines()
+                    .map(|l| Row::new(vec![Value::Str(l.to_owned())]))
+                    .collect();
+                Ok(QueryResult { columns: vec!["plan".into()], rows })
+            }
+        }
+    }
+
+    /// Render a query's physical plan (EXPLAIN).
+    pub fn explain(&self, sql: &str, opts: &PlanOptions) -> Result<String> {
+        match parse(sql)? {
+            Statement::Select(stmt) => {
+                Ok(plan_select(&self.catalog, stmt, opts)?.plan.explain())
+            }
+            other => Err(Error::Plan(format!("cannot EXPLAIN {other:?}"))),
+        }
+    }
+
+    /// Rows of `table` matching `filter`, fetched through the verified
+    /// access paths (DML shares the read path's planning).
+    fn matching_rows(
+        &self,
+        table: &str,
+        filter: Option<crate::ast::Expr>,
+        opts: &PlanOptions,
+    ) -> Result<Vec<Row>> {
+        let stmt = SelectStmt {
+            distinct: false,
+            items: vec![SelectItem::Wildcard],
+            from: vec![TableRef { table: table.to_owned(), alias: table.to_owned() }],
+            join_on: vec![],
+            filter,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        };
+        let PlannedQuery { plan, .. } = plan_select(&self.catalog, stmt, opts)?;
+        exec::run(&plan)
+    }
+}
+
+/// Resolve an expression's columns against one table's local schema.
+fn resolve_local(
+    table: &Arc<veridb_storage::Table>,
+    e: crate::ast::Expr,
+) -> Result<crate::ast::Expr> {
+    use crate::ast::Expr;
+    Ok(match e {
+        Expr::Column { name, .. } => Expr::ColumnRef(table.schema().index_of(&name)?),
+        Expr::Literal(_) | Expr::ColumnRef(_) | Expr::AggRef(_) => e,
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(resolve_local(table, *left)?),
+            right: Box::new(resolve_local(table, *right)?),
+        },
+        Expr::Neg(x) => Expr::Neg(Box::new(resolve_local(table, *x)?)),
+        Expr::Not(x) => Expr::Not(Box::new(resolve_local(table, *x)?)),
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(resolve_local(table, *expr)?),
+            low: Box::new(resolve_local(table, *low)?),
+            high: Box::new(resolve_local(table, *high)?),
+            negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(resolve_local(table, *expr)?),
+            list: list
+                .into_iter()
+                .map(|x| resolve_local(table, x))
+                .collect::<Result<_>>()?,
+            negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(resolve_local(table, *expr)?),
+            pattern: Box::new(resolve_local(table, *pattern)?),
+            negated,
+        },
+        Expr::Func { func, args } => Expr::Func {
+            func,
+            args: args
+                .into_iter()
+                .map(|a| resolve_local(table, a))
+                .collect::<Result<_>>()?,
+        },
+        Expr::Agg { .. } => {
+            return Err(Error::Plan("aggregates are not allowed in SET".into()))
+        }
+        Expr::Subquery(_) | Expr::InSubquery { .. } => {
+            return Err(Error::Plan("subqueries are not allowed in SET".into()))
+        }
+    })
+}

@@ -1,0 +1,43 @@
+//! VeriDB's verifiable query engine (§5 of the paper).
+//!
+//! The engine runs *inside the (simulated) enclave*: SQL text enters
+//! through the authenticated [`portal`], is compiled by the in-enclave
+//! [`parser`]/[`planner`] (compilation must be trusted — §3.3 explains why
+//! plan-equivalence checking is infeasible), and executes as a volcano
+//! operator tree whose **leaf access methods are the only verification
+//! points**: they pull records through the verified storage layer and
+//! apply the §5.2 evidence checks. Every interior operator (select,
+//! project, join, aggregate, sort) can then be trusted because it runs on
+//! verified inputs inside the enclave — the paper's core architectural
+//! reduction.
+//!
+//! Module map:
+//!
+//! - [`lexer`] / [`parser`] / [`ast`] — SQL front end (SPJA + DML + DDL).
+//! - [`expr`] — typed expression evaluation.
+//! - [`planner`] — name resolution, predicate pushdown, access-path
+//!   selection (index search / range scan / seq scan) and join-algorithm
+//!   choice (index nested-loop, merge, hash, block nested-loop).
+//! - [`exec`] — the volcano operators.
+//! - [`engine`] — parse→plan→execute entry point.
+//! - [`portal`] — the in-enclave query portal: MAC-authenticated queries,
+//!   qid replay protection, result endorsement, and the rollback-defense
+//!   sequence counter (§5.1).
+//! - [`client`] — the client library: attestation handshake, query
+//!   signing, endorsement verification, sequence-interval tracking.
+
+pub mod ast;
+pub mod client;
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+pub mod portal;
+pub mod spill;
+
+pub use client::{Client, SeqIntervals};
+pub use engine::{PlanOptions, PreferredJoin, QueryEngine, QueryResult};
+pub use portal::{EndorsedResult, QueryPortal, SignedQuery};
+pub use spill::{ExecContext, SpilledRows};

@@ -1,0 +1,750 @@
+//! Hand-written recursive-descent SQL parser for the supported subset.
+//!
+//! The parser runs inside the enclave (compilation is part of the trusted
+//! computing base, §3.3). It is deliberately strict: anything outside the
+//! supported grammar is a parse error, never a silent reinterpretation.
+
+use crate::ast::{AggFunc, BinOp, Expr, ScalarFunc, SelectItem, SelectStmt, Statement, TableRef};
+use crate::lexer::{lex, Token};
+use veridb_common::{ColumnType, Error, Result, Value};
+
+/// Keywords that terminate an expression / select-item context.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "by", "limit", "and", "or",
+    "not", "between", "in", "as", "on", "join", "inner", "asc", "desc",
+    "values", "set", "insert", "update", "delete", "create", "drop", "table",
+    "into", "primary", "key", "chained", "having", "distinct", "explain",
+    "like",
+];
+
+fn is_reserved(word: &str) -> bool {
+    RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(|t| matches!(t, Token::Semi));
+    if !p.at_end() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_if(&mut self, f: impl Fn(&Token) -> bool) -> bool {
+        if self.peek().map(&f).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.eat_if(|t| t.is_kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        if self.eat_if(|t| *t == tok) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) if !is_reserved(&s) => Ok(s.to_ascii_lowercase()),
+            t => Err(Error::Parse(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            self.expect_kw("table")?;
+            return self.create_table();
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            return Ok(Statement::DropTable { name: self.ident()? });
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            return self.insert();
+        }
+        if self.eat_kw("update") {
+            return self.update();
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            return self.delete();
+        }
+        if self.eat_kw("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("explain") {
+            self.expect_kw("select")?;
+            return Ok(Statement::Explain(self.select()?));
+        }
+        Err(Error::Parse(format!("unsupported statement: {:?}", self.peek())))
+    }
+
+    fn column_type(&mut self) -> Result<ColumnType> {
+        let name = match self.next()? {
+            Token::Ident(s) => s.to_ascii_lowercase(),
+            t => return Err(Error::Parse(format!("expected type, found {t:?}"))),
+        };
+        let ty = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => ColumnType::Int,
+            "float" | "double" | "real" | "decimal" | "numeric" => ColumnType::Float,
+            "text" | "string" | "varchar" | "char" => ColumnType::Str,
+            "date" => ColumnType::Date,
+            other => {
+                return Err(Error::Parse(format!("unsupported column type {other}")))
+            }
+        };
+        // Optional length/precision, e.g. VARCHAR(25), DECIMAL(15,2).
+        if self.eat_if(|t| matches!(t, Token::LParen)) {
+            loop {
+                match self.next()? {
+                    Token::RParen => break,
+                    Token::Int(_) | Token::Comma => continue,
+                    t => {
+                        return Err(Error::Parse(format!(
+                            "unexpected token in type suffix: {t:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(ty)
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.column_type()?;
+            let mut chained = false;
+            loop {
+                if self.eat_kw("primary") {
+                    self.expect_kw("key")?;
+                    if !columns.is_empty() {
+                        return Err(Error::Parse(
+                            "PRIMARY KEY must be the first column".into(),
+                        ));
+                    }
+                    chained = true;
+                } else if self.eat_kw("chained") {
+                    chained = true;
+                } else {
+                    break;
+                }
+            }
+            columns.push((col, ty, chained));
+            if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                break;
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                    break;
+                }
+            }
+            self.expect(Token::RParen)?;
+            rows.push(row);
+            if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(Token::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, filter })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let has_alias = self.eat_kw("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+        let alias = if has_alias { self.ident()? } else { table.clone() };
+        Ok(TableRef { table, alias })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let distinct = self.eat_kw("distinct");
+        // Select list.
+        let mut items = Vec::new();
+        loop {
+            if self.eat_if(|t| matches!(t, Token::Star)) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let e = self.expr()?;
+                let has_alias = self.eat_kw("as")
+                    || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+                let alias = if has_alias { Some(self.ident()?) } else { None };
+                items.push(SelectItem::Expr(e, alias));
+            }
+            if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        let mut join_on = Vec::new();
+        loop {
+            if self.eat_if(|t| matches!(t, Token::Comma)) {
+                from.push(self.table_ref()?);
+            } else if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                from.push(self.table_ref()?);
+                self.expect_kw("on")?;
+                join_on.push(self.expr()?);
+            } else if self.eat_kw("join") {
+                from.push(self.table_ref()?);
+                self.expect_kw("on")?;
+                join_on.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                t => return Err(Error::Parse(format!("bad LIMIT: {t:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            join_on,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // BETWEEN / IN (optionally negated).
+        let negated = if self.peek().map(|t| t.is_kw("not")).unwrap_or(false)
+            && self
+                .peek2()
+                .map(|t| t.is_kw("between") || t.is_kw("in") || t.is_kw("like"))
+                .unwrap_or(false)
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(Token::LParen)?;
+            if self.peek().map(|t| t.is_kw("select")).unwrap_or(false) {
+                self.pos += 1;
+                let sub = self.select()?;
+                self.expect(Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                    break;
+                }
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(Error::Parse(
+                "NOT must precede BETWEEN, IN or LIKE here".into(),
+            ));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.additive()?;
+        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_if(|t| matches!(t, Token::Minus)) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Token::Int(v) => Ok(Expr::Literal(Value::Int(v))),
+            Token::Float(v) => Ok(Expr::Literal(Value::Float(v))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            Token::LParen => {
+                if self.peek().map(|t| t.is_kw("select")).unwrap_or(false) {
+                    self.pos += 1;
+                    let sub = self.select()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(sub)));
+                }
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                // DATE 'YYYY-MM-DD' literal.
+                if name.eq_ignore_ascii_case("date") {
+                    if let Some(Token::Str(s)) = self.peek() {
+                        let v = Value::parse_date(s)?;
+                        self.pos += 1;
+                        return Ok(Expr::Literal(v));
+                    }
+                }
+                // Aggregate or scalar function call.
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    if let Some(func) = AggFunc::from_name(&name) {
+                        self.pos += 1; // consume '('
+                        if matches!(func, AggFunc::Count)
+                            && self.eat_if(|t| matches!(t, Token::Star))
+                        {
+                            self.expect(Token::RParen)?;
+                            return Ok(Expr::Agg { func, arg: None });
+                        }
+                        let arg = self.expr()?;
+                        self.expect(Token::RParen)?;
+                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                    }
+                    if let Some(func) = ScalarFunc::from_name(&name) {
+                        self.pos += 1; // consume '('
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Some(Token::RParen)) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat_if(|t| matches!(t, Token::Comma)) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(Token::RParen)?;
+                        return Ok(Expr::Func { func, args });
+                    }
+                    return Err(Error::Parse(format!("unknown function {name}")));
+                }
+                if is_reserved(&name) {
+                    return Err(Error::Parse(format!(
+                        "unexpected keyword {name} in expression"
+                    )));
+                }
+                // Qualified column?
+                if matches!(self.peek(), Some(Token::Dot)) {
+                    self.pos += 1;
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name.to_ascii_lowercase()),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { qualifier: None, name: name.to_ascii_lowercase() })
+            }
+            t => Err(Error::Parse(format!("unexpected token in expression: {t:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse(
+            "CREATE TABLE quote (id INT PRIMARY KEY, count INT CHAINED, \
+             price DECIMAL(15,2), note VARCHAR(44))",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "quote");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(columns[0], ("id".into(), ColumnType::Int, true));
+                assert_eq!(columns[1], ("count".into(), ColumnType::Int, true));
+                assert_eq!(columns[2].1, ColumnType::Float);
+                assert_eq!(columns[3].1, ColumnType::Str);
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn primary_key_must_be_first() {
+        assert!(parse("CREATE TABLE t (a INT, b INT PRIMARY KEY)").is_err());
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let s = parse("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', -2.5)").unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][2], Expr::Neg(Box::new(Expr::Literal(Value::Float(2.5)))));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        let s = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        assert!(matches!(s, Statement::Update { ref sets, .. } if sets.len() == 2));
+        let s = parse("DELETE FROM t WHERE id = 3").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn parses_basic_select() {
+        let s = parse("SELECT * FROM t WHERE a >= 1 AND b < 'z' ORDER BY a DESC LIMIT 10")
+            .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items, vec![SelectItem::Wildcard]);
+        assert_eq!(sel.from.len(), 1);
+        assert!(sel.filter.is_some());
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(sel.order_by[0].1, "DESC");
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_join_styles() {
+        // Comma join (the paper's Example 5.4).
+        let s = parse(
+            "SELECT q.id, q.count, i.count FROM quote as q, inventory as i \
+             WHERE q.id = i.id and q.count > i.count",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.from[0].alias, "q");
+        assert!(sel.join_on.is_empty());
+
+        // Explicit JOIN ... ON.
+        let s = parse("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z = 1").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.join_on.len(), 1);
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by() {
+        let s = parse(
+            "SELECT l_returnflag, SUM(l_quantity) AS sum_qty, \
+             AVG(l_extendedprice), COUNT(*) \
+             FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 4);
+        assert_eq!(sel.group_by.len(), 1);
+        match &sel.items[1] {
+            SelectItem::Expr(Expr::Agg { func: AggFunc::Sum, arg }, Some(alias)) => {
+                assert!(arg.is_some());
+                assert_eq!(alias, "sum_qty");
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tpch_q6_shape() {
+        let s = parse(
+            "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+             WHERE l_shipdate >= DATE '1994-01-01' \
+             AND l_shipdate < DATE '1995-01-01' \
+             AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let filter = sel.filter.unwrap();
+        let conjuncts = filter.split_conjuncts();
+        assert_eq!(conjuncts.len(), 4);
+        assert!(matches!(conjuncts[2], Expr::Between { .. }));
+    }
+
+    #[test]
+    fn parses_tpch_q19_shape() {
+        let s = parse(
+            "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+             FROM lineitem, part WHERE \
+             (p_partkey = l_partkey AND p_brand = 'Brand#12' \
+              AND p_container IN ('SM CASE', 'SM BOX') \
+              AND l_quantity >= 1 AND l_quantity <= 11 \
+              AND p_size BETWEEN 1 AND 5 \
+              AND l_shipmode IN ('AIR', 'AIR REG') \
+              AND l_shipinstruct = 'DELIVER IN PERSON') \
+             OR (p_partkey = l_partkey AND p_brand = 'Brand#23')",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.filter.is_some());
+        let f = sel.filter.unwrap();
+        // Top level is an OR of two parenthesized groups.
+        assert!(matches!(f, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn parses_in_and_not_variants() {
+        let s = parse("SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2")
+            .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let conj = sel.filter.unwrap().split_conjuncts();
+        assert!(matches!(&conj[0], Expr::InList { negated: true, .. }));
+        assert!(matches!(&conj[1], Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_sql() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELEC * FROM t").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("INSERT INTO t VALUES 1,2").is_err());
+        assert!(parse("SELECT * FROM t extra garbage ,").is_err());
+        assert!(parse("SELECT unknownfunc(x) FROM t").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = parse("SELECT a + b * c FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectItem::Expr(e, _) = &sel.items[0] else { panic!() };
+        // a + (b * c)
+        match e {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("bad precedence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        match sel.filter.unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("bad precedence: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The in-enclave query portal (§5.1).
+//!
+//! Entry point of client queries. Responsibilities, straight from the
+//! paper:
+//!
+//! - **Query authorization**: each query arrives with a unique id and a
+//!   MAC under the pre-exchanged channel key; the portal rejects MAC
+//!   failures and replayed qids (otherwise the host could synthesize or
+//!   replay mutations).
+//! - **Result endorsement**: results are MACed (qid ‖ sequence number ‖
+//!   result digest) so the client can check they come from the genuine
+//!   enclave. Endorsement is *refused* when the deferred verifier has
+//!   raised an alarm — no result is endorsed over tampered storage.
+//! - **Rollback defense**: a strictly increasing sequence number is
+//!   assigned per query and returned with the result; any state rollback
+//!   of the enclave forces the counter backwards and the client observes
+//!   a repeated sequence number (`Error::RollbackDetected`).
+
+use crate::engine::{PlanOptions, QueryEngine, QueryResult};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use veridb_common::{Error, Result};
+use veridb_enclave::{Enclave, Mac, MacKey};
+use veridb_wrcm::VerifiedMemory;
+
+/// A client-signed query.
+#[derive(Debug, Clone)]
+pub struct SignedQuery {
+    /// Client-unique query id.
+    pub qid: u64,
+    /// The SQL text.
+    pub sql: String,
+    /// `MAC_k(qid ‖ sql)`.
+    pub mac: Mac,
+}
+
+/// An enclave-endorsed result.
+#[derive(Debug, Clone)]
+pub struct EndorsedResult {
+    /// Echo of the query id.
+    pub qid: u64,
+    /// The portal's sequence number for this query (rollback defense).
+    pub sequence: u64,
+    /// The query result.
+    pub result: QueryResult,
+    /// `MAC_k(qid ‖ sequence ‖ digest(result))`.
+    pub mac: Mac,
+}
+
+/// Digest a result deterministically for endorsement.
+pub(crate) fn result_digest(result: &QueryResult) -> [u8; 32] {
+    let mut buf = Vec::new();
+    for c in &result.columns {
+        buf.extend_from_slice(c.as_bytes());
+        buf.push(0);
+    }
+    for r in &result.rows {
+        r.encode(&mut buf);
+    }
+    veridb_enclave::mac::sha256(&[b"result", &buf])
+}
+
+/// The in-enclave portal for one client channel.
+pub struct QueryPortal {
+    engine: Arc<QueryEngine>,
+    mem: Arc<VerifiedMemory>,
+    enclave: Enclave,
+    key: MacKey,
+    seen_qids: Mutex<HashSet<u64>>,
+    /// Planning options applied to queries through this portal.
+    pub options: PlanOptions,
+}
+
+impl QueryPortal {
+    /// Open a portal over `engine`, deriving the channel MAC key from the
+    /// enclave (clients obtain the matching key through the attestation
+    /// handshake — see [`crate::client::Client::attest`]).
+    pub fn new(
+        engine: Arc<QueryEngine>,
+        mem: Arc<VerifiedMemory>,
+        channel: &str,
+    ) -> Self {
+        let enclave = mem.enclave().clone();
+        let key = enclave.mac_key(&format!("channel-{channel}"));
+        QueryPortal {
+            engine,
+            mem,
+            enclave,
+            key,
+            seen_qids: Mutex::new(HashSet::new()),
+            options: PlanOptions::default(),
+        }
+    }
+
+    /// The channel MAC key, as handed to an attested client. Real SGX
+    /// would run a key-exchange inside the attestation; the simulation
+    /// hands the derived key to the holder of a verified quote.
+    pub fn channel_key_for_attested_client(&self) -> MacKey {
+        self.key.clone()
+    }
+
+    /// Submit an authenticated query; returns an endorsed result.
+    pub fn submit(&self, q: &SignedQuery) -> Result<EndorsedResult> {
+        // 1. Authorization: the MAC proves the client issued this exact
+        //    query; the qid set rejects replays.
+        if !self.key.verify(&[&q.qid.to_le_bytes(), q.sql.as_bytes()], &q.mac) {
+            return Err(Error::AuthFailed(format!(
+                "query {} failed MAC verification",
+                q.qid
+            )));
+        }
+        if !self.seen_qids.lock().insert(q.qid) {
+            return Err(Error::ReplayDetected { qid: q.qid });
+        }
+
+        // Never execute over storage already known to be tampered.
+        if let Some(alarm) = self.mem.poisoned() {
+            return Err(alarm);
+        }
+
+        // 2. Execute inside the enclave (one ECall for the whole query —
+        //    the engine and storage primitives are colocated, §3.3).
+        let result = self
+            .enclave
+            .ecall(|| self.engine.execute_with(&q.sql, &self.options))?;
+
+        // 3. Refuse endorsement if deferred verification has found
+        //    tampering at any point.
+        if let Some(alarm) = self.mem.poisoned() {
+            return Err(alarm);
+        }
+
+        // 4. Endorse with the next sequence number.
+        let sequence = self.enclave.next_timestamp();
+        let digest = result_digest(&result);
+        let mac = self.key.sign(&[
+            &q.qid.to_le_bytes(),
+            &sequence.to_le_bytes(),
+            &digest,
+        ]);
+        Ok(EndorsedResult { qid: q.qid, sequence, result, mac })
+    }
+
+    /// Run a full verification pass and report (used before endorsing
+    /// critical results, or periodically by operations).
+    pub fn verify_storage(&self) -> Result<veridb_wrcm::VerifyReport> {
+        self.mem.verify_now()
+    }
+
+    /// The portal's engine (for tests and examples).
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+}
+
+impl std::fmt::Debug for QueryPortal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPortal")
+            .field("seen_qids", &self.seen_qids.lock().len())
+            .finish_non_exhaustive()
+    }
+}

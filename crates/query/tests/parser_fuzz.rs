@@ -1,0 +1,136 @@
+//! Robustness tests for the SQL front end: the parser and lexer must never
+//! panic, whatever bytes arrive — the portal feeds them attacker-supplied
+//! strings (MAC'd, but a compromised *client* is still untrusted input).
+
+use proptest::prelude::*;
+use veridb_query::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode strings: parse returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(s in "\\PC*") {
+        let _ = parse(&s);
+    }
+
+    /// ASCII soup biased toward SQL-ish tokens.
+    #[test]
+    fn parser_never_panics_on_sql_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("GROUP BY".to_string()),
+                Just("ORDER BY".to_string()),
+                Just("JOIN".to_string()),
+                Just("ON".to_string()),
+                Just("AND".to_string()),
+                Just("OR".to_string()),
+                Just("NOT".to_string()),
+                Just("IN".to_string()),
+                Just("BETWEEN".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                Just("=".to_string()),
+                Just("<=".to_string()),
+                Just("'str'".to_string()),
+                Just("42".to_string()),
+                Just("1.5".to_string()),
+                Just("tbl".to_string()),
+                Just("col".to_string()),
+                Just("SUM".to_string()),
+                Just("COUNT".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let sql = parts.join(" ");
+        let _ = parse(&sql);
+    }
+
+    /// Structured SELECTs generated from a mini-grammar always parse.
+    #[test]
+    fn generated_selects_parse(
+        cols in prop::collection::vec("c_[a-z0-9_]{0,8}", 1..4),
+        table in "t_[a-z0-9_]{0,8}",
+        lit in any::<i32>(),
+        use_where in any::<bool>(),
+        use_order in any::<bool>(),
+        limit in prop::option::of(0u32..1000),
+    ) {
+        let mut sql = format!("SELECT {} FROM {}", cols.join(", "), table);
+        if use_where {
+            sql.push_str(&format!(" WHERE {} >= {}", cols[0], lit));
+        }
+        if use_order {
+            sql.push_str(&format!(" ORDER BY {}", cols[0]));
+        }
+        if let Some(n) = limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        parse(&sql).expect("generated SELECT must parse");
+    }
+
+    /// Expression nesting (parens, unary minus) does not overflow or panic
+    /// at reasonable depth.
+    #[test]
+    fn nested_expressions_parse(depth in 0usize..64) {
+        let sql = format!(
+            "SELECT {}x{} FROM t",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        parse(&sql).expect("balanced parens parse");
+        // NB: "--" starts a line comment, so separate the unary minuses.
+        let sql = format!("SELECT {}1 FROM t", "- ".repeat(depth));
+        parse(&sql).expect("unary chains parse");
+    }
+}
+
+#[test]
+fn statement_kinds_round_trip_through_parse() {
+    for sql in [
+        "CREATE TABLE t (a INT PRIMARY KEY, b TEXT, c FLOAT CHAINED)",
+        "DROP TABLE t",
+        "INSERT INTO t VALUES (1, 'x', 2.5)",
+        "UPDATE t SET b = 'y' WHERE a = 1",
+        "DELETE FROM t WHERE a = 1",
+        "SELECT DISTINCT a FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a LIMIT 5",
+        "EXPLAIN SELECT * FROM t",
+        "SELECT a FROM t WHERE a IN (SELECT a FROM t)",
+        "SELECT (SELECT MAX(a) FROM t) FROM t",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR NOT (b = 'z')",
+        "SELECT * FROM t WHERE d >= DATE '1994-01-01'",
+    ] {
+        veridb_query::parser::parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    }
+}
+
+#[test]
+fn deeply_malformed_inputs_error_cleanly() {
+    for sql in [
+        "",
+        ";",
+        "(((((",
+        "SELECT",
+        "SELECT )",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE (a = 1",
+        "INSERT INTO t VALUES (",
+        "CREATE TABLE (a INT)",
+        "UPDATE SET a = 1",
+        "SELECT * FROM t ORDER",
+        "SELECT * FROM t LIMIT 'x'",
+        "SELECT 'unterminated FROM t",
+        "\u{0}\u{1}\u{2}",
+    ] {
+        assert!(
+            veridb_query::parser::parse(sql).is_err(),
+            "must reject: {sql:?}"
+        );
+    }
+}

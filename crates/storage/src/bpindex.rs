@@ -1,0 +1,353 @@
+//! A from-scratch B⁺-tree implementation of the untrusted index.
+//!
+//! The paper stores per-chain indexes in untrusted memory and lets the
+//! host organize them however it likes (§5.2: "the index does not need to
+//! be verifiable"). [`ChainIndex`](crate::index::ChainIndex) wraps a
+//! standard-library `BTreeMap`; this module provides a real paged B⁺-tree
+//! with node splits and linked leaves — the data structure a production
+//! host would actually run — demonstrating that the verification story is
+//! indifferent to the index implementation (the `IndexOracle` answers are
+//! checked against chain evidence either way).
+//!
+//! Deletes are lazy (no rebalancing): tombstone-free removal from leaves
+//! keeps the tree correct, merely unbalanced under heavy deletion, which
+//! is a common production tradeoff and irrelevant to correctness here.
+
+use crate::chain::ChainKey;
+use crate::index::IndexOracle;
+use parking_lot::RwLock;
+use veridb_wrcm::CellAddr;
+
+const ORDER: usize = 32; // max keys per node
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        keys: Vec<ChainKey>,
+        vals: Vec<CellAddr>,
+        prev: Option<usize>,
+        next: Option<usize>,
+    },
+    Internal {
+        /// Separators: child `i` holds keys `< keys[i]`; child `i+1`
+        /// holds keys `>= keys[i]`.
+        keys: Vec<ChainKey>,
+        children: Vec<usize>,
+    },
+}
+
+#[derive(Debug)]
+struct Bp {
+    arena: Vec<Node>,
+    root: usize,
+    len: usize,
+}
+
+/// A B⁺-tree index over chain keys (untrusted, like every index here).
+#[derive(Debug)]
+pub struct BPlusIndex {
+    inner: RwLock<Bp>,
+}
+
+impl Default for BPlusIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        BPlusIndex {
+            inner: RwLock::new(Bp {
+                arena: vec![Node::Leaf {
+                    keys: Vec::new(),
+                    vals: Vec::new(),
+                    prev: None,
+                    next: None,
+                }],
+                root: 0,
+                len: 0,
+            }),
+        }
+    }
+
+    /// Tree height (diagnostics).
+    pub fn height(&self) -> usize {
+        let t = self.inner.read();
+        let mut h = 1;
+        let mut n = t.root;
+        loop {
+            match &t.arena[n] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    n = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Bp {
+    /// Leaf that should contain `key`, with the path of (node, child idx).
+    fn descend(&self, key: &ChainKey) -> (usize, Vec<(usize, usize)>) {
+        let mut path = Vec::new();
+        let mut n = self.root;
+        loop {
+            match &self.arena[n] {
+                Node::Leaf { .. } => return (n, path),
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| key >= k);
+                    path.push((n, idx));
+                    n = children[idx];
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, leaf: usize) -> (ChainKey, usize) {
+        let new_id = self.arena.len();
+        let (sep, new_node, old_next) = {
+            let Node::Leaf { keys, vals, next, .. } = &mut self.arena[leaf] else {
+                unreachable!()
+            };
+            let mid = keys.len() / 2;
+            let rk: Vec<ChainKey> = keys.split_off(mid);
+            let rv: Vec<CellAddr> = vals.split_off(mid);
+            let sep = rk[0].clone();
+            let old_next = *next;
+            *next = Some(new_id);
+            (
+                sep,
+                Node::Leaf { keys: rk, vals: rv, prev: Some(leaf), next: old_next },
+                old_next,
+            )
+        };
+        self.arena.push(new_node);
+        if let Some(nn) = old_next {
+            if let Node::Leaf { prev, .. } = &mut self.arena[nn] {
+                *prev = Some(new_id);
+            }
+        }
+        (sep, new_id)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (ChainKey, usize) {
+        let new_id = self.arena.len();
+        let (sep, new_node) = {
+            let Node::Internal { keys, children } = &mut self.arena[node] else {
+                unreachable!()
+            };
+            let mid = keys.len() / 2;
+            let sep = keys[mid].clone();
+            let rk: Vec<ChainKey> = keys.split_off(mid + 1);
+            keys.pop(); // the separator moves up
+            let rc: Vec<usize> = children.split_off(mid + 1);
+            (sep, Node::Internal { keys: rk, children: rc })
+        };
+        self.arena.push(new_node);
+        (sep, new_id)
+    }
+
+    fn insert(&mut self, key: ChainKey, val: CellAddr) {
+        let (leaf, path) = self.descend(&key);
+        {
+            let Node::Leaf { keys, vals, .. } = &mut self.arena[leaf] else {
+                unreachable!()
+            };
+            match keys.binary_search(&key) {
+                Ok(i) => {
+                    vals[i] = val; // upsert
+                    return;
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, val);
+                    self.len += 1;
+                }
+            }
+        }
+        // Split upward along the path.
+        let mut child = leaf;
+        let mut overflow: Option<(ChainKey, usize)> = {
+            let full = match &self.arena[leaf] {
+                Node::Leaf { keys, .. } => keys.len() > ORDER,
+                _ => unreachable!(),
+            };
+            full.then(|| self.split_leaf(leaf))
+        };
+        for &(parent, idx) in path.iter().rev() {
+            let Some((sep, right)) = overflow.take() else { break };
+            {
+                let Node::Internal { keys, children } = &mut self.arena[parent] else {
+                    unreachable!()
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+            }
+            child = parent;
+            let full = match &self.arena[parent] {
+                Node::Internal { children, .. } => children.len() > ORDER + 1,
+                _ => unreachable!(),
+            };
+            overflow = full.then(|| self.split_internal(parent));
+        }
+        if let Some((sep, right)) = overflow {
+            // The root itself split.
+            let left = child;
+            self.arena.push(Node::Internal { keys: vec![sep], children: vec![left, right] });
+            self.root = self.arena.len() - 1;
+        }
+    }
+
+    fn remove(&mut self, key: &ChainKey) {
+        let (leaf, _) = self.descend(key);
+        let Node::Leaf { keys, vals, .. } = &mut self.arena[leaf] else {
+            unreachable!()
+        };
+        if let Ok(i) = keys.binary_search(key) {
+            keys.remove(i);
+            vals.remove(i);
+            self.len -= 1;
+        }
+    }
+
+    fn find_exact(&self, key: &ChainKey) -> Option<CellAddr> {
+        let (leaf, _) = self.descend(key);
+        let Node::Leaf { keys, vals, .. } = &self.arena[leaf] else {
+            unreachable!()
+        };
+        keys.binary_search(key).ok().map(|i| vals[i])
+    }
+
+    /// Largest entry `<= key` (or `< key` when `strict`).
+    fn find_at_most(&self, key: &ChainKey, strict: bool) -> Option<CellAddr> {
+        let (mut leaf, _) = self.descend(key);
+        loop {
+            let Node::Leaf { keys, vals, prev, .. } = &self.arena[leaf] else {
+                unreachable!()
+            };
+            let idx = if strict {
+                keys.partition_point(|k| k < key)
+            } else {
+                keys.partition_point(|k| k <= key)
+            };
+            if idx > 0 {
+                return Some(vals[idx - 1]);
+            }
+            // Everything in this leaf is >= (or >) key: step left.
+            match prev {
+                Some(p) => leaf = *p,
+                None => return None,
+            }
+        }
+    }
+}
+
+impl IndexOracle for BPlusIndex {
+    fn find_floor(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.inner.read().find_at_most(key, false)
+    }
+
+    fn find_below(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.inner.read().find_at_most(key, true)
+    }
+
+    fn find_exact(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.inner.read().find_exact(key)
+    }
+
+    fn upsert(&self, key: ChainKey, addr: CellAddr) {
+        self.inner.write().insert(key, addr);
+    }
+
+    fn remove(&self, key: &ChainKey) {
+        self.inner.write().remove(key);
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::Value;
+
+    fn k(v: i64) -> ChainKey {
+        ChainKey::val(Value::Int(v))
+    }
+
+    fn addr(n: u64) -> CellAddr {
+        CellAddr { page: n, slot: (n % 7) as u16 }
+    }
+
+    #[test]
+    fn basic_crud_and_lookups() {
+        let idx = BPlusIndex::new();
+        assert!(idx.is_empty());
+        idx.upsert(ChainKey::NegInf, addr(0));
+        for i in 0..200 {
+            idx.upsert(k(i * 2), addr(i as u64 + 1));
+        }
+        assert_eq!(idx.len(), 201);
+        assert!(idx.height() > 1, "200 keys must split the root");
+        assert_eq!(idx.find_exact(&k(100)), Some(addr(51)));
+        assert_eq!(idx.find_exact(&k(101)), None);
+        assert_eq!(idx.find_floor(&k(101)), Some(addr(51)));
+        assert_eq!(idx.find_floor(&k(100)), Some(addr(51)));
+        assert_eq!(idx.find_below(&k(100)), Some(addr(50)));
+        assert_eq!(idx.find_floor(&k(-5)), Some(addr(0)), "sentinel floor");
+        assert_eq!(idx.find_below(&ChainKey::NegInf), None);
+        idx.remove(&k(100));
+        assert_eq!(idx.find_exact(&k(100)), None);
+        assert_eq!(idx.find_floor(&k(100)), Some(addr(50)));
+        assert_eq!(idx.len(), 200);
+    }
+
+    #[test]
+    fn upsert_overwrites() {
+        let idx = BPlusIndex::new();
+        idx.upsert(k(1), addr(1));
+        idx.upsert(k(1), addr(99));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.find_exact(&k(1)), Some(addr(99)));
+    }
+
+    #[test]
+    fn matches_chain_index_on_random_workload() {
+        use crate::index::ChainIndex;
+        let bp = BPlusIndex::new();
+        let bt = ChainIndex::new();
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5_000 {
+            let r = next();
+            let key = k((r % 997) as i64);
+            match r % 10 {
+                0..=5 => {
+                    let a = addr(r % 1000);
+                    bp.upsert(key.clone(), a);
+                    bt.upsert(key, a);
+                }
+                6..=7 => {
+                    bp.remove(&key);
+                    bt.remove(&key);
+                }
+                _ => {
+                    assert_eq!(bp.find_exact(&key), bt.find_exact(&key));
+                    assert_eq!(bp.find_floor(&key), bt.find_floor(&key));
+                    assert_eq!(bp.find_below(&key), bt.find_below(&key));
+                }
+            }
+        }
+        assert_eq!(bp.len(), bt.len());
+    }
+}

@@ -1,0 +1,253 @@
+//! The verified range-scan cursor (§5.2 Range Scan, Figure 5).
+//!
+//! [`VerifiedScan`] walks a chain from the untrusted index's floor record
+//! for the lower bound and verifies, incrementally, the three completeness
+//! conditions of the paper:
+//!
+//! 1. the first record's key is `≤` the lower bound (left coverage),
+//! 2. the walk only stops once the pending `nKey` exceeds the upper bound
+//!    or reaches `⊤` (right coverage),
+//! 3. each record's key equals its predecessor's `nKey` (gap-freedom).
+//!
+//! Any violation yields `Err(TamperDetected)` from the iterator. Records
+//! outside the value bounds (the floor record, and the right-end witness)
+//! are consumed for evidence but not emitted — exactly the `k2`/`k6`
+//! records of the paper's Example 2.1/5.1.
+//!
+//! **Benign races**: a concurrent insert/delete can momentarily leave the
+//! untrusted index out of sync with the chain (the cursor resolves an
+//! `nKey` the splicer has not yet published, or one just removed). These
+//! are indistinguishable from tampering *at that instant*, so the cursor
+//! retries resolution a few times before raising the alarm; persistent
+//! inconsistency is reported as tampering.
+
+use crate::chain::ChainKey;
+use crate::record::StoredRecord;
+use crate::table::Table;
+use std::ops::Bound;
+use std::sync::Arc;
+use veridb_common::{Error, Result, Row, Value};
+
+/// An iterator of verified rows over one chain of one table.
+pub struct VerifiedScan {
+    table: Arc<Table>,
+    chain: usize,
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+    /// Key the next record must carry (condition 3); `None` before start.
+    expected: Option<ChainKey>,
+    started: bool,
+    done: bool,
+    /// Records consumed (including evidence-only ones), for diagnostics.
+    records_read: u64,
+}
+
+impl VerifiedScan {
+    pub(crate) fn new(
+        table: Arc<Table>,
+        chain: usize,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> Self {
+        VerifiedScan {
+            table,
+            chain,
+            lo,
+            hi,
+            expected: None,
+            started: false,
+            done: false,
+            records_read: 0,
+        }
+    }
+
+    /// Number of records read from storage so far (evidence included).
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Collect all remaining rows, failing on the first alarm.
+    pub fn collect_rows(self) -> Result<Vec<Row>> {
+        self.collect()
+    }
+
+    /// The chain-key query point for the lower bound: the scan starts at
+    /// the floor of this key.
+    fn lo_key(&self) -> ChainKey {
+        match &self.lo {
+            Bound::Unbounded => ChainKey::NegInf,
+            Bound::Included(v) | Bound::Excluded(v) => {
+                if self.chain == 0 {
+                    ChainKey::val(v.clone())
+                } else {
+                    // Composite prefix (v) sorts below every (v, pk).
+                    ChainKey::Val(crate::chain::CompositeKey::single(v.clone()))
+                }
+            }
+        }
+    }
+
+    /// Does a record's column value fall inside the requested bounds?
+    fn value_in_bounds(&self, v: &Value) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(l) => v >= l,
+            Bound::Excluded(l) => v > l,
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => v <= h,
+            Bound::Excluded(h) => v < h,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Is a pending chain key already past the upper bound? If so the walk
+    /// may stop: the previous record's `nKey` (= this key) witnesses right
+    /// coverage (condition 2).
+    fn past_upper(&self, key: &ChainKey) -> bool {
+        match key {
+            ChainKey::PosInf => true,
+            ChainKey::Val(k) => match &self.hi {
+                Bound::Unbounded => false,
+                Bound::Included(h) => k.head() > h,
+                Bound::Excluded(h) => k.head() >= h,
+            },
+            _ => false,
+        }
+    }
+
+    /// Resolve a chain key to its record via the untrusted index, with
+    /// verification and benign-race retries.
+    fn resolve(&mut self, key: &ChainKey) -> Result<StoredRecord> {
+        let mut last_err = None;
+        for attempt in 0..4 {
+            if attempt > 0 {
+                std::thread::yield_now();
+            }
+            let Some(addr) = self.table.index(self.chain).find_exact(key) else {
+                last_err = Some(Error::TamperDetected(format!(
+                    "range scan: chain {} is broken — the index cannot \
+                     resolve nKey {key}; a record may have been omitted",
+                    self.chain
+                )));
+                continue;
+            };
+            let rec = match self.table.read_record(addr) {
+                Ok(r) => r,
+                Err(Error::SlotNotFound { .. }) => {
+                    last_err = Some(Error::TamperDetected(format!(
+                        "range scan: index pointed {key} at a dead slot"
+                    )));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if rec.key(self.chain) != key {
+                last_err = Some(Error::TamperDetected(format!(
+                    "range scan: expected record keyed {key}, index returned \
+                     one keyed {} (condition 3 violated)",
+                    rec.key(self.chain)
+                )));
+                continue;
+            }
+            self.records_read += 1;
+            return Ok(rec);
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// Locate the starting record: the floor of the lower bound
+    /// (condition 1).
+    fn start(&mut self) -> Result<StoredRecord> {
+        let q = self.lo_key();
+        let mut last_err = None;
+        for attempt in 0..4 {
+            if attempt > 0 {
+                std::thread::yield_now();
+            }
+            let Some(addr) = self.table.index(self.chain).find_floor(&q) else {
+                last_err = Some(Error::TamperDetected(format!(
+                    "range scan: index returned no floor for {q} (the ⊥ \
+                     sentinel must always match)"
+                )));
+                continue;
+            };
+            let rec = match self.table.read_record(addr) {
+                Ok(r) => r,
+                Err(Error::SlotNotFound { .. }) => {
+                    last_err = Some(Error::TamperDetected(
+                        "range scan: floor candidate slot is dead".into(),
+                    ));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let key = rec.key(self.chain);
+            if matches!(key, ChainKey::Absent) || key > &q {
+                last_err = Some(Error::TamperDetected(format!(
+                    "range scan: left end not covered — floor record keyed \
+                     {key} exceeds the lower bound {q} (condition 1 violated)"
+                )));
+                continue;
+            }
+            self.records_read += 1;
+            return Ok(rec);
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// The record's column value, when it participates with a concrete key.
+    fn record_value(&self, rec: &StoredRecord) -> Option<Value> {
+        rec.key(self.chain).as_val().map(|k| k.head().clone())
+    }
+}
+
+impl Iterator for VerifiedScan {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        // Obtain the next record: either the starting floor or the chain
+        // successor.
+        loop {
+            let rec = if !self.started {
+                self.started = true;
+                match self.start() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            } else {
+                let expected = self.expected.clone().expect("set after start");
+                if self.past_upper(&expected) {
+                    self.done = true;
+                    return None;
+                }
+                match self.resolve(&expected) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            };
+            self.expected = Some(rec.nkey(self.chain).clone());
+            if let Some(v) = self.record_value(&rec) {
+                if self.value_in_bounds(&v) {
+                    return Some(Ok(rec.row));
+                }
+            }
+            // Evidence-only record (floor below the range, or a value
+            // outside an excluded bound): keep walking.
+            if self.past_upper(self.expected.as_ref().expect("just set")) {
+                self.done = true;
+                return None;
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Evidence objects and the §5.2 verification conditions.
+//!
+//! Every access-method answer carries the record(s) that prove it. The
+//! check functions here are the exact conditions from the paper:
+//!
+//! **Index search** for key `q` against evidence record `⟨k, nk, data⟩`:
+//!   1. `k = q` — the record *is* the match; or
+//!   2. `k < q < nk` — the record proves `q` is absent;
+//!
+//! otherwise the untrusted host/index misbehaved.
+//!
+//! **Range scan** for `[a, b]` against records `r₁ … r_m`:
+//!   1. `r₁.key ≤ a` (coverage of the left end),
+//!   2. `r_m.nKey > b` (coverage of the right end; the paper's Figure 5
+//!      states `nKey of the last record ≥ b` with the walk stopping at the
+//!      first record `≥ b` — with our half-open composite bounds the
+//!      strict form is the correct one),
+//!   3. `rᵢ.key = rᵢ₋₁.nKey` for every adjacent pair (gap-freedom).
+//!
+//! The range conditions are enforced incrementally by
+//! [`crate::cursor::VerifiedScan`]; the point condition lives here.
+
+use crate::chain::ChainKey;
+use crate::record::StoredRecord;
+use veridb_common::{Error, Result, Row};
+
+/// The evidence for a point lookup: the single proving record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointEvidence {
+    /// Which chain the lookup used.
+    pub chain: usize,
+    /// The record read from verified memory.
+    pub record: StoredRecord,
+}
+
+/// Outcome of a verified point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointResult {
+    /// The key exists; here is its row, with evidence.
+    Found(Row, PointEvidence),
+    /// The key does not exist; the evidence record's `(key, nKey)` gap
+    /// proves it.
+    Absent(PointEvidence),
+}
+
+impl PointResult {
+    /// The row, if found.
+    pub fn row(&self) -> Option<&Row> {
+        match self {
+            PointResult::Found(r, _) => Some(r),
+            PointResult::Absent(_) => None,
+        }
+    }
+
+    /// The evidence record.
+    pub fn evidence(&self) -> &PointEvidence {
+        match self {
+            PointResult::Found(_, e) | PointResult::Absent(e) => e,
+        }
+    }
+}
+
+/// Apply the index-search verification conditions (§5.2) to a candidate
+/// record for query key `q` on chain `chain`.
+pub fn check_point(
+    chain: usize,
+    q: &ChainKey,
+    record: StoredRecord,
+) -> Result<PointResult> {
+    if chain >= record.chains.len() {
+        return Err(Error::TamperDetected(format!(
+            "evidence record has {} chains, lookup used chain {chain}",
+            record.chains.len()
+        )));
+    }
+    let key = record.key(chain).clone();
+    let nkey = record.nkey(chain).clone();
+    if key == ChainKey::Absent {
+        return Err(Error::TamperDetected(
+            "evidence record does not participate in the queried chain".into(),
+        ));
+    }
+    if &key == q {
+        let row = record.row.clone();
+        return Ok(PointResult::Found(row, PointEvidence { chain, record }));
+    }
+    if key < *q && *q < nkey {
+        return Ok(PointResult::Absent(PointEvidence { chain, record }));
+    }
+    Err(Error::TamperDetected(format!(
+        "index returned record with (key={key}, nKey={nkey}) which neither \
+         matches nor brackets the queried key {q}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::Value;
+
+    fn record(k: i64, nk: i64) -> StoredRecord {
+        StoredRecord::new(
+            vec![(ChainKey::val(Value::Int(k)), ChainKey::val(Value::Int(nk)))],
+            Row::new(vec![Value::Int(k), Value::Str("data".into())]),
+        )
+    }
+
+    #[test]
+    fn exact_match_is_found() {
+        let r = check_point(0, &ChainKey::val(Value::Int(10)), record(10, 20)).unwrap();
+        assert!(matches!(r, PointResult::Found(_, _)));
+        assert_eq!(r.row().unwrap()[0], Value::Int(10));
+    }
+
+    #[test]
+    fn gap_proves_absence() {
+        let r = check_point(0, &ChainKey::val(Value::Int(15)), record(10, 20)).unwrap();
+        assert!(matches!(r, PointResult::Absent(_)));
+        assert!(r.row().is_none());
+    }
+
+    #[test]
+    fn sentinel_gap_proves_absence_below_minimum() {
+        // ⟨⊥, 10⟩ proves nothing exists below 10 (Example 4.3's shape).
+        let s = StoredRecord::new(
+            vec![(ChainKey::NegInf, ChainKey::val(Value::Int(10)))],
+            Row::default(),
+        );
+        let r = check_point(0, &ChainKey::val(Value::Int(5)), s).unwrap();
+        assert!(matches!(r, PointResult::Absent(_)));
+    }
+
+    #[test]
+    fn top_gap_proves_absence_above_maximum() {
+        // ⟨id4, ⊤, …⟩ proves keys above id4 are absent (Example 4.3).
+        let top = StoredRecord::new(
+            vec![(ChainKey::val(Value::Int(40)), ChainKey::PosInf)],
+            Row::new(vec![Value::Int(40)]),
+        );
+        let r = check_point(0, &ChainKey::val(Value::Int(99)), top).unwrap();
+        assert!(matches!(r, PointResult::Absent(_)));
+    }
+
+    #[test]
+    fn wrong_record_is_tamper() {
+        // Record ⟨10, 20⟩ can prove nothing about key 25.
+        let err =
+            check_point(0, &ChainKey::val(Value::Int(25)), record(10, 20)).unwrap_err();
+        assert!(matches!(err, Error::TamperDetected(_)));
+        // Nor about key 5 (query below the record's key).
+        let err =
+            check_point(0, &ChainKey::val(Value::Int(5)), record(10, 20)).unwrap_err();
+        assert!(matches!(err, Error::TamperDetected(_)));
+    }
+
+    #[test]
+    fn absent_chain_participation_is_tamper() {
+        let s = StoredRecord::new(
+            vec![(ChainKey::Absent, ChainKey::Absent)],
+            Row::default(),
+        );
+        assert!(check_point(0, &ChainKey::val(Value::Int(1)), s).is_err());
+    }
+
+    #[test]
+    fn chain_index_out_of_range_is_tamper() {
+        assert!(check_point(3, &ChainKey::val(Value::Int(1)), record(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Untrusted per-chain indexes.
+//!
+//! The paper stores indexes in untrusted memory and stresses that they
+//! "do not need to be verifiable" (§5.2): the index is only an *oracle*
+//! proposing where a record might live; every answer is checked against
+//! the `⟨key, nKey⟩` evidence read from verified memory. A lying index can
+//! cause a detected tamper alarm or a spurious miss, never a wrong
+//! accepted result.
+//!
+//! [`ChainIndex`] is the honest implementation (a `BTreeMap` under a
+//! read-write lock). [`MaliciousIndex`] wraps any oracle and misbehaves on
+//! demand, for the attack tests that prove the access-method checks catch
+//! it.
+
+use crate::chain::ChainKey;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
+use veridb_wrcm::CellAddr;
+
+/// The oracle interface the access methods consult.
+pub trait IndexOracle: Send + Sync {
+    /// Address of the record with the largest chain key `<= key`
+    /// (the paper's "largest key not exceeding a"). The chain sentinel
+    /// guarantees such a record exists for any key `>= ⊥`.
+    fn find_floor(&self, key: &ChainKey) -> Option<CellAddr>;
+
+    /// Address of the record with the largest chain key strictly `< key`
+    /// (the predecessor used by delete's splice).
+    fn find_below(&self, key: &ChainKey) -> Option<CellAddr>;
+
+    /// Address of the record with exactly this chain key.
+    fn find_exact(&self, key: &ChainKey) -> Option<CellAddr>;
+
+    /// Record (or update) a key → address binding.
+    fn upsert(&self, key: ChainKey, addr: CellAddr);
+
+    /// Remove a binding.
+    fn remove(&self, key: &ChainKey);
+
+    /// Number of bindings.
+    fn len(&self) -> usize;
+
+    /// True when no bindings exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Honest untrusted index: an ordered map from chain key to cell address.
+#[derive(Debug, Default)]
+pub struct ChainIndex {
+    map: RwLock<BTreeMap<ChainKey, CellAddr>>,
+}
+
+impl ChainIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IndexOracle for ChainIndex {
+    fn find_floor(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.map
+            .read()
+            .range((Bound::Unbounded, Bound::Included(key.clone())))
+            .next_back()
+            .map(|(_, &a)| a)
+    }
+
+    fn find_below(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.map
+            .read()
+            .range((Bound::Unbounded, Bound::Excluded(key.clone())))
+            .next_back()
+            .map(|(_, &a)| a)
+    }
+
+    fn find_exact(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.map.read().get(key).copied()
+    }
+
+    fn upsert(&self, key: ChainKey, addr: CellAddr) {
+        self.map.write().insert(key, addr);
+    }
+
+    fn remove(&self, key: &ChainKey) {
+        self.map.write().remove(key);
+    }
+
+    fn len(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+/// Which lie a [`MaliciousIndex`] tells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexLie {
+    /// Answer lookups with the address of a *different* (valid) record.
+    WrongRecord(CellAddr),
+    /// Pretend keys do not exist (return `None` for everything).
+    DenyAll,
+    /// For floor queries, return a record strictly *below* the true floor,
+    /// trying to make a point search skip the real match.
+    Undershoot,
+}
+
+/// An adversarial index wrapper for attack tests.
+pub struct MaliciousIndex {
+    inner: ChainIndex,
+    lie: RwLock<Option<IndexLie>>,
+    active: AtomicBool,
+}
+
+impl MaliciousIndex {
+    /// Wrap a fresh honest index; behaves honestly until armed.
+    pub fn new() -> Self {
+        MaliciousIndex {
+            inner: ChainIndex::new(),
+            lie: RwLock::new(None),
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// Arm the given lie.
+    pub fn arm(&self, lie: IndexLie) {
+        *self.lie.write() = Some(lie);
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarm; behave honestly again.
+    pub fn disarm(&self) {
+        self.active.store(false, Ordering::Relaxed);
+    }
+}
+
+impl Default for MaliciousIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexOracle for MaliciousIndex {
+    fn find_floor(&self, key: &ChainKey) -> Option<CellAddr> {
+        if self.active.load(Ordering::Relaxed) {
+            match *self.lie.read() {
+                Some(IndexLie::WrongRecord(addr)) => return Some(addr),
+                Some(IndexLie::DenyAll) => return None,
+                Some(IndexLie::Undershoot) => {
+                    // Return the floor of the floor's predecessor if any.
+                    let m = self.inner.map.read();
+                    let mut it =
+                        m.range((Bound::Unbounded, Bound::Included(key.clone())));
+                    let _true_floor = it.next_back();
+                    if let Some((_, &a)) = it.next_back() {
+                        return Some(a);
+                    }
+                    return _true_floor.map(|(_, &a)| a);
+                }
+                None => {}
+            }
+        }
+        self.inner.find_floor(key)
+    }
+
+    fn find_below(&self, key: &ChainKey) -> Option<CellAddr> {
+        if self.active.load(Ordering::Relaxed) {
+            match *self.lie.read() {
+                Some(IndexLie::WrongRecord(addr)) => return Some(addr),
+                Some(IndexLie::DenyAll) => return None,
+                _ => {}
+            }
+        }
+        self.inner.find_below(key)
+    }
+
+    fn find_exact(&self, key: &ChainKey) -> Option<CellAddr> {
+        if self.active.load(Ordering::Relaxed) {
+            match *self.lie.read() {
+                Some(IndexLie::WrongRecord(addr)) => return Some(addr),
+                Some(IndexLie::DenyAll) => return None,
+                _ => {}
+            }
+        }
+        self.inner.find_exact(key)
+    }
+
+    fn upsert(&self, key: ChainKey, addr: CellAddr) {
+        self.inner.upsert(key, addr);
+    }
+
+    fn remove(&self, key: &ChainKey) {
+        self.inner.remove(key);
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::Value;
+
+    fn addr(page: u64, slot: u16) -> CellAddr {
+        CellAddr { page, slot }
+    }
+
+    fn k(v: i64) -> ChainKey {
+        ChainKey::val(Value::Int(v))
+    }
+
+    #[test]
+    fn floor_and_exact_lookups() {
+        let idx = ChainIndex::new();
+        idx.upsert(ChainKey::NegInf, addr(1, 0));
+        idx.upsert(k(10), addr(1, 1));
+        idx.upsert(k(20), addr(1, 2));
+
+        assert_eq!(idx.find_floor(&k(5)), Some(addr(1, 0)));
+        assert_eq!(idx.find_floor(&k(10)), Some(addr(1, 1)));
+        assert_eq!(idx.find_floor(&k(15)), Some(addr(1, 1)));
+        assert_eq!(idx.find_floor(&k(99)), Some(addr(1, 2)));
+        assert_eq!(idx.find_exact(&k(20)), Some(addr(1, 2)));
+        assert_eq!(idx.find_exact(&k(15)), None);
+        assert_eq!(idx.find_floor(&ChainKey::PosInf), Some(addr(1, 2)));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let idx = ChainIndex::new();
+        idx.upsert(k(1), addr(1, 1));
+        idx.upsert(k(2), addr(1, 2));
+        assert_eq!(idx.len(), 2);
+        idx.remove(&k(1));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.find_exact(&k(1)), None);
+    }
+
+    #[test]
+    fn malicious_index_lies_then_recovers() {
+        let idx = MaliciousIndex::new();
+        idx.upsert(ChainKey::NegInf, addr(1, 0));
+        idx.upsert(k(10), addr(1, 1));
+        idx.upsert(k(20), addr(1, 2));
+
+        idx.arm(IndexLie::WrongRecord(addr(9, 9)));
+        assert_eq!(idx.find_exact(&k(10)), Some(addr(9, 9)));
+
+        idx.arm(IndexLie::DenyAll);
+        assert_eq!(idx.find_floor(&k(10)), None);
+
+        idx.arm(IndexLie::Undershoot);
+        assert_eq!(idx.find_floor(&k(20)), Some(addr(1, 1)));
+
+        idx.disarm();
+        assert_eq!(idx.find_exact(&k(10)), Some(addr(1, 1)));
+    }
+}

@@ -1,0 +1,157 @@
+//! The extended storage record `⟨key₁, nKey₁, …, key_k, nKey_k, data⟩`
+//! (Definitions 4.2 and 5.2).
+//!
+//! A [`StoredRecord`] is what actually lives in a verified-memory cell.
+//! Ordinary records carry one `(key, nKey)` pair per chained column plus
+//! the full row; sentinel records carry `(⊥, min)` in exactly one chain
+//! and `Absent` in the others, with an empty row.
+
+use crate::chain::ChainKey;
+use veridb_common::codec::Reader;
+use veridb_common::{Error, Result, Row};
+
+/// One storage-layer record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// `(key, nKey)` per chain, in chain order.
+    pub chains: Vec<(ChainKey, ChainKey)>,
+    /// The aggregated data (the full row for ordinary records; empty for
+    /// sentinels).
+    pub row: Row,
+}
+
+impl StoredRecord {
+    /// An ordinary record participating in every chain.
+    pub fn new(chains: Vec<(ChainKey, ChainKey)>, row: Row) -> Self {
+        StoredRecord { chains, row }
+    }
+
+    /// The sentinel record of chain `chain` (out of `chain_count`):
+    /// `⟨…, ⊥, ⊤, …⟩` with `Absent` elsewhere and no data. Its `nKey`
+    /// tracks the minimum key of the chain as inserts happen.
+    pub fn sentinel(chain: usize, chain_count: usize) -> Self {
+        let chains = (0..chain_count)
+            .map(|i| {
+                if i == chain {
+                    (ChainKey::NegInf, ChainKey::PosInf)
+                } else {
+                    (ChainKey::Absent, ChainKey::Absent)
+                }
+            })
+            .collect();
+        StoredRecord { chains, row: Row::default() }
+    }
+
+    /// Whether this record is a sentinel (participates via `⊥`).
+    pub fn is_sentinel(&self) -> bool {
+        self.chains.iter().any(|(k, _)| k.is_neg_inf())
+    }
+
+    /// The key of chain `i`.
+    pub fn key(&self, i: usize) -> &ChainKey {
+        &self.chains[i].0
+    }
+
+    /// The nKey of chain `i`.
+    pub fn nkey(&self, i: usize) -> &ChainKey {
+        &self.chains[i].1
+    }
+
+    /// Replace chain `i`'s nKey (the splice performed by insert/delete).
+    pub fn set_nkey(&mut self, i: usize, nkey: ChainKey) {
+        self.chains[i].1 = nkey;
+    }
+
+    /// Canonical encoding.
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + self.row.len() * 12);
+        buf.push(self.chains.len() as u8);
+        for (k, nk) in &self.chains {
+            k.encode(&mut buf);
+            nk.encode(&mut buf);
+        }
+        self.row.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a record; the bytes come from untrusted memory (via a
+    /// verified read), so decoding is fully defensive.
+    pub fn decode(bytes: &[u8]) -> Result<StoredRecord> {
+        let mut r = Reader::new(bytes);
+        let n = r.get_u8()? as usize;
+        if n == 0 || n > 32 {
+            return Err(Error::Codec(format!("bad chain count {n}")));
+        }
+        let mut chains = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = ChainKey::decode(&mut r)?;
+            let nk = ChainKey::decode(&mut r)?;
+            chains.push((k, nk));
+        }
+        let row = Row::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after record",
+                r.remaining()
+            )));
+        }
+        Ok(StoredRecord { chains, row })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::Value;
+
+    #[test]
+    fn round_trip_ordinary_record() {
+        let rec = StoredRecord::new(
+            vec![
+                (ChainKey::val(Value::Int(1)), ChainKey::val(Value::Int(4))),
+                (
+                    ChainKey::pair(Value::Int(100), Value::Int(1)),
+                    ChainKey::PosInf,
+                ),
+            ],
+            Row::new(vec![Value::Int(1), Value::Int(100), Value::Float(9.5)]),
+        );
+        let bytes = rec.encode_to_vec();
+        assert_eq!(StoredRecord::decode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn sentinel_shape_matches_figure_6() {
+        // Figure 6(a): two sentinel records for a two-chain relation.
+        let s0 = StoredRecord::sentinel(0, 2);
+        assert_eq!(s0.key(0), &ChainKey::NegInf);
+        assert_eq!(s0.nkey(0), &ChainKey::PosInf);
+        assert_eq!(s0.key(1), &ChainKey::Absent);
+        assert!(s0.is_sentinel());
+        assert!(s0.row.is_empty());
+
+        let s1 = StoredRecord::sentinel(1, 2);
+        assert_eq!(s1.key(0), &ChainKey::Absent);
+        assert_eq!(s1.key(1), &ChainKey::NegInf);
+    }
+
+    #[test]
+    fn splice_nkey() {
+        let mut s = StoredRecord::sentinel(0, 1);
+        s.set_nkey(0, ChainKey::val(Value::Int(10)));
+        assert_eq!(s.nkey(0), &ChainKey::val(Value::Int(10)));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(StoredRecord::decode(&[]).is_err());
+        assert!(StoredRecord::decode(&[0]).is_err()); // zero chains
+        assert!(StoredRecord::decode(&[99]).is_err()); // absurd chain count
+        let rec = StoredRecord::sentinel(0, 1);
+        let mut bytes = rec.encode_to_vec();
+        bytes.push(0xFF); // trailing garbage
+        assert!(StoredRecord::decode(&bytes).is_err());
+        let bytes2 = rec.encode_to_vec();
+        assert!(StoredRecord::decode(&bytes2[..bytes2.len() - 1]).is_err());
+    }
+}

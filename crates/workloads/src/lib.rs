@@ -1,0 +1,25 @@
+//! Workload generators for the VeriDB evaluation (§6).
+//!
+//! Three workloads, matching the paper's three benchmark sections:
+//!
+//! - [`micro`] — the §6.1 micro-benchmark: a key-value-shaped table with
+//!   4-byte integer keys and 500-byte string values, loaded with N initial
+//!   pairs and driven by an even mix of Get/Insert/Delete/Update
+//!   operations. Also drives the MB-Tree baseline for §6.2 / Figure 11.
+//! - [`tpch`] — a from-scratch TPC-H generator for the tables and queries
+//!   the paper evaluates (`lineitem`, `part`; Q1, Q6, Q19), §6.3 /
+//!   Figure 12. Column domains and distributions follow the TPC-H
+//!   specification; scale factors are reduced to laptop size.
+//! - [`tpcc`] — a from-scratch TPC-C schema, loader, and NewOrder/Payment
+//!   transaction driver for the §6.3 / Figure 13 throughput experiment.
+//!
+//! Everything is seeded and deterministic so benchmark runs are
+//! reproducible.
+
+pub mod micro;
+pub mod tpcc;
+pub mod tpch;
+
+pub use micro::{MicroOp, MicroWorkload};
+pub use tpcc::{TpccConfig, TpccDriver, TpccStats};
+pub use tpch::{TpchConfig, TpchData};

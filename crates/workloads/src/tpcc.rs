@@ -1,0 +1,586 @@
+//! From-scratch TPC-C workload for the paper's Figure 13 experiment.
+//!
+//! The paper measures "VeriDB's average throughput on a 20-warehouse
+//! configuration when varying the number of clients and the number of
+//! ReadSets/WriteSets". This module provides:
+//!
+//! - the TPC-C schema (single-column synthetic primary keys composed from
+//!   the TPC-C composite keys, since this engine chains on one column),
+//! - a seeded loader at configurable scale,
+//! - NewOrder and Payment transaction implementations against the
+//!   programmatic table API (an even mix, standing in for the TPC-C
+//!   deck — the contention pattern, which is what Figure 13 studies, is
+//!   driven by the warehouse/district hot rows either way),
+//! - a multi-threaded driver reporting throughput.
+//!
+//! Transactions are sequences of individually atomic verified operations;
+//! like the paper's prototype, the isolation story is per-operation (the
+//! storage layer's page/RSWS locking), not full serializability — the
+//! experiment targets storage-layer lock contention.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use veridb::VeriDb;
+use veridb_common::{Result, Row, Value};
+use veridb_storage::Table;
+
+/// Scale configuration (defaults follow the paper's 20 warehouses, with
+/// per-district population scaled to laptop size).
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses (paper: 20).
+    pub warehouses: i64,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts_per_warehouse: i64,
+    /// Customers per district (TPC-C: 3000; scaled down).
+    pub customers_per_district: i64,
+    /// Items (TPC-C: 100 000; scaled down). Stock = warehouses × items.
+    pub items: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 20,
+            districts_per_warehouse: 10,
+            customers_per_district: 30,
+            items: 1_000,
+            seed: 5701,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            customers_per_district: 5,
+            items: 50,
+            seed: 3,
+        }
+    }
+}
+
+/// Composite-key helpers (single-column synthetic keys).
+fn d_key(w: i64, d: i64) -> i64 {
+    w * 100 + d
+}
+fn c_key(w: i64, d: i64, c: i64) -> i64 {
+    d_key(w, d) * 100_000 + c
+}
+fn s_key(w: i64, i: i64) -> i64 {
+    w * 1_000_000 + i
+}
+
+/// Throughput measurement result.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+impl TpccStats {
+    /// Transactions per second.
+    pub fn tps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.elapsed_secs
+        }
+    }
+}
+
+/// Loaded TPC-C tables plus the transaction logic.
+pub struct TpccDriver {
+    cfg: TpccConfig,
+    warehouse: Arc<Table>,
+    district: Arc<Table>,
+    customer: Arc<Table>,
+    item: Arc<Table>,
+    stock: Arc<Table>,
+    orders: Arc<Table>,
+    order_line: Arc<Table>,
+    new_order: Arc<Table>,
+    history: Arc<Table>,
+    next_order_key: AtomicI64,
+    next_ol_key: AtomicI64,
+    next_history_key: AtomicI64,
+}
+
+impl TpccDriver {
+    /// Create the schema and load initial data into `db`.
+    pub fn load(db: &VeriDb, cfg: TpccConfig) -> Result<TpccDriver> {
+        for ddl in [
+            "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_tax FLOAT, w_ytd FLOAT)",
+            "CREATE TABLE district (d_key INT PRIMARY KEY, d_w_id INT, d_id INT, \
+             d_tax FLOAT, d_ytd FLOAT, d_next_o_id INT)",
+            "CREATE TABLE customer (c_key INT PRIMARY KEY, c_w_id INT, c_d_id INT, \
+             c_id INT, c_balance FLOAT, c_ytd_payment FLOAT, c_payment_cnt INT)",
+            "CREATE TABLE item (i_id INT PRIMARY KEY, i_price FLOAT, i_name TEXT)",
+            "CREATE TABLE stock (s_key INT PRIMARY KEY, s_w_id INT, s_i_id INT, \
+             s_quantity INT, s_ytd INT, s_order_cnt INT)",
+            "CREATE TABLE orders (o_key INT PRIMARY KEY, o_dkey INT CHAINED, \
+             o_ckey INT CHAINED, o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, \
+             o_ol_cnt INT, o_carrier INT)",
+            "CREATE TABLE order_line (ol_key INT PRIMARY KEY, ol_o_key INT CHAINED, \
+             ol_i_id INT, ol_qty INT, ol_amount FLOAT)",
+            "CREATE TABLE new_order (no_key INT PRIMARY KEY, no_dkey INT CHAINED)",
+            "CREATE TABLE history (h_key INT PRIMARY KEY, h_c_key INT, h_amount FLOAT)",
+        ] {
+            db.sql(ddl)?;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let warehouse = db.table("warehouse")?;
+        for w in 1..=cfg.warehouses {
+            warehouse.insert(Row::new(vec![
+                Value::Int(w),
+                Value::Float(rng.gen_range(0.0..0.2)),
+                Value::Float(300_000.0),
+            ]))?;
+        }
+        let district = db.table("district")?;
+        for w in 1..=cfg.warehouses {
+            for d in 1..=cfg.districts_per_warehouse {
+                district.insert(Row::new(vec![
+                    Value::Int(d_key(w, d)),
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Float(rng.gen_range(0.0..0.2)),
+                    Value::Float(30_000.0),
+                    Value::Int(3_001),
+                ]))?;
+            }
+        }
+        let customer = db.table("customer")?;
+        for w in 1..=cfg.warehouses {
+            for d in 1..=cfg.districts_per_warehouse {
+                for c in 1..=cfg.customers_per_district {
+                    customer.insert(Row::new(vec![
+                        Value::Int(c_key(w, d, c)),
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(c),
+                        Value::Float(-10.0),
+                        Value::Float(10.0),
+                        Value::Int(1),
+                    ]))?;
+                }
+            }
+        }
+        let item = db.table("item")?;
+        for i in 1..=cfg.items {
+            item.insert(Row::new(vec![
+                Value::Int(i),
+                Value::Float(rng.gen_range(1.0..100.0)),
+                Value::Str(format!("item-{i}")),
+            ]))?;
+        }
+        let stock = db.table("stock")?;
+        for w in 1..=cfg.warehouses {
+            for i in 1..=cfg.items {
+                stock.insert(Row::new(vec![
+                    Value::Int(s_key(w, i)),
+                    Value::Int(w),
+                    Value::Int(i),
+                    Value::Int(rng.gen_range(10..=100)),
+                    Value::Int(0),
+                    Value::Int(0),
+                ]))?;
+            }
+        }
+        Ok(TpccDriver {
+            cfg,
+            warehouse,
+            district,
+            customer,
+            item,
+            stock,
+            orders: db.table("orders")?,
+            order_line: db.table("order_line")?,
+            new_order: db.table("new_order")?,
+            history: db.table("history")?,
+            next_order_key: AtomicI64::new(1),
+            next_ol_key: AtomicI64::new(1),
+            next_history_key: AtomicI64::new(1),
+        })
+    }
+
+    /// The configuration the driver was loaded with.
+    pub fn config(&self) -> &TpccConfig {
+        &self.cfg
+    }
+
+    /// Execute one NewOrder transaction.
+    pub fn new_order(&self, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(1..=self.cfg.warehouses);
+        let d = rng.gen_range(1..=self.cfg.districts_per_warehouse);
+        let c = rng.gen_range(1..=self.cfg.customers_per_district);
+
+        // Warehouse tax (read).
+        let _wrow = self
+            .warehouse
+            .get_by_pk(&Value::Int(w))?
+            .ok_or_else(|| veridb_common::Error::KeyNotFound(format!("w{w}")))?;
+
+        // District: read tax + next order id, increment atomically.
+        let mut o_id = 0i64;
+        self.district.update_with(&Value::Int(d_key(w, d)), |row| {
+            o_id = row[5].as_i64().unwrap_or(0);
+            let mut vals = row.values().to_vec();
+            vals[5] = Value::Int(o_id + 1);
+            *row = Row::new(vals);
+        })?;
+
+        // Customer read.
+        let _crow = self.customer.get_by_pk(&Value::Int(c_key(w, d, c)))?;
+
+        // Order + new-order inserts.
+        let ol_cnt = rng.gen_range(5..=15i64);
+        let o_key = self.next_order_key.fetch_add(1, Ordering::Relaxed);
+        self.orders.insert(Row::new(vec![
+            Value::Int(o_key),
+            Value::Int(d_key(w, d)),
+            Value::Int(c_key(w, d, c)),
+            Value::Int(w),
+            Value::Int(d),
+            Value::Int(o_id),
+            Value::Int(c),
+            Value::Int(ol_cnt),
+            Value::Int(0), // o_carrier: 0 = undelivered
+        ]))?;
+        self.new_order.insert(Row::new(vec![
+            Value::Int(o_key),
+            Value::Int(d_key(w, d)),
+        ]))?;
+
+        // Order lines: read item, update stock, insert line.
+        for _ in 0..ol_cnt {
+            let i_id = rng.gen_range(1..=self.cfg.items);
+            let qty = rng.gen_range(1..=10i64);
+            let irow = self
+                .item
+                .get_by_pk(&Value::Int(i_id))?
+                .ok_or_else(|| veridb_common::Error::KeyNotFound(format!("i{i_id}")))?;
+            let price = irow[1].as_f64()?;
+            self.stock.update_with(&Value::Int(s_key(w, i_id)), |row| {
+                let mut vals = row.values().to_vec();
+                let q = vals[3].as_i64().unwrap_or(0);
+                vals[3] = Value::Int(if q - qty < 10 { q - qty + 91 } else { q - qty });
+                vals[4] = Value::Int(vals[4].as_i64().unwrap_or(0) + qty);
+                vals[5] = Value::Int(vals[5].as_i64().unwrap_or(0) + 1);
+                *row = Row::new(vals);
+            })?;
+            let ol_key = self.next_ol_key.fetch_add(1, Ordering::Relaxed);
+            self.order_line.insert(Row::new(vec![
+                Value::Int(ol_key),
+                Value::Int(o_key),
+                Value::Int(i_id),
+                Value::Int(qty),
+                Value::Float(price * qty as f64),
+            ]))?;
+        }
+        Ok(())
+    }
+
+    /// Execute one Payment transaction.
+    pub fn payment(&self, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(1..=self.cfg.warehouses);
+        let d = rng.gen_range(1..=self.cfg.districts_per_warehouse);
+        let c = rng.gen_range(1..=self.cfg.customers_per_district);
+        let amount = rng.gen_range(1.0..5_000.0f64);
+
+        self.warehouse.update_with(&Value::Int(w), |row| {
+            let mut vals = row.values().to_vec();
+            vals[2] = Value::Float(vals[2].as_f64().unwrap_or(0.0) + amount);
+            *row = Row::new(vals);
+        })?;
+        self.district.update_with(&Value::Int(d_key(w, d)), |row| {
+            let mut vals = row.values().to_vec();
+            vals[4] = Value::Float(vals[4].as_f64().unwrap_or(0.0) + amount);
+            *row = Row::new(vals);
+        })?;
+        let ck = c_key(w, d, c);
+        self.customer.update_with(&Value::Int(ck), |row| {
+            let mut vals = row.values().to_vec();
+            vals[4] = Value::Float(vals[4].as_f64().unwrap_or(0.0) - amount);
+            vals[5] = Value::Float(vals[5].as_f64().unwrap_or(0.0) + amount);
+            vals[6] = Value::Int(vals[6].as_i64().unwrap_or(0) + 1);
+            *row = Row::new(vals);
+        })?;
+        let h_key = self.next_history_key.fetch_add(1, Ordering::Relaxed);
+        self.history.insert(Row::new(vec![
+            Value::Int(h_key),
+            Value::Int(ck),
+            Value::Float(amount),
+        ]))?;
+        Ok(())
+    }
+
+    /// Execute one OrderStatus transaction: a customer's most recent
+    /// order and its lines (read-only; uses the o_ckey secondary chain).
+    pub fn order_status(&self, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(1..=self.cfg.warehouses);
+        let d = rng.gen_range(1..=self.cfg.districts_per_warehouse);
+        let c = rng.gen_range(1..=self.cfg.customers_per_district);
+        let ck = c_key(w, d, c);
+        let _crow = self.customer.get_by_pk(&Value::Int(ck))?;
+        // Most recent order: max o_id among the customer's orders.
+        let mut last: Option<(i64, i64)> = None; // (o_id, o_key)
+        for row in self.orders.scan_eq(2, &Value::Int(ck)) {
+            let row = row?;
+            let o_id = row[5].as_i64()?;
+            let o_key = row[0].as_i64()?;
+            if last.map(|(b, _)| o_id > b).unwrap_or(true) {
+                last = Some((o_id, o_key));
+            }
+        }
+        if let Some((_, o_key)) = last {
+            // Fetch its lines through the ol_o_key chain.
+            for row in self.order_line.scan_eq(1, &Value::Int(o_key)) {
+                let _ = row?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one Delivery transaction: deliver the oldest undelivered
+    /// order of a district (consume its new_order entry, stamp a carrier,
+    /// credit the customer with the order total).
+    pub fn delivery(&self, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(1..=self.cfg.warehouses);
+        let d = rng.gen_range(1..=self.cfg.districts_per_warehouse);
+        let dk = d_key(w, d);
+        // Oldest pending order = smallest no_key for this district.
+        let mut oldest: Option<i64> = None;
+        for row in self.new_order.scan_eq(1, &Value::Int(dk)) {
+            let row = row?;
+            let k = row[0].as_i64()?;
+            if oldest.map(|b| k < b).unwrap_or(true) {
+                oldest = Some(k);
+            }
+        }
+        let Some(o_key) = oldest else { return Ok(()) }; // nothing pending
+        self.new_order.delete(&Value::Int(o_key))?;
+        // Stamp the carrier and find the customer.
+        let carrier = rng.gen_range(1..=10i64);
+        let mut ckey = 0i64;
+        self.orders.update_with(&Value::Int(o_key), |row| {
+            ckey = row[2].as_i64().unwrap_or(0);
+            let mut vals = row.values().to_vec();
+            vals[8] = Value::Int(carrier);
+            *row = Row::new(vals);
+        })?;
+        // Sum the order's lines and credit the customer.
+        let mut total = 0.0;
+        for row in self.order_line.scan_eq(1, &Value::Int(o_key)) {
+            total += row?[4].as_f64()?;
+        }
+        self.customer.update_with(&Value::Int(ckey), |row| {
+            let mut vals = row.values().to_vec();
+            vals[4] = Value::Float(vals[4].as_f64().unwrap_or(0.0) + total);
+            *row = Row::new(vals);
+        })?;
+        Ok(())
+    }
+
+    /// Execute one StockLevel transaction: count items under a threshold
+    /// among the district's 20 most recent orders (read-only).
+    pub fn stock_level(&self, rng: &mut StdRng) -> Result<()> {
+        let w = rng.gen_range(1..=self.cfg.warehouses);
+        let d = rng.gen_range(1..=self.cfg.districts_per_warehouse);
+        let threshold = rng.gen_range(10..=20i64);
+        let dk = d_key(w, d);
+        let drow = self
+            .district
+            .get_by_pk(&Value::Int(dk))?
+            .ok_or_else(|| veridb_common::Error::KeyNotFound(format!("d{dk}")))?;
+        let next_o_id = drow[5].as_i64()?;
+        // Orders of this district with o_id in the last-20 window.
+        let mut low_items = std::collections::HashSet::new();
+        for row in self.orders.scan_eq(1, &Value::Int(dk)) {
+            let row = row?;
+            if row[5].as_i64()? < next_o_id - 20 {
+                continue;
+            }
+            let o_key = row[0].as_i64()?;
+            for line in self.order_line.scan_eq(1, &Value::Int(o_key)) {
+                let i_id = line?[2].as_i64()?;
+                if let Some(srow) = self.stock.get_by_pk(&Value::Int(s_key(w, i_id)))? {
+                    if srow[3].as_i64()? < threshold {
+                        low_items.insert(i_id);
+                    }
+                }
+            }
+        }
+        std::hint::black_box(low_items.len());
+        Ok(())
+    }
+
+    /// One transaction of the standard TPC-C mix: 45% NewOrder,
+    /// 43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel.
+    pub fn one_transaction(&self, rng: &mut StdRng) -> Result<()> {
+        match rng.gen_range(0..100u8) {
+            0..=44 => self.new_order(rng),
+            45..=87 => self.payment(rng),
+            88..=91 => self.order_status(rng),
+            92..=95 => self.delivery(rng),
+            _ => self.stock_level(rng),
+        }
+    }
+
+    /// Run `clients` threads, each executing `txns_per_client`
+    /// transactions. Returns aggregate throughput.
+    pub fn run_clients(self: &Arc<Self>, clients: usize, txns_per_client: u64) -> TpccStats {
+        let committed = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(clients);
+        for t in 0..clients {
+            let driver = Arc::clone(self);
+            let committed = Arc::clone(&committed);
+            handles.push(std::thread::spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(driver.cfg.seed ^ ((t as u64 + 1) * 0x9E3779B9));
+                for _ in 0..txns_per_client {
+                    if driver.one_transaction(&mut rng).is_ok() {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        TpccStats {
+            committed: committed.load(Ordering::Relaxed),
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::VeriDbConfig;
+
+    fn db(partitions: usize) -> VeriDb {
+        let mut cfg = VeriDbConfig::default();
+        cfg.verify_every_ops = None;
+        cfg.rsws_partitions = partitions;
+        VeriDb::open(cfg).unwrap()
+    }
+
+    #[test]
+    fn load_and_single_transactions() {
+        let db = db(4);
+        let driver = TpccDriver::load(&db, TpccConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            driver.new_order(&mut rng).unwrap();
+            driver.payment(&mut rng).unwrap();
+        }
+        // Orders and lines accumulated.
+        assert_eq!(driver.orders.row_count(), 20);
+        assert!(driver.order_line.row_count() >= 20 * 5);
+        assert_eq!(driver.history.row_count(), 20);
+        db.verify_now().unwrap();
+    }
+
+    #[test]
+    fn district_order_ids_are_unique_under_concurrency() {
+        let db = db(8);
+        let driver = Arc::new(TpccDriver::load(&db, TpccConfig::tiny()).unwrap());
+        let stats = driver.run_clients(4, 25);
+        assert_eq!(stats.committed, 100);
+        // Every (w, d, o_id) must be unique.
+        let rows = db.sql("SELECT o_w_id, o_d_id, o_id FROM orders").unwrap().rows;
+        let mut seen = std::collections::HashSet::new();
+        for r in &rows {
+            let key = (
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            );
+            assert!(seen.insert(key), "duplicate order id {key:?}");
+        }
+        db.verify_now().unwrap();
+        assert!(db.poisoned().is_none());
+    }
+
+    #[test]
+    fn order_status_delivery_stock_level_run_and_verify() {
+        let db = db(4);
+        let driver = TpccDriver::load(&db, TpccConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            driver.new_order(&mut rng).unwrap();
+        }
+        let pending_before = driver.new_order.row_count();
+        assert_eq!(pending_before, 30);
+        for _ in 0..10 {
+            driver.order_status(&mut rng).unwrap();
+            driver.delivery(&mut rng).unwrap();
+            driver.stock_level(&mut rng).unwrap();
+        }
+        // Deliveries consumed pending orders (some districts may have been
+        // empty when drawn, so <=).
+        let pending_after = driver.new_order.row_count();
+        assert!(pending_after < pending_before);
+        // Delivered orders carry a carrier stamp.
+        let delivered = db
+            .sql("SELECT COUNT(*) FROM orders WHERE o_carrier > 0")
+            .unwrap()
+            .rows[0][0]
+            .as_i64()
+            .unwrap();
+        assert_eq!(delivered as u64, pending_before - pending_after);
+        db.verify_now().unwrap();
+    }
+
+    #[test]
+    fn full_mix_under_concurrency_verifies() {
+        let db = db(8);
+        let driver = Arc::new(TpccDriver::load(&db, TpccConfig::tiny()).unwrap());
+        let stats = driver.run_clients(3, 60);
+        assert_eq!(stats.committed, 180);
+        db.verify_now().unwrap();
+        assert!(db.poisoned().is_none());
+    }
+
+    #[test]
+    fn payments_preserve_money_invariant() {
+        let db = db(4);
+        let driver = TpccDriver::load(&db, TpccConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            driver.payment(&mut rng).unwrap();
+        }
+        // Sum of history amounts equals total warehouse ytd growth.
+        let hist: f64 = db
+            .sql("SELECT SUM(h_amount) FROM history")
+            .unwrap()
+            .rows[0][0]
+            .as_f64()
+            .unwrap();
+        let wh: f64 = db
+            .sql("SELECT SUM(w_ytd) FROM warehouse")
+            .unwrap()
+            .rows[0][0]
+            .as_f64()
+            .unwrap();
+        let base = 300_000.0 * driver.config().warehouses as f64;
+        assert!(
+            (wh - base - hist).abs() < 1e-6 * hist.max(1.0),
+            "warehouse ytd {wh} vs base {base} + payments {hist}"
+        );
+        db.verify_now().unwrap();
+    }
+}

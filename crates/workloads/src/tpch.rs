@@ -1,0 +1,631 @@
+//! From-scratch TPC-H generator for the paper's Figure 12 experiment.
+//!
+//! The paper evaluates queries #1, #6 and #19, which touch exactly two
+//! tables: `lineitem` and `part`. This module generates those tables with
+//! the TPC-H specification's column domains and (simplified) value
+//! distributions, at a configurable scale factor, and carries the three
+//! query texts adapted to this engine's SQL subset:
+//!
+//! - `lineitem` gets a synthetic single-column primary key (`l_id`) since
+//!   this engine's tables key on one column; the TPC-H composite key
+//!   `(l_orderkey, l_linenumber)` is not used by Q1/Q6/Q19.
+//! - Q19's three disjunctive branches each repeat the
+//!   `p_partkey = l_partkey` equi-join condition, which the planner hoists
+//!   (exactly the structure the paper exploits when comparing MergeJoin vs
+//!   NestedLoopJoin plans for this query).
+//!
+//! At SF = 1 TPC-H's `lineitem` holds ~6 M rows; the default here is
+//! laptop-scale and the benches state their SF in their output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridb::VeriDb;
+use veridb_common::{Result, Value};
+
+/// TPC-H date helpers (days since 1970-01-01).
+pub fn date(s: &str) -> i64 {
+    match Value::parse_date(s).expect("valid literal") {
+        Value::Date(d) => d as i64,
+        _ => unreachable!(),
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Rows in `lineitem` (TPC-H SF1 ≈ 6 000 000; pick laptop scale).
+    pub lineitem_rows: usize,
+    /// Rows in `part` (TPC-H SF1 = 200 000; keep the 30:1 ratio roughly).
+    pub part_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { lineitem_rows: 60_000, part_rows: 2_000, seed: 19940101 }
+    }
+}
+
+impl TpchConfig {
+    /// A very small configuration for tests.
+    pub fn tiny() -> Self {
+        TpchConfig { lineitem_rows: 2_000, part_rows: 100, seed: 7 }
+    }
+}
+
+/// In-memory generated rows, so tests can compute expected answers
+/// independently of the engine.
+#[derive(Debug, Clone)]
+pub struct LineItem {
+    /// Synthetic primary key.
+    pub id: i64,
+    /// Foreign key into `orders`.
+    pub orderkey: i64,
+    /// Foreign key into `part`.
+    pub partkey: i64,
+    /// Quantity, 1–50.
+    pub quantity: f64,
+    /// Extended price.
+    pub extendedprice: f64,
+    /// Discount, 0.00–0.10.
+    pub discount: f64,
+    /// Tax, 0.00–0.08.
+    pub tax: f64,
+    /// Return flag: `R`, `A`, or `N`.
+    pub returnflag: String,
+    /// Line status: `O` or `F`.
+    pub linestatus: String,
+    /// Ship date, days since epoch (1992-01-02 .. 1998-12-01).
+    pub shipdate: i64,
+    /// Ship instruction (4 values).
+    pub shipinstruct: String,
+    /// Ship mode (7 values).
+    pub shipmode: String,
+}
+
+/// A generated `part` row.
+#[derive(Debug, Clone)]
+pub struct Part {
+    /// Primary key.
+    pub partkey: i64,
+    /// `Brand#MN`, M,N ∈ 1..5.
+    pub brand: String,
+    /// Container (5 × 8 combinations).
+    pub container: String,
+    /// Size, 1–50.
+    pub size: i64,
+}
+
+/// A generated `orders` row (used by the extra Q3 experiment).
+#[derive(Debug, Clone)]
+pub struct Order {
+    /// Primary key.
+    pub orderkey: i64,
+    /// Foreign key into `customer`.
+    pub custkey: i64,
+    /// Order date, days since epoch.
+    pub orderdate: i64,
+    /// Ship priority (0 or 1).
+    pub shippriority: i64,
+}
+
+/// A generated `customer` row.
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// Primary key.
+    pub custkey: i64,
+    /// Market segment (5 values).
+    pub mktsegment: String,
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    /// `lineitem` rows.
+    pub lineitem: Vec<LineItem>,
+    /// `part` rows.
+    pub part: Vec<Part>,
+    /// `orders` rows (≈ lineitem/4).
+    pub orders: Vec<Order>,
+    /// `customer` rows (≈ orders/10).
+    pub customer: Vec<Customer>,
+}
+
+const SHIPINSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIPMODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+impl TpchData {
+    /// Generate the dataset.
+    pub fn generate(cfg: &TpchConfig) -> TpchData {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let start = date("1992-01-02");
+        let end = date("1998-12-01");
+        let current = date("1995-06-17"); // TPC-H currentdate anchor
+
+        let part: Vec<Part> = (1..=cfg.part_rows as i64)
+            .map(|partkey| Part {
+                partkey,
+                brand: format!(
+                    "Brand#{}{}",
+                    rng.gen_range(1..=5u8),
+                    rng.gen_range(1..=5u8)
+                ),
+                container: format!(
+                    "{} {}",
+                    CONTAINER_1[rng.gen_range(0..CONTAINER_1.len())],
+                    CONTAINER_2[rng.gen_range(0..CONTAINER_2.len())]
+                ),
+                size: rng.gen_range(1..=50),
+            })
+            .collect();
+
+        let n_orders = (cfg.lineitem_rows / 4).max(1) as i64;
+        let n_customers = (n_orders / 10).max(1);
+        let customer: Vec<Customer> = (1..=n_customers)
+            .map(|custkey| Customer {
+                custkey,
+                mktsegment: SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string(),
+            })
+            .collect();
+        let orders: Vec<Order> = (1..=n_orders)
+            .map(|orderkey| Order {
+                orderkey,
+                custkey: rng.gen_range(1..=n_customers),
+                orderdate: rng.gen_range(start..=end - 151),
+                shippriority: 0,
+            })
+            .collect();
+
+        let lineitem: Vec<LineItem> = (1..=cfg.lineitem_rows as i64)
+            .map(|id| {
+                let quantity = rng.gen_range(1..=50) as f64;
+                let orderkey = rng.gen_range(1..=n_orders);
+                let partkey = rng.gen_range(1..=cfg.part_rows as i64);
+                // retailprice-style formula, scaled by quantity.
+                let price_per_unit = 900.0 + (partkey % 1000) as f64 / 10.0;
+                let extendedprice = (quantity * price_per_unit * 100.0).round() / 100.0;
+                let shipdate = rng.gen_range(start..=end);
+                // Flags follow the spec's rule: shipped before the
+                // current date → returnflag R/A, linestatus F; else N/O.
+                let (returnflag, linestatus) = if shipdate <= current {
+                    (
+                        if rng.gen_bool(0.5) { "R" } else { "A" }.to_string(),
+                        "F".to_string(),
+                    )
+                } else {
+                    ("N".to_string(), "O".to_string())
+                };
+                LineItem {
+                    id,
+                    orderkey,
+                    partkey,
+                    quantity,
+                    extendedprice,
+                    discount: rng.gen_range(0..=10) as f64 / 100.0,
+                    tax: rng.gen_range(0..=8) as f64 / 100.0,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    shipinstruct: SHIPINSTRUCT[rng.gen_range(0..SHIPINSTRUCT.len())]
+                        .to_string(),
+                    shipmode: SHIPMODE[rng.gen_range(0..SHIPMODE.len())].to_string(),
+                }
+            })
+            .collect();
+
+        TpchData { lineitem, part, orders, customer }
+    }
+
+    /// DDL for the four tables. `l_shipdate` carries a chain so Q1/Q6's
+    /// date range predicates become verified range scans when selective;
+    /// `o_orderdate` likewise for Q3.
+    pub fn ddl() -> [&'static str; 4] {
+        [
+            "CREATE TABLE lineitem (
+                l_id INT PRIMARY KEY,
+                l_orderkey INT,
+                l_partkey INT,
+                l_quantity FLOAT,
+                l_extendedprice FLOAT,
+                l_discount FLOAT,
+                l_tax FLOAT,
+                l_returnflag TEXT,
+                l_linestatus TEXT,
+                l_shipdate DATE CHAINED,
+                l_shipinstruct TEXT,
+                l_shipmode TEXT
+            )",
+            "CREATE TABLE part (
+                p_partkey INT PRIMARY KEY,
+                p_brand TEXT,
+                p_container TEXT,
+                p_size INT
+            )",
+            "CREATE TABLE orders (
+                o_orderkey INT PRIMARY KEY,
+                o_custkey INT,
+                o_orderdate DATE CHAINED,
+                o_shippriority INT
+            )",
+            "CREATE TABLE customer (
+                c_custkey INT PRIMARY KEY,
+                c_mktsegment TEXT
+            )",
+        ]
+    }
+
+    /// Load the dataset into a database through the programmatic table
+    /// API (bulk path; the SQL INSERT path works too but parses per row).
+    pub fn load(&self, db: &VeriDb) -> Result<()> {
+        for ddl in Self::ddl() {
+            db.sql(ddl)?;
+        }
+        let li = db.table("lineitem")?;
+        for l in &self.lineitem {
+            li.insert(veridb_common::Row::new(vec![
+                Value::Int(l.id),
+                Value::Int(l.orderkey),
+                Value::Int(l.partkey),
+                Value::Float(l.quantity),
+                Value::Float(l.extendedprice),
+                Value::Float(l.discount),
+                Value::Float(l.tax),
+                Value::Str(l.returnflag.clone()),
+                Value::Str(l.linestatus.clone()),
+                Value::Date(l.shipdate as i32),
+                Value::Str(l.shipinstruct.clone()),
+                Value::Str(l.shipmode.clone()),
+            ]))?;
+        }
+        let p = db.table("part")?;
+        for r in &self.part {
+            p.insert(veridb_common::Row::new(vec![
+                Value::Int(r.partkey),
+                Value::Str(r.brand.clone()),
+                Value::Str(r.container.clone()),
+                Value::Int(r.size),
+            ]))?;
+        }
+        let o = db.table("orders")?;
+        for r in &self.orders {
+            o.insert(veridb_common::Row::new(vec![
+                Value::Int(r.orderkey),
+                Value::Int(r.custkey),
+                Value::Date(r.orderdate as i32),
+                Value::Int(r.shippriority),
+            ]))?;
+        }
+        let c = db.table("customer")?;
+        for r in &self.customer {
+            c.insert(veridb_common::Row::new(vec![
+                Value::Int(r.custkey),
+                Value::Str(r.mktsegment.clone()),
+            ]))?;
+        }
+        Ok(())
+    }
+}
+
+/// TPC-H Query 1 (pricing summary report), adapted to the engine's SQL.
+pub fn q1() -> &'static str {
+    "SELECT l_returnflag, l_linestatus, \
+       SUM(l_quantity) AS sum_qty, \
+       SUM(l_extendedprice) AS sum_base_price, \
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+       AVG(l_quantity) AS avg_qty, \
+       AVG(l_extendedprice) AS avg_price, \
+       AVG(l_discount) AS avg_disc, \
+       COUNT(*) AS count_order \
+     FROM lineitem \
+     WHERE l_shipdate <= DATE '1998-09-02' \
+     GROUP BY l_returnflag, l_linestatus \
+     ORDER BY l_returnflag, l_linestatus"
+}
+
+/// TPC-H Query 6 (forecasting revenue change).
+pub fn q6() -> &'static str {
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+     FROM lineitem \
+     WHERE l_shipdate >= DATE '1994-01-01' \
+       AND l_shipdate < DATE '1995-01-01' \
+       AND l_discount BETWEEN 0.05 AND 0.07 \
+       AND l_quantity < 24"
+}
+
+/// TPC-H Query 19 (discounted revenue): a disjunction of three
+/// brand/container/quantity branches, each repeating the join condition.
+pub fn q19() -> &'static str {
+    "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM lineitem, part \
+     WHERE \
+       (p_partkey = l_partkey \
+        AND p_brand = 'Brand#12' \
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+        AND l_quantity >= 1 AND l_quantity <= 11 \
+        AND p_size BETWEEN 1 AND 5 \
+        AND l_shipmode IN ('AIR', 'REG AIR') \
+        AND l_shipinstruct = 'DELIVER IN PERSON') \
+       OR \
+       (p_partkey = l_partkey \
+        AND p_brand = 'Brand#23' \
+        AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+        AND l_quantity >= 10 AND l_quantity <= 20 \
+        AND p_size BETWEEN 1 AND 10 \
+        AND l_shipmode IN ('AIR', 'REG AIR') \
+        AND l_shipinstruct = 'DELIVER IN PERSON') \
+       OR \
+       (p_partkey = l_partkey \
+        AND p_brand = 'Brand#34' \
+        AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+        AND l_quantity >= 20 AND l_quantity <= 30 \
+        AND p_size BETWEEN 1 AND 15 \
+        AND l_shipmode IN ('AIR', 'REG AIR') \
+        AND l_shipinstruct = 'DELIVER IN PERSON')"
+}
+
+/// TPC-H Query 3 (shipping priority) — beyond the paper's evaluated set;
+/// included to exercise a 3-way join with grouping, ordering and LIMIT.
+pub fn q3() -> &'static str {
+    "SELECT l_orderkey, \
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+       o_orderdate, o_shippriority \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' \
+       AND c_custkey = o_custkey \
+       AND l_orderkey = o_orderkey \
+       AND o_orderdate < DATE '1995-03-15' \
+       AND l_shipdate > DATE '1995-03-15' \
+     GROUP BY l_orderkey, o_orderdate, o_shippriority \
+     ORDER BY revenue DESC, o_orderdate \
+     LIMIT 10"
+}
+
+/// Reference implementation of Q3: the top-10 `(orderkey, revenue)` rows.
+pub fn q3_expected(data: &TpchData) -> Vec<(i64, f64)> {
+    use std::collections::HashMap;
+    let cutoff = date("1995-03-15");
+    let building: std::collections::HashSet<i64> = data
+        .customer
+        .iter()
+        .filter(|c| c.mktsegment == "BUILDING")
+        .map(|c| c.custkey)
+        .collect();
+    let orders: HashMap<i64, &Order> = data
+        .orders
+        .iter()
+        .filter(|o| o.orderdate < cutoff && building.contains(&o.custkey))
+        .map(|o| (o.orderkey, o))
+        .collect();
+    let mut rev: HashMap<i64, f64> = HashMap::new();
+    for l in &data.lineitem {
+        if l.shipdate > cutoff && orders.contains_key(&l.orderkey) {
+            *rev.entry(l.orderkey).or_default() +=
+                l.extendedprice * (1.0 - l.discount);
+        }
+    }
+    let mut out: Vec<(i64, f64)> = rev.into_iter().collect();
+    out.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then(orders[&a.0].orderdate.cmp(&orders[&b.0].orderdate))
+            .then(a.0.cmp(&b.0))
+    });
+    out.truncate(10);
+    out
+}
+
+/// Reference (engine-independent) implementation of Q6 over the generated
+/// rows, used to validate the engine's answer in tests and benches.
+pub fn q6_expected(data: &TpchData) -> f64 {
+    let lo = date("1994-01-01");
+    let hi = date("1995-01-01");
+    data.lineitem
+        .iter()
+        .filter(|l| {
+            l.shipdate >= lo
+                && l.shipdate < hi
+                && l.discount >= 0.05 - 1e-9
+                && l.discount <= 0.07 + 1e-9
+                && l.quantity < 24.0
+        })
+        .map(|l| l.extendedprice * l.discount)
+        .sum()
+}
+
+/// Reference implementation of Q19.
+pub fn q19_expected(data: &TpchData) -> f64 {
+    use std::collections::HashMap;
+    let parts: HashMap<i64, &Part> =
+        data.part.iter().map(|p| (p.partkey, p)).collect();
+    let branch = |l: &LineItem,
+                  p: &Part,
+                  brand: &str,
+                  containers: &[&str],
+                  qlo: f64,
+                  qhi: f64,
+                  smax: i64| {
+        p.brand == brand
+            && containers.contains(&p.container.as_str())
+            && l.quantity >= qlo
+            && l.quantity <= qhi
+            && p.size >= 1
+            && p.size <= smax
+            && (l.shipmode == "AIR" || l.shipmode == "REG AIR")
+            && l.shipinstruct == "DELIVER IN PERSON"
+    };
+    data.lineitem
+        .iter()
+        .filter_map(|l| {
+            let p = parts.get(&l.partkey)?;
+            let hit = branch(l, p, "Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
+                || branch(l, p, "Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10)
+                || branch(l, p, "Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15);
+            hit.then_some(l.extendedprice * (1.0 - l.discount))
+        })
+        .sum()
+}
+
+/// Q1 reference aggregates per `(returnflag, linestatus)` group:
+/// `(sum_qty, sum_base, sum_disc, sum_charge, count)`.
+pub type Q1Groups = std::collections::BTreeMap<(String, String), (f64, f64, f64, f64, i64)>;
+
+/// Reference implementation of Q1.
+pub fn q1_expected(data: &TpchData) -> Q1Groups {
+    let cutoff = date("1998-09-02");
+    let mut out = Q1Groups::new();
+    for l in &data.lineitem {
+        if l.shipdate > cutoff {
+            continue;
+        }
+        let e = out
+            .entry((l.returnflag.clone(), l.linestatus.clone()))
+            .or_insert((0.0, 0.0, 0.0, 0.0, 0));
+        e.0 += l.quantity;
+        e.1 += l.extendedprice;
+        e.2 += l.extendedprice * (1.0 - l.discount);
+        e.3 += l.extendedprice * (1.0 - l.discount) * (1.0 + l.tax);
+        e.4 += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::VeriDbConfig;
+
+    fn db() -> VeriDb {
+        let mut cfg = VeriDbConfig::default();
+        cfg.verify_every_ops = None;
+        VeriDb::open(cfg).unwrap()
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_in_domain() {
+        let cfg = TpchConfig::tiny();
+        let a = TpchData::generate(&cfg);
+        let b = TpchData::generate(&cfg);
+        assert_eq!(a.lineitem.len(), b.lineitem.len());
+        assert_eq!(a.lineitem[17].extendedprice, b.lineitem[17].extendedprice);
+        for l in &a.lineitem {
+            assert!((1.0..=50.0).contains(&l.quantity));
+            assert!((0.0..=0.10).contains(&l.discount));
+            assert!((0.0..=0.08).contains(&l.tax));
+            assert!(matches!(l.returnflag.as_str(), "R" | "A" | "N"));
+            assert!(matches!(l.linestatus.as_str(), "O" | "F"));
+            assert!(l.partkey >= 1 && l.partkey <= cfg.part_rows as i64);
+        }
+        for p in &a.part {
+            assert!(p.brand.starts_with("Brand#"));
+            assert!((1..=50).contains(&p.size));
+        }
+    }
+
+    #[test]
+    fn returnflag_follows_shipdate_rule() {
+        let data = TpchData::generate(&TpchConfig::tiny());
+        let current = date("1995-06-17");
+        for l in &data.lineitem {
+            if l.shipdate <= current {
+                assert_eq!(l.linestatus, "F");
+            } else {
+                assert_eq!(l.returnflag, "N");
+                assert_eq!(l.linestatus, "O");
+            }
+        }
+    }
+
+    #[test]
+    fn q6_engine_matches_reference() {
+        let data = TpchData::generate(&TpchConfig::tiny());
+        let db = db();
+        data.load(&db).unwrap();
+        let r = db.sql(q6()).unwrap();
+        let got = match &r.rows[0][0] {
+            Value::Float(f) => *f,
+            Value::Null => 0.0,
+            v => panic!("unexpected {v}"),
+        };
+        let want = q6_expected(&data);
+        assert!(
+            (got - want).abs() < 1e-6 * want.abs().max(1.0),
+            "engine {got} vs reference {want}"
+        );
+        db.verify_now().unwrap();
+    }
+
+    #[test]
+    fn q1_engine_matches_reference() {
+        let data = TpchData::generate(&TpchConfig::tiny());
+        let db = db();
+        data.load(&db).unwrap();
+        let r = db.sql(q1()).unwrap();
+        let want = q1_expected(&data);
+        assert_eq!(r.rows.len(), want.len());
+        for row in &r.rows {
+            let key = (
+                row[0].as_str().unwrap().to_string(),
+                row[1].as_str().unwrap().to_string(),
+            );
+            let exp = &want[&key];
+            let sum_qty = row[2].as_f64().unwrap();
+            let count = row[9].as_i64().unwrap();
+            assert!((sum_qty - exp.0).abs() < 1e-6);
+            assert_eq!(count, exp.4);
+            let sum_charge = row[5].as_f64().unwrap();
+            assert!((sum_charge - exp.3).abs() < 1e-6 * exp.3.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn q3_engine_matches_reference() {
+        let data = TpchData::generate(&TpchConfig::tiny());
+        let db = db();
+        data.load(&db).unwrap();
+        let r = db.sql(q3()).unwrap();
+        let want = q3_expected(&data);
+        assert_eq!(r.rows.len(), want.len().min(10));
+        for (row, (okey, rev)) in r.rows.iter().zip(&want) {
+            assert_eq!(row[0].as_i64().unwrap(), *okey);
+            let got = row[1].as_f64().unwrap();
+            assert!(
+                (got - rev).abs() < 1e-6 * rev.abs().max(1.0),
+                "order {okey}: engine {got} vs reference {rev}"
+            );
+        }
+        db.verify_now().unwrap();
+    }
+
+    #[test]
+    fn q19_engine_matches_reference_under_both_join_plans() {
+        let data = TpchData::generate(&TpchConfig::tiny());
+        let db = db();
+        data.load(&db).unwrap();
+        let want = q19_expected(&data);
+        for prefer in [
+            veridb::PreferredJoin::Merge,
+            veridb::PreferredJoin::NestedLoop,
+            veridb::PreferredJoin::Auto,
+        ] {
+            let r = db
+                .sql_with(q19(), &veridb::PlanOptions { prefer_join: prefer })
+                .unwrap();
+            let got = match &r.rows[0][0] {
+                Value::Float(f) => *f,
+                Value::Null => 0.0,
+                v => panic!("unexpected {v}"),
+            };
+            assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                "{prefer:?}: engine {got} vs reference {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! XOR-aggregated set digests.
+//!
+//! A [`SetDigest`] is the accumulator for `h(RS)` / `h(WS)`: the XOR-sum of
+//! PRF images of set elements. XOR gives the two properties the protocol
+//! needs: commutativity (elements arrive in any order under concurrency)
+//! and self-inverse (folding the same element twice removes it, which is
+//! how a read "consumes" the matching write).
+//!
+//! The paper stores 64-byte digest arrays; we use 32 bytes (the natural
+//! HMAC-SHA-256 output), which already gives far more collision resistance
+//! than the protocol needs. The deviation is recorded in DESIGN.md.
+
+/// Byte length of a set digest.
+pub const DIGEST_LEN: usize = 32;
+
+/// An XOR-aggregated digest of a set of PRF images.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SetDigest(pub [u8; DIGEST_LEN]);
+
+impl SetDigest {
+    /// The identity element (empty set).
+    pub const ZERO: SetDigest = SetDigest([0u8; DIGEST_LEN]);
+
+    /// Fold another digest in (add or remove an element — XOR is its own
+    /// inverse).
+    pub fn fold(&mut self, other: &SetDigest) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// `self XOR other` without mutation.
+    pub fn folded(mut self, other: &SetDigest) -> SetDigest {
+        self.fold(other);
+        self
+    }
+
+    /// True for the empty-set digest.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Hex rendering for logs and evidence dumps.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for SetDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SetDigest({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(b: u8) -> SetDigest {
+        SetDigest([b; DIGEST_LEN])
+    }
+
+    #[test]
+    fn xor_algebra() {
+        let mut acc = SetDigest::ZERO;
+        acc.fold(&d(0xAA));
+        acc.fold(&d(0x55));
+        assert_eq!(acc, d(0xFF));
+        acc.fold(&d(0x55)); // removing restores
+        assert_eq!(acc, d(0xAA));
+        acc.fold(&d(0xAA));
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn fold_is_commutative() {
+        let mut a = SetDigest::ZERO;
+        a.fold(&d(1));
+        a.fold(&d(2));
+        a.fold(&d(3));
+        let mut b = SetDigest::ZERO;
+        b.fold(&d(3));
+        b.fold(&d(1));
+        b.fold(&d(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(SetDigest::ZERO.to_hex(), "0".repeat(64));
+        assert!(d(0xAB).to_hex().starts_with("abab"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_digest() -> impl Strategy<Value = SetDigest> {
+        any::<[u8; DIGEST_LEN]>().prop_map(SetDigest)
+    }
+
+    proptest! {
+        #[test]
+        fn fold_self_inverse(a in arb_digest(), b in arb_digest()) {
+            let mut acc = a;
+            acc.fold(&b);
+            acc.fold(&b);
+            prop_assert_eq!(acc, a);
+        }
+
+        #[test]
+        fn fold_associative(a in arb_digest(), b in arb_digest(), c in arb_digest()) {
+            let left = a.folded(&b).folded(&c);
+            let right = a.folded(&b.folded(&c));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn any_permutation_same_digest(
+            elems in prop::collection::vec(arb_digest(), 0..16),
+            seed in any::<u64>(),
+        ) {
+            let mut forward = SetDigest::ZERO;
+            for e in &elems {
+                forward.fold(e);
+            }
+            // a deterministic shuffle driven by the seed
+            let mut shuffled = elems.clone();
+            let mut s = seed;
+            for i in (1..shuffled.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (s >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+            let mut backward = SetDigest::ZERO;
+            for e in &shuffled {
+                backward.fold(e);
+            }
+            prop_assert_eq!(forward, backward);
+        }
+    }
+}

@@ -1,0 +1,1256 @@
+//! The write-read consistent memory itself.
+//!
+//! [`VerifiedMemory`] is the meeting point of the two worlds:
+//!
+//! - **Untrusted state**: the [`RawPage`]s (and a free-space hint map).
+//!   The host may mutate these arbitrarily — see [`crate::tamper`].
+//! - **Enclave state**: per-partition [`PartitionState`] (digest pairs and
+//!   per-page metadata), the PRF key, and the timestamp counter. These are
+//!   only reachable through the protected operations below, which stand in
+//!   for the SGX ECall surface of the paper's Algorithm 1/3.
+//!
+//! Every protected operation folds its reads into `h(RS)` and its writes
+//! into `h(WS)`; the deferred verifier ([`crate::verifier`]) closes epochs
+//! by scanning pages and checking `h(RS) = h(WS)` per partition.
+//!
+//! Locking protocol: **page mutex → partition mutex**, everywhere,
+//! including the scan path; partition mutexes, when two are needed
+//! (cross-partition moves), are taken in index order.
+
+use crate::digest::SetDigest;
+use crate::page::{RawPage, SlotId};
+use crate::prf::{PrfEngine, KIND_DATA, KIND_META};
+use crate::rsws::{PageMeta, PartitionState};
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use veridb_common::{Error, Result, VeriDbConfig};
+use veridb_enclave::Enclave;
+
+/// Address of one cell in verified memory: `(page, slot)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellAddr {
+    /// Page id.
+    pub page: u64,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+impl CellAddr {
+    /// The flat protocol address fed to the PRF. Page ids stay below
+    /// 2^48 so this never collides.
+    pub fn proto(&self) -> u64 {
+        (self.page << 16) | self.slot as u64
+    }
+}
+
+impl std::fmt::Display for CellAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// The subset of [`VeriDbConfig`] the memory layer consumes.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Number of RSWS partitions.
+    pub partitions: usize,
+    /// Maintain RS/WS digests at all (off = the evaluation's Baseline).
+    pub verify_rsws: bool,
+    /// Fold slot-directory maintenance into (separate) metadata digests.
+    pub verify_metadata: bool,
+    /// Background scan cadence (one page per N ops); `None` = manual only.
+    pub verify_every_ops: Option<u64>,
+    /// Skip re-reading untouched pages during scans (use cached digests).
+    pub track_touched_pages: bool,
+    /// Compact pages during the verification scan instead of eagerly on
+    /// every delete.
+    pub compact_during_verification: bool,
+    /// PRF backend.
+    pub prf: veridb_common::PrfBackend,
+}
+
+impl MemConfig {
+    /// Extract the memory-layer knobs from a full VeriDB config.
+    pub fn from_config(cfg: &VeriDbConfig) -> Self {
+        MemConfig {
+            page_size: cfg.page_size,
+            partitions: cfg.rsws_partitions,
+            verify_rsws: cfg.verify_rsws,
+            verify_metadata: cfg.verify_metadata,
+            verify_every_ops: cfg.verify_every_ops,
+            track_touched_pages: cfg.track_touched_pages,
+            compact_during_verification: cfg.compact_during_verification,
+            prf: cfg.prf,
+        }
+    }
+}
+
+/// Summary of a full verification pass ([`VerifiedMemory::verify_now`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Pages processed (full reads + cached-digest carries).
+    pub pages_processed: u64,
+    /// Pages whose cells were actually re-read (touched since last scan).
+    pub pages_read: u64,
+    /// Epoch number of each partition after the pass.
+    pub epochs: Vec<u64>,
+}
+
+/// Write-read consistent memory: untrusted pages + enclave digest state.
+pub struct VerifiedMemory {
+    enclave: Enclave,
+    cfg: MemConfig,
+    prf: PrfEngine,
+    /// Enclave-resident partition states (digests + page metadata).
+    parts: Vec<Mutex<PartitionState>>,
+    /// Untrusted memory: the pages themselves.
+    pages: RwLock<HashMap<u64, Arc<Mutex<RawPage>>>>,
+    next_page_id: AtomicU64,
+    /// Operation counter driving the background-verifier cadence.
+    ops: AtomicU64,
+    /// Tick channel to the background verifier, if one is attached.
+    ticker: RwLock<Option<Sender<()>>>,
+    /// Round-robin scan cursor (partition index) for the incremental
+    /// background scanner.
+    scan_cursor: Mutex<usize>,
+    /// Per-partition pass locks: a partition's scan pass (page processing
+    /// up to and including the epoch close) is exclusive, so concurrent
+    /// verifiers (§3.3's "multiple verifiers … for disjoint sections")
+    /// never double-close an epoch.
+    scan_locks: Vec<Mutex<()>>,
+    /// First verification failure observed, if any. Results must not be
+    /// endorsed once this is set.
+    poisoned: Mutex<Option<Error>>,
+}
+
+impl VerifiedMemory {
+    /// Create a verified memory bound to `enclave`.
+    pub fn new(enclave: Enclave, cfg: MemConfig) -> Arc<Self> {
+        let prf = PrfEngine::new(cfg.prf, enclave.derive_key("rsws-prf"));
+        let nparts = cfg.partitions.max(1);
+        let parts = (0..nparts).map(|_| Mutex::new(PartitionState::new())).collect();
+        let scan_locks = (0..nparts).map(|_| Mutex::new(())).collect();
+        Arc::new(VerifiedMemory {
+            enclave,
+            cfg,
+            prf,
+            parts,
+            pages: RwLock::new(HashMap::new()),
+            next_page_id: AtomicU64::new(1),
+            ops: AtomicU64::new(0),
+            ticker: RwLock::new(None),
+            scan_cursor: Mutex::new(0),
+            scan_locks,
+            poisoned: Mutex::new(None),
+        })
+    }
+
+    /// Create from a full VeriDB configuration.
+    pub fn from_config(enclave: Enclave, cfg: &VeriDbConfig) -> Arc<Self> {
+        Self::new(enclave, MemConfig::from_config(cfg))
+    }
+
+    /// The enclave backing this memory.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// The memory-layer configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Number of RSWS partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of registered pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Ids of all registered pages (snapshot).
+    pub fn page_ids(&self) -> Vec<u64> {
+        self.pages.read().keys().copied().collect()
+    }
+
+    /// The first verification failure observed, if any.
+    pub fn poisoned(&self) -> Option<Error> {
+        self.poisoned.lock().clone()
+    }
+
+    /// Attach the tick channel of a background verifier.
+    pub fn set_ticker(&self, tx: Sender<()>) {
+        *self.ticker.write() = Some(tx);
+    }
+
+    fn part_index(&self, page: u64) -> usize {
+        (page % self.parts.len() as u64) as usize
+    }
+
+    fn get_page(&self, page: u64) -> Result<Arc<Mutex<RawPage>>> {
+        self.pages
+            .read()
+            .get(&page)
+            .cloned()
+            .ok_or(Error::PageNotFound(page))
+    }
+
+    /// Count one operation toward the verifier cadence; emit a tick when
+    /// the threshold is crossed.
+    fn op_tick(&self) {
+        let Some(every) = self.cfg.verify_every_ops else { return };
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(every) {
+            if let Some(tx) = self.ticker.read().as_ref() {
+                let _ = tx.try_send(());
+            }
+        }
+    }
+
+    // ---- page lifecycle ---------------------------------------------------
+
+    /// Register a fresh, empty page (the storage layer's `Register`
+    /// interface, §4.2). Returns its id.
+    pub fn allocate_page(&self) -> u64 {
+        let id = self.next_page_id.fetch_add(1, Ordering::Relaxed);
+        let page = RawPage::new(id, self.cfg.page_size);
+        self.pages.write().insert(id, Arc::new(Mutex::new(page)));
+        if self.cfg.verify_rsws {
+            let pi = self.part_index(id);
+            let mut part = self.parts[pi].lock();
+            // ~64 bytes of enclave-resident metadata per page (scan epoch,
+            // touched bit, cached digests) — the §4.3 in-enclave tracking
+            // structure, accounted against the EPC budget.
+            let epc = self.enclave.epc().allocate(64).ok();
+            let epoch = part.epoch;
+            part.pages.insert(id, PageMeta::new(epoch, epc));
+        }
+        id
+    }
+
+    /// Free-space hint for allocation decisions (untrusted metadata; an
+    /// adversarial answer can only cause routine `PageFull` errors, never
+    /// an integrity violation).
+    pub fn page_free_space(&self, page: u64) -> Result<usize> {
+        let p = self.get_page(page)?;
+        let g = p.lock();
+        Ok(g.contiguous_free().saturating_sub(crate::page::SLOT_ENTRY_BYTES
+            + crate::page::CELL_HEADER_BYTES))
+    }
+
+    // ---- protected operations (Algorithm 1 / Algorithm 3 primitives) ------
+
+    /// Protected read: returns the cell's data, folding the read into
+    /// `h(RS)` and the virtual write-back (fresh timestamp) into `h(WS)`.
+    pub fn read(&self, addr: CellAddr) -> Result<Vec<u8>> {
+        let page_arc = self.get_page(addr.page)?;
+        let mut page = page_arc.lock();
+
+        if !self.cfg.verify_rsws {
+            let (data, _) = page.read(addr.slot)?;
+            let out = data.to_vec();
+            drop(page);
+            self.op_tick();
+            return Ok(out);
+        }
+
+        let (data, ts_old) = {
+            let (d, t) = page.read(addr.slot)?;
+            (d.to_vec(), t)
+        };
+        let ts_new = self.enclave.next_timestamp();
+        let entry = page.slot_entry_bytes(addr.slot);
+        let mts_old = page.meta_ts(addr.slot);
+
+        {
+            let mut part = self.parts[self.part_index(addr.page)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&addr.page)
+                    .ok_or(Error::PageNotFound(addr.page))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                // Algorithm 3's Get reads the record pointer first.
+                let mts_new = self.enclave.next_timestamp();
+                let maddr = addr.proto();
+                let mp = part.meta_pair_for(se);
+                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &entry, mts_old));
+                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry, mts_new));
+                page.set_meta_ts(addr.slot, mts_new);
+                self.enclave.cost().charge_prf(2);
+            }
+            let pair = part.pair_for(se);
+            pair.rs.fold(&self.prf.tag(addr.proto(), KIND_DATA, &data, ts_old));
+            pair.ws.fold(&self.prf.tag(addr.proto(), KIND_DATA, &data, ts_new));
+        }
+        page.set_ts(addr.slot, ts_new)?;
+        self.enclave.cost().charge_prf(2);
+        self.enclave.cost().charge_verified_read();
+        drop(page);
+        self.op_tick();
+        Ok(data)
+    }
+
+    /// Protected overwrite of an existing cell.
+    pub fn write(&self, addr: CellAddr, data: &[u8]) -> Result<()> {
+        let page_arc = self.get_page(addr.page)?;
+        let mut page = page_arc.lock();
+        let ts_new = self.enclave.next_timestamp();
+
+        if !self.cfg.verify_rsws {
+            page.write(addr.slot, data, ts_new)?;
+            drop(page);
+            self.op_tick();
+            return Ok(());
+        }
+
+        let (old, ts_old) = {
+            let (d, t) = page.read(addr.slot)?;
+            (d.to_vec(), t)
+        };
+        let entry_old = page.slot_entry_bytes(addr.slot);
+        let mts_old = page.meta_ts(addr.slot);
+        // Mutate first: a PageFull on a growing write must leave the
+        // digests untouched.
+        page.write(addr.slot, data, ts_new)?;
+        let entry_new = page.slot_entry_bytes(addr.slot);
+
+        {
+            let mut part = self.parts[self.part_index(addr.page)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&addr.page)
+                    .ok_or(Error::PageNotFound(addr.page))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                let mts_new = self.enclave.next_timestamp();
+                let maddr = addr.proto();
+                let mp = part.meta_pair_for(se);
+                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &entry_old, mts_old));
+                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
+                page.set_meta_ts(addr.slot, mts_new);
+                self.enclave.cost().charge_prf(2);
+            }
+            let pair = part.pair_for(se);
+            pair.rs.fold(&self.prf.tag(addr.proto(), KIND_DATA, &old, ts_old));
+            pair.ws.fold(&self.prf.tag(addr.proto(), KIND_DATA, data, ts_new));
+        }
+        self.enclave.cost().charge_prf(2);
+        self.enclave.cost().charge_verified_write();
+        drop(page);
+        self.op_tick();
+        Ok(())
+    }
+
+    /// Protected insert into a specific page. Fails with `PageFull` when
+    /// the page cannot hold the cell (the caller allocates another page).
+    pub fn insert_in(&self, page_id: u64, data: &[u8]) -> Result<CellAddr> {
+        let page_arc = self.get_page(page_id)?;
+        let mut page = page_arc.lock();
+        let ts = self.enclave.next_timestamp();
+
+        // If contiguous space is short but holes would cover it, compact
+        // on demand (lazy mode defers this to the scan, but an insert that
+        // would otherwise spill to a fresh page still prefers reclaiming).
+        let needed = data.len()
+            + crate::page::CELL_HEADER_BYTES
+            + crate::page::SLOT_ENTRY_BYTES;
+        if page.contiguous_free() < needed && page.free_after_compaction() >= needed {
+            self.compact_locked(&mut page, page_id)?;
+        }
+
+        let slot_count_before = page.slot_count();
+        let slot = page.insert(data, ts)?;
+        let addr = CellAddr { page: page_id, slot };
+
+        if !self.cfg.verify_rsws {
+            drop(page);
+            self.op_tick();
+            return Ok(addr);
+        }
+
+        let entry_new = page.slot_entry_bytes(slot);
+        let reused_slot = slot < slot_count_before;
+        let mts_old = page.meta_ts(slot);
+
+        {
+            let mut part = self.parts[self.part_index(page_id)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&page_id)
+                    .ok_or(Error::PageNotFound(page_id))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                let mts_new = self.enclave.next_timestamp();
+                let maddr = addr.proto();
+                let mp = part.meta_pair_for(se);
+                if reused_slot {
+                    // The tombstone entry (0,0) is consumed.
+                    mp.rs.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_old));
+                    self.enclave.cost().charge_prf(1);
+                }
+                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
+                page.set_meta_ts(slot, mts_new);
+                self.enclave.cost().charge_prf(1);
+            }
+            let pair = part.pair_for(se);
+            pair.ws.fold(&self.prf.tag(addr.proto(), KIND_DATA, data, ts));
+        }
+        self.enclave.cost().charge_prf(1);
+        self.enclave.cost().charge_verified_write();
+        drop(page);
+        self.op_tick();
+        Ok(addr)
+    }
+
+    /// Protected delete. In eager-compaction mode (the pre-§4.3 baseline
+    /// behaviour) the page is compacted immediately, paying a verified
+    /// read+write per relocated record; in lazy mode the hole waits for
+    /// the verification scan.
+    pub fn delete(&self, addr: CellAddr) -> Result<()> {
+        let page_arc = self.get_page(addr.page)?;
+        let mut page = page_arc.lock();
+
+        if !self.cfg.verify_rsws {
+            page.delete(addr.slot)?;
+            drop(page);
+            self.op_tick();
+            return Ok(());
+        }
+
+        let (old, ts_old) = {
+            let (d, t) = page.read(addr.slot)?;
+            (d.to_vec(), t)
+        };
+        let entry_old = page.slot_entry_bytes(addr.slot);
+        let mts_old = page.meta_ts(addr.slot);
+        page.delete(addr.slot)?;
+
+        {
+            let mut part = self.parts[self.part_index(addr.page)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&addr.page)
+                    .ok_or(Error::PageNotFound(addr.page))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                let mts_new = self.enclave.next_timestamp();
+                let maddr = addr.proto();
+                let mp = part.meta_pair_for(se);
+                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &entry_old, mts_old));
+                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_new));
+                page.set_meta_ts(addr.slot, mts_new);
+                self.enclave.cost().charge_prf(2);
+            }
+            let pair = part.pair_for(se);
+            pair.rs.fold(&self.prf.tag(addr.proto(), KIND_DATA, &old, ts_old));
+        }
+        self.enclave.cost().charge_prf(1);
+        self.enclave.cost().charge_verified_write();
+
+        if !self.cfg.compact_during_verification && page.needs_compaction() {
+            // Eager space reclamation: every surviving record is read and
+            // re-written (fresh timestamp) — the §4.3 cost this design
+            // later optimizes away.
+            self.compact_verified_locked(&mut page, addr.page)?;
+        }
+        drop(page);
+        self.op_tick();
+        Ok(())
+    }
+
+    /// Protected, atomic move of a cell to another page (the `Move`
+    /// interface of §4.2, used by space management and index
+    /// reorganization).
+    pub fn move_cell(&self, from: CellAddr, to_page: u64) -> Result<CellAddr> {
+        if from.page == to_page {
+            // Same-page "move" is a no-op at the protocol level.
+            return Ok(from);
+        }
+        // Lock pages in id order to avoid deadlocks.
+        let a = self.get_page(from.page)?;
+        let b = self.get_page(to_page)?;
+        let (mut src, mut dst) = if from.page < to_page {
+            let s = a.lock();
+            let d = b.lock();
+            (s, d)
+        } else {
+            let d = b.lock();
+            let s = a.lock();
+            (s, d)
+        };
+
+        let (data, ts_old) = {
+            let (d, t) = src.read(from.slot)?;
+            (d.to_vec(), t)
+        };
+        let ts_new = self.enclave.next_timestamp();
+        let dst_slot_count_before = dst.slot_count();
+        // Insert first so a full destination leaves the source untouched.
+        let slot = dst.insert(&data, ts_new)?;
+        let to = CellAddr { page: to_page, slot };
+        let src_entry_old = src.slot_entry_bytes(from.slot);
+        let src_mts_old = src.meta_ts(from.slot);
+        src.delete(from.slot)?;
+
+        if !self.cfg.verify_rsws {
+            self.op_tick();
+            return Ok(to);
+        }
+
+        // Source-side folds (consume the old cell).
+        {
+            let mut part = self.parts[self.part_index(from.page)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&from.page)
+                    .ok_or(Error::PageNotFound(from.page))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                let mts_new = self.enclave.next_timestamp();
+                let maddr = from.proto();
+                let mp = part.meta_pair_for(se);
+                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &src_entry_old, src_mts_old));
+                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_new));
+                src.set_meta_ts(from.slot, mts_new);
+                self.enclave.cost().charge_prf(2);
+            }
+            let pair = part.pair_for(se);
+            pair.rs.fold(&self.prf.tag(from.proto(), KIND_DATA, &data, ts_old));
+        }
+        // Destination-side folds (produce the new cell).
+        {
+            let mut part = self.parts[self.part_index(to_page)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&to_page)
+                    .ok_or(Error::PageNotFound(to_page))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                let reused = slot < dst_slot_count_before;
+                let mts_old = dst.meta_ts(slot);
+                let mts_new = self.enclave.next_timestamp();
+                let entry_new = dst.slot_entry_bytes(slot);
+                let maddr = to.proto();
+                let mp = part.meta_pair_for(se);
+                if reused {
+                    mp.rs.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_old));
+                    self.enclave.cost().charge_prf(1);
+                }
+                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
+                dst.set_meta_ts(slot, mts_new);
+                self.enclave.cost().charge_prf(1);
+            }
+            let pair = part.pair_for(se);
+            pair.ws.fold(&self.prf.tag(to.proto(), KIND_DATA, &data, ts_new));
+        }
+        self.enclave.cost().charge_prf(2);
+        self.enclave.cost().charge_verified_write();
+        self.op_tick();
+        Ok(to)
+    }
+
+    // ---- compaction helpers -----------------------------------------------
+
+    /// Compact a locked page, folding the metadata updates (offset changes)
+    /// if metadata verification is on. Record data and timestamps do not
+    /// change, so the record digests are untouched — this is the "free"
+    /// compaction of §4.3.
+    fn compact_locked(&self, page: &mut RawPage, page_id: u64) -> Result<()> {
+        if !self.cfg.verify_rsws || !self.cfg.verify_metadata {
+            page.compact();
+            return Ok(());
+        }
+        let live = page.live_slot_ids();
+        let old_entries: Vec<(SlotId, [u8; 4], u64)> = live
+            .iter()
+            .map(|&s| (s, page.slot_entry_bytes(s), page.meta_ts(s)))
+            .collect();
+        page.compact();
+        let mut part = self.parts[self.part_index(page_id)].lock();
+        let se = {
+            let meta = part
+                .pages
+                .get_mut(&page_id)
+                .ok_or(Error::PageNotFound(page_id))?;
+            meta.touched = true;
+            meta.scan_epoch
+        };
+        for (slot, old_entry, mts_old) in old_entries {
+            let entry_new = page.slot_entry_bytes(slot);
+            let mts_new = self.enclave.next_timestamp();
+            let maddr = CellAddr { page: page_id, slot }.proto();
+            let mp = part.meta_pair_for(se);
+            mp.rs.fold(&self.prf.tag(maddr, KIND_META, &old_entry, mts_old));
+            mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
+            page.set_meta_ts(slot, mts_new);
+            self.enclave.cost().charge_prf(2);
+        }
+        Ok(())
+    }
+
+    /// Eager-mode compaction: verified read + re-timestamped write of every
+    /// surviving record (the expensive behaviour §4.3 optimizes away).
+    fn compact_verified_locked(&self, page: &mut RawPage, page_id: u64) -> Result<()> {
+        let live = page.live_slot_ids();
+        let mut folds: Vec<(SlotId, Vec<u8>, u64, u64)> = Vec::with_capacity(live.len());
+        for slot in &live {
+            let (data, ts_old) = {
+                let (d, t) = page.read(*slot)?;
+                (d.to_vec(), t)
+            };
+            let ts_new = self.enclave.next_timestamp();
+            page.set_ts(*slot, ts_new)?;
+            folds.push((*slot, data, ts_old, ts_new));
+        }
+        self.compact_locked(page, page_id)?;
+        let mut part = self.parts[self.part_index(page_id)].lock();
+        let se = {
+            let meta = part
+                .pages
+                .get_mut(&page_id)
+                .ok_or(Error::PageNotFound(page_id))?;
+            meta.touched = true;
+            meta.scan_epoch
+        };
+        let pair = part.pair_for(se);
+        for (slot, data, ts_old, ts_new) in folds {
+            let addr = CellAddr { page: page_id, slot }.proto();
+            pair.rs.fold(&self.prf.tag(addr, KIND_DATA, &data, ts_old));
+            pair.ws.fold(&self.prf.tag(addr, KIND_DATA, &data, ts_new));
+            self.enclave.cost().charge_prf(2);
+        }
+        Ok(())
+    }
+
+    // ---- verification (Algorithm 2, non-quiescent) --------------------------
+
+    fn record_failure(&self, e: &Error) {
+        let mut p = self.poisoned.lock();
+        if p.is_none() {
+            *p = Some(e.clone());
+        }
+    }
+
+    /// Process one page of partition `pi` for the in-flight pass: fold its
+    /// contribution into `cur.rs` (closing the epoch's reads) and into
+    /// `next.ws` (opening the next epoch's writes). Untouched pages use the
+    /// cached digest (§4.3); touched pages are re-read, and compacted as a
+    /// side task (§4.3).
+    fn process_page(&self, pi: usize, page_id: u64) -> Result<()> {
+        let page_arc = self.get_page(page_id)?;
+        let mut page = page_arc.lock();
+
+        // Compaction side-task, before computing the contribution.
+        if self.cfg.compact_during_verification && page.needs_compaction() {
+            self.compact_locked(&mut page, page_id)?;
+        }
+
+        let mut part = self.parts[pi].lock();
+        let part_epoch = part.epoch;
+        let (touched, cached, cached_meta) = {
+            let meta = part
+                .pages
+                .get_mut(&page_id)
+                .ok_or(Error::PageNotFound(page_id))?;
+            if meta.scan_epoch != part_epoch {
+                return Ok(()); // already processed in this pass
+            }
+            (meta.touched, meta.cached, meta.cached_meta)
+        };
+
+        let (c_data, c_meta, was_read) = if touched || !self.cfg.track_touched_pages {
+            let mut c = SetDigest::ZERO;
+            let mut n = 0u64;
+            for (slot, data, ts) in page.iter_live() {
+                let addr = CellAddr { page: page_id, slot }.proto();
+                c.fold(&self.prf.tag(addr, KIND_DATA, data, ts));
+                n += 1;
+            }
+            let mut cm = SetDigest::ZERO;
+            if self.cfg.verify_metadata {
+                for slot in 0..page.slot_count() {
+                    let addr = CellAddr { page: page_id, slot }.proto();
+                    let entry = page.slot_entry_bytes(slot);
+                    cm.fold(&self.prf.tag(addr, KIND_META, &entry, page.meta_ts(slot)));
+                    n += 1;
+                }
+            }
+            self.enclave.cost().charge_prf(n);
+            self.enclave.cost().charge_page_scan();
+            (c, cm, true)
+        } else {
+            (cached, cached_meta, false)
+        };
+
+        part.cur.rs.fold(&c_data);
+        part.next.ws.fold(&c_data);
+        if self.cfg.verify_metadata {
+            part.meta_cur.rs.fold(&c_meta);
+            part.meta_next.ws.fold(&c_meta);
+        }
+        let epoch = part.epoch;
+        let meta = part.pages.get_mut(&page_id).expect("checked above");
+        meta.cached = c_data;
+        meta.cached_meta = c_meta;
+        meta.touched = false;
+        meta.scan_epoch = epoch + 1;
+        let _ = was_read;
+        Ok(())
+    }
+
+    /// Try to close partition `pi`'s epoch; no-op if pages are pending.
+    fn try_close_epoch(&self, pi: usize) -> Result<bool> {
+        let mut part = self.parts[pi].lock();
+        if part.next_pending_page().is_some() {
+            return Ok(false);
+        }
+        let epoch = part.epoch;
+        if !part.close_epoch() {
+            drop(part);
+            let e = Error::VerificationFailed { partition: pi, epoch };
+            self.record_failure(&e);
+            return Err(e);
+        }
+        Ok(true)
+    }
+
+    /// One unit of background-verifier work: scan a single page, closing
+    /// partition epochs as passes complete. Returns `true` if a page was
+    /// processed. Safe to call from multiple verifier threads (§3.3's
+    /// "multiple verifiers"); work distribution is round-robin.
+    pub fn scan_step(&self) -> Result<bool> {
+        let pi = {
+            let mut cursor = self.scan_cursor.lock();
+            let pi = *cursor;
+            *cursor = (pi + 1) % self.parts.len();
+            pi
+        };
+        for offset in 0..self.parts.len() {
+            let pi = (pi + offset) % self.parts.len();
+            let _pass = self.scan_locks[pi].lock();
+            let pending = { self.parts[pi].lock().next_pending_page() };
+            if let Some(page_id) = pending {
+                self.process_page(pi, page_id)?;
+                return Ok(true);
+            }
+            self.try_close_epoch(pi)?;
+        }
+        Ok(false)
+    }
+
+    /// Run one complete pass over a single partition: process every
+    /// pending page, then close the epoch. Holds the partition's pass
+    /// lock throughout, so concurrent passes never double-close.
+    fn run_partition_pass(&self, pi: usize) -> Result<(u64, u64)> {
+        let _pass = self.scan_locks[pi].lock();
+        let mut pages_processed = 0u64;
+        let mut pages_read = 0u64;
+        loop {
+            let pending = { self.parts[pi].lock().next_pending_page() };
+            match pending {
+                Some(page_id) => {
+                    let before = self.enclave.cost().snapshot().pages_scanned;
+                    self.process_page(pi, page_id)?;
+                    let after = self.enclave.cost().snapshot().pages_scanned;
+                    pages_processed += 1;
+                    pages_read += after - before;
+                }
+                None => break,
+            }
+        }
+        self.try_close_epoch(pi)?;
+        Ok((pages_processed, pages_read))
+    }
+
+    /// Run one complete verification pass over every partition,
+    /// synchronously. Returns a report, or the first verification failure.
+    pub fn verify_now(&self) -> Result<VerifyReport> {
+        self.verify_now_parallel(1)
+    }
+
+    /// Verify with `threads` concurrent verifiers over disjoint
+    /// partitions — the paper's §3.3 deployment option ("multiple
+    /// verifiers may be employed to verify different (disjoint) sections
+    /// of the memory for performance purposes").
+    pub fn verify_now_parallel(&self, threads: usize) -> Result<VerifyReport> {
+        let threads = threads.clamp(1, self.parts.len());
+        let totals = Mutex::new((0u64, 0u64));
+        let first_err: Mutex<Option<Error>> = Mutex::new(None);
+        let next = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let pi = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if pi >= self.parts.len() {
+                        return;
+                    }
+                    match self.run_partition_pass(pi) {
+                        Ok((p, r)) => {
+                            let mut t = totals.lock();
+                            t.0 += p;
+                            t.1 += r;
+                        }
+                        Err(e) => {
+                            let mut slot = first_err.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+        let (pages_processed, pages_read) = totals.into_inner();
+        let epochs = self.parts.iter().map(|p| p.lock().epoch).collect();
+        Ok(VerifyReport { pages_processed, pages_read, epochs })
+    }
+
+    // ---- tampering surface (attack tests) -----------------------------------
+
+    /// Run `f` with direct mutable access to a page's raw state, bypassing
+    /// every protection — this is the adversarial host's power. Test-only
+    /// by convention; hidden from docs.
+    #[doc(hidden)]
+    pub fn with_page_mut<R>(&self, page: u64, f: impl FnOnce(&mut RawPage) -> R) -> Result<R> {
+        let p = self.get_page(page)?;
+        let mut g = p.lock();
+        Ok(f(&mut g))
+    }
+}
+
+impl std::fmt::Debug for VerifiedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedMemory")
+            .field("pages", &self.page_count())
+            .field("partitions", &self.parts.len())
+            .field("poisoned", &self.poisoned.lock().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::PrfBackend;
+
+    fn cfg() -> MemConfig {
+        MemConfig {
+            page_size: 1024,
+            partitions: 4,
+            verify_rsws: true,
+            verify_metadata: false,
+            verify_every_ops: None,
+            track_touched_pages: true,
+            compact_during_verification: true,
+            prf: PrfBackend::HmacSha256,
+        }
+    }
+
+    fn mem_with(f: impl FnOnce(&mut MemConfig)) -> Arc<VerifiedMemory> {
+        let mut c = cfg();
+        f(&mut c);
+        let enclave = Enclave::create("mem-test", 1 << 22, [3u8; 32]);
+        VerifiedMemory::new(enclave, c)
+    }
+
+    fn mem() -> Arc<VerifiedMemory> {
+        mem_with(|_| {})
+    }
+
+    #[test]
+    fn insert_read_write_delete_cycle_verifies() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"one").unwrap();
+        let b = m.insert_in(p, b"two").unwrap();
+        assert_eq!(m.read(a).unwrap(), b"one");
+        m.write(b, b"two-updated").unwrap();
+        assert_eq!(m.read(b).unwrap(), b"two-updated");
+        m.delete(a).unwrap();
+        assert!(matches!(m.read(a), Err(Error::SlotNotFound { .. })));
+        let report = m.verify_now().unwrap();
+        assert!(report.pages_processed >= 1);
+        // Multiple epochs in a row stay consistent.
+        for _ in 0..3 {
+            m.read(b).unwrap();
+            m.verify_now().unwrap();
+        }
+    }
+
+    #[test]
+    fn metadata_mode_full_cycle_verifies() {
+        let m = mem_with(|c| c.verify_metadata = true);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"alpha").unwrap();
+        let b = m.insert_in(p, b"beta").unwrap();
+        m.read(a).unwrap();
+        m.write(a, b"alpha-longer-payload-forcing-relocation").unwrap();
+        m.delete(b).unwrap();
+        // Reuse the tombstoned slot.
+        let c2 = m.insert_in(p, b"gamma").unwrap();
+        assert_eq!(c2.slot, b.slot);
+        m.verify_now().unwrap();
+        m.read(c2).unwrap();
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn eager_compaction_mode_verifies() {
+        let m = mem_with(|c| c.compact_during_verification = false);
+        let p = m.allocate_page();
+        let mut addrs = Vec::new();
+        for i in 0..12 {
+            addrs.push(m.insert_in(p, format!("record-{i:02}").as_bytes()).unwrap());
+        }
+        // Delete every other record: each delete eagerly compacts.
+        for a in addrs.iter().step_by(2) {
+            m.delete(*a).unwrap();
+        }
+        for a in addrs.iter().skip(1).step_by(2) {
+            assert!(m.read(*a).unwrap().starts_with(b"record-"));
+        }
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn eager_compaction_with_metadata_verifies() {
+        let m = mem_with(|c| {
+            c.compact_during_verification = false;
+            c.verify_metadata = true;
+        });
+        let p = m.allocate_page();
+        let mut addrs = Vec::new();
+        for i in 0..10 {
+            addrs.push(m.insert_in(p, format!("rec-{i}").as_bytes()).unwrap());
+        }
+        for a in addrs.iter().step_by(2) {
+            m.delete(*a).unwrap();
+        }
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn spill_across_pages_with_on_demand_compaction() {
+        let m = mem();
+        let p = m.allocate_page();
+        let mut addrs = Vec::new();
+        loop {
+            match m.insert_in(p, &[0xAB; 100]) {
+                Ok(a) => addrs.push(a),
+                Err(Error::PageFull { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        // Free up holes, then insert again: on-demand compaction kicks in.
+        let n = addrs.len();
+        assert!(n >= 4);
+        m.delete(addrs[0]).unwrap();
+        m.delete(addrs[2]).unwrap();
+        let re = m.insert_in(p, &[0xCD; 150]).unwrap();
+        assert_eq!(m.read(re).unwrap(), vec![0xCD; 150]);
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn move_cell_across_pages_and_partitions() {
+        let m = mem();
+        let p1 = m.allocate_page();
+        let p2 = m.allocate_page(); // different partition (ids 1 and 2 mod 4)
+        let a = m.insert_in(p1, b"wanderer").unwrap();
+        let b = m.move_cell(a, p2).unwrap();
+        assert_eq!(b.page, p2);
+        assert_eq!(m.read(b).unwrap(), b"wanderer");
+        assert!(matches!(m.read(a), Err(Error::SlotNotFound { .. })));
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn move_cell_with_metadata_verifies() {
+        let m = mem_with(|c| c.verify_metadata = true);
+        let p1 = m.allocate_page();
+        let p2 = m.allocate_page();
+        let a = m.insert_in(p1, b"payload").unwrap();
+        let b = m.move_cell(a, p2).unwrap();
+        m.read(b).unwrap();
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn baseline_mode_skips_all_digest_work() {
+        let m = mem_with(|c| c.verify_rsws = false);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"x").unwrap();
+        m.read(a).unwrap();
+        m.write(a, b"y").unwrap();
+        m.delete(a).unwrap();
+        let costs = m.enclave().cost().snapshot();
+        assert_eq!(costs.prf_evals, 0);
+        // verify_now over empty enclave state trivially passes.
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn page_full_reported_for_oversized_cell() {
+        let m = mem();
+        let p = m.allocate_page();
+        let huge = vec![0u8; 2000];
+        assert!(matches!(
+            m.insert_in(p, &huge),
+            Err(Error::PageFull { .. })
+        ));
+        // Failed insert must not corrupt the digests.
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn failed_growing_write_leaves_digests_consistent() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"small").unwrap();
+        // Fill the page so the grow cannot relocate.
+        while m.insert_in(p, &[0xEE; 90]).is_ok() {}
+        let grown = vec![0u8; 500];
+        assert!(m.write(a, &grown).is_err());
+        assert_eq!(m.read(a).unwrap(), b"small");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn many_pages_across_partitions_verify() {
+        let m = mem();
+        let mut addrs = Vec::new();
+        for i in 0..16 {
+            let p = m.allocate_page();
+            for j in 0..5 {
+                addrs.push(m.insert_in(p, format!("{i}-{j}").as_bytes()).unwrap());
+            }
+        }
+        for a in &addrs {
+            m.read(*a).unwrap();
+        }
+        let report = m.verify_now().unwrap();
+        assert_eq!(report.pages_processed, 16);
+        assert_eq!(report.epochs, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn untouched_pages_use_cached_digest() {
+        let m = mem();
+        let p1 = m.allocate_page();
+        let p2 = m.allocate_page();
+        let a = m.insert_in(p1, b"hot").unwrap();
+        let _b = m.insert_in(p2, b"cold").unwrap();
+        m.verify_now().unwrap();
+        // Touch only p1.
+        m.read(a).unwrap();
+        let report = m.verify_now().unwrap();
+        assert_eq!(report.pages_processed, 2);
+        assert_eq!(report.pages_read, 1, "cold page must use its cache");
+    }
+
+    #[test]
+    fn track_touched_disabled_reads_everything() {
+        let m = mem_with(|c| c.track_touched_pages = false);
+        let p1 = m.allocate_page();
+        let p2 = m.allocate_page();
+        m.insert_in(p1, b"a").unwrap();
+        m.insert_in(p2, b"b").unwrap();
+        m.verify_now().unwrap();
+        let report = m.verify_now().unwrap();
+        assert_eq!(report.pages_read, 2, "full-scan mode re-reads all pages");
+    }
+
+    #[test]
+    fn scan_step_interleaved_with_ops() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"interleaved").unwrap();
+        // Drive scan steps manually, interleaving reads.
+        for _ in 0..40 {
+            m.read(a).unwrap();
+            m.scan_step().unwrap();
+        }
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn concurrent_ops_with_concurrent_scans_stay_consistent() {
+        let m = mem_with(|c| c.partitions = 8);
+        let pages: Vec<u64> = (0..8).map(|_| m.allocate_page()).collect();
+        let mut addrs = Vec::new();
+        for &p in &pages {
+            for j in 0..4 {
+                addrs.push(m.insert_in(p, format!("seed-{p}-{j}").as_bytes()).unwrap());
+            }
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = Arc::clone(&m);
+            let addrs = addrs.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = t;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let a = addrs[i % addrs.len()];
+                    let _ = m.read(a);
+                    let _ = m.write(a, format!("w{t}-{i}").as_bytes());
+                    i += 7;
+                }
+            }));
+        }
+        // Scanner thread races the workers.
+        let scanner = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    m.scan_step().unwrap();
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        scanner.join().unwrap();
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use veridb_common::PrfBackend;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>),
+        Read(usize),
+        Write(usize, Vec<u8>),
+        Delete(usize),
+        Verify,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => prop::collection::vec(any::<u8>(), 0..40).prop_map(Op::Insert),
+            3 => any::<usize>().prop_map(Op::Read),
+            2 => (any::<usize>(), prop::collection::vec(any::<u8>(), 0..40))
+                .prop_map(|(i, d)| Op::Write(i, d)),
+            1 => any::<usize>().prop_map(Op::Delete),
+            1 => Just(Op::Verify),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Any honest op sequence, with verification passes interleaved at
+        /// arbitrary points, never fails verification, and every read
+        /// returns what the model expects.
+        #[test]
+        fn honest_histories_always_verify(
+            ops in prop::collection::vec(arb_op(), 0..80),
+            verify_metadata in any::<bool>(),
+        ) {
+            let enclave = Enclave::create("prop-test", 1 << 22, [4u8; 32]);
+            let m = VerifiedMemory::new(enclave, MemConfig {
+                page_size: 1024,
+                partitions: 2,
+                verify_rsws: true,
+                verify_metadata,
+                verify_every_ops: None,
+                track_touched_pages: true,
+                compact_during_verification: true,
+                prf: PrfBackend::SipHash,
+            });
+            let mut pages = vec![m.allocate_page()];
+            let mut model: Vec<(CellAddr, Vec<u8>)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(data) => {
+                        let mut placed = None;
+                        for &p in &pages {
+                            if let Ok(a) = m.insert_in(p, &data) {
+                                placed = Some(a);
+                                break;
+                            }
+                        }
+                        let addr = match placed {
+                            Some(a) => a,
+                            None => {
+                                let p = m.allocate_page();
+                                pages.push(p);
+                                m.insert_in(p, &data).unwrap()
+                            }
+                        };
+                        model.push((addr, data));
+                    }
+                    Op::Read(i) => {
+                        if !model.is_empty() {
+                            let (addr, expect) = &model[i % model.len()];
+                            let got = m.read(*addr).unwrap();
+                            prop_assert_eq!(&got, expect);
+                        }
+                    }
+                    Op::Write(i, data) => {
+                        if !model.is_empty() {
+                            let idx = i % model.len();
+                            let addr = model[idx].0;
+                            if m.write(addr, &data).is_ok() {
+                                model[idx].1 = data;
+                            }
+                        }
+                    }
+                    Op::Delete(i) => {
+                        if !model.is_empty() {
+                            let idx = i % model.len();
+                            let (addr, _) = model.remove(idx);
+                            m.delete(addr).unwrap();
+                        }
+                    }
+                    Op::Verify => {
+                        m.verify_now().unwrap();
+                    }
+                }
+            }
+            m.verify_now().unwrap();
+            for (addr, expect) in &model {
+                prop_assert_eq!(&m.read(*addr).unwrap(), expect);
+            }
+            m.verify_now().unwrap();
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Enclave-resident ReadSet/WriteSet state.
+//!
+//! Memory is partitioned across N digest pairs ("RSWSs" in the paper's
+//! terminology, §4.3): page `p` belongs to partition `p mod N`, and each
+//! partition has its own lock, so concurrent workers only contend when
+//! touching pages of the same partition. Figure 13 sweeps N from 1 to 1024
+//! to show contention collapsing as N grows.
+//!
+//! Each partition maintains **two** epoch pairs, `cur` and `next`, because
+//! verification is non-quiescent (Algorithm 2): while a scan pass is in
+//! flight, pages already scanned belong to the next epoch and route their
+//! digest updates to `next`; unscanned pages still update `cur`. When every
+//! page of the partition has been processed, `cur.rs == cur.ws` must hold —
+//! the write-read consistency check — and `next` becomes `cur`.
+
+use crate::digest::SetDigest;
+use std::collections::HashMap;
+use veridb_enclave::EpcAllocation;
+
+/// One `⟨h(RS), h(WS)⟩` accumulator pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RswsPair {
+    /// XOR-aggregated digest of the ReadSet.
+    pub rs: SetDigest,
+    /// XOR-aggregated digest of the WriteSet.
+    pub ws: SetDigest,
+}
+
+impl RswsPair {
+    /// The write-read consistency condition `h(RS) = h(WS)`.
+    pub fn is_consistent(&self) -> bool {
+        self.rs == self.ws
+    }
+
+    /// Zero both digests.
+    pub fn clear(&mut self) {
+        *self = RswsPair::default();
+    }
+}
+
+/// Enclave-side bookkeeping for one registered page.
+#[derive(Debug)]
+pub struct PageMeta {
+    /// Number of completed scans of this page. Equal to the partition's
+    /// `epoch` when the page has not yet been processed in the current
+    /// pass; `epoch + 1` once it has.
+    pub scan_epoch: u64,
+    /// Whether any verified op touched the page since its last scan
+    /// (the §4.3 touched-page optimization; 1 bit/page in the paper).
+    pub touched: bool,
+    /// XOR of the PRF images of the page's live cells as of the last scan.
+    /// Valid only while `touched == false`; lets the scan process an
+    /// untouched page in O(1) instead of re-reading it.
+    pub cached: SetDigest,
+    /// Same, for the slot-directory metadata cells (only maintained when
+    /// metadata verification is on).
+    pub cached_meta: SetDigest,
+    /// EPC accounting guard for this page's enclave-resident metadata.
+    pub epc: Option<EpcAllocation>,
+}
+
+impl PageMeta {
+    /// Metadata for a freshly registered page at partition epoch `epoch`.
+    pub fn new(epoch: u64, epc: Option<EpcAllocation>) -> Self {
+        PageMeta {
+            scan_epoch: epoch,
+            touched: false,
+            cached: SetDigest::ZERO,
+            cached_meta: SetDigest::ZERO,
+            epc,
+        }
+    }
+}
+
+/// The mutable state of one RSWS partition (kept behind a mutex by
+/// [`crate::memory::VerifiedMemory`]).
+#[derive(Debug)]
+pub struct PartitionState {
+    /// Completed verification epochs for this partition.
+    pub epoch: u64,
+    /// Digest pair of the epoch currently being closed.
+    pub cur: RswsPair,
+    /// Digest pair of the next epoch (receives updates for pages already
+    /// scanned in the in-flight pass).
+    pub next: RswsPair,
+    /// Metadata digests, kept separate so the `verify_metadata` toggle is
+    /// orthogonal to record verification (Figure 9's two RSWS configs).
+    pub meta_cur: RswsPair,
+    /// Metadata digest pair of the next epoch.
+    pub meta_next: RswsPair,
+    /// Per-page enclave metadata for the pages of this partition.
+    pub pages: HashMap<u64, PageMeta>,
+}
+
+impl PartitionState {
+    /// Fresh partition at epoch 0.
+    pub fn new() -> Self {
+        PartitionState {
+            epoch: 0,
+            cur: RswsPair::default(),
+            next: RswsPair::default(),
+            meta_cur: RswsPair::default(),
+            meta_next: RswsPair::default(),
+            pages: HashMap::new(),
+        }
+    }
+
+    /// The record-data digest pair a page with `scan_epoch` routes to.
+    pub fn pair_for(&mut self, scan_epoch: u64) -> &mut RswsPair {
+        if scan_epoch > self.epoch {
+            &mut self.next
+        } else {
+            &mut self.cur
+        }
+    }
+
+    /// The metadata digest pair a page with `scan_epoch` routes to.
+    pub fn meta_pair_for(&mut self, scan_epoch: u64) -> &mut RswsPair {
+        if scan_epoch > self.epoch {
+            &mut self.meta_next
+        } else {
+            &mut self.meta_cur
+        }
+    }
+
+    /// A page of this partition that has not been processed in the current
+    /// pass, if any.
+    pub fn next_pending_page(&self) -> Option<u64> {
+        self.pages
+            .iter()
+            .find(|(_, m)| m.scan_epoch == self.epoch)
+            .map(|(&id, _)| id)
+    }
+
+    /// Close the current epoch: check consistency, promote `next`.
+    /// Returns whether both the data and metadata sets were consistent.
+    pub fn close_epoch(&mut self) -> bool {
+        let ok = self.cur.is_consistent() && self.meta_cur.is_consistent();
+        self.cur = self.next;
+        self.next.clear();
+        self.meta_cur = self.meta_next;
+        self.meta_next.clear();
+        self.epoch += 1;
+        ok
+    }
+}
+
+impl Default for PartitionState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(b: u8) -> SetDigest {
+        SetDigest([b; 32])
+    }
+
+    #[test]
+    fn pair_consistency() {
+        let mut p = RswsPair::default();
+        assert!(p.is_consistent());
+        p.ws.fold(&d(1));
+        assert!(!p.is_consistent());
+        p.rs.fold(&d(1));
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn pair_routing_by_scan_epoch() {
+        let mut s = PartitionState::new();
+        s.pair_for(0).ws.fold(&d(1)); // unscanned page → cur
+        s.pair_for(1).ws.fold(&d(2)); // already-scanned page → next
+        assert_eq!(s.cur.ws, d(1));
+        assert_eq!(s.next.ws, d(2));
+    }
+
+    #[test]
+    fn close_epoch_promotes_next() {
+        let mut s = PartitionState::new();
+        s.cur.rs.fold(&d(3));
+        s.cur.ws.fold(&d(3));
+        s.next.ws.fold(&d(4));
+        assert!(s.close_epoch());
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.cur.ws, d(4));
+        assert!(s.next.ws.is_zero());
+    }
+
+    #[test]
+    fn close_epoch_detects_inconsistency() {
+        let mut s = PartitionState::new();
+        s.cur.ws.fold(&d(5)); // a write never matched by a read
+        assert!(!s.close_epoch());
+    }
+
+    #[test]
+    fn pending_pages_tracked_by_scan_epoch() {
+        let mut s = PartitionState::new();
+        s.pages.insert(10, PageMeta::new(0, None));
+        s.pages.insert(11, PageMeta::new(0, None));
+        assert!(s.next_pending_page().is_some());
+        for id in [10u64, 11] {
+            s.pages.get_mut(&id).unwrap().scan_epoch = 1;
+        }
+        assert_eq!(s.next_pending_page(), None);
+    }
+}

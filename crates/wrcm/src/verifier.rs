@@ -1,0 +1,286 @@
+//! The non-quiescent background verifier (Algorithm 2).
+//!
+//! A dedicated thread performs one page scan per `verify_every_ops`
+//! protected operations, in parallel with routine reads and writes — the
+//! deferred, "always running" verification process of §4.1/§6.1. Only the
+//! page currently being scanned is locked; the rest of the memory stays
+//! fully available, which is the paper's key concurrency argument against
+//! MHT root hashes.
+//!
+//! Verification failures are sticky: the first one poisons the
+//! [`VerifiedMemory`], is returned by [`BackgroundVerifier::stop`], and
+//! prevents the query portal from endorsing any further results.
+
+use crate::memory::VerifiedMemory;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use veridb_common::Error;
+
+/// Handle for one or more background verification threads.
+pub struct BackgroundVerifier {
+    handles: Vec<JoinHandle<Option<Error>>>,
+    stop_tx: Sender<()>,
+}
+
+impl BackgroundVerifier {
+    /// Spawn a single verifier over `mem` and wire its tick channel into
+    /// the memory's operation counter. One tick = one page scan.
+    pub fn spawn(mem: Arc<VerifiedMemory>) -> Self {
+        Self::spawn_pool(mem, 1)
+    }
+
+    /// Spawn `threads` verifier threads sharing the tick stream — the
+    /// paper's §3.3 "multiple verifiers" deployment. Each tick is consumed
+    /// by exactly one thread (crossbeam channels are multi-consumer);
+    /// partition pass locks keep concurrent scans of one partition
+    /// exclusive.
+    pub fn spawn_pool(mem: Arc<VerifiedMemory>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tick_tx, tick_rx): (Sender<()>, Receiver<()>) = unbounded();
+        let (stop_tx, stop_rx) = bounded::<()>(threads);
+        mem.set_ticker(tick_tx);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let mem = Arc::clone(&mem);
+            let tick_rx = tick_rx.clone();
+            let stop_rx = stop_rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("veridb-verifier-{i}"))
+                    .spawn(move || {
+                        let mut first_failure: Option<Error> = None;
+                        loop {
+                            crossbeam::channel::select! {
+                                recv(stop_rx) -> _ => return first_failure,
+                                recv(tick_rx) -> msg => {
+                                    if msg.is_err() {
+                                        return first_failure;
+                                    }
+                                    if let Err(e) = mem.scan_step() {
+                                        // Poisoning already happened inside
+                                        // scan_step; remember the first
+                                        // error and keep draining ticks so
+                                        // ops don't block.
+                                        if first_failure.is_none() {
+                                            first_failure = Some(e);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn verifier thread"),
+            );
+        }
+        BackgroundVerifier { handles, stop_tx }
+    }
+
+    /// Stop all threads and return the first verification failure any of
+    /// them saw.
+    pub fn stop(mut self) -> Option<Error> {
+        for _ in 0..self.handles.len() {
+            let _ = self.stop_tx.send(());
+        }
+        let mut first = None;
+        for h in self.handles.drain(..) {
+            if let Ok(Some(e)) = h.join() {
+                if first.is_none() {
+                    first = Some(e);
+                }
+            }
+        }
+        first
+    }
+}
+
+impl Drop for BackgroundVerifier {
+    fn drop(&mut self) {
+        for _ in 0..self.handles.len() {
+            let _ = self.stop_tx.send(());
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemConfig;
+    use veridb_common::PrfBackend;
+    use veridb_enclave::Enclave;
+
+    fn mem(verify_every: u64) -> Arc<VerifiedMemory> {
+        let enclave = Enclave::create("verifier-test", 1 << 22, [1u8; 32]);
+        VerifiedMemory::new(
+            enclave,
+            MemConfig {
+                page_size: 1024,
+                partitions: 2,
+                verify_rsws: true,
+                verify_metadata: false,
+                verify_every_ops: Some(verify_every),
+                track_touched_pages: true,
+                compact_during_verification: true,
+                prf: PrfBackend::SipHash,
+            },
+        )
+    }
+
+    #[test]
+    fn background_verifier_scans_while_ops_run() {
+        let m = mem(10);
+        let v = BackgroundVerifier::spawn(Arc::clone(&m));
+        let page = m.allocate_page();
+        let mut addrs = Vec::new();
+        for i in 0..20 {
+            addrs.push(m.insert_in(page, format!("value-{i}").as_bytes()).unwrap());
+        }
+        for _ in 0..20 {
+            for a in &addrs {
+                let _ = m.read(*a).unwrap();
+            }
+        }
+        // Give the verifier a moment to drain ticks.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(v.stop().is_none(), "honest run must not fail verification");
+        assert!(m.poisoned().is_none());
+        // And a final synchronous pass also succeeds.
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn background_verifier_catches_tampering() {
+        let m = mem(5);
+        let page = m.allocate_page();
+        let addr = m.insert_in(page, b"honest value").unwrap();
+        // Ensure the cell's write is in WS, then tamper behind the
+        // protocol's back.
+        m.with_page_mut(page, |p| {
+            let live = p.live_slot_ids();
+            let slot = live[0];
+            p.write(slot, b"evil value!!", 999_999).unwrap();
+        })
+        .unwrap();
+        let v = BackgroundVerifier::spawn(Arc::clone(&m));
+        // Drive enough ops (on another page) to trigger scans of both
+        // partitions and close their epochs.
+        let other = m.allocate_page();
+        let a2 = m.insert_in(other, b"x").unwrap();
+        for _ in 0..200 {
+            let _ = m.read(a2);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let failure = v.stop();
+        let poisoned = m.poisoned();
+        assert!(
+            failure.is_some() || poisoned.is_some(),
+            "tampering must be detected by the background verifier"
+        );
+        assert!(matches!(
+            poisoned.or(failure),
+            Some(Error::VerificationFailed { .. })
+        ));
+        let _ = addr;
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use crate::memory::MemConfig;
+    use veridb_common::PrfBackend;
+    use veridb_enclave::Enclave;
+
+    fn mem(partitions: usize) -> Arc<VerifiedMemory> {
+        let enclave = Enclave::create("pool-test", 1 << 22, [13u8; 32]);
+        VerifiedMemory::new(
+            enclave,
+            MemConfig {
+                page_size: 1024,
+                partitions,
+                verify_rsws: true,
+                verify_metadata: false,
+                verify_every_ops: Some(5),
+                track_touched_pages: true,
+                compact_during_verification: true,
+                prf: PrfBackend::SipHash,
+            },
+        )
+    }
+
+    #[test]
+    fn verifier_pool_handles_honest_run() {
+        let m = mem(8);
+        let v = BackgroundVerifier::spawn_pool(Arc::clone(&m), 3);
+        let pages: Vec<u64> = (0..8).map(|_| m.allocate_page()).collect();
+        let mut addrs = Vec::new();
+        for &p in &pages {
+            for i in 0..6 {
+                addrs.push(m.insert_in(p, format!("v{p}-{i}").as_bytes()).unwrap());
+            }
+        }
+        for _ in 0..50 {
+            for a in &addrs {
+                let _ = m.read(*a).unwrap();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(v.stop().is_none());
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn parallel_verify_now_matches_sequential() {
+        let m = mem(8);
+        let pages: Vec<u64> = (0..8).map(|_| m.allocate_page()).collect();
+        for &p in &pages {
+            for i in 0..4 {
+                m.insert_in(p, format!("{p}:{i}").as_bytes()).unwrap();
+            }
+        }
+        let r = m.verify_now_parallel(4).unwrap();
+        assert_eq!(r.pages_processed, 8);
+        assert_eq!(r.epochs, vec![1; 8]);
+        // Second parallel pass over (mostly untouched) pages.
+        let r = m.verify_now_parallel(8).unwrap();
+        assert_eq!(r.epochs, vec![2; 8]);
+    }
+
+    #[test]
+    fn parallel_verify_detects_tampering() {
+        let m = mem(4);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"honest").unwrap();
+        crate::tamper::overwrite_cell(&m, a, b"forged").unwrap();
+        assert!(m.verify_now_parallel(4).is_err());
+        assert!(m.poisoned().is_some());
+    }
+
+    #[test]
+    fn concurrent_verify_now_calls_are_safe() {
+        let m = mem(4);
+        let p = m.allocate_page();
+        let addrs: Vec<_> =
+            (0..10).map(|i| m.insert_in(p, format!("x{i}").as_bytes()).unwrap()).collect();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        m.verify_now_parallel(2).unwrap();
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..100 {
+                    for a in &addrs {
+                        let _ = m.read(*a);
+                    }
+                }
+            });
+        });
+        assert!(m.poisoned().is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's deployment scenario end to end: a client outsources its
+//! database to an untrusted cloud provider and interacts with it only
+//! through the attested enclave portal.
+//!
+//! Walks the full Figure 2 workflow:
+//!   1. remote attestation (client challenges the enclave, checks the
+//!      quote against the expected measurement),
+//!   2. authenticated queries (MAC + unique query ids),
+//!   3. endorsed results (MAC + rollback-defense sequence numbers),
+//!   4. what happens when the provider misbehaves.
+//!
+//! Run with: `cargo run --release --example cloud_outsourcing`
+
+use veridb::{Client, QuotingEnclave, VeriDb, VeriDbConfig};
+
+fn main() -> veridb::Result<()> {
+    // ---------- provider side -------------------------------------------------
+    let db = VeriDb::open(VeriDbConfig::default())?;
+    db.sql("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT)")?;
+    db.sql(
+        "INSERT INTO accounts VALUES \
+         (1,'alice',1200.0),(2,'bob',340.5),(3,'carol',9984.25)",
+    )?;
+    let portal = db.portal("client-42");
+
+    // The platform's quoting infrastructure (Intel's role, simulated).
+    let qe = QuotingEnclave::new([0xA7; 32]);
+
+    // ---------- client side ----------------------------------------------------
+    // The client knows the measurement of the genuine VeriDB build and
+    // attests the enclave with a fresh nonce before trusting anything.
+    let expected_measurement = db.enclave().measurement();
+    let mut client = Client::attest(
+        db.enclave(),
+        &qe,
+        &qe.verifier(),
+        expected_measurement,
+        portal.channel_key_for_attested_client(),
+        b"nonce-7f3a",
+    )?;
+    println!("attestation OK — channel established");
+
+    // Authenticated query → endorsed result → client-side verification.
+    let q = client.sign_query("SELECT owner, balance FROM accounts WHERE id = 2");
+    let endorsed = portal.submit(&q)?;
+    let rows = client.verify_result(&q, &endorsed)?;
+    println!("verified answer: {} has {}", rows[0][0], rows[0][1]);
+
+    // Writes flow the same way.
+    let q = client.sign_query("UPDATE accounts SET balance = balance - 40.5 WHERE id = 2");
+    let endorsed = portal.submit(&q)?;
+    client.verify_result(&q, &endorsed)?;
+
+    let q = client.sign_query("SELECT SUM(balance) AS total FROM accounts");
+    let endorsed = portal.submit(&q)?;
+    let rows = client.verify_result(&q, &endorsed)?;
+    println!("verified total balance: {}", rows[0][0]);
+
+    // ---------- misbehavior ---------------------------------------------------
+    // (a) The provider alters a query in flight: MAC fails.
+    let mut forged = client.sign_query("SELECT * FROM accounts");
+    forged.sql = "DELETE FROM accounts".into();
+    match portal.submit(&forged) {
+        Err(e) => println!("forged query rejected: {e}"),
+        Ok(_) => unreachable!("forged query must not execute"),
+    }
+
+    // (b) The provider replays an old (authentic) query: qid is rejected.
+    match portal.submit(&q) {
+        Err(e) => println!("replayed query rejected: {e}"),
+        Ok(_) => unreachable!("replay must not execute"),
+    }
+
+    // (c) The provider tampers with the database memory directly. The
+    // deferred verifier detects it, and the portal refuses to endorse any
+    // further results.
+    let mem = db.memory();
+    'outer: for page in mem.page_ids() {
+        for slot in 0..8u16 {
+            if veridb_wrcm_tamper(mem, page, slot) {
+                break 'outer;
+            }
+        }
+    }
+    let _ = db.verify_now(); // the scan raises the alarm
+    let q = client.sign_query("SELECT * FROM accounts");
+    match portal.submit(&q) {
+        Err(e) => println!("after tampering, endorsement refused: {e}"),
+        Ok(_) => unreachable!("no result may be endorsed over tampered storage"),
+    }
+    println!(
+        "client storage for the rollback defense: {} sequence interval(s)",
+        client.sequence_intervals()
+    );
+    Ok(())
+}
+
+/// Tamper with one live cell (the adversarial host's power).
+fn veridb_wrcm_tamper(
+    mem: &std::sync::Arc<veridb::VerifiedMemory>,
+    page: u64,
+    slot: u16,
+) -> bool {
+    veridb_wrcm::tamper::overwrite_cell(
+        mem,
+        veridb_wrcm::CellAddr { page, slot },
+        b"all balances are zero now",
+    )
+    .is_ok()
+}

@@ -1,0 +1,100 @@
+//! Concurrency integration: many clients, live verifier, TPC-C mix —
+//! everything running at once must stay verifiable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use veridb::{Client, QueryPortal, VeriDb, VeriDbConfig};
+use veridb_workloads::{TpccConfig, TpccDriver};
+
+#[test]
+fn concurrent_portals_with_live_verifier() {
+    let mut cfg = VeriDbConfig::default();
+    cfg.verify_every_ops = Some(50);
+    cfg.rsws_partitions = 8;
+    let db = Arc::new(VeriDb::open(cfg).unwrap());
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").unwrap();
+    for i in 0..200 {
+        db.sql(&format!("INSERT INTO kv VALUES ({i}, 'seed-{i}')")).unwrap();
+    }
+
+    let mut handles = Vec::new();
+    for t in 0..4i64 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let portal: QueryPortal = db.portal(&format!("client-{t}"));
+            let mut client = Client::with_key(portal.channel_key_for_attested_client());
+            for i in 0..50i64 {
+                let k = 1_000 + t * 1_000 + i;
+                let q = client.sign_query(&format!(
+                    "INSERT INTO kv VALUES ({k}, 'w{t}-{i}')"
+                ));
+                let e = portal.submit(&q).unwrap();
+                client.verify_result(&q, &e).unwrap();
+
+                let q = client.sign_query(&format!(
+                    "SELECT v FROM kv WHERE k = {}",
+                    i % 200
+                ));
+                let e = portal.submit(&q).unwrap();
+                let rows = client.verify_result(&q, &e).unwrap();
+                assert_eq!(rows.len(), 1);
+            }
+            // Sequence numbers arrive densely enough to compress well.
+            assert!(client.sequence_intervals() <= 100);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(db.stop_verifier().is_none());
+    db.verify_now().unwrap();
+    let r = db.sql("SELECT COUNT(*) FROM kv").unwrap();
+    assert_eq!(r.rows[0][0].as_i64().unwrap(), 200 + 4 * 50);
+}
+
+#[test]
+fn tpcc_mix_under_live_verifier_stays_consistent() {
+    let mut cfg = VeriDbConfig::default();
+    cfg.verify_every_ops = Some(200);
+    cfg.rsws_partitions = 16;
+    let db = VeriDb::open(cfg).unwrap();
+    let driver = Arc::new(TpccDriver::load(&db, TpccConfig::tiny()).unwrap());
+    let stats = driver.run_clients(3, 40);
+    assert_eq!(stats.committed, 120);
+    assert!(db.stop_verifier().is_none());
+    db.verify_now().unwrap();
+    assert!(db.poisoned().is_none());
+}
+
+#[test]
+fn single_rsws_partition_still_correct_under_concurrency() {
+    // Figure 13's worst case: one global digest pair. Slower, never wrong.
+    let mut cfg = VeriDbConfig::default();
+    cfg.verify_every_ops = Some(100);
+    cfg.rsws_partitions = 1;
+    let db = VeriDb::open(cfg).unwrap();
+    let driver = Arc::new(TpccDriver::load(&db, TpccConfig::tiny()).unwrap());
+    let stats = driver.run_clients(4, 20);
+    assert_eq!(stats.committed, 80);
+    assert!(db.stop_verifier().is_none());
+    db.verify_now().unwrap();
+}
+
+#[test]
+fn deterministic_transactions_have_reproducible_effects() {
+    // Two identical runs produce identical order tables (sanity for the
+    // benchmark harness's seeded drivers).
+    let run = || {
+        let mut cfg = VeriDbConfig::default();
+        cfg.verify_every_ops = None;
+        let db = VeriDb::open(cfg).unwrap();
+        let driver = TpccDriver::load(&db, TpccConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            driver.one_transaction(&mut rng).unwrap();
+        }
+        db.sql("SELECT o_w_id, o_d_id, o_id, o_c_id FROM orders").unwrap().rows
+    };
+    assert_eq!(run(), run());
+}
