@@ -37,7 +37,8 @@ fn micro(scale: Scale) -> MicroWorkload {
 
 fn run_micro(cfg: VeriDbConfig, w: &MicroWorkload) -> f64 {
     let db = VeriDb::open(cfg).expect("open");
-    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .expect("ddl");
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
     let ops = w.ops();
@@ -85,22 +86,35 @@ fn touched_pages_ablation(scale: Scale) {
     };
     let mut t = FigureTable::new(
         "Ablation 2: touched-page tracking (verification pass after touching 10 keys)",
-        &["tracking", "pages processed", "pages re-read", "scan time (ms)"],
+        &[
+            "tracking",
+            "pages processed",
+            "pages re-read",
+            "scan time (ms)",
+        ],
     );
     for (name, tracking) in [("on (§4.3)", true), ("off (full scan)", false)] {
         let mut cfg = VeriDbConfig::rsws();
         cfg.verify_every_ops = None;
         cfg.track_touched_pages = tracking;
         let db = VeriDb::open(cfg).expect("open");
-        db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+        db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+            .expect("ddl");
         let table = db.table("kv").expect("table");
-        MicroWorkload { initial_pairs: n, operations: 0, value_len: 120, seed: 3 }
-            .load_table(&table)
-            .expect("load");
+        MicroWorkload {
+            initial_pairs: n,
+            operations: 0,
+            value_len: 120,
+            seed: 3,
+        }
+        .load_table(&table)
+        .expect("load");
         db.verify_now().expect("first pass");
         // Touch 10 keys, then measure the incremental pass.
         for k in 0..10 {
-            table.get_by_pk(&veridb::Value::Int(k * (n / 10) + 1)).unwrap();
+            table
+                .get_by_pk(&veridb::Value::Int(k * (n / 10) + 1))
+                .unwrap();
         }
         let start = Instant::now();
         let report = db.verify_now().expect("incremental pass");
@@ -126,16 +140,25 @@ fn compaction_ablation(scale: Scale) {
         "Ablation 3: space reclamation (delete half the table)",
         &["strategy", "delete time total (ms)", "µs/delete"],
     );
-    for (name, lazy) in [("eager on delete", false), ("deferred to scan (§4.3)", true)] {
+    for (name, lazy) in [
+        ("eager on delete", false),
+        ("deferred to scan (§4.3)", true),
+    ] {
         let mut cfg = VeriDbConfig::rsws();
         cfg.verify_every_ops = None;
         cfg.compact_during_verification = lazy;
         let db = VeriDb::open(cfg).expect("open");
-        db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+        db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+            .expect("ddl");
         let table = db.table("kv").expect("table");
-        MicroWorkload { initial_pairs: n, operations: 0, value_len: 200, seed: 4 }
-            .load_table(&table)
-            .expect("load");
+        MicroWorkload {
+            initial_pairs: n,
+            operations: 0,
+            value_len: 200,
+            seed: 4,
+        }
+        .load_table(&table)
+        .expect("load");
         let start = Instant::now();
         let mut deletes = 0u64;
         for k in (1..=n).step_by(2) {
@@ -144,11 +167,7 @@ fn compaction_ablation(scale: Scale) {
         }
         let s = start.elapsed().as_secs_f64();
         db.verify_now().expect("verify");
-        t.row(vec![
-            name.into(),
-            f2(s * 1e3),
-            f2(s / deletes as f64 * 1e6),
-        ]);
+        t.row(vec![name.into(), f2(s * 1e3), f2(s / deletes as f64 * 1e6)]);
         let _ = Arc::strong_count(&table);
     }
     t.note("§4.3: eager compaction re-reads/re-writes surviving records on every delete");
@@ -160,17 +179,25 @@ fn verifier_parallelism_ablation(scale: Scale) {
         Scale::Paper => 300_000,
         Scale::Small => 40_000,
     };
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let mut cfg = VeriDbConfig::rsws();
     cfg.verify_every_ops = None;
     cfg.rsws_partitions = 16;
     cfg.track_touched_pages = false; // make every pass a full scan
     let db = VeriDb::open(cfg).expect("open");
-    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .expect("ddl");
     let table = db.table("kv").expect("table");
-    MicroWorkload { initial_pairs: n, operations: 0, value_len: 120, seed: 5 }
-        .load_table(&table)
-        .expect("load");
+    MicroWorkload {
+        initial_pairs: n,
+        operations: 0,
+        value_len: 120,
+        seed: 5,
+    }
+    .load_table(&table)
+    .expect("load");
     let mut t = FigureTable::new(
         &format!(
             "Ablation 4: §3.3 multiple verifiers (full scan, {} CPU core(s))",
@@ -181,7 +208,10 @@ fn verifier_parallelism_ablation(scale: Scale) {
     for threads in [1usize, 2, 4] {
         let start = Instant::now();
         db.verify_now_parallel(threads).expect("verify");
-        t.row(vec![threads.to_string(), f2(start.elapsed().as_secs_f64() * 1e3)]);
+        t.row(vec![
+            threads.to_string(),
+            f2(start.elapsed().as_secs_f64() * 1e3),
+        ]);
     }
     if cores < 2 {
         t.note("single-core container: parallel verifiers cannot speed up here");
@@ -194,22 +224,33 @@ fn spill_ablation() {
     let mut cfg = VeriDbConfig::rsws();
     cfg.verify_every_ops = None;
     let db = VeriDb::open(cfg).expect("open");
-    db.sql("CREATE TABLE l (id INT PRIMARY KEY, k INT)").expect("ddl");
-    db.sql("CREATE TABLE r (id INT PRIMARY KEY, k INT, pad TEXT)").expect("ddl");
+    db.sql("CREATE TABLE l (id INT PRIMARY KEY, k INT)")
+        .expect("ddl");
+    db.sql("CREATE TABLE r (id INT PRIMARY KEY, k INT, pad TEXT)")
+        .expect("ddl");
     for i in 0..200 {
-        db.sql(&format!("INSERT INTO l VALUES ({i}, {})", i % 20)).expect("ins");
-    }
-    for i in 0..2_000 {
-        db.sql(&format!("INSERT INTO r VALUES ({i}, {}, 'pad-{i}')", i % 20))
+        db.sql(&format!("INSERT INTO l VALUES ({i}, {})", i % 20))
             .expect("ins");
     }
-    let opts = PlanOptions { prefer_join: PreferredJoin::NestedLoop };
+    for i in 0..2_000 {
+        db.sql(&format!(
+            "INSERT INTO r VALUES ({i}, {}, 'pad-{i}')",
+            i % 20
+        ))
+        .expect("ins");
+    }
+    let opts = PlanOptions {
+        prefer_join: PreferredJoin::NestedLoop,
+    };
     let sql = "SELECT COUNT(*) FROM l, r WHERE l.k = r.k";
     let mut t = FigureTable::new(
         "Ablation 5: §5.4 intermediate-state spilling (materializing NLJ)",
         &["mode", "query time (ms)", "answer"],
     );
-    for (name, threshold) in [("in-enclave buffers", None), ("spill to verified storage", Some(4096usize))] {
+    for (name, threshold) in [
+        ("in-enclave buffers", None),
+        ("spill to verified storage", Some(4096usize)),
+    ] {
         db.set_spill_threshold(threshold);
         let _ = db.sql_with(sql, &opts).expect("warmup");
         let start = Instant::now();

@@ -33,7 +33,8 @@ fn workload(scale: Scale) -> MicroWorkload {
 /// (µs) per op kind.
 fn run(cfg: VeriDbConfig, w: &MicroWorkload) -> BTreeMap<&'static str, f64> {
     let db = VeriDb::open(cfg).expect("open");
-    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .expect("ddl");
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
 
@@ -56,7 +57,9 @@ fn run(cfg: VeriDbConfig, w: &MicroWorkload) -> BTreeMap<&'static str, f64> {
         db.verify_now().expect("honest run verifies");
     }
     let _ = Arc::strong_count(&table);
-    sums.into_iter().map(|(k, (s, n))| (k, s / n as f64 * 1e6)).collect()
+    sums.into_iter()
+        .map(|(k, (s, n))| (k, s / n as f64 * 1e6))
+        .collect()
 }
 
 fn main() {

@@ -24,16 +24,13 @@ fn workload(scale: Scale) -> MicroWorkload {
     }
 }
 
-fn run(
-    every: Option<u64>,
-    track_touched: bool,
-    w: &MicroWorkload,
-) -> BTreeMap<&'static str, f64> {
+fn run(every: Option<u64>, track_touched: bool, w: &MicroWorkload) -> BTreeMap<&'static str, f64> {
     let mut cfg = VeriDbConfig::rsws();
     cfg.verify_every_ops = every;
     cfg.track_touched_pages = track_touched;
     let db = VeriDb::open(cfg).expect("open"); // starts the verifier
-    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .expect("ddl");
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
 
@@ -55,7 +52,9 @@ fn run(
     assert!(db.stop_verifier().is_none(), "honest run must verify");
     db.verify_now().expect("final pass");
     let _ = Arc::strong_count(&table);
-    sums.into_iter().map(|(k, (s, n))| (k, s / n as f64 * 1e6)).collect()
+    sums.into_iter()
+        .map(|(k, (s, n))| (k, s / n as f64 * 1e6))
+        .collect()
 }
 
 fn main() {
@@ -76,7 +75,16 @@ fn main() {
 
     let mut t = FigureTable::new(
         "Figure 10: op latency (µs) vs ops-per-page-scan (background verifier armed)",
-        &["op", "50", "100", "200", "500", "1000", "no-verifier", "1000 full-scan"],
+        &[
+            "op",
+            "50",
+            "100",
+            "200",
+            "500",
+            "1000",
+            "no-verifier",
+            "1000 full-scan",
+        ],
     );
     let mut json = serde_json::Map::new();
     for op in ["Get", "Insert", "Delete", "Update"] {
@@ -100,9 +108,7 @@ fn main() {
         );
     }
     // Overall overhead of the 1000-freq configuration vs no verifier.
-    let avg = |m: &BTreeMap<&'static str, f64>| {
-        m.values().sum::<f64>() / m.len() as f64
-    };
+    let avg = |m: &BTreeMap<&'static str, f64>| m.values().sum::<f64>() / m.len() as f64;
     let overhead = (avg(&results[4].1) - avg(&no_verifier)) / avg(&no_verifier);
     t.note(&format!(
         "measured overhead at 1000 ops/scan vs no verifier: {:.1}% (paper: 1-4%)",

@@ -23,7 +23,10 @@ use veridb_workloads::{MicroOp, MicroWorkload};
 fn workload(scale: Scale) -> MicroWorkload {
     match scale {
         // Paper §6.2 uses 100K ops over the §6.1 initial state.
-        Scale::Paper => MicroWorkload { operations: 100_000, ..MicroWorkload::default() },
+        Scale::Paper => MicroWorkload {
+            operations: 100_000,
+            ..MicroWorkload::default()
+        },
         Scale::Small => MicroWorkload::scaled(150_000, 8_000),
     }
 }
@@ -49,7 +52,8 @@ fn main() {
     let mut cfg = VeriDbConfig::rsws();
     cfg.verify_every_ops = Some(1000);
     let db = VeriDb::open(cfg).expect("open");
-    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").expect("ddl");
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .expect("ddl");
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
     let mut veridb_lat: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
@@ -89,7 +93,14 @@ fn main() {
 
     let mut t = FigureTable::new(
         "Figure 11: op latency (µs) — MB-Tree vs VeriDB (verifier @1000 ops/scan)",
-        &["op", "mb-tree", "veridb", "reduction", "paper(mbt/veridb)", "paper reduction"],
+        &[
+            "op",
+            "mb-tree",
+            "veridb",
+            "reduction",
+            "paper(mbt/veridb)",
+            "paper reduction",
+        ],
     );
     let mut json = serde_json::Map::new();
     for op in ["Get", "Insert", "Delete", "Update"] {

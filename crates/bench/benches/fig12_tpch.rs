@@ -22,7 +22,11 @@ use veridb_workloads::tpch::{self, TpchConfig, TpchData};
 
 fn config(scale: Scale) -> TpchConfig {
     match scale {
-        Scale::Paper => TpchConfig { lineitem_rows: 600_000, part_rows: 20_000, ..TpchConfig::default() },
+        Scale::Paper => TpchConfig {
+            lineitem_rows: 600_000,
+            part_rows: 20_000,
+            ..TpchConfig::default()
+        },
         Scale::Small => TpchConfig::default(), // 60k lineitem / 2k part
     }
 }
@@ -55,7 +59,11 @@ fn measure(db: &VeriDb, sql: &str, opts: &PlanOptions, tables: &[&str]) -> Measu
         std::hint::black_box(n);
         scan_s += start.elapsed().as_secs_f64();
     }
-    Measured { total_s, scan_s: scan_s.min(total_s), rows: r.rows.len() }
+    Measured {
+        total_s,
+        scan_s: scan_s.min(total_s),
+        rows: r.rows.len(),
+    }
 }
 
 fn main() {
@@ -78,17 +86,36 @@ fn main() {
     data.load(&veridb_db).expect("load veridb");
 
     let auto = PlanOptions::default();
-    let merge = PlanOptions { prefer_join: PreferredJoin::Merge };
-    let nlj = PlanOptions { prefer_join: PreferredJoin::NestedLoop };
+    let merge = PlanOptions {
+        prefer_join: PreferredJoin::Merge,
+    };
+    let nlj = PlanOptions {
+        prefer_join: PreferredJoin::NestedLoop,
+    };
 
     let cases: Vec<(&str, &str, PlanOptions, Vec<&str>)> = vec![
         ("Q1", tpch::q1(), auto, vec!["lineitem"]),
         ("Q6", tpch::q6(), auto, vec!["lineitem"]),
-        ("Q19 (MergeJoin)", tpch::q19(), merge, vec!["lineitem", "part"]),
-        ("Q19 (NestedLoopJoin)", tpch::q19(), nlj, vec!["lineitem", "part"]),
+        (
+            "Q19 (MergeJoin)",
+            tpch::q19(),
+            merge,
+            vec!["lineitem", "part"],
+        ),
+        (
+            "Q19 (NestedLoopJoin)",
+            tpch::q19(),
+            nlj,
+            vec!["lineitem", "part"],
+        ),
         // Beyond the paper's set: a 3-way join with grouping/order/limit,
         // showing the engine generalizes past the evaluated queries.
-        ("Q3 (extra)", tpch::q3(), auto, vec!["lineitem", "orders", "customer"]),
+        (
+            "Q3 (extra)",
+            tpch::q3(),
+            auto,
+            vec!["lineitem", "orders", "customer"],
+        ),
     ];
 
     let mut t = FigureTable::new(

@@ -9,12 +9,16 @@
 //!   stands in for that.
 //! - `compaction`: eager-on-delete vs deferred-to-scan space reclamation
 //!   (the §4.3 optimization).
+//! - `scan`: batched verified reads vs the per-cell path, at the memory
+//!   layer (`read_page_batch` vs a `read` loop) and at the storage layer
+//!   (a sequential `VerifiedScan` with and without index prefetch hints).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::sync::Arc;
-use veridb_common::{PrfBackend, VeriDbConfig};
+use veridb_common::{ColumnDef, ColumnType, PrfBackend, Row, Schema, Value, VeriDbConfig};
 use veridb_enclave::Enclave;
-use veridb_wrcm::{MemConfig, PrfEngine, VerifiedMemory};
+use veridb_storage::{ChainIndex, ChainKey, IndexOracle, Table};
+use veridb_wrcm::{CellAddr, MemConfig, PrfEngine, ReadBatch, VerifiedMemory};
 
 fn memory(verify: bool, prf: PrfBackend, compact_lazy: bool) -> Arc<VerifiedMemory> {
     let enclave = Enclave::create_random("bench", 1 << 26);
@@ -110,5 +114,135 @@ fn bench_compaction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_prf, bench_compaction);
+/// An honest index that refuses to answer prefetch hints, forcing the
+/// verified scan onto its per-record resolve path. Lets the bench compare
+/// the batched fast path against the fallback over identical data.
+struct NoPrefetch(ChainIndex);
+
+impl IndexOracle for NoPrefetch {
+    fn find_floor(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.0.find_floor(key)
+    }
+    fn find_below(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.0.find_below(key)
+    }
+    fn find_exact(&self, key: &ChainKey) -> Option<CellAddr> {
+        self.0.find_exact(key)
+    }
+    fn upsert(&self, key: ChainKey, addr: CellAddr) {
+        self.0.upsert(key, addr);
+    }
+    fn remove(&self, key: &ChainKey) {
+        self.0.remove(key);
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    // next_entries: inherited default (empty) — disables batching.
+}
+
+const SCAN_CELLS: usize = 64;
+const SCAN_ROWS: usize = 1024;
+
+fn scan_table(mem: &Arc<VerifiedMemory>, prefetch: bool) -> Arc<Table> {
+    let schema = Schema::new(vec![
+        ColumnDef::chained("id", ColumnType::Int),
+        ColumnDef::new("payload", ColumnType::Str),
+    ])
+    .unwrap();
+    let indexes: Vec<Box<dyn IndexOracle>> = if prefetch {
+        vec![Box::new(ChainIndex::new())]
+    } else {
+        vec![Box::new(NoPrefetch(ChainIndex::new()))]
+    };
+    let name = if prefetch { "scan_fast" } else { "scan_slow" };
+    let table = Table::create_with_indexes(Arc::clone(mem), name, schema, indexes).unwrap();
+    for i in 0..SCAN_ROWS as i64 {
+        table
+            .insert(Row::new(vec![
+                Value::Int(i),
+                Value::Str(format!("payload-{i:06}-abcdefghijklmnopqrstuvwxyz")),
+            ]))
+            .unwrap();
+    }
+    table
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+
+    // Memory layer: one page of 64 ~100 B cells, read per-cell vs batched.
+    for (label, backend) in [
+        ("hmac-sha256", PrfBackend::HmacSha256),
+        ("siphash24", PrfBackend::SipHash),
+    ] {
+        let mem = memory(true, backend, true);
+        let page = mem.allocate_page();
+        let addrs: Vec<_> = (0..SCAN_CELLS)
+            .map(|i| mem.insert_in(page, &[i as u8; 100]).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        g.throughput(Throughput::Elements(SCAN_CELLS as u64));
+        g.bench_function(format!("wrcm-per-cell-64x100B/{label}"), |b| {
+            b.iter(|| {
+                for a in &addrs {
+                    mem.read(*a).unwrap();
+                }
+            })
+        });
+        g.bench_function(format!("wrcm-batched-64x100B/{label}"), |b| {
+            let mut batch = ReadBatch::new();
+            b.iter(|| {
+                mem.read_page_batch(page, &slots, &mut batch).unwrap();
+                assert_eq!(batch.len(), SCAN_CELLS);
+            })
+        });
+    }
+
+    // Storage layer: full verified sequential scan, batched fast path
+    // (prefetching index) vs per-record fallback (prefetch disabled).
+    g.sample_size(20);
+    for (label, backend) in [
+        ("hmac-sha256", PrfBackend::HmacSha256),
+        ("siphash24", PrfBackend::SipHash),
+    ] {
+        let mem = memory(true, backend, true);
+        let fast = scan_table(&mem, true);
+        let slow = scan_table(&mem, false);
+        g.throughput(Throughput::Elements(SCAN_ROWS as u64));
+        g.bench_function(format!("seq-scan-1024-batched/{label}"), |b| {
+            b.iter(|| {
+                let mut scan = fast.seq_scan();
+                let mut n = 0usize;
+                for r in scan.by_ref() {
+                    r.unwrap();
+                    n += 1;
+                }
+                assert_eq!(n, SCAN_ROWS);
+                assert!(scan.batched_rounds() > 0, "fast path must engage");
+            })
+        });
+        g.bench_function(format!("seq-scan-1024-per-record/{label}"), |b| {
+            b.iter(|| {
+                let mut scan = slow.seq_scan();
+                let mut n = 0usize;
+                for r in scan.by_ref() {
+                    r.unwrap();
+                    n += 1;
+                }
+                assert_eq!(n, SCAN_ROWS);
+                assert_eq!(scan.batched_rounds(), 0, "fallback must stay per-record");
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_prf,
+    bench_compaction,
+    bench_scan
+);
 criterion_main!(benches);

@@ -104,8 +104,7 @@ impl FigureTable {
 /// Write a JSON results blob under the workspace's
 /// `target/veridb-bench/<name>.json`.
 pub fn write_json(name: &str, value: &serde_json::Value) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/veridb-bench");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/veridb-bench");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }

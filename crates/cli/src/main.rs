@@ -205,10 +205,7 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
             );
         }
         ".tpch" => {
-            let rows: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(10_000);
+            let rows: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
             let cfg = veridb_workloads::TpchConfig {
                 lineitem_rows: rows,
                 part_rows: (rows / 30).max(50),

@@ -91,12 +91,18 @@ impl VeriDbConfig {
     /// The evaluation's "RSWS" configuration: record verification on,
     /// page metadata excluded (the optimized default).
     pub fn rsws() -> Self {
-        VeriDbConfig { verify_metadata: false, ..Self::default() }
+        VeriDbConfig {
+            verify_metadata: false,
+            ..Self::default()
+        }
     }
 
     /// The evaluation's "RSWS incl. metadata" configuration.
     pub fn rsws_with_metadata() -> Self {
-        VeriDbConfig { verify_metadata: true, ..Self::default() }
+        VeriDbConfig {
+            verify_metadata: true,
+            ..Self::default()
+        }
     }
 
     /// Validate invariant constraints; called by the database constructor.
@@ -121,9 +127,7 @@ impl VeriDbConfig {
             return Err(Error::Config("verify_every_ops must be >= 1".into()));
         }
         if !self.verify_rsws && self.verify_metadata {
-            return Err(Error::Config(
-                "verify_metadata requires verify_rsws".into(),
-            ));
+            return Err(Error::Config("verify_metadata requires verify_rsws".into()));
         }
         Ok(())
     }

@@ -21,7 +21,11 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     // ---- routine storage / engine errors -------------------------------
     /// The target page has insufficient contiguous free space.
-    PageFull { page: u64, needed: usize, available: usize },
+    PageFull {
+        page: u64,
+        needed: usize,
+        available: usize,
+    },
     /// The requested page id is not registered with the verified memory.
     PageNotFound(u64),
     /// The requested slot does not exist or has been deleted.
@@ -88,7 +92,11 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::PageFull { page, needed, available } => write!(
+            Error::PageFull {
+                page,
+                needed,
+                available,
+            } => write!(
                 f,
                 "page {page} full: need {needed} bytes, {available} available"
             ),
@@ -118,10 +126,9 @@ impl fmt::Display for Error {
             ),
             Error::TamperDetected(m) => write!(f, "TAMPER DETECTED: {m}"),
             Error::AuthFailed(m) => write!(f, "authentication failed: {m}"),
-            Error::RollbackDetected { sequence } => write!(
-                f,
-                "ROLLBACK DETECTED: sequence number {sequence} repeated"
-            ),
+            Error::RollbackDetected { sequence } => {
+                write!(f, "ROLLBACK DETECTED: sequence number {sequence} repeated")
+            }
             Error::ReplayDetected { qid } => {
                 write!(f, "query replay detected: qid {qid} already executed")
             }
@@ -137,8 +144,11 @@ mod tests {
 
     #[test]
     fn security_violations_are_flagged() {
-        assert!(Error::VerificationFailed { partition: 0, epoch: 3 }
-            .is_security_violation());
+        assert!(Error::VerificationFailed {
+            partition: 0,
+            epoch: 3
+        }
+        .is_security_violation());
         assert!(Error::TamperDetected("x".into()).is_security_violation());
         assert!(Error::AuthFailed("bad mac".into()).is_security_violation());
         assert!(Error::RollbackDetected { sequence: 7 }.is_security_violation());
@@ -148,14 +158,21 @@ mod tests {
     #[test]
     fn routine_errors_are_not_flagged() {
         assert!(!Error::KeyNotFound("k".into()).is_security_violation());
-        assert!(!Error::PageFull { page: 1, needed: 10, available: 2 }
-            .is_security_violation());
+        assert!(!Error::PageFull {
+            page: 1,
+            needed: 10,
+            available: 2
+        }
+        .is_security_violation());
         assert!(!Error::Parse("x".into()).is_security_violation());
     }
 
     #[test]
     fn display_is_informative() {
-        let e = Error::VerificationFailed { partition: 2, epoch: 14 };
+        let e = Error::VerificationFailed {
+            partition: 2,
+            epoch: 14,
+        };
         let s = e.to_string();
         assert!(s.contains("partition 2"));
         assert!(s.contains("epoch 14"));

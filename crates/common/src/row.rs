@@ -59,6 +59,15 @@ impl Row {
         self
     }
 
+    /// Join output from two borrowed rows: one exact-capacity allocation,
+    /// no intermediate clone of either side.
+    pub fn joined(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row { values }
+    }
+
     /// Project this row onto the given column indices.
     pub fn project(&self, indices: &[usize]) -> Row {
         Row::new(indices.iter().map(|&i| self.values[i].clone()).collect())
@@ -111,7 +120,9 @@ impl From<Vec<Value>> for Row {
 
 impl FromIterator<Value> for Row {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
-        Row { values: iter.into_iter().collect() }
+        Row {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -164,6 +175,13 @@ mod tests {
         let joined = p.concat(Row::new(vec![Value::Int(1)]));
         assert_eq!(joined.len(), 3);
         assert_eq!(joined[2], Value::Int(1));
+    }
+
+    #[test]
+    fn joined_matches_concat() {
+        let a = sample();
+        let b = Row::new(vec![Value::Int(7), Value::Str("x".into())]);
+        assert_eq!(a.joined(&b), a.clone().concat(b));
     }
 
     #[test]

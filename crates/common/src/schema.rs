@@ -24,12 +24,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A plain (un-chained) column.
     pub fn new(name: &str, ty: ColumnType) -> Self {
-        ColumnDef { name: name.to_ascii_lowercase(), ty, chained: false }
+        ColumnDef {
+            name: name.to_ascii_lowercase(),
+            ty,
+            chained: false,
+        }
     }
 
     /// A chained column (verified access methods available).
     pub fn chained(name: &str, ty: ColumnType) -> Self {
-        ColumnDef { name: name.to_ascii_lowercase(), ty, chained: true }
+        ColumnDef {
+            name: name.to_ascii_lowercase(),
+            ty,
+            chained: true,
+        }
     }
 }
 
@@ -185,7 +193,11 @@ mod tests {
             .is_err());
         // un-coercible type
         assert!(s
-            .check_row(vec![Value::Str("x".into()), Value::Int(1), Value::Float(1.0)])
+            .check_row(vec![
+                Value::Str("x".into()),
+                Value::Int(1),
+                Value::Float(1.0)
+            ])
             .is_err());
     }
 }

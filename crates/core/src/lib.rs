@@ -46,13 +46,12 @@ pub mod recovery;
 
 pub use recovery::Replica;
 pub use veridb_common::{
-    ColumnDef, ColumnType, Error, PrfBackend, Result, Row, Schema, Value,
-    VeriDbConfig,
+    ColumnDef, ColumnType, Error, PrfBackend, Result, Row, Schema, Value, VeriDbConfig,
 };
 pub use veridb_enclave::{CostSnapshot, Enclave, QuotingEnclave};
 pub use veridb_query::{
-    Client, EndorsedResult, PlanOptions, PreferredJoin, QueryEngine, QueryPortal,
-    QueryResult, SignedQuery,
+    Client, EndorsedResult, PlanOptions, PreferredJoin, QueryEngine, QueryPortal, QueryResult,
+    SignedQuery,
 };
 pub use veridb_storage::{Catalog, Table};
 pub use veridb_wrcm::{BackgroundVerifier, VerifiedMemory, VerifyReport};
@@ -180,7 +179,10 @@ impl VeriDb {
     pub fn start_verifier_pool(&self, threads: usize) {
         let mut v = self.verifier.lock();
         if v.is_none() {
-            *v = Some(BackgroundVerifier::spawn_pool(Arc::clone(&self.mem), threads));
+            *v = Some(BackgroundVerifier::spawn_pool(
+                Arc::clone(&self.mem),
+                threads,
+            ));
         }
     }
 

@@ -61,7 +61,8 @@ impl VeriDb {
             let _ = Arc::strong_count(&table);
         }
         // Never reuse sequence numbers from before the failure.
-        db.enclave().advance_timestamp_to(replica.sequence_high_water);
+        db.enclave()
+            .advance_timestamp_to(replica.sequence_high_water);
         // The recovered state verifies like any other.
         db.verify_now()?;
         Ok(db)
@@ -77,9 +78,12 @@ mod tests {
         let mut cfg = VeriDbConfig::default();
         cfg.verify_every_ops = None;
         let db = VeriDb::open(cfg).unwrap();
-        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
-        db.sql("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c')").unwrap();
-        db.sql("CREATE TABLE u (k INT PRIMARY KEY, n INT CHAINED)").unwrap();
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            .unwrap();
+        db.sql("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c')")
+            .unwrap();
+        db.sql("CREATE TABLE u (k INT PRIMARY KEY, n INT CHAINED)")
+            .unwrap();
         db.sql("INSERT INTO u VALUES (10, 7),(20, 3)").unwrap();
         db
     }

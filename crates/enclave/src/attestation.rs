@@ -56,7 +56,10 @@ pub struct Report {
 impl Report {
     /// Build a report binding `user_data`.
     pub fn new(measurement: Measurement, user_data: &[u8]) -> Self {
-        Report { measurement, user_data: sha256(&[b"report-user-data", user_data]) }
+        Report {
+            measurement,
+            user_data: sha256(&[b"report-user-data", user_data]),
+        }
     }
 }
 
@@ -85,7 +88,9 @@ pub struct QuoteVerifier {
 impl QuotingEnclave {
     /// Create a quoting enclave with the given signing key.
     pub fn new(signing_key: [u8; 32]) -> Self {
-        QuotingEnclave { key: MacKey::new(signing_key) }
+        QuotingEnclave {
+            key: MacKey::new(signing_key),
+        }
     }
 
     /// Sign a report into a quote.
@@ -98,7 +103,9 @@ impl QuotingEnclave {
 
     /// A verifier handle clients use to validate quotes.
     pub fn verifier(&self) -> QuoteVerifier {
-        QuoteVerifier { key: self.key.clone() }
+        QuoteVerifier {
+            key: self.key.clone(),
+        }
     }
 }
 
@@ -178,7 +185,8 @@ mod tests {
         let qe = QuotingEnclave::new([42u8; 32]);
         let quote = evil.quote(&qe, b"nonce");
         assert_eq!(
-            qe.verifier().verify(&quote, enclave.measurement(), b"nonce"),
+            qe.verifier()
+                .verify(&quote, enclave.measurement(), b"nonce"),
             Err(AttestationError::WrongMeasurement)
         );
     }
@@ -190,7 +198,8 @@ mod tests {
         let rogue_qe = QuotingEnclave::new([43u8; 32]);
         let quote = enclave.quote(&rogue_qe, b"nonce");
         assert_eq!(
-            qe.verifier().verify(&quote, enclave.measurement(), b"nonce"),
+            qe.verifier()
+                .verify(&quote, enclave.measurement(), b"nonce"),
             Err(AttestationError::BadSignature)
         );
     }
@@ -201,7 +210,8 @@ mod tests {
         let qe = QuotingEnclave::new([42u8; 32]);
         let quote = enclave.quote(&qe, b"old-nonce");
         assert_eq!(
-            qe.verifier().verify(&quote, enclave.measurement(), b"fresh-nonce"),
+            qe.verifier()
+                .verify(&quote, enclave.measurement(), b"fresh-nonce"),
             Err(AttestationError::NonceMismatch)
         );
     }

@@ -55,9 +55,7 @@ impl CostSnapshot {
             epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
             prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
             verified_reads: self.verified_reads.saturating_sub(earlier.verified_reads),
-            verified_writes: self
-                .verified_writes
-                .saturating_sub(earlier.verified_writes),
+            verified_writes: self.verified_writes.saturating_sub(earlier.verified_writes),
             pages_scanned: self.pages_scanned.saturating_sub(earlier.pages_scanned),
             simulated_cycles: self
                 .simulated_cycles
@@ -75,19 +73,22 @@ impl CostModel {
     /// Charge one ECall.
     pub fn charge_ecall(&self) {
         self.ecalls.fetch_add(1, Ordering::Relaxed);
-        self.simulated_cycles.fetch_add(ECALL_CYCLES, Ordering::Relaxed);
+        self.simulated_cycles
+            .fetch_add(ECALL_CYCLES, Ordering::Relaxed);
     }
 
     /// Charge one OCall.
     pub fn charge_ocall(&self) {
         self.ocalls.fetch_add(1, Ordering::Relaxed);
-        self.simulated_cycles.fetch_add(OCALL_CYCLES, Ordering::Relaxed);
+        self.simulated_cycles
+            .fetch_add(OCALL_CYCLES, Ordering::Relaxed);
     }
 
     /// Charge one EPC page swap.
     pub fn charge_epc_swap(&self) {
         self.epc_swaps.fetch_add(1, Ordering::Relaxed);
-        self.simulated_cycles.fetch_add(EPC_SWAP_CYCLES, Ordering::Relaxed);
+        self.simulated_cycles
+            .fetch_add(EPC_SWAP_CYCLES, Ordering::Relaxed);
     }
 
     /// Record `n` PRF evaluations (dominant RS/WS maintenance cost, §6.1).
@@ -100,9 +101,19 @@ impl CostModel {
         self.verified_reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` verified read primitives at once (batched read path).
+    pub fn charge_verified_reads(&self, n: u64) {
+        self.verified_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record a verified write primitive.
     pub fn charge_verified_write(&self) {
         self.verified_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` verified write primitives at once (batched write path).
+    pub fn charge_verified_writes(&self, n: u64) {
+        self.verified_writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Record a page scanned by the deferred verifier.

@@ -21,13 +21,23 @@ pub struct MonotonicCounter {
 impl MonotonicCounter {
     /// Counter whose first `next()` returns `start`.
     pub fn new(start: u64) -> Self {
-        MonotonicCounter { next: AtomicU64::new(start) }
+        MonotonicCounter {
+            next: AtomicU64::new(start),
+        }
     }
 
     /// Take the next value. Each call returns a strictly larger value than
     /// every previous call, across threads.
     pub fn next(&self) -> u64 {
         self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reserve a contiguous block of `n` values with one counter update,
+    /// returning the first. The caller exclusively owns
+    /// `[start, start + n)`; batched memory operations use this to stamp
+    /// many cells per reservation.
+    pub fn next_block(&self, n: u64) -> u64 {
+        self.next.fetch_add(n, Ordering::Relaxed)
     }
 
     /// The value the next `next()` call would return.
@@ -38,7 +48,8 @@ impl MonotonicCounter {
     /// Move the counter forward so that future values exceed `at_least`.
     /// Never moves backwards (monotonicity is the security property).
     pub fn advance_to(&self, at_least: u64) {
-        self.next.fetch_max(at_least.saturating_add(1), Ordering::Relaxed);
+        self.next
+            .fetch_max(at_least.saturating_add(1), Ordering::Relaxed);
     }
 }
 
@@ -74,8 +85,10 @@ mod tests {
                 (0..1000).map(|_| c.next()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> =
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8000, "counter values must be unique");

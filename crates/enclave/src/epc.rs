@@ -43,7 +43,8 @@ pub struct EpcAllocation {
 
 impl Drop for EpcAllocation {
     fn drop(&mut self) {
-        self.allocated.fetch_sub(self.bytes as u64, Ordering::Relaxed);
+        self.allocated
+            .fetch_sub(self.bytes as u64, Ordering::Relaxed);
     }
 }
 
@@ -92,8 +93,7 @@ impl EpcAllocator {
     /// pushes usage past the budget, each over-budget page charges one
     /// simulated swap (or the call fails in strict mode).
     pub fn allocate(&self, bytes: usize) -> Result<EpcAllocation> {
-        let before =
-            self.allocated.fetch_add(bytes as u64, Ordering::Relaxed) as usize;
+        let before = self.allocated.fetch_add(bytes as u64, Ordering::Relaxed) as usize;
         let after = before + bytes;
         if after > self.budget {
             if self.strict.load(Ordering::Relaxed) {
@@ -103,11 +103,13 @@ impl EpcAllocator {
                     budget: self.budget,
                 });
             }
-            let over_pages = (after - self.budget.max(before))
-                .div_ceil(EPC_PAGE_BYTES) as u64;
+            let over_pages = (after - self.budget.max(before)).div_ceil(EPC_PAGE_BYTES) as u64;
             self.swaps.fetch_add(over_pages.max(1), Ordering::Relaxed);
         }
-        Ok(EpcAllocation { bytes, allocated: Arc::clone(&self.allocated) })
+        Ok(EpcAllocation {
+            bytes,
+            allocated: Arc::clone(&self.allocated),
+        })
     }
 }
 

@@ -130,6 +130,13 @@ impl Enclave {
         self.inner.timestamps.next()
     }
 
+    /// Reserve `n` consecutive timestamps with one counter update,
+    /// returning the first. Batched memory operations stamp many cells per
+    /// protected call; a block reservation keeps that a single atomic.
+    pub fn next_timestamp_block(&self, n: u64) -> u64 {
+        self.inner.timestamps.next_block(n)
+    }
+
     /// Current timestamp high-water mark (not consumed).
     pub fn current_timestamp(&self) -> u64 {
         self.inner.timestamps.current()

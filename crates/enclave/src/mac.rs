@@ -19,7 +19,11 @@ pub struct Mac(pub [u8; MAC_LEN]);
 
 impl std::fmt::Debug for Mac {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Mac({:02x}{:02x}{:02x}{:02x}…)", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "Mac({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -40,8 +44,7 @@ impl MacKey {
     /// Each part is length-framed so concatenation ambiguity cannot forge
     /// across field boundaries.
     pub fn sign(&self, parts: &[&[u8]]) -> Mac {
-        let mut mac = HmacSha256::new_from_slice(&self.key)
-            .expect("HMAC accepts any key length");
+        let mut mac = HmacSha256::new_from_slice(&self.key).expect("HMAC accepts any key length");
         for p in parts {
             mac.update(&(p.len() as u64).to_le_bytes());
             mac.update(p);
@@ -54,8 +57,7 @@ impl MacKey {
 
     /// Verify `tag` over `parts` in constant time.
     pub fn verify(&self, parts: &[&[u8]], tag: &Mac) -> bool {
-        let mut mac = HmacSha256::new_from_slice(&self.key)
-            .expect("HMAC accepts any key length");
+        let mut mac = HmacSha256::new_from_slice(&self.key).expect("HMAC accepts any key length");
         for p in parts {
             mac.update(&(p.len() as u64).to_le_bytes());
             mac.update(p);

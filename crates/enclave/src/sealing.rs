@@ -85,13 +85,19 @@ impl Sealer {
         let mut ciphertext = plaintext.to_vec();
         self.xor_stream(&nonce, &mut ciphertext);
         let tag = self.mac.sign(&[&nonce, &ciphertext]);
-        SealedBlob { nonce, ciphertext, tag }
+        SealedBlob {
+            nonce,
+            ciphertext,
+            tag,
+        }
     }
 
     /// Unseal a blob, verifying integrity first.
     pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>> {
         if !self.mac.verify(&[&blob.nonce, &blob.ciphertext], &blob.tag) {
-            return Err(Error::AuthFailed("sealed blob failed integrity check".into()));
+            return Err(Error::AuthFailed(
+                "sealed blob failed integrity check".into(),
+            ));
         }
         let mut plaintext = blob.ciphertext.clone();
         self.xor_stream(&blob.nonce, &mut plaintext);

@@ -59,9 +59,16 @@ impl MbTree {
     /// Empty tree with fanout `order` (≥ 4).
     pub fn with_order(order: usize) -> Self {
         assert!(order >= 4, "order must be >= 4");
-        let leaf = Node::Leaf { entries: Vec::new(), hash: leaf_hash(&[]) };
+        let leaf = Node::Leaf {
+            entries: Vec::new(),
+            hash: leaf_hash(&[]),
+        };
         MbTree {
-            inner: Mutex::new(TreeInner { arena: vec![leaf], root: 0, len: 0 }),
+            inner: Mutex::new(TreeInner {
+                arena: vec![leaf],
+                root: 0,
+                len: 0,
+            }),
             order,
         }
     }
@@ -137,11 +144,7 @@ impl MbTree {
 
     /// Range scan `[lo, hi]` with a verification object. Returns the
     /// matching `(key, value)` pairs in key order.
-    pub fn range(
-        &self,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-    ) -> (Vec<(Value, Vec<u8>)>, VoNode) {
+    pub fn range(&self, lo: Bound<Value>, hi: Bound<Value>) -> (Vec<(Value, Vec<u8>)>, VoNode) {
         let t = self.inner.lock();
         let vo = build_range_vo(&t.arena, t.root, &lo, &hi);
         let mut out = Vec::new();
@@ -164,8 +167,7 @@ fn node_hash(n: &Node) -> NodeHash {
 }
 
 fn rehash_leaf(entries: &[(Value, Vec<u8>)]) -> NodeHash {
-    let ehashes: Vec<NodeHash> =
-        entries.iter().map(|(k, v)| entry_hash(k, v)).collect();
+    let ehashes: Vec<NodeHash> = entries.iter().map(|(k, v)| entry_hash(k, v)).collect();
     leaf_hash(&ehashes)
 }
 
@@ -203,7 +205,10 @@ fn insert_rec(
             let sep = right_entries[0].0.clone();
             *hash = rehash_leaf(entries);
             let rhash = rehash_leaf(&right_entries);
-            arena.push(Node::Leaf { entries: right_entries, hash: rhash });
+            arena.push(Node::Leaf {
+                entries: right_entries,
+                hash: rhash,
+            });
             (Some((sep, arena.len() - 1)), was_new)
         }
         Node::Internal { keys, children, .. } => {
@@ -216,8 +221,12 @@ fn insert_rec(
                 let rh = node_hash(&arena[right]);
                 (sep, right, rh)
             });
-            let Node::Internal { keys, children, child_hashes, hash } =
-                &mut arena[node]
+            let Node::Internal {
+                keys,
+                children,
+                child_hashes,
+                hash,
+            } = &mut arena[node]
             else {
                 unreachable!()
             };
@@ -253,22 +262,25 @@ fn insert_rec(
 
 fn delete_rec(arena: &mut [Node], node: usize, key: &Value) -> Option<Vec<u8>> {
     match &mut arena[node] {
-        Node::Leaf { entries, hash } => {
-            match entries.binary_search_by(|(k, _)| k.cmp(key)) {
-                Ok(i) => {
-                    let (_, v) = entries.remove(i);
-                    *hash = rehash_leaf(entries);
-                    Some(v)
-                }
-                Err(_) => None,
+        Node::Leaf { entries, hash } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => {
+                let (_, v) = entries.remove(i);
+                *hash = rehash_leaf(entries);
+                Some(v)
             }
-        }
+            Err(_) => None,
+        },
         Node::Internal { keys, children, .. } => {
             let idx = route(keys, key);
             let child = children[idx];
             let removed = delete_rec(arena, child, key)?;
             let ch = node_hash(&arena[child]);
-            let Node::Internal { keys, child_hashes, hash, .. } = &mut arena[node]
+            let Node::Internal {
+                keys,
+                child_hashes,
+                hash,
+                ..
+            } = &mut arena[node]
             else {
                 unreachable!()
             };
@@ -281,16 +293,14 @@ fn delete_rec(arena: &mut [Node], node: usize, key: &Value) -> Option<Vec<u8>> {
 
 fn update_rec(arena: &mut [Node], node: usize, key: &Value, value: Vec<u8>) -> bool {
     match &mut arena[node] {
-        Node::Leaf { entries, hash } => {
-            match entries.binary_search_by(|(k, _)| k.cmp(key)) {
-                Ok(i) => {
-                    entries[i].1 = value;
-                    *hash = rehash_leaf(entries);
-                    true
-                }
-                Err(_) => false,
+        Node::Leaf { entries, hash } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => {
+                entries[i].1 = value;
+                *hash = rehash_leaf(entries);
+                true
             }
-        }
+            Err(_) => false,
+        },
         Node::Internal { keys, children, .. } => {
             let idx = route(keys, key);
             let child = children[idx];
@@ -298,7 +308,12 @@ fn update_rec(arena: &mut [Node], node: usize, key: &Value, value: Vec<u8>) -> b
                 return false;
             }
             let ch = node_hash(&arena[child]);
-            let Node::Internal { keys, child_hashes, hash, .. } = &mut arena[node]
+            let Node::Internal {
+                keys,
+                child_hashes,
+                hash,
+                ..
+            } = &mut arena[node]
             else {
                 unreachable!()
             };
@@ -315,16 +330,21 @@ fn lookup(arena: &[Node], node: usize, key: &Value) -> Option<Vec<u8>> {
             .binary_search_by(|(k, _)| k.cmp(key))
             .ok()
             .map(|i| entries[i].1.clone()),
-        Node::Internal { keys, children, .. } => {
-            lookup(arena, children[route(keys, key)], key)
-        }
+        Node::Internal { keys, children, .. } => lookup(arena, children[route(keys, key)], key),
     }
 }
 
 fn build_point_vo(arena: &[Node], node: usize, key: &Value) -> VoNode {
     match &arena[node] {
-        Node::Leaf { entries, .. } => VoNode::Leaf { entries: entries.clone() },
-        Node::Internal { keys, children, child_hashes, .. } => {
+        Node::Leaf { entries, .. } => VoNode::Leaf {
+            entries: entries.clone(),
+        },
+        Node::Internal {
+            keys,
+            children,
+            child_hashes,
+            ..
+        } => {
             let idx = route(keys, key);
             let vo_children = children
                 .iter()
@@ -337,7 +357,10 @@ fn build_point_vo(arena: &[Node], node: usize, key: &Value) -> VoNode {
                     }
                 })
                 .collect();
-            VoNode::Internal { keys: keys.clone(), children: vo_children }
+            VoNode::Internal {
+                keys: keys.clone(),
+                children: vo_children,
+            }
         }
     }
 }
@@ -345,7 +368,12 @@ fn build_point_vo(arena: &[Node], node: usize, key: &Value) -> VoNode {
 /// Which children of an internal node must be revealed for `[lo, hi]`:
 /// every intersecting child plus one extra on each side (the boundary
 /// records of Example 2.1).
-pub(crate) fn reveal_range(keys: &[Value], lo: &Bound<Value>, hi: &Bound<Value>, n: usize) -> (usize, usize) {
+pub(crate) fn reveal_range(
+    keys: &[Value],
+    lo: &Bound<Value>,
+    hi: &Bound<Value>,
+    n: usize,
+) -> (usize, usize) {
     let lo_idx = match lo {
         Bound::Unbounded => 0,
         Bound::Included(v) | Bound::Excluded(v) => route(keys, v),
@@ -357,15 +385,17 @@ pub(crate) fn reveal_range(keys: &[Value], lo: &Bound<Value>, hi: &Bound<Value>,
     (lo_idx.saturating_sub(1), (hi_idx + 1).min(n - 1))
 }
 
-fn build_range_vo(
-    arena: &[Node],
-    node: usize,
-    lo: &Bound<Value>,
-    hi: &Bound<Value>,
-) -> VoNode {
+fn build_range_vo(arena: &[Node], node: usize, lo: &Bound<Value>, hi: &Bound<Value>) -> VoNode {
     match &arena[node] {
-        Node::Leaf { entries, .. } => VoNode::Leaf { entries: entries.clone() },
-        Node::Internal { keys, children, child_hashes, .. } => {
+        Node::Leaf { entries, .. } => VoNode::Leaf {
+            entries: entries.clone(),
+        },
+        Node::Internal {
+            keys,
+            children,
+            child_hashes,
+            ..
+        } => {
             let (a, b) = reveal_range(keys, lo, hi, children.len());
             let vo_children = children
                 .iter()
@@ -378,7 +408,10 @@ fn build_range_vo(
                     }
                 })
                 .collect();
-            VoNode::Internal { keys: keys.clone(), children: vo_children }
+            VoNode::Internal {
+                keys: keys.clone(),
+                children: vo_children,
+            }
         }
     }
 }
@@ -488,8 +521,10 @@ mod tests {
     #[test]
     fn range_collects_in_order() {
         let t = tree_with(200);
-        let (rows, _) =
-            t.range(Bound::Included(Value::Int(50)), Bound::Excluded(Value::Int(60)));
+        let (rows, _) = t.range(
+            Bound::Included(Value::Int(50)),
+            Bound::Excluded(Value::Int(60)),
+        );
         let keys: Vec<i64> = rows.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
         assert_eq!(keys, (50..60).collect::<Vec<_>>());
     }

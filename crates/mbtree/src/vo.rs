@@ -40,8 +40,7 @@ impl VoNode {
                 leaf_hash(&ehashes)
             }
             VoNode::Internal { keys, children } => {
-                let chashes: Vec<NodeHash> =
-                    children.iter().map(|c| c.hash()).collect();
+                let chashes: Vec<NodeHash> = children.iter().map(|c| c.hash()).collect();
                 internal_hash(keys, &chashes)
             }
         }
@@ -76,11 +75,7 @@ pub enum VerifyOutcome {
 /// Client-side verification of a point lookup: recompute the root hash,
 /// then walk the VO along the key's routing path; the path must be fully
 /// revealed and end in a leaf that settles presence or absence.
-pub fn verify_point(
-    vo: &VoNode,
-    trusted_root: &NodeHash,
-    key: &Value,
-) -> Result<VerifyOutcome> {
+pub fn verify_point(vo: &VoNode, trusted_root: &NodeHash, key: &Value) -> Result<VerifyOutcome> {
     if &vo.hash() != trusted_root {
         return Err(tamper("VO root hash does not match the trusted root"));
     }
@@ -94,9 +89,9 @@ pub fn verify_point(
             }
             VoNode::Internal { keys, children } => {
                 let idx = route_pub(keys, key);
-                node = children.get(idx).ok_or_else(|| {
-                    tamper("malformed VO: routing index out of bounds")
-                })?;
+                node = children
+                    .get(idx)
+                    .ok_or_else(|| tamper("malformed VO: routing index out of bounds"))?;
             }
             VoNode::Leaf { entries } => {
                 return Ok(match entries.iter().find(|(k, _)| k == key) {
@@ -246,9 +241,7 @@ mod tests {
                     }
                     false
                 }
-                VoNode::Internal { children, .. } => {
-                    children.iter_mut().any(corrupt)
-                }
+                VoNode::Internal { children, .. } => children.iter_mut().any(corrupt),
                 VoNode::Pruned(_) => false,
             }
         }
@@ -265,8 +258,7 @@ mod tests {
         let (rows, vo) = t.range(lo.clone(), hi.clone());
         let verified = verify_range(&vo, &root, &lo, &hi).unwrap();
         assert_eq!(verified, rows);
-        let keys: Vec<i64> =
-            verified.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
+        let keys: Vec<i64> = verified.iter().map(|(k, _)| k.as_i64().unwrap()).collect();
         assert_eq!(keys, (100..=140).step_by(2).collect::<Vec<_>>());
     }
 
@@ -309,7 +301,11 @@ mod tests {
         }
         let (_, vo) = t.get(&Value::Int(10_000));
         // A point VO must be far smaller than the full data (20k * 64B).
-        assert!(vo.size_bytes() < 64 * 1024, "VO is {} bytes", vo.size_bytes());
+        assert!(
+            vo.size_bytes() < 64 * 1024,
+            "VO is {} bytes",
+            vo.size_bytes()
+        );
     }
 
     #[test]

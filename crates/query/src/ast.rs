@@ -282,7 +282,10 @@ pub enum Expr {
 impl Expr {
     /// Convenience: column without qualifier.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_owned() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_owned(),
+        }
     }
 
     /// Convenience: literal integer.
@@ -295,19 +298,15 @@ impl Expr {
         match self {
             Expr::Agg { .. } | Expr::AggRef(_) => true,
             Expr::Literal(_) | Expr::Column { .. } | Expr::ColumnRef(_) => false,
-            Expr::Binary { left, right, .. } => {
-                left.contains_agg() || right.contains_agg()
-            }
+            Expr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
             Expr::Neg(e) | Expr::Not(e) => e.contains_agg(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_agg() || low.contains_agg() || high.contains_agg()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_agg() || low.contains_agg() || high.contains_agg(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_agg() || list.iter().any(|e| e.contains_agg())
             }
-            Expr::Like { expr, pattern, .. } => {
-                expr.contains_agg() || pattern.contains_agg()
-            }
+            Expr::Like { expr, pattern, .. } => expr.contains_agg() || pattern.contains_agg(),
             Expr::Func { args, .. } => args.iter().any(|a| a.contains_agg()),
             // Subqueries are lowered before aggregate analysis; their
             // internals don't count as aggregates of the outer query.
@@ -319,7 +318,11 @@ impl Expr {
     /// Split a conjunction into its conjuncts.
     pub fn split_conjuncts(self) -> Vec<Expr> {
         match self {
-            Expr::Binary { op: BinOp::And, left, right } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 let mut out = left.split_conjuncts();
                 out.extend(right.split_conjuncts());
                 out
@@ -330,7 +333,11 @@ impl Expr {
 
     /// Rebuild a conjunction from conjuncts (`None` for an empty list).
     pub fn conjoin(mut exprs: Vec<Expr>) -> Option<Expr> {
-        let first = if exprs.is_empty() { return None } else { exprs.remove(0) };
+        let first = if exprs.is_empty() {
+            return None;
+        } else {
+            exprs.remove(0)
+        };
         Some(exprs.into_iter().fold(first, |acc, e| Expr::Binary {
             op: BinOp::And,
             left: Box::new(acc),
@@ -364,7 +371,10 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))) };
+        let agg = Expr::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::col("x"))),
+        };
         assert!(agg.contains_agg());
         let nested = Expr::Binary {
             op: BinOp::Mul,

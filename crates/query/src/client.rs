@@ -12,9 +12,7 @@
 use crate::portal::{result_digest, EndorsedResult, SignedQuery};
 use std::collections::BTreeMap;
 use veridb_common::{Error, Result, Row};
-use veridb_enclave::{
-    attestation::QuoteVerifier, Enclave, MacKey, Measurement, QuotingEnclave,
-};
+use veridb_enclave::{attestation::QuoteVerifier, Enclave, MacKey, Measurement, QuotingEnclave};
 
 /// A compressed set of `u64`s stored as disjoint inclusive intervals.
 #[derive(Debug, Default, Clone)]
@@ -110,13 +108,21 @@ impl Client {
         verifier
             .verify(&quote, expected, nonce)
             .map_err(|e| Error::AuthFailed(format!("attestation failed: {e}")))?;
-        Ok(Client { key: channel_key, next_qid: 1, seqs: SeqIntervals::new() })
+        Ok(Client {
+            key: channel_key,
+            next_qid: 1,
+            seqs: SeqIntervals::new(),
+        })
     }
 
     /// Build a client directly from a pre-exchanged key (tests, or
     /// deployments with out-of-band provisioning).
     pub fn with_key(key: MacKey) -> Client {
-        Client { key, next_qid: 1, seqs: SeqIntervals::new() }
+        Client {
+            key,
+            next_qid: 1,
+            seqs: SeqIntervals::new(),
+        }
     }
 
     /// Sign a query for submission.
@@ -124,7 +130,11 @@ impl Client {
         let qid = self.next_qid;
         self.next_qid += 1;
         let mac = self.key.sign(&[&qid.to_le_bytes(), sql.as_bytes()]);
-        SignedQuery { qid, sql: sql.to_owned(), mac }
+        SignedQuery {
+            qid,
+            sql: sql.to_owned(),
+            mac,
+        }
     }
 
     /// Verify an endorsed result against the query that produced it.
@@ -157,7 +167,9 @@ impl Client {
         // Rollback defense: the portal's counter is strictly increasing,
         // so a repeated sequence number proves a rollback.
         if !self.seqs.insert(endorsed.sequence) {
-            return Err(Error::RollbackDetected { sequence: endorsed.sequence });
+            return Err(Error::RollbackDetected {
+                sequence: endorsed.sequence,
+            });
         }
         Ok(endorsed.result.rows.clone())
     }

@@ -52,8 +52,7 @@ impl QueryResult {
 
     /// Render as an aligned text table (examples / debugging).
     pub fn to_table(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -95,7 +94,10 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Wrap a catalog.
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        QueryEngine { catalog, spill_threshold: std::sync::atomic::AtomicUsize::new(0) }
+        QueryEngine {
+            catalog,
+            spill_threshold: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// Enable (or disable with `None`) spilling of large intermediate
@@ -106,14 +108,13 @@ impl QueryEngine {
     }
 
     fn exec_context(&self) -> crate::spill::ExecContext {
-        let t = self.spill_threshold.load(std::sync::atomic::Ordering::Relaxed);
+        let t = self
+            .spill_threshold
+            .load(std::sync::atomic::Ordering::Relaxed);
         if t == 0 {
             crate::spill::ExecContext::default()
         } else {
-            crate::spill::ExecContext::with_spill(
-                Arc::clone(self.catalog.memory()),
-                t,
-            )
+            crate::spill::ExecContext::with_spill(Arc::clone(self.catalog.memory()), t)
         }
     }
 
@@ -160,7 +161,11 @@ impl QueryEngine {
                 }
                 Ok(QueryResult::affected(n))
             }
-            Statement::Update { table, sets, filter } => {
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
                 let t = self.catalog.table(&table)?;
                 let pk_col = t.schema().primary_key();
                 let matching = self.matching_rows(&table, filter, opts)?;
@@ -207,20 +212,21 @@ impl QueryEngine {
                 Ok(QueryResult::affected(n))
             }
             Statement::Select(stmt) => {
-                let PlannedQuery { plan, columns } =
-                    plan_select(&self.catalog, stmt, opts)?;
+                let PlannedQuery { plan, columns } = plan_select(&self.catalog, stmt, opts)?;
                 let rows = exec::run_ctx(&plan, &self.exec_context())?;
                 Ok(QueryResult { columns, rows })
             }
             Statement::Explain(stmt) => {
-                let PlannedQuery { plan, .. } =
-                    plan_select(&self.catalog, stmt, opts)?;
+                let PlannedQuery { plan, .. } = plan_select(&self.catalog, stmt, opts)?;
                 let rows = plan
                     .explain()
                     .lines()
                     .map(|l| Row::new(vec![Value::Str(l.to_owned())]))
                     .collect();
-                Ok(QueryResult { columns: vec!["plan".into()], rows })
+                Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows,
+                })
             }
         }
     }
@@ -228,9 +234,7 @@ impl QueryEngine {
     /// Render a query's physical plan (EXPLAIN).
     pub fn explain(&self, sql: &str, opts: &PlanOptions) -> Result<String> {
         match parse(sql)? {
-            Statement::Select(stmt) => {
-                Ok(plan_select(&self.catalog, stmt, opts)?.plan.explain())
-            }
+            Statement::Select(stmt) => Ok(plan_select(&self.catalog, stmt, opts)?.plan.explain()),
             other => Err(Error::Plan(format!("cannot EXPLAIN {other:?}"))),
         }
     }
@@ -246,7 +250,10 @@ impl QueryEngine {
         let stmt = SelectStmt {
             distinct: false,
             items: vec![SelectItem::Wildcard],
-            from: vec![TableRef { table: table.to_owned(), alias: table.to_owned() }],
+            from: vec![TableRef {
+                table: table.to_owned(),
+                alias: table.to_owned(),
+            }],
             join_on: vec![],
             filter,
             group_by: vec![],
@@ -275,13 +282,22 @@ fn resolve_local(
         },
         Expr::Neg(x) => Expr::Neg(Box::new(resolve_local(table, *x)?)),
         Expr::Not(x) => Expr::Not(Box::new(resolve_local(table, *x)?)),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(resolve_local(table, *expr)?),
             low: Box::new(resolve_local(table, *low)?),
             high: Box::new(resolve_local(table, *high)?),
             negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(resolve_local(table, *expr)?),
             list: list
                 .into_iter()
@@ -289,7 +305,11 @@ fn resolve_local(
                 .collect::<Result<_>>()?,
             negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(resolve_local(table, *expr)?),
             pattern: Box::new(resolve_local(table, *pattern)?),
             negated,
@@ -301,9 +321,7 @@ fn resolve_local(
                 .map(|a| resolve_local(table, a))
                 .collect::<Result<_>>()?,
         },
-        Expr::Agg { .. } => {
-            return Err(Error::Plan("aggregates are not allowed in SET".into()))
-        }
+        Expr::Agg { .. } => return Err(Error::Plan("aggregates are not allowed in SET".into())),
         Expr::Subquery(_) | Expr::InSubquery { .. } => {
             return Err(Error::Plan("subqueries are not allowed in SET".into()))
         }

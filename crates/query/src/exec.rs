@@ -15,7 +15,7 @@ use crate::ast::{AggFunc, Expr};
 use crate::expr::{cmp_values, eval, passes};
 use crate::planner::{AccessPath, PhysicalPlan};
 use crate::spill::{ExecContext, SpilledRows};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use veridb_common::{Result, Row, Value};
 use veridb_storage::{Table, VerifiedScan};
@@ -36,43 +36,59 @@ pub fn open(plan: &PhysicalPlan) -> Result<Box<dyn Operator>> {
 /// (spilling of large intermediate state per §5.4).
 pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
     Ok(match plan {
-        PhysicalPlan::TableScan { table, access, residual } => {
-            Box::new(ScanOp::new(table, access, residual.clone())?)
-        }
-        PhysicalPlan::Filter { input, pred } => {
-            Box::new(FilterOp { input: open_ctx(input, ctx)?, pred: pred.clone() })
-        }
-        PhysicalPlan::Project { input, exprs, .. } => {
-            Box::new(ProjectOp { input: open_ctx(input, ctx)?, exprs: exprs.clone() })
-        }
-        PhysicalPlan::IndexNlJoin { outer, inner, inner_chain, outer_key, residual } => {
-            Box::new(IndexNlJoinOp {
-                outer: open_ctx(outer, ctx)?,
-                inner: Arc::clone(inner),
-                inner_chain: *inner_chain,
-                outer_key: *outer_key,
-                residual: residual.clone(),
-                pending: Vec::new(),
-            })
-        }
-        PhysicalPlan::HashJoin { left, right, left_key, right_key, residual } => {
-            Box::new(HashJoinOp::new(
-                open_ctx(left, ctx)?,
-                open_ctx(right, ctx)?,
-                *left_key,
-                *right_key,
-                residual.clone(),
-            ))
-        }
-        PhysicalPlan::MergeJoin { left, right, left_key, right_key, residual } => {
-            Box::new(MergeJoinOp::new(
-                open_ctx(left, ctx)?,
-                open_ctx(right, ctx)?,
-                *left_key,
-                *right_key,
-                residual.clone(),
-            ))
-        }
+        PhysicalPlan::TableScan {
+            table,
+            access,
+            residual,
+        } => Box::new(ScanOp::new(table, access, residual.clone())?),
+        PhysicalPlan::Filter { input, pred } => Box::new(FilterOp {
+            input: open_ctx(input, ctx)?,
+            pred: pred.clone(),
+        }),
+        PhysicalPlan::Project { input, exprs, .. } => Box::new(ProjectOp {
+            input: open_ctx(input, ctx)?,
+            exprs: exprs.clone(),
+        }),
+        PhysicalPlan::IndexNlJoin {
+            outer,
+            inner,
+            inner_chain,
+            outer_key,
+            residual,
+        } => Box::new(IndexNlJoinOp {
+            outer: open_ctx(outer, ctx)?,
+            inner: Arc::clone(inner),
+            inner_chain: *inner_chain,
+            outer_key: *outer_key,
+            residual: residual.clone(),
+            pending: Vec::new(),
+        }),
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => Box::new(HashJoinOp::new(
+            open_ctx(left, ctx)?,
+            open_ctx(right, ctx)?,
+            *left_key,
+            *right_key,
+            residual.clone(),
+        )),
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => Box::new(MergeJoinOp::new(
+            open_ctx(left, ctx)?,
+            open_ctx(right, ctx)?,
+            *left_key,
+            *right_key,
+            residual.clone(),
+        )),
         PhysicalPlan::BlockNlJoin { left, right, pred } => Box::new(BlockNlJoinOp {
             left: open_ctx(left, ctx)?,
             right_plan: (**right).clone(),
@@ -82,15 +98,18 @@ pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operat
             pred: pred.clone(),
             ctx: ctx.clone(),
         }),
-        PhysicalPlan::Aggregate { input, group, aggs } => {
-            Box::new(AggregateOp::new(open_ctx(input, ctx)?, group.clone(), aggs.clone()))
-        }
+        PhysicalPlan::Aggregate { input, group, aggs } => Box::new(AggregateOp::new(
+            open_ctx(input, ctx)?,
+            group.clone(),
+            aggs.clone(),
+        )),
         PhysicalPlan::Sort { input, keys } => {
             Box::new(SortOp::new(open_ctx(input, ctx)?, keys.clone()))
         }
-        PhysicalPlan::Limit { input, n } => {
-            Box::new(LimitOp { input: open_ctx(input, ctx)?, remaining: *n })
-        }
+        PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
+            input: open_ctx(input, ctx)?,
+            remaining: *n,
+        }),
         PhysicalPlan::Distinct { input } => Box::new(DistinctOp {
             input: open_ctx(input, ctx)?,
             seen: std::collections::HashSet::new(),
@@ -120,10 +139,18 @@ enum ScanSource {
     Point(std::vec::IntoIter<Row>),
 }
 
+/// Rows pulled from the verified scan per refill. Draining the underlying
+/// cursor in runs keeps it on its page-batched fast path (each pull beyond
+/// the first usually pops an already-verified row) and amortizes the
+/// residual evaluation loop.
+const SCAN_OP_BATCH: usize = 64;
+
 /// Leaf scan over a table's verified access methods.
 struct ScanOp {
     source: ScanSource,
     residual: Option<Expr>,
+    /// Rows verified and filtered, awaiting emission.
+    buf: VecDeque<Row>,
 }
 
 impl ScanOp {
@@ -148,27 +175,65 @@ impl ScanOp {
                 }
             }
         };
-        Ok(ScanOp { source, residual })
+        Ok(ScanOp {
+            source,
+            residual,
+            buf: VecDeque::new(),
+        })
+    }
+
+    /// Pull up to [`SCAN_OP_BATCH`] rows from a range source into `buf`,
+    /// applying the residual predicate as they arrive. Returns `false` once
+    /// the source is exhausted.
+    fn refill(&mut self) -> Result<bool> {
+        let ScanSource::Range(s) = &mut self.source else {
+            return Ok(false);
+        };
+        let mut pulled = false;
+        for _ in 0..SCAN_OP_BATCH {
+            let Some(row) = s.next() else {
+                return Ok(pulled);
+            };
+            let row = row?;
+            pulled = true;
+            let keep = match &self.residual {
+                Some(pred) => passes(pred, &row)?,
+                None => true,
+            };
+            if keep {
+                self.buf.push_back(row);
+            }
+        }
+        Ok(pulled)
     }
 }
 
 impl Operator for ScanOp {
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
-            let row = match &mut self.source {
-                ScanSource::Range(s) => match s.next() {
-                    Some(r) => Some(r?),
-                    None => None,
-                },
-                ScanSource::Point(it) => it.next(),
-            };
-            let Some(row) = row else { return Ok(None) };
-            if let Some(pred) = &self.residual {
-                if !passes(pred, &row)? {
-                    continue;
+            if let Some(row) = self.buf.pop_front() {
+                return Ok(Some(row));
+            }
+            match &mut self.source {
+                ScanSource::Range(_) => {
+                    if !self.refill()? {
+                        return Ok(None);
+                    }
+                    // buf may still be empty (residual dropped the whole
+                    // batch); loop and pull the next run.
+                }
+                ScanSource::Point(it) => {
+                    let Some(row) = it.next() else {
+                        return Ok(None);
+                    };
+                    if let Some(pred) = &self.residual {
+                        if !passes(pred, &row)? {
+                            continue;
+                        }
+                    }
+                    return Ok(Some(row));
                 }
             }
-            return Ok(Some(row));
         }
     }
 }
@@ -231,7 +296,9 @@ impl Operator for IndexNlJoinOp {
             if let Some(row) = self.pending.pop() {
                 return Ok(Some(row));
             }
-            let Some(outer_row) = self.outer.next()? else { return Ok(None) };
+            let Some(outer_row) = self.outer.next()? else {
+                return Ok(None);
+            };
             let key = outer_row[self.outer_key].clone();
             if key.is_null() {
                 continue; // NULL keys never join
@@ -245,7 +312,7 @@ impl Operator for IndexNlJoinOp {
                 self.inner.scan_eq(self.inner_chain, &key).collect_rows()?
             };
             for inner_row in matches {
-                let joined = outer_row.clone().concat(inner_row);
+                let joined = outer_row.joined(&inner_row);
                 let keep = match &self.residual {
                     Some(p) => passes(p, &joined)?,
                     None => true,
@@ -309,14 +376,16 @@ impl Operator for HashJoinOp {
             if let Some(row) = self.pending.pop() {
                 return Ok(Some(row));
             }
-            let Some(lrow) = self.left.next()? else { return Ok(None) };
+            let Some(lrow) = self.left.next()? else {
+                return Ok(None);
+            };
             let k = &lrow[self.left_key];
             if k.is_null() {
                 continue;
             }
             if let Some(matches) = self.table.get(k) {
                 for rrow in matches {
-                    let joined = lrow.clone().concat(rrow.clone());
+                    let joined = lrow.joined(rrow);
                     let keep = match &self.residual {
                         Some(p) => passes(p, &joined)?,
                         None => true,
@@ -407,7 +476,9 @@ impl Operator for MergeJoinOp {
             if let Some(row) = self.emit.pop() {
                 return Ok(Some(row));
             }
-            let Some(lrow) = self.left.next()? else { return Ok(None) };
+            let Some(lrow) = self.left.next()? else {
+                return Ok(None);
+            };
             let lk = lrow[self.left_key].clone();
             if lk.is_null() {
                 continue;
@@ -415,7 +486,7 @@ impl Operator for MergeJoinOp {
             self.advance_right_group(&lk)?;
             if self.group_key.as_ref() == Some(&lk) {
                 for rrow in &self.group {
-                    let joined = lrow.clone().concat(rrow.clone());
+                    let joined = lrow.joined(rrow);
                     let keep = match &self.residual {
                         Some(p) => passes(p, &joined)?,
                         None => true,
@@ -467,7 +538,7 @@ impl Operator for BlockNlJoinOp {
             while self.right_pos < right.len() {
                 let rrow = right.get(self.right_pos)?;
                 self.right_pos += 1;
-                let joined = lrow.clone().concat(rrow);
+                let joined = lrow.joined(&rrow);
                 let keep = match &self.pred {
                     Some(p) => passes(p, &joined)?,
                     None => true,
@@ -487,8 +558,16 @@ impl Operator for BlockNlJoinOp {
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    Sum { acc: f64, any: bool, int_only: bool, int_acc: i64 },
-    Avg { sum: f64, count: i64 },
+    Sum {
+        acc: f64,
+        any: bool,
+        int_only: bool,
+        int_acc: i64,
+    },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -497,7 +576,12 @@ impl AggState {
     fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum { acc: 0.0, any: false, int_only: true, int_acc: 0 },
+            AggFunc::Sum => AggState::Sum {
+                acc: 0.0,
+                any: false,
+                int_only: true,
+                int_acc: 0,
+            },
             AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
@@ -514,7 +598,12 @@ impl AggState {
                     Some(_) => *n += 1,
                 }
             }
-            AggState::Sum { acc, any, int_only, int_acc } => {
+            AggState::Sum {
+                acc,
+                any,
+                int_only,
+                int_acc,
+            } => {
                 if let Some(v) = v {
                     if !v.is_null() {
                         match &v {
@@ -557,9 +646,7 @@ impl AggState {
                     if !v.is_null() {
                         let better = match slot {
                             None => true,
-                            Some(cur) => {
-                                cmp_values(&v, cur)? == std::cmp::Ordering::Greater
-                            }
+                            Some(cur) => cmp_values(&v, cur)? == std::cmp::Ordering::Greater,
                         };
                         if better {
                             *slot = Some(v);
@@ -574,7 +661,12 @@ impl AggState {
     fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            AggState::Sum { acc, any, int_only, int_acc } => {
+            AggState::Sum {
+                acc,
+                any,
+                int_only,
+                int_acc,
+            } => {
                 if !any {
                     Value::Null
                 } else if int_only {
@@ -603,12 +695,13 @@ struct AggregateOp {
 }
 
 impl AggregateOp {
-    fn new(
-        input: Box<dyn Operator>,
-        group: Vec<Expr>,
-        aggs: Vec<(AggFunc, Option<Expr>)>,
-    ) -> Self {
-        AggregateOp { input, group, aggs, output: None }
+    fn new(input: Box<dyn Operator>, group: Vec<Expr>, aggs: Vec<(AggFunc, Option<Expr>)>) -> Self {
+        AggregateOp {
+            input,
+            group,
+            aggs,
+            output: None,
+        }
     }
 
     fn materialize(&mut self) -> Result<Vec<Row>> {
@@ -640,8 +733,7 @@ impl AggregateOp {
         // Global aggregation over zero rows still emits one row of
         // identity values (COUNT(*)=0, SUM=NULL, …) per SQL semantics.
         if order.is_empty() && self.group.is_empty() {
-            let states: Vec<AggState> =
-                self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+            let states: Vec<AggState> = self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
             let mut row = Vec::new();
             row.extend(states.into_iter().map(|s| s.finish()));
             return Ok(vec![Row::new(row)]);
@@ -676,7 +768,11 @@ struct SortOp {
 
 impl SortOp {
     fn new(input: Box<dyn Operator>, keys: Vec<(Expr, bool)>) -> Self {
-        SortOp { input, keys, output: None }
+        SortOp {
+            input,
+            keys,
+            output: None,
+        }
     }
 }
 
@@ -711,8 +807,13 @@ impl Operator for SortOp {
                 }
                 std::cmp::Ordering::Equal
             });
-            self.output =
-                Some(keyed.into_iter().map(|(_, r)| r).collect::<Vec<_>>().into_iter());
+            self.output = Some(
+                keyed
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            );
         }
         Ok(self.output.as_mut().expect("set above").next())
     }
@@ -754,4 +855,3 @@ impl Operator for LimitOp {
         }
     }
 }
-

@@ -35,15 +35,16 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
         }
         Expr::Column { qualifier, name } => Err(Error::Plan(format!(
             "unresolved column {}{} reached execution",
-            qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default(),
+            qualifier
+                .as_deref()
+                .map(|q| format!("{q}."))
+                .unwrap_or_default(),
             name
         ))),
-        Expr::Agg { .. } => Err(Error::Plan(
-            "unresolved aggregate reached execution".into(),
-        )),
-        Expr::Subquery(_) | Expr::InSubquery { .. } => Err(Error::Plan(
-            "unlowered subquery reached execution".into(),
-        )),
+        Expr::Agg { .. } => Err(Error::Plan("unresolved aggregate reached execution".into())),
+        Expr::Subquery(_) | Expr::InSubquery { .. } => {
+            Err(Error::Plan("unlowered subquery reached execution".into()))
+        }
         Expr::Neg(e) => match eval(e, row)? {
             Value::Null => Ok(Value::Null),
             Value::Int(i) => Ok(Value::Int(-i)),
@@ -56,7 +57,12 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
             Truth::Null => Ok(Value::Null),
         },
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, row),
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             let lo = eval(low, row)?;
             let hi = eval(high, row)?;
@@ -67,7 +73,11 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
                 && cmp_values(&v, &hi)? <= std::cmp::Ordering::Equal;
             Ok(bool_value(within != *negated))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             let p = eval(pattern, row)?;
             if v.is_null() || p.is_null() {
@@ -78,17 +88,14 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
         }
         Expr::Func { func, args } => {
             use crate::ast::ScalarFunc;
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, row)).collect::<Result<_>>()?;
+            let vals: Vec<Value> = args.iter().map(|a| eval(a, row)).collect::<Result<_>>()?;
             if vals.iter().any(|v| v.is_null()) {
                 return Ok(Value::Null);
             }
             match func {
                 ScalarFunc::Upper => Ok(Value::Str(vals[0].as_str()?.to_uppercase())),
                 ScalarFunc::Lower => Ok(Value::Str(vals[0].as_str()?.to_lowercase())),
-                ScalarFunc::Length => {
-                    Ok(Value::Int(vals[0].as_str()?.chars().count() as i64))
-                }
+                ScalarFunc::Length => Ok(Value::Int(vals[0].as_str()?.chars().count() as i64)),
                 ScalarFunc::Abs => match &vals[0] {
                     Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
                     Value::Float(f) => Ok(Value::Float(f.abs())),
@@ -96,9 +103,7 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
                 },
                 ScalarFunc::Substr => {
                     if vals.len() < 2 || vals.len() > 3 {
-                        return Err(Error::Type(
-                            "SUBSTR takes 2 or 3 arguments".into(),
-                        ));
+                        return Err(Error::Type("SUBSTR takes 2 or 3 arguments".into()));
                     }
                     let sch: Vec<char> = vals[0].as_str()?.chars().collect();
                     // SQL semantics: 1-based start; clamp to bounds.
@@ -107,13 +112,16 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
                         Some(n) => n.as_i64()?.max(0) as usize,
                         None => sch.len(),
                     };
-                    let out: String =
-                        sch.iter().skip(start).take(len).collect();
+                    let out: String = sch.iter().skip(start).take(len).collect();
                     Ok(Value::Str(out))
                 }
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -146,7 +154,11 @@ pub enum Truth {
 /// on `True`.
 pub fn eval_truth(expr: &Expr, row: &Row) -> Result<Truth> {
     match expr {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             // Short-circuit: False AND x = False without evaluating x
             // (sound under three-valued logic and critical for join
             // predicates of the form `equi AND <expensive residual>`).
@@ -159,16 +171,18 @@ pub fn eval_truth(expr: &Expr, row: &Row) -> Result<Truth> {
                 },
             }
         }
-        Expr::Binary { op: BinOp::Or, left, right } => {
-            match eval_truth(left, row)? {
-                Truth::True => Ok(Truth::True),
-                l => match (l, eval_truth(right, row)?) {
-                    (_, Truth::True) => Ok(Truth::True),
-                    (Truth::False, Truth::False) => Ok(Truth::False),
-                    _ => Ok(Truth::Null),
-                },
-            }
-        }
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => match eval_truth(left, row)? {
+            Truth::True => Ok(Truth::True),
+            l => match (l, eval_truth(right, row)?) {
+                (_, Truth::True) => Ok(Truth::True),
+                (Truth::False, Truth::False) => Ok(Truth::False),
+                _ => Ok(Truth::Null),
+            },
+        },
         Expr::Not(e) => Ok(match eval_truth(e, row)? {
             Truth::True => Truth::False,
             Truth::False => Truth::True,
@@ -198,9 +212,9 @@ fn bool_value(b: bool) -> Value {
 pub fn cmp_values(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
     use Value::*;
     match (a, b) {
-        (Int(_) | Float(_), Int(_) | Float(_))
-        | (Str(_), Str(_))
-        | (Date(_), Date(_)) => Ok(a.cmp(b)),
+        (Int(_) | Float(_), Int(_) | Float(_)) | (Str(_), Str(_)) | (Date(_), Date(_)) => {
+            Ok(a.cmp(b))
+        }
         // Dates stored as ints compare against int literals.
         (Date(d), Int(i)) => Ok((*d as i64).cmp(i)),
         (Int(i), Date(d)) => Ok(i.cmp(&(*d as i64))),
@@ -211,18 +225,20 @@ pub fn cmp_values(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
 fn eval_binary(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value> {
     if matches!(op, BinOp::And | BinOp::Or) {
         // Route through three-valued logic.
-        return Ok(match eval_truth(
-            &Expr::Binary {
-                op,
-                left: Box::new(left.clone()),
-                right: Box::new(right.clone()),
+        return Ok(
+            match eval_truth(
+                &Expr::Binary {
+                    op,
+                    left: Box::new(left.clone()),
+                    right: Box::new(right.clone()),
+                },
+                row,
+            )? {
+                Truth::True => Value::Int(1),
+                Truth::False => Value::Int(0),
+                Truth::Null => Value::Null,
             },
-            row,
-        )? {
-            Truth::True => Value::Int(1),
-            Truth::False => Value::Int(0),
-            Truth::Null => Value::Null,
-        });
+        );
     }
     let l = eval(left, row)?;
     let r = eval(right, row)?;
@@ -289,13 +305,20 @@ mod tests {
     }
 
     fn bin(op: BinOp, l: E, r: E) -> E {
-        E::Binary { op, left: Box::new(l), right: Box::new(r) }
+        E::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     #[test]
     fn arithmetic() {
         let r = row();
-        assert_eq!(eval(&bin(BinOp::Add, cref(0), E::int(5)), &r).unwrap(), Value::Int(15));
+        assert_eq!(
+            eval(&bin(BinOp::Add, cref(0), E::int(5)), &r).unwrap(),
+            Value::Int(15)
+        );
         assert_eq!(
             eval(&bin(BinOp::Mul, cref(0), cref(1)), &r).unwrap(),
             Value::Float(25.0)
@@ -317,7 +340,10 @@ mod tests {
     #[test]
     fn comparisons_and_mixed_numeric() {
         let r = row();
-        assert_eq!(eval(&bin(BinOp::Gt, cref(0), cref(1)), &r).unwrap(), Value::Int(1));
+        assert_eq!(
+            eval(&bin(BinOp::Gt, cref(0), cref(1)), &r).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(
             eval(&bin(BinOp::Eq, cref(2), E::Literal("abc".into())), &r).unwrap(),
             Value::Int(1)
@@ -328,9 +354,18 @@ mod tests {
     #[test]
     fn null_propagation() {
         let r = row();
-        assert_eq!(eval(&bin(BinOp::Add, cref(3), E::int(1)), &r).unwrap(), Value::Null);
-        assert_eq!(eval(&bin(BinOp::Eq, cref(3), cref(3)), &r).unwrap(), Value::Null);
-        assert_eq!(eval_truth(&bin(BinOp::Eq, cref(3), E::int(1)), &r).unwrap(), Truth::Null);
+        assert_eq!(
+            eval(&bin(BinOp::Add, cref(3), E::int(1)), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Eq, cref(3), cref(3)), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_truth(&bin(BinOp::Eq, cref(3), E::int(1)), &r).unwrap(),
+            Truth::Null
+        );
         assert!(!passes(&bin(BinOp::Eq, cref(3), E::int(1)), &r).unwrap());
     }
 
@@ -392,11 +427,7 @@ mod tests {
     #[test]
     fn date_comparisons() {
         let r = row();
-        assert!(passes(
-            &bin(BinOp::Ge, cref(4), E::Literal(Value::Date(100))),
-            &r
-        )
-        .unwrap());
+        assert!(passes(&bin(BinOp::Ge, cref(4), E::Literal(Value::Date(100))), &r).unwrap());
         assert!(passes(&bin(BinOp::Lt, cref(4), E::Literal(Value::Date(101))), &r).unwrap());
     }
 

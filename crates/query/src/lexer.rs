@@ -145,11 +145,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(Error::Parse(
-                                "unterminated string literal".into(),
-                            ))
-                        }
+                        None => return Err(Error::Parse("unterminated string literal".into())),
                         Some(b'\'') => {
                             if bytes.get(i + 1) == Some(&b'\'') {
                                 s.push('\'');
@@ -186,13 +182,15 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 }
                 let text = &sql[start..i];
                 if is_float {
-                    out.push(Token::Float(text.parse().map_err(|e| {
-                        Error::Parse(format!("bad float {text}: {e}"))
-                    })?));
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|e| Error::Parse(format!("bad float {text}: {e}")))?,
+                    ));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|e| {
-                        Error::Parse(format!("bad integer {text}: {e}"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|e| Error::Parse(format!("bad integer {text}: {e}")))?,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -222,8 +220,7 @@ mod tests {
 
     #[test]
     fn lexes_a_select() {
-        let toks = lex("SELECT a.x, 42, 1.5 FROM t WHERE x <= 'it''s' AND y <> 3")
-            .unwrap();
+        let toks = lex("SELECT a.x, 42, 1.5 FROM t WHERE x <= 'it''s' AND y <> 3").unwrap();
         assert!(toks.contains(&Token::Ident("SELECT".into())));
         assert!(toks.contains(&Token::Int(42)));
         assert!(toks.contains(&Token::Float(1.5)));

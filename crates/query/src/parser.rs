@@ -10,11 +10,10 @@ use veridb_common::{ColumnType, Error, Result, Value};
 
 /// Keywords that terminate an expression / select-item context.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "by", "limit", "and", "or",
-    "not", "between", "in", "as", "on", "join", "inner", "asc", "desc",
-    "values", "set", "insert", "update", "delete", "create", "drop", "table",
-    "into", "primary", "key", "chained", "having", "distinct", "explain",
-    "like",
+    "select", "from", "where", "group", "order", "by", "limit", "and", "or", "not", "between",
+    "in", "as", "on", "join", "inner", "asc", "desc", "values", "set", "insert", "update",
+    "delete", "create", "drop", "table", "into", "primary", "key", "chained", "having", "distinct",
+    "explain", "like",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -81,7 +80,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -89,7 +91,10 @@ impl Parser {
         if self.eat_if(|t| *t == tok) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {tok:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {tok:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -109,7 +114,9 @@ impl Parser {
         }
         if self.eat_kw("drop") {
             self.expect_kw("table")?;
-            return Ok(Statement::DropTable { name: self.ident()? });
+            return Ok(Statement::DropTable {
+                name: self.ident()?,
+            });
         }
         if self.eat_kw("insert") {
             self.expect_kw("into")?;
@@ -129,7 +136,10 @@ impl Parser {
             self.expect_kw("select")?;
             return Ok(Statement::Explain(self.select()?));
         }
-        Err(Error::Parse(format!("unsupported statement: {:?}", self.peek())))
+        Err(Error::Parse(format!(
+            "unsupported statement: {:?}",
+            self.peek()
+        )))
     }
 
     fn column_type(&mut self) -> Result<ColumnType> {
@@ -142,9 +152,7 @@ impl Parser {
             "float" | "double" | "real" | "decimal" | "numeric" => ColumnType::Float,
             "text" | "string" | "varchar" | "char" => ColumnType::Str,
             "date" => ColumnType::Date,
-            other => {
-                return Err(Error::Parse(format!("unsupported column type {other}")))
-            }
+            other => return Err(Error::Parse(format!("unsupported column type {other}"))),
         };
         // Optional length/precision, e.g. VARCHAR(25), DECIMAL(15,2).
         if self.eat_if(|t| matches!(t, Token::LParen)) {
@@ -175,9 +183,7 @@ impl Parser {
                 if self.eat_kw("primary") {
                     self.expect_kw("key")?;
                     if !columns.is_empty() {
-                        return Err(Error::Parse(
-                            "PRIMARY KEY must be the first column".into(),
-                        ));
+                        return Err(Error::Parse("PRIMARY KEY must be the first column".into()));
                     }
                     chained = true;
                 } else if self.eat_kw("chained") {
@@ -229,21 +235,37 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, filter })
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
         let table = self.ident()?;
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let table = self.ident()?;
-        let has_alias = self.eat_kw("as")
-            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
-        let alias = if has_alias { self.ident()? } else { table.clone() };
+        let has_alias =
+            self.eat_kw("as") || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+        let alias = if has_alias {
+            self.ident()?
+        } else {
+            table.clone()
+        };
         Ok(TableRef { table, alias })
     }
 
@@ -284,7 +306,11 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -295,7 +321,11 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("order") {
             self.expect_kw("by")?;
@@ -419,7 +449,11 @@ impl Parser {
                 }
             }
             self.expect(Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("like") {
             let pattern = self.additive()?;
@@ -445,7 +479,11 @@ impl Parser {
         };
         self.pos += 1;
         let right = self.additive()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn additive(&mut self) -> Result<Expr> {
@@ -458,7 +496,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -473,7 +515,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -522,7 +568,10 @@ impl Parser {
                         }
                         let arg = self.expr()?;
                         self.expect(Token::RParen)?;
-                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+                        return Ok(Expr::Agg {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
                     }
                     if let Some(func) = ScalarFunc::from_name(&name) {
                         self.pos += 1; // consume '('
@@ -554,9 +603,14 @@ impl Parser {
                         name: col,
                     });
                 }
-                Ok(Expr::Column { qualifier: None, name: name.to_ascii_lowercase() })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: name.to_ascii_lowercase(),
+                })
             }
-            t => Err(Error::Parse(format!("unexpected token in expression: {t:?}"))),
+            t => Err(Error::Parse(format!(
+                "unexpected token in expression: {t:?}"
+            ))),
         }
     }
 }
@@ -597,7 +651,10 @@ mod tests {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "t");
                 assert_eq!(rows.len(), 2);
-                assert_eq!(rows[1][2], Expr::Neg(Box::new(Expr::Literal(Value::Float(2.5)))));
+                assert_eq!(
+                    rows[1][2],
+                    Expr::Neg(Box::new(Expr::Literal(Value::Float(2.5))))
+                );
             }
             _ => panic!(),
         }
@@ -613,8 +670,7 @@ mod tests {
 
     #[test]
     fn parses_basic_select() {
-        let s = parse("SELECT * FROM t WHERE a >= 1 AND b < 'z' ORDER BY a DESC LIMIT 10")
-            .unwrap();
+        let s = parse("SELECT * FROM t WHERE a >= 1 AND b < 'z' ORDER BY a DESC LIMIT 10").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.items, vec![SelectItem::Wildcard]);
         assert_eq!(sel.from.len(), 1);
@@ -656,7 +712,13 @@ mod tests {
         assert_eq!(sel.items.len(), 4);
         assert_eq!(sel.group_by.len(), 1);
         match &sel.items[1] {
-            SelectItem::Expr(Expr::Agg { func: AggFunc::Sum, arg }, Some(alias)) => {
+            SelectItem::Expr(
+                Expr::Agg {
+                    func: AggFunc::Sum,
+                    arg,
+                },
+                Some(alias),
+            ) => {
                 assert!(arg.is_some());
                 assert_eq!(alias, "sum_qty");
             }
@@ -703,8 +765,7 @@ mod tests {
 
     #[test]
     fn parses_in_and_not_variants() {
-        let s = parse("SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2")
-            .unwrap();
+        let s = parse("SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         let conj = sel.filter.unwrap().split_conjuncts();
         assert!(matches!(&conj[0], Expr::InList { negated: true, .. }));
@@ -726,10 +787,16 @@ mod tests {
     fn operator_precedence() {
         let s = parse("SELECT a + b * c FROM t").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let SelectItem::Expr(e, _) = &sel.items[0] else { panic!() };
+        let SelectItem::Expr(e, _) = &sel.items[0] else {
+            panic!()
+        };
         // a + (b * c)
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("bad precedence: {other:?}"),
@@ -741,7 +808,11 @@ mod tests {
         let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         match sel.filter.unwrap() {
-            Expr::Binary { op: BinOp::Or, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("bad precedence: {other:?}"),

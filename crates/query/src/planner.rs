@@ -164,14 +164,10 @@ impl PhysicalPlan {
             PhysicalPlan::TableScan { table, .. } => table.schema().len(),
             PhysicalPlan::Filter { input, .. } => input.width(),
             PhysicalPlan::Project { exprs, .. } => exprs.len(),
-            PhysicalPlan::IndexNlJoin { outer, inner, .. } => {
-                outer.width() + inner.schema().len()
-            }
+            PhysicalPlan::IndexNlJoin { outer, inner, .. } => outer.width() + inner.schema().len(),
             PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::MergeJoin { left, right, .. }
-            | PhysicalPlan::BlockNlJoin { left, right, .. } => {
-                left.width() + right.width()
-            }
+            | PhysicalPlan::BlockNlJoin { left, right, .. } => left.width() + right.width(),
             PhysicalPlan::Aggregate { group, aggs, .. } => group.len() + aggs.len(),
             PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. }
@@ -189,7 +185,11 @@ impl PhysicalPlan {
     fn explain_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         match self {
-            PhysicalPlan::TableScan { table, access, residual } => {
+            PhysicalPlan::TableScan {
+                table,
+                access,
+                residual,
+            } => {
                 let acc = match access {
                     AccessPath::Full => "SeqScan".to_string(),
                     AccessPath::Range { chain, .. } => {
@@ -202,7 +202,11 @@ impl PhysicalPlan {
                 out.push_str(&format!(
                     "{pad}{acc} on {}{}\n",
                     table.name(),
-                    if residual.is_some() { " [filtered]" } else { "" }
+                    if residual.is_some() {
+                        " [filtered]"
+                    } else {
+                        ""
+                    }
                 ));
             }
             PhysicalPlan::Filter { input, .. } => {
@@ -214,7 +218,10 @@ impl PhysicalPlan {
                 input.explain_into(depth + 1, out);
             }
             PhysicalPlan::IndexNlJoin { outer, inner, .. } => {
-                out.push_str(&format!("{pad}IndexNestedLoopJoin (inner: {})\n", inner.name()));
+                out.push_str(&format!(
+                    "{pad}IndexNestedLoopJoin (inner: {})\n",
+                    inner.name()
+                ));
                 outer.explain_into(depth + 1, out);
             }
             PhysicalPlan::HashJoin { left, right, .. } => {
@@ -318,13 +325,22 @@ impl Scope {
             },
             Expr::Neg(x) => Expr::Neg(Box::new(self.resolve_expr(*x)?)),
             Expr::Not(x) => Expr::Not(Box::new(self.resolve_expr(*x)?)),
-            Expr::Between { expr, low, high, negated } => Expr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
                 expr: Box::new(self.resolve_expr(*expr)?),
                 low: Box::new(self.resolve_expr(*low)?),
                 high: Box::new(self.resolve_expr(*high)?),
                 negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(self.resolve_expr(*expr)?),
                 list: list
                     .into_iter()
@@ -339,7 +355,11 @@ impl Scope {
                     None => None,
                 },
             },
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: Box::new(self.resolve_expr(*expr)?),
                 pattern: Box::new(self.resolve_expr(*pattern)?),
                 negated,
@@ -372,7 +392,9 @@ fn collect_refs(e: &Expr, out: &mut Vec<usize>) {
             collect_refs(right, out);
         }
         Expr::Neg(x) | Expr::Not(x) => collect_refs(x, out),
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_refs(expr, out);
             collect_refs(low, out);
             collect_refs(high, out);
@@ -414,13 +436,22 @@ fn shift_refs(e: Expr, offset: usize) -> Expr {
         },
         Expr::Neg(x) => Expr::Neg(Box::new(shift_refs(*x, offset))),
         Expr::Not(x) => Expr::Not(Box::new(shift_refs(*x, offset))),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(shift_refs(*expr, offset)),
             low: Box::new(shift_refs(*low, offset)),
             high: Box::new(shift_refs(*high, offset)),
             negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(shift_refs(*expr, offset)),
             list: list.into_iter().map(|x| shift_refs(x, offset)).collect(),
             negated,
@@ -429,7 +460,11 @@ fn shift_refs(e: Expr, offset: usize) -> Expr {
             func,
             arg: arg.map(|a| Box::new(shift_refs(*a, offset))),
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(shift_refs(*expr, offset)),
             pattern: Box::new(shift_refs(*pattern, offset)),
             negated,
@@ -439,7 +474,11 @@ fn shift_refs(e: Expr, offset: usize) -> Expr {
             args: args.into_iter().map(|a| shift_refs(a, offset)).collect(),
         },
         Expr::Subquery(_) => e,
-        Expr::InSubquery { expr, query, negated } => Expr::InSubquery {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
             expr: Box::new(shift_refs(*expr, offset)),
             query,
             negated,
@@ -465,14 +504,14 @@ fn lower_subqueries(e: Expr, catalog: &Catalog, opts: &PlanOptions) -> Result<Ex
             match rows.len() {
                 0 => Expr::Literal(Value::Null),
                 1 => Expr::Literal(rows[0][0].clone()),
-                n => {
-                    return Err(Error::Plan(format!(
-                        "scalar subquery returned {n} rows"
-                    )))
-                }
+                n => return Err(Error::Plan(format!("scalar subquery returned {n} rows"))),
             }
         }
-        Expr::InSubquery { expr, query, negated } => {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             let planned = plan_select(catalog, *query, opts)?;
             let rows = crate::exec::run(&planned.plan)?;
             if planned.columns.len() != 1 {
@@ -497,13 +536,22 @@ fn lower_subqueries(e: Expr, catalog: &Catalog, opts: &PlanOptions) -> Result<Ex
         },
         Expr::Neg(x) => Expr::Neg(Box::new(lower_subqueries(*x, catalog, opts)?)),
         Expr::Not(x) => Expr::Not(Box::new(lower_subqueries(*x, catalog, opts)?)),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(lower_subqueries(*expr, catalog, opts)?),
             low: Box::new(lower_subqueries(*low, catalog, opts)?),
             high: Box::new(lower_subqueries(*high, catalog, opts)?),
             negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(lower_subqueries(*expr, catalog, opts)?),
             list: list
                 .into_iter()
@@ -518,7 +566,11 @@ fn lower_subqueries(e: Expr, catalog: &Catalog, opts: &PlanOptions) -> Result<Ex
                 None => None,
             },
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(lower_subqueries(*expr, catalog, opts)?),
             pattern: Box::new(lower_subqueries(*pattern, catalog, opts)?),
             negated,
@@ -560,9 +612,7 @@ pub fn plan_select(
         .map(|item| -> Result<SelectItem> {
             Ok(match item {
                 SelectItem::Wildcard => SelectItem::Wildcard,
-                SelectItem::Expr(e, a) => {
-                    SelectItem::Expr(lower_subqueries(e, catalog, opts)?, a)
-                }
+                SelectItem::Expr(e, a) => SelectItem::Expr(lower_subqueries(e, catalog, opts)?, a),
             })
         })
         .collect::<Result<_>>()?;
@@ -576,10 +626,17 @@ pub fn plan_select(
         }
         let table = catalog.table(&tr.table)?;
         let width = table.schema().len();
-        tables.push(FromTable { table, alias: tr.alias.clone(), offset });
+        tables.push(FromTable {
+            table,
+            alias: tr.alias.clone(),
+            offset,
+        });
         offset += width;
     }
-    let scope = Scope { tables, total_width: offset };
+    let scope = Scope {
+        tables,
+        total_width: offset,
+    };
 
     // -- gather and resolve predicates ---------------------------------------
     let mut conjuncts: Vec<Expr> = Vec::new();
@@ -672,7 +729,12 @@ pub fn plan_select(
                 continue;
             }
             if equi.is_none() {
-                if let Expr::Binary { op: BinOp::Eq, ref left, ref right } = c {
+                if let Expr::Binary {
+                    op: BinOp::Eq,
+                    ref left,
+                    ref right,
+                } = c
+                {
                     if let (Expr::ColumnRef(a), Expr::ColumnRef(b)) =
                         (left.as_ref(), right.as_ref())
                     {
@@ -710,7 +772,10 @@ pub fn plan_select(
 
     // Leftover predicates (shouldn't exist, but constants land here).
     if let Some(f) = Expr::conjoin(multi) {
-        plan = PhysicalPlan::Filter { input: Box::new(plan), pred: f };
+        plan = PhysicalPlan::Filter {
+            input: Box::new(plan),
+            pred: f,
+        };
     }
 
     // -- aggregation / projection -----------------------------------------------
@@ -740,8 +805,7 @@ pub fn plan_select(
         }
     }
 
-    let has_aggs = !group_exprs.is_empty()
-        || out_exprs.iter().any(|e| e.contains_agg());
+    let has_aggs = !group_exprs.is_empty() || out_exprs.iter().any(|e| e.contains_agg());
 
     if has_aggs {
         // Collect aggregate calls and rewrite output expressions over the
@@ -773,8 +837,7 @@ pub fn plan_select(
         // output row [groups..., aggs...].
         if let Some(h) = stmt.having {
             let resolved = scope.resolve_expr(h)?;
-            let rewritten_h =
-                rewrite_for_agg(resolved, &group_exprs, &mut aggs, group_len)?;
+            let rewritten_h = rewrite_for_agg(resolved, &group_exprs, &mut aggs, group_len)?;
             let mut refs = Vec::new();
             collect_refs(&rewritten_h, &mut refs);
             if refs.iter().any(|&r| r >= group_len + aggs.len()) {
@@ -785,10 +848,16 @@ pub fn plan_select(
                 ));
             }
             // Aggregates first used in HAVING extend the aggregate list.
-            if let PhysicalPlan::Aggregate { aggs: plan_aggs, .. } = &mut plan {
+            if let PhysicalPlan::Aggregate {
+                aggs: plan_aggs, ..
+            } = &mut plan
+            {
                 *plan_aggs = aggs.clone();
             }
-            plan = PhysicalPlan::Filter { input: Box::new(plan), pred: rewritten_h };
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                pred: rewritten_h,
+            };
         }
         plan = PhysicalPlan::Project {
             input: Box::new(plan),
@@ -807,7 +876,9 @@ pub fn plan_select(
     }
 
     if stmt.distinct {
-        plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+        plan = PhysicalPlan::Distinct {
+            input: Box::new(plan),
+        };
     }
 
     // -- order by / limit (over the projected output) -----------------------------
@@ -817,27 +888,43 @@ pub fn plan_select(
             let key = resolve_order_key(e, &out_names, &scope)?;
             keys.push((key, desc));
         }
-        plan = PhysicalPlan::Sort { input: Box::new(plan), keys };
+        plan = PhysicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
     }
     if let Some(n) = stmt.limit {
-        plan = PhysicalPlan::Limit { input: Box::new(plan), n };
+        plan = PhysicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
 
-    Ok(PlannedQuery { plan, columns: out_names })
+    Ok(PlannedQuery {
+        plan,
+        columns: out_names,
+    })
 }
 
 /// ORDER BY keys resolve against the projected output: by alias/name, or
 /// by 1-based position.
 fn resolve_order_key(e: Expr, out_names: &[String], _scope: &Scope) -> Result<Expr> {
     match &e {
-        Expr::Column { qualifier: None, name } => {
-            if let Some(i) = out_names.iter().position(|n| n.eq_ignore_ascii_case(name))
-            {
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => {
+            if let Some(i) = out_names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
                 return Ok(Expr::ColumnRef(i));
             }
-            Err(Error::Plan(format!("ORDER BY column {name} is not in the output")))
+            Err(Error::Plan(format!(
+                "ORDER BY column {name} is not in the output"
+            )))
         }
-        Expr::Column { qualifier: Some(q), name } => {
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } => {
             let full = format!("{q}.{name}");
             if let Some(i) = out_names
                 .iter()
@@ -845,7 +932,9 @@ fn resolve_order_key(e: Expr, out_names: &[String], _scope: &Scope) -> Result<Ex
             {
                 return Ok(Expr::ColumnRef(i));
             }
-            Err(Error::Plan(format!("ORDER BY column {full} is not in the output")))
+            Err(Error::Plan(format!(
+                "ORDER BY column {full} is not in the output"
+            )))
         }
         Expr::Literal(Value::Int(i)) if *i >= 1 && (*i as usize) <= out_names.len() => {
             Ok(Expr::ColumnRef(*i as usize - 1))
@@ -887,12 +976,8 @@ fn rewrite_for_agg(
             left: Box::new(rewrite_for_agg(*left, group_exprs, aggs, group_len)?),
             right: Box::new(rewrite_for_agg(*right, group_exprs, aggs, group_len)?),
         },
-        Expr::Neg(x) => {
-            Expr::Neg(Box::new(rewrite_for_agg(*x, group_exprs, aggs, group_len)?))
-        }
-        Expr::Not(x) => {
-            Expr::Not(Box::new(rewrite_for_agg(*x, group_exprs, aggs, group_len)?))
-        }
+        Expr::Neg(x) => Expr::Neg(Box::new(rewrite_for_agg(*x, group_exprs, aggs, group_len)?)),
+        Expr::Not(x) => Expr::Not(Box::new(rewrite_for_agg(*x, group_exprs, aggs, group_len)?)),
         Expr::Func { func, args } => Expr::Func {
             func,
             args: args
@@ -900,7 +985,11 @@ fn rewrite_for_agg(
                 .map(|a| rewrite_for_agg(a, group_exprs, aggs, group_len))
                 .collect::<Result<_>>()?,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(rewrite_for_agg(*expr, group_exprs, aggs, group_len)?),
             pattern: Box::new(rewrite_for_agg(*pattern, group_exprs, aggs, group_len)?),
             negated,
@@ -952,7 +1041,12 @@ fn build_scan(table: &Arc<Table>, conjuncts: Vec<Expr>) -> Result<PhysicalPlan> 
 
     for c in conjuncts {
         let mut consumed = false;
-        if let Expr::Binary { op, ref left, ref right } = c {
+        if let Expr::Binary {
+            op,
+            ref left,
+            ref right,
+        } = c
+        {
             if op.is_comparison() {
                 let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
                     (Expr::ColumnRef(i), Expr::Literal(v)) => (Some(*i), Some(v.clone()), op),
@@ -1035,7 +1129,10 @@ fn build_scan(table: &Arc<Table>, conjuncts: Vec<Expr>) -> Result<PhysicalPlan> 
         if score > best_score {
             best_score = score;
             access = if let Some(eq) = &b.eq {
-                AccessPath::Point { chain, key: eq.clone() }
+                AccessPath::Point {
+                    chain,
+                    key: eq.clone(),
+                }
             } else {
                 AccessPath::Range {
                     chain,
@@ -1130,8 +1227,7 @@ fn build_join(
     };
 
     let inner_chain = right_table.chain_for_column(rkey_local);
-    let can_merge =
-        sorted_on(&left) == Some(lkey) && sorted_on(&right_scan) == Some(rkey_local);
+    let can_merge = sorted_on(&left) == Some(lkey) && sorted_on(&right_scan) == Some(rkey_local);
     let prefer = opts.prefer_join;
 
     let use_merge = match prefer {
@@ -1262,21 +1358,35 @@ fn shift_up(e: Expr, offset: usize) -> Expr {
         },
         Expr::Neg(x) => Expr::Neg(Box::new(shift_up(*x, offset))),
         Expr::Not(x) => Expr::Not(Box::new(shift_up(*x, offset))),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(shift_up(*expr, offset)),
             low: Box::new(shift_up(*low, offset)),
             high: Box::new(shift_up(*high, offset)),
             negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(shift_up(*expr, offset)),
             list: list.into_iter().map(|x| shift_up(x, offset)).collect(),
             negated,
         },
-        Expr::Agg { func, arg } => {
-            Expr::Agg { func, arg: arg.map(|a| Box::new(shift_up(*a, offset))) }
-        }
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Agg { func, arg } => Expr::Agg {
+            func,
+            arg: arg.map(|a| Box::new(shift_up(*a, offset))),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(shift_up(*expr, offset)),
             pattern: Box::new(shift_up(*pattern, offset)),
             negated,
@@ -1286,7 +1396,11 @@ fn shift_up(e: Expr, offset: usize) -> Expr {
             args: args.into_iter().map(|a| shift_up(a, offset)).collect(),
         },
         Expr::Subquery(_) => e,
-        Expr::InSubquery { expr, query, negated } => Expr::InSubquery {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
             expr: Box::new(shift_up(*expr, offset)),
             query,
             negated,
@@ -1297,7 +1411,11 @@ fn shift_up(e: Expr, offset: usize) -> Expr {
 /// Flatten an OR tree into its branches.
 fn or_branches(e: Expr) -> Vec<Expr> {
     match e {
-        Expr::Binary { op: BinOp::Or, left, right } => {
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
             let mut out = or_branches(*left);
             out.extend(or_branches(*right));
             out

@@ -76,11 +76,7 @@ impl QueryPortal {
     /// Open a portal over `engine`, deriving the channel MAC key from the
     /// enclave (clients obtain the matching key through the attestation
     /// handshake — see [`crate::client::Client::attest`]).
-    pub fn new(
-        engine: Arc<QueryEngine>,
-        mem: Arc<VerifiedMemory>,
-        channel: &str,
-    ) -> Self {
+    pub fn new(engine: Arc<QueryEngine>, mem: Arc<VerifiedMemory>, channel: &str) -> Self {
         let enclave = mem.enclave().clone();
         let key = enclave.mac_key(&format!("channel-{channel}"));
         QueryPortal {
@@ -104,7 +100,10 @@ impl QueryPortal {
     pub fn submit(&self, q: &SignedQuery) -> Result<EndorsedResult> {
         // 1. Authorization: the MAC proves the client issued this exact
         //    query; the qid set rejects replays.
-        if !self.key.verify(&[&q.qid.to_le_bytes(), q.sql.as_bytes()], &q.mac) {
+        if !self
+            .key
+            .verify(&[&q.qid.to_le_bytes(), q.sql.as_bytes()], &q.mac)
+        {
             return Err(Error::AuthFailed(format!(
                 "query {} failed MAC verification",
                 q.qid
@@ -134,12 +133,15 @@ impl QueryPortal {
         // 4. Endorse with the next sequence number.
         let sequence = self.enclave.next_timestamp();
         let digest = result_digest(&result);
-        let mac = self.key.sign(&[
-            &q.qid.to_le_bytes(),
-            &sequence.to_le_bytes(),
-            &digest,
-        ]);
-        Ok(EndorsedResult { qid: q.qid, sequence, result, mac })
+        let mac = self
+            .key
+            .sign(&[&q.qid.to_le_bytes(), &sequence.to_le_bytes(), &digest]);
+        Ok(EndorsedResult {
+            qid: q.qid,
+            sequence,
+            result,
+            mac,
+        })
     }
 
     /// Run a full verification pass and report (used before endorsing

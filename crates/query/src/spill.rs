@@ -34,7 +34,10 @@ pub struct ExecContext {
 impl ExecContext {
     /// A context that spills to `mem` beyond `threshold` bytes.
     pub fn with_spill(mem: Arc<VerifiedMemory>, threshold: usize) -> Self {
-        ExecContext { mem: Some(mem), spill_threshold: Some(threshold) }
+        ExecContext {
+            mem: Some(mem),
+            spill_threshold: Some(threshold),
+        }
     }
 }
 
@@ -123,9 +126,7 @@ impl SpilledRows {
         let mem = self.ctx.mem.as_ref().expect("spilled rows imply a memory");
         let bytes = mem.read(addr)?;
         Row::decode_from_slice(&bytes).map_err(|e| {
-            Error::TamperDetected(format!(
-                "malformed spilled intermediate row at {addr}: {e}"
-            ))
+            Error::TamperDetected(format!("malformed spilled intermediate row at {addr}: {e}"))
         })
     }
 

@@ -15,10 +15,8 @@ fn setup() -> Arc<QueryEngine> {
     cfg.verify_every_ops = None;
     let mem = VerifiedMemory::from_config(enclave, &cfg);
     let eng = Arc::new(QueryEngine::new(Arc::new(Catalog::new(mem))));
-    eng.execute(
-        "CREATE TABLE m (id INT PRIMARY KEY, ts INT CHAINED, grp INT CHAINED, note TEXT)",
-    )
-    .unwrap();
+    eng.execute("CREATE TABLE m (id INT PRIMARY KEY, ts INT CHAINED, grp INT CHAINED, note TEXT)")
+        .unwrap();
     for i in 0..100 {
         eng.execute(&format!(
             "INSERT INTO m VALUES ({i}, {}, {}, 'n{i}')",
@@ -106,9 +104,11 @@ fn non_chained_predicates_never_panic_the_pusher() {
 #[test]
 fn or_common_factor_hoisting_enables_real_joins() {
     let eng = setup();
-    eng.execute("CREATE TABLE dim (id INT PRIMARY KEY, tag TEXT)").unwrap();
+    eng.execute("CREATE TABLE dim (id INT PRIMARY KEY, tag TEXT)")
+        .unwrap();
     for i in 0..7 {
-        eng.execute(&format!("INSERT INTO dim VALUES ({i}, 'tag{i}')")).unwrap();
+        eng.execute(&format!("INSERT INTO dim VALUES ({i}, 'tag{i}')"))
+            .unwrap();
     }
     // The equi condition lives inside both OR branches; hoisting lets the
     // planner pick an index nested-loop join instead of a cross product.
@@ -161,11 +161,15 @@ fn order_by_position_and_name() {
 fn aggregate_without_group_by_rejects_bare_columns() {
     let eng = setup();
     assert!(eng.execute("SELECT id, COUNT(*) FROM m").is_err());
-    assert!(eng.execute("SELECT grp, COUNT(*) FROM m GROUP BY ts").is_err());
+    assert!(eng
+        .execute("SELECT grp, COUNT(*) FROM m GROUP BY ts")
+        .is_err());
 }
 
 #[test]
 fn duplicate_aliases_rejected() {
     let eng = setup();
-    assert!(eng.execute("SELECT * FROM m a, m a WHERE a.id = a.id").is_err());
+    assert!(eng
+        .execute("SELECT * FROM m a, m a WHERE a.id = a.id")
+        .is_err());
 }

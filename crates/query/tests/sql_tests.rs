@@ -29,10 +29,8 @@ fn setup_quote_inventory() -> (Arc<VerifiedMemory>, Arc<QueryEngine>) {
         .unwrap();
     eng.execute("CREATE TABLE inventory (id INT PRIMARY KEY, count INT, descr TEXT)")
         .unwrap();
-    eng.execute(
-        "INSERT INTO quote VALUES (1,100,100),(2,100,200),(3,500,100),(4,600,100)",
-    )
-    .unwrap();
+    eng.execute("INSERT INTO quote VALUES (1,100,100),(2,100,200),(3,500,100),(4,600,100)")
+        .unwrap();
     eng.execute(
         "INSERT INTO inventory VALUES (1,50,'desc1'),(3,200,'desc3'),\
          (4,100,'desc4'),(6,100,'desc6')",
@@ -96,10 +94,14 @@ fn range_predicates_become_range_scans() {
         )
         .unwrap();
     assert!(plan.contains("RangeScan"), "plan was:\n{plan}");
-    let r = eng.execute("SELECT * FROM quote WHERE id >= 2 AND id < 4").unwrap();
+    let r = eng
+        .execute("SELECT * FROM quote WHERE id >= 2 AND id < 4")
+        .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![2, 3]);
     // BETWEEN sugar.
-    let r = eng.execute("SELECT * FROM quote WHERE id BETWEEN 2 AND 3").unwrap();
+    let r = eng
+        .execute("SELECT * FROM quote WHERE id BETWEEN 2 AND 3")
+        .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![2, 3]);
 }
 
@@ -124,7 +126,9 @@ fn example_5_4_join_quote_exceeds_inventory() {
         PreferredJoin::Merge,
         PreferredJoin::NestedLoop,
     ] {
-        let opts = PlanOptions { prefer_join: prefer };
+        let opts = PlanOptions {
+            prefer_join: prefer,
+        };
         let r = eng
             .execute_with(
                 "SELECT q.id, q.count, i.count FROM quote as q, inventory as i \
@@ -169,11 +173,21 @@ fn join_plans_match_preferences() {
     let auto = eng.explain(sql, &PlanOptions::default()).unwrap();
     assert!(auto.contains("IndexNestedLoopJoin"), "auto plan:\n{auto}");
     let hash = eng
-        .explain(sql, &PlanOptions { prefer_join: PreferredJoin::Hash })
+        .explain(
+            sql,
+            &PlanOptions {
+                prefer_join: PreferredJoin::Hash,
+            },
+        )
         .unwrap();
     assert!(hash.contains("HashJoin"), "hash plan:\n{hash}");
     let merge = eng
-        .explain(sql, &PlanOptions { prefer_join: PreferredJoin::Merge })
+        .explain(
+            sql,
+            &PlanOptions {
+                prefer_join: PreferredJoin::Merge,
+            },
+        )
         .unwrap();
     assert!(merge.contains("MergeJoin"), "merge plan:\n{merge}");
 }
@@ -210,8 +224,11 @@ fn aggregation_with_group_by_and_order() {
 #[test]
 fn global_aggregate_over_empty_input() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE e (id INT PRIMARY KEY, x FLOAT)").unwrap();
-    let r = eng.execute("SELECT COUNT(*), SUM(x), AVG(x) FROM e").unwrap();
+    eng.execute("CREATE TABLE e (id INT PRIMARY KEY, x FLOAT)")
+        .unwrap();
+    let r = eng
+        .execute("SELECT COUNT(*), SUM(x), AVG(x) FROM e")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Int(0));
     assert_eq!(r.rows[0][1], Value::Null);
@@ -223,7 +240,8 @@ fn arithmetic_in_aggregates() {
     let (_m, eng) = setup();
     eng.execute("CREATE TABLE li (id INT PRIMARY KEY, price FLOAT, disc FLOAT)")
         .unwrap();
-    eng.execute("INSERT INTO li VALUES (1,100.0,0.1),(2,200.0,0.25)").unwrap();
+    eng.execute("INSERT INTO li VALUES (1,100.0,0.1),(2,200.0,0.25)")
+        .unwrap();
     let r = eng
         .execute("SELECT SUM(price * (1 - disc)) AS revenue FROM li")
         .unwrap();
@@ -259,7 +277,8 @@ fn update_and_delete_with_filters() {
 #[test]
 fn update_of_primary_key_rechains() {
     let (mem, eng) = setup_quote_inventory();
-    eng.execute("UPDATE quote SET id = 10 WHERE id = 2").unwrap();
+    eng.execute("UPDATE quote SET id = 10 WHERE id = 2")
+        .unwrap();
     let r = eng.execute("SELECT id FROM quote").unwrap();
     assert_eq!(ints(&r.rows, 0), vec![1, 3, 4, 10]);
     mem.verify_now().unwrap();
@@ -285,10 +304,8 @@ fn in_list_and_or_predicates() {
 #[test]
 fn secondary_chain_accelerates_range() {
     let (_m, eng) = setup();
-    eng.execute(
-        "CREATE TABLE ev (id INT PRIMARY KEY, ts INT CHAINED, kind TEXT)",
-    )
-    .unwrap();
+    eng.execute("CREATE TABLE ev (id INT PRIMARY KEY, ts INT CHAINED, kind TEXT)")
+        .unwrap();
     for i in 0..50 {
         eng.execute(&format!(
             "INSERT INTO ev VALUES ({i}, {}, 'k{}')",
@@ -316,12 +333,18 @@ fn secondary_chain_accelerates_range() {
 #[test]
 fn three_way_join() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE a (id INT PRIMARY KEY, bx INT)").unwrap();
-    eng.execute("CREATE TABLE b (id INT PRIMARY KEY, cx INT)").unwrap();
-    eng.execute("CREATE TABLE c (id INT PRIMARY KEY, name TEXT)").unwrap();
-    eng.execute("INSERT INTO a VALUES (1,10),(2,20),(3,30)").unwrap();
-    eng.execute("INSERT INTO b VALUES (10,100),(20,200)").unwrap();
-    eng.execute("INSERT INTO c VALUES (100,'x'),(200,'y')").unwrap();
+    eng.execute("CREATE TABLE a (id INT PRIMARY KEY, bx INT)")
+        .unwrap();
+    eng.execute("CREATE TABLE b (id INT PRIMARY KEY, cx INT)")
+        .unwrap();
+    eng.execute("CREATE TABLE c (id INT PRIMARY KEY, name TEXT)")
+        .unwrap();
+    eng.execute("INSERT INTO a VALUES (1,10),(2,20),(3,30)")
+        .unwrap();
+    eng.execute("INSERT INTO b VALUES (10,100),(20,200)")
+        .unwrap();
+    eng.execute("INSERT INTO c VALUES (100,'x'),(200,'y')")
+        .unwrap();
     let r = eng
         .execute(
             "SELECT a.id, c.name FROM a, b, c \
@@ -479,8 +502,11 @@ fn portal_refuses_endorsement_after_tampering() {
 #[test]
 fn attestation_flow_establishes_channel() {
     let (mem, eng) = setup_quote_inventory();
-    let portal =
-        Arc::new(QueryPortal::new(Arc::clone(&eng), Arc::clone(&mem), "attested"));
+    let portal = Arc::new(QueryPortal::new(
+        Arc::clone(&eng),
+        Arc::clone(&mem),
+        "attested",
+    ));
     let enclave = mem.enclave();
     let qe = veridb_enclave::QuotingEnclave::new([77u8; 32]);
     let mut client = Client::attest(
@@ -503,12 +529,13 @@ fn attestation_flow_establishes_channel() {
 #[test]
 fn select_distinct_removes_duplicates() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE d (id INT PRIMARY KEY, grp INT, tag TEXT)").unwrap();
-    eng.execute(
-        "INSERT INTO d VALUES (1,1,'a'),(2,1,'a'),(3,2,'b'),(4,2,'b'),(5,3,'a')",
-    )
-    .unwrap();
-    let r = eng.execute("SELECT DISTINCT grp, tag FROM d ORDER BY grp").unwrap();
+    eng.execute("CREATE TABLE d (id INT PRIMARY KEY, grp INT, tag TEXT)")
+        .unwrap();
+    eng.execute("INSERT INTO d VALUES (1,1,'a'),(2,1,'a'),(3,2,'b'),(4,2,'b'),(5,3,'a')")
+        .unwrap();
+    let r = eng
+        .execute("SELECT DISTINCT grp, tag FROM d ORDER BY grp")
+        .unwrap();
     assert_eq!(r.rows.len(), 3);
     let r = eng.execute("SELECT DISTINCT tag FROM d").unwrap();
     assert_eq!(r.rows.len(), 2);
@@ -520,11 +547,10 @@ fn select_distinct_removes_duplicates() {
 #[test]
 fn having_filters_groups() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE h (id INT PRIMARY KEY, grp TEXT, amt INT)").unwrap();
-    eng.execute(
-        "INSERT INTO h VALUES (1,'a',10),(2,'a',20),(3,'b',1),(4,'b',2),(5,'c',100)",
-    )
-    .unwrap();
+    eng.execute("CREATE TABLE h (id INT PRIMARY KEY, grp TEXT, amt INT)")
+        .unwrap();
+    eng.execute("INSERT INTO h VALUES (1,'a',10),(2,'a',20),(3,'b',1),(4,'b',2),(5,'c',100)")
+        .unwrap();
     // HAVING over an aggregate that also appears in the select list.
     let r = eng
         .execute(
@@ -564,15 +590,18 @@ fn explain_statement_renders_plan() {
 #[test]
 fn distinct_having_combined() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE dh (id INT PRIMARY KEY, grp INT, v INT)").unwrap();
+    eng.execute("CREATE TABLE dh (id INT PRIMARY KEY, grp INT, v INT)")
+        .unwrap();
     for i in 0..20 {
-        eng.execute(&format!("INSERT INTO dh VALUES ({i}, {}, {})", i % 4, i % 2))
-            .unwrap();
+        eng.execute(&format!(
+            "INSERT INTO dh VALUES ({i}, {}, {})",
+            i % 4,
+            i % 2
+        ))
+        .unwrap();
     }
     let r = eng
-        .execute(
-            "SELECT DISTINCT COUNT(*) FROM dh GROUP BY grp HAVING COUNT(*) >= 5",
-        )
+        .execute("SELECT DISTINCT COUNT(*) FROM dh GROUP BY grp HAVING COUNT(*) >= 5")
         .unwrap();
     // All four groups have exactly 5 members → one distinct count value.
     assert_eq!(r.rows.len(), 1);
@@ -685,15 +714,20 @@ fn subquery_equality_can_drive_index_search() {
 #[test]
 fn like_predicates() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE parts (id INT PRIMARY KEY, brand TEXT)").unwrap();
+    eng.execute("CREATE TABLE parts (id INT PRIMARY KEY, brand TEXT)")
+        .unwrap();
     eng.execute(
         "INSERT INTO parts VALUES (1,'Brand#12'),(2,'Brand#13'),\
          (3,'Brand#23'),(4,'Other')",
     )
     .unwrap();
-    let r = eng.execute("SELECT id FROM parts WHERE brand LIKE 'Brand#1%'").unwrap();
+    let r = eng
+        .execute("SELECT id FROM parts WHERE brand LIKE 'Brand#1%'")
+        .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![1, 2]);
-    let r = eng.execute("SELECT id FROM parts WHERE brand LIKE '%#_3'").unwrap();
+    let r = eng
+        .execute("SELECT id FROM parts WHERE brand LIKE '%#_3'")
+        .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![2, 3]);
     let r = eng
         .execute("SELECT id FROM parts WHERE brand NOT LIKE 'Brand#%'")
@@ -704,8 +738,10 @@ fn like_predicates() {
 #[test]
 fn scalar_functions() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE s (id INT PRIMARY KEY, name TEXT, x INT)").unwrap();
-    eng.execute("INSERT INTO s VALUES (1,'Hello',-5),(2,'wOrLd',7)").unwrap();
+    eng.execute("CREATE TABLE s (id INT PRIMARY KEY, name TEXT, x INT)")
+        .unwrap();
+    eng.execute("INSERT INTO s VALUES (1,'Hello',-5),(2,'wOrLd',7)")
+        .unwrap();
     let r = eng
         .execute("SELECT UPPER(name), LOWER(name), LENGTH(name), ABS(x) FROM s")
         .unwrap();
@@ -715,9 +751,13 @@ fn scalar_functions() {
     assert_eq!(r.rows[0].values()[3], Value::Int(5));
     assert_eq!(r.rows[1].values()[1], Value::Str("world".into()));
 
-    let r = eng.execute("SELECT SUBSTR(name, 2, 3) FROM s WHERE id = 1").unwrap();
+    let r = eng
+        .execute("SELECT SUBSTR(name, 2, 3) FROM s WHERE id = 1")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Str("ell".into()));
-    let r = eng.execute("SELECT SUBSTR(name, 3) FROM s WHERE id = 1").unwrap();
+    let r = eng
+        .execute("SELECT SUBSTR(name, 3) FROM s WHERE id = 1")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Str("llo".into()));
 
     // Functions compose with filters, grouping, and aggregates.
@@ -726,9 +766,7 @@ fn scalar_functions() {
         .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![1]);
     let r = eng
-        .execute(
-            "SELECT UPPER(name), COUNT(*) FROM s GROUP BY UPPER(name) ORDER BY 1",
-        )
+        .execute("SELECT UPPER(name), COUNT(*) FROM s GROUP BY UPPER(name) ORDER BY 1")
         .unwrap();
     assert_eq!(r.rows.len(), 2);
 }
@@ -736,7 +774,8 @@ fn scalar_functions() {
 #[test]
 fn function_arity_and_type_errors() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE s (id INT PRIMARY KEY, name TEXT)").unwrap();
+    eng.execute("CREATE TABLE s (id INT PRIMARY KEY, name TEXT)")
+        .unwrap();
     eng.execute("INSERT INTO s VALUES (1,'x')").unwrap();
     assert!(eng.execute("SELECT SUBSTR(name) FROM s").is_err());
     assert!(eng.execute("SELECT UPPER(id) FROM s").is_err());
@@ -747,18 +786,27 @@ fn function_arity_and_type_errors() {
 #[test]
 fn merge_join_with_duplicates_on_both_sides() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE l (id INT PRIMARY KEY, k INT)").unwrap();
-    eng.execute("CREATE TABLE r (id INT PRIMARY KEY, k INT)").unwrap();
+    eng.execute("CREATE TABLE l (id INT PRIMARY KEY, k INT)")
+        .unwrap();
+    eng.execute("CREATE TABLE r (id INT PRIMARY KEY, k INT)")
+        .unwrap();
     // k=5 appears 3× on the left and 2× on the right → 6 joined rows;
     // k=7 appears 1× and 3× → 3 rows; k=9 left-only → 0.
-    eng.execute("INSERT INTO l VALUES (1,5),(2,5),(3,5),(4,7),(5,9)").unwrap();
+    eng.execute("INSERT INTO l VALUES (1,5),(2,5),(3,5),(4,7),(5,9)")
+        .unwrap();
     eng.execute("INSERT INTO r VALUES (10,5),(11,5),(12,7),(13,7),(14,7),(15,8)")
         .unwrap();
-    for prefer in [PreferredJoin::Merge, PreferredJoin::Hash, PreferredJoin::Auto] {
+    for prefer in [
+        PreferredJoin::Merge,
+        PreferredJoin::Hash,
+        PreferredJoin::Auto,
+    ] {
         let res = eng
             .execute_with(
                 "SELECT l.id, r.id FROM l, r WHERE l.k = r.k",
-                &PlanOptions { prefer_join: prefer },
+                &PlanOptions {
+                    prefer_join: prefer,
+                },
             )
             .unwrap();
         assert_eq!(res.rows.len(), 3 * 2 + 3, "{prefer:?}");
@@ -768,9 +816,11 @@ fn merge_join_with_duplicates_on_both_sides() {
 #[test]
 fn distinct_with_order_and_limit() {
     let (_m, eng) = setup();
-    eng.execute("CREATE TABLE d (id INT PRIMARY KEY, v INT)").unwrap();
+    eng.execute("CREATE TABLE d (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     for i in 0..30 {
-        eng.execute(&format!("INSERT INTO d VALUES ({i}, {})", i % 6)).unwrap();
+        eng.execute(&format!("INSERT INTO d VALUES ({i}, {})", i % 6))
+            .unwrap();
     }
     let r = eng
         .execute("SELECT DISTINCT v FROM d ORDER BY v DESC LIMIT 3")

@@ -109,7 +109,10 @@ impl Bp {
     fn split_leaf(&mut self, leaf: usize) -> (ChainKey, usize) {
         let new_id = self.arena.len();
         let (sep, new_node, old_next) = {
-            let Node::Leaf { keys, vals, next, .. } = &mut self.arena[leaf] else {
+            let Node::Leaf {
+                keys, vals, next, ..
+            } = &mut self.arena[leaf]
+            else {
                 unreachable!()
             };
             let mid = keys.len() / 2;
@@ -120,7 +123,12 @@ impl Bp {
             *next = Some(new_id);
             (
                 sep,
-                Node::Leaf { keys: rk, vals: rv, prev: Some(leaf), next: old_next },
+                Node::Leaf {
+                    keys: rk,
+                    vals: rv,
+                    prev: Some(leaf),
+                    next: old_next,
+                },
                 old_next,
             )
         };
@@ -144,7 +152,13 @@ impl Bp {
             let rk: Vec<ChainKey> = keys.split_off(mid + 1);
             keys.pop(); // the separator moves up
             let rc: Vec<usize> = children.split_off(mid + 1);
-            (sep, Node::Internal { keys: rk, children: rc })
+            (
+                sep,
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            )
         };
         self.arena.push(new_node);
         (sep, new_id)
@@ -178,7 +192,9 @@ impl Bp {
             full.then(|| self.split_leaf(leaf))
         };
         for &(parent, idx) in path.iter().rev() {
-            let Some((sep, right)) = overflow.take() else { break };
+            let Some((sep, right)) = overflow.take() else {
+                break;
+            };
             {
                 let Node::Internal { keys, children } = &mut self.arena[parent] else {
                     unreachable!()
@@ -196,7 +212,10 @@ impl Bp {
         if let Some((sep, right)) = overflow {
             // The root itself split.
             let left = child;
-            self.arena.push(Node::Internal { keys: vec![sep], children: vec![left, right] });
+            self.arena.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![left, right],
+            });
             self.root = self.arena.len() - 1;
         }
     }
@@ -221,11 +240,41 @@ impl Bp {
         keys.binary_search(key).ok().map(|i| vals[i])
     }
 
+    /// Up to `limit` entries with key `>= from`, ascending, following the
+    /// linked leaves.
+    fn entries_from(&self, from: &ChainKey, limit: usize) -> Vec<(ChainKey, CellAddr)> {
+        let mut out = Vec::with_capacity(limit);
+        let (mut leaf, _) = self.descend(from);
+        loop {
+            let Node::Leaf {
+                keys, vals, next, ..
+            } = &self.arena[leaf]
+            else {
+                unreachable!()
+            };
+            for (k, v) in keys.iter().zip(vals) {
+                if out.len() >= limit {
+                    return out;
+                }
+                if k >= from {
+                    out.push((k.clone(), *v));
+                }
+            }
+            match next {
+                Some(n) => leaf = *n,
+                None => return out,
+            }
+        }
+    }
+
     /// Largest entry `<= key` (or `< key` when `strict`).
     fn find_at_most(&self, key: &ChainKey, strict: bool) -> Option<CellAddr> {
         let (mut leaf, _) = self.descend(key);
         loop {
-            let Node::Leaf { keys, vals, prev, .. } = &self.arena[leaf] else {
+            let Node::Leaf {
+                keys, vals, prev, ..
+            } = &self.arena[leaf]
+            else {
                 unreachable!()
             };
             let idx = if strict {
@@ -269,6 +318,10 @@ impl IndexOracle for BPlusIndex {
     fn len(&self) -> usize {
         self.inner.read().len
     }
+
+    fn next_entries(&self, from: &ChainKey, limit: usize) -> Vec<(ChainKey, CellAddr)> {
+        self.inner.read().entries_from(from, limit)
+    }
 }
 
 #[cfg(test)]
@@ -281,7 +334,10 @@ mod tests {
     }
 
     fn addr(n: u64) -> CellAddr {
-        CellAddr { page: n, slot: (n % 7) as u16 }
+        CellAddr {
+            page: n,
+            slot: (n % 7) as u16,
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! so it lives behind the verified memory's enclave and is only mutated
 //! through the protected DDL path.
 
-use crate::table::Table;
 use crate::index::IndexOracle;
+use crate::table::Table;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,7 +22,10 @@ pub struct Catalog {
 impl Catalog {
     /// Empty catalog over `mem`.
     pub fn new(mem: Arc<VerifiedMemory>) -> Self {
-        Catalog { mem, tables: RwLock::new(HashMap::new()) }
+        Catalog {
+            mem,
+            tables: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The verified memory backing this catalog's tables.
@@ -55,8 +58,7 @@ impl Catalog {
         if tables.contains_key(&lname) {
             return Err(Error::TableExists(name.to_owned()));
         }
-        let table =
-            Table::create_with_indexes(Arc::clone(&self.mem), &lname, schema, indexes)?;
+        let table = Table::create_with_indexes(Arc::clone(&self.mem), &lname, schema, indexes)?;
         tables.insert(lname, Arc::clone(&table));
         Ok(table)
     }
@@ -99,7 +101,9 @@ impl Catalog {
 
 impl std::fmt::Debug for Catalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Catalog").field("tables", &self.table_names()).finish()
+        f.debug_struct("Catalog")
+            .field("tables", &self.table_names())
+            .finish()
     }
 }
 

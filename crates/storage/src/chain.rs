@@ -9,9 +9,9 @@
 //! translates to the composite range `[(lo), ((hi, ⊤))]` using the
 //! prefix-is-smaller comparison implemented here.
 
+use std::cmp::Ordering;
 use veridb_common::codec::Reader;
 use veridb_common::{Error, Result, Value};
-use std::cmp::Ordering;
 
 /// A (possibly composite) concrete chain key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

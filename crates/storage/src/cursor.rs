@@ -24,9 +24,15 @@
 use crate::chain::ChainKey;
 use crate::record::StoredRecord;
 use crate::table::Table;
+use std::collections::VecDeque;
 use std::ops::Bound;
 use std::sync::Arc;
 use veridb_common::{Error, Result, Row, Value};
+use veridb_wrcm::{CellAddr, ReadBatch, SlotId};
+
+/// How many `(key, addr)` bindings the cursor prefetches from the
+/// untrusted index per batched round.
+const SCAN_BATCH: usize = 32;
 
 /// An iterator of verified rows over one chain of one table.
 pub struct VerifiedScan {
@@ -40,15 +46,18 @@ pub struct VerifiedScan {
     done: bool,
     /// Records consumed (including evidence-only ones), for diagnostics.
     records_read: u64,
+    /// Rows verified by the batched fast path, awaiting emission.
+    ready: VecDeque<Row>,
+    /// Reusable scratch for batched page reads (one flat buffer for the
+    /// whole scan instead of a `Vec<u8>` per cell).
+    scratch: ReadBatch,
+    /// Rounds resolved through the batch path / through the per-record
+    /// fallback (diagnostics for the batching benchmarks).
+    batched_rounds: u64,
 }
 
 impl VerifiedScan {
-    pub(crate) fn new(
-        table: Arc<Table>,
-        chain: usize,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-    ) -> Self {
+    pub(crate) fn new(table: Arc<Table>, chain: usize, lo: Bound<Value>, hi: Bound<Value>) -> Self {
         VerifiedScan {
             table,
             chain,
@@ -58,12 +67,20 @@ impl VerifiedScan {
             started: false,
             done: false,
             records_read: 0,
+            ready: VecDeque::new(),
+            scratch: ReadBatch::new(),
+            batched_rounds: 0,
         }
     }
 
     /// Number of records read from storage so far (evidence included).
     pub fn records_read(&self) -> u64 {
         self.records_read
+    }
+
+    /// Number of rounds served by the batched fast path (diagnostics).
+    pub fn batched_rounds(&self) -> u64 {
+        self.batched_rounds
     }
 
     /// Collect all remaining rows, failing on the first alarm.
@@ -201,6 +218,109 @@ impl VerifiedScan {
     fn record_value(&self, rec: &StoredRecord) -> Option<Value> {
         rec.key(self.chain).as_val().map(|k| k.head().clone())
     }
+
+    /// Batched fast path: ask the untrusted index for the next run of
+    /// `(key, addr)` bindings, read the candidate cells page by page with
+    /// one verified batch each ([`veridb_wrcm::VerifiedMemory::read_page_batch`]),
+    /// then re-verify the chain conditions record by record. Soundness is
+    /// unchanged: every emitted row still satisfies conditions 1–3 from
+    /// the same `⟨key, nKey⟩` evidence, and the extra verified reads a
+    /// stale hint causes are digest-neutral. Any divergence — a lying
+    /// index, a concurrent splice, a dead slot — truncates the verified
+    /// prefix without raising an alarm; the per-record path resumes from
+    /// the last verified position and performs its own retry/alarm logic.
+    fn try_fill_ready(&mut self, expected0: &ChainKey) -> Result<()> {
+        let cands = self
+            .table
+            .index(self.chain)
+            .next_entries(expected0, SCAN_BATCH);
+        // The run is only usable if it starts exactly at the key the chain
+        // evidence demands next.
+        if cands.len() < 2 || &cands[0].0 != expected0 {
+            return Ok(());
+        }
+        // Keys past the upper bound need not be read: the predecessor's
+        // nKey witnesses right coverage (condition 2).
+        let n = cands
+            .iter()
+            .position(|(k, _)| self.past_upper(k))
+            .unwrap_or(cands.len());
+        let cands = &cands[..n];
+        if cands.len() < 2 {
+            return Ok(());
+        }
+
+        // One verified batch read per distinct page, request order
+        // preserved within each page.
+        let mut recs: Vec<Option<StoredRecord>> = Vec::with_capacity(cands.len());
+        recs.resize_with(cands.len(), || None);
+        let mut by_page: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, (_, addr)) in cands.iter().enumerate() {
+            match by_page.iter_mut().find(|(p, _)| *p == addr.page) {
+                Some((_, idxs)) => idxs.push(i),
+                None => by_page.push((addr.page, vec![i])),
+            }
+        }
+        for (page, idxs) in &by_page {
+            let slots: Vec<SlotId> = idxs.iter().map(|&i| cands[i].1.slot).collect();
+            if self
+                .table
+                .memory()
+                .read_page_batch(*page, &slots, &mut self.scratch)
+                .is_err()
+            {
+                continue; // stale page hint: those candidates stay None
+            }
+            // Entries come back in request order with dead slots skipped;
+            // align them against the request by slot id.
+            let mut p = 0;
+            for (&i, &slot) in idxs.iter().zip(&slots) {
+                match self.scratch.get(p) {
+                    Some((got, bytes)) if got == slot => {
+                        p += 1;
+                        let rec = StoredRecord::decode(bytes).map_err(|e| {
+                            Error::TamperDetected(format!(
+                                "malformed record at {}: {e}",
+                                CellAddr { page: *page, slot }
+                            ))
+                        })?;
+                        recs[i] = Some(rec);
+                    }
+                    _ => {} // dead slot: leave None for the fallback
+                }
+            }
+        }
+
+        // Walk the verified prefix: each record must carry the key the
+        // previous record's nKey announced (condition 3).
+        let mut expected = expected0.clone();
+        let mut verified = 0u64;
+        for (i, (key, _)) in cands.iter().enumerate() {
+            if *key != expected {
+                break; // index enumeration diverges from the chain
+            }
+            let Some(rec) = recs[i].take() else { break };
+            if rec.key(self.chain) != &expected {
+                break; // stale binding: record moved or was replaced
+            }
+            self.records_read += 1;
+            verified += 1;
+            expected = rec.nkey(self.chain).clone();
+            self.expected = Some(expected.clone());
+            if let Some(v) = self.record_value(&rec) {
+                if self.value_in_bounds(&v) {
+                    self.ready.push_back(rec.row);
+                }
+            }
+            if self.past_upper(&expected) {
+                break;
+            }
+        }
+        if verified > 0 {
+            self.batched_rounds += 1;
+        }
+        Ok(())
+    }
 }
 
 impl Iterator for VerifiedScan {
@@ -211,8 +331,12 @@ impl Iterator for VerifiedScan {
             return None;
         }
         // Obtain the next record: either the starting floor or the chain
-        // successor.
+        // successor — by the batched fast path when the index can feed it,
+        // record by record otherwise.
         loop {
+            if let Some(row) = self.ready.pop_front() {
+                return Some(Ok(row));
+            }
             let rec = if !self.started {
                 self.started = true;
                 match self.start() {
@@ -227,6 +351,15 @@ impl Iterator for VerifiedScan {
                 if self.past_upper(&expected) {
                     self.done = true;
                     return None;
+                }
+                if let Err(e) = self.try_fill_ready(&expected) {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                if !self.ready.is_empty() || self.expected.as_ref() != Some(&expected) {
+                    // The batch produced rows and/or advanced the cursor
+                    // (possibly over evidence-only records); re-enter.
+                    continue;
                 }
                 match self.resolve(&expected) {
                     Ok(r) => r,

@@ -62,11 +62,7 @@ impl PointResult {
 
 /// Apply the index-search verification conditions (§5.2) to a candidate
 /// record for query key `q` on chain `chain`.
-pub fn check_point(
-    chain: usize,
-    q: &ChainKey,
-    record: StoredRecord,
-) -> Result<PointResult> {
+pub fn check_point(chain: usize, q: &ChainKey, record: StoredRecord) -> Result<PointResult> {
     if chain >= record.chains.len() {
         return Err(Error::TamperDetected(format!(
             "evidence record has {} chains, lookup used chain {chain}",
@@ -144,21 +140,16 @@ mod tests {
     #[test]
     fn wrong_record_is_tamper() {
         // Record ⟨10, 20⟩ can prove nothing about key 25.
-        let err =
-            check_point(0, &ChainKey::val(Value::Int(25)), record(10, 20)).unwrap_err();
+        let err = check_point(0, &ChainKey::val(Value::Int(25)), record(10, 20)).unwrap_err();
         assert!(matches!(err, Error::TamperDetected(_)));
         // Nor about key 5 (query below the record's key).
-        let err =
-            check_point(0, &ChainKey::val(Value::Int(5)), record(10, 20)).unwrap_err();
+        let err = check_point(0, &ChainKey::val(Value::Int(5)), record(10, 20)).unwrap_err();
         assert!(matches!(err, Error::TamperDetected(_)));
     }
 
     #[test]
     fn absent_chain_participation_is_tamper() {
-        let s = StoredRecord::new(
-            vec![(ChainKey::Absent, ChainKey::Absent)],
-            Row::default(),
-        );
+        let s = StoredRecord::new(vec![(ChainKey::Absent, ChainKey::Absent)], Row::default());
         assert!(check_point(0, &ChainKey::val(Value::Int(1)), s).is_err());
     }
 

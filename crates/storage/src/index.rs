@@ -46,6 +46,18 @@ pub trait IndexOracle: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Prefetch hint for batched scans: up to `limit` `(key, address)`
+    /// bindings in ascending key order, starting at the smallest key
+    /// `>= from`. Purely advisory — the scan re-verifies every answer
+    /// against the `⟨key, nKey⟩` chain evidence, so a lying or stale reply
+    /// can only force the per-record fallback path, never a wrong accepted
+    /// result. The default returns nothing, which disables batching for
+    /// oracles that cannot enumerate in order.
+    fn next_entries(&self, from: &ChainKey, limit: usize) -> Vec<(ChainKey, CellAddr)> {
+        let _ = (from, limit);
+        Vec::new()
+    }
 }
 
 /// Honest untrusted index: an ordered map from chain key to cell address.
@@ -92,6 +104,15 @@ impl IndexOracle for ChainIndex {
 
     fn len(&self) -> usize {
         self.map.read().len()
+    }
+
+    fn next_entries(&self, from: &ChainKey, limit: usize) -> Vec<(ChainKey, CellAddr)> {
+        self.map
+            .read()
+            .range((Bound::Included(from.clone()), Bound::Unbounded))
+            .take(limit)
+            .map(|(k, &a)| (k.clone(), a))
+            .collect()
     }
 }
 
@@ -151,8 +172,7 @@ impl IndexOracle for MaliciousIndex {
                 Some(IndexLie::Undershoot) => {
                     // Return the floor of the floor's predecessor if any.
                     let m = self.inner.map.read();
-                    let mut it =
-                        m.range((Bound::Unbounded, Bound::Included(key.clone())));
+                    let mut it = m.range((Bound::Unbounded, Bound::Included(key.clone())));
                     let _true_floor = it.next_back();
                     if let Some((_, &a)) = it.next_back() {
                         return Some(a);
@@ -197,6 +217,16 @@ impl IndexOracle for MaliciousIndex {
 
     fn len(&self) -> usize {
         self.inner.len()
+    }
+
+    fn next_entries(&self, from: &ChainKey, limit: usize) -> Vec<(ChainKey, CellAddr)> {
+        if self.active.load(Ordering::Relaxed) {
+            // Refuse to prefetch while armed: the scan then exercises the
+            // per-record resolve path, where the armed lie is told (and
+            // caught) exactly as the attack tests expect.
+            return Vec::new();
+        }
+        self.inner.next_entries(from, limit)
     }
 }
 

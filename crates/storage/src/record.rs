@@ -39,7 +39,10 @@ impl StoredRecord {
                 }
             })
             .collect();
-        StoredRecord { chains, row: Row::default() }
+        StoredRecord {
+            chains,
+            row: Row::default(),
+        }
     }
 
     /// Whether this record is a sentinel (participates via `⊥`).

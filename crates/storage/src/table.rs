@@ -67,9 +67,7 @@ impl Table {
         let chains = schema.chained_columns();
         let indexes = chains
             .iter()
-            .map(|_| {
-                Box::new(crate::bpindex::BPlusIndex::new()) as Box<dyn IndexOracle>
-            })
+            .map(|_| Box::new(crate::bpindex::BPlusIndex::new()) as Box<dyn IndexOracle>)
             .collect();
         Self::create_with_indexes(mem, name, schema, indexes)
     }
@@ -192,9 +190,8 @@ impl Table {
     /// with `VerificationFailed`, but the alarm is raisable immediately).
     pub(crate) fn read_record(&self, addr: CellAddr) -> Result<StoredRecord> {
         let bytes = self.mem.read(addr)?;
-        StoredRecord::decode(&bytes).map_err(|e| {
-            Error::TamperDetected(format!("malformed record at {addr}: {e}"))
-        })
+        StoredRecord::decode(&bytes)
+            .map_err(|e| Error::TamperDetected(format!("malformed record at {addr}: {e}")))
     }
 
     /// Rewrite a record in place; relocate (and re-index all its chain
@@ -229,8 +226,9 @@ impl Table {
     }
 
     fn insert_locked(&self, row: Row) -> Result<CellAddr> {
-        let keys: Vec<ChainKey> =
-            (0..self.chain_cols.len()).map(|c| self.chain_key(c, &row)).collect();
+        let keys: Vec<ChainKey> = (0..self.chain_cols.len())
+            .map(|c| self.chain_key(c, &row))
+            .collect();
 
         // 1. Find and read every chain's predecessor, grouping chains that
         //    share a predecessor record so each record is rewritten once.
@@ -366,8 +364,7 @@ impl Table {
         let new_row = Row::new(self.schema.check_row(new_row.into_values())?);
         let _g = self.write_lock.lock();
         let key0 = ChainKey::val(pk.clone());
-        let addr = self
-            .indexes[0]
+        let addr = self.indexes[0]
             .find_exact(&key0)
             .ok_or_else(|| Error::KeyNotFound(pk.to_string()))?;
         let mut rec = self.read_record(addr)?;
@@ -377,8 +374,8 @@ impl Table {
                 rec.key(0)
             )));
         }
-        let keys_unchanged = (0..self.chain_cols.len())
-            .all(|c| &self.chain_key(c, &new_row) == rec.key(c));
+        let keys_unchanged =
+            (0..self.chain_cols.len()).all(|c| &self.chain_key(c, &new_row) == rec.key(c));
         if keys_unchanged {
             rec.row = new_row;
             self.rewrite_record(addr, &rec)?;
@@ -395,8 +392,7 @@ impl Table {
     pub fn update_with(&self, pk: &Value, f: impl FnOnce(&mut Row)) -> Result<()> {
         let _g = self.write_lock.lock();
         let key0 = ChainKey::val(pk.clone());
-        let addr = self
-            .indexes[0]
+        let addr = self.indexes[0]
             .find_exact(&key0)
             .ok_or_else(|| Error::KeyNotFound(pk.to_string()))?;
         let mut rec = self.read_record(addr)?;
@@ -409,8 +405,8 @@ impl Table {
         let mut row = rec.row.clone();
         f(&mut row);
         let row = Row::new(self.schema.check_row(row.into_values())?);
-        let keys_unchanged = (0..self.chain_cols.len())
-            .all(|c| &self.chain_key(c, &row) == rec.key(c));
+        let keys_unchanged =
+            (0..self.chain_cols.len()).all(|c| &self.chain_key(c, &row) == rec.key(c));
         if keys_unchanged {
             rec.row = row;
             self.rewrite_record(addr, &rec)?;

@@ -35,7 +35,8 @@ fn quote_table(mem: &Arc<VerifiedMemory>) -> Arc<Table> {
     let t = Table::create(Arc::clone(mem), "quote", quote_schema()).unwrap();
     // Figure 4's contents: (id1..id4, count, price).
     for (id, count, price) in [(1, 100, 100), (2, 100, 200), (3, 500, 100), (4, 600, 100)] {
-        t.insert(Row::new(vec![int(id), int(count), int(price)])).unwrap();
+        t.insert(Row::new(vec![int(id), int(count), int(price)]))
+            .unwrap();
     }
     t
 }
@@ -73,12 +74,14 @@ fn figure_6_multi_column_chain_evolution() {
     .unwrap();
     let t = Table::create(Arc::clone(&mem), "fig6", schema).unwrap();
 
-    t.insert(Row::new(vec![int(1), int(4), Value::Str("data1".into())])).unwrap();
+    t.insert(Row::new(vec![int(1), int(4), Value::Str("data1".into())]))
+        .unwrap();
     // Chain 1: ⊥ → 1 → ⊤, chain 2: ⊥ → 4 → ⊤.
     let c1: Vec<Row> = t.seq_scan().collect_rows().unwrap();
     assert_eq!(c1.len(), 1);
 
-    t.insert(Row::new(vec![int(3), int(2), Value::Str("data2".into())])).unwrap();
+    t.insert(Row::new(vec![int(3), int(2), Value::Str("data2".into())]))
+        .unwrap();
     // Chain 1 order: 1, 3. Chain 2 order: 2 (pk 3), 4 (pk 1).
     let by_c1: Vec<i64> = t
         .seq_scan()
@@ -182,8 +185,12 @@ fn secondary_chain_with_duplicate_values() {
     .unwrap();
     let t = Table::create(Arc::clone(&mem), "dups", schema).unwrap();
     for (id, grp) in [(1, 10), (2, 20), (3, 10), (4, 10), (5, 30)] {
-        t.insert(Row::new(vec![int(id), int(grp), Value::Str(format!("p{id}"))]))
-            .unwrap();
+        t.insert(Row::new(vec![
+            int(id),
+            int(grp),
+            Value::Str(format!("p{id}")),
+        ]))
+        .unwrap();
     }
     // Equality on the secondary chain returns all three grp=10 rows.
     let rows = t.scan_eq(1, &int(10)).collect_rows().unwrap();
@@ -227,13 +234,15 @@ fn update_in_place_and_key_changing() {
     let mem = memory();
     let t = quote_table(&mem);
     // In-place: no chained column changes.
-    t.update(&int(3), Row::new(vec![int(3), int(555), int(101)])).unwrap();
+    t.update(&int(3), Row::new(vec![int(3), int(555), int(101)]))
+        .unwrap();
     assert_eq!(
         t.get_by_pk(&int(3)).unwrap().unwrap().values(),
         &[int(3), int(555), int(101)]
     );
     // Key-changing: pk 4 → 40 (delete + insert).
-    t.update(&int(4), Row::new(vec![int(40), int(600), int(100)])).unwrap();
+    t.update(&int(4), Row::new(vec![int(40), int(600), int(100)]))
+        .unwrap();
     assert!(t.get_by_pk(&int(4)).unwrap().is_none());
     assert!(t.get_by_pk(&int(40)).unwrap().is_some());
     let ids: Vec<i64> = t
@@ -270,15 +279,13 @@ fn growing_updates_relocate_and_stay_verified() {
     .unwrap();
     let t = Table::create(Arc::clone(&mem), "grow", schema).unwrap();
     for i in 0..50 {
-        t.insert(Row::new(vec![int(i), Value::Str("tiny".into())])).unwrap();
+        t.insert(Row::new(vec![int(i), Value::Str("tiny".into())]))
+            .unwrap();
     }
     // Grow each row by ~50×, forcing relocations across pages.
     for i in 0..50 {
-        t.update(
-            &int(i),
-            Row::new(vec![int(i), Value::Str("X".repeat(200))]),
-        )
-        .unwrap();
+        t.update(&int(i), Row::new(vec![int(i), Value::Str("X".repeat(200))]))
+            .unwrap();
     }
     for i in 0..50 {
         let row = t.get_by_pk(&int(i)).unwrap().unwrap();
@@ -300,7 +307,8 @@ fn thousands_of_rows_span_pages_and_verify() {
     let mem = memory();
     let t = quote_table(&mem);
     for i in 5..2000 {
-        t.insert(Row::new(vec![int(i), int(i % 7), int(i % 11)])).unwrap();
+        t.insert(Row::new(vec![int(i), int(i % 7), int(i % 11)]))
+            .unwrap();
     }
     assert_eq!(t.row_count(), 1999);
     assert!(mem.page_count() > 1, "rows must span multiple pages");
@@ -346,7 +354,8 @@ fn malicious_table(mem: &Arc<VerifiedMemory>) -> (Arc<Table>, Arc<MaliciousIndex
     )
     .unwrap();
     for (id, count, price) in [(1, 100, 100), (2, 100, 200), (3, 500, 100), (4, 600, 100)] {
-        t.insert(Row::new(vec![int(id), int(count), int(price)])).unwrap();
+        t.insert(Row::new(vec![int(id), int(count), int(price)]))
+            .unwrap();
     }
     (t, mal)
 }
@@ -369,7 +378,8 @@ fn index_returning_wrong_record_is_detected() {
     // Point the index at record id=4's address for every query.
     let addr4 = {
         mal.disarm();
-        mal.find_exact(&veridb_storage::ChainKey::val(int(4))).unwrap()
+        mal.find_exact(&veridb_storage::ChainKey::val(int(4)))
+            .unwrap()
     };
     mal.arm(IndexLie::WrongRecord(addr4));
     // Asking for key 2 and getting record ⟨4, ⊤⟩ must be rejected.
@@ -394,8 +404,9 @@ fn range_scan_omission_via_denying_index_is_detected() {
     let mem = memory();
     let (t, mal) = malicious_table(&mem);
     mal.arm(IndexLie::DenyAll);
-    let result: Result<Vec<Row>, Error> =
-        t.range_scan(0, Bound::Included(int(1)), Bound::Included(int(4))).collect();
+    let result: Result<Vec<Row>, Error> = t
+        .range_scan(0, Bound::Included(int(1)), Bound::Included(int(4)))
+        .collect();
     assert!(matches!(result, Err(Error::TamperDetected(_))));
 }
 
@@ -418,7 +429,8 @@ fn concurrent_readers_and_writers_stay_consistent() {
             let base = 1000 + w * 10_000;
             let mut i = 0;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) && i < 300 {
-                t.insert(Row::new(vec![int(base + i), int(i), int(i)])).unwrap();
+                t.insert(Row::new(vec![int(base + i), int(i), int(i)]))
+                    .unwrap();
                 if i % 3 == 0 {
                     t.update_with(&int(base + i), |row| {
                         *row = Row::new(vec![row[0].clone(), int(-1), row[2].clone()]);
@@ -480,7 +492,8 @@ fn bplus_indexed_table_behaves_identically() {
     let mem = memory();
     let t = Table::create_with_bplus(Arc::clone(&mem), "bp", quote_schema()).unwrap();
     for i in 0..500i64 {
-        t.insert(Row::new(vec![int(i), int(i % 9), int(i % 5)])).unwrap();
+        t.insert(Row::new(vec![int(i), int(i % 9), int(i % 5)]))
+            .unwrap();
     }
     // Point, miss, range, delete, update — all verified through the B+ index.
     assert!(t.get_by_pk(&int(250)).unwrap().is_some());
@@ -492,9 +505,196 @@ fn bplus_indexed_table_behaves_identically() {
     assert_eq!(rows.len(), 10);
     t.delete(&int(250)).unwrap();
     assert!(t.get_by_pk(&int(250)).unwrap().is_none());
-    t.update(&int(251), Row::new(vec![int(251), int(0), int(0)])).unwrap();
+    t.update(&int(251), Row::new(vec![int(251), int(0), int(0)]))
+        .unwrap();
     let all = t.seq_scan().collect_rows().unwrap();
     assert_eq!(all.len(), 499);
     assert!(all.windows(2).all(|w| w[0][0] < w[1][0]));
     mem.verify_now().unwrap();
+}
+
+// ---- batched scan fast path ----------------------------------------------
+
+/// An honest index that refuses prefetch hints: `next_entries` stays the
+/// trait default (empty), so every scan takes the per-record path.
+struct NoPrefetch(ChainIndex);
+impl IndexOracle for NoPrefetch {
+    fn find_floor(&self, k: &veridb_storage::ChainKey) -> Option<veridb_wrcm::CellAddr> {
+        self.0.find_floor(k)
+    }
+    fn find_below(&self, k: &veridb_storage::ChainKey) -> Option<veridb_wrcm::CellAddr> {
+        self.0.find_below(k)
+    }
+    fn find_exact(&self, k: &veridb_storage::ChainKey) -> Option<veridb_wrcm::CellAddr> {
+        self.0.find_exact(k)
+    }
+    fn upsert(&self, k: veridb_storage::ChainKey, a: veridb_wrcm::CellAddr) {
+        self.0.upsert(k, a)
+    }
+    fn remove(&self, k: &veridb_storage::ChainKey) {
+        self.0.remove(k)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[test]
+fn batched_scan_matches_per_record_scan() {
+    let mem = memory();
+    let fast = quote_table(&mem);
+    let slow = Table::create_with_indexes(
+        Arc::clone(&mem),
+        "quote_slow",
+        quote_schema(),
+        vec![Box::new(NoPrefetch(ChainIndex::new()))],
+    )
+    .unwrap();
+    // Mirror quote_table's seed rows so both tables hold identical data.
+    for (id, count, price) in [(1, 100, 100), (2, 100, 200), (3, 500, 100), (4, 600, 100)] {
+        slow.insert(Row::new(vec![int(id), int(count), int(price)]))
+            .unwrap();
+    }
+    for i in 5..1200 {
+        let row = Row::new(vec![int(i), int(i % 7), int(i % 11)]);
+        fast.insert(row.clone()).unwrap();
+        slow.insert(row).unwrap();
+    }
+    assert!(mem.page_count() > 1, "rows must span multiple pages");
+
+    let mut s_fast = fast.seq_scan();
+    let rows_fast: Vec<Row> = s_fast.by_ref().collect::<Result<_, _>>().unwrap();
+    assert!(
+        s_fast.batched_rounds() > 0,
+        "prefetching index must engage the batch path"
+    );
+    let mut s_slow = slow.seq_scan();
+    let rows_slow: Vec<Row> = s_slow.by_ref().collect::<Result<_, _>>().unwrap();
+    assert_eq!(
+        s_slow.batched_rounds(),
+        0,
+        "default next_entries must disable batching"
+    );
+    assert_eq!(rows_fast, rows_slow);
+    assert_eq!(rows_fast.len(), 1199);
+
+    // Bounded ranges agree too (evidence records trimmed identically).
+    for (lo, hi) in [
+        (Bound::Included(int(100)), Bound::Excluded(int(200))),
+        (Bound::Excluded(int(7)), Bound::Included(int(7 + 40))),
+        (Bound::Unbounded, Bound::Included(int(3))),
+        (Bound::Included(int(5000)), Bound::Unbounded),
+    ] {
+        let a = fast
+            .range_scan(0, lo.clone(), hi.clone())
+            .collect_rows()
+            .unwrap();
+        let b = slow.range_scan(0, lo, hi).collect_rows().unwrap();
+        assert_eq!(a, b);
+    }
+    mem.verify_now().unwrap();
+}
+
+/// A prefetcher that answers `next_entries` with honest keys but rotated
+/// addresses — every hint points at the wrong record. The scan must fall
+/// back to per-record resolution and still return only correct rows; an
+/// advisory lie can never surface as data.
+struct RotatedPrefetch(ChainIndex);
+impl IndexOracle for RotatedPrefetch {
+    fn find_floor(&self, k: &veridb_storage::ChainKey) -> Option<veridb_wrcm::CellAddr> {
+        self.0.find_floor(k)
+    }
+    fn find_below(&self, k: &veridb_storage::ChainKey) -> Option<veridb_wrcm::CellAddr> {
+        self.0.find_below(k)
+    }
+    fn find_exact(&self, k: &veridb_storage::ChainKey) -> Option<veridb_wrcm::CellAddr> {
+        self.0.find_exact(k)
+    }
+    fn upsert(&self, k: veridb_storage::ChainKey, a: veridb_wrcm::CellAddr) {
+        self.0.upsert(k, a)
+    }
+    fn remove(&self, k: &veridb_storage::ChainKey) {
+        self.0.remove(k)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn next_entries(
+        &self,
+        from: &veridb_storage::ChainKey,
+        limit: usize,
+    ) -> Vec<(veridb_storage::ChainKey, veridb_wrcm::CellAddr)> {
+        let mut entries = self.0.next_entries(from, limit);
+        if entries.len() > 1 {
+            let addrs: Vec<_> = entries.iter().map(|(_, a)| *a).collect();
+            let n = addrs.len();
+            for (i, e) in entries.iter_mut().enumerate() {
+                e.1 = addrs[(i + 1) % n];
+            }
+        }
+        entries
+    }
+}
+
+#[test]
+fn lying_prefetch_hints_cannot_corrupt_scan_results() {
+    let mem = memory();
+    let t = Table::create_with_indexes(
+        Arc::clone(&mem),
+        "rotated",
+        quote_schema(),
+        vec![Box::new(RotatedPrefetch(ChainIndex::new()))],
+    )
+    .unwrap();
+    for i in 0..300 {
+        t.insert(Row::new(vec![int(i), int(i % 3), int(i % 5)]))
+            .unwrap();
+    }
+    let rows = t.seq_scan().collect_rows().unwrap();
+    let ids: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(ids, (0..300).collect::<Vec<_>>());
+    mem.verify_now().unwrap();
+}
+
+#[test]
+fn batched_scans_race_writers_without_false_alarms() {
+    let mem = memory();
+    let t = quote_table(&mem);
+    for i in 5..600 {
+        t.insert(Row::new(vec![int(i), int(i), int(i)])).unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..2i64 {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let base = 10_000 + w * 10_000;
+            let mut i = 0;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) && i < 200 {
+                t.insert(Row::new(vec![int(base + i), int(i), int(i)]))
+                    .unwrap();
+                i += 1;
+            }
+        }));
+    }
+    // Scanners drive the batched path while the chain is being spliced:
+    // stale prefetch hints must degrade to the fallback, never alarm.
+    for _ in 0..2 {
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let rows = t.seq_scan().collect_rows().unwrap();
+                assert!(rows.len() >= 599, "concurrent inserts only ever add rows");
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    mem.verify_now().unwrap();
+    assert!(mem.poisoned().is_none());
 }

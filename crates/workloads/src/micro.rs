@@ -59,7 +59,11 @@ impl Default for MicroWorkload {
 impl MicroWorkload {
     /// A laptop-scale variant preserving the op mix.
     pub fn scaled(initial_pairs: i64, operations: usize) -> Self {
-        MicroWorkload { initial_pairs, operations, ..Self::default() }
+        MicroWorkload {
+            initial_pairs,
+            operations,
+            ..Self::default()
+        }
     }
 
     /// The table schema: `(k INT PRIMARY KEY, v TEXT)`.
@@ -195,7 +199,12 @@ mod tests {
     use veridb_wrcm::VerifiedMemory;
 
     fn small() -> MicroWorkload {
-        MicroWorkload { initial_pairs: 50, operations: 200, value_len: 32, seed: 7 }
+        MicroWorkload {
+            initial_pairs: 50,
+            operations: 200,
+            value_len: 32,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -206,9 +215,15 @@ mod tests {
         assert_eq!(a, b, "same seed, same stream");
         assert_eq!(a.len(), 200);
         let gets = a.iter().filter(|o| matches!(o, MicroOp::Get(_))).count();
-        let inserts = a.iter().filter(|o| matches!(o, MicroOp::Insert(..))).count();
+        let inserts = a
+            .iter()
+            .filter(|o| matches!(o, MicroOp::Insert(..)))
+            .count();
         let deletes = a.iter().filter(|o| matches!(o, MicroOp::Delete(_))).count();
-        let updates = a.iter().filter(|o| matches!(o, MicroOp::Update(..))).count();
+        let updates = a
+            .iter()
+            .filter(|o| matches!(o, MicroOp::Update(..)))
+            .count();
         for n in [gets, inserts, deletes, updates] {
             assert!(n > 200 / 8, "mix should be roughly even, got {n}");
         }
@@ -221,8 +236,7 @@ mod tests {
         let mut cfg = VeriDbConfig::default();
         cfg.verify_every_ops = None;
         let mem = VerifiedMemory::from_config(enclave, &cfg);
-        let table =
-            Table::create(Arc::clone(&mem), "kv", MicroWorkload::schema()).unwrap();
+        let table = Table::create(Arc::clone(&mem), "kv", MicroWorkload::schema()).unwrap();
         w.load_table(&table).unwrap();
         assert_eq!(table.row_count(), 50);
 

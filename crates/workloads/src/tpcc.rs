@@ -257,10 +257,8 @@ impl TpccDriver {
             Value::Int(ol_cnt),
             Value::Int(0), // o_carrier: 0 = undelivered
         ]))?;
-        self.new_order.insert(Row::new(vec![
-            Value::Int(o_key),
-            Value::Int(d_key(w, d)),
-        ]))?;
+        self.new_order
+            .insert(Row::new(vec![Value::Int(o_key), Value::Int(d_key(w, d))]))?;
 
         // Order lines: read item, update stock, insert line.
         for _ in 0..ol_cnt {
@@ -501,7 +499,10 @@ mod tests {
         let stats = driver.run_clients(4, 25);
         assert_eq!(stats.committed, 100);
         // Every (w, d, o_id) must be unique.
-        let rows = db.sql("SELECT o_w_id, o_d_id, o_id FROM orders").unwrap().rows;
+        let rows = db
+            .sql("SELECT o_w_id, o_d_id, o_id FROM orders")
+            .unwrap()
+            .rows;
         let mut seen = std::collections::HashSet::new();
         for r in &rows {
             let key = (
@@ -564,16 +565,10 @@ mod tests {
             driver.payment(&mut rng).unwrap();
         }
         // Sum of history amounts equals total warehouse ytd growth.
-        let hist: f64 = db
-            .sql("SELECT SUM(h_amount) FROM history")
-            .unwrap()
-            .rows[0][0]
+        let hist: f64 = db.sql("SELECT SUM(h_amount) FROM history").unwrap().rows[0][0]
             .as_f64()
             .unwrap();
-        let wh: f64 = db
-            .sql("SELECT SUM(w_ytd) FROM warehouse")
-            .unwrap()
-            .rows[0][0]
+        let wh: f64 = db.sql("SELECT SUM(w_ytd) FROM warehouse").unwrap().rows[0][0]
             .as_f64()
             .unwrap();
         let base = 300_000.0 * driver.config().warehouses as f64;

@@ -43,14 +43,22 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { lineitem_rows: 60_000, part_rows: 2_000, seed: 19940101 }
+        TpchConfig {
+            lineitem_rows: 60_000,
+            part_rows: 2_000,
+            seed: 19940101,
+        }
     }
 }
 
 impl TpchConfig {
     /// A very small configuration for tests.
     pub fn tiny() -> Self {
-        TpchConfig { lineitem_rows: 2_000, part_rows: 100, seed: 7 }
+        TpchConfig {
+            lineitem_rows: 2_000,
+            part_rows: 100,
+            seed: 7,
+        }
     }
 }
 
@@ -132,14 +140,22 @@ pub struct TpchData {
     pub customer: Vec<Customer>,
 }
 
-const SHIPINSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIPINSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const SHIPMODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
-const CONTAINER_2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
-const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 impl TpchData {
     /// Generate the dataset.
@@ -152,11 +168,7 @@ impl TpchData {
         let part: Vec<Part> = (1..=cfg.part_rows as i64)
             .map(|partkey| Part {
                 partkey,
-                brand: format!(
-                    "Brand#{}{}",
-                    rng.gen_range(1..=5u8),
-                    rng.gen_range(1..=5u8)
-                ),
+                brand: format!("Brand#{}{}", rng.gen_range(1..=5u8), rng.gen_range(1..=5u8)),
                 container: format!(
                     "{} {}",
                     CONTAINER_1[rng.gen_range(0..CONTAINER_1.len())],
@@ -213,14 +225,18 @@ impl TpchData {
                     returnflag,
                     linestatus,
                     shipdate,
-                    shipinstruct: SHIPINSTRUCT[rng.gen_range(0..SHIPINSTRUCT.len())]
-                        .to_string(),
+                    shipinstruct: SHIPINSTRUCT[rng.gen_range(0..SHIPINSTRUCT.len())].to_string(),
                     shipmode: SHIPMODE[rng.gen_range(0..SHIPMODE.len())].to_string(),
                 }
             })
             .collect();
 
-        TpchData { lineitem, part, orders, customer }
+        TpchData {
+            lineitem,
+            part,
+            orders,
+            customer,
+        }
     }
 
     /// DDL for the four tables. `l_shipdate` carries a chain so Q1/Q6's
@@ -407,8 +423,7 @@ pub fn q3_expected(data: &TpchData) -> Vec<(i64, f64)> {
     let mut rev: HashMap<i64, f64> = HashMap::new();
     for l in &data.lineitem {
         if l.shipdate > cutoff && orders.contains_key(&l.orderkey) {
-            *rev.entry(l.orderkey).or_default() +=
-                l.extendedprice * (1.0 - l.discount);
+            *rev.entry(l.orderkey).or_default() += l.extendedprice * (1.0 - l.discount);
         }
     }
     let mut out: Vec<(i64, f64)> = rev.into_iter().collect();
@@ -442,8 +457,7 @@ pub fn q6_expected(data: &TpchData) -> f64 {
 /// Reference implementation of Q19.
 pub fn q19_expected(data: &TpchData) -> f64 {
     use std::collections::HashMap;
-    let parts: HashMap<i64, &Part> =
-        data.part.iter().map(|p| (p.partkey, p)).collect();
+    let parts: HashMap<i64, &Part> = data.part.iter().map(|p| (p.partkey, p)).collect();
     let branch = |l: &LineItem,
                   p: &Part,
                   brand: &str,
@@ -464,9 +478,31 @@ pub fn q19_expected(data: &TpchData) -> f64 {
         .iter()
         .filter_map(|l| {
             let p = parts.get(&l.partkey)?;
-            let hit = branch(l, p, "Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-                || branch(l, p, "Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10)
-                || branch(l, p, "Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15);
+            let hit = branch(
+                l,
+                p,
+                "Brand#12",
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1.0,
+                11.0,
+                5,
+            ) || branch(
+                l,
+                p,
+                "Brand#23",
+                &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10.0,
+                20.0,
+                10,
+            ) || branch(
+                l,
+                p,
+                "Brand#34",
+                &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                20.0,
+                30.0,
+                15,
+            );
             hit.then_some(l.extendedprice * (1.0 - l.discount))
         })
         .sum()
@@ -615,7 +651,12 @@ mod tests {
             veridb::PreferredJoin::Auto,
         ] {
             let r = db
-                .sql_with(q19(), &veridb::PlanOptions { prefer_join: prefer })
+                .sql_with(
+                    q19(),
+                    &veridb::PlanOptions {
+                        prefer_join: prefer,
+                    },
+                )
                 .unwrap();
             let got = match &r.rows[0][0] {
                 Value::Float(f) => *f,

@@ -42,9 +42,11 @@ impl SetDigest {
 
     /// Hex rendering for logs and evidence dumps.
     pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut s = String::with_capacity(DIGEST_LEN * 2);
-        for b in &self.0 {
-            s.push_str(&format!("{b:02x}"));
+        for &b in &self.0 {
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0x0f) as usize] as char);
         }
         s
     }

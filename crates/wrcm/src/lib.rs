@@ -52,7 +52,7 @@ pub mod tamper;
 pub mod verifier;
 
 pub use digest::SetDigest;
-pub use memory::{CellAddr, MemConfig, VerifiedMemory, VerifyReport};
+pub use memory::{CellAddr, MemConfig, ReadBatch, VerifiedMemory, VerifyReport};
 pub use page::{RawPage, SlotId, PAGE_HEADER_BYTES};
 pub use prf::{PrfEngine, SipHash24};
 pub use rsws::{PartitionState, RswsPair};

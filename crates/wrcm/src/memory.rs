@@ -19,11 +19,11 @@
 
 use crate::digest::SetDigest;
 use crate::page::{RawPage, SlotId};
-use crate::prf::{PrfEngine, KIND_DATA, KIND_META};
+use crate::prf::{PrfEngine, KIND_DATA, KIND_GROUP, KIND_META};
 use crate::rsws::{PageMeta, PartitionState};
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use veridb_common::{Error, Result, VeriDbConfig};
@@ -101,6 +101,61 @@ pub struct VerifyReport {
     pub epochs: Vec<u64>,
 }
 
+/// Reusable scratch buffer for [`VerifiedMemory::read_page_batch`]: cell
+/// payloads are packed back-to-back into one flat allocation instead of
+/// one fresh `Vec<u8>` per cell, and the buffer's capacity survives across
+/// batches. Entries appear in request order; requested slots that are dead
+/// (tombstoned or out of range) are skipped, not errors — callers detect
+/// them by comparing the returned slot ids against their request.
+#[derive(Debug, Default)]
+pub struct ReadBatch {
+    buf: Vec<u8>,
+    /// `(slot, start, end)` of each cell actually read, into `buf`.
+    cells: Vec<(SlotId, u32, u32)>,
+}
+
+impl ReadBatch {
+    /// Empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all entries, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.cells.clear();
+    }
+
+    /// Number of cells read into the batch.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the batch holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The `i`-th cell read, as `(slot, payload)`.
+    pub fn get(&self, i: usize) -> Option<(SlotId, &[u8])> {
+        let &(slot, start, end) = self.cells.get(i)?;
+        Some((slot, &self.buf[start as usize..end as usize]))
+    }
+
+    /// Iterate the cells in request order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        self.cells
+            .iter()
+            .map(|&(slot, start, end)| (slot, &self.buf[start as usize..end as usize]))
+    }
+
+    fn push(&mut self, slot: SlotId, data: &[u8]) {
+        let start = self.buf.len() as u32;
+        self.buf.extend_from_slice(data);
+        self.cells.push((slot, start, self.buf.len() as u32));
+    }
+}
+
 /// Write-read consistent memory: untrusted pages + enclave digest state.
 pub struct VerifiedMemory {
     enclave: Enclave,
@@ -133,7 +188,9 @@ impl VerifiedMemory {
     pub fn new(enclave: Enclave, cfg: MemConfig) -> Arc<Self> {
         let prf = PrfEngine::new(cfg.prf, enclave.derive_key("rsws-prf"));
         let nparts = cfg.partitions.max(1);
-        let parts = (0..nparts).map(|_| Mutex::new(PartitionState::new())).collect();
+        let parts = (0..nparts)
+            .map(|_| Mutex::new(PartitionState::new()))
+            .collect();
         let scan_locks = (0..nparts).map(|_| Mutex::new(())).collect();
         Arc::new(VerifiedMemory {
             enclave,
@@ -205,11 +262,25 @@ impl VerifiedMemory {
     /// Count one operation toward the verifier cadence; emit a tick when
     /// the threshold is crossed.
     fn op_tick(&self) {
-        let Some(every) = self.cfg.verify_every_ops else { return };
-        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
-        if n.is_multiple_of(every) {
+        self.op_tick_n(1);
+    }
+
+    /// Count `n` operations at once (batched paths pay one atomic update
+    /// per batch, not per cell). Emits one tick per threshold crossing.
+    fn op_tick_n(&self, n: u64) {
+        let Some(every) = self.cfg.verify_every_ops else {
+            return;
+        };
+        if n == 0 {
+            return;
+        }
+        let after = self.ops.fetch_add(n, Ordering::Relaxed) + n;
+        let crossings = after / every - (after - n) / every;
+        if crossings > 0 {
             if let Some(tx) = self.ticker.read().as_ref() {
-                let _ = tx.try_send(());
+                for _ in 0..crossings {
+                    let _ = tx.try_send(());
+                }
             }
         }
     }
@@ -241,8 +312,8 @@ impl VerifiedMemory {
     pub fn page_free_space(&self, page: u64) -> Result<usize> {
         let p = self.get_page(page)?;
         let g = p.lock();
-        Ok(g.contiguous_free().saturating_sub(crate::page::SLOT_ENTRY_BYTES
-            + crate::page::CELL_HEADER_BYTES))
+        Ok(g.contiguous_free()
+            .saturating_sub(crate::page::SLOT_ENTRY_BYTES + crate::page::CELL_HEADER_BYTES))
     }
 
     // ---- protected operations (Algorithm 1 / Algorithm 3 primitives) ------
@@ -261,13 +332,36 @@ impl VerifiedMemory {
             return Ok(out);
         }
 
+        // A point read of a coalesced cell dissolves its scan group first,
+        // restoring per-cell elements (see DESIGN.md §9).
+        self.ensure_singleton(&mut page, addr.page, addr.slot)?;
+
         let (data, ts_old) = {
             let (d, t) = page.read(addr.slot)?;
             (d.to_vec(), t)
         };
         let ts_new = self.enclave.next_timestamp();
-        let entry = page.slot_entry_bytes(addr.slot);
-        let mts_old = page.meta_ts(addr.slot);
+        // PRF tags depend only on (addr, kind, data, ts) — never on the
+        // epoch — so they are computed here, under the page lock alone.
+        // Only pair selection and the XOR fold need the partition mutex
+        // (see DESIGN.md §9).
+        let rs_tag = self.prf.tag(addr.proto(), KIND_DATA, &data, ts_old);
+        let ws_tag = self.prf.tag(addr.proto(), KIND_DATA, &data, ts_new);
+        let meta_tags = if self.cfg.verify_metadata {
+            // Algorithm 3's Get reads the record pointer first.
+            let entry = page.slot_entry_bytes(addr.slot);
+            let mts_old = page.meta_ts(addr.slot);
+            let mts_new = self.enclave.next_timestamp();
+            let maddr = addr.proto();
+            let mrs = self.prf.tag(maddr, KIND_META, &entry, mts_old);
+            let mws = self.prf.tag(maddr, KIND_META, &entry, mts_new);
+            page.set_meta_ts(addr.slot, mts_new);
+            self.enclave.cost().charge_prf(2);
+            Some((mrs, mws))
+        } else {
+            None
+        };
+        page.set_ts(addr.slot, ts_new)?;
 
         {
             let mut part = self.parts[self.part_index(addr.page)].lock();
@@ -279,21 +373,15 @@ impl VerifiedMemory {
                 meta.touched = true;
                 meta.scan_epoch
             };
-            if self.cfg.verify_metadata {
-                // Algorithm 3's Get reads the record pointer first.
-                let mts_new = self.enclave.next_timestamp();
-                let maddr = addr.proto();
+            if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
-                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &entry, mts_old));
-                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry, mts_new));
-                page.set_meta_ts(addr.slot, mts_new);
-                self.enclave.cost().charge_prf(2);
+                mp.rs.fold(mrs);
+                mp.ws.fold(mws);
             }
             let pair = part.pair_for(se);
-            pair.rs.fold(&self.prf.tag(addr.proto(), KIND_DATA, &data, ts_old));
-            pair.ws.fold(&self.prf.tag(addr.proto(), KIND_DATA, &data, ts_new));
+            pair.rs.fold(&rs_tag);
+            pair.ws.fold(&ws_tag);
         }
-        page.set_ts(addr.slot, ts_new)?;
         self.enclave.cost().charge_prf(2);
         self.enclave.cost().charge_verified_read();
         drop(page);
@@ -314,16 +402,32 @@ impl VerifiedMemory {
             return Ok(());
         }
 
-        let (old, ts_old) = {
-            let (d, t) = page.read(addr.slot)?;
-            (d.to_vec(), t)
+        self.ensure_singleton(&mut page, addr.page, addr.slot)?;
+
+        // Consume the old cell in place: the rs tag is computed from the
+        // borrowed bytes, so no copy of the old payload is ever made.
+        let rs_tag = {
+            let (old, ts_old) = page.read(addr.slot)?;
+            self.prf.tag(addr.proto(), KIND_DATA, old, ts_old)
         };
         let entry_old = page.slot_entry_bytes(addr.slot);
         let mts_old = page.meta_ts(addr.slot);
         // Mutate first: a PageFull on a growing write must leave the
         // digests untouched.
         page.write(addr.slot, data, ts_new)?;
-        let entry_new = page.slot_entry_bytes(addr.slot);
+        let ws_tag = self.prf.tag(addr.proto(), KIND_DATA, data, ts_new);
+        let meta_tags = if self.cfg.verify_metadata {
+            let entry_new = page.slot_entry_bytes(addr.slot);
+            let mts_new = self.enclave.next_timestamp();
+            let maddr = addr.proto();
+            let mrs = self.prf.tag(maddr, KIND_META, &entry_old, mts_old);
+            let mws = self.prf.tag(maddr, KIND_META, &entry_new, mts_new);
+            page.set_meta_ts(addr.slot, mts_new);
+            self.enclave.cost().charge_prf(2);
+            Some((mrs, mws))
+        } else {
+            None
+        };
 
         {
             let mut part = self.parts[self.part_index(addr.page)].lock();
@@ -335,18 +439,14 @@ impl VerifiedMemory {
                 meta.touched = true;
                 meta.scan_epoch
             };
-            if self.cfg.verify_metadata {
-                let mts_new = self.enclave.next_timestamp();
-                let maddr = addr.proto();
+            if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
-                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &entry_old, mts_old));
-                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
-                page.set_meta_ts(addr.slot, mts_new);
-                self.enclave.cost().charge_prf(2);
+                mp.rs.fold(mrs);
+                mp.ws.fold(mws);
             }
             let pair = part.pair_for(se);
-            pair.rs.fold(&self.prf.tag(addr.proto(), KIND_DATA, &old, ts_old));
-            pair.ws.fold(&self.prf.tag(addr.proto(), KIND_DATA, data, ts_new));
+            pair.rs.fold(&rs_tag);
+            pair.ws.fold(&ws_tag);
         }
         self.enclave.cost().charge_prf(2);
         self.enclave.cost().charge_verified_write();
@@ -365,16 +465,17 @@ impl VerifiedMemory {
         // If contiguous space is short but holes would cover it, compact
         // on demand (lazy mode defers this to the scan, but an insert that
         // would otherwise spill to a fresh page still prefers reclaiming).
-        let needed = data.len()
-            + crate::page::CELL_HEADER_BYTES
-            + crate::page::SLOT_ENTRY_BYTES;
+        let needed = data.len() + crate::page::CELL_HEADER_BYTES + crate::page::SLOT_ENTRY_BYTES;
         if page.contiguous_free() < needed && page.free_after_compaction() >= needed {
             self.compact_locked(&mut page, page_id)?;
         }
 
         let slot_count_before = page.slot_count();
         let slot = page.insert(data, ts)?;
-        let addr = CellAddr { page: page_id, slot };
+        let addr = CellAddr {
+            page: page_id,
+            slot,
+        };
 
         if !self.cfg.verify_rsws {
             drop(page);
@@ -382,9 +483,25 @@ impl VerifiedMemory {
             return Ok(addr);
         }
 
-        let entry_new = page.slot_entry_bytes(slot);
-        let reused_slot = slot < slot_count_before;
-        let mts_old = page.meta_ts(slot);
+        let ws_tag = self.prf.tag(addr.proto(), KIND_DATA, data, ts);
+        let meta_tags = if self.cfg.verify_metadata {
+            let entry_new = page.slot_entry_bytes(slot);
+            let reused_slot = slot < slot_count_before;
+            let mts_old = page.meta_ts(slot);
+            let mts_new = self.enclave.next_timestamp();
+            let maddr = addr.proto();
+            // A reused slot consumes the tombstone entry (0,0).
+            let mrs = reused_slot.then(|| {
+                self.enclave.cost().charge_prf(1);
+                self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_old)
+            });
+            let mws = self.prf.tag(maddr, KIND_META, &entry_new, mts_new);
+            page.set_meta_ts(slot, mts_new);
+            self.enclave.cost().charge_prf(1);
+            Some((mrs, mws))
+        } else {
+            None
+        };
 
         {
             let mut part = self.parts[self.part_index(page_id)].lock();
@@ -396,21 +513,15 @@ impl VerifiedMemory {
                 meta.touched = true;
                 meta.scan_epoch
             };
-            if self.cfg.verify_metadata {
-                let mts_new = self.enclave.next_timestamp();
-                let maddr = addr.proto();
+            if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
-                if reused_slot {
-                    // The tombstone entry (0,0) is consumed.
-                    mp.rs.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_old));
-                    self.enclave.cost().charge_prf(1);
+                if let Some(mrs) = mrs {
+                    mp.rs.fold(mrs);
                 }
-                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
-                page.set_meta_ts(slot, mts_new);
-                self.enclave.cost().charge_prf(1);
+                mp.ws.fold(mws);
             }
             let pair = part.pair_for(se);
-            pair.ws.fold(&self.prf.tag(addr.proto(), KIND_DATA, data, ts));
+            pair.ws.fold(&ws_tag);
         }
         self.enclave.cost().charge_prf(1);
         self.enclave.cost().charge_verified_write();
@@ -434,13 +545,28 @@ impl VerifiedMemory {
             return Ok(());
         }
 
-        let (old, ts_old) = {
-            let (d, t) = page.read(addr.slot)?;
-            (d.to_vec(), t)
+        self.ensure_singleton(&mut page, addr.page, addr.slot)?;
+
+        // The rs tag consumes the dying cell; computed from the borrowed
+        // bytes before the tombstone lands, so nothing is copied.
+        let rs_tag = {
+            let (old, ts_old) = page.read(addr.slot)?;
+            self.prf.tag(addr.proto(), KIND_DATA, old, ts_old)
         };
         let entry_old = page.slot_entry_bytes(addr.slot);
         let mts_old = page.meta_ts(addr.slot);
         page.delete(addr.slot)?;
+        let meta_tags = if self.cfg.verify_metadata {
+            let mts_new = self.enclave.next_timestamp();
+            let maddr = addr.proto();
+            let mrs = self.prf.tag(maddr, KIND_META, &entry_old, mts_old);
+            let mws = self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_new);
+            page.set_meta_ts(addr.slot, mts_new);
+            self.enclave.cost().charge_prf(2);
+            Some((mrs, mws))
+        } else {
+            None
+        };
 
         {
             let mut part = self.parts[self.part_index(addr.page)].lock();
@@ -452,17 +578,13 @@ impl VerifiedMemory {
                 meta.touched = true;
                 meta.scan_epoch
             };
-            if self.cfg.verify_metadata {
-                let mts_new = self.enclave.next_timestamp();
-                let maddr = addr.proto();
+            if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
-                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &entry_old, mts_old));
-                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_new));
-                page.set_meta_ts(addr.slot, mts_new);
-                self.enclave.cost().charge_prf(2);
+                mp.rs.fold(mrs);
+                mp.ws.fold(mws);
             }
             let pair = part.pair_for(se);
-            pair.rs.fold(&self.prf.tag(addr.proto(), KIND_DATA, &old, ts_old));
+            pair.rs.fold(&rs_tag);
         }
         self.enclave.cost().charge_prf(1);
         self.enclave.cost().charge_verified_write();
@@ -499,6 +621,10 @@ impl VerifiedMemory {
             (s, d)
         };
 
+        if self.cfg.verify_rsws {
+            self.ensure_singleton(&mut src, from.page, from.slot)?;
+        }
+
         let (data, ts_old) = {
             let (d, t) = src.read(from.slot)?;
             (d.to_vec(), t)
@@ -507,7 +633,10 @@ impl VerifiedMemory {
         let dst_slot_count_before = dst.slot_count();
         // Insert first so a full destination leaves the source untouched.
         let slot = dst.insert(&data, ts_new)?;
-        let to = CellAddr { page: to_page, slot };
+        let to = CellAddr {
+            page: to_page,
+            slot,
+        };
         let src_entry_old = src.slot_entry_bytes(from.slot);
         let src_mts_old = src.meta_ts(from.slot);
         src.delete(from.slot)?;
@@ -516,6 +645,39 @@ impl VerifiedMemory {
             self.op_tick();
             return Ok(to);
         }
+
+        // All tags are computed under the page locks alone; the partition
+        // mutexes below only route and fold.
+        let src_rs = self.prf.tag(from.proto(), KIND_DATA, &data, ts_old);
+        let dst_ws = self.prf.tag(to.proto(), KIND_DATA, &data, ts_new);
+        let src_meta = if self.cfg.verify_metadata {
+            let mts_new = self.enclave.next_timestamp();
+            let maddr = from.proto();
+            let mrs = self.prf.tag(maddr, KIND_META, &src_entry_old, src_mts_old);
+            let mws = self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_new);
+            src.set_meta_ts(from.slot, mts_new);
+            self.enclave.cost().charge_prf(2);
+            Some((mrs, mws))
+        } else {
+            None
+        };
+        let dst_meta = if self.cfg.verify_metadata {
+            let reused = slot < dst_slot_count_before;
+            let mts_old = dst.meta_ts(slot);
+            let mts_new = self.enclave.next_timestamp();
+            let entry_new = dst.slot_entry_bytes(slot);
+            let maddr = to.proto();
+            let mrs = reused.then(|| {
+                self.enclave.cost().charge_prf(1);
+                self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_old)
+            });
+            let mws = self.prf.tag(maddr, KIND_META, &entry_new, mts_new);
+            dst.set_meta_ts(slot, mts_new);
+            self.enclave.cost().charge_prf(1);
+            Some((mrs, mws))
+        } else {
+            None
+        };
 
         // Source-side folds (consume the old cell).
         {
@@ -528,17 +690,12 @@ impl VerifiedMemory {
                 meta.touched = true;
                 meta.scan_epoch
             };
-            if self.cfg.verify_metadata {
-                let mts_new = self.enclave.next_timestamp();
-                let maddr = from.proto();
+            if let Some((mrs, mws)) = &src_meta {
                 let mp = part.meta_pair_for(se);
-                mp.rs.fold(&self.prf.tag(maddr, KIND_META, &src_entry_old, src_mts_old));
-                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_new));
-                src.set_meta_ts(from.slot, mts_new);
-                self.enclave.cost().charge_prf(2);
+                mp.rs.fold(mrs);
+                mp.ws.fold(mws);
             }
-            let pair = part.pair_for(se);
-            pair.rs.fold(&self.prf.tag(from.proto(), KIND_DATA, &data, ts_old));
+            part.pair_for(se).rs.fold(&src_rs);
         }
         // Destination-side folds (produce the new cell).
         {
@@ -551,28 +708,426 @@ impl VerifiedMemory {
                 meta.touched = true;
                 meta.scan_epoch
             };
-            if self.cfg.verify_metadata {
-                let reused = slot < dst_slot_count_before;
-                let mts_old = dst.meta_ts(slot);
-                let mts_new = self.enclave.next_timestamp();
-                let entry_new = dst.slot_entry_bytes(slot);
-                let maddr = to.proto();
+            if let Some((mrs, mws)) = &dst_meta {
                 let mp = part.meta_pair_for(se);
-                if reused {
-                    mp.rs.fold(&self.prf.tag(maddr, KIND_META, &[0, 0, 0, 0], mts_old));
-                    self.enclave.cost().charge_prf(1);
+                if let Some(mrs) = mrs {
+                    mp.rs.fold(mrs);
                 }
-                mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
-                dst.set_meta_ts(slot, mts_new);
-                self.enclave.cost().charge_prf(1);
+                mp.ws.fold(mws);
             }
-            let pair = part.pair_for(se);
-            pair.ws.fold(&self.prf.tag(to.proto(), KIND_DATA, &data, ts_new));
+            part.pair_for(se).ws.fold(&dst_ws);
         }
         self.enclave.cost().charge_prf(2);
         self.enclave.cost().charge_verified_write();
         self.op_tick();
         Ok(to)
+    }
+
+    // ---- coalesced scan groups --------------------------------------------
+    //
+    // A batched read re-inserts the whole batch as ONE multiset element
+    // (`KIND_GROUP`): a single PRF image over the length-prefixed
+    // concatenation of the members' payloads, bound to the page address and
+    // one fresh timestamp. Steady-state sequential scans therefore cost two
+    // PRF evaluations per page instead of two per cell. Group membership
+    // lives in the untrusted page ([`RawPage::groups`]); any host lie about
+    // it changes what the next consume folds into `h(RS)` and is caught at
+    // epoch close. Single-cell operations dissolve the covering group first
+    // (`ensure_singleton`), restoring per-cell elements.
+
+    /// PRF image of a scan-group element: the members' payloads as stored
+    /// in `page` right now, length-prefixed and concatenated into
+    /// `scratch`, tagged under the page's protocol address and `ts`.
+    fn group_tag_from_page(
+        &self,
+        page: &RawPage,
+        page_id: u64,
+        slots: &[SlotId],
+        ts: u64,
+        scratch: &mut Vec<u8>,
+    ) -> Result<SetDigest> {
+        scratch.clear();
+        scratch.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+        for &slot in slots {
+            let (data, _) = page.read(slot)?;
+            scratch.extend_from_slice(&slot.to_le_bytes());
+            scratch.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            scratch.extend_from_slice(data);
+        }
+        let addr = CellAddr {
+            page: page_id,
+            slot: 0,
+        }
+        .proto();
+        Ok(self.prf.tag(addr, KIND_GROUP, scratch, ts))
+    }
+
+    /// Dissolve the scan group covering `slot`, if any: consume the group
+    /// element into `rs_acc` and re-insert every member as a singleton with
+    /// a fresh timestamp into `ws_acc`. The caller folds both accumulators
+    /// under the partition lock. Returns the number of PRF evaluations.
+    fn degroup_for(
+        &self,
+        page: &mut RawPage,
+        page_id: u64,
+        slot: SlotId,
+        rs_acc: &mut SetDigest,
+        ws_acc: &mut SetDigest,
+    ) -> Result<u64> {
+        let Some(group) = page.take_group_of(slot) else {
+            return Ok(0);
+        };
+        let mut scratch = Vec::new();
+        rs_acc.fold(&self.group_tag_from_page(
+            page,
+            page_id,
+            &group.slots,
+            group.ts,
+            &mut scratch,
+        )?);
+        let n = group.slots.len() as u64;
+        let ts_base = self.enclave.next_timestamp_block(n);
+        for (i, &s) in group.slots.iter().enumerate() {
+            let ts_new = ts_base + i as u64;
+            {
+                let (data, _) = page.read(s)?;
+                let addr = CellAddr {
+                    page: page_id,
+                    slot: s,
+                }
+                .proto();
+                ws_acc.fold(&self.prf.tag(addr, KIND_DATA, data, ts_new));
+            }
+            page.set_ts(s, ts_new)?;
+        }
+        Ok(1 + n)
+    }
+
+    /// Make `slot`'s outstanding element a per-cell singleton, dissolving
+    /// and folding the covering scan group if one exists. No-op (and no
+    /// locks beyond the held page lock) for ungrouped slots.
+    fn ensure_singleton(&self, page: &mut RawPage, page_id: u64, slot: SlotId) -> Result<()> {
+        if page.group_of(slot).is_none() {
+            return Ok(());
+        }
+        let mut rs = SetDigest::ZERO;
+        let mut ws = SetDigest::ZERO;
+        let prfs = self.degroup_for(page, page_id, slot, &mut rs, &mut ws)?;
+        {
+            let mut part = self.parts[self.part_index(page_id)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&page_id)
+                    .ok_or(Error::PageNotFound(page_id))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            let pair = part.pair_for(se);
+            pair.rs.fold(&rs);
+            pair.ws.fold(&ws);
+        }
+        self.enclave.cost().charge_prf(prfs);
+        Ok(())
+    }
+
+    // ---- batched protected operations -------------------------------------
+
+    /// Batched protected read: read up to `slots.len()` live cells of one
+    /// page into `out`, consuming each cell's outstanding element into
+    /// `h(RS)` and re-inserting the whole batch into `h(WS)` as **one
+    /// coalesced scan-group element** — a single PRF image over the
+    /// members' concatenated payloads (see DESIGN.md §9). The fixed costs
+    /// are paid once per batch instead of once per cell:
+    ///
+    /// - the page is looked up and locked once;
+    /// - payloads land in `out`'s flat scratch buffer (no per-cell `Vec`);
+    /// - all PRF tags are computed under the page lock alone and
+    ///   pre-combined (XOR) into one RS and one WS contribution, so the
+    ///   partition mutex is held for a single epoch lookup plus two
+    ///   32-byte folds;
+    /// - a repeat of the same batch (the steady state of a sequential
+    ///   scan) consumes the previous group element and writes a fresh
+    ///   one: **two** PRF evaluations for the page, not two per cell.
+    ///
+    /// Requested slots that are dead are skipped (nothing is folded for
+    /// them, which is digest-neutral); callers detect skips by comparing
+    /// `out`'s slot ids against the request. Duplicate slots are read and
+    /// folded once — a group element covers each member exactly once.
+    pub fn read_page_batch(
+        &self,
+        page_id: u64,
+        slots: &[SlotId],
+        out: &mut ReadBatch,
+    ) -> Result<()> {
+        out.clear();
+        let page_arc = self.get_page(page_id)?;
+        let mut page = page_arc.lock();
+
+        if !self.cfg.verify_rsws {
+            for &slot in slots {
+                if let Ok((data, _)) = page.read(slot) {
+                    out.push(slot, data);
+                }
+            }
+            drop(page);
+            self.op_tick_n(slots.len() as u64);
+            return Ok(());
+        }
+
+        // Pass 1: copy live payloads into the flat buffer (each slot at
+        // most once), remembering each cell's old timestamp.
+        let mut old_ts: Vec<u64> = Vec::with_capacity(slots.len());
+        for &slot in slots {
+            if out.cells.iter().any(|c| c.0 == slot) {
+                continue;
+            }
+            if let Ok((data, ts)) = page.read(slot) {
+                out.push(slot, data);
+                old_ts.push(ts);
+            }
+        }
+        let n = out.len() as u64;
+        if n == 0 {
+            drop(page);
+            self.op_tick_n(slots.len() as u64);
+            return Ok(());
+        }
+
+        // Pass 2: consume every requested cell's outstanding element into
+        // the RS accumulator. Tags depend only on (addr, kind, data, ts) —
+        // never on the epoch — so no partition lock is needed here.
+        let mut rs_acc = SetDigest::ZERO;
+        let mut ws_acc = SetDigest::ZERO;
+        let mut prf_count = 0u64;
+        let mut scratch = Vec::new();
+        let mut req: Vec<SlotId> = out.cells.iter().map(|c| c.0).collect();
+        req.sort_unstable();
+
+        // Scan groups wholly inside the request are consumed wholesale;
+        // groups straddling the request boundary dissolve, their outside
+        // members re-inserted as singletons with fresh timestamps.
+        let mut via_group: Vec<SlotId> = Vec::new();
+        while let Some(gidx) = (0..page.groups().len()).find(|&i| {
+            page.groups()[i]
+                .slots
+                .iter()
+                .any(|s| req.binary_search(s).is_ok())
+        }) {
+            let group = page.take_group(gidx);
+            rs_acc.fold(&self.group_tag_from_page(
+                &page,
+                page_id,
+                &group.slots,
+                group.ts,
+                &mut scratch,
+            )?);
+            prf_count += 1;
+            let outside: Vec<SlotId> = group
+                .slots
+                .iter()
+                .copied()
+                .filter(|s| req.binary_search(s).is_err())
+                .collect();
+            if !outside.is_empty() {
+                let ts_base = self.enclave.next_timestamp_block(outside.len() as u64);
+                for (i, &s) in outside.iter().enumerate() {
+                    let ts_new = ts_base + i as u64;
+                    {
+                        let (data, _) = page.read(s)?;
+                        let addr = CellAddr {
+                            page: page_id,
+                            slot: s,
+                        }
+                        .proto();
+                        ws_acc.fold(&self.prf.tag(addr, KIND_DATA, data, ts_new));
+                    }
+                    page.set_ts(s, ts_new)?;
+                    prf_count += 1;
+                }
+            }
+            via_group.extend(group.slots.iter().filter(|s| req.binary_search(s).is_ok()));
+        }
+        via_group.sort_unstable();
+        for (i, (slot, data)) in out.iter().enumerate() {
+            if via_group.binary_search(&slot).is_ok() {
+                continue;
+            }
+            let addr = CellAddr {
+                page: page_id,
+                slot,
+            }
+            .proto();
+            rs_acc.fold(&self.prf.tag(addr, KIND_DATA, data, old_ts[i]));
+            prf_count += 1;
+        }
+        let mut meta_acc = None;
+        if self.cfg.verify_metadata {
+            let mts_base = self.enclave.next_timestamp_block(n);
+            let mut meta_rs = SetDigest::ZERO;
+            let mut meta_ws = SetDigest::ZERO;
+            for i in 0..out.len() {
+                let slot = out.cells[i].0;
+                let addr = CellAddr {
+                    page: page_id,
+                    slot,
+                }
+                .proto();
+                let entry = page.slot_entry_bytes(slot);
+                let mts_new = mts_base + i as u64;
+                meta_rs.fold(&self.prf.tag(addr, KIND_META, &entry, page.meta_ts(slot)));
+                meta_ws.fold(&self.prf.tag(addr, KIND_META, &entry, mts_new));
+                page.set_meta_ts(slot, mts_new);
+            }
+            self.enclave.cost().charge_prf(2 * n);
+            meta_acc = Some((meta_rs, meta_ws));
+        }
+        // Re-insert: the whole batch becomes one scan-group element under
+        // a single fresh timestamp.
+        let group_ts = self.enclave.next_timestamp();
+        let members: Vec<SlotId> = out.cells.iter().map(|c| c.0).collect();
+        ws_acc.fold(&self.group_tag_from_page(&page, page_id, &members, group_ts, &mut scratch)?);
+        prf_count += 1;
+        for &s in &members {
+            page.set_ts(s, group_ts)?;
+        }
+        page.add_group(members, group_ts);
+
+        // One partition-lock acquisition for the whole batch.
+        {
+            let mut part = self.parts[self.part_index(page_id)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&page_id)
+                    .ok_or(Error::PageNotFound(page_id))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if let Some((meta_rs, meta_ws)) = &meta_acc {
+                let mp = part.meta_pair_for(se);
+                mp.rs.fold(meta_rs);
+                mp.ws.fold(meta_ws);
+            }
+            let pair = part.pair_for(se);
+            pair.rs.fold(&rs_acc);
+            pair.ws.fold(&ws_acc);
+        }
+        self.enclave.cost().charge_prf(prf_count);
+        self.enclave.cost().charge_verified_reads(n);
+        drop(page);
+        self.op_tick_n(slots.len() as u64);
+        Ok(())
+    }
+
+    /// Batched protected overwrite of existing cells of one page: the
+    /// write-side counterpart of [`Self::read_page_batch`] (one page lock,
+    /// one timestamp block, tags outside the partition lock, one fold).
+    ///
+    /// On a mid-batch failure (dead slot, `PageFull` on a growing write)
+    /// the already-applied prefix is folded before the error returns, so
+    /// the digests stay consistent with the cells actually mutated; the
+    /// failing cell itself is untouched. Callers may retry or relocate
+    /// the remainder.
+    pub fn write_page_batch(&self, page_id: u64, writes: &[(SlotId, &[u8])]) -> Result<()> {
+        let page_arc = self.get_page(page_id)?;
+        let mut page = page_arc.lock();
+        let n = writes.len() as u64;
+        let ts_base = self.enclave.next_timestamp_block(n);
+
+        if !self.cfg.verify_rsws {
+            for (i, &(slot, data)) in writes.iter().enumerate() {
+                page.write(slot, data, ts_base + i as u64)?;
+            }
+            drop(page);
+            self.op_tick_n(n);
+            return Ok(());
+        }
+
+        let mut rs_acc = SetDigest::ZERO;
+        let mut ws_acc = SetDigest::ZERO;
+        let mut meta_rs = SetDigest::ZERO;
+        let mut meta_ws = SetDigest::ZERO;
+        let mut applied = 0u64;
+        let mut degroup_prfs = 0u64;
+        let mut failure = None;
+        for (i, &(slot, data)) in writes.iter().enumerate() {
+            let addr = CellAddr {
+                page: page_id,
+                slot,
+            }
+            .proto();
+            // A write target covered by a scan group dissolves it first;
+            // its contributions ride in the same accumulators (and are
+            // folded even if a later cell fails).
+            match self.degroup_for(&mut page, page_id, slot, &mut rs_acc, &mut ws_acc) {
+                Ok(n) => degroup_prfs += n,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            // Consume the old cell in place (no copy), then mutate; a
+            // failure before the mutation leaves this cell out of the
+            // accumulators entirely.
+            let rs_tag = match page.read(slot) {
+                Ok((old, ts_old)) => self.prf.tag(addr, KIND_DATA, old, ts_old),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let entry_old = page.slot_entry_bytes(slot);
+            let mts_old = page.meta_ts(slot);
+            if let Err(e) = page.write(slot, data, ts_base + i as u64) {
+                failure = Some(e);
+                break;
+            }
+            rs_acc.fold(&rs_tag);
+            ws_acc.fold(&self.prf.tag(addr, KIND_DATA, data, ts_base + i as u64));
+            if self.cfg.verify_metadata {
+                let entry_new = page.slot_entry_bytes(slot);
+                let mts_new = self.enclave.next_timestamp();
+                meta_rs.fold(&self.prf.tag(addr, KIND_META, &entry_old, mts_old));
+                meta_ws.fold(&self.prf.tag(addr, KIND_META, &entry_new, mts_new));
+                page.set_meta_ts(slot, mts_new);
+            }
+            applied += 1;
+        }
+
+        if applied > 0 || degroup_prfs > 0 {
+            let mut part = self.parts[self.part_index(page_id)].lock();
+            let se = {
+                let meta = part
+                    .pages
+                    .get_mut(&page_id)
+                    .ok_or(Error::PageNotFound(page_id))?;
+                meta.touched = true;
+                meta.scan_epoch
+            };
+            if self.cfg.verify_metadata {
+                let mp = part.meta_pair_for(se);
+                mp.rs.fold(&meta_rs);
+                mp.ws.fold(&meta_ws);
+            }
+            let pair = part.pair_for(se);
+            pair.rs.fold(&rs_acc);
+            pair.ws.fold(&ws_acc);
+        }
+        let charged = degroup_prfs
+            + if self.cfg.verify_metadata {
+                4 * applied
+            } else {
+                2 * applied
+            };
+        self.enclave.cost().charge_prf(charged);
+        self.enclave.cost().charge_verified_writes(applied);
+        drop(page);
+        self.op_tick_n(applied.max(1));
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     // ---- compaction helpers -----------------------------------------------
@@ -592,6 +1147,26 @@ impl VerifiedMemory {
             .map(|&s| (s, page.slot_entry_bytes(s), page.meta_ts(s)))
             .collect();
         page.compact();
+        // Tag every directory change under the page lock, pre-combined
+        // into one rs/ws contribution each; the partition lock then folds
+        // twice regardless of how many slots moved.
+        let n = old_entries.len() as u64;
+        let mts_base = self.enclave.next_timestamp_block(n);
+        let mut meta_rs = SetDigest::ZERO;
+        let mut meta_ws = SetDigest::ZERO;
+        for (i, (slot, old_entry, mts_old)) in old_entries.into_iter().enumerate() {
+            let entry_new = page.slot_entry_bytes(slot);
+            let mts_new = mts_base + i as u64;
+            let maddr = CellAddr {
+                page: page_id,
+                slot,
+            }
+            .proto();
+            meta_rs.fold(&self.prf.tag(maddr, KIND_META, &old_entry, mts_old));
+            meta_ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
+            page.set_meta_ts(slot, mts_new);
+        }
+        self.enclave.cost().charge_prf(2 * n);
         let mut part = self.parts[self.part_index(page_id)].lock();
         let se = {
             let meta = part
@@ -601,33 +1176,43 @@ impl VerifiedMemory {
             meta.touched = true;
             meta.scan_epoch
         };
-        for (slot, old_entry, mts_old) in old_entries {
-            let entry_new = page.slot_entry_bytes(slot);
-            let mts_new = self.enclave.next_timestamp();
-            let maddr = CellAddr { page: page_id, slot }.proto();
-            let mp = part.meta_pair_for(se);
-            mp.rs.fold(&self.prf.tag(maddr, KIND_META, &old_entry, mts_old));
-            mp.ws.fold(&self.prf.tag(maddr, KIND_META, &entry_new, mts_new));
-            page.set_meta_ts(slot, mts_new);
-            self.enclave.cost().charge_prf(2);
-        }
+        let mp = part.meta_pair_for(se);
+        mp.rs.fold(&meta_rs);
+        mp.ws.fold(&meta_ws);
         Ok(())
     }
 
     /// Eager-mode compaction: verified read + re-timestamped write of every
     /// surviving record (the expensive behaviour §4.3 optimizes away).
     fn compact_verified_locked(&self, page: &mut RawPage, page_id: u64) -> Result<()> {
-        let live = page.live_slot_ids();
-        let mut folds: Vec<(SlotId, Vec<u8>, u64, u64)> = Vec::with_capacity(live.len());
-        for slot in &live {
-            let (data, ts_old) = {
-                let (d, t) = page.read(*slot)?;
-                (d.to_vec(), t)
-            };
-            let ts_new = self.enclave.next_timestamp();
-            page.set_ts(*slot, ts_new)?;
-            folds.push((*slot, data, ts_old, ts_new));
+        let mut rs_acc = SetDigest::ZERO;
+        let mut ws_acc = SetDigest::ZERO;
+        // Eager compaction consumes every record as a singleton, so any
+        // scan groups dissolve first, through the same accumulators.
+        while let Some(slot) = page.groups().first().map(|g| g.slots[0]) {
+            let prfs = self.degroup_for(page, page_id, slot, &mut rs_acc, &mut ws_acc)?;
+            self.enclave.cost().charge_prf(prfs);
         }
+        let live = page.live_slot_ids();
+        let n = live.len() as u64;
+        let ts_base = self.enclave.next_timestamp_block(n);
+        // Tag each surviving record under the page lock, combining the
+        // whole page's contribution so the partition fold is O(1).
+        for (i, slot) in live.iter().enumerate() {
+            let ts_new = ts_base + i as u64;
+            {
+                let (data, ts_old) = page.read(*slot)?;
+                let addr = CellAddr {
+                    page: page_id,
+                    slot: *slot,
+                }
+                .proto();
+                rs_acc.fold(&self.prf.tag(addr, KIND_DATA, data, ts_old));
+                ws_acc.fold(&self.prf.tag(addr, KIND_DATA, data, ts_new));
+            }
+            page.set_ts(*slot, ts_new)?;
+        }
+        self.enclave.cost().charge_prf(2 * n);
         self.compact_locked(page, page_id)?;
         let mut part = self.parts[self.part_index(page_id)].lock();
         let se = {
@@ -639,12 +1224,8 @@ impl VerifiedMemory {
             meta.scan_epoch
         };
         let pair = part.pair_for(se);
-        for (slot, data, ts_old, ts_new) in folds {
-            let addr = CellAddr { page: page_id, slot }.proto();
-            pair.rs.fold(&self.prf.tag(addr, KIND_DATA, &data, ts_old));
-            pair.ws.fold(&self.prf.tag(addr, KIND_DATA, &data, ts_new));
-            self.enclave.cost().charge_prf(2);
-        }
+        pair.rs.fold(&rs_acc);
+        pair.ws.fold(&ws_acc);
         Ok(())
     }
 
@@ -671,9 +1252,15 @@ impl VerifiedMemory {
             self.compact_locked(&mut page, page_id)?;
         }
 
-        let mut part = self.parts[pi].lock();
-        let part_epoch = part.epoch;
+        // Short partition lock: read the page's scan state. Dropping the
+        // lock before the (expensive) contribution computation is safe
+        // because the caller holds this partition's pass lock — no other
+        // verifier can process it — and we hold the page lock, so every
+        // protected op on this page (the only writers of its PageMeta) is
+        // blocked until we are done.
         let (touched, cached, cached_meta) = {
+            let mut part = self.parts[pi].lock();
+            let part_epoch = part.epoch;
             let meta = part
                 .pages
                 .get_mut(&page_id)
@@ -687,15 +1274,40 @@ impl VerifiedMemory {
         let (c_data, c_meta, was_read) = if touched || !self.cfg.track_touched_pages {
             let mut c = SetDigest::ZERO;
             let mut n = 0u64;
+            // Grouped cells contribute through their group element; a
+            // group the host has corrupted beyond recomputation simply
+            // contributes nothing, which the epoch close then flags.
+            let mut scratch = Vec::new();
+            let mut in_group: HashSet<SlotId> = HashSet::new();
+            for group in page.groups() {
+                if let Ok(tag) =
+                    self.group_tag_from_page(&page, page_id, &group.slots, group.ts, &mut scratch)
+                {
+                    c.fold(&tag);
+                    n += 1;
+                }
+                in_group.extend(group.slots.iter().copied());
+            }
             for (slot, data, ts) in page.iter_live() {
-                let addr = CellAddr { page: page_id, slot }.proto();
+                if in_group.contains(&slot) {
+                    continue;
+                }
+                let addr = CellAddr {
+                    page: page_id,
+                    slot,
+                }
+                .proto();
                 c.fold(&self.prf.tag(addr, KIND_DATA, data, ts));
                 n += 1;
             }
             let mut cm = SetDigest::ZERO;
             if self.cfg.verify_metadata {
                 for slot in 0..page.slot_count() {
-                    let addr = CellAddr { page: page_id, slot }.proto();
+                    let addr = CellAddr {
+                        page: page_id,
+                        slot,
+                    }
+                    .proto();
                     let entry = page.slot_entry_bytes(slot);
                     cm.fold(&self.prf.tag(addr, KIND_META, &entry, page.meta_ts(slot)));
                     n += 1;
@@ -708,6 +1320,10 @@ impl VerifiedMemory {
             (cached, cached_meta, false)
         };
 
+        // Re-acquire the partition lock only for the folds and the state
+        // flip; the page's meta is unchanged since the read above (see the
+        // safety note there).
+        let mut part = self.parts[pi].lock();
         part.cur.rs.fold(&c_data);
         part.next.ws.fold(&c_data);
         if self.cfg.verify_metadata {
@@ -733,7 +1349,10 @@ impl VerifiedMemory {
         let epoch = part.epoch;
         if !part.close_epoch() {
             drop(part);
-            let e = Error::VerificationFailed { partition: pi, epoch };
+            let e = Error::VerificationFailed {
+                partition: pi,
+                epoch,
+            };
             self.record_failure(&e);
             return Err(e);
         }
@@ -831,7 +1450,11 @@ impl VerifiedMemory {
         }
         let (pages_processed, pages_read) = totals.into_inner();
         let epochs = self.parts.iter().map(|p| p.lock().epoch).collect();
-        Ok(VerifyReport { pages_processed, pages_read, epochs })
+        Ok(VerifyReport {
+            pages_processed,
+            pages_read,
+            epochs,
+        })
     }
 
     // ---- tampering surface (attack tests) -----------------------------------
@@ -913,7 +1536,8 @@ mod tests {
         let a = m.insert_in(p, b"alpha").unwrap();
         let b = m.insert_in(p, b"beta").unwrap();
         m.read(a).unwrap();
-        m.write(a, b"alpha-longer-payload-forcing-relocation").unwrap();
+        m.write(a, b"alpha-longer-payload-forcing-relocation")
+            .unwrap();
         m.delete(b).unwrap();
         // Reuse the tombstoned slot.
         let c2 = m.insert_in(p, b"gamma").unwrap();
@@ -1023,10 +1647,7 @@ mod tests {
         let m = mem();
         let p = m.allocate_page();
         let huge = vec![0u8; 2000];
-        assert!(matches!(
-            m.insert_in(p, &huge),
-            Err(Error::PageFull { .. })
-        ));
+        assert!(matches!(m.insert_in(p, &huge), Err(Error::PageFull { .. })));
         // Failed insert must not corrupt the digests.
         m.verify_now().unwrap();
     }
@@ -1144,6 +1765,355 @@ mod tests {
             h.join().unwrap();
         }
         scanner.join().unwrap();
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+
+    // ---- batched operations ------------------------------------------------
+
+    #[test]
+    fn read_page_batch_matches_single_reads() {
+        let m = mem();
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..8)
+            .map(|i| m.insert_in(p, format!("cell-{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        assert_eq!(batch.len(), addrs.len());
+        for (i, (slot, data)) in batch.iter().enumerate() {
+            assert_eq!(slot, addrs[i].slot);
+            assert_eq!(data, format!("cell-{i}").as_bytes());
+        }
+        // The batch folded reads + write-backs exactly like single reads
+        // would: interleave both paths and the digests must still balance.
+        for a in &addrs {
+            m.read(*a).unwrap();
+        }
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        m.verify_now().unwrap();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn read_page_batch_skips_dead_slots() {
+        let m = mem();
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..6)
+            .map(|i| m.insert_in(p, format!("v{i}").as_bytes()).unwrap())
+            .collect();
+        m.delete(addrs[2]).unwrap();
+        m.delete(addrs[4]).unwrap();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        let got: Vec<SlotId> = batch.iter().map(|(s, _)| s).collect();
+        let want: Vec<SlotId> = [0usize, 1, 3, 5].iter().map(|&i| addrs[i].slot).collect();
+        assert_eq!(got, want, "dead slots are skipped, order preserved");
+        // Nothing was folded for the dead slots: digests still balance.
+        m.verify_now().unwrap();
+        // An all-dead request is an empty (but successful) batch.
+        m.read_page_batch(p, &[addrs[2].slot, addrs[4].slot], &mut batch)
+            .unwrap();
+        assert!(batch.is_empty());
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn read_page_batch_with_metadata_verifies() {
+        let m = mem_with(|c| c.verify_metadata = true);
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..5)
+            .map(|i| m.insert_in(p, format!("m{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        for _ in 0..3 {
+            m.read_page_batch(p, &slots, &mut batch).unwrap();
+            assert_eq!(batch.len(), 5);
+        }
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn read_page_batch_unknown_page_fails_cleanly() {
+        let m = mem();
+        let mut batch = ReadBatch::new();
+        assert!(matches!(
+            m.read_page_batch(999, &[0], &mut batch),
+            Err(Error::PageNotFound(999))
+        ));
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn write_page_batch_applies_all_and_verifies() {
+        let m = mem_with(|c| c.verify_metadata = true);
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..6)
+            .map(|i| m.insert_in(p, format!("old-{i}").as_bytes()).unwrap())
+            .collect();
+        let payloads: Vec<Vec<u8>> = (0..6).map(|i| format!("new-{i}").into_bytes()).collect();
+        let writes: Vec<(SlotId, &[u8])> = addrs
+            .iter()
+            .zip(&payloads)
+            .map(|(a, d)| (a.slot, d.as_slice()))
+            .collect();
+        m.write_page_batch(p, &writes).unwrap();
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(m.read(*a).unwrap(), format!("new-{i}").as_bytes());
+        }
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn write_page_batch_partial_failure_keeps_digests_consistent() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"first").unwrap();
+        let b = m.insert_in(p, b"second").unwrap();
+        // Fill the page so a growing write cannot relocate.
+        while m.insert_in(p, &[0xEE; 90]).is_ok() {}
+        let grown = vec![0u8; 600];
+        let writes: Vec<(SlotId, &[u8])> =
+            vec![(a.slot, b"first-2"), (b.slot, &grown), (a.slot, b"never")];
+        // The second write fails; the first was applied, the third never ran.
+        assert!(m.write_page_batch(p, &writes).is_err());
+        assert_eq!(m.read(a).unwrap(), b"first-2");
+        assert_eq!(m.read(b).unwrap(), b"second");
+        // The folded prefix matches the mutated cells exactly.
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn repeated_batch_reads_cost_two_prfs_per_round() {
+        // Steady-state sequential scanning is the whole point of the
+        // coalesced group element: after the first batch established the
+        // group, every repeat is one consume + one re-insert, independent
+        // of how many cells the batch covers.
+        let m = mem();
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..16)
+            .map(|i| {
+                m.insert_in(p, format!("cell-{i:02}").as_bytes())
+                    .unwrap()
+                    .slot
+            })
+            .collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        let before = m.enclave.cost().snapshot();
+        for _ in 0..4 {
+            m.read_page_batch(p, &slots, &mut batch).unwrap();
+            assert_eq!(batch.len(), 16);
+        }
+        let spent = m.enclave.cost().snapshot().since(&before);
+        assert_eq!(spent.prf_evals, 8, "2 PRFs per repeated batch, not 2*16");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn point_ops_dissolve_group_and_verify() {
+        let m = mem();
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..6)
+            .map(|i| m.insert_in(p, format!("g{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        // Each point primitive must first break the covering group back
+        // into singletons, otherwise its RS consume would not match the
+        // outstanding group element.
+        assert_eq!(m.read(addrs[0]).unwrap(), b"g0");
+        m.write(addrs[1], b"g1-updated").unwrap();
+        m.delete(addrs[2]).unwrap();
+        m.verify_now().unwrap();
+        // And the survivors are still readable through both paths.
+        m.read_page_batch(p, &[addrs[3].slot, addrs[4].slot], &mut batch)
+            .unwrap();
+        assert_eq!(m.read(addrs[5]).unwrap(), b"g5");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn overlapping_and_partial_batches_verify() {
+        let m = mem();
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..8)
+            .map(|i| m.insert_in(p, format!("ov{i}").as_bytes()).unwrap().slot)
+            .collect();
+        let mut batch = ReadBatch::new();
+        // Establish a group over the first half, then request a window
+        // straddling grouped and ungrouped cells: the old group dissolves
+        // (outside members re-singletonized) and a new group forms.
+        m.read_page_batch(p, &slots[0..4], &mut batch).unwrap();
+        m.read_page_batch(p, &slots[2..6], &mut batch).unwrap();
+        assert_eq!(batch.len(), 4);
+        // A strict subset of the current group also dissolves it.
+        m.read_page_batch(p, &slots[3..4], &mut batch).unwrap();
+        assert_eq!(batch.len(), 1);
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn duplicate_slots_in_batch_are_deduped() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"once").unwrap();
+        let b = m.insert_in(p, b"twice").unwrap();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &[a.slot, b.slot, a.slot, a.slot], &mut batch)
+            .unwrap();
+        assert_eq!(batch.len(), 2, "each cell appears once in the result");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn groups_survive_compaction() {
+        let m = mem();
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..7)
+            .map(|_| m.insert_in(p, &[0x42; 100]).unwrap())
+            .collect();
+        // Group the tail cells, then punch holes in front of them.
+        let grouped: Vec<SlotId> = addrs[3..].iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &grouped, &mut batch).unwrap();
+        m.delete(addrs[0]).unwrap();
+        m.delete(addrs[1]).unwrap();
+        m.delete(addrs[2]).unwrap();
+        // Force an on-demand compaction; slot ids, data, and timestamps
+        // are preserved, so the group element stays recomputable.
+        let big = m.insert_in(p, &[0x77; 300]).unwrap();
+        assert_eq!(m.read(big).unwrap(), vec![0x77; 300]);
+        m.read_page_batch(p, &grouped, &mut batch).unwrap();
+        assert_eq!(batch.len(), grouped.len());
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn move_cell_out_of_group_verifies() {
+        let m = mem();
+        let src = m.allocate_page();
+        let dst = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..4)
+            .map(|i| m.insert_in(src, format!("mv{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(src, &slots, &mut batch).unwrap();
+        let moved = m.move_cell(addrs[1], dst).unwrap();
+        assert_eq!(m.read(moved).unwrap(), b"mv1");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn batch_write_over_group_verifies() {
+        let m = mem();
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..5)
+            .map(|i| m.insert_in(p, format!("bw{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        let writes: Vec<(SlotId, &[u8])> =
+            vec![(addrs[1].slot, b"bw1-new"), (addrs[3].slot, b"bw3-new")];
+        m.write_page_batch(p, &writes).unwrap();
+        assert_eq!(m.read(addrs[1]).unwrap(), b"bw1-new");
+        assert_eq!(m.read(addrs[0]).unwrap(), b"bw0");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn grouped_batches_verify_with_metadata_mode() {
+        let m = mem_with(|c| c.verify_metadata = true);
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..6)
+            .map(|i| m.insert_in(p, format!("md{i}").as_bytes()).unwrap().slot)
+            .collect();
+        let mut batch = ReadBatch::new();
+        for _ in 0..3 {
+            m.read_page_batch(p, &slots, &mut batch).unwrap();
+        }
+        m.write(
+            CellAddr {
+                page: p,
+                slot: slots[2],
+            },
+            b"md2-upd",
+        )
+        .unwrap();
+        m.verify_now().unwrap();
+    }
+
+    /// Writers, batched readers, and a verifier pool all racing: the
+    /// epoch digests must still balance at the end, and no verification
+    /// alarm may fire on an honest history.
+    #[test]
+    fn threaded_stress_batched_readers_writers_and_verifier_pool() {
+        let m = mem_with(|c| {
+            c.partitions = 8;
+            c.verify_every_ops = Some(25);
+        });
+        let v = crate::verifier::BackgroundVerifier::spawn_pool(Arc::clone(&m), 2);
+        let pages: Vec<u64> = (0..8).map(|_| m.allocate_page()).collect();
+        let mut by_page: Vec<(u64, Vec<CellAddr>)> = Vec::new();
+        for &p in &pages {
+            let addrs = (0..6)
+                .map(|j| m.insert_in(p, format!("seed-{p}-{j}").as_bytes()).unwrap())
+                .collect();
+            by_page.push((p, addrs));
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        // Writers: single-cell and batched overwrites.
+        for t in 0..2 {
+            let m = Arc::clone(&m);
+            let by_page = by_page.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = t;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let (page, addrs) = &by_page[i % by_page.len()];
+                    if i % 2 == 0 {
+                        let data = format!("w{t}-{i}");
+                        let writes: Vec<(SlotId, &[u8])> =
+                            addrs.iter().map(|a| (a.slot, data.as_bytes())).collect();
+                        let _ = m.write_page_batch(*page, &writes);
+                    } else {
+                        let _ = m.write(addrs[i % addrs.len()], format!("s{t}-{i}").as_bytes());
+                    }
+                    i += 3;
+                }
+            }));
+        }
+        // Batched readers.
+        for t in 0..2 {
+            let m = Arc::clone(&m);
+            let by_page = by_page.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut batch = ReadBatch::new();
+                let mut i = t;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let (page, addrs) = &by_page[i % by_page.len()];
+                    let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+                    m.read_page_batch(*page, &slots, &mut batch).unwrap();
+                    assert_eq!(batch.len(), slots.len());
+                    i += 5;
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(v.stop().is_none(), "honest run must not alarm");
         m.verify_now().unwrap();
         assert!(m.poisoned().is_none());
     }

@@ -43,6 +43,23 @@ const SLOT_FREE: u16 = 0;
 /// Index of a cell within a page.
 pub type SlotId = u16;
 
+/// A coalesced scan group: live cells whose outstanding RSWS multiset
+/// element is a single group element (one PRF image over the members'
+/// concatenated payloads at `ts`) instead of one element per cell.
+///
+/// Groups are created by batched verified reads and dissolved the moment
+/// any member is touched individually. Like every other field of the page,
+/// this is **untrusted** bookkeeping: the enclave never stores it, and a
+/// host that forges, drops, or re-timestamps a group merely folds the
+/// wrong elements into `h(RS)`, which the epoch close detects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanGroup {
+    /// Member slots, in element-encoding order.
+    pub slots: Vec<SlotId>,
+    /// Timestamp the group element was written with.
+    pub ts: u64,
+}
+
 /// One slotted page of untrusted memory.
 pub struct RawPage {
     id: u64,
@@ -50,16 +67,27 @@ pub struct RawPage {
     /// Metadata timestamps, one per slot (used when metadata verification
     /// is enabled; untrusted, like the rest of the page).
     meta_ts: Vec<u64>,
+    /// Coalesced scan groups currently covering cells of this page
+    /// (untrusted; member sets are disjoint under honest operation).
+    groups: Vec<ScanGroup>,
 }
 
 impl RawPage {
     /// Create an empty page of `size` bytes.
     pub fn new(id: u64, size: usize) -> Self {
-        assert!(size >= 256 && size <= (u16::MAX as usize + 1), "page size out of range");
+        assert!(
+            size >= 256 && size <= (u16::MAX as usize + 1),
+            "page size out of range"
+        );
         let mut buf = vec![0u8; size];
         buf[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
         buf[4..12].copy_from_slice(&id.to_le_bytes());
-        let mut page = RawPage { id, buf, meta_ts: Vec::new() };
+        let mut page = RawPage {
+            id,
+            buf,
+            meta_ts: Vec::new(),
+            groups: Vec::new(),
+        };
         page.set_heap_top_usize(size); // heap grows down from the end
         page
     }
@@ -152,7 +180,12 @@ impl RawPage {
     /// metadata verification folds into the digests.
     pub fn slot_entry_bytes(&self, slot: SlotId) -> [u8; 4] {
         let pos = Self::slot_entry_pos(slot);
-        [self.buf[pos], self.buf[pos + 1], self.buf[pos + 2], self.buf[pos + 3]]
+        [
+            self.buf[pos],
+            self.buf[pos + 1],
+            self.buf[pos + 2],
+            self.buf[pos + 3],
+        ]
     }
 
     /// Metadata timestamp of a slot-directory entry.
@@ -254,11 +287,17 @@ impl RawPage {
     /// Read a live cell: `(data, ts)`.
     pub fn read(&self, slot: SlotId) -> Result<(&[u8], u64)> {
         if slot >= self.slot_count() {
-            return Err(Error::SlotNotFound { page: self.id, slot });
+            return Err(Error::SlotNotFound {
+                page: self.id,
+                slot,
+            });
         }
         let offset = self.slot_offset(slot) as usize;
         if offset == SLOT_FREE as usize {
-            return Err(Error::SlotNotFound { page: self.id, slot });
+            return Err(Error::SlotNotFound {
+                page: self.id,
+                slot,
+            });
         }
         let len = self.slot_len(slot) as usize;
         if offset + CELL_HEADER_BYTES + len > self.buf.len() {
@@ -278,7 +317,10 @@ impl RawPage {
     /// Algorithm 1 rewrites the timestamp, not the data).
     pub fn set_ts(&mut self, slot: SlotId, ts: u64) -> Result<()> {
         if !self.is_live(slot) {
-            return Err(Error::SlotNotFound { page: self.id, slot });
+            return Err(Error::SlotNotFound {
+                page: self.id,
+                slot,
+            });
         }
         let offset = self.slot_offset(slot) as usize;
         self.buf[offset..offset + 8].copy_from_slice(&ts.to_le_bytes());
@@ -290,7 +332,10 @@ impl RawPage {
     /// larger cell no longer fits.
     pub fn write(&mut self, slot: SlotId, data: &[u8], ts: u64) -> Result<()> {
         if !self.is_live(slot) {
-            return Err(Error::SlotNotFound { page: self.id, slot });
+            return Err(Error::SlotNotFound {
+                page: self.id,
+                slot,
+            });
         }
         let offset = self.slot_offset(slot) as usize;
         let cap = self.cell_capacity(offset) as usize;
@@ -303,9 +348,7 @@ impl RawPage {
             // Capacity is unchanged; live byte accounting follows data len.
             let delta_old = CELL_HEADER_BYTES + old_len;
             let delta_new = CELL_HEADER_BYTES + data.len();
-            self.set_live_bytes(
-                (self.live_bytes() as usize - delta_old + delta_new) as u16,
-            );
+            self.set_live_bytes((self.live_bytes() as usize - delta_old + delta_new) as u16);
             return Ok(());
         }
         // Grow: allocate a fresh cell region; the old region becomes a hole.
@@ -331,7 +374,10 @@ impl RawPage {
     /// compaction (§4.3: deletes do not relocate records).
     pub fn delete(&mut self, slot: SlotId) -> Result<()> {
         if !self.is_live(slot) {
-            return Err(Error::SlotNotFound { page: self.id, slot });
+            return Err(Error::SlotNotFound {
+                page: self.id,
+                slot,
+            });
         }
         let len = self.slot_len(slot) as usize;
         // Live-byte accounting uses data length; capacity slack was already
@@ -355,7 +401,46 @@ impl RawPage {
 
     /// Slots of live cells (stable under compaction).
     pub fn live_slot_ids(&self) -> Vec<SlotId> {
-        (0..self.slot_count()).filter(|&s| self.slot_offset(s) != SLOT_FREE).collect()
+        (0..self.slot_count())
+            .filter(|&s| self.slot_offset(s) != SLOT_FREE)
+            .collect()
+    }
+
+    // ---- scan groups ------------------------------------------------------
+
+    /// The scan groups currently covering cells of this page.
+    pub fn groups(&self) -> &[ScanGroup] {
+        &self.groups
+    }
+
+    /// Index of the group containing `slot`, if any. Group counts per page
+    /// are tiny (usually 0 or 1), so a linear scan is cheapest.
+    pub fn group_of(&self, slot: SlotId) -> Option<usize> {
+        self.groups.iter().position(|g| g.slots.contains(&slot))
+    }
+
+    /// Record a new scan group. The caller (the verified memory) is
+    /// responsible for having folded the matching group element into
+    /// `h(WS)`.
+    pub fn add_group(&mut self, slots: Vec<SlotId>, ts: u64) {
+        self.groups.push(ScanGroup { slots, ts });
+    }
+
+    /// Remove and return group `idx`.
+    pub fn take_group(&mut self, idx: usize) -> ScanGroup {
+        self.groups.swap_remove(idx)
+    }
+
+    /// Remove and return the group containing `slot`, if any.
+    pub fn take_group_of(&mut self, slot: SlotId) -> Option<ScanGroup> {
+        self.group_of(slot).map(|i| self.groups.swap_remove(i))
+    }
+
+    /// Direct mutable access to the group list — part of the host's
+    /// tampering surface, used by attack tests only.
+    #[doc(hidden)]
+    pub fn groups_mut(&mut self) -> &mut Vec<ScanGroup> {
+        &mut self.groups
     }
 
     /// Compact the heap: rewrite live cells contiguously at the bottom of
@@ -379,8 +464,10 @@ impl RawPage {
         }
         self.set_heap_top_usize(write_pos);
         // live_bytes is now exact (capacity slack squeezed out).
-        let exact: usize =
-            live.iter().map(|(_, d, _)| CELL_HEADER_BYTES + d.len()).sum();
+        let exact: usize = live
+            .iter()
+            .map(|(_, d, _)| CELL_HEADER_BYTES + d.len())
+            .sum();
         self.set_live_bytes(exact as u16);
         self.contiguous_free() - before
     }

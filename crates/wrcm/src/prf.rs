@@ -24,6 +24,9 @@ use sha2::Sha256;
 pub const KIND_DATA: u8 = 0;
 /// Cell-kind domain separator: page-metadata (slot directory) cells.
 pub const KIND_META: u8 = 1;
+/// Cell-kind domain separator: coalesced scan-group elements (one element
+/// covering several cells of a page, see `VerifiedMemory::read_page_batch`).
+pub const KIND_GROUP: u8 = 2;
 
 /// A PRF backend choice; enum dispatch keeps the hot path monomorphic.
 #[derive(Clone)]
@@ -64,21 +67,27 @@ impl std::fmt::Debug for PrfEngine {
 }
 
 /// HMAC-SHA-256 PRF.
+///
+/// The keyed HMAC state (the ipad/opad key schedule — two SHA-256
+/// compressions) is precomputed once at construction and `clone()`d per
+/// tag, instead of being rebuilt from the raw key on every call. Tag
+/// output is identical; only the per-call setup cost changes.
 #[derive(Clone)]
 pub struct HmacPrf {
-    key: [u8; 32],
+    mac: Hmac<Sha256>,
 }
 
 impl HmacPrf {
-    /// Key the PRF.
+    /// Key the PRF (precomputes the HMAC key schedule).
     pub fn new(key: [u8; 32]) -> Self {
-        HmacPrf { key }
+        HmacPrf {
+            mac: Hmac::<Sha256>::new_from_slice(&key).expect("HMAC accepts any key length"),
+        }
     }
 
     /// `HMAC(key, addr ‖ kind ‖ ts ‖ data)`.
     pub fn tag(&self, addr: u64, kind: u8, data: &[u8], ts: u64) -> SetDigest {
-        let mut mac = Hmac::<Sha256>::new_from_slice(&self.key)
-            .expect("HMAC accepts any key length");
+        let mut mac = self.mac.clone();
         mac.update(&addr.to_le_bytes());
         mac.update(&[kind]);
         mac.update(&ts.to_le_bytes());
@@ -124,7 +133,12 @@ impl SipPrf {
             b.copy_from_slice(&key[i * 8..i * 8 + 8]);
             u64::from_le_bytes(b)
         };
-        SipPrf { k0: w(0), k1: w(1), k2: w(2), k3: w(3) }
+        SipPrf {
+            k0: w(0),
+            k1: w(1),
+            k2: w(2),
+            k3: w(3),
+        }
     }
 
     /// One SipHash-2-4-128 pass over `data` under `(addr, kind, ts)`-tweaked
@@ -240,20 +254,20 @@ mod tests {
         let expected: [[u8; 16]; 4] = [
             // len 0..3 from the reference test vectors
             [
-                0xa3, 0x81, 0x7f, 0x04, 0xba, 0x25, 0xa8, 0xe6, 0x6d, 0xf6,
-                0x72, 0x14, 0xc7, 0x55, 0x02, 0x93,
+                0xa3, 0x81, 0x7f, 0x04, 0xba, 0x25, 0xa8, 0xe6, 0x6d, 0xf6, 0x72, 0x14, 0xc7, 0x55,
+                0x02, 0x93,
             ],
             [
-                0xda, 0x87, 0xc1, 0xd8, 0x6b, 0x99, 0xaf, 0x44, 0x34, 0x76,
-                0x59, 0x11, 0x9b, 0x22, 0xfc, 0x45,
+                0xda, 0x87, 0xc1, 0xd8, 0x6b, 0x99, 0xaf, 0x44, 0x34, 0x76, 0x59, 0x11, 0x9b, 0x22,
+                0xfc, 0x45,
             ],
             [
-                0x81, 0x77, 0x22, 0x8d, 0xa4, 0xa4, 0x5d, 0xc7, 0xfc, 0xa3,
-                0x8b, 0xde, 0xf6, 0x0a, 0xff, 0xe4,
+                0x81, 0x77, 0x22, 0x8d, 0xa4, 0xa4, 0x5d, 0xc7, 0xfc, 0xa3, 0x8b, 0xde, 0xf6, 0x0a,
+                0xff, 0xe4,
             ],
             [
-                0x9c, 0x70, 0xb6, 0x0c, 0x52, 0x67, 0xa9, 0x4e, 0x5f, 0x33,
-                0xb6, 0xb0, 0x29, 0x85, 0xed, 0x51,
+                0x9c, 0x70, 0xb6, 0x0c, 0x52, 0x67, 0xa9, 0x4e, 0x5f, 0x33, 0xb6, 0xb0, 0x29, 0x85,
+                0xed, 0x51,
             ],
         ];
 

@@ -50,20 +50,49 @@ pub fn replay_cell(
 
 /// Re-insert a deleted record's bytes into a specific free slot of a page,
 /// bypassing the protocol (an "undelete" attack).
-pub fn resurrect_cell(
-    mem: &VerifiedMemory,
-    page: u64,
-    data: &[u8],
-    ts: u64,
-) -> Result<SlotId> {
+pub fn resurrect_cell(mem: &VerifiedMemory, page: u64, data: &[u8], ts: u64) -> Result<SlotId> {
     mem.with_page_mut(page, |p| p.insert(data, ts))?
+}
+
+/// Discard a page's coalesced scan-group bookkeeping, so the verifier
+/// recomputes singleton elements where the enclave inserted one group
+/// element (a host "forgetting" how a batch was re-inserted).
+pub fn drop_groups(mem: &VerifiedMemory, page: u64) -> Result<()> {
+    mem.with_page_mut(page, |p| p.groups_mut().clear())
+}
+
+/// Rewrite the timestamp of the group covering `slot` (a group-level
+/// replay). Returns `false` when no group covers the slot.
+pub fn retime_group(mem: &VerifiedMemory, page: u64, slot: SlotId, ts: u64) -> Result<bool> {
+    mem.with_page_mut(page, |p| {
+        for g in p.groups_mut() {
+            if g.slots.contains(&slot) {
+                g.ts = ts;
+                return true;
+            }
+        }
+        false
+    })
+}
+
+/// Remove `slot` from its covering group's membership list without
+/// touching the cell itself. Returns `false` when no group covers it.
+pub fn eject_from_group(mem: &VerifiedMemory, page: u64, slot: SlotId) -> Result<bool> {
+    mem.with_page_mut(page, |p| {
+        for g in p.groups_mut() {
+            if let Some(pos) = g.slots.iter().position(|&s| s == slot) {
+                g.slots.remove(pos);
+                return true;
+            }
+        }
+        false
+    })
 }
 
 /// Scribble over a slot-directory entry (page metadata).
 pub fn clobber_slot_directory(mem: &VerifiedMemory, page: u64, slot: SlotId) -> Result<()> {
     mem.with_page_mut(page, |p| {
-        let pos = crate::page::PAGE_HEADER_BYTES
-            + crate::page::SLOT_ENTRY_BYTES * slot as usize;
+        let pos = crate::page::PAGE_HEADER_BYTES + crate::page::SLOT_ENTRY_BYTES * slot as usize;
         let buf = p.raw_buf_mut();
         if pos + 4 <= buf.len() {
             buf[pos] ^= 0xFF;
@@ -194,6 +223,112 @@ mod tests {
         .unwrap();
         // Record data digests are untouched: verification passes.
         m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn batched_read_of_tampered_cell_detected() {
+        use crate::memory::ReadBatch;
+        let m = mem(false);
+        let page = m.allocate_page();
+        let addrs: Vec<_> = (0..6)
+            .map(|i| m.insert_in(page, format!("honest-{i}").as_bytes()).unwrap())
+            .collect();
+        m.verify_now().unwrap();
+        // Host forges one cell in the middle of the batch.
+        overwrite_cell(&m, addrs[3], b"forged!!!").unwrap();
+        // The batched read happily returns the forged bytes (reads are
+        // optimistic)...
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(page, &slots, &mut batch).unwrap();
+        assert_eq!(batch.get(3).unwrap().1, b"forged!!!");
+        // ...but it folded PRF(forged bytes, stale ts) into h(RS), which no
+        // write ever produced: the epoch close must alarm.
+        let err = m.verify_now().unwrap_err();
+        assert!(matches!(err, Error::VerificationFailed { .. }));
+        assert!(m.poisoned().is_some());
+    }
+
+    #[test]
+    fn batched_read_of_replayed_cell_detected() {
+        use crate::memory::ReadBatch;
+        let m = mem(false);
+        let page = m.allocate_page();
+        let a = m.insert_in(page, b"v1").unwrap();
+        let b = m.insert_in(page, b"other").unwrap();
+        let (old, ts) = snapshot_cell(&m, a).unwrap();
+        m.write(a, b"v2").unwrap();
+        replay_cell(&m, a, &old, ts).unwrap();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(page, &[a.slot, b.slot], &mut batch)
+            .unwrap();
+        assert_eq!(batch.get(0).unwrap().1, b"v1", "stale value served");
+        assert!(
+            m.verify_now().is_err(),
+            "replay must be caught at epoch close"
+        );
+    }
+
+    /// Build a page whose cells are covered by one coalesced scan group
+    /// (the state a batched read leaves behind).
+    fn grouped_page(m: &VerifiedMemory) -> (u64, Vec<CellAddr>) {
+        use crate::memory::ReadBatch;
+        let page = m.allocate_page();
+        let addrs: Vec<_> = (0..5)
+            .map(|i| m.insert_in(page, format!("grp-{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(page, &slots, &mut batch).unwrap();
+        (page, addrs)
+    }
+
+    #[test]
+    fn honest_grouped_page_verifies() {
+        let m = mem(false);
+        let (_, _) = grouped_page(&m);
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn dropping_group_bookkeeping_detected() {
+        // The group list lives in untrusted memory; the enclave folded ONE
+        // group element into h(WS). If the host discards the grouping, the
+        // verifier recomputes singletons instead — nothing cancels the
+        // outstanding group element and the epoch close alarms.
+        let m = mem(false);
+        let (page, _) = grouped_page(&m);
+        drop_groups(&m, page).unwrap();
+        let err = m.verify_now().unwrap_err();
+        assert!(matches!(err, Error::VerificationFailed { .. }));
+        assert!(m.poisoned().is_some());
+    }
+
+    #[test]
+    fn retiming_group_detected() {
+        let m = mem(false);
+        let (page, addrs) = grouped_page(&m);
+        assert!(retime_group(&m, page, addrs[0].slot, 1).unwrap());
+        assert!(m.verify_now().is_err());
+    }
+
+    #[test]
+    fn forging_group_membership_detected() {
+        let m = mem(false);
+        let (page, addrs) = grouped_page(&m);
+        assert!(eject_from_group(&m, page, addrs[2].slot).unwrap());
+        // The ejected cell now recomputes as a singleton AND the group tag
+        // covers different bytes: both sides of the lie break the digest.
+        assert!(m.verify_now().is_err());
+    }
+
+    #[test]
+    fn overwriting_grouped_cell_detected() {
+        let m = mem(false);
+        let (page, addrs) = grouped_page(&m);
+        let _ = page;
+        overwrite_cell(&m, addrs[3], b"forged!").unwrap();
+        assert!(m.verify_now().is_err());
     }
 
     #[test]

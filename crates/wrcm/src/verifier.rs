@@ -263,8 +263,9 @@ mod pool_tests {
     fn concurrent_verify_now_calls_are_safe() {
         let m = mem(4);
         let p = m.allocate_page();
-        let addrs: Vec<_> =
-            (0..10).map(|i| m.insert_in(p, format!("x{i}").as_bytes()).unwrap()).collect();
+        let addrs: Vec<_> = (0..10)
+            .map(|i| m.insert_in(p, format!("x{i}").as_bytes()).unwrap())
+            .collect();
         std::thread::scope(|s| {
             for _ in 0..3 {
                 s.spawn(|| {

@@ -9,7 +9,11 @@ use veridb::{PlanOptions, PreferredJoin, VeriDb, VeriDbConfig};
 use veridb_workloads::tpch::{self, TpchConfig, TpchData};
 
 fn main() -> veridb::Result<()> {
-    let cfg = TpchConfig { lineitem_rows: 60_000, part_rows: 2_000, ..TpchConfig::default() };
+    let cfg = TpchConfig {
+        lineitem_rows: 60_000,
+        part_rows: 2_000,
+        ..TpchConfig::default()
+    };
     println!(
         "generating TPC-H data: {} lineitem rows, {} part rows…",
         cfg.lineitem_rows, cfg.part_rows
@@ -25,13 +29,19 @@ fn main() -> veridb::Result<()> {
     data.load(&verified)?;
 
     let auto = PlanOptions::default();
-    let merge = PlanOptions { prefer_join: PreferredJoin::Merge };
+    let merge = PlanOptions {
+        prefer_join: PreferredJoin::Merge,
+    };
 
     for (name, sql, opts) in [
         ("Q1 (pricing summary)", tpch::q1(), &auto),
         ("Q6 (revenue change)", tpch::q6(), &auto),
         ("Q19 (discounted revenue, MergeJoin)", tpch::q19(), &merge),
-        ("Q3 (shipping priority — beyond the paper's set)", tpch::q3(), &auto),
+        (
+            "Q3 (shipping priority — beyond the paper's set)",
+            tpch::q3(),
+            &auto,
+        ),
     ] {
         let t0 = Instant::now();
         let b = baseline.sql_with(sql, opts)?;

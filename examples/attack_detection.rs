@@ -85,7 +85,9 @@ fn attack_2_stale_replay() -> veridb::Result<()> {
     let (addr, (old_data, old_ts)) = snapshots
         .into_iter()
         .find(|(addr, snap)| {
-            tamper::snapshot_cell(mem, *addr).map(|cur| cur != *snap).unwrap_or(false)
+            tamper::snapshot_cell(mem, *addr)
+                .map(|cur| cur != *snap)
+                .unwrap_or(false)
         })
         .expect("an updated cell exists");
     tamper::replay_cell(db.memory(), addr, &old_data, old_ts)?;

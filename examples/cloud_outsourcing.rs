@@ -96,11 +96,7 @@ fn main() -> veridb::Result<()> {
 }
 
 /// Tamper with one live cell (the adversarial host's power).
-fn veridb_wrcm_tamper(
-    mem: &std::sync::Arc<veridb::VerifiedMemory>,
-    page: u64,
-    slot: u16,
-) -> bool {
+fn veridb_wrcm_tamper(mem: &std::sync::Arc<veridb::VerifiedMemory>, page: u64, slot: u16) -> bool {
     veridb_wrcm::tamper::overwrite_cell(
         mem,
         veridb_wrcm::CellAddr { page, slot },

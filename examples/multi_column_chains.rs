@@ -25,7 +25,10 @@ fn main() -> veridb::Result<()> {
 
     // A range scan on c2 uses the second chain — see the plan.
     let sql = "SELECT c2, c1, payload FROM fig6 WHERE c2 >= 2 AND c2 <= 4";
-    println!("plan for a c2 range:\n{}", db.explain(sql, &PlanOptions::default())?);
+    println!(
+        "plan for a c2 range:\n{}",
+        db.explain(sql, &PlanOptions::default())?
+    );
     let r = db.sql(sql)?;
     println!("in c2 (secondary-chain) order:\n{}", r.to_table());
 
@@ -33,15 +36,23 @@ fn main() -> veridb::Result<()> {
     // tie with the primary key internally).
     db.sql("CREATE TABLE events (id INT PRIMARY KEY, severity INT CHAINED, msg TEXT)")?;
     for (id, sev) in [(1, 3), (2, 1), (3, 3), (4, 2), (5, 3), (6, 1)] {
-        db.sql(&format!("INSERT INTO events VALUES ({id}, {sev}, 'event-{id}')"))?;
+        db.sql(&format!(
+            "INSERT INTO events VALUES ({id}, {sev}, 'event-{id}')"
+        ))?;
     }
     let r = db.sql("SELECT id, msg FROM events WHERE severity = 3")?;
-    println!("all severity-3 events (verified-complete):\n{}", r.to_table());
+    println!(
+        "all severity-3 events (verified-complete):\n{}",
+        r.to_table()
+    );
 
     // Deleting re-splices every chain the record participates in.
     db.sql("DELETE FROM events WHERE id = 3")?;
     let r = db.sql("SELECT id FROM events WHERE severity = 3")?;
-    println!("after deleting id=3, severity-3 events: {} rows", r.rows.len());
+    println!(
+        "after deleting id=3, severity-3 events: {} rows",
+        r.rows.len()
+    );
 
     // The worst-case storage cost of extra chains is bounded: each chain
     // adds one (key, nKey) pair per record (§5.3's discussion).

@@ -21,7 +21,10 @@ fn main() -> veridb::Result<()> {
 
     // Verified absence: a miss comes with evidence too (the ⟨id4, ⊤⟩ gap).
     let r = db.sql("SELECT * FROM quote WHERE id = 99")?;
-    println!("verified miss: {} rows (absence is proven, not assumed)", r.rows.len());
+    println!(
+        "verified miss: {} rows (absence is proven, not assumed)",
+        r.rows.len()
+    );
 
     // Range scan with completeness checks (Figure 5's three conditions).
     let r = db.sql("SELECT id, count FROM quote WHERE id BETWEEN 2 AND 3")?;

@@ -13,9 +13,11 @@ fn concurrent_portals_with_live_verifier() {
     cfg.verify_every_ops = Some(50);
     cfg.rsws_partitions = 8;
     let db = Arc::new(VeriDb::open(cfg).unwrap());
-    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)").unwrap();
+    db.sql("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     for i in 0..200 {
-        db.sql(&format!("INSERT INTO kv VALUES ({i}, 'seed-{i}')")).unwrap();
+        db.sql(&format!("INSERT INTO kv VALUES ({i}, 'seed-{i}')"))
+            .unwrap();
     }
 
     let mut handles = Vec::new();
@@ -26,16 +28,11 @@ fn concurrent_portals_with_live_verifier() {
             let mut client = Client::with_key(portal.channel_key_for_attested_client());
             for i in 0..50i64 {
                 let k = 1_000 + t * 1_000 + i;
-                let q = client.sign_query(&format!(
-                    "INSERT INTO kv VALUES ({k}, 'w{t}-{i}')"
-                ));
+                let q = client.sign_query(&format!("INSERT INTO kv VALUES ({k}, 'w{t}-{i}')"));
                 let e = portal.submit(&q).unwrap();
                 client.verify_result(&q, &e).unwrap();
 
-                let q = client.sign_query(&format!(
-                    "SELECT v FROM kv WHERE k = {}",
-                    i % 200
-                ));
+                let q = client.sign_query(&format!("SELECT v FROM kv WHERE k = {}", i % 200));
                 let e = portal.submit(&q).unwrap();
                 let rows = client.verify_result(&q, &e).unwrap();
                 assert_eq!(rows.len(), 1);
@@ -94,7 +91,9 @@ fn deterministic_transactions_have_reproducible_effects() {
         for _ in 0..30 {
             driver.one_transaction(&mut rng).unwrap();
         }
-        db.sql("SELECT o_w_id, o_d_id, o_id, o_c_id FROM orders").unwrap().rows
+        db.sql("SELECT o_w_id, o_d_id, o_id, o_c_id FROM orders")
+            .unwrap()
+            .rows
     };
     assert_eq!(run(), run());
 }

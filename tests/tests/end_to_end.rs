@@ -3,7 +3,7 @@
 //! verifier live.
 
 use std::sync::Arc;
-use veridb::{PlanOptions, PreferredJoin, VeriDb, VeriDbConfig, Value};
+use veridb::{PlanOptions, PreferredJoin, Value, VeriDb, VeriDbConfig};
 
 fn db_with_verifier() -> VeriDb {
     let mut cfg = VeriDbConfig::default();
@@ -17,9 +17,11 @@ fn mixed_workload_with_live_verifier() {
     let db = db_with_verifier();
     db.sql("CREATE TABLE orders (id INT PRIMARY KEY, cust INT CHAINED, total FLOAT)")
         .unwrap();
-    db.sql("CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)").unwrap();
+    db.sql("CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)")
+        .unwrap();
     for i in 1..=20 {
-        db.sql(&format!("INSERT INTO customers VALUES ({i}, 'cust-{i}')")).unwrap();
+        db.sql(&format!("INSERT INTO customers VALUES ({i}, 'cust-{i}')"))
+            .unwrap();
     }
     for i in 1..=300 {
         db.sql(&format!(
@@ -56,14 +58,21 @@ fn mixed_workload_with_live_verifier() {
 #[test]
 fn all_join_algorithms_agree_on_every_query() {
     let db = db_with_verifier();
-    db.sql("CREATE TABLE a (id INT PRIMARY KEY, bref INT, w INT)").unwrap();
-    db.sql("CREATE TABLE b (id INT PRIMARY KEY, x INT)").unwrap();
+    db.sql("CREATE TABLE a (id INT PRIMARY KEY, bref INT, w INT)")
+        .unwrap();
+    db.sql("CREATE TABLE b (id INT PRIMARY KEY, x INT)")
+        .unwrap();
     for i in 1..=50 {
-        db.sql(&format!("INSERT INTO a VALUES ({i}, {}, {})", i % 12 + 1, i % 5))
-            .unwrap();
+        db.sql(&format!(
+            "INSERT INTO a VALUES ({i}, {}, {})",
+            i % 12 + 1,
+            i % 5
+        ))
+        .unwrap();
     }
     for i in 1..=12 {
-        db.sql(&format!("INSERT INTO b VALUES ({i}, {})", i * 10)).unwrap();
+        db.sql(&format!("INSERT INTO b VALUES ({i}, {})", i * 10))
+            .unwrap();
     }
     let sql = "SELECT a.id, b.x FROM a, b WHERE a.bref = b.id AND a.w > 1 ORDER BY id";
     let mut answers = Vec::new();
@@ -73,7 +82,14 @@ fn all_join_algorithms_agree_on_every_query() {
         PreferredJoin::Merge,
         PreferredJoin::NestedLoop,
     ] {
-        let r = db.sql_with(sql, &PlanOptions { prefer_join: prefer }).unwrap();
+        let r = db
+            .sql_with(
+                sql,
+                &PlanOptions {
+                    prefer_join: prefer,
+                },
+            )
+            .unwrap();
         answers.push((prefer, r.rows));
     }
     for window in answers.windows(2) {
@@ -91,9 +107,11 @@ fn recovery_mid_workload() {
     let mut cfg = VeriDbConfig::default();
     cfg.verify_every_ops = None;
     let db = VeriDb::open(cfg.clone()).unwrap();
-    db.sql("CREATE TABLE s (id INT PRIMARY KEY, v INT CHAINED)").unwrap();
+    db.sql("CREATE TABLE s (id INT PRIMARY KEY, v INT CHAINED)")
+        .unwrap();
     for i in 0..100 {
-        db.sql(&format!("INSERT INTO s VALUES ({i}, {})", i * 3 % 17)).unwrap();
+        db.sql(&format!("INSERT INTO s VALUES ({i}, {})", i * 3 % 17))
+            .unwrap();
     }
     let replica = db.snapshot_replica().unwrap();
     drop(db); // power failure
@@ -112,7 +130,8 @@ fn enclave_cost_accounting_reflects_work() {
     let mut cfg = VeriDbConfig::default();
     cfg.verify_every_ops = None;
     let db = VeriDb::open(cfg).unwrap();
-    db.sql("CREATE TABLE c (id INT PRIMARY KEY, v INT)").unwrap();
+    db.sql("CREATE TABLE c (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     let before = db.costs();
     for i in 0..50 {
         db.sql(&format!("INSERT INTO c VALUES ({i}, {i})")).unwrap();
@@ -131,7 +150,8 @@ fn epc_budget_is_tracked_per_page() {
     let mut cfg = VeriDbConfig::default();
     cfg.verify_every_ops = None;
     let db = VeriDb::open(cfg).unwrap();
-    db.sql("CREATE TABLE big (id INT PRIMARY KEY, pad TEXT)").unwrap();
+    db.sql("CREATE TABLE big (id INT PRIMARY KEY, pad TEXT)")
+        .unwrap();
     let t = db.table("big").unwrap();
     for i in 0..2_000i64 {
         t.insert(veridb::Row::new(vec![
@@ -142,7 +162,10 @@ fn epc_budget_is_tracked_per_page() {
     }
     // Page metadata in the enclave is accounted against EPC.
     let allocated = db.enclave().epc().allocated();
-    assert!(allocated > 0, "per-page enclave metadata must be EPC-accounted");
+    assert!(
+        allocated > 0,
+        "per-page enclave metadata must be EPC-accounted"
+    );
     assert!(
         allocated < db.enclave().epc().budget(),
         "laptop-scale DB must fit the 96 MB EPC budget"
@@ -157,18 +180,26 @@ fn intermediate_state_spills_to_verified_storage() {
     let mut cfg = VeriDbConfig::default();
     cfg.verify_every_ops = None;
     let db = VeriDb::open(cfg).unwrap();
-    db.sql("CREATE TABLE l (id INT PRIMARY KEY, k INT)").unwrap();
-    db.sql("CREATE TABLE r (id INT PRIMARY KEY, k INT, pad TEXT)").unwrap();
+    db.sql("CREATE TABLE l (id INT PRIMARY KEY, k INT)")
+        .unwrap();
+    db.sql("CREATE TABLE r (id INT PRIMARY KEY, k INT, pad TEXT)")
+        .unwrap();
     for i in 0..60 {
-        db.sql(&format!("INSERT INTO l VALUES ({i}, {})", i % 10)).unwrap();
+        db.sql(&format!("INSERT INTO l VALUES ({i}, {})", i % 10))
+            .unwrap();
     }
     for i in 0..200 {
-        db.sql(&format!("INSERT INTO r VALUES ({i}, {}, 'padding-{i}')", i % 10))
-            .unwrap();
+        db.sql(&format!(
+            "INSERT INTO r VALUES ({i}, {}, 'padding-{i}')",
+            i % 10
+        ))
+        .unwrap();
     }
     // Force the block-NLJ plan (materializes the right side) and compare
     // spilled vs unspilled answers.
-    let opts = PlanOptions { prefer_join: PreferredJoin::NestedLoop };
+    let opts = PlanOptions {
+        prefer_join: PreferredJoin::NestedLoop,
+    };
     let sql = "SELECT l.id, r.id FROM l, r WHERE l.k = r.k ORDER BY 1, 2";
     let unspilled = db.sql_with(sql, &opts).unwrap();
 
@@ -178,7 +209,10 @@ fn intermediate_state_spills_to_verified_storage() {
     let delta = db.costs().since(&before);
     db.set_spill_threshold(None);
 
-    assert_eq!(unspilled.rows, spilled.rows, "spilling must not change answers");
+    assert_eq!(
+        unspilled.rows, spilled.rows,
+        "spilling must not change answers"
+    );
     assert_eq!(spilled.rows.len(), 60 * 20);
     assert!(
         delta.verified_writes > 100,

@@ -15,22 +15,32 @@ fn db() -> VeriDb {
 #[test]
 fn figure_4_extended_storage_model() {
     let db = db();
-    db.sql("CREATE TABLE t (id INT PRIMARY KEY, count INT, price INT)").unwrap();
+    db.sql("CREATE TABLE t (id INT PRIMARY KEY, count INT, price INT)")
+        .unwrap();
     db.sql("INSERT INTO t VALUES (1,100,100),(2,100,200),(3,500,100),(4,600,100)")
         .unwrap();
     // ⟨id1, id2, (100,$100)⟩ proves the existence of ⟨id1, 100, $100⟩.
     let t = db.table("t").unwrap();
     let found = t.get_by_pk_with_evidence(&Value::Int(1)).unwrap();
     let ev = found.evidence();
-    assert_eq!(ev.record.key(0), &veridb_storage::ChainKey::val(Value::Int(1)));
-    assert_eq!(ev.record.nkey(0), &veridb_storage::ChainKey::val(Value::Int(2)));
+    assert_eq!(
+        ev.record.key(0),
+        &veridb_storage::ChainKey::val(Value::Int(1))
+    );
+    assert_eq!(
+        ev.record.nkey(0),
+        &veridb_storage::ChainKey::val(Value::Int(2))
+    );
     assert!(found.row().is_some());
 
     // A query for id > id4 returns null with evidence ⟨id4, ⊤, (600,$100)⟩.
     let absent = t.get_by_pk_with_evidence(&Value::Int(99)).unwrap();
     let ev = absent.evidence();
     assert!(absent.row().is_none());
-    assert_eq!(ev.record.key(0), &veridb_storage::ChainKey::val(Value::Int(4)));
+    assert_eq!(
+        ev.record.key(0),
+        &veridb_storage::ChainKey::val(Value::Int(4))
+    );
     assert!(ev.record.nkey(0).is_pos_inf());
     assert_eq!(
         ev.record.row.values(),
@@ -81,9 +91,11 @@ fn example_2_1_mht_range_scan() {
 #[test]
 fn example_5_1_range_scan_conditions() {
     let db = db();
-    db.sql("CREATE TABLE t (k INT PRIMARY KEY, d TEXT)").unwrap();
+    db.sql("CREATE TABLE t (k INT PRIMARY KEY, d TEXT)")
+        .unwrap();
     for k in 1..=8 {
-        db.sql(&format!("INSERT INTO t VALUES ({k}, 'd{k}')")).unwrap();
+        db.sql(&format!("INSERT INTO t VALUES ({k}, 'd{k}')"))
+            .unwrap();
     }
     // Query [a,b] = [2.5, 5.5]-ish → ints [3, 5]: the scan must return
     // k3, k4, k5, having consumed ⟨k2, k3⟩ as left evidence and stopped
@@ -107,7 +119,8 @@ fn example_5_1_range_scan_conditions() {
 #[test]
 fn example_5_4_join_plan_and_result() {
     let db = db();
-    db.sql("CREATE TABLE quote (id INT PRIMARY KEY, count INT, price INT)").unwrap();
+    db.sql("CREATE TABLE quote (id INT PRIMARY KEY, count INT, price INT)")
+        .unwrap();
     db.sql("CREATE TABLE inventory (id INT PRIMARY KEY, count INT, descr TEXT)")
         .unwrap();
     db.sql("INSERT INTO quote VALUES (1,100,100),(2,100,200),(3,500,100),(4,600,100)")
@@ -149,7 +162,8 @@ fn example_5_4_join_plan_and_result() {
 #[test]
 fn definition_4_2_sentinels() {
     let db = db();
-    db.sql("CREATE TABLE empty (id INT PRIMARY KEY, v TEXT)").unwrap();
+    db.sql("CREATE TABLE empty (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     // Absence from an empty table is verified via the ⟨⊥, ⊤⟩ sentinel.
     let r = db.sql("SELECT * FROM empty WHERE id = 42").unwrap();
     assert!(r.rows.is_empty());

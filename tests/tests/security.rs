@@ -11,8 +11,10 @@ fn db() -> VeriDb {
     let mut cfg = VeriDbConfig::default();
     cfg.verify_every_ops = None;
     let db = VeriDb::open(cfg).unwrap();
-    db.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
-    db.sql("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d')").unwrap();
+    db.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
+    db.sql("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d')")
+        .unwrap();
     db
 }
 
@@ -20,13 +22,7 @@ fn tamper_one_cell(db: &VeriDb) {
     let mem = db.memory();
     for page in mem.page_ids() {
         for slot in 0..16u16 {
-            if tamper::overwrite_cell(
-                mem,
-                veridb_wrcm::CellAddr { page, slot },
-                b"evil",
-            )
-            .is_ok()
-            {
+            if tamper::overwrite_cell(mem, veridb_wrcm::CellAddr { page, slot }, b"evil").is_ok() {
                 return;
             }
         }
@@ -59,8 +55,10 @@ fn completeness_theorem_5_2_omission_needs_the_chain() {
     cfg.verify_every_ops = None;
     cfg.track_touched_pages = false;
     let db = VeriDb::open(cfg).unwrap();
-    db.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
-    db.sql("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d')").unwrap();
+    db.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
+    db.sql("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d')")
+        .unwrap();
     // Legal path: verified absence afterwards.
     db.sql("DELETE FROM t WHERE id = 2").unwrap();
     let r = db.sql("SELECT * FROM t WHERE id = 2").unwrap();
@@ -98,7 +96,11 @@ fn freshness_stale_read_is_detected() {
     db.sql("UPDATE t SET v = 'fresh' WHERE id = 4").unwrap();
     let (addr, (data, ts)) = snaps
         .into_iter()
-        .find(|(a, s)| tamper::snapshot_cell(mem, *a).map(|c| c != *s).unwrap_or(false))
+        .find(|(a, s)| {
+            tamper::snapshot_cell(mem, *a)
+                .map(|c| c != *s)
+                .unwrap_or(false)
+        })
         .expect("superseded cell");
     tamper::replay_cell(mem, addr, &data, ts).unwrap();
     // A read may now return stale data — freshness violated — but the
@@ -133,7 +135,8 @@ fn full_attack_story_portal_refuses_after_background_detection() {
     let mut cfg = VeriDbConfig::default();
     cfg.verify_every_ops = Some(10);
     let dbx = VeriDb::open(cfg).unwrap();
-    dbx.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    dbx.sql("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        .unwrap();
     dbx.sql("INSERT INTO t VALUES (1,'a'),(2,'b')").unwrap();
     let portal = Arc::new(dbx.portal("c"));
     let mut client = Client::with_key(portal.channel_key_for_attested_client());
@@ -196,7 +199,10 @@ fn tpch_analytics_over_tampered_data_is_detected() {
     // discount). The very next verification pass must fail.
     tamper_one_cell(&dbx);
     let _maybe_wrong = dbx.sql(q6()); // may silently differ from `honest`
-    assert!(dbx.verify_now().is_err(), "tampered analytics must be detected");
+    assert!(
+        dbx.verify_now().is_err(),
+        "tampered analytics must be detected"
+    );
     assert!(dbx.poisoned().is_some());
     // And the portal refuses endorsement from here on.
     let portal = dbx.portal("analyst");
