@@ -38,6 +38,7 @@ fn run(cfg: VeriDbConfig, w: &MicroWorkload) -> BTreeMap<&'static str, f64> {
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
 
+    let before = db.metrics();
     let mut sums: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
     for op in w.ops() {
         let kind = match op {
@@ -56,6 +57,7 @@ fn run(cfg: VeriDbConfig, w: &MicroWorkload) -> BTreeMap<&'static str, f64> {
     if db.config().verify_rsws {
         db.verify_now().expect("honest run verifies");
     }
+    println!("  obs Δ: {}", db.metrics().since(&before).summary_line());
     let _ = Arc::strong_count(&table);
     sums.into_iter()
         .map(|(k, (s, n))| (k, s / n as f64 * 1e6))

@@ -34,6 +34,7 @@ fn run(every: Option<u64>, track_touched: bool, w: &MicroWorkload) -> BTreeMap<&
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
 
+    let before = db.metrics();
     let mut sums: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
     for op in w.ops() {
         let kind = match op {
@@ -51,6 +52,7 @@ fn run(every: Option<u64>, track_touched: bool, w: &MicroWorkload) -> BTreeMap<&
     }
     assert!(db.stop_verifier().is_none(), "honest run must verify");
     db.verify_now().expect("final pass");
+    println!("  obs Δ: {}", db.metrics().since(&before).summary_line());
     let _ = Arc::strong_count(&table);
     sums.into_iter()
         .map(|(k, (s, n))| (k, s / n as f64 * 1e6))

@@ -56,6 +56,7 @@ fn main() {
         .expect("ddl");
     let table = db.table("kv").expect("table");
     w.load_table(&table).expect("load");
+    let before = db.metrics();
     let mut veridb_lat: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
     for op in w.ops() {
         let start = Instant::now();
@@ -66,6 +67,7 @@ fn main() {
         e.1 += 1;
     }
     assert!(db.stop_verifier().is_none(), "honest run must verify");
+    println!("  obs Δ: {}", db.metrics().since(&before).summary_line());
     let _ = Arc::strong_count(&table);
 
     // --- MB-Tree baseline -------------------------------------------------

@@ -134,7 +134,12 @@ fn main() {
     let mut json = serde_json::Map::new();
     for (name, sql, opts, tables) in cases {
         let b = measure(&baseline_db, sql, &opts, &tables);
+        let obs_before = veridb_db.metrics();
         let v = measure(&veridb_db, sql, &opts, &tables);
+        println!(
+            "  obs Δ {name}: {}",
+            veridb_db.metrics().since(&obs_before).summary_line()
+        );
         assert_eq!(b.rows, v.rows, "both configs must return the same answer");
         let overhead = (v.total_s - b.total_s) / b.total_s;
         t.row(vec![

@@ -34,6 +34,7 @@ fn memory(verify: bool, prf: PrfBackend, compact_lazy: bool) -> Arc<VerifiedMemo
             track_touched_pages: true,
             compact_during_verification: compact_lazy,
             prf,
+            metrics: cfg.metrics,
         },
     )
 }

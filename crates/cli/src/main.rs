@@ -10,16 +10,36 @@
 //! ```
 //!
 //! Meta commands: `.help`, `.tables`, `.schema <table>`, `.verify`,
-//! `.costs`, `.timing on|off`, `.demo` (loads the paper's quote/inventory
-//! example), `.tpch [rows]` (loads a small TPC-H dataset), `.quit`.
-//! Everything else is SQL, executed through the in-enclave engine with
-//! verified storage underneath.
+//! `.costs`, `.stats`, `.timing on|off`, `.demo` (loads the paper's
+//! quote/inventory example), `.tpch [rows]` (loads a small TPC-H dataset),
+//! `.quit`. Everything else is SQL, executed through the in-enclave engine
+//! with verified storage underneath.
+//!
+//! Non-interactive: `veridb stats [rows]` loads a TPC-H-style workload,
+//! runs the paper's query mix, and prints one `veridb-obs` metrics
+//! snapshot — a quick end-to-end check that observability is wired
+//! through every layer.
 
 use std::io::{BufRead, Write};
 use std::time::Instant;
-use veridb::{PlanOptions, VeriDb, VeriDbConfig};
+use veridb::{MetricsSnapshot, PlanOptions, VeriDb, VeriDbConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let rows = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+            std::process::exit(cmd_stats(rows));
+        }
+        Some("help" | "--help" | "-h") => {
+            println!(
+                "usage: veridb              interactive SQL shell\n\
+                 \x20      veridb stats [rows] run a TPC-H-style workload and print metrics"
+            );
+            return;
+        }
+        _ => {}
+    }
     let db = match VeriDb::open(VeriDbConfig::default()) {
         Ok(db) => db,
         Err(e) => {
@@ -78,6 +98,66 @@ fn main() {
     println!();
 }
 
+/// `veridb stats [rows]`: load TPC-H tables, run the paper's query mix
+/// (Q1, Q3, Q6, Q19), verify, and print the metrics snapshot.
+fn cmd_stats(rows: usize) -> i32 {
+    let db = match VeriDb::open(VeriDbConfig::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open database: {e}");
+            return 1;
+        }
+    };
+    let cfg = veridb_workloads::TpchConfig {
+        lineitem_rows: rows,
+        part_rows: (rows / 30).max(50),
+        ..Default::default()
+    };
+    println!("generating TPC-H ({rows} lineitem rows)…");
+    let data = veridb_workloads::TpchData::generate(&cfg);
+    if let Err(e) = data.load(&db) {
+        eprintln!("error loading workload: {e}");
+        return 1;
+    }
+    // Drive the query mix through the authenticated portal so the whole
+    // stack — MAC check, replay window, ECall, engine, verified scans —
+    // shows up in the counters.
+    use veridb_workloads::tpch;
+    let portal = db.portal("stats");
+    let mut client = veridb::Client::with_key(portal.channel_key_for_attested_client());
+    for (name, sql) in [
+        ("Q1", tpch::q1()),
+        ("Q3", tpch::q3()),
+        ("Q6", tpch::q6()),
+        ("Q19", tpch::q19()),
+    ] {
+        let q = client.sign_query(sql);
+        match portal.submit(&q) {
+            Ok(e) => println!("{name}: {} row(s)", e.result.rows.len()),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Err(e) = db.verify_now() {
+        eprintln!("SECURITY ALARM: {e}");
+        return 1;
+    }
+    print_metrics(&db.metrics());
+    0
+}
+
+/// Print every registered counter, then the one-line summary.
+fn print_metrics(snap: &MetricsSnapshot) {
+    let counters = snap.counters();
+    let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, value) in &counters {
+        println!("{name:<width$}  {value}");
+    }
+    println!("-- {}", snap.summary_line());
+}
+
 fn run_sql(db: &VeriDb, sql: &str, timing: bool) {
     let start = Instant::now();
     match db.sql(sql) {
@@ -116,6 +196,7 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
                  \x20 .explain <sql>     show the physical plan\n\
                  \x20 .verify            run a full verification pass\n\
                  \x20 .costs             simulated SGX cost counters\n\
+                 \x20 .stats             veridb-obs metrics snapshot (all layers)\n\
                  \x20 .timing on|off     toggle query timing\n\
                  \x20 .demo              load the paper's quote/inventory tables\n\
                  \x20 .tpch [rows]       load a small TPC-H dataset\n\
@@ -178,6 +259,15 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
                 c.ecalls,
                 c.epc_swaps,
                 c.simulated_cycles
+            );
+        }
+        ".stats" => {
+            print_metrics(&db.metrics());
+            let lag = db.verification_lag();
+            let max_lag = lag.iter().map(|(_, l)| *l).max().unwrap_or(0);
+            println!(
+                "verification lag: max {max_lag} op(s) across {} partition(s)",
+                lag.len()
             );
         }
         ".timing" => match parts.next() {

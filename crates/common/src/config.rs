@@ -58,6 +58,16 @@ pub struct VeriDbConfig {
     /// Charge simulated cycle costs for ECalls/OCalls/EPC faults to the
     /// cost model (pure accounting; never sleeps).
     pub model_sgx_costs: bool,
+    /// Maintain the `veridb-obs` metric registry (a few relaxed atomics per
+    /// protected operation). Disable to shave the last fractions of a
+    /// percent off the hot path; `VeriDb::metrics()` then reports only the
+    /// enclave cost-substrate figures.
+    #[serde(default = "default_metrics")]
+    pub metrics: bool,
+}
+
+fn default_metrics() -> bool {
+    true
 }
 
 impl Default for VeriDbConfig {
@@ -73,6 +83,7 @@ impl Default for VeriDbConfig {
             prf: PrfBackend::HmacSha256,
             epc_budget: 96 * 1024 * 1024,
             model_sgx_costs: true,
+            metrics: true,
         }
     }
 }

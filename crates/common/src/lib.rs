@@ -23,12 +23,14 @@
 pub mod codec;
 pub mod config;
 pub mod error;
+pub mod obs;
 pub mod row;
 pub mod schema;
 pub mod value;
 
 pub use config::{PrfBackend, VeriDbConfig};
 pub use error::{Error, Result};
+pub use obs::{Metrics, MetricsSnapshot, OperatorKind};
 pub use row::Row;
 pub use schema::{ColumnDef, Schema};
 pub use value::{ColumnType, Value};

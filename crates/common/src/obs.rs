@@ -1,0 +1,749 @@
+//! `veridb-obs`: lock-free observability primitives for the verification
+//! pipeline.
+//!
+//! The paper's central trade-off (Fig. 10) is verification frequency vs.
+//! overhead, which is unmeasurable without telemetry on verification lag,
+//! RS/WS element composition, PRF evaluation counts, and the batched-scan
+//! hit rate. This module provides the measurement substrate: plain atomic
+//! [`Counter`]s, monotonic [`Gauge`]s, and coarse power-of-two
+//! [`Histogram`]s, aggregated in a single [`Metrics`] struct whose field
+//! set *is* the static metric registry (every metric has a fixed name,
+//! enumerated by [`MetricsSnapshot::counters`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost is a few relaxed atomics.** No locks, no allocation,
+//!    no formatting on the update path. The layers gate their updates on
+//!    the `metrics` config switch (`VeriDbConfig::metrics`), so a disabled
+//!    instance pays only a branch.
+//! 2. **Sampling is cheap and consistent-enough.** [`Metrics::snapshot`]
+//!    reads every counter with relaxed loads — individually exact,
+//!    mutually unsynchronized, which is the right trade for monitoring.
+//! 3. **Deltas are first-class.** Benchmarks bracket a workload with two
+//!    snapshots and print [`MetricsSnapshot::since`].
+//!
+//! The struct lives in `veridb-common` so every layer can update it; the
+//! owning instance hangs off the enclave (one metrics domain per trust
+//! domain), and `Enclave::metrics_snapshot` merges in the counters the
+//! always-on cost substrate already maintains (ECalls, PRF evaluations,
+//! EPC swaps and high-water mark).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two histogram buckets. Bucket `i > 0` covers values
+/// in `[2^(i-1), 2^i)`; bucket 0 holds zeros; the last bucket absorbs
+/// everything at or above `2^(BUCKETS-2)`.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / maximum gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if larger (high-water tracking).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A coarse power-of-two histogram of `u64` samples.
+///
+/// One relaxed `fetch_add` per bucket hit plus sum/count/max updates —
+/// cheap enough for per-`scan_step` latency recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (not delta-able; carried as-is by `since`).
+    pub max: u64,
+    /// Per-bucket sample counts (power-of-two boundaries).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Difference of two snapshots (`self - earlier`), saturating. `max`
+    /// carries the later snapshot's value (maxima don't subtract).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *b = now.saturating_sub(*then);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// Query-operator classes metered by the executor ("per-operator row
+/// counts"). The order is the registry order; `OperatorKind::name`
+/// provides the stable metric label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OperatorKind {
+    /// Verified leaf scan (range / point).
+    Scan = 0,
+    /// Filter.
+    Filter,
+    /// Projection.
+    Project,
+    /// Index nested-loop join.
+    IndexNlJoin,
+    /// Hash join.
+    HashJoin,
+    /// Merge join.
+    MergeJoin,
+    /// Block nested-loop join (materializing, spill-capable).
+    BlockNlJoin,
+    /// Aggregation.
+    Aggregate,
+    /// Sort.
+    Sort,
+    /// Limit.
+    Limit,
+    /// Distinct.
+    Distinct,
+}
+
+/// Number of [`OperatorKind`] variants.
+pub const OPERATOR_KINDS: usize = 11;
+
+impl OperatorKind {
+    /// Stable metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Scan => "scan",
+            OperatorKind::Filter => "filter",
+            OperatorKind::Project => "project",
+            OperatorKind::IndexNlJoin => "index_nl_join",
+            OperatorKind::HashJoin => "hash_join",
+            OperatorKind::MergeJoin => "merge_join",
+            OperatorKind::BlockNlJoin => "block_nl_join",
+            OperatorKind::Aggregate => "aggregate",
+            OperatorKind::Sort => "sort",
+            OperatorKind::Limit => "limit",
+            OperatorKind::Distinct => "distinct",
+        }
+    }
+
+    /// All variants in registry order.
+    pub fn all() -> [OperatorKind; OPERATOR_KINDS] {
+        [
+            OperatorKind::Scan,
+            OperatorKind::Filter,
+            OperatorKind::Project,
+            OperatorKind::IndexNlJoin,
+            OperatorKind::HashJoin,
+            OperatorKind::MergeJoin,
+            OperatorKind::BlockNlJoin,
+            OperatorKind::Aggregate,
+            OperatorKind::Sort,
+            OperatorKind::Limit,
+            OperatorKind::Distinct,
+        ]
+    }
+}
+
+/// The static metric registry of one VeriDB instance.
+///
+/// Layer responsibilities:
+/// - **wrcm** updates the protected-op, element-composition, group,
+///   page-lifecycle, and verification families;
+/// - **storage** updates the cursor family;
+/// - **query** updates the query/spill/portal families;
+/// - **enclave** contributes ECall / PRF / EPC figures at snapshot time
+///   from its always-on cost substrate (those fields live only in
+///   [`MetricsSnapshot`]).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    // -- wrcm: protected operations ------------------------------------
+    /// Protected point reads.
+    pub protected_reads: Counter,
+    /// Protected overwrites.
+    pub protected_writes: Counter,
+    /// Protected inserts.
+    pub protected_inserts: Counter,
+    /// Protected deletes.
+    pub protected_deletes: Counter,
+    /// Protected cross-page moves.
+    pub protected_moves: Counter,
+    /// Cells served by batched protected reads.
+    pub batched_read_cells: Counter,
+    /// Cells written by batched protected writes.
+    pub batched_write_cells: Counter,
+    // -- wrcm: RS/WS element composition -------------------------------
+    /// Singleton (per-cell) elements consumed into `h(RS)`.
+    pub singleton_elements: Counter,
+    /// Coalesced scan-group elements consumed into `h(RS)`.
+    pub group_elements: Counter,
+    /// Scan groups formed by batched reads.
+    pub groups_formed: Counter,
+    /// Scan groups dissolved back into singletons (point ops, straddling
+    /// batches).
+    pub groups_dissolved: Counter,
+    // -- wrcm: page lifecycle ------------------------------------------
+    /// Fresh pages registered.
+    pub pages_allocated: Counter,
+    /// Pages handed back out from the free list.
+    pub pages_reused: Counter,
+    /// Empty pages released to the free list.
+    pub pages_released: Counter,
+    // -- wrcm: deferred verification -----------------------------------
+    /// Background / synchronous verifier scan steps executed.
+    pub scan_steps: Counter,
+    /// `scan_step` wall-clock latency (nanoseconds).
+    pub scan_step_ns: Histogram,
+    /// Partition epochs closed.
+    pub epoch_closes: Counter,
+    /// Protected ops a partition accumulated between consecutive epoch
+    /// closes ("verification lag", sampled at each close).
+    pub verification_lag_ops: Histogram,
+    /// Verification failures recorded (storage poisoned).
+    pub poison_events: Counter,
+    // -- storage: verified cursor --------------------------------------
+    /// Cursor rounds served by the batched fast path.
+    pub scan_batched_rounds: Counter,
+    /// Cursor rounds that fell back to per-record resolution.
+    pub scan_fallback_rounds: Counter,
+    /// Benign-race retries inside `VerifiedScan::resolve`/`start`.
+    pub scan_benign_retries: Counter,
+    // -- query ----------------------------------------------------------
+    /// Statements executed by the engine.
+    pub queries_executed: Counter,
+    /// Rows emitted, per operator class.
+    pub operator_rows: [Counter; OPERATOR_KINDS],
+    /// Row buffers that overflowed into verified storage.
+    pub spill_events: Counter,
+    /// Bytes spilled into verified storage.
+    pub spill_bytes: Counter,
+    /// Queries rejected by the portal's replay filter.
+    pub replays_rejected: Counter,
+}
+
+impl Metrics {
+    /// Fresh, zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The row counter for one operator class.
+    pub fn operator_rows(&self, kind: OperatorKind) -> &Counter {
+        &self.operator_rows[kind as usize]
+    }
+
+    /// Copy every metric. Enclave-substrate fields (`ecalls`,
+    /// `prf_evals`, `epc_*`) are zero here; `Enclave::metrics_snapshot`
+    /// fills them in.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut operator_rows = [0u64; OPERATOR_KINDS];
+        for (o, c) in operator_rows.iter_mut().zip(&self.operator_rows) {
+            *o = c.get();
+        }
+        MetricsSnapshot {
+            protected_reads: self.protected_reads.get(),
+            protected_writes: self.protected_writes.get(),
+            protected_inserts: self.protected_inserts.get(),
+            protected_deletes: self.protected_deletes.get(),
+            protected_moves: self.protected_moves.get(),
+            batched_read_cells: self.batched_read_cells.get(),
+            batched_write_cells: self.batched_write_cells.get(),
+            singleton_elements: self.singleton_elements.get(),
+            group_elements: self.group_elements.get(),
+            groups_formed: self.groups_formed.get(),
+            groups_dissolved: self.groups_dissolved.get(),
+            pages_allocated: self.pages_allocated.get(),
+            pages_reused: self.pages_reused.get(),
+            pages_released: self.pages_released.get(),
+            scan_steps: self.scan_steps.get(),
+            scan_step_ns: self.scan_step_ns.snapshot(),
+            epoch_closes: self.epoch_closes.get(),
+            verification_lag_ops: self.verification_lag_ops.snapshot(),
+            poison_events: self.poison_events.get(),
+            scan_batched_rounds: self.scan_batched_rounds.get(),
+            scan_fallback_rounds: self.scan_fallback_rounds.get(),
+            scan_benign_retries: self.scan_benign_retries.get(),
+            queries_executed: self.queries_executed.get(),
+            operator_rows,
+            spill_events: self.spill_events.get(),
+            spill_bytes: self.spill_bytes.get(),
+            replays_rejected: self.replays_rejected.get(),
+            prf_evals: 0,
+            ecalls: 0,
+            epc_swaps: 0,
+            epc_high_water_bytes: 0,
+        }
+    }
+}
+
+/// A point-in-time copy of every metric, including the enclave-substrate
+/// figures merged in at sampling time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // field meanings documented on `Metrics`
+pub struct MetricsSnapshot {
+    pub protected_reads: u64,
+    pub protected_writes: u64,
+    pub protected_inserts: u64,
+    pub protected_deletes: u64,
+    pub protected_moves: u64,
+    pub batched_read_cells: u64,
+    pub batched_write_cells: u64,
+    pub singleton_elements: u64,
+    pub group_elements: u64,
+    pub groups_formed: u64,
+    pub groups_dissolved: u64,
+    pub pages_allocated: u64,
+    pub pages_reused: u64,
+    pub pages_released: u64,
+    pub scan_steps: u64,
+    pub scan_step_ns: HistogramSnapshot,
+    pub epoch_closes: u64,
+    pub verification_lag_ops: HistogramSnapshot,
+    pub poison_events: u64,
+    pub scan_batched_rounds: u64,
+    pub scan_fallback_rounds: u64,
+    pub scan_benign_retries: u64,
+    pub queries_executed: u64,
+    pub operator_rows: [u64; OPERATOR_KINDS],
+    pub spill_events: u64,
+    pub spill_bytes: u64,
+    pub replays_rejected: u64,
+    /// PRF evaluations (from the enclave cost substrate).
+    pub prf_evals: u64,
+    /// ECall boundary crossings (from the enclave cost substrate).
+    pub ecalls: u64,
+    /// Simulated EPC page swaps (from the enclave cost substrate).
+    pub epc_swaps: u64,
+    /// EPC allocation high-water mark in bytes.
+    pub epc_high_water_bytes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total protected operations (point ops + batched cells).
+    pub fn protected_ops(&self) -> u64 {
+        self.protected_reads
+            + self.protected_writes
+            + self.protected_inserts
+            + self.protected_deletes
+            + self.protected_moves
+            + self.batched_read_cells
+            + self.batched_write_cells
+    }
+
+    /// Difference of two snapshots (`self - earlier`), saturating.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut operator_rows = [0u64; OPERATOR_KINDS];
+        for (r, (now, then)) in operator_rows
+            .iter_mut()
+            .zip(self.operator_rows.iter().zip(&earlier.operator_rows))
+        {
+            *r = now.saturating_sub(*then);
+        }
+        MetricsSnapshot {
+            protected_reads: self.protected_reads.saturating_sub(earlier.protected_reads),
+            protected_writes: self
+                .protected_writes
+                .saturating_sub(earlier.protected_writes),
+            protected_inserts: self
+                .protected_inserts
+                .saturating_sub(earlier.protected_inserts),
+            protected_deletes: self
+                .protected_deletes
+                .saturating_sub(earlier.protected_deletes),
+            protected_moves: self.protected_moves.saturating_sub(earlier.protected_moves),
+            batched_read_cells: self
+                .batched_read_cells
+                .saturating_sub(earlier.batched_read_cells),
+            batched_write_cells: self
+                .batched_write_cells
+                .saturating_sub(earlier.batched_write_cells),
+            singleton_elements: self
+                .singleton_elements
+                .saturating_sub(earlier.singleton_elements),
+            group_elements: self.group_elements.saturating_sub(earlier.group_elements),
+            groups_formed: self.groups_formed.saturating_sub(earlier.groups_formed),
+            groups_dissolved: self
+                .groups_dissolved
+                .saturating_sub(earlier.groups_dissolved),
+            pages_allocated: self.pages_allocated.saturating_sub(earlier.pages_allocated),
+            pages_reused: self.pages_reused.saturating_sub(earlier.pages_reused),
+            pages_released: self.pages_released.saturating_sub(earlier.pages_released),
+            scan_steps: self.scan_steps.saturating_sub(earlier.scan_steps),
+            scan_step_ns: self.scan_step_ns.since(&earlier.scan_step_ns),
+            epoch_closes: self.epoch_closes.saturating_sub(earlier.epoch_closes),
+            verification_lag_ops: self
+                .verification_lag_ops
+                .since(&earlier.verification_lag_ops),
+            poison_events: self.poison_events.saturating_sub(earlier.poison_events),
+            scan_batched_rounds: self
+                .scan_batched_rounds
+                .saturating_sub(earlier.scan_batched_rounds),
+            scan_fallback_rounds: self
+                .scan_fallback_rounds
+                .saturating_sub(earlier.scan_fallback_rounds),
+            scan_benign_retries: self
+                .scan_benign_retries
+                .saturating_sub(earlier.scan_benign_retries),
+            queries_executed: self
+                .queries_executed
+                .saturating_sub(earlier.queries_executed),
+            operator_rows,
+            spill_events: self.spill_events.saturating_sub(earlier.spill_events),
+            spill_bytes: self.spill_bytes.saturating_sub(earlier.spill_bytes),
+            replays_rejected: self
+                .replays_rejected
+                .saturating_sub(earlier.replays_rejected),
+            prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
+            ecalls: self.ecalls.saturating_sub(earlier.ecalls),
+            epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
+            epc_high_water_bytes: self.epc_high_water_bytes,
+        }
+    }
+
+    /// The full metric catalog as `(name, value)` pairs, in registry
+    /// order. Histograms contribute their count/sum/max figures.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out = vec![
+            ("wrcm.protected_reads", self.protected_reads),
+            ("wrcm.protected_writes", self.protected_writes),
+            ("wrcm.protected_inserts", self.protected_inserts),
+            ("wrcm.protected_deletes", self.protected_deletes),
+            ("wrcm.protected_moves", self.protected_moves),
+            ("wrcm.batched_read_cells", self.batched_read_cells),
+            ("wrcm.batched_write_cells", self.batched_write_cells),
+            ("wrcm.singleton_elements", self.singleton_elements),
+            ("wrcm.group_elements", self.group_elements),
+            ("wrcm.groups_formed", self.groups_formed),
+            ("wrcm.groups_dissolved", self.groups_dissolved),
+            ("wrcm.pages_allocated", self.pages_allocated),
+            ("wrcm.pages_reused", self.pages_reused),
+            ("wrcm.pages_released", self.pages_released),
+            ("verify.scan_steps", self.scan_steps),
+            ("verify.scan_step_ns.count", self.scan_step_ns.count),
+            ("verify.scan_step_ns.sum", self.scan_step_ns.sum),
+            ("verify.scan_step_ns.max", self.scan_step_ns.max),
+            ("verify.epoch_closes", self.epoch_closes),
+            ("verify.lag_ops.count", self.verification_lag_ops.count),
+            ("verify.lag_ops.sum", self.verification_lag_ops.sum),
+            ("verify.lag_ops.max", self.verification_lag_ops.max),
+            ("verify.poison_events", self.poison_events),
+            ("cursor.batched_rounds", self.scan_batched_rounds),
+            ("cursor.fallback_rounds", self.scan_fallback_rounds),
+            ("cursor.benign_retries", self.scan_benign_retries),
+            ("query.executed", self.queries_executed),
+        ];
+        const OPERATOR_ROW_NAMES: [&str; OPERATOR_KINDS] = [
+            "query.rows.scan",
+            "query.rows.filter",
+            "query.rows.project",
+            "query.rows.index_nl_join",
+            "query.rows.hash_join",
+            "query.rows.merge_join",
+            "query.rows.block_nl_join",
+            "query.rows.aggregate",
+            "query.rows.sort",
+            "query.rows.limit",
+            "query.rows.distinct",
+        ];
+        for (name, v) in OPERATOR_ROW_NAMES.iter().zip(self.operator_rows) {
+            out.push((name, v));
+        }
+        out.extend([
+            ("query.spill_events", self.spill_events),
+            ("query.spill_bytes", self.spill_bytes),
+            ("portal.replays_rejected", self.replays_rejected),
+            ("enclave.prf_evals", self.prf_evals),
+            ("enclave.ecalls", self.ecalls),
+            ("enclave.epc_swaps", self.epc_swaps),
+            ("enclave.epc_high_water_bytes", self.epc_high_water_bytes),
+        ]);
+        out
+    }
+
+    /// One-line summary for benchmark output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "ops={} (r {} / w {} / ins {} / del {} / batch {}), prf={}, \
+             groups +{}/-{}, batched_rounds={}, fallback={}, retries={}, \
+             epoch_closes={}, lag_mean={:.0} ops, spills={} ({} B), ecalls={}",
+            self.protected_ops(),
+            self.protected_reads,
+            self.protected_writes,
+            self.protected_inserts,
+            self.protected_deletes,
+            self.batched_read_cells + self.batched_write_cells,
+            self.prf_evals,
+            self.groups_formed,
+            self.groups_dissolved,
+            self.scan_batched_rounds,
+            self.scan_fallback_rounds,
+            self.scan_benign_retries,
+            self.epoch_closes,
+            self.verification_lag_ops.mean(),
+            self.spill_events,
+            self.spill_bytes,
+            self.ecalls,
+        )
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, value) in self.counters() {
+            writeln!(f, "{name:<32} {value}")?;
+        }
+        if self.scan_step_ns.count > 0 {
+            writeln!(
+                f,
+                "{:<32} {:.0}",
+                "verify.scan_step_ns.mean",
+                self.scan_step_ns.mean()
+            )?;
+        }
+        if self.verification_lag_ops.count > 0 {
+            writeln!(
+                f,
+                "{:<32} {:.1}",
+                "verify.lag_ops.mean",
+                self.verification_lag_ops.mean()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_diffs() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(100);
+        h.record(1000);
+        let a = h.snapshot();
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1101);
+        assert_eq!(a.max, 1000);
+        assert!((a.mean() - 367.0).abs() < 1.0);
+        h.record(7);
+        let b = h.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 7);
+        assert_eq!(d.buckets[bucket_of(7)], 1);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts_every_family() {
+        let m = Metrics::new();
+        m.protected_reads.add(10);
+        m.queries_executed.inc();
+        m.operator_rows(OperatorKind::Scan).add(3);
+        let a = m.snapshot();
+        m.protected_reads.add(5);
+        m.operator_rows(OperatorKind::Scan).add(2);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.protected_reads, 5);
+        assert_eq!(d.queries_executed, 0);
+        assert_eq!(d.operator_rows[OperatorKind::Scan as usize], 2);
+        assert_eq!(d.protected_ops(), 5);
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_stable() {
+        let s = MetricsSnapshot::default();
+        let names: Vec<&str> = s.counters().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate metric name");
+        assert!(names.contains(&"wrcm.protected_reads"));
+        assert!(names.contains(&"enclave.prf_evals"));
+        assert!(names.contains(&"verify.lag_ops.sum"));
+    }
+
+    #[test]
+    fn display_renders_all_lines() {
+        let m = Metrics::new();
+        m.scan_step_ns.record(1234);
+        m.verification_lag_ops.record(100);
+        let s = m.snapshot();
+        let text = format!("{s}");
+        assert!(text.contains("wrcm.protected_reads"));
+        assert!(text.contains("verify.scan_step_ns.mean"));
+    }
+
+    #[test]
+    fn operator_kind_names_cover_all_variants() {
+        let names: Vec<&str> = OperatorKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), OPERATOR_KINDS);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), OPERATOR_KINDS);
+    }
+}

@@ -46,7 +46,8 @@ pub mod recovery;
 
 pub use recovery::Replica;
 pub use veridb_common::{
-    ColumnDef, ColumnType, Error, PrfBackend, Result, Row, Schema, Value, VeriDbConfig,
+    ColumnDef, ColumnType, Error, Metrics, MetricsSnapshot, OperatorKind, PrfBackend, Result, Row,
+    Schema, Value, VeriDbConfig,
 };
 pub use veridb_enclave::{CostSnapshot, Enclave, QuotingEnclave};
 pub use veridb_query::{
@@ -194,6 +195,21 @@ impl VeriDb {
     /// Simulated SGX cost counters (ECalls, EPC swaps, PRF evaluations…).
     pub fn costs(&self) -> CostSnapshot {
         self.enclave.cost().snapshot()
+    }
+
+    /// One coherent sample of the `veridb-obs` registry: protected-op and
+    /// scan counters from every layer, merged with the enclave cost
+    /// substrate (PRF evaluations, ECalls, EPC high-water mark). Cheap —
+    /// a relaxed load per counter — and safe to poll continuously. All
+    /// zeros (except the substrate figures) when `config.metrics` is off.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.enclave.metrics_snapshot()
+    }
+
+    /// Per-partition verification lag: `(epoch, protected ops since that
+    /// partition's last epoch close)`.
+    pub fn verification_lag(&self) -> Vec<(u64, u64)> {
+        self.mem.verification_lag()
     }
 
     /// Enable (or disable with `None`) spilling of large query

@@ -28,6 +28,8 @@ pub const EPC_SWAP_CYCLES: u64 = 40_000;
 pub struct EpcAllocator {
     budget: usize,
     allocated: Arc<AtomicU64>,
+    /// Highest `allocated` value ever observed (bytes).
+    high_water: AtomicU64,
     /// Total simulated page swaps incurred by over-budget allocations.
     swaps: AtomicU64,
     /// When true, over-budget allocations fail instead of paging.
@@ -61,6 +63,7 @@ impl EpcAllocator {
         EpcAllocator {
             budget,
             allocated: Arc::new(AtomicU64::new(0)),
+            high_water: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             strict: AtomicBool::new(false),
         }
@@ -74,6 +77,13 @@ impl EpcAllocator {
     /// Bytes currently accounted as enclave-resident.
     pub fn allocated(&self) -> usize {
         self.allocated.load(Ordering::Relaxed) as usize
+    }
+
+    /// Highest enclave-resident footprint ever reached, in bytes. Unlike
+    /// `allocated`, this never decreases — it is the "how close did we get
+    /// to the budget" figure benchmarks report.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed) as usize
     }
 
     /// Simulated page swaps incurred so far.
@@ -106,6 +116,7 @@ impl EpcAllocator {
             let over_pages = (after - self.budget.max(before)).div_ceil(EPC_PAGE_BYTES) as u64;
             self.swaps.fetch_add(over_pages.max(1), Ordering::Relaxed);
         }
+        self.high_water.fetch_max(after as u64, Ordering::Relaxed);
         Ok(EpcAllocation {
             bytes,
             allocated: Arc::clone(&self.allocated),
@@ -138,6 +149,20 @@ mod tests {
         assert_eq!(epc.swaps(), 0);
         let _b = epc.allocate(3 * EPC_PAGE_BYTES).unwrap();
         assert_eq!(epc.swaps(), 3);
+    }
+
+    #[test]
+    fn high_water_mark_survives_frees() {
+        let epc = EpcAllocator::new(10 * EPC_PAGE_BYTES);
+        let a = epc.allocate(4096).unwrap();
+        let b = epc.allocate(8192).unwrap();
+        assert_eq!(epc.high_water(), 12288);
+        drop(a);
+        drop(b);
+        assert_eq!(epc.allocated(), 0);
+        assert_eq!(epc.high_water(), 12288);
+        let _c = epc.allocate(1024).unwrap();
+        assert_eq!(epc.high_water(), 12288);
     }
 
     #[test]

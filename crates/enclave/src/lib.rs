@@ -40,6 +40,7 @@ pub use epc::{EpcAllocation, EpcAllocator, EPC_PAGE_BYTES, EPC_SWAP_CYCLES};
 pub use mac::{Mac, MacKey, MAC_LEN};
 
 use std::sync::Arc;
+use veridb_common::obs::{Metrics, MetricsSnapshot};
 
 /// A simulated SGX enclave: the single trust anchor of a VeriDB instance.
 ///
@@ -64,6 +65,9 @@ struct EnclaveInner {
     /// Strictly-increasing timestamp source for the memory-checking
     /// protocol and the rollback-defense sequence numbers.
     timestamps: MonotonicCounter,
+    /// `veridb-obs` metric registry. One metrics domain per trust domain:
+    /// every layer holding an enclave handle shares this registry.
+    metrics: Arc<Metrics>,
 }
 
 impl Enclave {
@@ -84,6 +88,7 @@ impl Enclave {
                 cost: CostModel::new(),
                 epc: EpcAllocator::new(epc_budget),
                 timestamps: MonotonicCounter::new(1),
+                metrics: Arc::new(Metrics::new()),
             }),
         }
     }
@@ -121,6 +126,25 @@ impl Enclave {
     /// The EPC allocator for this enclave.
     pub fn epc(&self) -> &EpcAllocator {
         &self.inner.epc
+    }
+
+    /// The `veridb-obs` metric registry shared by every layer of this
+    /// instance. Layers clone the `Arc` and update counters directly.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Sample every metric, merging in the figures the always-on cost
+    /// substrate maintains (PRF evaluations, ECalls, EPC swaps and
+    /// high-water mark) so callers get one coherent snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.metrics.snapshot();
+        let cost = self.inner.cost.snapshot();
+        snap.prf_evals = cost.prf_evals;
+        snap.ecalls = cost.ecalls;
+        snap.epc_swaps = self.inner.epc.swaps();
+        snap.epc_high_water_bytes = self.inner.epc.high_water() as u64;
+        snap
     }
 
     /// Next strictly-increasing timestamp. Used as the per-cell timestamp
@@ -237,6 +261,20 @@ mod tests {
         assert_eq!(after.ecalls, before.ecalls + 1);
         assert_eq!(after.ocalls, before.ocalls + 1);
         assert!(after.simulated_cycles > before.simulated_cycles);
+    }
+
+    #[test]
+    fn metrics_snapshot_merges_cost_substrate() {
+        let e = test_enclave();
+        e.ecall(|| ());
+        e.cost().charge_prf(5);
+        let _alloc = e.epc().allocate(4096).unwrap();
+        e.metrics().protected_reads.add(3);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.protected_reads, 3);
+        assert!(snap.ecalls >= 1);
+        assert!(snap.prf_evals >= 5);
+        assert!(snap.epc_high_water_bytes >= 4096);
     }
 
     #[test]

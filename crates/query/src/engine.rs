@@ -112,7 +112,10 @@ impl QueryEngine {
             .spill_threshold
             .load(std::sync::atomic::Ordering::Relaxed);
         if t == 0 {
-            crate::spill::ExecContext::default()
+            crate::spill::ExecContext {
+                metrics: self.catalog.memory().metrics().cloned(),
+                ..Default::default()
+            }
         } else {
             crate::spill::ExecContext::with_spill(Arc::clone(self.catalog.memory()), t)
         }
@@ -130,6 +133,9 @@ impl QueryEngine {
 
     /// Execute one SQL statement.
     pub fn execute_with(&self, sql: &str, opts: &PlanOptions) -> Result<QueryResult> {
+        if let Some(m) = self.catalog.memory().metrics() {
+            m.queries_executed.inc();
+        }
         match parse(sql)? {
             Statement::CreateTable { name, columns } => {
                 let defs: Vec<ColumnDef> = columns
@@ -262,7 +268,7 @@ impl QueryEngine {
             limit: None,
         };
         let PlannedQuery { plan, .. } = plan_select(&self.catalog, stmt, opts)?;
-        exec::run(&plan)
+        exec::run_ctx(&plan, &self.exec_context())
     }
 }
 

@@ -17,6 +17,7 @@ use crate::planner::{AccessPath, PhysicalPlan};
 use crate::spill::{ExecContext, SpilledRows};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use veridb_common::obs::{Metrics, OperatorKind};
 use veridb_common::{Result, Row, Value};
 use veridb_storage::{Table, VerifiedScan};
 
@@ -33,88 +34,148 @@ pub fn open(plan: &PhysicalPlan) -> Result<Box<dyn Operator>> {
 }
 
 /// Instantiate the operator tree for a plan under an execution context
-/// (spilling of large intermediate state per §5.4).
+/// (spilling of large intermediate state per §5.4). When the context
+/// carries a metrics registry every operator is wrapped in a
+/// [`MeteredOp`] that counts rows produced per operator kind.
 pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
-    Ok(match plan {
+    let (kind, op): (OperatorKind, Box<dyn Operator>) = match plan {
         PhysicalPlan::TableScan {
             table,
             access,
             residual,
-        } => Box::new(ScanOp::new(table, access, residual.clone())?),
-        PhysicalPlan::Filter { input, pred } => Box::new(FilterOp {
-            input: open_ctx(input, ctx)?,
-            pred: pred.clone(),
-        }),
-        PhysicalPlan::Project { input, exprs, .. } => Box::new(ProjectOp {
-            input: open_ctx(input, ctx)?,
-            exprs: exprs.clone(),
-        }),
+        } => (
+            OperatorKind::Scan,
+            Box::new(ScanOp::new(table, access, residual.clone())?),
+        ),
+        PhysicalPlan::Filter { input, pred } => (
+            OperatorKind::Filter,
+            Box::new(FilterOp {
+                input: open_ctx(input, ctx)?,
+                pred: pred.clone(),
+            }),
+        ),
+        PhysicalPlan::Project { input, exprs, .. } => (
+            OperatorKind::Project,
+            Box::new(ProjectOp {
+                input: open_ctx(input, ctx)?,
+                exprs: exprs.clone(),
+            }),
+        ),
         PhysicalPlan::IndexNlJoin {
             outer,
             inner,
             inner_chain,
             outer_key,
             residual,
-        } => Box::new(IndexNlJoinOp {
-            outer: open_ctx(outer, ctx)?,
-            inner: Arc::clone(inner),
-            inner_chain: *inner_chain,
-            outer_key: *outer_key,
-            residual: residual.clone(),
-            pending: Vec::new(),
-        }),
+        } => (
+            OperatorKind::IndexNlJoin,
+            Box::new(IndexNlJoinOp {
+                outer: open_ctx(outer, ctx)?,
+                inner: Arc::clone(inner),
+                inner_chain: *inner_chain,
+                outer_key: *outer_key,
+                residual: residual.clone(),
+                pending: Vec::new(),
+            }),
+        ),
         PhysicalPlan::HashJoin {
             left,
             right,
             left_key,
             right_key,
             residual,
-        } => Box::new(HashJoinOp::new(
-            open_ctx(left, ctx)?,
-            open_ctx(right, ctx)?,
-            *left_key,
-            *right_key,
-            residual.clone(),
-        )),
+        } => (
+            OperatorKind::HashJoin,
+            Box::new(HashJoinOp::new(
+                open_ctx(left, ctx)?,
+                open_ctx(right, ctx)?,
+                *left_key,
+                *right_key,
+                residual.clone(),
+            )),
+        ),
         PhysicalPlan::MergeJoin {
             left,
             right,
             left_key,
             right_key,
             residual,
-        } => Box::new(MergeJoinOp::new(
-            open_ctx(left, ctx)?,
-            open_ctx(right, ctx)?,
-            *left_key,
-            *right_key,
-            residual.clone(),
-        )),
-        PhysicalPlan::BlockNlJoin { left, right, pred } => Box::new(BlockNlJoinOp {
-            left: open_ctx(left, ctx)?,
-            right_plan: (**right).clone(),
-            right_rows: None,
-            current_left: None,
-            right_pos: 0,
-            pred: pred.clone(),
-            ctx: ctx.clone(),
+        } => (
+            OperatorKind::MergeJoin,
+            Box::new(MergeJoinOp::new(
+                open_ctx(left, ctx)?,
+                open_ctx(right, ctx)?,
+                *left_key,
+                *right_key,
+                residual.clone(),
+            )),
+        ),
+        PhysicalPlan::BlockNlJoin { left, right, pred } => (
+            OperatorKind::BlockNlJoin,
+            Box::new(BlockNlJoinOp {
+                left: open_ctx(left, ctx)?,
+                right_plan: (**right).clone(),
+                right_rows: None,
+                current_left: None,
+                right_pos: 0,
+                pred: pred.clone(),
+                ctx: ctx.clone(),
+            }),
+        ),
+        PhysicalPlan::Aggregate { input, group, aggs } => (
+            OperatorKind::Aggregate,
+            Box::new(AggregateOp::new(
+                open_ctx(input, ctx)?,
+                group.clone(),
+                aggs.clone(),
+            )),
+        ),
+        PhysicalPlan::Sort { input, keys } => (
+            OperatorKind::Sort,
+            Box::new(SortOp::new(open_ctx(input, ctx)?, keys.clone())),
+        ),
+        PhysicalPlan::Limit { input, n } => (
+            OperatorKind::Limit,
+            Box::new(LimitOp {
+                input: open_ctx(input, ctx)?,
+                remaining: *n,
+            }),
+        ),
+        PhysicalPlan::Distinct { input } => (
+            OperatorKind::Distinct,
+            Box::new(DistinctOp {
+                input: open_ctx(input, ctx)?,
+                seen: std::collections::HashSet::new(),
+            }),
+        ),
+    };
+    Ok(match &ctx.metrics {
+        Some(m) => Box::new(MeteredOp {
+            inner: op,
+            metrics: Arc::clone(m),
+            kind,
         }),
-        PhysicalPlan::Aggregate { input, group, aggs } => Box::new(AggregateOp::new(
-            open_ctx(input, ctx)?,
-            group.clone(),
-            aggs.clone(),
-        )),
-        PhysicalPlan::Sort { input, keys } => {
-            Box::new(SortOp::new(open_ctx(input, ctx)?, keys.clone()))
-        }
-        PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
-            input: open_ctx(input, ctx)?,
-            remaining: *n,
-        }),
-        PhysicalPlan::Distinct { input } => Box::new(DistinctOp {
-            input: open_ctx(input, ctx)?,
-            seen: std::collections::HashSet::new(),
-        }),
+        None => op,
     })
+}
+
+/// Transparent wrapper counting rows each operator produces, by kind.
+/// One relaxed atomic increment per row — only instantiated when the
+/// execution context carries a metrics registry.
+struct MeteredOp {
+    inner: Box<dyn Operator>,
+    metrics: Arc<Metrics>,
+    kind: OperatorKind,
+}
+
+impl Operator for MeteredOp {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let row = self.inner.next()?;
+        if row.is_some() {
+            self.metrics.operator_rows(self.kind).inc();
+        }
+        Ok(row)
+    }
 }
 
 /// Run a plan to completion (no spilling).

@@ -35,9 +35,11 @@ pub mod lexer;
 pub mod parser;
 pub mod planner;
 pub mod portal;
+pub mod replay;
 pub mod spill;
 
 pub use client::{Client, SeqIntervals};
 pub use engine::{PlanOptions, PreferredJoin, QueryEngine, QueryResult};
 pub use portal::{EndorsedResult, QueryPortal, SignedQuery};
+pub use replay::ReplayWindow;
 pub use spill::{ExecContext, SpilledRows};

@@ -17,8 +17,8 @@
 //!   a repeated sequence number (`Error::RollbackDetected`).
 
 use crate::engine::{PlanOptions, QueryEngine, QueryResult};
+use crate::replay::{ReplayWindow, DEFAULT_REPLAY_WINDOW};
 use parking_lot::Mutex;
-use std::collections::HashSet;
 use std::sync::Arc;
 use veridb_common::{Error, Result};
 use veridb_enclave::{Enclave, Mac, MacKey};
@@ -67,7 +67,9 @@ pub struct QueryPortal {
     mem: Arc<VerifiedMemory>,
     enclave: Enclave,
     key: MacKey,
-    seen_qids: Mutex<HashSet<u64>>,
+    /// Bounded replay filter (low watermark + sliding window) — constant
+    /// enclave memory no matter how many queries the channel carries.
+    seen_qids: Mutex<ReplayWindow>,
     /// Planning options applied to queries through this portal.
     pub options: PlanOptions,
 }
@@ -84,7 +86,7 @@ impl QueryPortal {
             mem,
             enclave,
             key,
-            seen_qids: Mutex::new(HashSet::new()),
+            seen_qids: Mutex::new(ReplayWindow::new(DEFAULT_REPLAY_WINDOW)),
             options: PlanOptions::default(),
         }
     }
@@ -97,9 +99,15 @@ impl QueryPortal {
     }
 
     /// Submit an authenticated query; returns an endorsed result.
+    ///
+    /// The qid is consumed only when a result is endorsed: a query that
+    /// fails transiently (a `PageFull`, a planner error, a poisoned-check
+    /// refusal) leaves its qid unspent, so the client may retry with the
+    /// original signature.
     pub fn submit(&self, q: &SignedQuery) -> Result<EndorsedResult> {
         // 1. Authorization: the MAC proves the client issued this exact
-        //    query; the qid set rejects replays.
+        //    query; the replay window rejects spent qids. Peek only — the
+        //    qid is not consumed until endorsement (step 4).
         if !self
             .key
             .verify(&[&q.qid.to_le_bytes(), q.sql.as_bytes()], &q.mac)
@@ -109,8 +117,8 @@ impl QueryPortal {
                 q.qid
             )));
         }
-        if !self.seen_qids.lock().insert(q.qid) {
-            return Err(Error::ReplayDetected { qid: q.qid });
+        if self.seen_qids.lock().contains(q.qid) {
+            return Err(self.reject_replay(q.qid));
         }
 
         // Never execute over storage already known to be tampered.
@@ -119,7 +127,8 @@ impl QueryPortal {
         }
 
         // 2. Execute inside the enclave (one ECall for the whole query —
-        //    the engine and storage primitives are colocated, §3.3).
+        //    the engine and storage primitives are colocated, §3.3). An
+        //    error here propagates with the qid still unspent.
         let result = self
             .enclave
             .ecall(|| self.engine.execute_with(&q.sql, &self.options))?;
@@ -130,7 +139,14 @@ impl QueryPortal {
             return Err(alarm);
         }
 
-        // 4. Endorse with the next sequence number.
+        // 4. Commit the qid now that a result will be endorsed. A
+        //    concurrent duplicate submission of the same qid races here;
+        //    exactly one wins the insert, the other is a replay.
+        if !self.seen_qids.lock().insert(q.qid) {
+            return Err(self.reject_replay(q.qid));
+        }
+
+        // 5. Endorse with the next sequence number.
         let sequence = self.enclave.next_timestamp();
         let digest = result_digest(&result);
         let mac = self
@@ -142,6 +158,13 @@ impl QueryPortal {
             result,
             mac,
         })
+    }
+
+    fn reject_replay(&self, qid: u64) -> Error {
+        if let Some(m) = self.mem.metrics() {
+            m.replays_rejected.inc();
+        }
+        Error::ReplayDetected { qid }
     }
 
     /// Run a full verification pass and report (used before endorsing
@@ -158,8 +181,10 @@ impl QueryPortal {
 
 impl std::fmt::Debug for QueryPortal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let seen = self.seen_qids.lock();
         f.debug_struct("QueryPortal")
-            .field("seen_qids", &self.seen_qids.lock().len())
+            .field("replay_watermark", &seen.watermark())
+            .field("tracked_qids", &seen.tracked())
             .finish_non_exhaustive()
     }
 }

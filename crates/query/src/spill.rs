@@ -19,6 +19,7 @@
 //! RS/WS digests balanced.
 
 use std::sync::Arc;
+use veridb_common::obs::Metrics;
 use veridb_common::{Error, Result, Row};
 use veridb_wrcm::{CellAddr, VerifiedMemory};
 
@@ -29,12 +30,15 @@ pub struct ExecContext {
     pub mem: Option<Arc<VerifiedMemory>>,
     /// Spill once an operator's buffered bytes exceed this many bytes.
     pub spill_threshold: Option<usize>,
+    /// `veridb-obs` registry for executor metrics (`None` = unmetered).
+    pub metrics: Option<Arc<Metrics>>,
 }
 
 impl ExecContext {
     /// A context that spills to `mem` beyond `threshold` bytes.
     pub fn with_spill(mem: Arc<VerifiedMemory>, threshold: usize) -> Self {
         ExecContext {
+            metrics: mem.metrics().cloned(),
             mem: Some(mem),
             spill_threshold: Some(threshold),
         }
@@ -95,6 +99,12 @@ impl SpilledRows {
         }
         let mem = self.ctx.mem.as_ref().expect("checked by should_spill");
         let bytes = row.encode_to_vec();
+        if let Some(m) = &self.ctx.metrics {
+            if self.spilled.is_empty() {
+                m.spill_events.inc();
+            }
+            m.spill_bytes.add(bytes.len() as u64);
+        }
         // Try the most recent scratch page, then a fresh one.
         if let Some(&pid) = self.pages.last() {
             match mem.insert_in(pid, &bytes) {
@@ -148,6 +158,13 @@ impl Drop for SpilledRows {
         if let Some(mem) = &self.ctx.mem {
             for addr in self.spilled.drain(..) {
                 let _ = mem.delete(addr);
+            }
+            // Hand the now-empty scratch pages back to the free list so
+            // repeated spilling queries reuse them instead of growing
+            // `page_count()` forever. A page whose deletes failed above
+            // (poisoned memory) still has live cells and is left alone.
+            for pid in self.pages.drain(..) {
+                let _ = mem.release_page(pid);
             }
         }
     }
@@ -238,6 +255,35 @@ mod tests {
         );
         // Suppress the drop-path deletes against poisoned memory.
         std::mem::forget(b);
+    }
+
+    #[test]
+    fn repeated_spilling_buffers_reuse_scratch_pages() {
+        let mem = memory();
+        let mut counts = Vec::new();
+        for round in 0..6 {
+            let ctx = ExecContext::with_spill(Arc::clone(&mem), 128);
+            let mut b = SpilledRows::new(ctx);
+            for i in 0..300 {
+                b.push(row(i)).unwrap();
+            }
+            assert!(b.spilled_rows() > 0, "round {round} must spill");
+            drop(b); // deletes cells AND releases scratch pages
+            counts.push(mem.page_count());
+        }
+        // The first round allocates the scratch pages; every later round
+        // must reuse them — page_count stays flat.
+        assert!(
+            counts.windows(2).all(|w| w[1] == w[0]),
+            "page_count must not grow across repeated spilling buffers: {counts:?}"
+        );
+        assert!(mem.free_page_count() > 0);
+        // And digests stay balanced throughout.
+        mem.verify_now().unwrap();
+        let snap = mem.enclave().metrics_snapshot();
+        assert!(snap.spill_events >= 6);
+        assert!(snap.spill_bytes > 0);
+        assert!(snap.pages_reused > 0);
     }
 
     #[test]

@@ -27,8 +27,9 @@ use crate::table::Table;
 use std::collections::VecDeque;
 use std::ops::Bound;
 use std::sync::Arc;
+use veridb_common::obs::Metrics;
 use veridb_common::{Error, Result, Row, Value};
-use veridb_wrcm::{CellAddr, ReadBatch, SlotId};
+use veridb_wrcm::{ReadBatch, SlotId};
 
 /// How many `(key, addr)` bindings the cursor prefetches from the
 /// untrusted index per batched round.
@@ -81,6 +82,10 @@ impl VerifiedScan {
     /// Number of rounds served by the batched fast path (diagnostics).
     pub fn batched_rounds(&self) -> u64 {
         self.batched_rounds
+    }
+
+    fn met(&self) -> Option<&Metrics> {
+        self.table.memory().metrics().map(|m| m.as_ref())
     }
 
     /// Collect all remaining rows, failing on the first alarm.
@@ -137,9 +142,15 @@ impl VerifiedScan {
     /// Resolve a chain key to its record via the untrusted index, with
     /// verification and benign-race retries.
     fn resolve(&mut self, key: &ChainKey) -> Result<StoredRecord> {
+        if let Some(m) = self.met() {
+            m.scan_fallback_rounds.inc();
+        }
         let mut last_err = None;
         for attempt in 0..4 {
             if attempt > 0 {
+                if let Some(m) = self.met() {
+                    m.scan_benign_retries.inc();
+                }
                 std::thread::yield_now();
             }
             let Some(addr) = self.table.index(self.chain).find_exact(key) else {
@@ -181,6 +192,9 @@ impl VerifiedScan {
         let mut last_err = None;
         for attempt in 0..4 {
             if attempt > 0 {
+                if let Some(m) = self.met() {
+                    m.scan_benign_retries.inc();
+                }
                 std::thread::yield_now();
             }
             let Some(addr) = self.table.index(self.chain).find_floor(&q) else {
@@ -278,13 +292,15 @@ impl VerifiedScan {
                 match self.scratch.get(p) {
                     Some((got, bytes)) if got == slot => {
                         p += 1;
-                        let rec = StoredRecord::decode(bytes).map_err(|e| {
-                            Error::TamperDetected(format!(
-                                "malformed record at {}: {e}",
-                                CellAddr { page: *page, slot }
-                            ))
-                        })?;
-                        recs[i] = Some(rec);
+                        // A decode failure here is indistinguishable from a
+                        // concurrent splice reusing the slot mid-batch, so
+                        // it must NOT alarm: leave the candidate None — the
+                        // chain walk below truncates the verified prefix at
+                        // it and the per-record path retries (and raises
+                        // the alarm itself if the damage persists).
+                        if let Ok(rec) = StoredRecord::decode(bytes) {
+                            recs[i] = Some(rec);
+                        }
                     }
                     _ => {} // dead slot: leave None for the fallback
                 }
@@ -318,6 +334,9 @@ impl VerifiedScan {
         }
         if verified > 0 {
             self.batched_rounds += 1;
+            if let Some(m) = self.met() {
+                m.scan_batched_rounds.inc();
+            }
         }
         Ok(())
     }

@@ -26,6 +26,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use veridb_common::obs::Metrics;
 use veridb_common::{Error, Result, VeriDbConfig};
 use veridb_enclave::Enclave;
 
@@ -72,6 +73,9 @@ pub struct MemConfig {
     pub compact_during_verification: bool,
     /// PRF backend.
     pub prf: veridb_common::PrfBackend,
+    /// Update the `veridb-obs` metric registry on protected operations.
+    /// Off = the hot path pays only this branch.
+    pub metrics: bool,
 }
 
 impl MemConfig {
@@ -86,6 +90,7 @@ impl MemConfig {
             track_touched_pages: cfg.track_touched_pages,
             compact_during_verification: cfg.compact_during_verification,
             prf: cfg.prf,
+            metrics: cfg.metrics,
         }
     }
 }
@@ -166,6 +171,14 @@ pub struct VerifiedMemory {
     /// Untrusted memory: the pages themselves.
     pages: RwLock<HashMap<u64, Arc<Mutex<RawPage>>>>,
     next_page_id: AtomicU64,
+    /// Ids of released (empty) pages available for reuse. Pages stay
+    /// registered — deregistering would strand their enclave metadata and
+    /// tombstone digests — they are simply handed out again by
+    /// [`Self::allocate_page`] before fresh ids are minted.
+    free_pages: Mutex<Vec<u64>>,
+    /// `veridb-obs` registry (shared with the enclave); `None` when the
+    /// config turns metrics off, so the hot path pays a single branch.
+    metrics: Option<Arc<Metrics>>,
     /// Operation counter driving the background-verifier cadence.
     ops: AtomicU64,
     /// Tick channel to the background verifier, if one is attached.
@@ -192,6 +205,7 @@ impl VerifiedMemory {
             .map(|_| Mutex::new(PartitionState::new()))
             .collect();
         let scan_locks = (0..nparts).map(|_| Mutex::new(())).collect();
+        let metrics = cfg.metrics.then(|| Arc::clone(enclave.metrics()));
         Arc::new(VerifiedMemory {
             enclave,
             cfg,
@@ -199,6 +213,8 @@ impl VerifiedMemory {
             parts,
             pages: RwLock::new(HashMap::new()),
             next_page_id: AtomicU64::new(1),
+            free_pages: Mutex::new(Vec::new()),
+            metrics,
             ops: AtomicU64::new(0),
             ticker: RwLock::new(None),
             scan_cursor: Mutex::new(0),
@@ -240,6 +256,34 @@ impl VerifiedMemory {
     /// The first verification failure observed, if any.
     pub fn poisoned(&self) -> Option<Error> {
         self.poisoned.lock().clone()
+    }
+
+    /// The `veridb-obs` registry this memory updates, if metrics are on.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Live verification lag: `(epoch, ops_since_last_close)` for each
+    /// partition. One partition-lock acquisition each — a diagnostics
+    /// call, not a hot-path one.
+    pub fn verification_lag(&self) -> Vec<(u64, u64)> {
+        self.parts
+            .iter()
+            .map(|p| {
+                let part = p.lock();
+                (part.epoch, part.ops_since_close)
+            })
+            .collect()
+    }
+
+    /// Pages currently parked on the free list.
+    pub fn free_page_count(&self) -> usize {
+        self.free_pages.lock().len()
+    }
+
+    #[inline]
+    fn met(&self) -> Option<&Metrics> {
+        self.metrics.as_deref()
     }
 
     /// Attach the tick channel of a background verifier.
@@ -288,8 +332,18 @@ impl VerifiedMemory {
     // ---- page lifecycle ---------------------------------------------------
 
     /// Register a fresh, empty page (the storage layer's `Register`
-    /// interface, §4.2). Returns its id.
+    /// interface, §4.2), or hand back a previously released one. Returns
+    /// its id.
     pub fn allocate_page(&self) -> u64 {
+        if let Some(id) = self.free_pages.lock().pop() {
+            // A released page is empty but still registered (its enclave
+            // metadata and tombstone digests stay live), so reuse is just
+            // handing the id back out.
+            if let Some(m) = self.met() {
+                m.pages_reused.inc();
+            }
+            return id;
+        }
         let id = self.next_page_id.fetch_add(1, Ordering::Relaxed);
         let page = RawPage::new(id, self.cfg.page_size);
         self.pages.write().insert(id, Arc::new(Mutex::new(page)));
@@ -303,7 +357,40 @@ impl VerifiedMemory {
             let epoch = part.epoch;
             part.pages.insert(id, PageMeta::new(epoch, epc));
         }
+        if let Some(m) = self.met() {
+            m.pages_allocated.inc();
+        }
         id
+    }
+
+    /// Return an **empty** page to the free list so a later
+    /// [`Self::allocate_page`] reuses it instead of minting a new id.
+    /// Scratch-page consumers (e.g. spill buffers) call this after
+    /// deleting their cells; without it, every spilling query would grow
+    /// [`Self::page_count`] forever.
+    ///
+    /// The page stays registered and keeps participating in verification
+    /// scans — deregistering would strand its outstanding tombstone
+    /// digests and unbalance the metadata sets. Fails with
+    /// `InvalidArgument` if live cells remain; releasing an already-free
+    /// page is a no-op.
+    pub fn release_page(&self, page_id: u64) -> Result<()> {
+        let page_arc = self.get_page(page_id)?;
+        let page = page_arc.lock();
+        if page.iter_live().next().is_some() {
+            return Err(Error::InvalidArgument(format!(
+                "release_page({page_id}): page has live cells"
+            )));
+        }
+        drop(page);
+        let mut free = self.free_pages.lock();
+        if !free.contains(&page_id) {
+            free.push(page_id);
+            if let Some(m) = self.met() {
+                m.pages_released.inc();
+            }
+        }
+        Ok(())
     }
 
     /// Free-space hint for allocation decisions (untrusted metadata; an
@@ -328,6 +415,9 @@ impl VerifiedMemory {
             let (data, _) = page.read(addr.slot)?;
             let out = data.to_vec();
             drop(page);
+            if let Some(m) = self.met() {
+                m.protected_reads.inc();
+            }
             self.op_tick();
             return Ok(out);
         }
@@ -381,9 +471,14 @@ impl VerifiedMemory {
             let pair = part.pair_for(se);
             pair.rs.fold(&rs_tag);
             pair.ws.fold(&ws_tag);
+            part.ops_since_close += 1;
         }
         self.enclave.cost().charge_prf(2);
         self.enclave.cost().charge_verified_read();
+        if let Some(m) = self.met() {
+            m.protected_reads.inc();
+            m.singleton_elements.inc();
+        }
         drop(page);
         self.op_tick();
         Ok(data)
@@ -398,6 +493,9 @@ impl VerifiedMemory {
         if !self.cfg.verify_rsws {
             page.write(addr.slot, data, ts_new)?;
             drop(page);
+            if let Some(m) = self.met() {
+                m.protected_writes.inc();
+            }
             self.op_tick();
             return Ok(());
         }
@@ -447,9 +545,14 @@ impl VerifiedMemory {
             let pair = part.pair_for(se);
             pair.rs.fold(&rs_tag);
             pair.ws.fold(&ws_tag);
+            part.ops_since_close += 1;
         }
         self.enclave.cost().charge_prf(2);
         self.enclave.cost().charge_verified_write();
+        if let Some(m) = self.met() {
+            m.protected_writes.inc();
+            m.singleton_elements.inc();
+        }
         drop(page);
         self.op_tick();
         Ok(())
@@ -479,6 +582,9 @@ impl VerifiedMemory {
 
         if !self.cfg.verify_rsws {
             drop(page);
+            if let Some(m) = self.met() {
+                m.protected_inserts.inc();
+            }
             self.op_tick();
             return Ok(addr);
         }
@@ -522,9 +628,13 @@ impl VerifiedMemory {
             }
             let pair = part.pair_for(se);
             pair.ws.fold(&ws_tag);
+            part.ops_since_close += 1;
         }
         self.enclave.cost().charge_prf(1);
         self.enclave.cost().charge_verified_write();
+        if let Some(m) = self.met() {
+            m.protected_inserts.inc();
+        }
         drop(page);
         self.op_tick();
         Ok(addr)
@@ -541,6 +651,9 @@ impl VerifiedMemory {
         if !self.cfg.verify_rsws {
             page.delete(addr.slot)?;
             drop(page);
+            if let Some(m) = self.met() {
+                m.protected_deletes.inc();
+            }
             self.op_tick();
             return Ok(());
         }
@@ -585,9 +698,14 @@ impl VerifiedMemory {
             }
             let pair = part.pair_for(se);
             pair.rs.fold(&rs_tag);
+            part.ops_since_close += 1;
         }
         self.enclave.cost().charge_prf(1);
         self.enclave.cost().charge_verified_write();
+        if let Some(m) = self.met() {
+            m.protected_deletes.inc();
+            m.singleton_elements.inc();
+        }
 
         if !self.cfg.compact_during_verification && page.needs_compaction() {
             // Eager space reclamation: every surviving record is read and
@@ -642,6 +760,9 @@ impl VerifiedMemory {
         src.delete(from.slot)?;
 
         if !self.cfg.verify_rsws {
+            if let Some(m) = self.met() {
+                m.protected_moves.inc();
+            }
             self.op_tick();
             return Ok(to);
         }
@@ -696,6 +817,7 @@ impl VerifiedMemory {
                 mp.ws.fold(mws);
             }
             part.pair_for(se).rs.fold(&src_rs);
+            part.ops_since_close += 1;
         }
         // Destination-side folds (produce the new cell).
         {
@@ -716,9 +838,14 @@ impl VerifiedMemory {
                 mp.ws.fold(mws);
             }
             part.pair_for(se).ws.fold(&dst_ws);
+            part.ops_since_close += 1;
         }
         self.enclave.cost().charge_prf(2);
         self.enclave.cost().charge_verified_write();
+        if let Some(m) = self.met() {
+            m.protected_moves.inc();
+            m.singleton_elements.inc();
+        }
         self.op_tick();
         Ok(to)
     }
@@ -777,6 +904,10 @@ impl VerifiedMemory {
         let Some(group) = page.take_group_of(slot) else {
             return Ok(0);
         };
+        if let Some(m) = self.met() {
+            m.groups_dissolved.inc();
+            m.group_elements.inc();
+        }
         let mut scratch = Vec::new();
         rs_acc.fold(&self.group_tag_from_page(
             page,
@@ -871,6 +1002,9 @@ impl VerifiedMemory {
                 }
             }
             drop(page);
+            if let Some(m) = self.met() {
+                m.batched_read_cells.add(out.len() as u64);
+            }
             self.op_tick_n(slots.len() as u64);
             return Ok(());
         }
@@ -923,6 +1057,9 @@ impl VerifiedMemory {
                 &mut scratch,
             )?);
             prf_count += 1;
+            if let Some(m) = self.met() {
+                m.group_elements.inc();
+            }
             let outside: Vec<SlotId> = group
                 .slots
                 .iter()
@@ -930,6 +1067,11 @@ impl VerifiedMemory {
                 .filter(|s| req.binary_search(s).is_err())
                 .collect();
             if !outside.is_empty() {
+                // The group straddled the request boundary: it dissolves,
+                // its outside members restored as singletons.
+                if let Some(m) = self.met() {
+                    m.groups_dissolved.inc();
+                }
                 let ts_base = self.enclave.next_timestamp_block(outside.len() as u64);
                 for (i, &s) in outside.iter().enumerate() {
                     let ts_new = ts_base + i as u64;
@@ -949,6 +1091,7 @@ impl VerifiedMemory {
             via_group.extend(group.slots.iter().filter(|s| req.binary_search(s).is_ok()));
         }
         via_group.sort_unstable();
+        let mut singleton_folds = 0u64;
         for (i, (slot, data)) in out.iter().enumerate() {
             if via_group.binary_search(&slot).is_ok() {
                 continue;
@@ -960,6 +1103,7 @@ impl VerifiedMemory {
             .proto();
             rs_acc.fold(&self.prf.tag(addr, KIND_DATA, data, old_ts[i]));
             prf_count += 1;
+            singleton_folds += 1;
         }
         let mut meta_acc = None;
         if self.cfg.verify_metadata {
@@ -1012,9 +1156,15 @@ impl VerifiedMemory {
             let pair = part.pair_for(se);
             pair.rs.fold(&rs_acc);
             pair.ws.fold(&ws_acc);
+            part.ops_since_close += n;
         }
         self.enclave.cost().charge_prf(prf_count);
         self.enclave.cost().charge_verified_reads(n);
+        if let Some(m) = self.met() {
+            m.batched_read_cells.add(n);
+            m.singleton_elements.add(singleton_folds);
+            m.groups_formed.inc();
+        }
         drop(page);
         self.op_tick_n(slots.len() as u64);
         Ok(())
@@ -1040,6 +1190,9 @@ impl VerifiedMemory {
                 page.write(slot, data, ts_base + i as u64)?;
             }
             drop(page);
+            if let Some(m) = self.met() {
+                m.batched_write_cells.add(n);
+            }
             self.op_tick_n(n);
             return Ok(());
         }
@@ -1113,6 +1266,7 @@ impl VerifiedMemory {
             let pair = part.pair_for(se);
             pair.rs.fold(&rs_acc);
             pair.ws.fold(&ws_acc);
+            part.ops_since_close += applied;
         }
         let charged = degroup_prfs
             + if self.cfg.verify_metadata {
@@ -1122,6 +1276,10 @@ impl VerifiedMemory {
             };
         self.enclave.cost().charge_prf(charged);
         self.enclave.cost().charge_verified_writes(applied);
+        if let Some(m) = self.met() {
+            m.batched_write_cells.add(applied);
+            m.singleton_elements.add(applied);
+        }
         drop(page);
         self.op_tick_n(applied.max(1));
         match failure {
@@ -1235,6 +1393,9 @@ impl VerifiedMemory {
         let mut p = self.poisoned.lock();
         if p.is_none() {
             *p = Some(e.clone());
+            if let Some(m) = self.met() {
+                m.poison_events.inc();
+            }
         }
     }
 
@@ -1347,6 +1508,7 @@ impl VerifiedMemory {
             return Ok(false);
         }
         let epoch = part.epoch;
+        let lag = part.ops_since_close;
         if !part.close_epoch() {
             drop(part);
             let e = Error::VerificationFailed {
@@ -1356,6 +1518,16 @@ impl VerifiedMemory {
             self.record_failure(&e);
             return Err(e);
         }
+        drop(part);
+        if let Some(m) = self.met() {
+            m.epoch_closes.inc();
+            // Idle partitions close with zero accumulated ops constantly;
+            // sampling only busy closes keeps the lag distribution about
+            // actual verification debt.
+            if lag > 0 {
+                m.verification_lag_ops.record(lag);
+            }
+        }
         Ok(true)
     }
 
@@ -1364,6 +1536,17 @@ impl VerifiedMemory {
     /// processed. Safe to call from multiple verifier threads (§3.3's
     /// "multiple verifiers"); work distribution is round-robin.
     pub fn scan_step(&self) -> Result<bool> {
+        // Only time the step when someone will read the number.
+        let t0 = self.met().map(|_| std::time::Instant::now());
+        let result = self.scan_step_inner();
+        if let (Some(m), Some(t0)) = (self.met(), t0) {
+            m.scan_steps.inc();
+            m.scan_step_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn scan_step_inner(&self) -> Result<bool> {
         let pi = {
             let mut cursor = self.scan_cursor.lock();
             let pi = *cursor;
@@ -1495,6 +1678,7 @@ mod tests {
             track_touched_pages: true,
             compact_during_verification: true,
             prf: PrfBackend::HmacSha256,
+            metrics: true,
         }
     }
 
@@ -1527,6 +1711,67 @@ mod tests {
             m.read(b).unwrap();
             m.verify_now().unwrap();
         }
+    }
+
+    #[test]
+    fn released_pages_are_reused_not_reminted() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"scratch").unwrap();
+
+        // A page with live cells refuses to be released.
+        assert!(matches!(m.release_page(p), Err(Error::InvalidArgument(_))));
+
+        m.delete(a).unwrap();
+        m.release_page(p).unwrap();
+        m.release_page(p).unwrap(); // double release is a no-op
+        assert_eq!(m.free_page_count(), 1);
+        let before = m.page_count();
+
+        // The next allocation hands the same id back out and the page is
+        // fully usable again.
+        let p2 = m.allocate_page();
+        assert_eq!(p2, p);
+        assert_eq!(m.page_count(), before);
+        assert_eq!(m.free_page_count(), 0);
+        let b = m.insert_in(p2, b"recycled").unwrap();
+        assert_eq!(m.read(b).unwrap(), b"recycled");
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn verification_lag_accumulates_and_resets_on_close() {
+        let m = mem();
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"x").unwrap();
+        for _ in 0..5 {
+            m.read(a).unwrap();
+        }
+        let lag_before: u64 = m.verification_lag().iter().map(|&(_, ops)| ops).sum();
+        assert!(lag_before >= 6); // insert + 5 reads
+        m.verify_now().unwrap();
+        let lag_after: u64 = m.verification_lag().iter().map(|&(_, ops)| ops).sum();
+        assert_eq!(lag_after, 0);
+        let snap = m.enclave().metrics_snapshot();
+        assert!(snap.epoch_closes >= 1);
+        assert!(snap.verification_lag_ops.sum >= lag_before);
+        assert!(snap.protected_reads >= 5);
+        assert!(snap.protected_inserts >= 1);
+    }
+
+    #[test]
+    fn metrics_switch_off_leaves_registry_untouched() {
+        let m = mem_with(|c| c.metrics = false);
+        assert!(m.metrics().is_none());
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"quiet").unwrap();
+        m.read(a).unwrap();
+        m.verify_now().unwrap();
+        let snap = m.enclave().metrics_snapshot();
+        assert_eq!(snap.protected_reads, 0);
+        assert_eq!(snap.epoch_closes, 0);
+        // The always-on cost substrate still reports through the merge.
+        assert!(snap.prf_evals > 0);
     }
 
     #[test]
@@ -2165,6 +2410,7 @@ mod proptests {
                 track_touched_pages: true,
                 compact_during_verification: true,
                 prf: PrfBackend::SipHash,
+                metrics: true,
             });
             let mut pages = vec![m.allocate_page()];
             let mut model: Vec<(CellAddr, Vec<u8>)> = Vec::new();

@@ -90,6 +90,10 @@ pub struct PartitionState {
     pub meta_next: RswsPair,
     /// Per-page enclave metadata for the pages of this partition.
     pub pages: HashMap<u64, PageMeta>,
+    /// Protected operations folded into this partition since its last
+    /// epoch close — the "verification lag" the observability layer
+    /// samples when the epoch closes. Reset by [`Self::close_epoch`].
+    pub ops_since_close: u64,
 }
 
 impl PartitionState {
@@ -102,6 +106,7 @@ impl PartitionState {
             meta_cur: RswsPair::default(),
             meta_next: RswsPair::default(),
             pages: HashMap::new(),
+            ops_since_close: 0,
         }
     }
 
@@ -141,6 +146,7 @@ impl PartitionState {
         self.meta_cur = self.meta_next;
         self.meta_next.clear();
         self.epoch += 1;
+        self.ops_since_close = 0;
         ok
     }
 }
@@ -184,10 +190,12 @@ mod tests {
         s.cur.rs.fold(&d(3));
         s.cur.ws.fold(&d(3));
         s.next.ws.fold(&d(4));
+        s.ops_since_close = 42;
         assert!(s.close_epoch());
         assert_eq!(s.epoch, 1);
         assert_eq!(s.cur.ws, d(4));
         assert!(s.next.ws.is_zero());
+        assert_eq!(s.ops_since_close, 0);
     }
 
     #[test]

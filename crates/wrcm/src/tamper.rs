@@ -122,6 +122,7 @@ mod tests {
                 track_touched_pages: true,
                 compact_during_verification: true,
                 prf: PrfBackend::HmacSha256,
+                metrics: true,
             },
         )
     }

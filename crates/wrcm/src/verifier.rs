@@ -125,6 +125,7 @@ mod tests {
                 track_touched_pages: true,
                 compact_during_verification: true,
                 prf: PrfBackend::SipHash,
+                metrics: true,
             },
         )
     }
@@ -207,6 +208,7 @@ mod pool_tests {
                 track_touched_pages: true,
                 compact_during_verification: true,
                 prf: PrfBackend::SipHash,
+                metrics: true,
             },
         )
     }
