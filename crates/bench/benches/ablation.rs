@@ -245,6 +245,7 @@ fn spill_ablation() {
     }
     let opts = PlanOptions {
         prefer_join: PreferredJoin::NestedLoop,
+        ..Default::default()
     };
     let sql = "SELECT COUNT(*) FROM l, r WHERE l.k = r.k";
     let mut t = FigureTable::new(
@@ -293,6 +294,7 @@ fn obs_overhead_ablation() {
                 compact_during_verification: true,
                 prf: PrfBackend::HmacSha256,
                 metrics,
+                workers: 1,
             },
         )
     };

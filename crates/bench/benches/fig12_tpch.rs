@@ -88,9 +88,11 @@ fn main() {
     let auto = PlanOptions::default();
     let merge = PlanOptions {
         prefer_join: PreferredJoin::Merge,
+        ..Default::default()
     };
     let nlj = PlanOptions {
         prefer_join: PreferredJoin::NestedLoop,
+        ..Default::default()
     };
 
     let cases: Vec<(&str, &str, PlanOptions, Vec<&str>)> = vec![

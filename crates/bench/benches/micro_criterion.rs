@@ -35,6 +35,7 @@ fn memory(verify: bool, prf: PrfBackend, compact_lazy: bool) -> Arc<VerifiedMemo
             compact_during_verification: compact_lazy,
             prf,
             metrics: cfg.metrics,
+            workers: 1,
         },
     )
 }

@@ -25,22 +25,56 @@ use std::time::Instant;
 use veridb::{MetricsSnapshot, PlanOptions, VeriDb, VeriDbConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    // Global flags (taken anywhere on the command line); the rest are
+    // positional arguments.
+    let mut workers: Option<usize> = None;
+    let mut verify_threads: Option<usize> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--workers=") {
+            workers = v.parse().ok();
+        } else if let Some(v) = a.strip_prefix("--verify-threads=") {
+            verify_threads = v.parse().ok();
+        } else {
+            match a.as_str() {
+                "--workers" => workers = it.next().and_then(|s| s.parse().ok()),
+                "--verify-threads" => verify_threads = it.next().and_then(|s| s.parse().ok()),
+                _ => positional.push(a),
+            }
+        }
+    }
+    let mut config = VeriDbConfig::default();
+    if let Some(w) = workers {
+        config.workers = w.clamp(1, 64);
+    }
+    // Unless overridden, synchronous verification uses the same pool size
+    // as query execution (the MemConfig knob); `--verify-threads` decouples
+    // the two.
+    let verify_threads = verify_threads.unwrap_or(config.workers).max(1);
+    match positional.first().map(String::as_str) {
         Some("stats") => {
-            let rows = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
-            std::process::exit(cmd_stats(rows));
+            let rows = positional
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2_000);
+            std::process::exit(cmd_stats(rows, config, verify_threads));
         }
         Some("help" | "--help" | "-h") => {
             println!(
-                "usage: veridb              interactive SQL shell\n\
-                 \x20      veridb stats [rows] run a TPC-H-style workload and print metrics"
+                "usage: veridb [flags]              interactive SQL shell\n\
+                 \x20      veridb [flags] stats [rows] run a TPC-H-style workload and print metrics\n\
+                 flags:\n\
+                 \x20 --workers <n>         worker threads for parallel query execution\n\
+                 \x20                       (default: $VERIDB_WORKERS or 1)\n\
+                 \x20 --verify-threads <n>  concurrent verifiers for .verify / stats\n\
+                 \x20                       (default: same as --workers)"
             );
             return;
         }
         _ => {}
     }
-    let db = match VeriDb::open(VeriDbConfig::default()) {
+    let db = match VeriDb::open(config) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("failed to open database: {e}");
@@ -48,10 +82,11 @@ fn main() {
         }
     };
     println!(
-        "VeriDB shell — {} RSWS partitions, verifier every {:?} ops.\n\
+        "VeriDB shell — {} RSWS partitions, verifier every {:?} ops, {} worker(s).\n\
          Type SQL, or .help for meta commands.",
         db.config().rsws_partitions,
-        db.config().verify_every_ops
+        db.config().verify_every_ops,
+        db.config().workers
     );
 
     let stdin = std::io::stdin();
@@ -78,7 +113,7 @@ fn main() {
             continue;
         }
         if buffer.is_empty() && line.starts_with('.') {
-            if !meta_command(&db, line, &mut timing) {
+            if !meta_command(&db, line, &mut timing, verify_threads) {
                 break;
             }
             continue;
@@ -100,8 +135,8 @@ fn main() {
 
 /// `veridb stats [rows]`: load TPC-H tables, run the paper's query mix
 /// (Q1, Q3, Q6, Q19), verify, and print the metrics snapshot.
-fn cmd_stats(rows: usize) -> i32 {
-    let db = match VeriDb::open(VeriDbConfig::default()) {
+fn cmd_stats(rows: usize, config: VeriDbConfig, verify_threads: usize) -> i32 {
+    let db = match VeriDb::open(config) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("failed to open database: {e}");
@@ -140,7 +175,7 @@ fn cmd_stats(rows: usize) -> i32 {
             }
         }
     }
-    if let Err(e) = db.verify_now() {
+    if let Err(e) = db.verify_now_parallel(verify_threads) {
         eprintln!("SECURITY ALARM: {e}");
         return 1;
     }
@@ -184,7 +219,7 @@ fn run_sql(db: &VeriDb, sql: &str, timing: bool) {
 }
 
 /// Handle a `.meta` command; returns false to exit the shell.
-fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
+fn meta_command(db: &VeriDb, line: &str, timing: &mut bool, verify_threads: usize) -> bool {
     let mut parts = line.split_whitespace();
     match parts.next().unwrap_or("") {
         ".quit" | ".exit" | ".q" => return false,
@@ -195,6 +230,7 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
                  \x20 .schema <table>    show a table's columns and chains\n\
                  \x20 .explain <sql>     show the physical plan\n\
                  \x20 .verify            run a full verification pass\n\
+                 \x20                    (--verify-threads concurrent verifiers)\n\
                  \x20 .costs             simulated SGX cost counters\n\
                  \x20 .stats             veridb-obs metrics snapshot (all layers)\n\
                  \x20 .timing on|off     toggle query timing\n\
@@ -236,9 +272,10 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool) -> bool {
         }
         ".verify" => {
             let start = Instant::now();
-            match db.verify_now() {
+            match db.verify_now_parallel(verify_threads) {
                 Ok(report) => println!(
-                    "verification PASSED: {} pages processed ({} re-read) in {:.3} ms",
+                    "verification PASSED: {} pages processed ({} re-read) \
+                     by {verify_threads} verifier(s) in {:.3} ms",
                     report.pages_processed,
                     report.pages_read,
                     start.elapsed().as_secs_f64() * 1e3

@@ -64,10 +64,26 @@ pub struct VeriDbConfig {
     /// enclave cost-substrate figures.
     #[serde(default = "default_metrics")]
     pub metrics: bool,
+    /// Worker threads for intra-query parallelism (morsel-driven scans,
+    /// joins, aggregation) and for synchronous verification passes.
+    /// `1` disables parallel execution entirely (plans carry no
+    /// Exchange/Gather nodes and are bit-identical to the serial planner's
+    /// output). The default honours the `VERIDB_WORKERS` environment
+    /// variable so test/CI runs can sweep the knob without code changes.
+    #[serde(default = "default_workers")]
+    pub workers: usize,
 }
 
 fn default_metrics() -> bool {
     true
+}
+
+fn default_workers() -> usize {
+    std::env::var("VERIDB_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| (1..=64).contains(&n))
+        .unwrap_or(1)
 }
 
 impl Default for VeriDbConfig {
@@ -84,6 +100,7 @@ impl Default for VeriDbConfig {
             epc_budget: 96 * 1024 * 1024,
             model_sgx_costs: true,
             metrics: true,
+            workers: default_workers(),
         }
     }
 }
@@ -140,6 +157,9 @@ impl VeriDbConfig {
         if !self.verify_rsws && self.verify_metadata {
             return Err(Error::Config("verify_metadata requires verify_rsws".into()));
         }
+        if self.workers == 0 {
+            return Err(Error::Config("workers must be >= 1".into()));
+        }
         Ok(())
     }
 }
@@ -184,6 +204,10 @@ mod tests {
 
         let mut c = VeriDbConfig::baseline();
         c.verify_metadata = true;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.workers = 0;
         assert!(c.validate().is_err());
     }
 }

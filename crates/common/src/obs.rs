@@ -237,10 +237,17 @@ pub enum OperatorKind {
     Limit,
     /// Distinct.
     Distinct,
+    /// Gather: morsel-order merge of a parallel (Exchange) region.
+    Gather,
 }
 
 /// Number of [`OperatorKind`] variants.
-pub const OPERATOR_KINDS: usize = 11;
+pub const OPERATOR_KINDS: usize = 12;
+
+/// Per-worker counters are kept for this many workers; workers beyond the
+/// window fold onto slot `id % MAX_TRACKED_WORKERS` (counts stay exact in
+/// aggregate, only the per-worker attribution coarsens).
+pub const MAX_TRACKED_WORKERS: usize = 8;
 
 impl OperatorKind {
     /// Stable metric label.
@@ -257,6 +264,7 @@ impl OperatorKind {
             OperatorKind::Sort => "sort",
             OperatorKind::Limit => "limit",
             OperatorKind::Distinct => "distinct",
+            OperatorKind::Gather => "gather",
         }
     }
 
@@ -274,6 +282,7 @@ impl OperatorKind {
             OperatorKind::Sort,
             OperatorKind::Limit,
             OperatorKind::Distinct,
+            OperatorKind::Gather,
         ]
     }
 }
@@ -352,6 +361,17 @@ pub struct Metrics {
     pub spill_bytes: Counter,
     /// Queries rejected by the portal's replay filter.
     pub replays_rejected: Counter,
+    // -- query: morsel-driven parallel execution ------------------------
+    /// Parallel regions executed (Gather merges + parallel aggregations
+    /// and hash-join builds).
+    pub parallel_regions: Counter,
+    /// Key-range morsels dispatched to the worker pool.
+    pub morsels_dispatched: Counter,
+    /// Rows produced per worker slot (worker `w` folds onto slot
+    /// `w % MAX_TRACKED_WORKERS`).
+    pub worker_rows: [Counter; MAX_TRACKED_WORKERS],
+    /// Busy wall-clock nanoseconds per worker slot.
+    pub worker_busy_ns: [Counter; MAX_TRACKED_WORKERS],
 }
 
 impl Metrics {
@@ -365,12 +385,31 @@ impl Metrics {
         &self.operator_rows[kind as usize]
     }
 
+    /// The row counter for one parallel worker (folded onto the tracked
+    /// window).
+    pub fn worker_rows(&self, worker: usize) -> &Counter {
+        &self.worker_rows[worker % MAX_TRACKED_WORKERS]
+    }
+
+    /// The busy-time counter for one parallel worker.
+    pub fn worker_busy_ns(&self, worker: usize) -> &Counter {
+        &self.worker_busy_ns[worker % MAX_TRACKED_WORKERS]
+    }
+
     /// Copy every metric. Enclave-substrate fields (`ecalls`,
     /// `prf_evals`, `epc_*`) are zero here; `Enclave::metrics_snapshot`
     /// fills them in.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut operator_rows = [0u64; OPERATOR_KINDS];
         for (o, c) in operator_rows.iter_mut().zip(&self.operator_rows) {
+            *o = c.get();
+        }
+        let mut worker_rows = [0u64; MAX_TRACKED_WORKERS];
+        for (o, c) in worker_rows.iter_mut().zip(&self.worker_rows) {
+            *o = c.get();
+        }
+        let mut worker_busy_ns = [0u64; MAX_TRACKED_WORKERS];
+        for (o, c) in worker_busy_ns.iter_mut().zip(&self.worker_busy_ns) {
             *o = c.get();
         }
         MetricsSnapshot {
@@ -401,6 +440,10 @@ impl Metrics {
             spill_events: self.spill_events.get(),
             spill_bytes: self.spill_bytes.get(),
             replays_rejected: self.replays_rejected.get(),
+            parallel_regions: self.parallel_regions.get(),
+            morsels_dispatched: self.morsels_dispatched.get(),
+            worker_rows,
+            worker_busy_ns,
             prf_evals: 0,
             ecalls: 0,
             epc_swaps: 0,
@@ -441,6 +484,10 @@ pub struct MetricsSnapshot {
     pub spill_events: u64,
     pub spill_bytes: u64,
     pub replays_rejected: u64,
+    pub parallel_regions: u64,
+    pub morsels_dispatched: u64,
+    pub worker_rows: [u64; MAX_TRACKED_WORKERS],
+    pub worker_busy_ns: [u64; MAX_TRACKED_WORKERS],
     /// PRF evaluations (from the enclave cost substrate).
     pub prf_evals: u64,
     /// ECall boundary crossings (from the enclave cost substrate).
@@ -469,6 +516,20 @@ impl MetricsSnapshot {
         for (r, (now, then)) in operator_rows
             .iter_mut()
             .zip(self.operator_rows.iter().zip(&earlier.operator_rows))
+        {
+            *r = now.saturating_sub(*then);
+        }
+        let mut worker_rows = [0u64; MAX_TRACKED_WORKERS];
+        for (r, (now, then)) in worker_rows
+            .iter_mut()
+            .zip(self.worker_rows.iter().zip(&earlier.worker_rows))
+        {
+            *r = now.saturating_sub(*then);
+        }
+        let mut worker_busy_ns = [0u64; MAX_TRACKED_WORKERS];
+        for (r, (now, then)) in worker_busy_ns
+            .iter_mut()
+            .zip(self.worker_busy_ns.iter().zip(&earlier.worker_busy_ns))
         {
             *r = now.saturating_sub(*then);
         }
@@ -526,6 +587,14 @@ impl MetricsSnapshot {
             replays_rejected: self
                 .replays_rejected
                 .saturating_sub(earlier.replays_rejected),
+            parallel_regions: self
+                .parallel_regions
+                .saturating_sub(earlier.parallel_regions),
+            morsels_dispatched: self
+                .morsels_dispatched
+                .saturating_sub(earlier.morsels_dispatched),
+            worker_rows,
+            worker_busy_ns,
             prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
             ecalls: self.ecalls.saturating_sub(earlier.ecalls),
             epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
@@ -577,8 +646,39 @@ impl MetricsSnapshot {
             "query.rows.sort",
             "query.rows.limit",
             "query.rows.distinct",
+            "query.rows.gather",
         ];
         for (name, v) in OPERATOR_ROW_NAMES.iter().zip(self.operator_rows) {
+            out.push((name, v));
+        }
+        const WORKER_ROW_NAMES: [&str; MAX_TRACKED_WORKERS] = [
+            "query.worker0.rows",
+            "query.worker1.rows",
+            "query.worker2.rows",
+            "query.worker3.rows",
+            "query.worker4.rows",
+            "query.worker5.rows",
+            "query.worker6.rows",
+            "query.worker7.rows",
+        ];
+        const WORKER_BUSY_NAMES: [&str; MAX_TRACKED_WORKERS] = [
+            "query.worker0.busy_ns",
+            "query.worker1.busy_ns",
+            "query.worker2.busy_ns",
+            "query.worker3.busy_ns",
+            "query.worker4.busy_ns",
+            "query.worker5.busy_ns",
+            "query.worker6.busy_ns",
+            "query.worker7.busy_ns",
+        ];
+        out.extend([
+            ("query.parallel_regions", self.parallel_regions),
+            ("query.morsels_dispatched", self.morsels_dispatched),
+        ]);
+        for (name, v) in WORKER_ROW_NAMES.iter().zip(self.worker_rows) {
+            out.push((name, v));
+        }
+        for (name, v) in WORKER_BUSY_NAMES.iter().zip(self.worker_busy_ns) {
             out.push((name, v));
         }
         out.extend([

@@ -91,6 +91,7 @@ impl VeriDb {
         let mem = VerifiedMemory::from_config(enclave.clone(), &config);
         let catalog = Arc::new(Catalog::new(Arc::clone(&mem)));
         let engine = Arc::new(QueryEngine::new(catalog));
+        engine.set_workers(config.workers);
         let db = VeriDb {
             enclave,
             mem,
@@ -154,7 +155,16 @@ impl VeriDb {
         QueryPortal::new(Arc::clone(&self.engine), Arc::clone(&self.mem), channel)
     }
 
+    /// Set the worker-pool size for morsel-driven parallel query
+    /// execution (overrides the `workers` value the database was opened
+    /// with; `1` reverts to fully serial plans).
+    pub fn set_workers(&self, workers: usize) {
+        self.engine.set_workers(workers);
+    }
+
     /// Run a full synchronous verification pass over every RSWS partition.
+    /// Uses `config.workers` concurrent verifiers over disjoint partitions
+    /// when it is greater than one.
     pub fn verify_now(&self) -> Result<VerifyReport> {
         self.mem.verify_now()
     }

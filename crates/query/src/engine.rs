@@ -31,6 +31,11 @@ pub enum PreferredJoin {
 pub struct PlanOptions {
     /// Join algorithm preference.
     pub prefer_join: PreferredJoin,
+    /// Worker threads for morsel-driven parallel execution. `0` (the
+    /// default) inherits the engine-level setting
+    /// ([`QueryEngine::set_workers`]); `1` forces a serial plan with no
+    /// Exchange/Gather nodes.
+    pub workers: usize,
 }
 
 /// The outcome of a query.
@@ -89,6 +94,9 @@ pub struct QueryEngine {
     /// When set, materialization points overflow into verified storage
     /// (§5.4) instead of growing enclave-resident buffers.
     spill_threshold: std::sync::atomic::AtomicUsize,
+    /// Default worker-pool size for morsel-driven parallel execution,
+    /// used when [`PlanOptions::workers`] is `0`.
+    workers: std::sync::atomic::AtomicUsize,
 }
 
 impl QueryEngine {
@@ -97,6 +105,7 @@ impl QueryEngine {
         QueryEngine {
             catalog,
             spill_threshold: std::sync::atomic::AtomicUsize::new(0),
+            workers: std::sync::atomic::AtomicUsize::new(1),
         }
     }
 
@@ -107,18 +116,37 @@ impl QueryEngine {
             .store(bytes.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
     }
 
-    fn exec_context(&self) -> crate::spill::ExecContext {
+    /// Set the default worker-pool size for parallel query execution
+    /// (clamped to at least 1). Queries pick this up unless their
+    /// [`PlanOptions::workers`] overrides it.
+    pub fn set_workers(&self, workers: usize) {
+        self.workers
+            .store(workers.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// `opts` with `workers == 0` resolved to the engine default.
+    fn resolve_opts(&self, opts: &PlanOptions) -> PlanOptions {
+        let mut o = *opts;
+        if o.workers == 0 {
+            o.workers = self.workers.load(std::sync::atomic::Ordering::Relaxed);
+        }
+        o
+    }
+
+    fn exec_context(&self, workers: usize) -> crate::spill::ExecContext {
         let t = self
             .spill_threshold
             .load(std::sync::atomic::Ordering::Relaxed);
-        if t == 0 {
+        let mut ctx = if t == 0 {
             crate::spill::ExecContext {
                 metrics: self.catalog.memory().metrics().cloned(),
                 ..Default::default()
             }
         } else {
             crate::spill::ExecContext::with_spill(Arc::clone(self.catalog.memory()), t)
-        }
+        };
+        ctx.workers = workers;
+        ctx
     }
 
     /// The underlying catalog.
@@ -136,6 +164,7 @@ impl QueryEngine {
         if let Some(m) = self.catalog.memory().metrics() {
             m.queries_executed.inc();
         }
+        let opts = &self.resolve_opts(opts);
         match parse(sql)? {
             Statement::CreateTable { name, columns } => {
                 let defs: Vec<ColumnDef> = columns
@@ -219,7 +248,7 @@ impl QueryEngine {
             }
             Statement::Select(stmt) => {
                 let PlannedQuery { plan, columns } = plan_select(&self.catalog, stmt, opts)?;
-                let rows = exec::run_ctx(&plan, &self.exec_context())?;
+                let rows = exec::run_ctx(&plan, &self.exec_context(opts.workers))?;
                 Ok(QueryResult { columns, rows })
             }
             Statement::Explain(stmt) => {
@@ -239,6 +268,7 @@ impl QueryEngine {
 
     /// Render a query's physical plan (EXPLAIN).
     pub fn explain(&self, sql: &str, opts: &PlanOptions) -> Result<String> {
+        let opts = &self.resolve_opts(opts);
         match parse(sql)? {
             Statement::Select(stmt) => Ok(plan_select(&self.catalog, stmt, opts)?.plan.explain()),
             other => Err(Error::Plan(format!("cannot EXPLAIN {other:?}"))),
@@ -268,7 +298,7 @@ impl QueryEngine {
             limit: None,
         };
         let PlannedQuery { plan, .. } = plan_select(&self.catalog, stmt, opts)?;
-        exec::run_ctx(&plan, &self.exec_context())
+        exec::run_ctx(&plan, &self.exec_context(opts.workers))
     }
 }
 

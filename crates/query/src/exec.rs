@@ -122,6 +122,29 @@ pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operat
                 ctx: ctx.clone(),
             }),
         ),
+        // Parallel grouped aggregation: per-morsel partial states merged at
+        // a barrier (see `parallel`), avoiding a row funnel through Gather.
+        PhysicalPlan::Aggregate { input, group, aggs }
+            if matches!(**input, PhysicalPlan::Exchange { .. }) =>
+        {
+            let PhysicalPlan::Exchange {
+                input: region,
+                workers,
+            } = &**input
+            else {
+                unreachable!("guarded by matches! above");
+            };
+            (
+                OperatorKind::Aggregate,
+                Box::new(crate::parallel::ParallelAggregateOp::new(
+                    region,
+                    *workers,
+                    group.clone(),
+                    aggs.clone(),
+                    ctx,
+                )),
+            )
+        }
         PhysicalPlan::Aggregate { input, group, aggs } => (
             OperatorKind::Aggregate,
             Box::new(AggregateOp::new(
@@ -147,6 +170,25 @@ pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operat
                 input: open_ctx(input, ctx)?,
                 seen: std::collections::HashSet::new(),
             }),
+        ),
+        PhysicalPlan::Gather { input } => {
+            let (region, workers) = match &**input {
+                PhysicalPlan::Exchange { input, workers } => (&**input, *workers),
+                // Gather over a non-Exchange input degenerates to a
+                // single-morsel region (defensive; the planner never
+                // emits this shape).
+                other => (other, 1),
+            };
+            (
+                OperatorKind::Gather,
+                Box::new(crate::parallel::GatherOp::new(region, workers, ctx)),
+            )
+        }
+        // A bare Exchange (not consumed by Gather or Aggregate) still
+        // executes correctly: gather its morsels in order.
+        PhysicalPlan::Exchange { input, workers } => (
+            OperatorKind::Gather,
+            Box::new(crate::parallel::GatherOp::new(input, *workers, ctx)),
         ),
     };
     Ok(match &ctx.metrics {
@@ -617,7 +659,7 @@ impl Operator for BlockNlJoinOp {
 
 /// Running state of one aggregate.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     Sum {
         acc: f64,
@@ -634,7 +676,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
@@ -649,7 +691,7 @@ impl AggState {
         }
     }
 
-    fn feed(&mut self, v: Option<Value>) -> Result<()> {
+    pub(crate) fn feed(&mut self, v: Option<Value>) -> Result<()> {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) feeds None→count all; COUNT(e) skips NULLs.
@@ -719,7 +761,72 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    /// Fold another partial state (same aggregate function, disjoint input
+    /// partition) into this one. Callers merge partials in a fixed order
+    /// (morsel-index order), so float accumulation is deterministic for a
+    /// given morsel tiling.
+    pub(crate) fn merge(&mut self, other: AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (
+                AggState::Sum {
+                    acc,
+                    any,
+                    int_only,
+                    int_acc,
+                },
+                AggState::Sum {
+                    acc: o_acc,
+                    any: o_any,
+                    int_only: o_int_only,
+                    int_acc: o_int_acc,
+                },
+            ) => {
+                *acc += o_acc;
+                *any |= o_any;
+                *int_only &= o_int_only;
+                *int_acc = int_acc.wrapping_add(o_int_acc);
+            }
+            (
+                AggState::Avg { sum, count },
+                AggState::Avg {
+                    sum: o_sum,
+                    count: o_count,
+                },
+            ) => {
+                *sum += o_sum;
+                *count += o_count;
+            }
+            (AggState::Min(slot), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    let better = match slot {
+                        None => true,
+                        Some(cur) => cmp_values(&v, cur)? == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        *slot = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(slot), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    let better = match slot {
+                        None => true,
+                        Some(cur) => cmp_values(&v, cur)? == std::cmp::Ordering::Greater,
+                    };
+                    if better {
+                        *slot = Some(v);
+                    }
+                }
+            }
+            // Partials are built from the same aggregate list, so the
+            // variants always line up.
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
             AggState::Sum {
@@ -766,24 +873,44 @@ impl AggregateOp {
     }
 
     fn materialize(&mut self) -> Result<Vec<Row>> {
-        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        while let Some(row) = self.input.next()? {
-            let key: Vec<Value> = self
-                .group
-                .iter()
-                .map(|g| eval(g, &row))
-                .collect::<Result<_>>()?;
-            let states = match groups.get_mut(&key) {
+        let mut partial = GroupedPartial::default();
+        partial.accumulate(self.input.as_mut(), &self.group, &self.aggs)?;
+        partial.finish(&self.group, &self.aggs)
+    }
+}
+
+/// Grouped aggregation state accumulated over one input partition:
+/// per-group running [`AggState`]s plus first-seen group order. The serial
+/// [`AggregateOp`] uses a single instance; the parallel aggregation path
+/// builds one per morsel and merges them in morsel order.
+#[derive(Debug, Default)]
+pub(crate) struct GroupedPartial {
+    /// Group keys in first-seen order (the executor's output order).
+    pub(crate) order: Vec<Vec<Value>>,
+    /// Per-group aggregate states.
+    pub(crate) groups: HashMap<Vec<Value>, Vec<AggState>>,
+}
+
+impl GroupedPartial {
+    /// Drain `input`, folding every row into this partial.
+    pub(crate) fn accumulate(
+        &mut self,
+        input: &mut dyn Operator,
+        group: &[Expr],
+        aggs: &[(AggFunc, Option<Expr>)],
+    ) -> Result<()> {
+        while let Some(row) = input.next()? {
+            let key: Vec<Value> = group.iter().map(|g| eval(g, &row)).collect::<Result<_>>()?;
+            let states = match self.groups.get_mut(&key) {
                 Some(s) => s,
                 None => {
-                    order.push(key.clone());
-                    groups.entry(key.clone()).or_insert_with(|| {
-                        self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect()
-                    })
+                    self.order.push(key.clone());
+                    self.groups
+                        .entry(key.clone())
+                        .or_insert_with(|| aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
                 }
             };
-            for (state, (_, arg)) in states.iter_mut().zip(&self.aggs) {
+            for (state, (_, arg)) in states.iter_mut().zip(aggs) {
                 let v = match arg {
                     Some(e) => Some(eval(e, &row)?),
                     None => None,
@@ -791,10 +918,42 @@ impl AggregateOp {
                 state.feed(v)?;
             }
         }
+        Ok(())
+    }
+
+    /// Fold another partition's partial into this one. Groups first seen
+    /// in `other` are appended after this partial's groups, so merging
+    /// partials in morsel order reproduces the serial first-seen order.
+    pub(crate) fn merge(&mut self, other: GroupedPartial) -> Result<()> {
+        let GroupedPartial { order, mut groups } = other;
+        for key in order {
+            let states = groups.remove(&key).expect("key recorded in order");
+            match self.groups.get_mut(&key) {
+                Some(mine) => {
+                    for (m, s) in mine.iter_mut().zip(states) {
+                        m.merge(s)?;
+                    }
+                }
+                None => {
+                    self.order.push(key.clone());
+                    self.groups.insert(key, states);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the final rows (group key columns then aggregate values).
+    pub(crate) fn finish(
+        self,
+        group: &[Expr],
+        aggs: &[(AggFunc, Option<Expr>)],
+    ) -> Result<Vec<Row>> {
+        let GroupedPartial { order, mut groups } = self;
         // Global aggregation over zero rows still emits one row of
         // identity values (COUNT(*)=0, SUM=NULL, …) per SQL semantics.
-        if order.is_empty() && self.group.is_empty() {
-            let states: Vec<AggState> = self.aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+        if order.is_empty() && group.is_empty() {
+            let states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
             let mut row = Vec::new();
             row.extend(states.into_iter().map(|s| s.finish()));
             return Ok(vec![Row::new(row)]);

@@ -19,6 +19,9 @@
 //!   selection (index search / range scan / seq scan) and join-algorithm
 //!   choice (index nested-loop, merge, hash, block nested-loop).
 //! - [`exec`] — the volcano operators.
+//! - [`parallel`] — morsel-driven parallel execution of Exchange/Gather
+//!   regions: per-worker verified scans over key sub-ranges that tile the
+//!   driving scan, merged back in morsel order.
 //! - [`engine`] — parse→plan→execute entry point.
 //! - [`portal`] — the in-enclave query portal: MAC-authenticated queries,
 //!   qid replay protection, result endorsement, and the rollback-defense
@@ -32,6 +35,7 @@ pub mod engine;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
+pub mod parallel;
 pub mod parser;
 pub mod planner;
 pub mod portal;

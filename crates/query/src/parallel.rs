@@ -1,0 +1,366 @@
+//! Morsel-driven parallel execution of Exchange/Gather regions.
+//!
+//! A parallel region (the subtree under [`PhysicalPlan::Exchange`]) is a
+//! scan-driven pipeline. The driving verified scan's key range is split
+//! into **morsels** — contiguous sub-ranges sampled from the untrusted
+//! index ([`Table::morsel_ranges`]) that tile the original range exactly —
+//! and a fixed pool of worker threads claims morsels from a shared atomic
+//! counter, instantiating the region's operator tree once per morsel.
+//!
+//! Verification is unchanged: each worker's leaf scan is an ordinary
+//! [`VerifiedScan`](veridb_storage::VerifiedScan) over its sub-range, so
+//! conditions 1–3 (§5.2) hold per morsel, and completeness of the whole
+//! range follows from the tiling — the untrusted split points can skew
+//! load balance but never correctness. Workers read through their own
+//! batched cursors against the already-thread-safe wrcm partitions, so
+//! RS/WS accounting stays balanced exactly as in the serial path.
+//!
+//! Determinism: the number of morsels is fixed by [`MORSEL_TARGET`]
+//! (independent of the pool size) and results are merged in morsel-index
+//! order, which equals the serial scan's chain order. Row order is thus
+//! identical to serial execution for any worker count; float aggregates
+//! are bit-identical across worker counts ≥ 2 (partial-sum association is
+//! fixed by the tiling, not by scheduling).
+
+use crate::ast::{AggFunc, Expr};
+use crate::exec::{open_ctx, GroupedPartial, Operator};
+use crate::planner::{AccessPath, PhysicalPlan};
+use crate::spill::ExecContext;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use veridb_common::{Result, Row, Value};
+use veridb_storage::Table;
+
+/// Morsel count a parallel region aims for, independent of the worker
+/// pool size. Keeping the tiling fixed makes results (including float
+/// partial-sum rounding) identical for every pool size, and a few dozen
+/// morsels give enough scheduling slack to absorb skewed ranges.
+pub(crate) const MORSEL_TARGET: usize = 32;
+
+/// The region's driving verified scan: the table plus the chain and key
+/// range that morsels partition.
+type DriverScan<'a> = (&'a Arc<Table>, usize, Bound<Value>, Bound<Value>);
+
+/// Found by walking the partitionable spine (Filter/Project inputs,
+/// IndexNlJoin outer).
+fn driver_scan(plan: &PhysicalPlan) -> Option<DriverScan<'_>> {
+    match plan {
+        PhysicalPlan::TableScan { table, access, .. } => match access {
+            AccessPath::Full => Some((table, 0, Bound::Unbounded, Bound::Unbounded)),
+            AccessPath::Range { chain, lo, hi } => Some((table, *chain, lo.clone(), hi.clone())),
+            AccessPath::Point { .. } => None,
+        },
+        PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+            driver_scan(input)
+        }
+        PhysicalPlan::IndexNlJoin { outer, .. } => driver_scan(outer),
+        _ => None,
+    }
+}
+
+/// `plan` with its driving scan's access path narrowed to `[lo, hi]`.
+/// Only the spine nodes are rebuilt; everything else is cloned.
+fn with_driver_range(plan: &PhysicalPlan, lo: &Bound<Value>, hi: &Bound<Value>) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::TableScan {
+            table,
+            access,
+            residual,
+        } => {
+            let chain = match access {
+                AccessPath::Full => 0,
+                AccessPath::Range { chain, .. } => *chain,
+                // Point drivers are never morselized (driver_scan skips
+                // them), so reaching here means "leave untouched".
+                AccessPath::Point { .. } => return plan.clone(),
+            };
+            PhysicalPlan::TableScan {
+                table: Arc::clone(table),
+                access: AccessPath::Range {
+                    chain,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                },
+                residual: residual.clone(),
+            }
+        }
+        PhysicalPlan::Filter { input, pred } => PhysicalPlan::Filter {
+            input: Box::new(with_driver_range(input, lo, hi)),
+            pred: pred.clone(),
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => PhysicalPlan::Project {
+            input: Box::new(with_driver_range(input, lo, hi)),
+            exprs: exprs.clone(),
+            names: names.clone(),
+        },
+        PhysicalPlan::IndexNlJoin {
+            outer,
+            inner,
+            inner_chain,
+            outer_key,
+            residual,
+        } => PhysicalPlan::IndexNlJoin {
+            outer: Box::new(with_driver_range(outer, lo, hi)),
+            inner: Arc::clone(inner),
+            inner_chain: *inner_chain,
+            outer_key: *outer_key,
+            residual: residual.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// One plan instance per morsel, in chain (morsel-index) order. Falls back
+/// to a single instance of the whole region when the driving scan cannot
+/// be found or the table is too small to split.
+fn morsel_plans(region: &PhysicalPlan) -> Vec<PhysicalPlan> {
+    let Some((table, chain, lo, hi)) = driver_scan(region) else {
+        return vec![region.clone()];
+    };
+    let ranges = table.morsel_ranges(chain, &lo, &hi, MORSEL_TARGET);
+    if ranges.len() <= 1 {
+        return vec![region.clone()];
+    }
+    ranges
+        .iter()
+        .map(|(l, h)| with_driver_range(region, l, h))
+        .collect()
+}
+
+/// Execute one closure per morsel plan on a pool of `pool` threads and
+/// return the per-morsel results in morsel-index order.
+///
+/// The closure returns `(result, rows_processed)`; row counts feed the
+/// per-worker observability counters. With one morsel or one worker the
+/// plans run inline on the calling thread (no pool, no extra metrics).
+/// The first error in morsel-index order aborts the region; remaining
+/// workers stop claiming new morsels once any error is recorded.
+fn run_morsels<T, F>(
+    plans: &[PhysicalPlan],
+    pool: usize,
+    ctx: &ExecContext,
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&PhysicalPlan, &ExecContext) -> Result<(T, u64)> + Sync,
+{
+    if plans.len() <= 1 || pool <= 1 {
+        let mut out = Vec::with_capacity(plans.len());
+        for p in plans {
+            out.push(work(p, ctx)?.0);
+        }
+        return Ok(out);
+    }
+    if let Some(m) = &ctx.metrics {
+        m.parallel_regions.inc();
+        m.morsels_dispatched.add(plans.len() as u64);
+    }
+    let threads = pool.min(plans.len());
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<T>>> = Vec::new();
+    slots.resize_with(plans.len(), || None);
+    let collected: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let next = &next;
+                let failed = &failed;
+                let work = &work;
+                s.spawn(move || {
+                    let started = std::time::Instant::now();
+                    let mut rows_done: u64 = 0;
+                    let mut local: Vec<(usize, Result<T>)> = Vec::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= plans.len() {
+                            break;
+                        }
+                        match work(&plans[i], ctx) {
+                            Ok((t, n)) => {
+                                rows_done += n;
+                                local.push((i, Ok(t)));
+                            }
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                local.push((i, Err(e)));
+                            }
+                        }
+                    }
+                    if let Some(m) = &ctx.metrics {
+                        m.worker_rows(w).add(rows_done);
+                        m.worker_busy_ns(w).add(started.elapsed().as_nanos() as u64);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    });
+    for (i, r) in collected.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    let mut out = Vec::with_capacity(plans.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(t)) => out.push(t),
+            // Lowest-indexed recorded error wins. Morsels are claimed in
+            // index order, so every slot below an error is filled; an
+            // empty slot can only follow a recorded error, which this
+            // scan returns first.
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("unclaimed morsel implies an earlier recorded error"),
+        }
+    }
+    Ok(out)
+}
+
+/// Merge operator over a parallel region: materializes every morsel's
+/// output via the worker pool on first `next()`, then streams the rows in
+/// morsel-index order (= the serial scan's row order).
+pub(crate) struct GatherOp {
+    region: PhysicalPlan,
+    /// Pool size recorded in the plan's Exchange node.
+    planned_workers: usize,
+    ctx: ExecContext,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl GatherOp {
+    pub(crate) fn new(region: &PhysicalPlan, planned_workers: usize, ctx: &ExecContext) -> Self {
+        GatherOp {
+            region: region.clone(),
+            planned_workers,
+            ctx: ctx.clone(),
+            output: None,
+        }
+    }
+
+    fn pool(&self) -> usize {
+        let p = if self.ctx.workers > 0 {
+            self.ctx.workers
+        } else {
+            self.planned_workers
+        };
+        p.max(1)
+    }
+}
+
+impl Operator for GatherOp {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.output.is_none() {
+            let plans = morsel_plans(&self.region);
+            let per_morsel = run_morsels(&plans, self.pool(), &self.ctx, |p, c| {
+                let mut op = open_ctx(p, c)?;
+                let mut rows = Vec::new();
+                while let Some(r) = op.next()? {
+                    rows.push(r);
+                }
+                let n = rows.len() as u64;
+                Ok((rows, n))
+            })?;
+            let rows: Vec<Row> = per_morsel.into_iter().flatten().collect();
+            self.output = Some(rows.into_iter());
+        }
+        Ok(self.output.as_mut().expect("set above").next())
+    }
+}
+
+/// Counts rows an inner operator produces (for per-worker metrics).
+struct CountingOp<'a> {
+    inner: Box<dyn Operator>,
+    n: &'a mut u64,
+}
+
+impl Operator for CountingOp<'_> {
+    fn next(&mut self) -> Result<Option<Row>> {
+        let r = self.inner.next()?;
+        if r.is_some() {
+            *self.n += 1;
+        }
+        Ok(r)
+    }
+}
+
+/// Parallel grouped aggregation: each morsel accumulates a private
+/// [`GroupedPartial`] (hash states + first-seen group order); the partials
+/// are merged at the pool barrier in morsel order, reproducing the serial
+/// executor's group order and (for a fixed tiling) its float rounding.
+/// Rows never funnel through a single stream before being aggregated.
+pub(crate) struct ParallelAggregateOp {
+    region: PhysicalPlan,
+    planned_workers: usize,
+    group: Vec<Expr>,
+    aggs: Vec<(AggFunc, Option<Expr>)>,
+    ctx: ExecContext,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl ParallelAggregateOp {
+    pub(crate) fn new(
+        region: &PhysicalPlan,
+        planned_workers: usize,
+        group: Vec<Expr>,
+        aggs: Vec<(AggFunc, Option<Expr>)>,
+        ctx: &ExecContext,
+    ) -> Self {
+        ParallelAggregateOp {
+            region: region.clone(),
+            planned_workers,
+            group,
+            aggs,
+            ctx: ctx.clone(),
+            output: None,
+        }
+    }
+
+    fn pool(&self) -> usize {
+        let p = if self.ctx.workers > 0 {
+            self.ctx.workers
+        } else {
+            self.planned_workers
+        };
+        p.max(1)
+    }
+
+    fn materialize(&self) -> Result<Vec<Row>> {
+        let plans = morsel_plans(&self.region);
+        let group = &self.group;
+        let aggs = &self.aggs;
+        let partials = run_morsels(&plans, self.pool(), &self.ctx, |p, c| {
+            let mut n: u64 = 0;
+            let mut input = CountingOp {
+                inner: open_ctx(p, c)?,
+                n: &mut n,
+            };
+            let mut partial = GroupedPartial::default();
+            partial.accumulate(&mut input, group, aggs)?;
+            Ok((partial, n))
+        })?;
+        let mut merged = GroupedPartial::default();
+        for p in partials {
+            merged.merge(p)?;
+        }
+        merged.finish(group, aggs)
+    }
+}
+
+impl Operator for ParallelAggregateOp {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.output.is_none() {
+            self.output = Some(self.materialize()?.into_iter());
+        }
+        Ok(self.output.as_mut().expect("set above").next())
+    }
+}

@@ -155,6 +155,26 @@ pub enum PhysicalPlan {
         /// Maximum rows.
         n: u64,
     },
+    /// Parallel-region marker: the subtree below is executed once per
+    /// morsel (a key sub-range of its driving verified scan) by a pool of
+    /// `workers` threads. Exchange never appears bare in a final plan — it
+    /// is always consumed by an enclosing [`PhysicalPlan::Gather`] or by a
+    /// parallel-aware [`PhysicalPlan::Aggregate`].
+    Exchange {
+        /// The per-morsel subtree.
+        input: Box<PhysicalPlan>,
+        /// Worker pool size this region was planned for (`0` = inherit
+        /// from the execution context at open time).
+        workers: usize,
+    },
+    /// Merge the per-morsel output streams of an [`PhysicalPlan::Exchange`]
+    /// back into one stream, in morsel-index order. Because morsels tile
+    /// the driving scan's key range in chain order, this merge reproduces
+    /// the serial scan's row order exactly.
+    Gather {
+        /// The Exchange (parallel region) below.
+        input: Box<PhysicalPlan>,
+    },
 }
 
 impl PhysicalPlan {
@@ -171,7 +191,9 @@ impl PhysicalPlan {
             PhysicalPlan::Aggregate { group, aggs, .. } => group.len() + aggs.len(),
             PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. }
-            | PhysicalPlan::Distinct { input } => input.width(),
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Exchange { input, .. }
+            | PhysicalPlan::Gather { input } => input.width(),
         }
     }
 
@@ -259,7 +281,159 @@ impl PhysicalPlan {
                 out.push_str(&format!("{pad}Distinct\n"));
                 input.explain_into(depth + 1, out);
             }
+            PhysicalPlan::Exchange { input, workers } => {
+                out.push_str(&format!("{pad}Exchange [{workers} workers]\n"));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Gather { input } => {
+                out.push_str(&format!("{pad}Gather\n"));
+                input.explain_into(depth + 1, out);
+            }
         }
+    }
+}
+
+/// True when `plan` is a morsel-partitionable pipeline: a verified full or
+/// range scan, optionally under Filter/Project, optionally driving an
+/// index nested-loop join. Such a subtree can be re-instantiated per key
+/// sub-range of its driving scan and executed by independent workers, with
+/// each worker's [`VerifiedScan`](veridb_storage::VerifiedScan) proving
+/// completeness of its own sub-range.
+fn partitionable(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::TableScan { access, .. } => {
+            matches!(access, AccessPath::Full | AccessPath::Range { .. })
+        }
+        PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+            partitionable(input)
+        }
+        PhysicalPlan::IndexNlJoin { outer, .. } => partitionable(outer),
+        _ => false,
+    }
+}
+
+/// Rewrite `plan` for a `workers`-thread pool by inserting
+/// Exchange/Gather pairs around morsel-partitionable subtrees.
+///
+/// - A partitionable pipeline becomes `Gather(Exchange(pipeline))`: the
+///   morsel-order merge reproduces the serial row order, so downstream
+///   operators (including MergeJoin, which needs chain order) are
+///   unaffected.
+/// - An `Aggregate` over a partitionable input becomes
+///   `Aggregate(Exchange(input))`: the executor special-cases this shape,
+///   computing per-morsel partial states and merging them in morsel order
+///   at a barrier, so grouped aggregation parallelizes without first
+///   funnelling every input row through a single Gather.
+/// - Other operators recurse structurally; join children are wrapped
+///   independently, so a hash join can build and probe from two parallel
+///   regions.
+///
+/// With `workers <= 1` the plan is returned untouched, bit-identical to
+/// the serial planner's output.
+pub(crate) fn parallelize(plan: PhysicalPlan, workers: usize) -> PhysicalPlan {
+    if workers <= 1 {
+        return plan;
+    }
+    let wrap = |p: PhysicalPlan| -> PhysicalPlan {
+        if partitionable(&p) {
+            PhysicalPlan::Gather {
+                input: Box::new(PhysicalPlan::Exchange {
+                    input: Box::new(p),
+                    workers,
+                }),
+            }
+        } else {
+            p
+        }
+    };
+    if partitionable(&plan) {
+        return wrap(plan);
+    }
+    match plan {
+        PhysicalPlan::Aggregate { input, group, aggs } if partitionable(&input) => {
+            PhysicalPlan::Aggregate {
+                input: Box::new(PhysicalPlan::Exchange { input, workers }),
+                group,
+                aggs,
+            }
+        }
+        PhysicalPlan::Filter { input, pred } => PhysicalPlan::Filter {
+            input: Box::new(parallelize(*input, workers)),
+            pred,
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => PhysicalPlan::Project {
+            input: Box::new(parallelize(*input, workers)),
+            exprs,
+            names,
+        },
+        PhysicalPlan::IndexNlJoin {
+            outer,
+            inner,
+            inner_chain,
+            outer_key,
+            residual,
+        } => PhysicalPlan::IndexNlJoin {
+            outer: Box::new(parallelize(*outer, workers)),
+            inner,
+            inner_chain,
+            outer_key,
+            residual,
+        },
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => PhysicalPlan::HashJoin {
+            left: Box::new(parallelize(*left, workers)),
+            right: Box::new(parallelize(*right, workers)),
+            left_key,
+            right_key,
+            residual,
+        },
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => PhysicalPlan::MergeJoin {
+            left: Box::new(parallelize(*left, workers)),
+            right: Box::new(parallelize(*right, workers)),
+            left_key,
+            right_key,
+            residual,
+        },
+        PhysicalPlan::BlockNlJoin { left, right, pred } => PhysicalPlan::BlockNlJoin {
+            left: Box::new(parallelize(*left, workers)),
+            right: Box::new(parallelize(*right, workers)),
+            pred,
+        },
+        PhysicalPlan::Aggregate { input, group, aggs } => PhysicalPlan::Aggregate {
+            input: Box::new(parallelize(*input, workers)),
+            group,
+            aggs,
+        },
+        PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(parallelize(*input, workers)),
+        },
+        PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(parallelize(*input, workers)),
+            keys,
+        },
+        PhysicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+            input: Box::new(parallelize(*input, workers)),
+            n,
+        },
+        // Leaves that cannot partition, and already-parallel nodes.
+        other @ (PhysicalPlan::TableScan { .. }
+        | PhysicalPlan::Exchange { .. }
+        | PhysicalPlan::Gather { .. }) => other,
     }
 }
 
@@ -898,6 +1072,10 @@ pub fn plan_select(
             input: Box::new(plan),
             n,
         };
+    }
+
+    if opts.workers > 1 {
+        plan = parallelize(plan, opts.workers);
     }
 
     Ok(PlannedQuery {

@@ -32,6 +32,9 @@ pub struct ExecContext {
     pub spill_threshold: Option<usize>,
     /// `veridb-obs` registry for executor metrics (`None` = unmetered).
     pub metrics: Option<Arc<Metrics>>,
+    /// Worker-pool size for parallel regions (`0` = use the size recorded
+    /// in the plan's Exchange nodes; `1` = run regions serially inline).
+    pub workers: usize,
 }
 
 impl ExecContext {
@@ -41,6 +44,7 @@ impl ExecContext {
             metrics: mem.metrics().cloned(),
             mem: Some(mem),
             spill_threshold: Some(threshold),
+            workers: 0,
         }
     }
 }

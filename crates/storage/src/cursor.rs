@@ -146,12 +146,13 @@ impl VerifiedScan {
             m.scan_fallback_rounds.inc();
         }
         let mut last_err = None;
-        for attempt in 0..4 {
+        let mut backoff = crate::backoff::Backoff::new();
+        for attempt in 0..crate::backoff::RETRY_ATTEMPTS {
             if attempt > 0 {
                 if let Some(m) = self.met() {
                     m.scan_benign_retries.inc();
                 }
-                std::thread::yield_now();
+                backoff.wait();
             }
             let Some(addr) = self.table.index(self.chain).find_exact(key) else {
                 last_err = Some(Error::TamperDetected(format!(
@@ -190,12 +191,13 @@ impl VerifiedScan {
     fn start(&mut self) -> Result<StoredRecord> {
         let q = self.lo_key();
         let mut last_err = None;
-        for attempt in 0..4 {
+        let mut backoff = crate::backoff::Backoff::new();
+        for attempt in 0..crate::backoff::RETRY_ATTEMPTS {
             if attempt > 0 {
                 if let Some(m) = self.met() {
                     m.scan_benign_retries.inc();
                 }
-                std::thread::yield_now();
+                backoff.wait();
             }
             let Some(addr) = self.table.index(self.chain).find_floor(&q) else {
                 last_err = Some(Error::TamperDetected(format!(

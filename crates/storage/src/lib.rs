@@ -24,6 +24,7 @@
 //! lying index can cause spurious errors but never an accepted wrong
 //! answer.
 
+pub mod backoff;
 pub mod bpindex;
 pub mod catalog;
 pub mod chain;
@@ -33,6 +34,7 @@ pub mod index;
 pub mod record;
 pub mod table;
 
+pub use backoff::Backoff;
 pub use bpindex::BPlusIndex;
 pub use catalog::Catalog;
 pub use chain::{ChainKey, CompositeKey};

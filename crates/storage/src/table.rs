@@ -424,11 +424,13 @@ impl Table {
     /// the row with its proving record, or a verified absence.
     pub(crate) fn get_point(&self, chain: usize, q: &ChainKey) -> Result<PointResult> {
         // Benign races with concurrent splices can momentarily misroute the
-        // untrusted index; retry a few times before declaring tampering.
+        // untrusted index; retry with bounded backoff before declaring
+        // tampering.
         let mut last_err = None;
-        for attempt in 0..4 {
+        let mut backoff = crate::backoff::Backoff::new();
+        for attempt in 0..crate::backoff::RETRY_ATTEMPTS {
             if attempt > 0 {
-                std::thread::yield_now();
+                backoff.wait();
             }
             let Some(addr) = self.indexes[chain].find_floor(q) else {
                 last_err = Some(Error::TamperDetected(format!(
@@ -497,6 +499,107 @@ impl Table {
             Bound::Included(v.clone()),
             Bound::Included(v.clone()),
         )
+    }
+
+    /// Split the value range `[lo, hi]` of a chain into up to `target`
+    /// contiguous sub-ranges ("morsels") that tile it exactly, by sampling
+    /// split points from the untrusted index.
+    ///
+    /// Each morsel is later scanned by its own [`VerifiedScan`], which
+    /// independently verifies conditions 1–3 over its sub-range; since the
+    /// sub-ranges tile `[lo, hi]`, whole-range completeness follows without
+    /// trusting the split points. A lying or stale index can only skew the
+    /// split (hurting load balance, never correctness), and the enumeration
+    /// walk is bounded so an adversarial oracle cannot trap the splitter in
+    /// an infinite key stream.
+    ///
+    /// Boundaries are distinct column *values* strictly inside the range,
+    /// so on secondary chains all duplicates of one value land in the same
+    /// morsel and every row lands in exactly one.
+    pub fn morsel_ranges(
+        &self,
+        chain: usize,
+        lo: &Bound<Value>,
+        hi: &Bound<Value>,
+        target: usize,
+    ) -> Vec<(Bound<Value>, Bound<Value>)> {
+        const MIN_MORSEL_ROWS: usize = 256;
+        const ENUM_CHUNK: usize = 256;
+        let whole = vec![(lo.clone(), hi.clone())];
+        let rows = self.row_count() as usize;
+        if target <= 1 || rows < 2 * MIN_MORSEL_ROWS {
+            return whole;
+        }
+        let stride = (rows / target).max(MIN_MORSEL_ROWS);
+
+        let gt_lo = |v: &Value| match lo {
+            Bound::Unbounded => true,
+            Bound::Included(l) | Bound::Excluded(l) => v > l,
+        };
+        let lt_hi = |v: &Value| match hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) | Bound::Excluded(h) => v < h,
+        };
+
+        let mut from = match lo {
+            Bound::Unbounded => ChainKey::NegInf,
+            // The single-value composite (v) sorts below every (v, pk), so
+            // this resumes from the first entry of `v` on any chain.
+            Bound::Included(v) | Bound::Excluded(v) => ChainKey::val(v.clone()),
+        };
+        let mut boundaries: Vec<Value> = Vec::new();
+        let mut since_boundary = 0usize;
+        let mut walked = 0usize;
+        // Bound the walk: an honest index yields at most `rows` live keys;
+        // tolerate some churn, then stop trusting the enumeration.
+        let budget = rows.saturating_mul(2) + 1024;
+        'walk: loop {
+            let batch = self.indexes[chain].next_entries(&from, ENUM_CHUNK);
+            if batch.is_empty() {
+                break;
+            }
+            let batch_len = batch.len();
+            for (key, _) in batch {
+                // `next_entries` is inclusive of `from`: skip the resume key.
+                if key <= from {
+                    continue;
+                }
+                walked += 1;
+                from = key.clone();
+                let Some(composite) = key.as_val() else {
+                    continue;
+                };
+                let head = composite.head();
+                if !lt_hi(head) {
+                    break 'walk; // past the upper bound: done sampling
+                }
+                since_boundary += 1;
+                if since_boundary >= stride
+                    && gt_lo(head)
+                    && boundaries.last().map(|b| head > b).unwrap_or(true)
+                {
+                    boundaries.push(head.clone());
+                    since_boundary = 0;
+                }
+                if walked >= budget {
+                    break 'walk;
+                }
+            }
+            if batch_len < ENUM_CHUNK {
+                break;
+            }
+        }
+        if boundaries.is_empty() {
+            return whole;
+        }
+        let mut ranges = Vec::with_capacity(boundaries.len() + 1);
+        let mut cur_lo = lo.clone();
+        for b in boundaries {
+            ranges.push((cur_lo, Bound::Excluded(b.clone())));
+            cur_lo = Bound::Included(b);
+        }
+        ranges.push((cur_lo, hi.clone()));
+        ranges
     }
 }
 

@@ -698,3 +698,100 @@ fn batched_scans_race_writers_without_false_alarms() {
     mem.verify_now().unwrap();
     assert!(mem.poisoned().is_none());
 }
+
+// ---- morsel splitting (parallel scan support) ----------------------------
+
+/// A table large enough for `morsel_ranges` to actually split (the
+/// splitter refuses to cut tables under 512 rows).
+fn big_table(mem: &Arc<VerifiedMemory>, rows: i64) -> Arc<Table> {
+    let t = Table::create(Arc::clone(mem), "big", quote_schema()).unwrap();
+    for i in 0..rows {
+        t.insert(Row::new(vec![int(i), int(i % 7), int(i % 11)]))
+            .unwrap();
+    }
+    t
+}
+
+#[test]
+fn morsel_ranges_tile_the_full_range() {
+    let mem = memory();
+    let t = big_table(&mem, 2_000);
+    let ranges = t.morsel_ranges(0, &Bound::Unbounded, &Bound::Unbounded, 8);
+    assert!(
+        ranges.len() > 1,
+        "2000 rows at target 8 must split (got {} range(s))",
+        ranges.len()
+    );
+    // Tiling shape: opens unbounded, closes unbounded, and every interior
+    // seam pairs Excluded(b) with Included(b) for the same boundary.
+    assert!(matches!(ranges.first().unwrap().0, Bound::Unbounded));
+    assert!(matches!(ranges.last().unwrap().1, Bound::Unbounded));
+    for pair in ranges.windows(2) {
+        match (&pair[0].1, &pair[1].0) {
+            (Bound::Excluded(a), Bound::Included(b)) => assert_eq!(a, b),
+            other => panic!("seam must be Excluded|Included, got {other:?}"),
+        }
+    }
+    // Completeness: per-morsel verified scans, concatenated in morsel
+    // order, must equal the serial verified scan exactly.
+    let serial = t.seq_scan().collect_rows().unwrap();
+    let mut tiled = Vec::new();
+    for (lo, hi) in ranges {
+        tiled.extend(t.range_scan(0, lo, hi).collect_rows().unwrap());
+    }
+    assert_eq!(tiled, serial);
+    mem.verify_now().unwrap();
+}
+
+#[test]
+fn morsel_ranges_respect_explicit_bounds() {
+    let mem = memory();
+    let t = big_table(&mem, 2_000);
+    let lo = Bound::Included(int(200));
+    let hi = Bound::Excluded(int(1_800));
+    let ranges = t.morsel_ranges(0, &lo, &hi, 6);
+    assert_eq!(ranges.first().unwrap().0, lo);
+    assert_eq!(ranges.last().unwrap().1, hi);
+    let serial = t
+        .range_scan(0, lo.clone(), hi.clone())
+        .collect_rows()
+        .unwrap();
+    let mut tiled = Vec::new();
+    for (l, h) in ranges {
+        tiled.extend(t.range_scan(0, l, h).collect_rows().unwrap());
+    }
+    assert_eq!(tiled, serial);
+}
+
+#[test]
+fn morsel_ranges_small_table_stays_whole() {
+    let mem = memory();
+    let t = quote_table(&mem);
+    let ranges = t.morsel_ranges(0, &Bound::Unbounded, &Bound::Unbounded, 8);
+    assert_eq!(ranges.len(), 1);
+    assert!(matches!(ranges[0], (Bound::Unbounded, Bound::Unbounded)));
+}
+
+#[test]
+fn morsel_ranges_lying_index_cannot_break_completeness() {
+    // An index that refuses to enumerate (returns nothing) degrades the
+    // split to one whole-range morsel; the verified scan is unaffected.
+    let mem = memory();
+    let (t, malicious) = malicious_table(&mem);
+    for i in 10..1_500 {
+        t.insert(Row::new(vec![int(i), int(i), int(i)])).unwrap();
+    }
+    malicious.arm(IndexLie::DenyAll);
+    let ranges = t.morsel_ranges(0, &Bound::Unbounded, &Bound::Unbounded, 8);
+    malicious.disarm();
+    assert_eq!(
+        ranges.len(),
+        1,
+        "a silent index yields a single whole-range morsel"
+    );
+    let rows = {
+        let (lo, hi) = ranges.into_iter().next().unwrap();
+        t.range_scan(0, lo, hi).collect_rows().unwrap()
+    };
+    assert_eq!(rows.len(), t.row_count() as usize);
+}

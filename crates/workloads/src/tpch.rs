@@ -655,6 +655,7 @@ mod tests {
                     q19(),
                     &veridb::PlanOptions {
                         prefer_join: prefer,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

@@ -76,6 +76,10 @@ pub struct MemConfig {
     /// Update the `veridb-obs` metric registry on protected operations.
     /// Off = the hot path pays only this branch.
     pub metrics: bool,
+    /// Concurrent verifiers for synchronous verification passes
+    /// ([`VerifiedMemory::verify_now`]); each verifier claims disjoint
+    /// partitions (§3.3's "multiple verifiers"). Clamped to `>= 1`.
+    pub workers: usize,
 }
 
 impl MemConfig {
@@ -91,6 +95,7 @@ impl MemConfig {
             compact_during_verification: cfg.compact_during_verification,
             prf: cfg.prf,
             metrics: cfg.metrics,
+            workers: cfg.workers,
         }
     }
 }
@@ -1591,9 +1596,11 @@ impl VerifiedMemory {
     }
 
     /// Run one complete verification pass over every partition,
-    /// synchronously. Returns a report, or the first verification failure.
+    /// synchronously, with the configured number of concurrent verifiers
+    /// (`MemConfig::workers`). Returns a report, or the first verification
+    /// failure.
     pub fn verify_now(&self) -> Result<VerifyReport> {
-        self.verify_now_parallel(1)
+        self.verify_now_parallel(self.cfg.workers.max(1))
     }
 
     /// Verify with `threads` concurrent verifiers over disjoint
@@ -1679,6 +1686,7 @@ mod tests {
             compact_during_verification: true,
             prf: PrfBackend::HmacSha256,
             metrics: true,
+            workers: 1,
         }
     }
 
@@ -2411,6 +2419,7 @@ mod proptests {
                 compact_during_verification: true,
                 prf: PrfBackend::SipHash,
                 metrics: true,
+                workers: 1,
             });
             let mut pages = vec![m.allocate_page()];
             let mut model: Vec<(CellAddr, Vec<u8>)> = Vec::new();

@@ -123,6 +123,7 @@ mod tests {
                 compact_during_verification: true,
                 prf: PrfBackend::HmacSha256,
                 metrics: true,
+                workers: 1,
             },
         )
     }

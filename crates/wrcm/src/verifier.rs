@@ -126,6 +126,7 @@ mod tests {
                 compact_during_verification: true,
                 prf: PrfBackend::SipHash,
                 metrics: true,
+                workers: 1,
             },
         )
     }
@@ -209,6 +210,7 @@ mod pool_tests {
                 compact_during_verification: true,
                 prf: PrfBackend::SipHash,
                 metrics: true,
+                workers: 1,
             },
         )
     }

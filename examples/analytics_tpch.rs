@@ -31,6 +31,7 @@ fn main() -> veridb::Result<()> {
     let auto = PlanOptions::default();
     let merge = PlanOptions {
         prefer_join: PreferredJoin::Merge,
+        ..Default::default()
     };
 
     for (name, sql, opts) in [

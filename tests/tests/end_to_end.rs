@@ -87,6 +87,7 @@ fn all_join_algorithms_agree_on_every_query() {
                 sql,
                 &PlanOptions {
                     prefer_join: prefer,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -199,6 +200,7 @@ fn intermediate_state_spills_to_verified_storage() {
     // spilled vs unspilled answers.
     let opts = PlanOptions {
         prefer_join: PreferredJoin::NestedLoop,
+        ..Default::default()
     };
     let sql = "SELECT l.id, r.id FROM l, r WHERE l.k = r.k ORDER BY 1, 2";
     let unspilled = db.sql_with(sql, &opts).unwrap();

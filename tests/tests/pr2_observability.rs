@@ -157,6 +157,7 @@ fn repeated_spilling_queries_keep_page_count_stable() {
     db.set_spill_threshold(Some(256));
     let opts = PlanOptions {
         prefer_join: PreferredJoin::NestedLoop,
+        ..Default::default()
     };
     let sql = "SELECT COUNT(*) FROM l, r WHERE l.k = r.k";
     let mut counts = Vec::new();
