@@ -63,6 +63,79 @@ fn run_cell(
     stats.tps()
 }
 
+/// Cell-cache ablation on the same workload: NewOrder latency and mixed
+/// throughput with the enclave-resident cell cache off vs on (default
+/// RSWS config, verification deferred to one final `verify_now`).
+fn cell_cache_comparison(tpcc: &TpccConfig, txns: u64) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut t = FigureTable::new(
+        "Figure 13b: TPC-C with the enclave cell cache off vs on",
+        &[
+            "cell cache",
+            "NewOrder us/txn",
+            "mixed TPS (4 clients)",
+            "hit ratio",
+        ],
+    );
+    let mut json = serde_json::Map::new();
+    for (name, bytes) in [("off", 0usize), ("on (4 MiB)", 4 << 20)] {
+        let mut cfg = VeriDbConfig::rsws();
+        cfg.verify_every_ops = None;
+        cfg.cell_cache_bytes = bytes;
+        let db = VeriDb::open(cfg).expect("open");
+        let driver = Arc::new(TpccDriver::load(&db, tpcc.clone()).expect("load"));
+
+        // Single-client NewOrder-only loop for a clean latency number.
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..(txns / 4).max(50) {
+            let _ = driver.new_order(&mut rng);
+        }
+        let timed = txns.max(200);
+        let start = std::time::Instant::now();
+        let mut committed = 0u64;
+        for _ in 0..timed {
+            if driver.new_order(&mut rng).is_ok() {
+                committed += 1;
+            }
+        }
+        let us_per_txn = start.elapsed().as_secs_f64() * 1e6 / committed.max(1) as f64;
+
+        // Mixed workload under concurrency, like the main figure.
+        let stats = driver.run_clients(4, txns);
+        db.verify_now().expect("honest run verifies");
+
+        let snap = db.metrics();
+        let lookups = snap.cache_hits + snap.cache_misses;
+        let ratio = if lookups == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * snap.cache_hits as f64 / lookups as f64)
+        };
+        t.row(vec![
+            name.to_string(),
+            f1(us_per_txn),
+            f1(stats.tps()),
+            ratio,
+        ]);
+        json.insert(
+            name.to_string(),
+            serde_json::json!({
+                "new_order_us_per_txn": us_per_txn,
+                "mixed_tps_4_clients": stats.tps(),
+                "cache_hits": snap.cache_hits,
+                "cache_misses": snap.cache_misses,
+            }),
+        );
+    }
+    t.note("cache off = VERIDB_CELL_CACHE=0; on = the 4 MiB default. NewOrder");
+    t.note("latency is a single-client NewOrder-only loop; hit ratio is measured");
+    t.note("over the whole run (population + latency loop + mixed clients)");
+    t.print();
+    veridb_bench::write_json("fig13_cell_cache", &serde_json::Value::Object(json));
+}
+
 fn main() {
     let scale = scale_from_env();
     let tpcc = tpcc_config(scale);
@@ -115,4 +188,6 @@ fn main() {
     t.note("updates cost a constant throughput factor (paper: ~3-4x at 1024 RSWSs)");
     t.print();
     veridb_bench::write_json("fig13", &serde_json::Value::Object(json));
+
+    cell_cache_comparison(&tpcc, txns);
 }

@@ -36,6 +36,7 @@ fn memory(verify: bool, prf: PrfBackend, compact_lazy: bool) -> Arc<VerifiedMemo
             prf,
             metrics: cfg.metrics,
             workers: 1,
+            cell_cache_bytes: 0,
         },
     )
 }

@@ -29,24 +29,34 @@ fn main() {
     // positional arguments.
     let mut workers: Option<usize> = None;
     let mut verify_threads: Option<usize> = None;
+    let mut cell_cache: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if let Some(v) = a.strip_prefix("--workers=") {
-            workers = v.parse().ok();
+            workers = parse_flag("--workers", Some(v.to_owned()));
         } else if let Some(v) = a.strip_prefix("--verify-threads=") {
-            verify_threads = v.parse().ok();
+            verify_threads = parse_flag("--verify-threads", Some(v.to_owned()));
+        } else if let Some(v) = a.strip_prefix("--cell-cache=") {
+            cell_cache = parse_flag("--cell-cache", Some(v.to_owned()));
         } else {
             match a.as_str() {
-                "--workers" => workers = it.next().and_then(|s| s.parse().ok()),
-                "--verify-threads" => verify_threads = it.next().and_then(|s| s.parse().ok()),
+                "--workers" => workers = parse_flag("--workers", it.next()),
+                "--verify-threads" => verify_threads = parse_flag("--verify-threads", it.next()),
+                "--cell-cache" => cell_cache = parse_flag("--cell-cache", it.next()),
                 _ => positional.push(a),
             }
         }
     }
     let mut config = VeriDbConfig::default();
     if let Some(w) = workers {
+        if !(1..=64).contains(&w) {
+            eprintln!("warning: --workers {w} out of range (1..=64); clamping");
+        }
         config.workers = w.clamp(1, 64);
+    }
+    if let Some(b) = cell_cache {
+        config.cell_cache_bytes = b;
     }
     // Unless overridden, synchronous verification uses the same pool size
     // as query execution (the MemConfig knob); `--verify-threads` decouples
@@ -68,7 +78,9 @@ fn main() {
                  \x20 --workers <n>         worker threads for parallel query execution\n\
                  \x20                       (default: $VERIDB_WORKERS or 1)\n\
                  \x20 --verify-threads <n>  concurrent verifiers for .verify / stats\n\
-                 \x20                       (default: same as --workers)"
+                 \x20                       (default: same as --workers)\n\
+                 \x20 --cell-cache <bytes>  enclave-resident verified cell cache capacity\n\
+                 \x20                       (0 disables; default: $VERIDB_CELL_CACHE or 4 MiB)"
             );
             return;
         }
@@ -82,11 +94,16 @@ fn main() {
         }
     };
     println!(
-        "VeriDB shell — {} RSWS partitions, verifier every {:?} ops, {} worker(s).\n\
+        "VeriDB shell — {} RSWS partitions, verifier every {:?} ops, {} worker(s), \
+         {} cell cache.\n\
          Type SQL, or .help for meta commands.",
         db.config().rsws_partitions,
         db.config().verify_every_ops,
-        db.config().workers
+        db.config().workers,
+        match db.config().cell_cache_bytes {
+            0 => "no".to_owned(),
+            b => format!("{} KiB", b / 1024),
+        }
     );
 
     let stdin = std::io::stdin();
@@ -131,6 +148,23 @@ fn main() {
         run_sql(&db, &sql, timing);
     }
     println!();
+}
+
+/// Parse a flag's value, warning (with the offending input named) and
+/// ignoring the flag when the value is missing or unparseable — a typo
+/// silently falling back to defaults is a debugging trap.
+fn parse_flag<T: std::str::FromStr>(flag: &str, raw: Option<String>) -> Option<T> {
+    let Some(raw) = raw else {
+        eprintln!("warning: {flag} requires a value; ignoring the flag");
+        return None;
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: invalid {flag} value {raw:?}; ignoring the flag");
+            None
+        }
+    }
 }
 
 /// `veridb stats [rows]`: load TPC-H tables, run the paper's query mix
@@ -299,7 +333,18 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool, verify_threads: usiz
             );
         }
         ".stats" => {
-            print_metrics(&db.metrics());
+            let snap = db.metrics();
+            print_metrics(&snap);
+            println!(
+                "cell cache: {} hit(s) / {} miss(es) ({}%), {} eviction(s), \
+                 {} write-back(s), {} byte(s) resident",
+                snap.cache_hits,
+                snap.cache_misses,
+                snap.cache_hit_ratio_pct,
+                snap.cache_evictions,
+                snap.cache_writebacks,
+                snap.cache_resident_bytes
+            );
             let lag = db.verification_lag();
             let max_lag = lag.iter().map(|(_, l)| *l).max().unwrap_or(0);
             println!(

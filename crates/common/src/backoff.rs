@@ -1,0 +1,111 @@
+//! Bounded exponential backoff for benign-race retries.
+//!
+//! The verified read paths retry a handful of times when the untrusted
+//! index and the chain evidence disagree (a concurrent splice is
+//! publishing), and the wrcm verifier tests wait for a background scan to
+//! land. A bare `yield_now` per attempt burns a full core under
+//! contention — with the morsel worker pool that is a whole worker doing
+//! nothing useful. [`Backoff`] escalates instead: a few pause-spins, then
+//! scheduler yields, then short sleeps with exponentially growing (capped)
+//! duration, so a stalled peer gets cycles to finish while the waiter
+//! stays cheap.
+//!
+//! This lives in `veridb-common` so both `veridb-storage` and
+//! `veridb-wrcm` share one implementation; `storage::backoff` re-exports
+//! it for existing callers.
+
+use std::time::Duration;
+
+/// Spin-only rounds before yielding.
+const SPIN_ROUNDS: u32 = 2;
+/// Yield rounds before sleeping.
+const YIELD_ROUNDS: u32 = 2;
+/// First sleep duration; doubles per sleeping round.
+const BASE_SLEEP_US: u64 = 10;
+/// Longest single sleep.
+const MAX_SLEEP_US: u64 = 500;
+
+/// Retry attempts the verified read paths make before classifying a
+/// persistent index/chain disagreement as tampering. Sized so the final
+/// attempts sit in the sleeping stage of the backoff, giving a descheduled
+/// splicer time to publish.
+pub const RETRY_ATTEMPTS: usize = 6;
+
+/// Escalating wait strategy: spin → yield → short capped sleeps.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    round: u32,
+}
+
+impl Backoff {
+    /// Fresh backoff (next wait is a spin).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wait once, escalating with each call.
+    pub fn wait(&mut self) {
+        let round = self.round;
+        self.round = self.round.saturating_add(1);
+        if round < SPIN_ROUNDS {
+            for _ in 0..(1 << (round + 4)) {
+                std::hint::spin_loop();
+            }
+        } else if round < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            let exp = (round - SPIN_ROUNDS - YIELD_ROUNDS).min(16);
+            let us = (BASE_SLEEP_US << exp).min(MAX_SLEEP_US);
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+
+    /// Wait until `cond` returns true or `attempts` waits have elapsed.
+    /// Returns whether the condition was observed. Convenience for test
+    /// and shutdown paths that poll a flag published by another thread.
+    pub fn wait_for(mut cond: impl FnMut() -> bool, attempts: u32) -> bool {
+        let mut b = Backoff::new();
+        for _ in 0..attempts {
+            if cond() {
+                return true;
+            }
+            b.wait();
+        }
+        cond()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_without_panicking() {
+        let mut b = Backoff::new();
+        for _ in 0..8 {
+            b.wait(); // spins, yields, then sleeps ≤ MAX_SLEEP_US each
+        }
+        assert!(b.round >= 8);
+    }
+
+    #[test]
+    fn sleep_durations_are_capped() {
+        // Round counter saturates and the sleep shift is clamped, so even
+        // absurd round counts stay within MAX_SLEEP_US.
+        let mut b = Backoff {
+            round: u32::MAX - 1,
+        };
+        b.wait();
+        b.wait();
+        assert_eq!(b.round, u32::MAX);
+    }
+
+    #[test]
+    fn wait_for_observes_flag() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        assert!(!Backoff::wait_for(|| flag.load(Ordering::Relaxed), 3));
+        flag.store(true, Ordering::Relaxed);
+        assert!(Backoff::wait_for(|| flag.load(Ordering::Relaxed), 3));
+    }
+}

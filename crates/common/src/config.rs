@@ -72,18 +72,57 @@ pub struct VeriDbConfig {
     /// variable so test/CI runs can sweep the knob without code changes.
     #[serde(default = "default_workers")]
     pub workers: usize,
+    /// Capacity in bytes of the enclave-resident verified cell cache
+    /// (§4.3-style hot-path optimization): cells verified by a protected
+    /// read are pinned in trusted memory so subsequent reads and writes of
+    /// the same cell skip the PRF, the digest folds, and the page mutex.
+    /// `0` disables the cache entirely. The default honours the
+    /// `VERIDB_CELL_CACHE` environment variable so test/CI runs can sweep
+    /// (or disable) the cache without code changes. Capacity counts
+    /// against the simulated EPC budget.
+    #[serde(default = "default_cell_cache_bytes")]
+    pub cell_cache_bytes: usize,
 }
 
 fn default_metrics() -> bool {
     true
 }
 
+/// Default cell cache capacity when `VERIDB_CELL_CACHE` is unset: big
+/// enough to pin the TPC-C warehouse/district hot set, small next to the
+/// 96 MB EPC budget.
+pub const DEFAULT_CELL_CACHE_BYTES: usize = 4 * 1024 * 1024;
+
 fn default_workers() -> usize {
-    std::env::var("VERIDB_WORKERS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| (1..=64).contains(&n))
-        .unwrap_or(1)
+    match std::env::var("VERIDB_WORKERS") {
+        Err(_) => 1,
+        Ok(s) => match s.parse::<usize>() {
+            Ok(n) if (1..=64).contains(&n) => n,
+            _ => {
+                eprintln!(
+                    "warning: invalid VERIDB_WORKERS value {s:?} (expected 1..=64); \
+                     falling back to 1 worker"
+                );
+                1
+            }
+        },
+    }
+}
+
+fn default_cell_cache_bytes() -> usize {
+    match std::env::var("VERIDB_CELL_CACHE") {
+        Err(_) => DEFAULT_CELL_CACHE_BYTES,
+        Ok(s) => match s.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: invalid VERIDB_CELL_CACHE value {s:?} (expected bytes, \
+                     0 disables); falling back to {DEFAULT_CELL_CACHE_BYTES}"
+                );
+                DEFAULT_CELL_CACHE_BYTES
+            }
+        },
+    }
 }
 
 impl Default for VeriDbConfig {
@@ -101,6 +140,7 @@ impl Default for VeriDbConfig {
             model_sgx_costs: true,
             metrics: true,
             workers: default_workers(),
+            cell_cache_bytes: default_cell_cache_bytes(),
         }
     }
 }
@@ -160,6 +200,12 @@ impl VeriDbConfig {
         if self.workers == 0 {
             return Err(Error::Config("workers must be >= 1".into()));
         }
+        if self.cell_cache_bytes > 0 && self.cell_cache_bytes > self.epc_budget {
+            return Err(Error::Config(format!(
+                "cell_cache_bytes {} exceeds epc_budget {}",
+                self.cell_cache_bytes, self.epc_budget
+            )));
+        }
         Ok(())
     }
 }
@@ -209,5 +255,16 @@ mod tests {
         let mut c = VeriDbConfig::default();
         c.workers = 0;
         assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.cell_cache_bytes = c.epc_budget + 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cell_cache_zero_disables_and_validates() {
+        let mut c = VeriDbConfig::default();
+        c.cell_cache_bytes = 0;
+        c.validate().unwrap();
     }
 }

@@ -20,6 +20,7 @@
 //!
 //! Nothing in this crate trusts or distrusts anything; it is pure data.
 
+pub mod backoff;
 pub mod codec;
 pub mod config;
 pub mod error;

@@ -314,6 +314,21 @@ pub struct Metrics {
     pub batched_read_cells: Counter,
     /// Cells written by batched protected writes.
     pub batched_write_cells: Counter,
+    // -- wrcm: enclave-resident cell cache ------------------------------
+    /// Point reads/writes served from the trusted cell cache (no PRF, no
+    /// digest fold, no page lock).
+    pub cache_hits: Counter,
+    /// Point reads that missed the cache and paid the full verified read.
+    pub cache_misses: Counter,
+    /// Entries evicted to make room (clean or dirty).
+    pub cache_evictions: Counter,
+    /// Dirty entries written back to host memory (one WS fold each).
+    pub cache_writebacks: Counter,
+    /// Bytes currently pinned in the cell cache (counted against EPC).
+    pub cache_resident_bytes: Gauge,
+    /// Cache hit ratio in percent, updated on misses and drains so hits
+    /// stay a single counter bump.
+    pub cache_hit_ratio_pct: Gauge,
     // -- wrcm: RS/WS element composition -------------------------------
     /// Singleton (per-cell) elements consumed into `h(RS)`.
     pub singleton_elements: Counter,
@@ -420,6 +435,12 @@ impl Metrics {
             protected_moves: self.protected_moves.get(),
             batched_read_cells: self.batched_read_cells.get(),
             batched_write_cells: self.batched_write_cells.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
+            cache_writebacks: self.cache_writebacks.get(),
+            cache_resident_bytes: self.cache_resident_bytes.get(),
+            cache_hit_ratio_pct: self.cache_hit_ratio_pct.get(),
             singleton_elements: self.singleton_elements.get(),
             group_elements: self.group_elements.get(),
             groups_formed: self.groups_formed.get(),
@@ -464,6 +485,12 @@ pub struct MetricsSnapshot {
     pub protected_moves: u64,
     pub batched_read_cells: u64,
     pub batched_write_cells: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_writebacks: u64,
+    pub cache_resident_bytes: u64,
+    pub cache_hit_ratio_pct: u64,
     pub singleton_elements: u64,
     pub group_elements: u64,
     pub groups_formed: u64,
@@ -551,6 +578,15 @@ impl MetricsSnapshot {
             batched_write_cells: self
                 .batched_write_cells
                 .saturating_sub(earlier.batched_write_cells),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            cache_writebacks: self
+                .cache_writebacks
+                .saturating_sub(earlier.cache_writebacks),
+            // Gauges carry the later snapshot's value (they don't subtract).
+            cache_resident_bytes: self.cache_resident_bytes,
+            cache_hit_ratio_pct: self.cache_hit_ratio_pct,
             singleton_elements: self
                 .singleton_elements
                 .saturating_sub(earlier.singleton_elements),
@@ -613,6 +649,12 @@ impl MetricsSnapshot {
             ("wrcm.protected_moves", self.protected_moves),
             ("wrcm.batched_read_cells", self.batched_read_cells),
             ("wrcm.batched_write_cells", self.batched_write_cells),
+            ("wrcm.cache_hits", self.cache_hits),
+            ("wrcm.cache_misses", self.cache_misses),
+            ("wrcm.cache_evictions", self.cache_evictions),
+            ("wrcm.cache_writebacks", self.cache_writebacks),
+            ("wrcm.cache_resident_bytes", self.cache_resident_bytes),
+            ("wrcm.cache_hit_ratio_pct", self.cache_hit_ratio_pct),
             ("wrcm.singleton_elements", self.singleton_elements),
             ("wrcm.group_elements", self.group_elements),
             ("wrcm.groups_formed", self.groups_formed),
@@ -697,8 +739,9 @@ impl MetricsSnapshot {
     pub fn summary_line(&self) -> String {
         format!(
             "ops={} (r {} / w {} / ins {} / del {} / batch {}), prf={}, \
-             groups +{}/-{}, batched_rounds={}, fallback={}, retries={}, \
-             epoch_closes={}, lag_mean={:.0} ops, spills={} ({} B), ecalls={}",
+             cache {}h/{}m ({}%), groups +{}/-{}, batched_rounds={}, \
+             fallback={}, retries={}, epoch_closes={}, lag_mean={:.0} ops, \
+             spills={} ({} B), ecalls={}",
             self.protected_ops(),
             self.protected_reads,
             self.protected_writes,
@@ -706,6 +749,9 @@ impl MetricsSnapshot {
             self.protected_deletes,
             self.batched_read_cells + self.batched_write_cells,
             self.prf_evals,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_ratio_pct,
             self.groups_formed,
             self.groups_dissolved,
             self.scan_batched_rounds,
@@ -824,6 +870,8 @@ mod tests {
         assert!(names.contains(&"wrcm.protected_reads"));
         assert!(names.contains(&"enclave.prf_evals"));
         assert!(names.contains(&"verify.lag_ops.sum"));
+        assert!(names.contains(&"wrcm.cache_hits"));
+        assert!(names.contains(&"wrcm.cache_hit_ratio_pct"));
     }
 
     #[test]

@@ -216,6 +216,24 @@ mod proptests {
         ]
     }
 
+    /// Codec edge cases the uniform generator rarely produces: empty and
+    /// maximum-width string columns (the widest a 64 KiB-addressed slot
+    /// could ever hold), multi-byte UTF-8, and numeric extremes.
+    fn arb_edge_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Str(String::new())),
+            Just(Value::Str("w".repeat(u16::MAX as usize))),
+            Just(Value::Str("mötley-crüe ✓".into())),
+            Just(Value::Int(i64::MIN)),
+            Just(Value::Int(i64::MAX)),
+            Just(Value::Float(f64::NAN)),
+            Just(Value::Float(f64::NEG_INFINITY)),
+            Just(Value::Float(-0.0)),
+            Just(Value::Date(i32::MIN)),
+            arb_value(),
+        ]
+    }
+
     proptest! {
         #[test]
         fn any_row_round_trips(values in prop::collection::vec(arb_value(), 0..24)) {
@@ -224,6 +242,14 @@ mod proptests {
             let back = Row::decode_from_slice(&buf).unwrap();
             // NaN-containing rows still round trip because Value::eq uses
             // total ordering.
+            prop_assert_eq!(row, back);
+        }
+
+        #[test]
+        fn edge_rows_round_trip(values in prop::collection::vec(arb_edge_value(), 0..8)) {
+            let row = Row::new(values);
+            let buf = row.encode_to_vec();
+            let back = Row::decode_from_slice(&buf).unwrap();
             prop_assert_eq!(row, back);
         }
 

@@ -1,83 +1,8 @@
 //! Bounded exponential backoff for benign-race retries.
 //!
-//! The verified read paths retry a handful of times when the untrusted
-//! index and the chain evidence disagree (a concurrent splice is
-//! publishing). A bare `yield_now` per attempt burns a full core under
-//! contention — with the morsel worker pool that is a whole worker doing
-//! nothing useful. [`Backoff`] escalates instead: a few pause-spins, then
-//! scheduler yields, then short sleeps with exponentially growing (capped)
-//! duration, so a stalled splicer gets cycles to finish while the waiter
-//! stays cheap.
+//! The implementation lives in [`veridb_common::backoff`] so that
+//! `veridb-wrcm` (which must not depend on this crate) can share it; this
+//! module re-exports it under the historical `storage::backoff` path for
+//! the cursor and table retry loops.
 
-use std::time::Duration;
-
-/// Spin-only rounds before yielding.
-const SPIN_ROUNDS: u32 = 2;
-/// Yield rounds before sleeping.
-const YIELD_ROUNDS: u32 = 2;
-/// First sleep duration; doubles per sleeping round.
-const BASE_SLEEP_US: u64 = 10;
-/// Longest single sleep.
-const MAX_SLEEP_US: u64 = 500;
-
-/// Retry attempts the verified read paths make before classifying a
-/// persistent index/chain disagreement as tampering. Sized so the final
-/// attempts sit in the sleeping stage of the backoff, giving a descheduled
-/// splicer time to publish.
-pub const RETRY_ATTEMPTS: usize = 6;
-
-/// Escalating wait strategy: spin → yield → short capped sleeps.
-#[derive(Debug, Default)]
-pub struct Backoff {
-    round: u32,
-}
-
-impl Backoff {
-    /// Fresh backoff (next wait is a spin).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Wait once, escalating with each call.
-    pub fn wait(&mut self) {
-        let round = self.round;
-        self.round = self.round.saturating_add(1);
-        if round < SPIN_ROUNDS {
-            for _ in 0..(1 << (round + 4)) {
-                std::hint::spin_loop();
-            }
-        } else if round < SPIN_ROUNDS + YIELD_ROUNDS {
-            std::thread::yield_now();
-        } else {
-            let exp = (round - SPIN_ROUNDS - YIELD_ROUNDS).min(16);
-            let us = (BASE_SLEEP_US << exp).min(MAX_SLEEP_US);
-            std::thread::sleep(Duration::from_micros(us));
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn escalates_without_panicking() {
-        let mut b = Backoff::new();
-        for _ in 0..8 {
-            b.wait(); // spins, yields, then sleeps ≤ MAX_SLEEP_US each
-        }
-        assert!(b.round >= 8);
-    }
-
-    #[test]
-    fn sleep_durations_are_capped() {
-        // Round counter saturates and the sleep shift is clamped, so even
-        // absurd round counts stay within MAX_SLEEP_US.
-        let mut b = Backoff {
-            round: u32::MAX - 1,
-        };
-        b.wait();
-        b.wait();
-        assert_eq!(b.round, u32::MAX);
-    }
-}
+pub use veridb_common::backoff::{Backoff, RETRY_ATTEMPTS};

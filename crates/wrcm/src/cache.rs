@@ -1,0 +1,457 @@
+//! Enclave-resident verified cell cache.
+//!
+//! The offline memory-checking protocol (Algorithm 1) pays a PRF
+//! evaluation, two digest folds, and a page-mutex acquisition on *every*
+//! cell access. For hot cells (TPC-C warehouse/district rows) that cost
+//! dominates. The protocol explicitly tolerates keeping a cell inside
+//! trusted memory and deferring its RS/WS accounting: after a protected
+//! read verifies a cell, the host copy's `(data, ts)` pair *is* the cell's
+//! outstanding WS element, and it stays exactly that until the next
+//! protected operation touches it. So the enclave may pin the verified
+//! payload and serve reads — and absorb writes — from trusted memory with
+//! no crypto at all, as long as every *host-visible* mutation of the cell
+//! goes back through the protocol:
+//!
+//! - **fill** (read miss): the normal verified read runs (RS fold at the
+//!   host timestamp, WS fold at a fresh one), then the payload is pinned.
+//!   The host copy keeps carrying the outstanding element.
+//! - **read hit**: return the pinned payload. No PRF, no folds, no page
+//!   lock — just the cache shard lock.
+//! - **write hit**: overwrite the pinned payload and mark the entry dirty,
+//!   *iff* the new payload fits the entry's capacity (the length verified
+//!   at fill — in-place host writes of `len <= capacity` can never fail,
+//!   so the deferred write-back can never be stranded by `PageFull`).
+//!   The host copy still carries the *fill-time* outstanding element.
+//! - **write-back** (dirty eviction, drain): a normal protected write: RS
+//!   fold consumes the host copy at its current timestamp (cancelling the
+//!   outstanding element — a tampered host copy fails to cancel and is
+//!   caught at the next epoch close), WS fold inserts the dirty payload at
+//!   a fresh timestamp.
+//! - **clean eviction**: drop the entry. The host copy already carries the
+//!   outstanding element ("released with its entry timestamp"); nothing
+//!   folds, and `h(RS) = h(WS)` balances at the next deferred scan.
+//!
+//! Verification scans read host bytes and therefore need no cache
+//! interaction for balance; tampering with the host copy of a cached cell
+//! is detected at the next scan exactly as for an uncached cell.
+//!
+//! Locking: the cache is sharded by page id; the global order is
+//! **cache shard → page mutex → partition mutex** (shards by index when
+//! two are needed). Every protected operation that can touch cached state
+//! holds the covering shard lock for its whole duration, which makes
+//! fill/invalidate/write-back atomic against concurrent point ops.
+//! Scan-side code (`process_page`, compaction) never takes shard locks,
+//! so it can never invert the order.
+
+use crate::memory::CellAddr;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use veridb_enclave::EpcAllocation;
+
+/// Fixed shard count: enough to keep unrelated pages off each other's
+/// lock under the morsel worker pool, small enough that a full drain is
+/// cheap.
+const SHARDS: usize = 16;
+
+/// Approximate per-entry enclave bookkeeping (map node, ring slot, flags)
+/// charged against the byte budget and the EPC on top of the payload.
+pub const ENTRY_OVERHEAD: usize = 96;
+
+/// One pinned cell.
+#[derive(Debug)]
+pub(crate) struct Entry {
+    /// The trusted payload (authoritative while the entry lives).
+    pub data: Vec<u8>,
+    /// Capacity ceiling for absorbed writes: the payload length the host
+    /// copy was last written with. In-place host writes of up to this
+    /// length cannot fail, so write-back is `PageFull`-proof.
+    pub cap: usize,
+    /// Whether `data` differs from the host copy (write-back required on
+    /// eviction).
+    pub dirty: bool,
+    /// Second-chance bit for the clock eviction ring.
+    referenced: bool,
+    /// EPC budget charge for `cap + ENTRY_OVERHEAD` bytes; released on
+    /// drop.
+    _epc: Option<EpcAllocation>,
+}
+
+impl Entry {
+    fn cost(&self) -> usize {
+        self.cap + ENTRY_OVERHEAD
+    }
+}
+
+/// One cache shard: entry map plus a clock (second-chance) eviction ring.
+/// Ring slots may go stale when entries are invalidated; the clock hand
+/// skips them lazily.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    entries: HashMap<CellAddr, Entry>,
+    ring: VecDeque<CellAddr>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Shard {
+    /// Look up a pinned payload, marking the entry recently used.
+    pub fn get(&mut self, addr: CellAddr) -> Option<Vec<u8>> {
+        let e = self.entries.get_mut(&addr)?;
+        e.referenced = true;
+        Some(e.data.clone())
+    }
+
+    /// Absorb a write into the pinned copy if the entry exists and the new
+    /// payload fits its capacity. Returns whether the write was absorbed.
+    pub fn write_hit(&mut self, addr: CellAddr, data: &[u8]) -> bool {
+        match self.entries.get_mut(&addr) {
+            Some(e) if data.len() <= e.cap => {
+                e.data.clear();
+                e.data.extend_from_slice(data);
+                e.dirty = true;
+                e.referenced = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `addr` is pinned.
+    pub fn contains(&self, addr: CellAddr) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// Drop the entry for `addr` (invalidation: the caller has superseded
+    /// or destroyed the host cell under this shard lock). Any dirty
+    /// payload dies with it — the caller's host-path fold already accounts
+    /// for the cell.
+    pub fn remove(&mut self, addr: CellAddr) -> Option<Entry> {
+        let e = self.entries.remove(&addr)?;
+        self.bytes -= e.cost();
+        Some(e)
+    }
+
+    /// If `addr` is pinned dirty: mark it clean and return a copy of the
+    /// payload for the caller to write back to the host (under this same
+    /// shard lock). The entry stays pinned, and its capacity ceiling
+    /// shrinks to the flushed length: the host copy now holds exactly
+    /// these bytes, and a later compaction may trim its cell capacity to
+    /// match, so absorbing anything longer would strand the write-back.
+    pub fn take_dirty_data(&mut self, addr: CellAddr) -> Option<Vec<u8>> {
+        let e = self.entries.get_mut(&addr)?;
+        if !e.dirty {
+            return None;
+        }
+        e.dirty = false;
+        self.bytes -= e.cost();
+        e.cap = e.data.len();
+        self.bytes += e.cost();
+        Some(e.data.clone())
+    }
+
+    /// Evict entries (clock / second chance) until `need` more bytes fit
+    /// in the budget, returning the victims for the caller to write back
+    /// if dirty. May return fewer than needed only when the shard empties.
+    pub fn make_room(&mut self, need: usize) -> Vec<(CellAddr, Entry)> {
+        let mut victims = Vec::new();
+        let mut sweeps = self.ring.len().saturating_mul(2);
+        while self.bytes + need > self.budget && sweeps > 0 {
+            sweeps -= 1;
+            let Some(addr) = self.ring.pop_front() else {
+                break;
+            };
+            match self.entries.get_mut(&addr) {
+                None => continue, // stale ring slot (invalidated entry)
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.ring.push_back(addr);
+                }
+                Some(_) => {
+                    let e = self.entries.remove(&addr).expect("checked");
+                    self.bytes -= e.cost();
+                    victims.push((addr, e));
+                }
+            }
+        }
+        victims
+    }
+
+    /// Pin a freshly verified payload (clean). The caller has already made
+    /// room and charged the EPC.
+    pub fn insert(&mut self, addr: CellAddr, data: &[u8], epc: Option<EpcAllocation>) {
+        let entry = Entry {
+            data: data.to_vec(),
+            cap: data.len(),
+            dirty: false,
+            referenced: true,
+            _epc: epc,
+        };
+        self.bytes += entry.cost();
+        if let Some(old) = self.entries.insert(addr, entry) {
+            self.bytes -= old.cost();
+        } else {
+            self.ring.push_back(addr);
+        }
+    }
+
+    /// Remove and return every entry (drain). Ring and byte count reset.
+    pub fn take_all(&mut self) -> Vec<(CellAddr, Entry)> {
+        self.ring.clear();
+        self.bytes = 0;
+        self.entries.drain().collect()
+    }
+
+    /// Byte budget of this shard.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently pinned.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Entries currently pinned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Bounded, sharded, enclave-resident cell cache.
+pub struct CellCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Pinned bytes across all shards (mirrors the per-shard counts; kept
+    /// as an atomic so the obs gauge can be set without sweeping shards).
+    resident: AtomicUsize,
+    /// Lifetime hit/miss tallies, independent of the obs registry so the
+    /// cache can report a ratio even with metrics off.
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CellCache {
+    /// Build a cache with `total_bytes` capacity split over the shards;
+    /// `None` when `total_bytes` is zero (cache disabled).
+    pub fn new(total_bytes: usize) -> Option<CellCache> {
+        if total_bytes == 0 {
+            return None;
+        }
+        let per_shard = (total_bytes / SHARDS).max(ENTRY_OVERHEAD + 1);
+        let shards = (0..SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    budget: per_shard,
+                    ..Shard::default()
+                })
+            })
+            .collect();
+        Some(CellCache {
+            shards,
+            resident: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn index(&self, page: u64) -> usize {
+        // Fibonacci hash: consecutive page ids land on different shards.
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
+    /// Lock the shard covering `page`.
+    pub(crate) fn shard(&self, page: u64) -> MutexGuard<'_, Shard> {
+        self.shards[self.index(page)].lock()
+    }
+
+    /// Lock the shards covering two pages in index order; the first guard
+    /// always covers `a`, the second is `None` when both pages share a
+    /// shard.
+    pub(crate) fn shard_pair(
+        &self,
+        a: u64,
+        b: u64,
+    ) -> (MutexGuard<'_, Shard>, Option<MutexGuard<'_, Shard>>) {
+        let (ia, ib) = (self.index(a), self.index(b));
+        if ia == ib {
+            (self.shards[ia].lock(), None)
+        } else if ia < ib {
+            let ga = self.shards[ia].lock();
+            let gb = self.shards[ib].lock();
+            (ga, Some(gb))
+        } else {
+            let gb = self.shards[ib].lock();
+            let ga = self.shards[ia].lock();
+            (ga, Some(gb))
+        }
+    }
+
+    /// Number of shards (drain iterates them by index).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lock shard `i`.
+    pub(crate) fn shard_by_index(&self, i: usize) -> MutexGuard<'_, Shard> {
+        self.shards[i].lock()
+    }
+
+    /// Record pinned-byte movement for the resident gauge.
+    pub(crate) fn adjust_resident(&self, before: usize, after: usize) {
+        if after >= before {
+            self.resident.fetch_add(after - before, Ordering::Relaxed);
+        } else {
+            self.resident.fetch_sub(before - after, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently pinned across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Count a hit.
+    pub(crate) fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a miss.
+    pub(crate) fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lifetime `(hits, misses)`.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit ratio in percent (0 when no accesses yet).
+    pub fn hit_ratio_pct(&self) -> u64 {
+        let (h, m) = self.hit_stats();
+        (h * 100).checked_div(h + m).unwrap_or(0)
+    }
+
+    /// Entries pinned across all shards (diagnostic; takes every shard
+    /// lock briefly).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no entries are pinned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The byte cost an entry of `data_len` charges against the budget and
+    /// the EPC.
+    pub fn entry_cost(data_len: usize) -> usize {
+        data_len + ENTRY_OVERHEAD
+    }
+}
+
+impl std::fmt::Debug for CellCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellCache")
+            .field("shards", &self.shards.len())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(page: u64, slot: u16) -> CellAddr {
+        CellAddr { page, slot }
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        assert!(CellCache::new(0).is_none());
+        assert!(CellCache::new(1024).is_some());
+    }
+
+    #[test]
+    fn fill_hit_and_write_hit_roundtrip() {
+        let c = CellCache::new(1 << 20).unwrap();
+        let a = addr(7, 3);
+        {
+            let mut s = c.shard(7);
+            assert!(s.get(a).is_none());
+            s.insert(a, b"payload", None);
+            assert_eq!(s.get(a).unwrap(), b"payload");
+            // Fits capacity: absorbed.
+            assert!(s.write_hit(a, b"shorter"));
+            assert_eq!(s.get(a).unwrap(), b"shorter");
+            // Exceeds capacity: refused.
+            assert!(!s.write_hit(a, b"way-too-long-for-slot"));
+            assert_eq!(s.take_dirty_data(a).unwrap(), b"shorter");
+            // Now clean: nothing to take.
+            assert!(s.take_dirty_data(a).is_none());
+        }
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_second_chance() {
+        let c = CellCache::new(1).unwrap(); // tiny: one entry per shard
+        let a1 = addr(1, 0);
+        let mut s = c.shard(1);
+        let budget = s.budget();
+        s.insert(a1, b"x", None);
+        assert!(s.bytes() <= budget);
+        // Filling a second entry in the same shard must evict the first.
+        let a2 = addr(1, 1);
+        let victims = s.make_room(CellCache::entry_cost(1));
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].0, a1);
+        s.insert(a2, b"y", None);
+        assert!(s.contains(a2));
+        assert!(!s.contains(a1));
+    }
+
+    #[test]
+    fn invalidated_ring_slots_are_skipped() {
+        let c = CellCache::new(1 << 20).unwrap();
+        let mut s = c.shard(0);
+        let budget = s.budget();
+        s.insert(addr(0, 0), b"a", None);
+        s.insert(addr(0, 1), b"b", None);
+        s.remove(addr(0, 0));
+        // Demand the whole budget so both ring slots are swept: the stale
+        // slot is skipped, the live one (after its second chance) evicted.
+        let victims = s.make_room(budget);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].0, addr(0, 1));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn take_all_drains() {
+        let c = CellCache::new(1 << 20).unwrap();
+        let mut s = c.shard(3);
+        s.insert(addr(3, 0), b"a", None);
+        s.insert(addr(3, 1), b"b", None);
+        assert!(s.write_hit(addr(3, 1), b"B"));
+        let all = s.take_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all.iter().filter(|(_, e)| e.dirty).count(), 1);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn hit_ratio_accounting() {
+        let c = CellCache::new(1 << 20).unwrap();
+        c.count_hit();
+        c.count_hit();
+        c.count_hit();
+        c.count_miss();
+        assert_eq!(c.hit_stats(), (3, 1));
+        assert_eq!(c.hit_ratio_pct(), 75);
+    }
+}

@@ -128,6 +128,29 @@ mod proptests {
         }
 
         #[test]
+        fn to_hex_round_trips(d in arb_digest()) {
+            let hex = d.to_hex();
+            prop_assert_eq!(hex.len(), DIGEST_LEN * 2);
+            prop_assert!(
+                hex.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()),
+                "hex must be lowercase hexadecimal: {}", hex
+            );
+            let mut back = [0u8; DIGEST_LEN];
+            for (i, pair) in hex.as_bytes().chunks(2).enumerate() {
+                let nibble = |c: u8| {
+                    if c.is_ascii_digit() { c - b'0' } else { c - b'a' + 10 }
+                };
+                back[i] = (nibble(pair[0]) << 4) | nibble(pair[1]);
+            }
+            prop_assert_eq!(SetDigest(back), d);
+        }
+
+        #[test]
+        fn to_hex_is_injective(a in arb_digest(), b in arb_digest()) {
+            prop_assert_eq!(a.to_hex() == b.to_hex(), a == b);
+        }
+
+        #[test]
         fn any_permutation_same_digest(
             elems in prop::collection::vec(arb_digest(), 0..16),
             seed in any::<u64>(),

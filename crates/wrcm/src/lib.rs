@@ -43,6 +43,7 @@
 //! - **Multiple RSWSs**: pages are partitioned across N digest pairs, each
 //!   with its own lock, removing the global contention point.
 
+pub mod cache;
 pub mod digest;
 pub mod memory;
 pub mod page;
@@ -51,6 +52,7 @@ pub mod rsws;
 pub mod tamper;
 pub mod verifier;
 
+pub use cache::CellCache;
 pub use digest::SetDigest;
 pub use memory::{CellAddr, MemConfig, ReadBatch, VerifiedMemory, VerifyReport};
 pub use page::{RawPage, SlotId, PAGE_HEADER_BYTES};

@@ -13,10 +13,13 @@
 //! into `h(WS)`; the deferred verifier ([`crate::verifier`]) closes epochs
 //! by scanning pages and checking `h(RS) = h(WS)` per partition.
 //!
-//! Locking protocol: **page mutex → partition mutex**, everywhere,
-//! including the scan path; partition mutexes, when two are needed
+//! Locking protocol: **cache shard → page mutex → partition mutex**,
+//! everywhere; the scan path takes no shard locks (it starts at the page
+//! mutex). Shard mutexes, when two are needed (cross-page moves), are
+//! taken in shard-index order; partition mutexes, when two are needed
 //! (cross-partition moves), are taken in index order.
 
+use crate::cache::{CellCache, Shard};
 use crate::digest::SetDigest;
 use crate::page::{RawPage, SlotId};
 use crate::prf::{PrfEngine, KIND_DATA, KIND_GROUP, KIND_META};
@@ -80,6 +83,9 @@ pub struct MemConfig {
     /// ([`VerifiedMemory::verify_now`]); each verifier claims disjoint
     /// partitions (§3.3's "multiple verifiers"). Clamped to `>= 1`.
     pub workers: usize,
+    /// Capacity in bytes of the enclave-resident verified cell cache
+    /// ([`crate::cache`]); `0` disables it. Counts against the EPC budget.
+    pub cell_cache_bytes: usize,
 }
 
 impl MemConfig {
@@ -96,6 +102,7 @@ impl MemConfig {
             prf: cfg.prf,
             metrics: cfg.metrics,
             workers: cfg.workers,
+            cell_cache_bytes: cfg.cell_cache_bytes,
         }
     }
 }
@@ -199,6 +206,10 @@ pub struct VerifiedMemory {
     /// First verification failure observed, if any. Results must not be
     /// endorsed once this is set.
     poisoned: Mutex<Option<Error>>,
+    /// Enclave-resident verified cell cache ([`crate::cache`]); `None`
+    /// when the configured capacity is zero, so the disabled hot path pays
+    /// a single branch. Lock order: cache shard → page → partition.
+    cache: Option<CellCache>,
 }
 
 impl VerifiedMemory {
@@ -211,6 +222,7 @@ impl VerifiedMemory {
             .collect();
         let scan_locks = (0..nparts).map(|_| Mutex::new(())).collect();
         let metrics = cfg.metrics.then(|| Arc::clone(enclave.metrics()));
+        let cache = CellCache::new(cfg.cell_cache_bytes);
         Arc::new(VerifiedMemory {
             enclave,
             cfg,
@@ -225,6 +237,7 @@ impl VerifiedMemory {
             scan_cursor: Mutex::new(0),
             scan_locks,
             poisoned: Mutex::new(None),
+            cache,
         })
     }
 
@@ -408,11 +421,159 @@ impl VerifiedMemory {
             .saturating_sub(crate::page::SLOT_ENTRY_BYTES + crate::page::CELL_HEADER_BYTES))
     }
 
+    // ---- enclave-resident cell cache (see crate::cache) --------------------
+
+    /// The cell cache, if enabled.
+    pub fn cell_cache(&self) -> Option<&CellCache> {
+        self.cache.as_ref()
+    }
+
+    /// Refresh the cache's hit-ratio gauge (cheap; called on misses and
+    /// drains so hits stay a single counter bump).
+    fn cache_gauges(&self, cache: &CellCache) {
+        if let Some(m) = self.met() {
+            m.cache_hit_ratio_pct.set(cache.hit_ratio_pct());
+            m.cache_resident_bytes.set(cache.resident_bytes() as u64);
+        }
+    }
+
+    /// Write a dirty payload back to the host copy: a normal protected
+    /// write, whose RS fold consumes the outstanding element the host copy
+    /// carries. Called with the covering shard lock held. A failure means
+    /// the host copy no longer matches the outstanding element (tampering
+    /// or forged page state); the error propagates, and the unconsumed
+    /// element unbalances the digests at the next epoch close regardless.
+    fn cache_write_back(&self, addr: CellAddr, data: &[u8]) -> Result<()> {
+        if let Some(m) = self.met() {
+            m.cache_writebacks.inc();
+        }
+        self.write_uncached(addr, data)
+    }
+
+    /// Pin a freshly verified payload in `shard`, evicting (and writing
+    /// back dirty) entries as needed. Oversized payloads are simply not
+    /// cached. The shard lock is held by the caller.
+    fn cache_fill(
+        &self,
+        cache: &CellCache,
+        shard: &mut Shard,
+        addr: CellAddr,
+        data: &[u8],
+    ) -> Result<()> {
+        let cost = CellCache::entry_cost(data.len());
+        if cost > shard.budget() {
+            return Ok(());
+        }
+        let before = shard.bytes();
+        let victims = shard.make_room(cost);
+        if !victims.is_empty() {
+            if let Some(m) = self.met() {
+                m.cache_evictions.add(victims.len() as u64);
+            }
+            for (vaddr, ventry) in &victims {
+                if ventry.dirty {
+                    self.cache_write_back(*vaddr, &ventry.data)?;
+                }
+            }
+        }
+        // Each pinned entry charges the simulated EPC; if the budget is
+        // exhausted under strict accounting, skip pinning rather than fail
+        // the (already completed) verified read.
+        let epc = match self.enclave.epc().allocate(cost) {
+            Ok(g) => Some(g),
+            Err(_) => {
+                cache.adjust_resident(before, shard.bytes());
+                return Ok(());
+            }
+        };
+        shard.insert(addr, data, epc);
+        cache.adjust_resident(before, shard.bytes());
+        self.cache_gauges(cache);
+        Ok(())
+    }
+
+    /// Write back every dirty entry and drop the whole cache contents.
+    /// Called by [`Self::verify_now`] / [`Self::verify_now_parallel`] so a
+    /// synchronous verification pass reflects all absorbed writes, and by
+    /// tests. No-op when the cache is disabled.
+    pub fn drain_cell_cache(&self) -> Result<()> {
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
+        for si in 0..cache.shard_count() {
+            let mut failure = None;
+            {
+                let mut shard = cache.shard_by_index(si);
+                let before = shard.bytes();
+                for (addr, entry) in shard.take_all() {
+                    if failure.is_some() {
+                        continue; // discard the rest; we're poisoning anyway
+                    }
+                    if entry.dirty {
+                        if let Err(e) = self.cache_write_back(addr, &entry.data) {
+                            failure = Some(e);
+                        }
+                    }
+                }
+                cache.adjust_resident(before, shard.bytes());
+            }
+            if let Some(e) = failure {
+                self.record_failure(&e);
+                return Err(e);
+            }
+        }
+        self.cache_gauges(cache);
+        Ok(())
+    }
+
+    /// Discard every cache entry without write-back (poison path: the
+    /// memory failed verification, so no further folds should be issued).
+    fn clear_cell_cache(&self) {
+        let Some(cache) = &self.cache else {
+            return;
+        };
+        for si in 0..cache.shard_count() {
+            let mut shard = cache.shard_by_index(si);
+            let before = shard.bytes();
+            drop(shard.take_all());
+            cache.adjust_resident(before, 0);
+        }
+        self.cache_gauges(cache);
+    }
+
     // ---- protected operations (Algorithm 1 / Algorithm 3 primitives) ------
 
     /// Protected read: returns the cell's data, folding the read into
     /// `h(RS)` and the virtual write-back (fresh timestamp) into `h(WS)`.
+    ///
+    /// With the cell cache enabled, a hit returns the pinned payload with
+    /// no PRF, no folds, and no page lock; a miss runs the verified read
+    /// below and pins the result.
     pub fn read(&self, addr: CellAddr) -> Result<Vec<u8>> {
+        let Some(cache) = &self.cache else {
+            return self.read_uncached(addr);
+        };
+        let mut shard = cache.shard(addr.page);
+        if let Some(data) = shard.get(addr) {
+            cache.count_hit();
+            if let Some(m) = self.met() {
+                m.cache_hits.inc();
+            }
+            drop(shard);
+            self.op_tick();
+            return Ok(data);
+        }
+        let data = self.read_uncached(addr)?;
+        cache.count_miss();
+        if let Some(m) = self.met() {
+            m.cache_misses.inc();
+        }
+        self.cache_fill(cache, &mut shard, addr, &data)?;
+        Ok(data)
+    }
+
+    /// Protected read bypassing the cell cache (the raw Algorithm 1 path).
+    fn read_uncached(&self, addr: CellAddr) -> Result<Vec<u8>> {
         let page_arc = self.get_page(addr.page)?;
         let mut page = page_arc.lock();
 
@@ -490,7 +651,41 @@ impl VerifiedMemory {
     }
 
     /// Protected overwrite of an existing cell.
+    ///
+    /// With the cell cache enabled, a write whose payload fits the pinned
+    /// entry's capacity is absorbed in trusted memory (the entry goes
+    /// dirty; the WS fold is deferred to eviction/drain). Larger payloads
+    /// and misses take the host path below.
     pub fn write(&self, addr: CellAddr, data: &[u8]) -> Result<()> {
+        let Some(cache) = &self.cache else {
+            return self.write_uncached(addr, data);
+        };
+        let mut shard = cache.shard(addr.page);
+        if shard.write_hit(addr, data) {
+            cache.count_hit();
+            if let Some(m) = self.met() {
+                m.cache_hits.inc();
+            }
+            drop(shard);
+            self.op_tick();
+            return Ok(());
+        }
+        self.write_uncached(addr, data)?;
+        // A growing write to a pinned cell went through the host path; the
+        // old entry (possibly dirty — its content is superseded by this
+        // write) is replaced by the new payload, clean, with the new
+        // capacity. Plain misses do not allocate (read-fill only).
+        if shard.contains(addr) {
+            let before = shard.bytes();
+            shard.remove(addr);
+            cache.adjust_resident(before, shard.bytes());
+            self.cache_fill(cache, &mut shard, addr, data)?;
+        }
+        Ok(())
+    }
+
+    /// Protected overwrite bypassing the cell cache.
+    fn write_uncached(&self, addr: CellAddr, data: &[u8]) -> Result<()> {
         let page_arc = self.get_page(addr.page)?;
         let mut page = page_arc.lock();
         let ts_new = self.enclave.next_timestamp();
@@ -650,6 +845,23 @@ impl VerifiedMemory {
     /// read+write per relocated record; in lazy mode the hole waits for
     /// the verification scan.
     pub fn delete(&self, addr: CellAddr) -> Result<()> {
+        let Some(cache) = &self.cache else {
+            return self.delete_uncached(addr);
+        };
+        // Invalidate under the shard lock: the dirty payload (if any) dies
+        // with the cell — the host-path RS fold below consumes the
+        // outstanding element, which the host copy still carries.
+        let mut shard = cache.shard(addr.page);
+        if shard.contains(addr) {
+            let before = shard.bytes();
+            shard.remove(addr);
+            cache.adjust_resident(before, shard.bytes());
+        }
+        self.delete_uncached(addr)
+    }
+
+    /// Protected delete bypassing the cell cache.
+    fn delete_uncached(&self, addr: CellAddr) -> Result<()> {
         let page_arc = self.get_page(addr.page)?;
         let mut page = page_arc.lock();
 
@@ -731,6 +943,27 @@ impl VerifiedMemory {
             // Same-page "move" is a no-op at the protocol level.
             return Ok(from);
         }
+        let Some(cache) = &self.cache else {
+            return self.move_cell_uncached(from, to_page);
+        };
+        // Shards in index order (both held across the move so no fill can
+        // race it); a dirty source entry is written back first so the host
+        // copy the move reads is current, then invalidated.
+        let (mut src_shard, _dst_shard) = cache.shard_pair(from.page, to_page);
+        if src_shard.contains(from) {
+            let before = src_shard.bytes();
+            if let Some(entry) = src_shard.remove(from) {
+                if entry.dirty {
+                    self.cache_write_back(from, &entry.data)?;
+                }
+            }
+            cache.adjust_resident(before, src_shard.bytes());
+        }
+        self.move_cell_uncached(from, to_page)
+    }
+
+    /// Protected move bypassing the cell cache.
+    fn move_cell_uncached(&self, from: CellAddr, to_page: u64) -> Result<CellAddr> {
         // Lock pages in id order to avoid deadlocks.
         let a = self.get_page(from.page)?;
         let b = self.get_page(to_page)?;
@@ -996,6 +1229,36 @@ impl VerifiedMemory {
         slots: &[SlotId],
         out: &mut ReadBatch,
     ) -> Result<()> {
+        let Some(cache) = &self.cache else {
+            return self.read_page_batch_uncached(page_id, slots, out);
+        };
+        // Coherence with coalesced scan groups: flush dirty pinned cells
+        // among the requested slots first (the entries stay pinned, now
+        // clean), so the group element the batch forms covers the current
+        // payloads. Clean entries already match the host bytes.
+        let shard = &mut *cache.shard(page_id);
+        let before = shard.bytes();
+        for &slot in slots {
+            let addr = CellAddr {
+                page: page_id,
+                slot,
+            };
+            if let Some(data) = shard.take_dirty_data(addr) {
+                self.cache_write_back(addr, &data)?;
+            }
+        }
+        cache.adjust_resident(before, shard.bytes());
+        self.read_page_batch_uncached(page_id, slots, out)
+    }
+
+    /// Batched protected read bypassing the cell cache (the caller holds
+    /// the covering shard lock when the cache is enabled).
+    fn read_page_batch_uncached(
+        &self,
+        page_id: u64,
+        slots: &[SlotId],
+        out: &mut ReadBatch,
+    ) -> Result<()> {
         out.clear();
         let page_arc = self.get_page(page_id)?;
         let mut page = page_arc.lock();
@@ -1185,6 +1448,26 @@ impl VerifiedMemory {
     /// failing cell itself is untouched. Callers may retry or relocate
     /// the remainder.
     pub fn write_page_batch(&self, page_id: u64, writes: &[(SlotId, &[u8])]) -> Result<()> {
+        let Some(cache) = &self.cache else {
+            return self.write_page_batch_uncached(page_id, writes);
+        };
+        // Batched writes supersede any pinned copies of the target slots;
+        // drop them (dirty content included — the host-path RS folds below
+        // consume the outstanding elements the host copies still carry).
+        let shard = &mut *cache.shard(page_id);
+        let before = shard.bytes();
+        for &(slot, _) in writes {
+            shard.remove(CellAddr {
+                page: page_id,
+                slot,
+            });
+        }
+        cache.adjust_resident(before, shard.bytes());
+        self.write_page_batch_uncached(page_id, writes)
+    }
+
+    /// Batched protected write bypassing the cell cache.
+    fn write_page_batch_uncached(&self, page_id: u64, writes: &[(SlotId, &[u8])]) -> Result<()> {
         let page_arc = self.get_page(page_id)?;
         let mut page = page_arc.lock();
         let n = writes.len() as u64;
@@ -1395,12 +1678,25 @@ impl VerifiedMemory {
     // ---- verification (Algorithm 2, non-quiescent) --------------------------
 
     fn record_failure(&self, e: &Error) {
-        let mut p = self.poisoned.lock();
-        if p.is_none() {
-            *p = Some(e.clone());
-            if let Some(m) = self.met() {
-                m.poison_events.inc();
+        let first = {
+            let mut p = self.poisoned.lock();
+            if p.is_none() {
+                *p = Some(e.clone());
+                if let Some(m) = self.met() {
+                    m.poison_events.inc();
+                }
+                true
+            } else {
+                false
             }
+        };
+        if first {
+            // Tamper-induced poison discards the cache without write-back:
+            // the memory failed verification, so no further folds should
+            // be issued on its behalf. (Never called with a shard lock
+            // held — write-back failures inside cached paths propagate and
+            // are caught at the next epoch close instead.)
+            self.clear_cell_cache();
         }
     }
 
@@ -1608,6 +1904,10 @@ impl VerifiedMemory {
     /// verifiers may be employed to verify different (disjoint) sections
     /// of the memory for performance purposes").
     pub fn verify_now_parallel(&self, threads: usize) -> Result<VerifyReport> {
+        // Drain the cell cache first: every absorbed write is folded into
+        // the digests before the pass, so the verified state reflects the
+        // latest writes and `h(RS) = h(WS)` balances with an empty cache.
+        self.drain_cell_cache()?;
         let threads = threads.clamp(1, self.parts.len());
         let totals = Mutex::new((0u64, 0u64));
         let first_err: Mutex<Option<Error>> = Mutex::new(None);
@@ -1687,6 +1987,10 @@ mod tests {
             prf: PrfBackend::HmacSha256,
             metrics: true,
             workers: 1,
+            // The digest/PRF-accounting tests below assert exact fold and
+            // element counts of the raw protocol; cache-specific tests
+            // enable the cache explicitly.
+            cell_cache_bytes: 0,
         }
     }
 
@@ -2012,7 +2316,15 @@ mod tests {
                 }
             })
         };
-        std::thread::sleep(std::time::Duration::from_millis(300));
+        // Let the race run until the workers have pushed a meaningful
+        // amount of traffic through (bounded backoff, not a fixed sleep).
+        let _ = veridb_common::backoff::Backoff::wait_for(
+            || {
+                m.metrics()
+                    .is_some_and(|mm| mm.protected_reads.get() >= 5_000)
+            },
+            2_000,
+        );
         stop.store(1, Ordering::Relaxed);
         for h in handles {
             h.join().unwrap();
@@ -2361,12 +2673,262 @@ mod tests {
                 }
             }));
         }
-        std::thread::sleep(std::time::Duration::from_millis(300));
+        // Run the batched race until the readers have covered enough cells.
+        let _ = veridb_common::backoff::Backoff::wait_for(
+            || {
+                m.metrics()
+                    .is_some_and(|mm| mm.batched_read_cells.get() >= 5_000)
+            },
+            2_000,
+        );
         stop.store(1, Ordering::Relaxed);
         for h in handles {
             h.join().unwrap();
         }
         assert!(v.stop().is_none(), "honest run must not alarm");
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use veridb_common::PrfBackend;
+
+    /// Like the main test `cfg()`, but with the cell cache sized to
+    /// `cache_bytes`.
+    fn mem_cached(cache_bytes: usize) -> Arc<VerifiedMemory> {
+        let enclave = Enclave::create("cache-test", 1 << 22, [21u8; 32]);
+        VerifiedMemory::new(
+            enclave,
+            MemConfig {
+                page_size: 1024,
+                partitions: 4,
+                verify_rsws: true,
+                verify_metadata: false,
+                verify_every_ops: None,
+                track_touched_pages: true,
+                compact_during_verification: true,
+                prf: PrfBackend::HmacSha256,
+                metrics: true,
+                workers: 1,
+                cell_cache_bytes: cache_bytes,
+            },
+        )
+    }
+
+    #[test]
+    fn repeated_reads_hit_and_skip_protocol_work() {
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"hot cell").unwrap();
+        for _ in 0..10 {
+            assert_eq!(m.read(a).unwrap(), b"hot cell");
+        }
+        let met = m.metrics().unwrap();
+        // One miss (the fill), nine hits; only the fill ran the protocol.
+        assert_eq!(met.protected_reads.get(), 1);
+        assert_eq!(met.cache_misses.get(), 1);
+        assert_eq!(met.cache_hits.get(), 9);
+        let cache = m.cell_cache().unwrap();
+        assert_eq!(cache.hit_stats(), (9, 1));
+        assert_eq!(cache.hit_ratio_pct(), 90);
+        assert!(cache.resident_bytes() > 0);
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+
+    #[test]
+    fn absorbed_writes_are_served_and_flushed_on_drain() {
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"original!").unwrap();
+        assert_eq!(m.read(a).unwrap(), b"original!");
+        // Fits the pinned capacity: absorbed in trusted memory, no
+        // protected write.
+        m.write(a, b"absorbed").unwrap();
+        assert_eq!(m.read(a).unwrap(), b"absorbed");
+        let met = m.metrics().unwrap();
+        assert_eq!(met.protected_writes.get(), 0);
+        m.drain_cell_cache().unwrap();
+        assert!(m.cell_cache().unwrap().is_empty());
+        assert_eq!(met.cache_writebacks.get(), 1);
+        // The host copy now holds the absorbed payload; a fresh (miss)
+        // read and a verification pass both agree.
+        assert_eq!(m.read(a).unwrap(), b"absorbed");
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+
+    #[test]
+    fn cached_reads_return_pinned_data_and_tamper_is_caught_at_scan() {
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"honest value").unwrap();
+        assert_eq!(m.read(a).unwrap(), b"honest value");
+        crate::tamper::overwrite_cell(&m, a, b"forged val!!").unwrap();
+        // The pinned copy is authoritative: the hit never sees the forgery.
+        assert_eq!(m.read(a).unwrap(), b"honest value");
+        // But the host copy no longer cancels its outstanding WS element,
+        // so the next scan flags the partition.
+        assert!(m.verify_now().is_err());
+        assert!(m.poisoned().is_some());
+        // Poisoning discarded the cache without folding anything back.
+        assert!(m.cell_cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tamper_under_dirty_cached_cell_is_caught_at_drain() {
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"honest value").unwrap();
+        assert_eq!(m.read(a).unwrap(), b"honest value");
+        m.write(a, b"dirty update").unwrap();
+        crate::tamper::overwrite_cell(&m, a, b"forged val!!").unwrap();
+        // The drain's write-back consumes the *forged* host bytes into RS,
+        // which cannot cancel the honest outstanding element.
+        assert!(m.verify_now().is_err());
+        assert!(m.poisoned().is_some());
+    }
+
+    #[test]
+    fn evicted_then_reread_tamper_is_caught_at_scan() {
+        // Tiny budget: one minimal entry per shard, so the second fill on
+        // the same page evicts the first.
+        let m = mem_cached(1);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"a").unwrap();
+        let b = m.insert_in(p, b"b").unwrap();
+        assert_eq!(m.read(a).unwrap(), b"a");
+        assert_eq!(m.read(b).unwrap(), b"b"); // evicts `a` (clean, fold-free)
+        assert_eq!(m.metrics().unwrap().cache_evictions.get(), 1);
+        crate::tamper::overwrite_cell(&m, a, b"x").unwrap();
+        // The re-read misses and folds the forged bytes into RS; the
+        // outstanding element from the clean release stays uncancelled.
+        assert_eq!(m.read(a).unwrap(), b"x");
+        assert!(m.verify_now().is_err());
+        assert!(m.poisoned().is_some());
+    }
+
+    #[test]
+    fn parallel_drain_leaves_digests_balanced() {
+        let m = mem_cached(1 << 20);
+        let pages: Vec<u64> = (0..4).map(|_| m.allocate_page()).collect();
+        let mut addrs = Vec::new();
+        for &p in &pages {
+            for i in 0..8 {
+                addrs.push(m.insert_in(p, format!("v{p}-{i}").as_bytes()).unwrap());
+            }
+        }
+        for a in &addrs {
+            m.read(*a).unwrap();
+        }
+        for (i, a) in addrs.iter().enumerate() {
+            m.write(*a, format!("w{i:06}").as_bytes()).unwrap();
+        }
+        m.verify_now_parallel(4).unwrap();
+        assert!(m.cell_cache().unwrap().is_empty());
+        // A second pass over the drained state must still balance.
+        m.verify_now_parallel(2).unwrap();
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(m.read(*a).unwrap(), format!("w{i:06}").as_bytes());
+        }
+        assert!(m.poisoned().is_none());
+    }
+
+    #[test]
+    fn delete_and_move_invalidate_pinned_entries() {
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"doomed").unwrap();
+        let b = m.insert_in(p, b"mover").unwrap();
+        m.read(a).unwrap();
+        m.read(b).unwrap();
+        m.delete(a).unwrap();
+        assert!(matches!(m.read(a), Err(Error::SlotNotFound { .. })));
+        m.write(b, b"moved").unwrap(); // absorbed (dirty)
+        let q = m.allocate_page();
+        let nb = m.move_cell(b, q).unwrap();
+        assert_eq!(m.read(nb).unwrap(), b"moved");
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+
+    #[test]
+    fn batched_reads_see_absorbed_writes() {
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..6)
+            .map(|i| m.insert_in(p, format!("cell-{i}").as_bytes()).unwrap())
+            .collect();
+        for a in &addrs {
+            m.read(*a).unwrap();
+        }
+        m.write(addrs[2], b"fresh!").unwrap(); // absorbed
+        let slots: Vec<SlotId> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        assert_eq!(batch.get(2).unwrap().1, b"fresh!");
+        assert_eq!(batch.get(0).unwrap().1, b"cell-0");
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+
+    #[test]
+    fn shrinking_absorbed_writes_survive_compaction() {
+        // Regression: a dirty shrink flushed by a batch read leaves the
+        // entry pinned; compaction then trims the host cell to the shorter
+        // payload, so the entry's absorb ceiling must shrink with it or a
+        // later write-back no longer fits in place.
+        let m = mem_cached(1 << 20);
+        let p = m.allocate_page();
+        let a = m.insert_in(p, b"a-long-initial-payload").unwrap();
+        let b = m.insert_in(p, b"middle-hole").unwrap();
+        let c = m.insert_in(p, b"tail-keeps-the-hole-interior").unwrap();
+        m.read(a).unwrap();
+        m.write(a, b"tiny").unwrap(); // absorbed, shrinking
+        let mut batch = ReadBatch::new();
+        m.read_page_batch(p, &[a.slot], &mut batch).unwrap(); // flush, stays pinned
+        m.delete(b).unwrap(); // interior hole → the scan's side-task compacts
+        while m.scan_step().unwrap() {} // full pass; does NOT drain the cache
+                                        // Other traffic consumes the space compaction reclaimed.
+        while m.insert_in(p, &[0x66; 48]).is_ok() {}
+        // The host cell now holds (and has capacity for) only 4 bytes and
+        // the page is full: a fill-sized write must take the host path and
+        // report `PageFull` honestly (the caller relocates), not be
+        // absorbed against capacity the host no longer has — which would
+        // turn the deferred write-back into a verification failure on
+        // honest data.
+        match m.write(a, b"a-long-initial-payload") {
+            Ok(()) | Err(Error::PageFull { .. }) => {}
+            other => panic!("unexpected write outcome: {other:?}"),
+        }
+        m.verify_now().unwrap();
+        assert_eq!(m.read(c).unwrap(), b"tail-keeps-the-hole-interior");
+        assert!(m.poisoned().is_none());
+    }
+
+    #[test]
+    fn honest_cached_workload_with_background_verifier() {
+        let m = mem_cached(64 * 1024);
+        let v = crate::verifier::BackgroundVerifier::spawn(Arc::clone(&m));
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..16)
+            .map(|i| m.insert_in(p, format!("k{i}").as_bytes()).unwrap())
+            .collect();
+        for round in 0..200 {
+            for a in &addrs {
+                let _ = m.read(*a).unwrap();
+            }
+            m.write(
+                addrs[round % addrs.len()],
+                format!("r{round:04}").as_bytes(),
+            )
+            .unwrap();
+        }
+        m.drain_cell_cache().unwrap();
+        assert!(v.stop().is_none(), "honest cached run must not alarm");
         m.verify_now().unwrap();
         assert!(m.poisoned().is_none());
     }
@@ -2407,6 +2969,9 @@ mod proptests {
         fn honest_histories_always_verify(
             ops in prop::collection::vec(arb_op(), 0..80),
             verify_metadata in any::<bool>(),
+            // Exercise the model with the cell cache off, tiny (constant
+            // eviction/write-back churn), and comfortable.
+            cell_cache_bytes in prop_oneof![Just(0usize), Just(600), Just(1 << 16)],
         ) {
             let enclave = Enclave::create("prop-test", 1 << 22, [4u8; 32]);
             let m = VerifiedMemory::new(enclave, MemConfig {
@@ -2420,6 +2985,7 @@ mod proptests {
                 prf: PrfBackend::SipHash,
                 metrics: true,
                 workers: 1,
+                cell_cache_bytes,
             });
             let mut pages = vec![m.allocate_page()];
             let mut model: Vec<(CellAddr, Vec<u8>)> = Vec::new();

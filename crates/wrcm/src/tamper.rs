@@ -124,6 +124,7 @@ mod tests {
                 prf: PrfBackend::HmacSha256,
                 metrics: true,
                 workers: 1,
+                cell_cache_bytes: 0,
             },
         )
     }

@@ -109,6 +109,7 @@ impl Drop for BackgroundVerifier {
 mod tests {
     use super::*;
     use crate::memory::MemConfig;
+    use veridb_common::backoff::Backoff;
     use veridb_common::PrfBackend;
     use veridb_enclave::Enclave;
 
@@ -127,6 +128,7 @@ mod tests {
                 prf: PrfBackend::SipHash,
                 metrics: true,
                 workers: 1,
+                cell_cache_bytes: 0,
             },
         )
     }
@@ -145,8 +147,13 @@ mod tests {
                 let _ = m.read(*a).unwrap();
             }
         }
-        // Give the verifier a moment to drain ticks.
-        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Wait (bounded) for the verifier to drain enough ticks to prove it
+        // scanned concurrently with the ops above.
+        let scanned = Backoff::wait_for(
+            || m.metrics().is_some_and(|mm| mm.scan_steps.get() >= 10),
+            2_000,
+        );
+        assert!(scanned, "background verifier made no scan progress");
         assert!(v.stop().is_none(), "honest run must not fail verification");
         assert!(m.poisoned().is_none());
         // And a final synchronous pass also succeeds.
@@ -174,7 +181,10 @@ mod tests {
         for _ in 0..200 {
             let _ = m.read(a2);
         }
-        std::thread::sleep(std::time::Duration::from_millis(200));
+        // Wait (bounded) for a scan to trip over the forged cell; if the
+        // poison never lands the assertions below fail with the same
+        // message a fixed sleep would have produced.
+        let _ = Backoff::wait_for(|| m.poisoned().is_some(), 2_000);
         let failure = v.stop();
         let poisoned = m.poisoned();
         assert!(
@@ -193,6 +203,7 @@ mod tests {
 mod pool_tests {
     use super::*;
     use crate::memory::MemConfig;
+    use veridb_common::backoff::Backoff;
     use veridb_common::PrfBackend;
     use veridb_enclave::Enclave;
 
@@ -211,6 +222,7 @@ mod pool_tests {
                 prf: PrfBackend::SipHash,
                 metrics: true,
                 workers: 1,
+                cell_cache_bytes: 0,
             },
         )
     }
@@ -231,7 +243,11 @@ mod pool_tests {
                 let _ = m.read(*a).unwrap();
             }
         }
-        std::thread::sleep(std::time::Duration::from_millis(150));
+        let scanned = Backoff::wait_for(
+            || m.metrics().is_some_and(|mm| mm.scan_steps.get() >= 50),
+            2_000,
+        );
+        assert!(scanned, "verifier pool made no scan progress");
         assert!(v.stop().is_none());
         m.verify_now().unwrap();
     }

@@ -57,6 +57,49 @@ fn tpch_q1_q3_q6_parallel_matches_serial() {
     serial_db.verify_now().unwrap();
 }
 
+/// The enclave cell cache must be invisible to query results: a cache-off
+/// database and a cache-on database (the 4 MiB default) agree on
+/// Q1/Q3/Q6 at 2 and 8 workers, and the cached run actually hits.
+#[test]
+fn tpch_parallel_equivalence_with_cell_cache() {
+    let mut cfg = VeriDbConfig::default();
+    cfg.verify_every_ops = None;
+    cfg.cell_cache_bytes = 0;
+    let uncached_db = VeriDb::open(cfg).unwrap();
+    let cached_db = tpch_db(1); // default config: cache on
+    let data = veridb_workloads::TpchData::generate(&veridb_workloads::TpchConfig::tiny());
+    data.load(&uncached_db).unwrap();
+
+    let opts = PlanOptions::default();
+    for (name, sql) in [("Q1", tpch::q1()), ("Q3", tpch::q3()), ("Q6", tpch::q6())] {
+        let expected = uncached_db.sql_with(sql, &opts).unwrap();
+        for workers in [2usize, 8] {
+            cached_db.set_workers(workers);
+            let got = cached_db.sql_with(sql, &opts).unwrap();
+            assert_eq!(got.columns, expected.columns, "{name}");
+            assert_rows_equivalent(
+                &got.rows,
+                &expected.rows,
+                &format!("{name}@{workers} cached vs uncached"),
+            );
+        }
+    }
+    let snap = cached_db.metrics();
+    assert!(
+        snap.cache_hits > 0,
+        "cache-enabled run should record hits (got {} hits / {} misses)",
+        snap.cache_hits,
+        snap.cache_misses
+    );
+    assert_eq!(
+        uncached_db.metrics().cache_hits,
+        0,
+        "cache off must not hit"
+    );
+    cached_db.verify_now().unwrap();
+    uncached_db.verify_now().unwrap();
+}
+
 #[test]
 fn ordered_scan_row_order_survives_parallelism() {
     // No ORDER BY: the row order is the verified scan's chain order, which
