@@ -15,10 +15,12 @@
 
 use std::time::Instant;
 use veridb::{PlanOptions, Value, VeriDb, VeriDbConfig};
-use veridb_bench::{f2, scale_from_env, FigureTable, Scale};
+use veridb_bench::{f2, scale_from_env, summarize, FigureTable, Scale};
 use veridb_workloads::tpch::{self, TpchConfig, TpchData};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed repetitions per (query, workers) cell for the p50/p95 summary.
+const SAMPLES: usize = 3;
 
 fn config(scale: Scale) -> TpchConfig {
     match scale {
@@ -80,6 +82,7 @@ fn main() {
         &["query", "workers", "time", "speedup", "morsels", "rows"],
     );
     let mut json = serde_json::Map::new();
+    let mut summaries = Vec::new();
     for (name, sql) in cases {
         let mut serial: Option<(f64, Vec<veridb::Row>)> = None;
         for w in WORKER_COUNTS {
@@ -87,9 +90,23 @@ fn main() {
             // Warm-up (faults page maps in, primes caches).
             let _ = db.sql_with(sql, &opts).expect("query");
             let before = db.metrics();
-            let start = Instant::now();
-            let r = db.sql_with(sql, &opts).expect("query");
-            let secs = start.elapsed().as_secs_f64();
+            let mut samples = Vec::with_capacity(SAMPLES);
+            let mut r = None;
+            let wall_start = Instant::now();
+            for _ in 0..SAMPLES {
+                let start = Instant::now();
+                r = Some(db.sql_with(sql, &opts).expect("query"));
+                samples.push(start.elapsed().as_secs_f64());
+            }
+            let wall = wall_start.elapsed().as_secs_f64();
+            let r = r.expect("at least one sample ran");
+            let secs = veridb_bench::percentile(&samples, 0.5);
+            summaries.push(summarize(
+                &format!("{name}/workers={w}"),
+                &samples,
+                wall,
+                SAMPLES,
+            ));
             let delta = db.metrics().since(&before);
             let (base_secs, base_rows) = match &serial {
                 None => {
@@ -135,4 +152,5 @@ fn main() {
     );
     t.print();
     veridb_bench::write_json("fig12_scaling", &serde_json::Value::Object(json));
+    veridb_bench::write_bench_summary("scaling", &summaries);
 }

@@ -1,0 +1,154 @@
+//! Network layer — concurrent remote clients against `veridb serve`.
+//!
+//! Starts one in-process server over a TPC-H-loaded engine and sweeps
+//! 1/4/16/64 concurrent [`veridb_net::RemoteClient`]s, each running the
+//! analytical mix (Q1, Q6, Q3) through the full wire path: framing, CRC,
+//! attestation handshake, portal MAC check, endorsement verification, and
+//! the `SeqIntervals` rollback defense. Every remote result is asserted
+//! equivalent to the in-process path before any number is reported, so the
+//! bench doubles as an end-to-end correctness check.
+//!
+//! Reported per client count: per-query wire latency p50/p95 and aggregate
+//! throughput; written to `BENCH_net.json` for cross-PR tracking.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use veridb::{Value, VeriDb, VeriDbConfig};
+use veridb_bench::{f1, scale_from_env, summarize, FigureTable, Scale};
+use veridb_workloads::tpch::{self, TpchConfig, TpchData};
+
+const CLIENT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+/// Queries each client runs per mix entry.
+const ROUNDS: usize = 2;
+
+fn config(scale: Scale) -> TpchConfig {
+    match scale {
+        Scale::Paper => TpchConfig {
+            lineitem_rows: 120_000,
+            part_rows: 4_000,
+            ..TpchConfig::default()
+        },
+        // Small scale keeps 64 concurrent clients well under a minute.
+        Scale::Small => TpchConfig {
+            lineitem_rows: 12_000,
+            part_rows: 400,
+            ..TpchConfig::default()
+        },
+    }
+}
+
+/// Same float-epsilon equivalence as fig12_scaling: partial aggregation
+/// on the server may associate float sums differently per run.
+fn rows_equivalent(a: &[veridb::Row], b: &[veridb::Row]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(ra, rb)| {
+        ra.values().len() == rb.values().len()
+            && ra
+                .values()
+                .iter()
+                .zip(rb.values())
+                .all(|(x, y)| match (x, y) {
+                    (Value::Float(fx), Value::Float(fy)) => {
+                        let scale = fx.abs().max(fy.abs()).max(1.0);
+                        (fx - fy).abs() <= 1e-9 * scale
+                    }
+                    _ => x == y,
+                })
+    })
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let cfg = config(scale);
+    println!(
+        "Network sweep — lineitem: {} rows, clients {CLIENT_COUNTS:?}, {} round(s) \
+         of Q1/Q6/Q3 each (scale {scale:?})",
+        cfg.lineitem_rows, ROUNDS,
+    );
+    let data = TpchData::generate(&cfg);
+
+    let mut v_cfg = VeriDbConfig::rsws();
+    v_cfg.verify_every_ops = None;
+    // A window wide enough for 64 pipelining clients.
+    v_cfg.replay_window = 1 << 14;
+    v_cfg.max_conns = 128;
+    let db = Arc::new(VeriDb::open(v_cfg).expect("open"));
+    data.load(&db).expect("load");
+
+    let cases: [(&str, &str); 3] = [("Q1", tpch::q1()), ("Q6", tpch::q6()), ("Q3", tpch::q3())];
+    // Ground truth from the in-process path.
+    let expected: Vec<(&str, veridb::QueryResult)> = cases
+        .iter()
+        .map(|(name, sql)| (*name, db.sql(sql).expect("in-process query")))
+        .collect();
+
+    let mut server = veridb_net::serve(Arc::clone(&db), "127.0.0.1:0").expect("serve");
+    let addr = server.local_addr().to_string();
+
+    let mut t = FigureTable::new(
+        "Network layer: concurrent verifying clients vs one veridb serve \
+         (latency per query over the wire)",
+        &["clients", "queries", "p50 ms", "p95 ms", "queries/s"],
+    );
+    let mut summaries = Vec::new();
+    for &n in &CLIENT_COUNTS {
+        let wall_start = Instant::now();
+        let all_samples: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let addr = addr.clone();
+                    let expected = &expected;
+                    let cases = &cases;
+                    s.spawn(move || {
+                        let mut client = veridb_net::RemoteClient::connect_simulated(
+                            &addr,
+                            &format!("bench-{n}-{i}"),
+                            "veridb",
+                            Duration::from_secs(30),
+                        )
+                        .expect("connect");
+                        let mut samples = Vec::with_capacity(cases.len() * ROUNDS);
+                        for _ in 0..ROUNDS {
+                            for ((name, sql), (_, want)) in cases.iter().zip(expected) {
+                                let start = Instant::now();
+                                let got = client.query(sql).expect("remote query");
+                                samples.push(start.elapsed().as_secs_f64());
+                                assert_eq!(got.columns, want.columns, "{name} columns");
+                                assert!(
+                                    rows_equivalent(&got.rows, &want.rows),
+                                    "{name}: remote result must equal the in-process result"
+                                );
+                            }
+                        }
+                        client.close();
+                        samples
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = wall_start.elapsed().as_secs_f64();
+        let samples: Vec<f64> = all_samples.into_iter().flatten().collect();
+        let queries = samples.len();
+        let summary = summarize(&format!("mix/clients={n}"), &samples, wall, queries);
+        t.row(vec![
+            n.to_string(),
+            queries.to_string(),
+            f1(summary.p50_us / 1e3),
+            f1(summary.p95_us / 1e3),
+            f1(summary.throughput_per_s),
+        ]);
+        summaries.push(summary);
+    }
+    server.shutdown();
+    db.verify_now().expect("post-run verification must pass");
+    t.note("Every remote result was asserted equivalent to the in-process path.");
+    t.note("All queries travel the full wire path: framing + CRC, attestation, portal MACs, SeqIntervals.");
+    t.print();
+    veridb_bench::write_bench_summary("net", &summaries);
+}

@@ -115,6 +115,68 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     }
 }
 
+/// One operation's latency/throughput summary for `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct OpSummary {
+    /// Operation label, e.g. `"Q1/clients=16"`.
+    pub op: String,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// Completed operations per second.
+    pub throughput_per_s: f64,
+}
+
+/// Percentile (0.0..=1.0) of a sample set, by nearest-rank on a sorted
+/// copy. Returns 0 for an empty set.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Build an [`OpSummary`] from per-operation latency samples in seconds.
+pub fn summarize(op: &str, latencies_s: &[f64], wall_s: f64, ops: usize) -> OpSummary {
+    OpSummary {
+        op: op.to_owned(),
+        p50_us: percentile(latencies_s, 0.50) * 1e6,
+        p95_us: percentile(latencies_s, 0.95) * 1e6,
+        throughput_per_s: if wall_s > 0.0 {
+            ops as f64 / wall_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Write a machine-readable bench summary to `BENCH_<name>.json` at the
+/// repository root, so the perf trajectory is tracked across PRs (the
+/// `target/veridb-bench/` blobs are richer but not version-controlled).
+pub fn write_bench_summary(name: &str, ops: &[OpSummary]) {
+    let entries: Vec<serde_json::Value> = ops
+        .iter()
+        .map(|o| {
+            serde_json::json!({
+                "op": o.op.clone(),
+                "p50_us": o.p50_us,
+                "p95_us": o.p95_us,
+                "throughput_per_s": o.throughput_per_s,
+            })
+        })
+        .collect();
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(&serde_json::Value::Array(entries)) {
+        let _ = std::fs::write(&path, s + "\n");
+        println!("  (summary written to {})", path.display());
+    }
+}
+
 /// Format a float with 2 decimals.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -146,5 +208,23 @@ mod tests {
     fn mean_us_math() {
         assert_eq!(mean_us(&[]), 0.0);
         assert!((mean_us(&[1e-6, 3e-6]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0]; // unsorted on purpose
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert_eq!(percentile(&s, 1.0), 5.0);
+    }
+
+    #[test]
+    fn summarize_computes_throughput() {
+        let s = summarize("op", &[0.001, 0.002, 0.003], 2.0, 100);
+        assert_eq!(s.op, "op");
+        assert!((s.p50_us - 2000.0).abs() < 1e-6);
+        assert!((s.throughput_per_s - 50.0).abs() < 1e-9);
     }
 }

@@ -30,6 +30,8 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut verify_threads: Option<usize> = None;
     let mut cell_cache: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut channel: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -39,11 +41,17 @@ fn main() {
             verify_threads = parse_flag("--verify-threads", Some(v.to_owned()));
         } else if let Some(v) = a.strip_prefix("--cell-cache=") {
             cell_cache = parse_flag("--cell-cache", Some(v.to_owned()));
+        } else if let Some(v) = a.strip_prefix("--listen=") {
+            listen = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--channel=") {
+            channel = Some(v.to_owned());
         } else {
             match a.as_str() {
                 "--workers" => workers = parse_flag("--workers", it.next()),
                 "--verify-threads" => verify_threads = parse_flag("--verify-threads", it.next()),
                 "--cell-cache" => cell_cache = parse_flag("--cell-cache", it.next()),
+                "--listen" => listen = parse_flag("--listen", it.next()),
+                "--channel" => channel = parse_flag("--channel", it.next()),
                 _ => positional.push(a),
             }
         }
@@ -70,17 +78,34 @@ fn main() {
                 .unwrap_or(2_000);
             std::process::exit(cmd_stats(rows, config, verify_threads));
         }
+        Some("serve") => {
+            std::process::exit(cmd_serve(listen, config));
+        }
+        Some("connect") => {
+            let Some(addr) = positional.get(1).cloned() else {
+                eprintln!("usage: veridb connect <host:port> [--channel <name>]");
+                std::process::exit(2);
+            };
+            let channel = channel.unwrap_or_else(|| "repl".to_owned());
+            std::process::exit(cmd_connect(&addr, &channel, &config));
+        }
         Some("help" | "--help" | "-h") => {
             println!(
-                "usage: veridb [flags]              interactive SQL shell\n\
+                "usage: veridb [flags]               interactive SQL shell\n\
                  \x20      veridb [flags] stats [rows] run a TPC-H-style workload and print metrics\n\
+                 \x20      veridb [flags] serve        serve the verifiable protocol over TCP\n\
+                 \x20      veridb connect <host:port>  remote verifying SQL shell\n\
                  flags:\n\
                  \x20 --workers <n>         worker threads for parallel query execution\n\
                  \x20                       (default: $VERIDB_WORKERS or 1)\n\
                  \x20 --verify-threads <n>  concurrent verifiers for .verify / stats\n\
                  \x20                       (default: same as --workers)\n\
                  \x20 --cell-cache <bytes>  enclave-resident verified cell cache capacity\n\
-                 \x20                       (0 disables; default: $VERIDB_CELL_CACHE or 4 MiB)"
+                 \x20                       (0 disables; default: $VERIDB_CELL_CACHE or 4 MiB)\n\
+                 \x20 --listen <addr>       serve: listen address\n\
+                 \x20                       (default: $VERIDB_LISTEN or 127.0.0.1:5433)\n\
+                 \x20 --channel <name>      connect: portal channel name (default: repl)\n\
+                 net knobs: $VERIDB_MAX_CONNS, $VERIDB_NET_TIMEOUT_MS, $VERIDB_REPLAY_WINDOW"
             );
             return;
         }
@@ -217,6 +242,135 @@ fn cmd_stats(rows: usize, config: VeriDbConfig, verify_threads: usize) -> i32 {
     0
 }
 
+/// `veridb serve [--listen addr]`: serve the verifiable protocol over TCP
+/// until stdin closes or `quit` is typed. Remote clients attest, then run
+/// SQL through per-channel authenticated portals.
+fn cmd_serve(listen: Option<String>, config: VeriDbConfig) -> i32 {
+    let addr = listen
+        .or_else(|| config.listen_addr.clone())
+        .unwrap_or_else(|| "127.0.0.1:5433".to_owned());
+    let db = match VeriDb::open(config) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open database: {e}");
+            return 1;
+        }
+    };
+    let db = std::sync::Arc::new(db);
+    let mut server = match veridb_net::serve(std::sync::Arc::clone(&db), &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "VeriDB serving on {} — {} max conn(s), {} ms frame timeout, \
+         replay window {}. Type 'quit' (or close stdin) to stop.",
+        server.local_addr(),
+        db.config().max_conns,
+        db.config().net_timeout_ms,
+        db.config().replay_window
+    );
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => {
+                // stdin closed (e.g. daemonized in CI): keep serving until
+                // the process is signalled.
+                loop {
+                    std::thread::park();
+                }
+            }
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+    println!("shutting down (draining in-flight queries)…");
+    server.shutdown();
+    0
+}
+
+/// `veridb connect <addr>`: a remote verifying SQL shell. Every result is
+/// MAC-verified and sequence-checked by the client before it is printed.
+fn cmd_connect(addr: &str, channel: &str, config: &VeriDbConfig) -> i32 {
+    let timeout = std::time::Duration::from_millis(config.net_timeout_ms);
+    let mut client =
+        match veridb_net::RemoteClient::connect_simulated(addr, channel, "veridb", timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                if e.is_security_violation() {
+                    eprintln!("SECURITY ALARM: {e}");
+                } else {
+                    eprintln!("failed to connect: {e}");
+                }
+                return 1;
+            }
+        };
+    println!(
+        "connected to {addr} (channel {channel:?}, enclave attested).\n\
+         Type SQL, .stats for server metrics, .quit to exit."
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("veridb[{addr}]> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" | ".q" => break,
+            ".stats" => match client.stats() {
+                Ok(text) => print!("{text}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            sql => {
+                let start = Instant::now();
+                match client.query(sql.trim_end_matches(';')) {
+                    Ok(result) => {
+                        let dt = start.elapsed();
+                        if result.columns == ["rows_affected"] {
+                            match result.rows.first().and_then(|r| r.values().first()) {
+                                Some(n) => println!("ok ({n} row(s) affected)"),
+                                None => println!("ok"),
+                            }
+                        } else {
+                            print!("{}", result.to_table());
+                            println!("({} row(s))", result.rows.len());
+                        }
+                        println!("-- {:.3} ms over the wire", dt.as_secs_f64() * 1e3);
+                    }
+                    Err(e) if e.is_security_violation() => {
+                        // Verification failures are never retried and never
+                        // downgraded: surface loudly and stop trusting the
+                        // session.
+                        eprintln!("SECURITY ALARM: {e}");
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+    }
+    client.close();
+    println!();
+    0
+}
+
 /// Print every registered counter, then the one-line summary.
 fn print_metrics(snap: &MetricsSnapshot) {
     let counters = snap.counters();
@@ -233,7 +387,10 @@ fn run_sql(db: &VeriDb, sql: &str, timing: bool) {
         Ok(result) => {
             let dt = start.elapsed();
             if result.columns == ["rows_affected"] {
-                println!("ok ({} row(s) affected)", result.rows[0][0]);
+                match result.rows.first().and_then(|r| r.values().first()) {
+                    Some(n) => println!("ok ({n} row(s) affected)"),
+                    None => println!("ok"),
+                }
             } else {
                 print!("{}", result.to_table());
                 println!("({} row(s))", result.rows.len());
@@ -276,8 +433,10 @@ fn meta_command(db: &VeriDb, line: &str, timing: &mut bool, verify_threads: usiz
         }
         ".tables" => {
             for name in db.catalog().table_names() {
-                let t = db.catalog().table(&name).expect("listed");
-                println!("{name}  ({} rows)", t.row_count());
+                match db.catalog().table(&name) {
+                    Ok(t) => println!("{name}  ({} rows)", t.row_count()),
+                    Err(e) => eprintln!("{name}  (error: {e})"),
+                }
             }
         }
         ".schema" => match parts.next() {

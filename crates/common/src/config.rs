@@ -82,6 +82,27 @@ pub struct VeriDbConfig {
     /// against the simulated EPC budget.
     #[serde(default = "default_cell_cache_bytes")]
     pub cell_cache_bytes: usize,
+    /// Address the `veridb-net` server listens on when `veridb serve` is
+    /// run without `--listen` (e.g. `"127.0.0.1:5433"`). `None` means the
+    /// instance is not networked. Honours `VERIDB_LISTEN`.
+    #[serde(default = "default_listen_addr")]
+    pub listen_addr: Option<String>,
+    /// Maximum concurrent client connections the network server holds
+    /// open; further accepts are back-pressured (left in the kernel
+    /// backlog) until a slot frees. Honours `VERIDB_MAX_CONNS`.
+    #[serde(default = "default_max_conns")]
+    pub max_conns: usize,
+    /// Per-connection socket read/write timeout in milliseconds for the
+    /// network server and `RemoteClient`. Honours
+    /// `VERIDB_NET_TIMEOUT_MS`.
+    #[serde(default = "default_net_timeout_ms")]
+    pub net_timeout_ms: u64,
+    /// Number of exactly-tracked query ids in each portal's replay filter
+    /// (above the low watermark). Concurrent remote clients multiplexed
+    /// over one channel need a wider window than the in-process default.
+    /// Honours `VERIDB_REPLAY_WINDOW`.
+    #[serde(default = "default_replay_window")]
+    pub replay_window: usize,
 }
 
 fn default_metrics() -> bool {
@@ -107,6 +128,61 @@ fn default_workers() -> usize {
             }
         },
     }
+}
+
+/// Default connection cap when `VERIDB_MAX_CONNS` is unset.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+/// Default socket timeout when `VERIDB_NET_TIMEOUT_MS` is unset.
+pub const DEFAULT_NET_TIMEOUT_MS: u64 = 5_000;
+/// Default portal replay-window size when `VERIDB_REPLAY_WINDOW` is
+/// unset (matches the pre-knob hardcoded window).
+pub const DEFAULT_REPLAY_WINDOW: usize = 1024;
+
+fn default_listen_addr() -> Option<String> {
+    std::env::var("VERIDB_LISTEN")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+/// Parse a bounded numeric env knob, warning (with the offending value
+/// named) and falling back to the default when out of range — the same
+/// contract `VERIDB_WORKERS` established.
+fn env_knob<T: std::str::FromStr + PartialOrd + std::fmt::Display + Copy>(
+    var: &str,
+    lo: T,
+    hi: T,
+    default: T,
+) -> T {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(s) => match s.parse::<T>() {
+            Ok(n) if n >= lo && n <= hi => n,
+            _ => {
+                eprintln!(
+                    "warning: invalid {var} value {s:?} (expected {lo}..={hi}); \
+                     falling back to {default}"
+                );
+                default
+            }
+        },
+    }
+}
+
+fn default_max_conns() -> usize {
+    env_knob("VERIDB_MAX_CONNS", 1, 65_536, DEFAULT_MAX_CONNS)
+}
+
+fn default_net_timeout_ms() -> u64 {
+    env_knob(
+        "VERIDB_NET_TIMEOUT_MS",
+        10,
+        3_600_000,
+        DEFAULT_NET_TIMEOUT_MS,
+    )
+}
+
+fn default_replay_window() -> usize {
+    env_knob("VERIDB_REPLAY_WINDOW", 1, 1 << 22, DEFAULT_REPLAY_WINDOW)
 }
 
 fn default_cell_cache_bytes() -> usize {
@@ -141,6 +217,10 @@ impl Default for VeriDbConfig {
             metrics: true,
             workers: default_workers(),
             cell_cache_bytes: default_cell_cache_bytes(),
+            listen_addr: default_listen_addr(),
+            max_conns: default_max_conns(),
+            net_timeout_ms: default_net_timeout_ms(),
+            replay_window: default_replay_window(),
         }
     }
 }
@@ -206,6 +286,21 @@ impl VeriDbConfig {
                 self.cell_cache_bytes, self.epc_budget
             )));
         }
+        if self.max_conns == 0 {
+            return Err(Error::Config("max_conns must be >= 1".into()));
+        }
+        if self.net_timeout_ms == 0 {
+            return Err(Error::Config("net_timeout_ms must be >= 1".into()));
+        }
+        if self.replay_window == 0 {
+            return Err(Error::Config("replay_window must be >= 1".into()));
+        }
+        if self.replay_window > 1 << 22 {
+            return Err(Error::Config(format!(
+                "replay_window {} exceeds the 4M-entry EPC-budget ceiling",
+                self.replay_window
+            )));
+        }
         Ok(())
     }
 }
@@ -265,6 +360,32 @@ mod tests {
     fn cell_cache_zero_disables_and_validates() {
         let mut c = VeriDbConfig::default();
         c.cell_cache_bytes = 0;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn net_knobs_validate() {
+        let mut c = VeriDbConfig::default();
+        c.max_conns = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.net_timeout_ms = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.replay_window = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.replay_window = (1 << 22) + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.replay_window = 64;
+        c.max_conns = 1;
+        c.net_timeout_ms = 10;
+        c.listen_addr = Some("127.0.0.1:5433".into());
         c.validate().unwrap();
     }
 }

@@ -56,6 +56,19 @@ pub enum Error {
     Config(String),
     /// Generic invalid-argument error.
     InvalidArgument(String),
+    /// A network-transport failure (socket I/O, framing, timeouts) with
+    /// enough context to debug it: the peer address and the operation
+    /// that failed. Deliberately *not* a security violation — the framing
+    /// layer is untrusted and lossy by assumption; integrity rests on the
+    /// portal MACs, and transport errors are retryable.
+    Net {
+        /// Peer address (or listen address) the operation involved.
+        peer: String,
+        /// What was being attempted ("read frame", "connect", …).
+        op: String,
+        /// Underlying failure detail.
+        detail: String,
+    },
 
     // ---- security violations -------------------------------------------
     /// Deferred verification found `h(RS) != h(WS)`: the untrusted memory
@@ -119,6 +132,9 @@ impl fmt::Display for Error {
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Net { peer, op, detail } => {
+                write!(f, "network error ({op}, peer {peer}): {detail}")
+            }
             Error::VerificationFailed { partition, epoch } => write!(
                 f,
                 "VERIFICATION FAILED: h(RS) != h(WS) for RSWS partition \
@@ -153,6 +169,20 @@ mod tests {
         assert!(Error::AuthFailed("bad mac".into()).is_security_violation());
         assert!(Error::RollbackDetected { sequence: 7 }.is_security_violation());
         assert!(Error::ReplayDetected { qid: 9 }.is_security_violation());
+    }
+
+    #[test]
+    fn net_errors_are_transport_not_security() {
+        let e = Error::Net {
+            peer: "10.0.0.7:5433".into(),
+            op: "read frame".into(),
+            detail: "connection reset".into(),
+        };
+        assert!(!e.is_security_violation());
+        let s = e.to_string();
+        assert!(s.contains("10.0.0.7:5433"));
+        assert!(s.contains("read frame"));
+        assert!(s.contains("connection reset"));
     }
 
     #[test]

@@ -87,6 +87,23 @@ impl Gauge {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Increment (live-count gauges, e.g. active connections).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement, saturating at zero so a racing sampler never reads a
+    /// wrapped-around live count.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -387,6 +404,33 @@ pub struct Metrics {
     pub worker_rows: [Counter; MAX_TRACKED_WORKERS],
     /// Busy wall-clock nanoseconds per worker slot.
     pub worker_busy_ns: [Counter; MAX_TRACKED_WORKERS],
+    // -- net: the veridb-net wire front end ------------------------------
+    /// Client connections accepted by the network server.
+    pub net_accepted: Counter,
+    /// Connections dropped before entering the query loop (handshake
+    /// failure, garbage first frame).
+    pub net_rejected: Counter,
+    /// Frames successfully read off sockets (both roles).
+    pub net_frames_in: Counter,
+    /// Frames written to sockets.
+    pub net_frames_out: Counter,
+    /// Bytes read off sockets (headers + payloads).
+    pub net_bytes_in: Counter,
+    /// Bytes written to sockets.
+    pub net_bytes_out: Counter,
+    /// Read/write timeouts and idle-connection reaps.
+    pub net_timeouts: Counter,
+    /// Frames rejected by the untrusted framing layer (bad magic/version,
+    /// oversize, CRC mismatch, malformed payload).
+    pub net_frame_rejects: Counter,
+    /// Query or handshake messages rejected for MAC / attestation
+    /// failures at the portal boundary.
+    pub net_auth_rejects: Counter,
+    /// Connections currently inside the query loop.
+    pub net_active_conns: Gauge,
+    /// Server-side wire latency per query: frame-in to response flushed
+    /// (nanoseconds).
+    pub net_wire_ns: Histogram,
 }
 
 impl Metrics {
@@ -465,6 +509,17 @@ impl Metrics {
             morsels_dispatched: self.morsels_dispatched.get(),
             worker_rows,
             worker_busy_ns,
+            net_accepted: self.net_accepted.get(),
+            net_rejected: self.net_rejected.get(),
+            net_frames_in: self.net_frames_in.get(),
+            net_frames_out: self.net_frames_out.get(),
+            net_bytes_in: self.net_bytes_in.get(),
+            net_bytes_out: self.net_bytes_out.get(),
+            net_timeouts: self.net_timeouts.get(),
+            net_frame_rejects: self.net_frame_rejects.get(),
+            net_auth_rejects: self.net_auth_rejects.get(),
+            net_active_conns: self.net_active_conns.get(),
+            net_wire_ns: self.net_wire_ns.snapshot(),
             prf_evals: 0,
             ecalls: 0,
             epc_swaps: 0,
@@ -515,6 +570,17 @@ pub struct MetricsSnapshot {
     pub morsels_dispatched: u64,
     pub worker_rows: [u64; MAX_TRACKED_WORKERS],
     pub worker_busy_ns: [u64; MAX_TRACKED_WORKERS],
+    pub net_accepted: u64,
+    pub net_rejected: u64,
+    pub net_frames_in: u64,
+    pub net_frames_out: u64,
+    pub net_bytes_in: u64,
+    pub net_bytes_out: u64,
+    pub net_timeouts: u64,
+    pub net_frame_rejects: u64,
+    pub net_auth_rejects: u64,
+    pub net_active_conns: u64,
+    pub net_wire_ns: HistogramSnapshot,
     /// PRF evaluations (from the enclave cost substrate).
     pub prf_evals: u64,
     /// ECall boundary crossings (from the enclave cost substrate).
@@ -631,6 +697,22 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.morsels_dispatched),
             worker_rows,
             worker_busy_ns,
+            net_accepted: self.net_accepted.saturating_sub(earlier.net_accepted),
+            net_rejected: self.net_rejected.saturating_sub(earlier.net_rejected),
+            net_frames_in: self.net_frames_in.saturating_sub(earlier.net_frames_in),
+            net_frames_out: self.net_frames_out.saturating_sub(earlier.net_frames_out),
+            net_bytes_in: self.net_bytes_in.saturating_sub(earlier.net_bytes_in),
+            net_bytes_out: self.net_bytes_out.saturating_sub(earlier.net_bytes_out),
+            net_timeouts: self.net_timeouts.saturating_sub(earlier.net_timeouts),
+            net_frame_rejects: self
+                .net_frame_rejects
+                .saturating_sub(earlier.net_frame_rejects),
+            net_auth_rejects: self
+                .net_auth_rejects
+                .saturating_sub(earlier.net_auth_rejects),
+            // Gauge: carries the later snapshot's value.
+            net_active_conns: self.net_active_conns,
+            net_wire_ns: self.net_wire_ns.since(&earlier.net_wire_ns),
             prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
             ecalls: self.ecalls.saturating_sub(earlier.ecalls),
             epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
@@ -727,6 +809,19 @@ impl MetricsSnapshot {
             ("query.spill_events", self.spill_events),
             ("query.spill_bytes", self.spill_bytes),
             ("portal.replays_rejected", self.replays_rejected),
+            ("net.accepted", self.net_accepted),
+            ("net.rejected", self.net_rejected),
+            ("net.frames_in", self.net_frames_in),
+            ("net.frames_out", self.net_frames_out),
+            ("net.bytes_in", self.net_bytes_in),
+            ("net.bytes_out", self.net_bytes_out),
+            ("net.timeouts", self.net_timeouts),
+            ("net.frame_rejects", self.net_frame_rejects),
+            ("net.auth_rejects", self.net_auth_rejects),
+            ("net.active_conns", self.net_active_conns),
+            ("net.wire_ns.count", self.net_wire_ns.count),
+            ("net.wire_ns.sum", self.net_wire_ns.sum),
+            ("net.wire_ns.max", self.net_wire_ns.max),
             ("enclave.prf_evals", self.prf_evals),
             ("enclave.ecalls", self.ecalls),
             ("enclave.epc_swaps", self.epc_swaps),
@@ -872,6 +967,26 @@ mod tests {
         assert!(names.contains(&"verify.lag_ops.sum"));
         assert!(names.contains(&"wrcm.cache_hits"));
         assert!(names.contains(&"wrcm.cache_hit_ratio_pct"));
+        assert!(names.contains(&"net.accepted"));
+        assert!(names.contains(&"net.wire_ns.count"));
+    }
+
+    #[test]
+    fn net_family_snapshots_and_diffs() {
+        let m = Metrics::new();
+        m.net_accepted.inc();
+        m.net_frames_in.add(3);
+        m.net_bytes_in.add(128);
+        m.net_active_conns.set(2);
+        m.net_wire_ns.record(5000);
+        let a = m.snapshot();
+        m.net_frames_in.add(2);
+        m.net_active_conns.set(1);
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.net_accepted, 0);
+        assert_eq!(d.net_frames_in, 2);
+        assert_eq!(d.net_active_conns, 1, "gauge carries the later value");
+        assert_eq!(a.net_wire_ns.count, 1);
     }
 
     #[test]

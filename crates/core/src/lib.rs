@@ -150,9 +150,16 @@ impl VeriDb {
         &self.config
     }
 
-    /// Open an authenticated query portal for a client channel.
+    /// Open an authenticated query portal for a client channel, with the
+    /// replay-window capacity this instance was configured with
+    /// (`replay_window` / `VERIDB_REPLAY_WINDOW`).
     pub fn portal(&self, channel: &str) -> QueryPortal {
-        QueryPortal::new(Arc::clone(&self.engine), Arc::clone(&self.mem), channel)
+        QueryPortal::with_replay_window(
+            Arc::clone(&self.engine),
+            Arc::clone(&self.mem),
+            channel,
+            self.config.replay_window,
+        )
     }
 
     /// Set the worker-pool size for morsel-driven parallel query

@@ -31,6 +31,13 @@ impl Measurement {
     pub fn as_bytes(&self) -> &[u8; 32] {
         &self.0
     }
+
+    /// Reconstruct a measurement from raw digest bytes, e.g. after decoding
+    /// a quote off the wire. Carries no authenticity by itself — the quote
+    /// signature is what binds it to a real enclave.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Measurement(bytes)
+    }
 }
 
 impl std::fmt::Debug for Measurement {

@@ -55,6 +55,15 @@ impl MacKey {
         Mac(tag)
     }
 
+    /// Export the raw key bytes as the simulated attested key-exchange
+    /// payload. In real SGX the channel key would be established inside the
+    /// attested TLS handshake; in this simulation the server hands the key
+    /// to a client that has verified the enclave quote. The only caller is
+    /// the attestation handshake — the key never appears in logs or Debug.
+    pub fn key_exchange_bytes(&self) -> [u8; 32] {
+        self.key
+    }
+
     /// Verify `tag` over `parts` in constant time.
     pub fn verify(&self, parts: &[&[u8]], tag: &Mac) -> bool {
         let mut mac = HmacSha256::new_from_slice(&self.key).expect("HMAC accepts any key length");

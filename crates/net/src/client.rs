@@ -1,0 +1,458 @@
+//! The verifying remote client.
+//!
+//! [`RemoteClient`] speaks the frame protocol to a `veridb serve` endpoint
+//! and reuses the in-process [`veridb_query::Client`] *unchanged* for every
+//! security decision: quote verification at handshake, query signing,
+//! endorsement MACs, and the `SeqIntervals` rollback defense. The network
+//! layer adds only transport concerns — framing, timeouts, bounded-backoff
+//! reconnect — and a strict error taxonomy:
+//!
+//! - **Transport errors** ([`Error::Net`]): retryable. A lost connection
+//!   while *sending* a query is retried automatically with the *same*
+//!   signed query (the portal spends a qid only on endorsement, so the
+//!   retry is safe). A loss while *awaiting* a response is surfaced to the
+//!   caller, because the server may already have endorsed the result and a
+//!   blind retry would be indistinguishable from a replay.
+//! - **Verification failures** (`AuthFailed`, `RollbackDetected`,
+//!   `ReplayDetected`, `VerificationFailed`, `TamperDetected`): never
+//!   retried, never downgraded. They propagate exactly as the in-process
+//!   client produces them.
+//!
+//! The client keeps its [`veridb_query::Client`] (qid counter + sequence
+//! intervals) across reconnects: a server restart that resets the sequence
+//! counter is then caught as [`Error::RollbackDetected`], which is
+//! precisely the §5.1 rollback story extended to the wire.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{
+    decode_error, decode_quote, decode_result, encode_hello, encode_query, MSG_BYE, MSG_ERROR,
+    MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_STATS, MSG_STATS_OK,
+};
+use crate::server::SIM_ATTESTATION_ROOT;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::Duration;
+use veridb_common::backoff::{Backoff, RETRY_ATTEMPTS};
+use veridb_common::{Error, Result, Row};
+use veridb_enclave::attestation::{Quote, QuoteVerifier, Report};
+use veridb_enclave::{mac::sha256, MacKey, Measurement, QuotingEnclave};
+use veridb_query::{Client, QueryResult, SignedQuery};
+
+/// How many recently answered queries the client remembers. A late or
+/// replayed `RESULT` frame for one of these is *verified*, not skipped:
+/// its sequence number is already in `SeqIntervals`, so a replay surfaces
+/// as `RollbackDetected` instead of passing silently.
+const RECENT_QUERIES: usize = 64;
+
+/// A remote VeriDB client over the untrusted wire.
+pub struct RemoteClient {
+    addr: String,
+    channel: String,
+    verifier: QuoteVerifier,
+    expected: Measurement,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    /// The in-process verifying client; survives reconnects.
+    inner: Option<Client>,
+    /// Fingerprint of the channel key accepted at first attestation. A
+    /// different key on reconnect means a different enclave instance is
+    /// answering — rejected rather than silently re-keyed.
+    key_id: Option<[u8; 32]>,
+    /// Recently answered queries, for verifying stale/replayed responses.
+    recent: HashMap<u64, SignedQuery>,
+    recent_order: Vec<u64>,
+}
+
+impl RemoteClient {
+    /// Connect to `addr`, run the attestation handshake on `channel`, and
+    /// verify the enclave quote against `expected`. `verifier` is the
+    /// client's root of trust for the quoting infrastructure.
+    pub fn connect(
+        addr: &str,
+        channel: &str,
+        verifier: QuoteVerifier,
+        expected: Measurement,
+        timeout: Duration,
+    ) -> Result<RemoteClient> {
+        let mut c = RemoteClient {
+            addr: addr.to_owned(),
+            channel: channel.to_owned(),
+            verifier,
+            expected,
+            timeout,
+            stream: None,
+            inner: None,
+            key_id: None,
+            recent: HashMap::new(),
+            recent_order: Vec::new(),
+        };
+        c.reconnect()?;
+        Ok(c)
+    }
+
+    /// [`RemoteClient::connect`] against the simulated attestation
+    /// service, expecting the enclave identity `identity` (the default
+    /// `veridb serve` identity is `"veridb"`). Real deployments would ship
+    /// the verifier root and expected measurement out of band.
+    pub fn connect_simulated(
+        addr: &str,
+        channel: &str,
+        identity: &str,
+        timeout: Duration,
+    ) -> Result<RemoteClient> {
+        let verifier = QuotingEnclave::new(SIM_ATTESTATION_ROOT).verifier();
+        let expected = Measurement::of_code(identity.as_bytes());
+        Self::connect(addr, channel, verifier, expected, timeout)
+    }
+
+    fn net_err(&self, op: &str, detail: impl std::fmt::Display) -> Error {
+        Error::Net {
+            peer: self.addr.clone(),
+            op: op.to_owned(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// (Re-)establish the TCP connection and re-run the attestation
+    /// handshake with a fresh nonce, with bounded-backoff retries on
+    /// transport failures. Verification failures abort immediately.
+    pub fn reconnect(&mut self) -> Result<()> {
+        self.stream = None;
+        let mut backoff = Backoff::new();
+        let mut last = self.net_err("connect", "no attempt made");
+        for _ in 0..RETRY_ATTEMPTS {
+            match self.try_handshake() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_security_violation() => return Err(e),
+                Err(e) => {
+                    last = e;
+                    backoff.wait();
+                }
+            }
+        }
+        Err(last)
+    }
+
+    fn try_handshake(&mut self) -> Result<()> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| self.net_err("connect", e))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| self.net_err("set_read_timeout", e))?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| self.net_err("set_write_timeout", e))?;
+        let mut stream = stream;
+
+        // Fresh random nonce per handshake: a replayed quote from an old
+        // session fails the nonce binding.
+        let mut nonce = [0u8; 32];
+        rand::RngCore::fill_bytes(&mut rand::thread_rng(), &mut nonce);
+
+        write_frame(
+            &mut stream,
+            &self.addr,
+            MSG_HELLO,
+            &encode_hello(&self.channel, &nonce),
+        )?;
+        let (kind, payload) = read_frame(&mut stream, &self.addr)?;
+        if kind != MSG_QUOTE {
+            return Err(self.net_err("handshake", format!("expected QUOTE, got kind {kind}")));
+        }
+        let msg = decode_quote(&payload)?;
+        let quote = Quote {
+            report: Report {
+                measurement: Measurement::from_bytes(msg.measurement),
+                user_data: msg.user_data,
+            },
+            signature: msg.signature,
+        };
+        let key = MacKey::new(msg.key);
+        let key_id = sha256(&[b"net-channel-key", &msg.key]);
+
+        match (&self.inner, self.key_id) {
+            (None, _) => {
+                // First attestation: full quote check, then accept the key.
+                self.inner = Some(Client::attest_quote(
+                    &self.verifier,
+                    &quote,
+                    self.expected,
+                    &nonce,
+                    key,
+                )?);
+                self.key_id = Some(key_id);
+            }
+            (Some(_), Some(known)) => {
+                // Reconnect: the quote must still verify *and* the channel
+                // key must be the one this client's sequence history is
+                // bound to. A different key means a different enclave
+                // instance — treat as an impersonation/rollback attempt.
+                self.verifier
+                    .verify(&quote, self.expected, &nonce)
+                    .map_err(|e| Error::AuthFailed(format!("attestation failed: {e}")))?;
+                if key_id != known {
+                    return Err(Error::AuthFailed(
+                        "channel key changed across reconnect; refusing to re-key a live \
+                         sequence history"
+                            .into(),
+                    ));
+                }
+            }
+            (Some(_), None) => unreachable!("inner client always records key_id"),
+        }
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn remember(&mut self, q: SignedQuery) {
+        if self.recent_order.len() >= RECENT_QUERIES {
+            let evict = self.recent_order.remove(0);
+            self.recent.remove(&evict);
+        }
+        self.recent_order.push(q.qid);
+        self.recent.insert(q.qid, q);
+    }
+
+    /// Execute one query remotely with full verification. See the module
+    /// docs for the retry taxonomy.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let q = self
+            .inner
+            .as_mut()
+            .expect("connected client has an inner verifier")
+            .sign_query(sql);
+        // Send, retrying transport failures with the same signed query
+        // (safe: the portal spends a qid only on endorsement).
+        let mut backoff = Backoff::new();
+        let mut attempt = 0;
+        loop {
+            let send = self.send_query(&q);
+            match send {
+                Ok(()) => break,
+                Err(e) if e.is_security_violation() => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= RETRY_ATTEMPTS {
+                        return Err(e);
+                    }
+                    backoff.wait();
+                    self.reconnect()?;
+                }
+            }
+        }
+        self.await_result(q)
+    }
+
+    fn send_query(&mut self, q: &SignedQuery) -> Result<()> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let addr = self.addr.clone();
+        let stream = self.stream.as_mut().expect("reconnect sets stream");
+        write_frame(stream, &addr, MSG_QUERY, &encode_query(q))
+    }
+
+    /// Wait for the response to `q`, verifying every frame that arrives.
+    /// Stale frames for *recently answered* queries are verified too — a
+    /// replayed endorsement carries an already-seen sequence number and
+    /// trips the rollback defense rather than being skipped.
+    fn await_result(&mut self, q: SignedQuery) -> Result<QueryResult> {
+        // Bound on frames examined before giving up; stale responses from
+        // pipelined/replayed traffic are each handled in one iteration.
+        for _ in 0..(RECENT_QUERIES * 2) {
+            let addr = self.addr.clone();
+            let stream = self.stream.as_mut().ok_or_else(|| Error::Net {
+                peer: addr.clone(),
+                op: "await result".into(),
+                detail: "connection lost".into(),
+            })?;
+            let (kind, payload) = match read_frame(stream, &addr) {
+                Ok(f) => f,
+                Err(e) => {
+                    // The server may already have endorsed this qid; a
+                    // silent resend would look like a replay. Surface the
+                    // transport error and drop the connection.
+                    self.stream = None;
+                    return Err(e);
+                }
+            };
+            match kind {
+                MSG_RESULT => {
+                    let endorsed = decode_result(&payload)?;
+                    let inner = self.inner.as_mut().expect("inner set after handshake");
+                    if endorsed.qid == q.qid {
+                        let rows = inner.verify_result(&q, &endorsed)?;
+                        let result = QueryResult {
+                            columns: endorsed.result.columns,
+                            rows,
+                        };
+                        self.remember(q);
+                        return Ok(result);
+                    }
+                    // A result for a query we did not just send. If it is
+                    // one we recently completed, verify it: a replayed
+                    // response re-presents a spent sequence number →
+                    // RollbackDetected. Unknown qids are unauthenticated
+                    // noise → AuthFailed.
+                    match self.recent.get(&endorsed.qid) {
+                        Some(orig) => {
+                            inner.verify_result(orig, &endorsed)?;
+                            // Verified but duplicate-free: genuinely
+                            // impossible (sequence already recorded), but
+                            // be explicit rather than continue silently.
+                            return Err(Error::AuthFailed(format!(
+                                "unexpected duplicate result for qid {}",
+                                endorsed.qid
+                            )));
+                        }
+                        None => {
+                            return Err(Error::AuthFailed(format!(
+                                "result for unknown qid {} (expected {})",
+                                endorsed.qid, q.qid
+                            )))
+                        }
+                    }
+                }
+                MSG_ERROR => {
+                    let (eqid, err) = decode_error(&payload)?;
+                    if eqid == q.qid || eqid == 0 {
+                        return Err(err);
+                    }
+                    // An error echo for an older qid (e.g. the portal
+                    // rejecting an attacker's replay of a query we already
+                    // completed). The defense worked; keep waiting for our
+                    // own response.
+                    continue;
+                }
+                MSG_BYE => {
+                    self.stream = None;
+                    return Err(self.net_err("await result", "server closed the session"));
+                }
+                other => {
+                    return Err(
+                        self.net_err("await result", format!("unexpected frame kind {other}"))
+                    );
+                }
+            }
+        }
+        Err(self.net_err("await result", "no response after examining stale frames"))
+    }
+
+    /// Execute a batch of queries pipelined on one connection: all signed
+    /// and sent up front, responses collected in any order (§5.1 expects
+    /// out-of-order arrivals; `SeqIntervals` absorbs them). Results are
+    /// returned in the order of `sqls`. Any verification failure aborts
+    /// the whole batch.
+    pub fn query_batch(&mut self, sqls: &[&str]) -> Result<Vec<QueryResult>> {
+        let inner = self
+            .inner
+            .as_mut()
+            .expect("connected client has an inner verifier");
+        let queries: Vec<SignedQuery> = sqls.iter().map(|s| inner.sign_query(s)).collect();
+        for q in &queries {
+            self.send_query(q)?;
+        }
+        let mut pending: HashMap<u64, SignedQuery> =
+            queries.iter().map(|q| (q.qid, q.clone())).collect();
+        let mut done: HashMap<u64, QueryResult> = HashMap::new();
+        let addr = self.addr.clone();
+        while !pending.is_empty() {
+            let stream = self.stream.as_mut().ok_or_else(|| Error::Net {
+                peer: addr.clone(),
+                op: "await batch".into(),
+                detail: "connection lost".into(),
+            })?;
+            let (kind, payload) = read_frame(stream, &addr).inspect_err(|_| {
+                self.stream = None;
+            })?;
+            match kind {
+                MSG_RESULT => {
+                    let endorsed = decode_result(&payload)?;
+                    let Some(orig) = pending.remove(&endorsed.qid) else {
+                        return Err(Error::AuthFailed(format!(
+                            "batch result for unexpected qid {}",
+                            endorsed.qid
+                        )));
+                    };
+                    let inner = self.inner.as_mut().expect("inner set after handshake");
+                    let rows = inner.verify_result(&orig, &endorsed)?;
+                    done.insert(
+                        endorsed.qid,
+                        QueryResult {
+                            columns: endorsed.result.columns,
+                            rows,
+                        },
+                    );
+                    self.remember(orig);
+                }
+                MSG_ERROR => {
+                    let (_, err) = decode_error(&payload)?;
+                    return Err(err);
+                }
+                other => {
+                    return Err(
+                        self.net_err("await batch", format!("unexpected frame kind {other}"))
+                    );
+                }
+            }
+        }
+        Ok(queries
+            .iter()
+            .map(|q| done.remove(&q.qid).expect("every pending qid completed"))
+            .collect())
+    }
+
+    /// Fetch the server's metrics snapshot as `name value` lines.
+    pub fn stats(&mut self) -> Result<String> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let addr = self.addr.clone();
+        let stream = self.stream.as_mut().expect("reconnect sets stream");
+        write_frame(stream, &addr, MSG_STATS, &[])?;
+        let (kind, payload) = read_frame(stream, &addr)?;
+        if kind != MSG_STATS_OK {
+            return Err(self.net_err("stats", format!("unexpected frame kind {kind}")));
+        }
+        String::from_utf8(payload).map_err(|_| Error::Codec("non-UTF-8 stats payload".into()))
+    }
+
+    /// The client's rollback-defense storage footprint, in intervals.
+    pub fn sequence_intervals(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|c| c.sequence_intervals())
+            .unwrap_or(0)
+    }
+
+    /// Orderly close (best effort).
+    pub fn close(&mut self) {
+        if let Some(stream) = self.stream.as_mut() {
+            let addr = self.addr.clone();
+            let _ = write_frame(stream, &addr, MSG_BYE, &[]);
+        }
+        self.stream = None;
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("addr", &self.addr)
+            .field("channel", &self.channel)
+            .field("connected", &self.stream.is_some())
+            .field("seq_intervals", &self.sequence_intervals())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Convenience: rows of a verified query, mirroring the in-process
+/// `Client::verify_result` return shape.
+pub fn rows_of(result: &QueryResult) -> &[Row] {
+    &result.rows
+}

@@ -1,0 +1,450 @@
+//! Wire messages: the attestation handshake, signed queries, endorsed
+//! results, and errors, encoded with the workspace codec primitives.
+//!
+//! The payload codec reuses `veridb_common::codec` (little-endian,
+//! length-prefixed, bounds-checked) and the canonical `Row` codec, so the
+//! bytes a result digest is computed over are the same bytes that travel
+//! the wire. Decoding failures are [`Error::Codec`] — the payload came
+//! through an untrusted host, so a mangled message must never panic.
+
+use veridb_common::codec::{put_bytes, put_u16, put_u32, put_u64, Reader};
+use veridb_common::{Error, Result, Row};
+use veridb_enclave::{Mac, MAC_LEN};
+use veridb_query::{EndorsedResult, QueryResult, SignedQuery};
+
+/// Client → server: open a channel. Carries the channel name and the
+/// client's attestation challenge nonce.
+pub const MSG_HELLO: u8 = 1;
+/// Server → client: the enclave quote binding the client nonce, plus the
+/// simulated key-exchange payload (the channel MAC key).
+pub const MSG_QUOTE: u8 = 2;
+/// Client → server: a MAC-signed query.
+pub const MSG_QUERY: u8 = 3;
+/// Server → client: a MAC-endorsed result.
+pub const MSG_RESULT: u8 = 4;
+/// Server → client: a query-level error (qid echoed; qid 0 = session).
+pub const MSG_ERROR: u8 = 5;
+/// Client → server: request the server's metrics snapshot.
+pub const MSG_STATS: u8 = 6;
+/// Server → client: metrics snapshot text.
+pub const MSG_STATS_OK: u8 = 7;
+/// Either direction: orderly close.
+pub const MSG_BYE: u8 = 8;
+
+fn get_mac(r: &mut Reader<'_>) -> Result<Mac> {
+    let bytes = r.get_bytes()?;
+    if bytes.len() != MAC_LEN {
+        return Err(Error::Codec(format!(
+            "MAC field is {} bytes, expected {MAC_LEN}",
+            bytes.len()
+        )));
+    }
+    let mut m = [0u8; MAC_LEN];
+    m.copy_from_slice(bytes);
+    Ok(Mac(m))
+}
+
+fn get_arr32(r: &mut Reader<'_>) -> Result<[u8; 32]> {
+    let bytes = r.get_bytes()?;
+    if bytes.len() != 32 {
+        return Err(Error::Codec(format!(
+            "fixed field is {} bytes, expected 32",
+            bytes.len()
+        )));
+    }
+    let mut a = [0u8; 32];
+    a.copy_from_slice(bytes);
+    Ok(a)
+}
+
+fn get_str(r: &mut Reader<'_>) -> Result<String> {
+    let bytes = r.get_bytes()?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| Error::Codec("non-UTF-8 string field".into()))
+}
+
+// ---- HELLO ---------------------------------------------------------------
+
+/// Encode a HELLO payload.
+pub fn encode_hello(channel: &str, nonce: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_bytes(&mut buf, channel.as_bytes());
+    put_bytes(&mut buf, nonce);
+    buf
+}
+
+/// Decode a HELLO payload into `(channel, nonce)`.
+pub fn decode_hello(payload: &[u8]) -> Result<(String, Vec<u8>)> {
+    let mut r = Reader::new(payload);
+    let channel = get_str(&mut r)?;
+    let nonce = r.get_bytes()?.to_vec();
+    Ok((channel, nonce))
+}
+
+// ---- QUOTE ---------------------------------------------------------------
+
+/// The server's handshake response: the quote fields plus the simulated
+/// attested key exchange (the raw channel key — see DESIGN.md §13 for why
+/// handing it over after quote verification models the real protocol).
+#[derive(Debug, Clone)]
+pub struct QuoteMsg {
+    /// The quoted enclave measurement.
+    pub measurement: [u8; 32],
+    /// The report's bound user data (hash of the client nonce).
+    pub user_data: [u8; 32],
+    /// Quote signature.
+    pub signature: Mac,
+    /// Channel MAC key (simulated key-exchange payload).
+    pub key: [u8; 32],
+}
+
+/// Encode a QUOTE payload.
+pub fn encode_quote(msg: &QuoteMsg) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_bytes(&mut buf, &msg.measurement);
+    put_bytes(&mut buf, &msg.user_data);
+    put_bytes(&mut buf, &msg.signature.0);
+    put_bytes(&mut buf, &msg.key);
+    buf
+}
+
+/// Decode a QUOTE payload.
+pub fn decode_quote(payload: &[u8]) -> Result<QuoteMsg> {
+    let mut r = Reader::new(payload);
+    Ok(QuoteMsg {
+        measurement: get_arr32(&mut r)?,
+        user_data: get_arr32(&mut r)?,
+        signature: get_mac(&mut r)?,
+        key: get_arr32(&mut r)?,
+    })
+}
+
+// ---- QUERY ---------------------------------------------------------------
+
+/// Encode a signed query.
+pub fn encode_query(q: &SignedQuery) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, q.qid);
+    put_bytes(&mut buf, q.sql.as_bytes());
+    put_bytes(&mut buf, &q.mac.0);
+    buf
+}
+
+/// Decode a signed query.
+pub fn decode_query(payload: &[u8]) -> Result<SignedQuery> {
+    let mut r = Reader::new(payload);
+    let qid = r.get_u64()?;
+    let sql = get_str(&mut r)?;
+    let mac = get_mac(&mut r)?;
+    Ok(SignedQuery { qid, sql, mac })
+}
+
+// ---- RESULT --------------------------------------------------------------
+
+/// Encode an endorsed result.
+pub fn encode_result(e: &EndorsedResult) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, e.qid);
+    put_u64(&mut buf, e.sequence);
+    put_bytes(&mut buf, &e.mac.0);
+    put_u16(&mut buf, e.result.columns.len() as u16);
+    for c in &e.result.columns {
+        put_bytes(&mut buf, c.as_bytes());
+    }
+    put_u32(&mut buf, e.result.rows.len() as u32);
+    for row in &e.result.rows {
+        row.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decode an endorsed result.
+pub fn decode_result(payload: &[u8]) -> Result<EndorsedResult> {
+    let mut r = Reader::new(payload);
+    let qid = r.get_u64()?;
+    let sequence = r.get_u64()?;
+    let mac = get_mac(&mut r)?;
+    let ncols = r.get_u16()? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(1 << 12));
+    for _ in 0..ncols {
+        columns.push(get_str(&mut r)?);
+    }
+    let nrows = r.get_u32()? as usize;
+    let mut rows = Vec::new();
+    for _ in 0..nrows {
+        rows.push(Row::decode(&mut r)?);
+    }
+    Ok(EndorsedResult {
+        qid,
+        sequence,
+        result: QueryResult { columns, rows },
+        mac,
+    })
+}
+
+// ---- ERROR ---------------------------------------------------------------
+
+fn error_tag(e: &Error) -> u8 {
+    match e {
+        Error::PageFull { .. } => 1,
+        Error::PageNotFound(_) => 2,
+        Error::SlotNotFound { .. } => 3,
+        Error::KeyNotFound(_) => 4,
+        Error::DuplicateKey(_) => 5,
+        Error::TableNotFound(_) => 6,
+        Error::TableExists(_) => 7,
+        Error::ColumnNotFound(_) => 8,
+        Error::EpcExhausted { .. } => 9,
+        Error::Parse(_) => 10,
+        Error::Plan(_) => 11,
+        Error::Type(_) => 12,
+        Error::Codec(_) => 13,
+        Error::Config(_) => 14,
+        Error::InvalidArgument(_) => 15,
+        Error::Net { .. } => 16,
+        Error::VerificationFailed { .. } => 17,
+        Error::TamperDetected(_) => 18,
+        Error::AuthFailed(_) => 19,
+        Error::RollbackDetected { .. } => 20,
+        Error::ReplayDetected { .. } => 21,
+    }
+}
+
+/// Encode an ERROR payload: `qid ‖ tag ‖ fields`. Every [`Error`] variant
+/// round-trips so the remote client sees exactly the error the portal
+/// produced — including its security-violation classification.
+pub fn encode_error(qid: u64, e: &Error) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, qid);
+    buf.push(error_tag(e));
+    match e {
+        Error::PageFull {
+            page,
+            needed,
+            available,
+        } => {
+            put_u64(&mut buf, *page);
+            put_u64(&mut buf, *needed as u64);
+            put_u64(&mut buf, *available as u64);
+        }
+        Error::PageNotFound(p) => put_u64(&mut buf, *p),
+        Error::SlotNotFound { page, slot } => {
+            put_u64(&mut buf, *page);
+            put_u16(&mut buf, *slot);
+        }
+        Error::KeyNotFound(s)
+        | Error::DuplicateKey(s)
+        | Error::TableNotFound(s)
+        | Error::TableExists(s)
+        | Error::ColumnNotFound(s)
+        | Error::Parse(s)
+        | Error::Plan(s)
+        | Error::Type(s)
+        | Error::Codec(s)
+        | Error::Config(s)
+        | Error::InvalidArgument(s)
+        | Error::TamperDetected(s)
+        | Error::AuthFailed(s) => put_bytes(&mut buf, s.as_bytes()),
+        Error::EpcExhausted { requested, budget } => {
+            put_u64(&mut buf, *requested as u64);
+            put_u64(&mut buf, *budget as u64);
+        }
+        Error::Net { peer, op, detail } => {
+            put_bytes(&mut buf, peer.as_bytes());
+            put_bytes(&mut buf, op.as_bytes());
+            put_bytes(&mut buf, detail.as_bytes());
+        }
+        Error::VerificationFailed { partition, epoch } => {
+            put_u64(&mut buf, *partition as u64);
+            put_u64(&mut buf, *epoch);
+        }
+        Error::RollbackDetected { sequence } => put_u64(&mut buf, *sequence),
+        Error::ReplayDetected { qid } => put_u64(&mut buf, *qid),
+    }
+    buf
+}
+
+/// Decode an ERROR payload into `(qid, error)`.
+pub fn decode_error(payload: &[u8]) -> Result<(u64, Error)> {
+    let mut r = Reader::new(payload);
+    let qid = r.get_u64()?;
+    let tag = r.get_u8()?;
+    let err = match tag {
+        1 => Error::PageFull {
+            page: r.get_u64()?,
+            needed: r.get_u64()? as usize,
+            available: r.get_u64()? as usize,
+        },
+        2 => Error::PageNotFound(r.get_u64()?),
+        3 => Error::SlotNotFound {
+            page: r.get_u64()?,
+            slot: r.get_u16()?,
+        },
+        4 => Error::KeyNotFound(get_str(&mut r)?),
+        5 => Error::DuplicateKey(get_str(&mut r)?),
+        6 => Error::TableNotFound(get_str(&mut r)?),
+        7 => Error::TableExists(get_str(&mut r)?),
+        8 => Error::ColumnNotFound(get_str(&mut r)?),
+        9 => Error::EpcExhausted {
+            requested: r.get_u64()? as usize,
+            budget: r.get_u64()? as usize,
+        },
+        10 => Error::Parse(get_str(&mut r)?),
+        11 => Error::Plan(get_str(&mut r)?),
+        12 => Error::Type(get_str(&mut r)?),
+        13 => Error::Codec(get_str(&mut r)?),
+        14 => Error::Config(get_str(&mut r)?),
+        15 => Error::InvalidArgument(get_str(&mut r)?),
+        16 => Error::Net {
+            peer: get_str(&mut r)?,
+            op: get_str(&mut r)?,
+            detail: get_str(&mut r)?,
+        },
+        17 => Error::VerificationFailed {
+            partition: r.get_u64()? as usize,
+            epoch: r.get_u64()?,
+        },
+        18 => Error::TamperDetected(get_str(&mut r)?),
+        19 => Error::AuthFailed(get_str(&mut r)?),
+        20 => Error::RollbackDetected {
+            sequence: r.get_u64()?,
+        },
+        21 => Error::ReplayDetected { qid: r.get_u64()? },
+        t => return Err(Error::Codec(format!("unknown error tag {t}"))),
+    };
+    Ok((qid, err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridb_common::Value;
+
+    #[test]
+    fn hello_round_trip() {
+        let buf = encode_hello("repl", b"nonce-bytes");
+        let (channel, nonce) = decode_hello(&buf).unwrap();
+        assert_eq!(channel, "repl");
+        assert_eq!(nonce, b"nonce-bytes");
+    }
+
+    #[test]
+    fn quote_round_trip() {
+        let msg = QuoteMsg {
+            measurement: [1u8; 32],
+            user_data: [2u8; 32],
+            signature: Mac([3u8; 32]),
+            key: [4u8; 32],
+        };
+        let got = decode_quote(&encode_quote(&msg)).unwrap();
+        assert_eq!(got.measurement, msg.measurement);
+        assert_eq!(got.user_data, msg.user_data);
+        assert_eq!(got.signature, msg.signature);
+        assert_eq!(got.key, msg.key);
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = SignedQuery {
+            qid: 42,
+            sql: "SELECT 1".into(),
+            mac: Mac([7u8; 32]),
+        };
+        let got = decode_query(&encode_query(&q)).unwrap();
+        assert_eq!(got.qid, 42);
+        assert_eq!(got.sql, "SELECT 1");
+        assert_eq!(got.mac, q.mac);
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let e = EndorsedResult {
+            qid: 9,
+            sequence: 100,
+            result: QueryResult {
+                columns: vec!["id".into(), "total".into()],
+                rows: vec![
+                    Row::new(vec![Value::Int(1), Value::Float(2.5)]),
+                    Row::new(vec![Value::Str("x".into()), Value::Null]),
+                ],
+            },
+            mac: Mac([8u8; 32]),
+        };
+        let got = decode_result(&encode_result(&e)).unwrap();
+        assert_eq!(got.qid, 9);
+        assert_eq!(got.sequence, 100);
+        assert_eq!(got.mac, e.mac);
+        assert_eq!(got.result.columns, e.result.columns);
+        assert_eq!(got.result.rows, e.result.rows);
+    }
+
+    #[test]
+    fn every_error_variant_round_trips() {
+        let all = vec![
+            Error::PageFull {
+                page: 1,
+                needed: 2,
+                available: 3,
+            },
+            Error::PageNotFound(4),
+            Error::SlotNotFound { page: 5, slot: 6 },
+            Error::KeyNotFound("k".into()),
+            Error::DuplicateKey("d".into()),
+            Error::TableNotFound("t".into()),
+            Error::TableExists("t2".into()),
+            Error::ColumnNotFound("c".into()),
+            Error::EpcExhausted {
+                requested: 7,
+                budget: 8,
+            },
+            Error::Parse("p".into()),
+            Error::Plan("pl".into()),
+            Error::Type("ty".into()),
+            Error::Codec("co".into()),
+            Error::Config("cf".into()),
+            Error::InvalidArgument("ia".into()),
+            Error::Net {
+                peer: "1.2.3.4:5".into(),
+                op: "read".into(),
+                detail: "reset".into(),
+            },
+            Error::VerificationFailed {
+                partition: 9,
+                epoch: 10,
+            },
+            Error::TamperDetected("td".into()),
+            Error::AuthFailed("af".into()),
+            Error::RollbackDetected { sequence: 11 },
+            Error::ReplayDetected { qid: 12 },
+        ];
+        for e in all {
+            let (qid, got) = decode_error(&encode_error(77, &e)).unwrap();
+            assert_eq!(qid, 77);
+            assert_eq!(got, e, "variant failed to round-trip");
+            assert_eq!(got.is_security_violation(), e.is_security_violation());
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_fail_cleanly() {
+        let buf = encode_query(&SignedQuery {
+            qid: 1,
+            sql: "SELECT 1".into(),
+            mac: Mac([0u8; 32]),
+        });
+        for cut in 0..buf.len() {
+            assert!(
+                decode_query(&buf[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_mac_length_rejected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 1);
+        put_bytes(&mut buf, b"SELECT 1");
+        put_bytes(&mut buf, b"short-mac");
+        assert!(decode_query(&buf).is_err());
+    }
+}

@@ -1,0 +1,478 @@
+//! The multi-threaded VeriDB network server.
+//!
+//! One shared [`VeriDb`] engine serves many concurrent connections. Each
+//! connection runs the §5.1 protocol over the untrusted wire:
+//!
+//! 1. `HELLO(channel, nonce)` → the server opens (or reuses) the channel's
+//!    [`QueryPortal`] and replies `QUOTE` — the enclave quote binding the
+//!    client nonce plus the simulated attested key exchange.
+//! 2. `QUERY` frames are submitted to the portal; the reply is a `RESULT`
+//!    (endorsed) or an `ERROR` carrying the portal's exact error.
+//! 3. `BYE` (or idle expiry, or shutdown) closes the session.
+//!
+//! Portals are *per channel, not per connection*: a client that reconnects
+//! to the same channel faces the same replay window and the same strictly
+//! increasing sequence counter, so neither a dropped TCP connection nor a
+//! malicious reconnect resets the §5.1 defenses.
+//!
+//! Operational behavior: a connection cap with accept backpressure (at the
+//! cap the server simply stops accepting; the kernel backlog queues), per
+//! connection read/write timeouts, idle reaping, and graceful shutdown
+//! that drains in-flight queries (shutdown is only observed between
+//! frames, never mid-query).
+
+use crate::frame::{read_frame, write_frame, HEADER_BYTES};
+use crate::proto::{
+    decode_hello, decode_query, encode_error, encode_quote, encode_result, QuoteMsg, MSG_BYE,
+    MSG_ERROR, MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_STATS, MSG_STATS_OK,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use veridb::{QueryPortal, QuotingEnclave, VeriDb};
+use veridb_common::{Error, Metrics, Result};
+
+/// The simulated attestation-service signing key. Stands in for the Intel
+/// attestation root of trust, which real clients ship baked in; both the
+/// server's quoting enclave and remote verifiers derive from this value.
+/// It authenticates the *quoting infrastructure*, not any particular
+/// enclave — the enclave measurement check is separate and per-build.
+pub const SIM_ATTESTATION_ROOT: [u8; 32] = *b"veridb-simulated-attestation-svc";
+
+/// How long a connection may sit idle (no complete frame) before the
+/// server reaps it, expressed as a multiple of the per-frame timeout.
+const IDLE_TIMEOUT_FACTOR: u32 = 12;
+
+/// Tick used to poll the shutdown flag while waiting for socket activity.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Server tunables, derived from [`veridb_common::VeriDbConfig`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Maximum concurrent connections; beyond it the server stops
+    /// accepting (backpressure), it does not reset queued connections.
+    pub max_conns: usize,
+    /// Per-frame read/write timeout.
+    pub timeout: Duration,
+    /// Idle-session reaping deadline.
+    pub idle_timeout: Duration,
+}
+
+impl NetConfig {
+    /// Build from the engine configuration's `max_conns`/`net_timeout_ms`.
+    pub fn from_config(config: &veridb_common::VeriDbConfig) -> Self {
+        let timeout = Duration::from_millis(config.net_timeout_ms);
+        NetConfig {
+            max_conns: config.max_conns,
+            timeout,
+            idle_timeout: timeout * IDLE_TIMEOUT_FACTOR,
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight queries finish,
+    /// close every session, join all threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct ServerShared {
+    db: Arc<VeriDb>,
+    qe: QuotingEnclave,
+    cfg: NetConfig,
+    /// Channel name → portal. Persistent across reconnects so the replay
+    /// window and sequence counter outlive any one TCP connection.
+    portals: Mutex<HashMap<String, Arc<QueryPortal>>>,
+    active: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl ServerShared {
+    fn portal(&self, channel: &str) -> Arc<QueryPortal> {
+        let mut portals = self.portals.lock();
+        Arc::clone(
+            portals
+                .entry(channel.to_owned())
+                .or_insert_with(|| Arc::new(self.db.portal(channel))),
+        )
+    }
+}
+
+/// Start serving `db` on `addr` ("host:port"; port 0 picks a free port).
+/// Returns once the listener is bound; serving happens on background
+/// threads until [`ServerHandle::shutdown`].
+pub fn serve(db: Arc<VeriDb>, addr: &str) -> Result<ServerHandle> {
+    let cfg = NetConfig::from_config(db.config());
+    serve_with(db, addr, cfg)
+}
+
+/// [`serve`] with explicit tunables.
+pub fn serve_with(db: Arc<VeriDb>, addr: &str, cfg: NetConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr).map_err(|e| Error::Net {
+        peer: addr.to_owned(),
+        op: "bind".into(),
+        detail: e.to_string(),
+    })?;
+    let local_addr = listener.local_addr().map_err(|e| Error::Net {
+        peer: addr.to_owned(),
+        op: "local_addr".into(),
+        detail: e.to_string(),
+    })?;
+    listener.set_nonblocking(true).map_err(|e| Error::Net {
+        peer: addr.to_owned(),
+        op: "set_nonblocking".into(),
+        detail: e.to_string(),
+    })?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = db.memory().metrics().cloned();
+    let shared = Arc::new(ServerShared {
+        qe: QuotingEnclave::new(SIM_ATTESTATION_ROOT),
+        db,
+        cfg,
+        portals: Mutex::new(HashMap::new()),
+        active: AtomicUsize::new(0),
+        shutdown: Arc::clone(&shutdown),
+        metrics,
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("veridb-net-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(|e| Error::Net {
+            peer: addr.to_owned(),
+            op: "spawn accept thread".into(),
+            detail: e.to_string(),
+        })?;
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        sessions.retain(|t| !t.is_finished());
+        // Backpressure: at the connection cap, stop accepting. Pending
+        // connections wait in the kernel backlog instead of being reset.
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            std::thread::sleep(POLL_TICK);
+            continue;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                if let Some(m) = &shared.metrics {
+                    m.net_accepted.inc();
+                    m.net_active_conns.inc();
+                }
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("veridb-net-conn-{peer}"))
+                    .spawn(move || {
+                        session(stream, peer, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                        if let Some(m) = &conn_shared.metrics {
+                            m.net_active_conns.dec();
+                        }
+                    });
+                if let Err(e) = spawned {
+                    eprintln!("veridb-net: failed to spawn session thread: {e}");
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    if let Some(m) = &shared.metrics {
+                        m.net_rejected.inc();
+                        m.net_active_conns.dec();
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(e) => {
+                eprintln!("veridb-net: accept failed: {e}");
+                std::thread::sleep(POLL_TICK);
+            }
+        }
+    }
+    // Graceful drain: sessions observe the shutdown flag between frames
+    // and finish whatever query is in flight before exiting.
+    for t in sessions {
+        let _ = t.join();
+    }
+}
+
+/// Why a wait for the next frame ended.
+enum Wait {
+    /// Data is available to read.
+    Ready,
+    /// The idle deadline passed with no complete frame.
+    Idle,
+    /// The server is shutting down.
+    Shutdown,
+    /// The peer closed the connection.
+    Closed,
+}
+
+/// Poll until the stream is readable, the session idles out, or the server
+/// shuts down. Uses short read-timeout slices so the shutdown flag is
+/// observed promptly without busy-waiting.
+fn wait_readable(stream: &TcpStream, shared: &ServerShared, idle_deadline: Instant) -> Wait {
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Wait::Shutdown;
+        }
+        if Instant::now() >= idle_deadline {
+            return Wait::Idle;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Wait::Closed,
+            Ok(_) => return Wait::Ready,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return Wait::Closed,
+        }
+    }
+}
+
+fn session(mut stream: TcpStream, peer: SocketAddr, shared: &ServerShared) {
+    let peer_str = peer.to_string();
+    if let Err(e) = run_session(&mut stream, &peer_str, shared) {
+        // A session error is either transport noise (logged, common under
+        // adversarial proxies) or a protocol violation already counted in
+        // the metrics; the connection just ends.
+        if !matches!(e, Error::Net { .. }) {
+            eprintln!("veridb-net: session {peer_str} ended: {e}");
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn run_session(stream: &mut TcpStream, peer: &str, shared: &ServerShared) -> Result<()> {
+    let m = shared.metrics.as_deref();
+    // Per-frame read/write timeouts; the read timeout doubles as the
+    // shutdown-poll tick for `wait_readable`.
+    let io_err = |op: &str, e: std::io::Error| Error::Net {
+        peer: peer.to_owned(),
+        op: op.to_owned(),
+        detail: e.to_string(),
+    };
+    stream
+        .set_read_timeout(Some(POLL_TICK))
+        .map_err(|e| io_err("set_read_timeout", e))?;
+    stream
+        .set_write_timeout(Some(shared.cfg.timeout))
+        .map_err(|e| io_err("set_write_timeout", e))?;
+
+    // ---- handshake ------------------------------------------------------
+    let (kind, payload) = read_frame_sliced(stream, peer, shared, m)?;
+    if kind != MSG_HELLO {
+        count_frame_reject(m);
+        return Err(Error::Net {
+            peer: peer.to_owned(),
+            op: "handshake".into(),
+            detail: format!("expected HELLO, got frame kind {kind}"),
+        });
+    }
+    let (channel, nonce) = decode_hello(&payload).inspect_err(|_| count_frame_reject(m))?;
+    let portal = shared.portal(&channel);
+    let quote = shared.db.enclave().quote(&shared.qe, &nonce);
+    let msg = QuoteMsg {
+        measurement: *quote.report.measurement.as_bytes(),
+        user_data: quote.report.user_data,
+        signature: quote.signature,
+        key: portal
+            .channel_key_for_attested_client()
+            .key_exchange_bytes(),
+    };
+    send_frame(stream, peer, m, MSG_QUOTE, &encode_quote(&msg))?;
+
+    // ---- query loop -----------------------------------------------------
+    loop {
+        let idle_deadline = Instant::now() + shared.cfg.idle_timeout;
+        match wait_readable(stream, shared, idle_deadline) {
+            Wait::Ready => {}
+            Wait::Idle => {
+                if let Some(m) = m {
+                    m.net_timeouts.inc();
+                }
+                let _ = write_frame(stream, peer, MSG_BYE, &[]);
+                return Ok(());
+            }
+            Wait::Shutdown => {
+                let _ = write_frame(stream, peer, MSG_BYE, &[]);
+                return Ok(());
+            }
+            Wait::Closed => return Ok(()),
+        }
+        let (kind, payload) = read_frame_sliced(stream, peer, shared, m)?;
+        match kind {
+            MSG_QUERY => {
+                let started = Instant::now();
+                let q = match decode_query(&payload) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        // Mangled payload behind a valid CRC: the framing
+                        // layer is untrusted, so report and drop the
+                        // connection; never guess at a query.
+                        count_frame_reject(m);
+                        send_frame(stream, peer, m, MSG_ERROR, &encode_error(0, &e))?;
+                        return Err(e);
+                    }
+                };
+                let reply = portal.submit(&q);
+                if let Err(Error::AuthFailed(_) | Error::ReplayDetected { .. }) = &reply {
+                    if let Some(m) = m {
+                        m.net_auth_rejects.inc();
+                    }
+                }
+                match reply {
+                    Ok(endorsed) => {
+                        send_frame(stream, peer, m, MSG_RESULT, &encode_result(&endorsed))?
+                    }
+                    Err(e) => send_frame(stream, peer, m, MSG_ERROR, &encode_error(q.qid, &e))?,
+                }
+                if let Some(m) = m {
+                    m.net_wire_ns.record(started.elapsed().as_nanos() as u64);
+                }
+            }
+            MSG_STATS => {
+                let snap = shared.db.metrics();
+                let mut text = String::new();
+                for (name, value) in snap.counters() {
+                    text.push_str(&format!("{name} {value}\n"));
+                }
+                send_frame(stream, peer, m, MSG_STATS_OK, text.as_bytes())?;
+            }
+            MSG_BYE => return Ok(()),
+            other => {
+                count_frame_reject(m);
+                return Err(Error::Net {
+                    peer: peer.to_owned(),
+                    op: "read frame".into(),
+                    detail: format!("unexpected frame kind {other}"),
+                });
+            }
+        }
+    }
+}
+
+/// Read one frame after `wait_readable` said data is ready. The stream's
+/// short read-timeout slices mean `read_exact` may see `WouldBlock` mid
+/// frame; retry within the per-frame timeout budget.
+fn read_frame_sliced(
+    stream: &mut TcpStream,
+    peer: &str,
+    shared: &ServerShared,
+    m: Option<&Metrics>,
+) -> Result<(u8, Vec<u8>)> {
+    let deadline = Instant::now() + shared.cfg.timeout;
+    let mut sliced = SlicedReader {
+        stream,
+        deadline,
+        peer,
+    };
+    match read_frame(&mut sliced, peer) {
+        Ok((kind, payload)) => {
+            if let Some(m) = m {
+                m.net_frames_in.inc();
+                m.net_bytes_in.add((HEADER_BYTES + payload.len()) as u64);
+            }
+            Ok((kind, payload))
+        }
+        Err(e) => {
+            // Distinguish CRC/framing rejects (counted) from plain socket
+            // errors; both are transport-level.
+            if e.to_string().contains("CRC")
+                || e.to_string().contains("magic")
+                || e.to_string().contains("version")
+                || e.to_string().contains("cap")
+            {
+                count_frame_reject(m);
+            }
+            Err(e)
+        }
+    }
+}
+
+fn count_frame_reject(m: Option<&Metrics>) {
+    if let Some(m) = m {
+        m.net_frame_rejects.inc();
+    }
+}
+
+fn send_frame(
+    stream: &mut TcpStream,
+    peer: &str,
+    m: Option<&Metrics>,
+    kind: u8,
+    payload: &[u8],
+) -> Result<()> {
+    write_frame(stream, peer, kind, payload)?;
+    if let Some(m) = m {
+        m.net_frames_out.inc();
+        m.net_bytes_out.add((HEADER_BYTES + payload.len()) as u64);
+    }
+    Ok(())
+}
+
+/// A reader that retries `WouldBlock`/`TimedOut` slices until a deadline,
+/// so short shutdown-poll read timeouts do not truncate frames mid-read.
+struct SlicedReader<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+    peer: &'a str,
+}
+
+impl std::io::Read for SlicedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= self.deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("frame read from {} timed out", self.peer),
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}

@@ -12,7 +12,10 @@
 use crate::portal::{result_digest, EndorsedResult, SignedQuery};
 use std::collections::BTreeMap;
 use veridb_common::{Error, Result, Row};
-use veridb_enclave::{attestation::QuoteVerifier, Enclave, MacKey, Measurement, QuotingEnclave};
+use veridb_enclave::{
+    attestation::{Quote, QuoteVerifier},
+    Enclave, MacKey, Measurement, QuotingEnclave,
+};
 
 /// A compressed set of `u64`s stored as disjoint inclusive intervals.
 #[derive(Debug, Default, Clone)]
@@ -36,11 +39,15 @@ impl SeqIntervals {
             }
             if e.checked_add(1) == Some(v) {
                 // extend the left run; maybe merge with the right run
-                if let Some((&ns, &ne)) = self.runs.range(v + 1..).next() {
-                    if ns == v + 1 {
-                        self.runs.remove(&ns);
-                        self.runs.insert(s, ne);
-                        return true;
+                // (`checked_add` guards the v == u64::MAX boundary — there
+                // can be no run starting past the maximum value)
+                if let Some(succ) = v.checked_add(1) {
+                    if let Some((&ns, &ne)) = self.runs.range(succ..).next() {
+                        if ns == succ {
+                            self.runs.remove(&ns);
+                            self.runs.insert(s, ne);
+                            return true;
+                        }
                     }
                 }
                 self.runs.insert(s, v);
@@ -48,11 +55,13 @@ impl SeqIntervals {
             }
         }
         // Maybe prepend to the run starting at v+1.
-        if let Some((&ns, &ne)) = self.runs.range(v + 1..).next() {
-            if ns == v + 1 {
-                self.runs.remove(&ns);
-                self.runs.insert(v, ne);
-                return true;
+        if let Some(succ) = v.checked_add(1) {
+            if let Some((&ns, &ne)) = self.runs.range(succ..).next() {
+                if ns == succ {
+                    self.runs.remove(&ns);
+                    self.runs.insert(v, ne);
+                    return true;
+                }
             }
         }
         self.runs.insert(v, v);
@@ -105,8 +114,22 @@ impl Client {
         nonce: &[u8],
     ) -> Result<Client> {
         let quote = enclave.quote(qe, nonce);
+        Client::attest_quote(verifier, &quote, expected, nonce, channel_key)
+    }
+
+    /// Transport-agnostic attestation: verify a quote that was obtained
+    /// elsewhere (e.g. decoded off the wire by `veridb-net`) rather than by
+    /// calling into a local enclave. The checks are identical to
+    /// [`Client::attest`]; only the quote's provenance differs.
+    pub fn attest_quote(
+        verifier: &QuoteVerifier,
+        quote: &Quote,
+        expected: Measurement,
+        nonce: &[u8],
+        channel_key: MacKey,
+    ) -> Result<Client> {
         verifier
-            .verify(&quote, expected, nonce)
+            .verify(quote, expected, nonce)
             .map_err(|e| Error::AuthFailed(format!("attestation failed: {e}")))?;
         Ok(Client {
             key: channel_key,
@@ -240,6 +263,23 @@ mod tests {
         assert_eq!(s.interval_count(), 1);
         assert!(s.contains(9));
     }
+
+    #[test]
+    fn interval_set_u64_max_boundary() {
+        // v + 1 overflows at the top of the domain; insert must not panic
+        // and must still merge correctly from below.
+        let mut s = SeqIntervals::new();
+        assert!(s.insert(u64::MAX));
+        assert!(!s.insert(u64::MAX));
+        assert!(s.contains(u64::MAX));
+        assert!(s.insert(u64::MAX - 1)); // prepend-merge below MAX
+        assert_eq!(s.interval_count(), 1);
+        assert!(s.insert(u64::MAX - 3));
+        assert_eq!(s.interval_count(), 2);
+        assert!(s.insert(u64::MAX - 2)); // bridge up to the MAX run
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.value_count(), 4);
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +297,48 @@ mod proptests {
                 prop_assert_eq!(s.insert(v), model.insert(v), "insert({})", v);
             }
             for v in 0u64..2000 {
+                prop_assert_eq!(s.contains(v), model.contains(&v));
+            }
+            prop_assert_eq!(s.value_count() as usize, model.len());
+        }
+
+        // Dense draws from a narrow range force heavy adjacent-run merging:
+        // nearly every insert extends, prepends, or bridges existing runs.
+        #[test]
+        fn interval_set_adjacent_merge_matches_hashset(
+            values in prop::collection::vec(0u64..64, 0..256)
+        ) {
+            let mut s = SeqIntervals::new();
+            let mut model = HashSet::new();
+            for v in values {
+                prop_assert_eq!(s.insert(v), model.insert(v), "insert({})", v);
+            }
+            for v in 0u64..64 {
+                prop_assert_eq!(s.contains(v), model.contains(&v));
+            }
+            prop_assert_eq!(s.value_count() as usize, model.len());
+            // Invariant: runs are disjoint and non-adjacent, so the interval
+            // count can never exceed the distinct-value count.
+            prop_assert!(s.interval_count() <= model.len());
+        }
+
+        // Exercise both ends of the u64 domain, where `v + 1` can overflow.
+        #[test]
+        fn interval_set_u64_boundaries_match_hashset(
+            values in prop::collection::vec(
+                prop_oneof![0u64..16, (u64::MAX - 16)..=u64::MAX],
+                0..128,
+            )
+        ) {
+            let mut s = SeqIntervals::new();
+            let mut model = HashSet::new();
+            for v in values {
+                prop_assert_eq!(s.insert(v), model.insert(v), "insert({})", v);
+            }
+            for v in 0u64..16 {
+                prop_assert_eq!(s.contains(v), model.contains(&v));
+            }
+            for v in (u64::MAX - 16)..=u64::MAX {
                 prop_assert_eq!(s.contains(v), model.contains(&v));
             }
             prop_assert_eq!(s.value_count() as usize, model.len());

@@ -79,6 +79,18 @@ impl QueryPortal {
     /// enclave (clients obtain the matching key through the attestation
     /// handshake — see [`crate::client::Client::attest`]).
     pub fn new(engine: Arc<QueryEngine>, mem: Arc<VerifiedMemory>, channel: &str) -> Self {
+        Self::with_replay_window(engine, mem, channel, DEFAULT_REPLAY_WINDOW)
+    }
+
+    /// Open a portal with an explicit replay-window capacity. Concurrent
+    /// remote clients with pipelined queries need a wider window than the
+    /// default; `VeriDb::portal` passes `config.replay_window` through here.
+    pub fn with_replay_window(
+        engine: Arc<QueryEngine>,
+        mem: Arc<VerifiedMemory>,
+        channel: &str,
+        replay_window: usize,
+    ) -> Self {
         let enclave = mem.enclave().clone();
         let key = enclave.mac_key(&format!("channel-{channel}"));
         QueryPortal {
@@ -86,7 +98,7 @@ impl QueryPortal {
             mem,
             enclave,
             key,
-            seen_qids: Mutex::new(ReplayWindow::new(DEFAULT_REPLAY_WINDOW)),
+            seen_qids: Mutex::new(ReplayWindow::new(replay_window)),
             options: PlanOptions::default(),
         }
     }
