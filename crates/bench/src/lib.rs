@@ -126,6 +126,9 @@ pub struct OpSummary {
     pub p95_us: f64,
     /// Completed operations per second.
     pub throughput_per_s: f64,
+    /// Throughput relative to the same op's 1-worker run, for scaling
+    /// sweeps (`None` for ops without a 1-worker baseline).
+    pub speedup_vs_1w: Option<f64>,
 }
 
 /// Percentile (0.0..=1.0) of a sample set, by nearest-rank on a sorted
@@ -151,6 +154,7 @@ pub fn summarize(op: &str, latencies_s: &[f64], wall_s: f64, ops: usize) -> OpSu
         } else {
             0.0
         },
+        speedup_vs_1w: None,
     }
 }
 
@@ -161,12 +165,16 @@ pub fn write_bench_summary(name: &str, ops: &[OpSummary]) {
     let entries: Vec<serde_json::Value> = ops
         .iter()
         .map(|o| {
-            serde_json::json!({
+            let mut v = serde_json::json!({
                 "op": o.op.clone(),
                 "p50_us": o.p50_us,
                 "p95_us": o.p95_us,
                 "throughput_per_s": o.throughput_per_s,
-            })
+            });
+            if let Some(s) = o.speedup_vs_1w {
+                v["speedup_vs_1w"] = serde_json::json!(s);
+            }
+            v
         })
         .collect();
     let path =
@@ -226,5 +234,9 @@ mod tests {
         assert_eq!(s.op, "op");
         assert!((s.p50_us - 2000.0).abs() < 1e-6);
         assert!((s.throughput_per_s - 50.0).abs() < 1e-9);
+        assert!(
+            s.speedup_vs_1w.is_none(),
+            "no baseline unless a sweep sets one"
+        );
     }
 }

@@ -363,6 +363,15 @@ pub struct Metrics {
     pub pages_reused: Counter,
     /// Empty pages released to the free list.
     pub pages_released: Counter,
+    // -- wrcm: shared-nothing parallel path ------------------------------
+    /// Nanoseconds spent waiting on partition mutexes (the `lock_part`
+    /// slow path; the shared-nothing delta path drives this toward zero).
+    pub part_lock_wait_ns: Counter,
+    /// Thread-local delta buckets merged into partition state (handle
+    /// merges, drops, and epoch-close drains).
+    pub delta_merges: Counter,
+    /// Timestamp blocks handed out to delta handles.
+    pub ts_blocks_allocated: Counter,
     // -- wrcm: deferred verification -----------------------------------
     /// Background / synchronous verifier scan steps executed.
     pub scan_steps: Counter,
@@ -404,6 +413,10 @@ pub struct Metrics {
     pub worker_rows: [Counter; MAX_TRACKED_WORKERS],
     /// Busy wall-clock nanoseconds per worker slot.
     pub worker_busy_ns: [Counter; MAX_TRACKED_WORKERS],
+    /// Morsels claimed per worker slot (the busy/steal balance: a flat
+    /// distribution means claims are spread, a skewed one means most
+    /// workers sat idle while one drained the queue).
+    pub worker_morsels: [Counter; MAX_TRACKED_WORKERS],
     // -- net: the veridb-net wire front end ------------------------------
     /// Client connections accepted by the network server.
     pub net_accepted: Counter,
@@ -455,6 +468,11 @@ impl Metrics {
         &self.worker_busy_ns[worker % MAX_TRACKED_WORKERS]
     }
 
+    /// The morsel-claim counter for one parallel worker.
+    pub fn worker_morsels(&self, worker: usize) -> &Counter {
+        &self.worker_morsels[worker % MAX_TRACKED_WORKERS]
+    }
+
     /// Copy every metric. Enclave-substrate fields (`ecalls`,
     /// `prf_evals`, `epc_*`) are zero here; `Enclave::metrics_snapshot`
     /// fills them in.
@@ -469,6 +487,10 @@ impl Metrics {
         }
         let mut worker_busy_ns = [0u64; MAX_TRACKED_WORKERS];
         for (o, c) in worker_busy_ns.iter_mut().zip(&self.worker_busy_ns) {
+            *o = c.get();
+        }
+        let mut worker_morsels = [0u64; MAX_TRACKED_WORKERS];
+        for (o, c) in worker_morsels.iter_mut().zip(&self.worker_morsels) {
             *o = c.get();
         }
         MetricsSnapshot {
@@ -492,6 +514,9 @@ impl Metrics {
             pages_allocated: self.pages_allocated.get(),
             pages_reused: self.pages_reused.get(),
             pages_released: self.pages_released.get(),
+            part_lock_wait_ns: self.part_lock_wait_ns.get(),
+            delta_merges: self.delta_merges.get(),
+            ts_blocks_allocated: self.ts_blocks_allocated.get(),
             scan_steps: self.scan_steps.get(),
             scan_step_ns: self.scan_step_ns.snapshot(),
             epoch_closes: self.epoch_closes.get(),
@@ -509,6 +534,7 @@ impl Metrics {
             morsels_dispatched: self.morsels_dispatched.get(),
             worker_rows,
             worker_busy_ns,
+            worker_morsels,
             net_accepted: self.net_accepted.get(),
             net_rejected: self.net_rejected.get(),
             net_frames_in: self.net_frames_in.get(),
@@ -553,6 +579,9 @@ pub struct MetricsSnapshot {
     pub pages_allocated: u64,
     pub pages_reused: u64,
     pub pages_released: u64,
+    pub part_lock_wait_ns: u64,
+    pub delta_merges: u64,
+    pub ts_blocks_allocated: u64,
     pub scan_steps: u64,
     pub scan_step_ns: HistogramSnapshot,
     pub epoch_closes: u64,
@@ -570,6 +599,7 @@ pub struct MetricsSnapshot {
     pub morsels_dispatched: u64,
     pub worker_rows: [u64; MAX_TRACKED_WORKERS],
     pub worker_busy_ns: [u64; MAX_TRACKED_WORKERS],
+    pub worker_morsels: [u64; MAX_TRACKED_WORKERS],
     pub net_accepted: u64,
     pub net_rejected: u64,
     pub net_frames_in: u64,
@@ -626,6 +656,13 @@ impl MetricsSnapshot {
         {
             *r = now.saturating_sub(*then);
         }
+        let mut worker_morsels = [0u64; MAX_TRACKED_WORKERS];
+        for (r, (now, then)) in worker_morsels
+            .iter_mut()
+            .zip(self.worker_morsels.iter().zip(&earlier.worker_morsels))
+        {
+            *r = now.saturating_sub(*then);
+        }
         MetricsSnapshot {
             protected_reads: self.protected_reads.saturating_sub(earlier.protected_reads),
             protected_writes: self
@@ -664,6 +701,13 @@ impl MetricsSnapshot {
             pages_allocated: self.pages_allocated.saturating_sub(earlier.pages_allocated),
             pages_reused: self.pages_reused.saturating_sub(earlier.pages_reused),
             pages_released: self.pages_released.saturating_sub(earlier.pages_released),
+            part_lock_wait_ns: self
+                .part_lock_wait_ns
+                .saturating_sub(earlier.part_lock_wait_ns),
+            delta_merges: self.delta_merges.saturating_sub(earlier.delta_merges),
+            ts_blocks_allocated: self
+                .ts_blocks_allocated
+                .saturating_sub(earlier.ts_blocks_allocated),
             scan_steps: self.scan_steps.saturating_sub(earlier.scan_steps),
             scan_step_ns: self.scan_step_ns.since(&earlier.scan_step_ns),
             epoch_closes: self.epoch_closes.saturating_sub(earlier.epoch_closes),
@@ -697,6 +741,7 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.morsels_dispatched),
             worker_rows,
             worker_busy_ns,
+            worker_morsels,
             net_accepted: self.net_accepted.saturating_sub(earlier.net_accepted),
             net_rejected: self.net_rejected.saturating_sub(earlier.net_rejected),
             net_frames_in: self.net_frames_in.saturating_sub(earlier.net_frames_in),
@@ -744,6 +789,9 @@ impl MetricsSnapshot {
             ("wrcm.pages_allocated", self.pages_allocated),
             ("wrcm.pages_reused", self.pages_reused),
             ("wrcm.pages_released", self.pages_released),
+            ("wrcm.part_lock_wait_ns", self.part_lock_wait_ns),
+            ("wrcm.delta_merges", self.delta_merges),
+            ("wrcm.ts_blocks_allocated", self.ts_blocks_allocated),
             ("verify.scan_steps", self.scan_steps),
             ("verify.scan_step_ns.count", self.scan_step_ns.count),
             ("verify.scan_step_ns.sum", self.scan_step_ns.sum),
@@ -805,6 +853,19 @@ impl MetricsSnapshot {
         for (name, v) in WORKER_BUSY_NAMES.iter().zip(self.worker_busy_ns) {
             out.push((name, v));
         }
+        const WORKER_MORSEL_NAMES: [&str; MAX_TRACKED_WORKERS] = [
+            "query.worker0.morsels",
+            "query.worker1.morsels",
+            "query.worker2.morsels",
+            "query.worker3.morsels",
+            "query.worker4.morsels",
+            "query.worker5.morsels",
+            "query.worker6.morsels",
+            "query.worker7.morsels",
+        ];
+        for (name, v) in WORKER_MORSEL_NAMES.iter().zip(self.worker_morsels) {
+            out.push((name, v));
+        }
         out.extend([
             ("query.spill_events", self.spill_events),
             ("query.spill_bytes", self.spill_bytes),
@@ -836,6 +897,7 @@ impl MetricsSnapshot {
             "ops={} (r {} / w {} / ins {} / del {} / batch {}), prf={}, \
              cache {}h/{}m ({}%), groups +{}/-{}, batched_rounds={}, \
              fallback={}, retries={}, epoch_closes={}, lag_mean={:.0} ops, \
+             delta_merges={}, ts_blocks={}, lock_wait={}ns, \
              spills={} ({} B), ecalls={}",
             self.protected_ops(),
             self.protected_reads,
@@ -854,6 +916,9 @@ impl MetricsSnapshot {
             self.scan_benign_retries,
             self.epoch_closes,
             self.verification_lag_ops.mean(),
+            self.delta_merges,
+            self.ts_blocks_allocated,
+            self.part_lock_wait_ns,
             self.spill_events,
             self.spill_bytes,
             self.ecalls,
@@ -969,6 +1034,11 @@ mod tests {
         assert!(names.contains(&"wrcm.cache_hit_ratio_pct"));
         assert!(names.contains(&"net.accepted"));
         assert!(names.contains(&"net.wire_ns.count"));
+        assert!(names.contains(&"wrcm.part_lock_wait_ns"));
+        assert!(names.contains(&"wrcm.delta_merges"));
+        assert!(names.contains(&"wrcm.ts_blocks_allocated"));
+        assert!(names.contains(&"query.worker0.morsels"));
+        assert!(names.contains(&"query.worker7.morsels"));
     }
 
     #[test]

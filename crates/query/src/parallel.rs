@@ -184,6 +184,9 @@ where
                         if i >= plans.len() {
                             break;
                         }
+                        if let Some(m) = &ctx.metrics {
+                            m.worker_morsels(w).inc();
+                        }
                         match work(&plans[i], ctx) {
                             Ok((t, n)) => {
                                 rows_done += n;

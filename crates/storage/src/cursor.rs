@@ -29,7 +29,7 @@ use std::ops::Bound;
 use std::sync::Arc;
 use veridb_common::obs::Metrics;
 use veridb_common::{Error, Result, Row, Value};
-use veridb_wrcm::{ReadBatch, SlotId};
+use veridb_wrcm::{DeltaHandle, ReadBatch, SlotId};
 
 /// How many `(key, addr)` bindings the cursor prefetches from the
 /// untrusted index per batched round.
@@ -55,6 +55,11 @@ pub struct VerifiedScan {
     /// Rounds resolved through the batch path / through the per-record
     /// fallback (diagnostics for the batching benchmarks).
     batched_rounds: u64,
+    /// Thread-local digest delta + timestamp block for the batched fast
+    /// path, created lazily on the first batched round and merged back
+    /// into partition state when the scan finishes (or is dropped). This
+    /// is what keeps a worker's scan off the partition mutexes.
+    delta: Option<DeltaHandle>,
 }
 
 impl VerifiedScan {
@@ -71,6 +76,7 @@ impl VerifiedScan {
             ready: VecDeque::new(),
             scratch: ReadBatch::new(),
             batched_rounds: 0,
+            delta: None,
         }
     }
 
@@ -277,12 +283,12 @@ impl VerifiedScan {
                 None => by_page.push((addr.page, vec![i])),
             }
         }
+        let mem = Arc::clone(self.table.memory());
         for (page, idxs) in &by_page {
             let slots: Vec<SlotId> = idxs.iter().map(|&i| cands[i].1.slot).collect();
-            if self
-                .table
-                .memory()
-                .read_page_batch(*page, &slots, &mut self.scratch)
+            let delta = self.delta.get_or_insert_with(|| mem.delta_handle());
+            if mem
+                .read_page_batch_delta(*page, &slots, &mut self.scratch, delta)
                 .is_err()
             {
                 continue; // stale page hint: those candidates stay None
@@ -342,6 +348,13 @@ impl VerifiedScan {
         }
         Ok(())
     }
+
+    /// End the scan: pending delta folds merge back into partition state
+    /// now instead of waiting for the cursor itself to be dropped.
+    fn finish(&mut self) {
+        self.done = true;
+        self.delta = None; // DeltaHandle::drop merges the remainder
+    }
 }
 
 impl Iterator for VerifiedScan {
@@ -349,6 +362,7 @@ impl Iterator for VerifiedScan {
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
+            self.delta = None;
             return None;
         }
         // Obtain the next record: either the starting floor or the chain
@@ -363,18 +377,18 @@ impl Iterator for VerifiedScan {
                 match self.start() {
                     Ok(r) => r,
                     Err(e) => {
-                        self.done = true;
+                        self.finish();
                         return Some(Err(e));
                     }
                 }
             } else {
                 let expected = self.expected.clone().expect("set after start");
                 if self.past_upper(&expected) {
-                    self.done = true;
+                    self.finish();
                     return None;
                 }
                 if let Err(e) = self.try_fill_ready(&expected) {
-                    self.done = true;
+                    self.finish();
                     return Some(Err(e));
                 }
                 if !self.ready.is_empty() || self.expected.as_ref() != Some(&expected) {
@@ -385,7 +399,7 @@ impl Iterator for VerifiedScan {
                 match self.resolve(&expected) {
                     Ok(r) => r,
                     Err(e) => {
-                        self.done = true;
+                        self.finish();
                         return Some(Err(e));
                     }
                 }
@@ -399,7 +413,7 @@ impl Iterator for VerifiedScan {
             // Evidence-only record (floor below the range, or a value
             // outside an excluded bound): keep walking.
             if self.past_upper(self.expected.as_ref().expect("just set")) {
-                self.done = true;
+                self.finish();
                 return None;
             }
         }

@@ -37,16 +37,19 @@
 //!
 //! Locking: the cache is sharded by page id; the global order is
 //! **cache shard → page mutex → partition mutex** (shards by index when
-//! two are needed). Every protected operation that can touch cached state
-//! holds the covering shard lock for its whole duration, which makes
-//! fill/invalidate/write-back atomic against concurrent point ops.
-//! Scan-side code (`process_page`, compaction) never takes shard locks,
-//! so it can never invert the order.
+//! two are needed). Shard locks are reader-writer: read-only interactions
+//! (point-read hits, the batched scan's no-dirty-cells fast path) hold
+//! the covering shard lock in *shared* mode so hot read-mostly morsels do
+//! not serialize on it, while every path that mutates cached state —
+//! fill, invalidate, write-back, dirty-flush, absorb — holds it
+//! exclusively for its whole duration, which keeps those transitions
+//! atomic against concurrent point ops. Scan-side code (`process_page`,
+//! compaction) never takes shard locks, so it can never invert the order.
 
 use crate::memory::CellAddr;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use veridb_enclave::EpcAllocation;
 
 /// Fixed shard count: enough to keep unrelated pages off each other's
@@ -70,8 +73,9 @@ pub(crate) struct Entry {
     /// Whether `data` differs from the host copy (write-back required on
     /// eviction).
     pub dirty: bool,
-    /// Second-chance bit for the clock eviction ring.
-    referenced: bool,
+    /// Second-chance bit for the clock eviction ring. Atomic so shared
+    /// lookups ([`Shard::get`] under a read guard) can set it.
+    referenced: AtomicBool,
     /// EPC budget charge for `cap + ENTRY_OVERHEAD` bytes; released on
     /// drop.
     _epc: Option<EpcAllocation>,
@@ -95,11 +99,18 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Look up a pinned payload, marking the entry recently used.
-    pub fn get(&mut self, addr: CellAddr) -> Option<Vec<u8>> {
-        let e = self.entries.get_mut(&addr)?;
-        e.referenced = true;
+    /// Look up a pinned payload, marking the entry recently used. Takes
+    /// `&self` so hit paths work under a shared shard guard.
+    pub fn get(&self, addr: CellAddr) -> Option<Vec<u8>> {
+        let e = self.entries.get(&addr)?;
+        e.referenced.store(true, Ordering::Relaxed);
         Some(e.data.clone())
+    }
+
+    /// Whether `addr` is pinned *dirty* (shared-guard probe for the
+    /// batched scan's fast path).
+    pub fn is_dirty(&self, addr: CellAddr) -> bool {
+        self.entries.get(&addr).is_some_and(|e| e.dirty)
     }
 
     /// Absorb a write into the pinned copy if the entry exists and the new
@@ -110,7 +121,7 @@ impl Shard {
                 e.data.clear();
                 e.data.extend_from_slice(data);
                 e.dirty = true;
-                e.referenced = true;
+                e.referenced.store(true, Ordering::Relaxed);
                 true
             }
             _ => false,
@@ -163,8 +174,8 @@ impl Shard {
             };
             match self.entries.get_mut(&addr) {
                 None => continue, // stale ring slot (invalidated entry)
-                Some(e) if e.referenced => {
-                    e.referenced = false;
+                Some(e) if e.referenced.load(Ordering::Relaxed) => {
+                    e.referenced.store(false, Ordering::Relaxed);
                     self.ring.push_back(addr);
                 }
                 Some(_) => {
@@ -184,7 +195,7 @@ impl Shard {
             data: data.to_vec(),
             cap: data.len(),
             dirty: false,
-            referenced: true,
+            referenced: AtomicBool::new(true),
             _epc: epc,
         };
         self.bytes += entry.cost();
@@ -220,7 +231,7 @@ impl Shard {
 
 /// Bounded, sharded, enclave-resident cell cache.
 pub struct CellCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<RwLock<Shard>>,
     /// Pinned bytes across all shards (mirrors the per-shard counts; kept
     /// as an atomic so the obs gauge can be set without sweeping shards).
     resident: AtomicUsize,
@@ -240,7 +251,7 @@ impl CellCache {
         let per_shard = (total_bytes / SHARDS).max(ENTRY_OVERHEAD + 1);
         let shards = (0..SHARDS)
             .map(|_| {
-                Mutex::new(Shard {
+                RwLock::new(Shard {
                     budget: per_shard,
                     ..Shard::default()
                 })
@@ -259,9 +270,16 @@ impl CellCache {
         (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
     }
 
-    /// Lock the shard covering `page`.
-    pub(crate) fn shard(&self, page: u64) -> MutexGuard<'_, Shard> {
-        self.shards[self.index(page)].lock()
+    /// Exclusively lock the shard covering `page` (any path that may
+    /// mutate cached state).
+    pub(crate) fn shard(&self, page: u64) -> RwLockWriteGuard<'_, Shard> {
+        self.shards[self.index(page)].write()
+    }
+
+    /// Lock the shard covering `page` in shared mode (read-only probes:
+    /// point-read hits, batched-scan dirtiness checks).
+    pub(crate) fn shard_read(&self, page: u64) -> RwLockReadGuard<'_, Shard> {
+        self.shards[self.index(page)].read()
     }
 
     /// Lock the shards covering two pages in index order; the first guard
@@ -271,17 +289,20 @@ impl CellCache {
         &self,
         a: u64,
         b: u64,
-    ) -> (MutexGuard<'_, Shard>, Option<MutexGuard<'_, Shard>>) {
+    ) -> (
+        RwLockWriteGuard<'_, Shard>,
+        Option<RwLockWriteGuard<'_, Shard>>,
+    ) {
         let (ia, ib) = (self.index(a), self.index(b));
         if ia == ib {
-            (self.shards[ia].lock(), None)
+            (self.shards[ia].write(), None)
         } else if ia < ib {
-            let ga = self.shards[ia].lock();
-            let gb = self.shards[ib].lock();
+            let ga = self.shards[ia].write();
+            let gb = self.shards[ib].write();
             (ga, Some(gb))
         } else {
-            let gb = self.shards[ib].lock();
-            let ga = self.shards[ia].lock();
+            let gb = self.shards[ib].write();
+            let ga = self.shards[ia].write();
             (ga, Some(gb))
         }
     }
@@ -291,9 +312,9 @@ impl CellCache {
         self.shards.len()
     }
 
-    /// Lock shard `i`.
-    pub(crate) fn shard_by_index(&self, i: usize) -> MutexGuard<'_, Shard> {
-        self.shards[i].lock()
+    /// Exclusively lock shard `i`.
+    pub(crate) fn shard_by_index(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.shards[i].write()
     }
 
     /// Record pinned-byte movement for the resident gauge.
@@ -337,7 +358,7 @@ impl CellCache {
     /// Entries pinned across all shards (diagnostic; takes every shard
     /// lock briefly).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether no entries are pinned.

@@ -44,6 +44,7 @@
 //!   with its own lock, removing the global contention point.
 
 pub mod cache;
+pub mod delta;
 pub mod digest;
 pub mod memory;
 pub mod page;
@@ -54,7 +55,7 @@ pub mod verifier;
 
 pub use cache::CellCache;
 pub use digest::SetDigest;
-pub use memory::{CellAddr, MemConfig, ReadBatch, VerifiedMemory, VerifyReport};
+pub use memory::{CellAddr, DeltaHandle, MemConfig, ReadBatch, VerifiedMemory, VerifyReport};
 pub use page::{RawPage, SlotId, PAGE_HEADER_BYTES};
 pub use prf::{PrfEngine, SipHash24};
 pub use rsws::{PartitionState, RswsPair};

@@ -13,21 +13,30 @@
 //! into `h(WS)`; the deferred verifier ([`crate::verifier`]) closes epochs
 //! by scanning pages and checking `h(RS) = h(WS)` per partition.
 //!
-//! Locking protocol: **cache shard → page mutex → partition mutex**,
-//! everywhere; the scan path takes no shard locks (it starts at the page
-//! mutex). Shard mutexes, when two are needed (cross-page moves), are
-//! taken in shard-index order; partition mutexes, when two are needed
-//! (cross-partition moves), are taken in index order.
+//! Locking protocol: **cache shard → page mutex → partition mutex →
+//! delta slot**, everywhere; the scan path takes no shard locks (it
+//! starts at the page mutex). Shard locks are reader-writer: read-only
+//! hits and the clean batched-scan fast path take them in shared mode,
+//! anything that mutates cached state takes them exclusively. Shard
+//! locks, when two are needed (cross-page moves), are taken in
+//! shard-index order; partition mutexes, when two are needed
+//! (cross-partition moves), are taken in index order. The shared-nothing
+//! scan path ([`Self::read_page_batch_delta`]) touches only its page
+//! latch and its own [`DeltaHandle`] slot — never a partition mutex;
+//! deltas merge under `partition → slot`, and the epoch close drains
+//! every registered slot in that same order.
 
 use crate::cache::{CellCache, Shard};
+use crate::delta::{self, DeltaSlot, TsAlloc};
 use crate::digest::SetDigest;
 use crate::page::{RawPage, SlotId};
 use crate::prf::{PrfEngine, KIND_DATA, KIND_GROUP, KIND_META};
-use crate::rsws::{PageMeta, PartitionState};
+use crate::rsws::{PageMeta, PageScanState, PartitionState};
 use crossbeam::channel::Sender;
+use crossbeam::queue::SegQueue;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use veridb_common::obs::Metrics;
 use veridb_common::{Error, Result, VeriDbConfig};
@@ -173,6 +182,15 @@ impl ReadBatch {
     }
 }
 
+/// Registry entry for one page: the untrusted bytes plus the scan state
+/// protected ops and the verifier coordinate through without the
+/// partition mutex.
+#[derive(Clone)]
+struct PageEntry {
+    raw: Arc<Mutex<RawPage>>,
+    scan: Arc<PageScanState>,
+}
+
 /// Write-read consistent memory: untrusted pages + enclave digest state.
 pub struct VerifiedMemory {
     enclave: Enclave,
@@ -180,14 +198,17 @@ pub struct VerifiedMemory {
     prf: PrfEngine,
     /// Enclave-resident partition states (digests + page metadata).
     parts: Vec<Mutex<PartitionState>>,
-    /// Untrusted memory: the pages themselves.
-    pages: RwLock<HashMap<u64, Arc<Mutex<RawPage>>>>,
+    /// Untrusted memory: the pages themselves, each with its shared scan
+    /// state alongside.
+    pages: RwLock<HashMap<u64, PageEntry>>,
     next_page_id: AtomicU64,
     /// Ids of released (empty) pages available for reuse. Pages stay
     /// registered — deregistering would strand their enclave metadata and
     /// tombstone digests — they are simply handed out again by
-    /// [`Self::allocate_page`] before fresh ids are minted.
-    free_pages: Mutex<Vec<u64>>,
+    /// [`Self::allocate_page`] before fresh ids are minted. Lock-free so
+    /// release/allocate never serialize against each other; the per-page
+    /// `freed` flag keeps double releases from pushing duplicate ids.
+    free_pages: SegQueue<u64>,
     /// `veridb-obs` registry (shared with the enclave); `None` when the
     /// config turns metrics off, so the hot path pays a single branch.
     metrics: Option<Arc<Metrics>>,
@@ -196,8 +217,13 @@ pub struct VerifiedMemory {
     /// Tick channel to the background verifier, if one is attached.
     ticker: RwLock<Option<Sender<()>>>,
     /// Round-robin scan cursor (partition index) for the incremental
-    /// background scanner.
-    scan_cursor: Mutex<usize>,
+    /// background scanner. A plain atomic: the wrap at `usize::MAX` skews
+    /// the round-robin once per 2^64 steps, which is harmless.
+    scan_cursor: AtomicUsize,
+    /// Live thread-local delta slots ([`DeltaHandle`]); the epoch close
+    /// drains these after its no-pending-pages check so every deferred
+    /// fold destined for the closing epoch is reconciled.
+    delta_slots: Mutex<Vec<Arc<DeltaSlot>>>,
     /// Per-partition pass locks: a partition's scan pass (page processing
     /// up to and including the epoch close) is exclusive, so concurrent
     /// verifiers (§3.3's "multiple verifiers … for disjoint sections")
@@ -230,11 +256,12 @@ impl VerifiedMemory {
             parts,
             pages: RwLock::new(HashMap::new()),
             next_page_id: AtomicU64::new(1),
-            free_pages: Mutex::new(Vec::new()),
+            free_pages: SegQueue::new(),
             metrics,
             ops: AtomicU64::new(0),
             ticker: RwLock::new(None),
-            scan_cursor: Mutex::new(0),
+            scan_cursor: AtomicUsize::new(0),
+            delta_slots: Mutex::new(Vec::new()),
             scan_locks,
             poisoned: Mutex::new(None),
             cache,
@@ -296,7 +323,7 @@ impl VerifiedMemory {
 
     /// Pages currently parked on the free list.
     pub fn free_page_count(&self) -> usize {
-        self.free_pages.lock().len()
+        self.free_pages.len()
     }
 
     #[inline]
@@ -317,8 +344,30 @@ impl VerifiedMemory {
         self.pages
             .read()
             .get(&page)
+            .map(|e| Arc::clone(&e.raw))
+            .ok_or(Error::PageNotFound(page))
+    }
+
+    fn get_entry(&self, page: u64) -> Result<PageEntry> {
+        self.pages
+            .read()
+            .get(&page)
             .cloned()
             .ok_or(Error::PageNotFound(page))
+    }
+
+    /// Lock partition `pi`, charging blocked time to
+    /// `wrcm.part_lock_wait_ns` when the fast path misses.
+    fn lock_part(&self, pi: usize) -> parking_lot::MutexGuard<'_, PartitionState> {
+        if let Some(part) = self.parts[pi].try_lock() {
+            return part;
+        }
+        let started = std::time::Instant::now();
+        let part = self.parts[pi].lock();
+        if let Some(m) = self.met() {
+            m.part_lock_wait_ns.add(started.elapsed().as_nanos() as u64);
+        }
+        part
     }
 
     /// Count one operation toward the verifier cadence; emit a tick when
@@ -353,18 +402,29 @@ impl VerifiedMemory {
     /// interface, §4.2), or hand back a previously released one. Returns
     /// its id.
     pub fn allocate_page(&self) -> u64 {
-        if let Some(id) = self.free_pages.lock().pop() {
+        while let Some(id) = self.free_pages.pop() {
             // A released page is empty but still registered (its enclave
             // metadata and tombstone digests stay live), so reuse is just
             // handing the id back out.
+            let Ok(entry) = self.get_entry(id) else {
+                continue;
+            };
+            entry.scan.unmark_freed();
             if let Some(m) = self.met() {
                 m.pages_reused.inc();
             }
             return id;
         }
         let id = self.next_page_id.fetch_add(1, Ordering::Relaxed);
-        let page = RawPage::new(id, self.cfg.page_size);
-        self.pages.write().insert(id, Arc::new(Mutex::new(page)));
+        let raw = Arc::new(Mutex::new(RawPage::new(id, self.cfg.page_size)));
+        let scan = Arc::new(PageScanState::new(0));
+        self.pages.write().insert(
+            id,
+            PageEntry {
+                raw,
+                scan: Arc::clone(&scan),
+            },
+        );
         if self.cfg.verify_rsws {
             let pi = self.part_index(id);
             let mut part = self.parts[pi].lock();
@@ -372,8 +432,8 @@ impl VerifiedMemory {
             // touched bit, cached digests) — the §4.3 in-enclave tracking
             // structure, accounted against the EPC budget.
             let epc = self.enclave.epc().allocate(64).ok();
-            let epoch = part.epoch;
-            part.pages.insert(id, PageMeta::new(epoch, epc));
+            scan.set_scan_epoch(part.epoch);
+            part.pages.insert(id, PageMeta::with_scan(scan, epc));
         }
         if let Some(m) = self.met() {
             m.pages_allocated.inc();
@@ -393,17 +453,18 @@ impl VerifiedMemory {
     /// `InvalidArgument` if live cells remain; releasing an already-free
     /// page is a no-op.
     pub fn release_page(&self, page_id: u64) -> Result<()> {
-        let page_arc = self.get_page(page_id)?;
-        let page = page_arc.lock();
+        let entry = self.get_entry(page_id)?;
+        let page = entry.raw.lock();
         if page.iter_live().next().is_some() {
             return Err(Error::InvalidArgument(format!(
                 "release_page({page_id}): page has live cells"
             )));
         }
         drop(page);
-        let mut free = self.free_pages.lock();
-        if !free.contains(&page_id) {
-            free.push(page_id);
+        // The freed CAS is the dedup guard: only the releaser that wins it
+        // pushes the id, so a double release never double-lists the page.
+        if entry.scan.try_mark_freed() {
+            self.free_pages.push(page_id);
             if let Some(m) = self.met() {
                 m.pages_released.inc();
             }
@@ -541,6 +602,47 @@ impl VerifiedMemory {
         self.cache_gauges(cache);
     }
 
+    // ---- shared-nothing delta handles (see crate::delta, DESIGN.md §14) ----
+
+    /// Create a worker-thread handle for shared-nothing verified
+    /// execution: digest folds issued through it accumulate in a private
+    /// slot and its timestamps come from private blocks, so the hot scan
+    /// path stops contending on the partition mutexes and the global
+    /// counter. The slot is registered so an epoch close can drain it;
+    /// dropping the handle merges any remainder and deregisters it.
+    pub fn delta_handle(self: &Arc<Self>) -> DeltaHandle {
+        let slot = Arc::new(DeltaSlot::default());
+        self.delta_slots.lock().push(Arc::clone(&slot));
+        DeltaHandle {
+            mem: Arc::clone(self),
+            slot,
+            ts: TsAlloc::default(),
+        }
+    }
+
+    /// Merge every pending bucket of `slot` into its partition state.
+    fn merge_slot(&self, slot: &DeltaSlot) {
+        for pi in slot.partitions() {
+            let mut part = self.lock_part(pi);
+            for (se, b) in slot.drain_partition(pi) {
+                delta::apply_bucket(&mut part, se, &b);
+            }
+            if let Some(m) = self.met() {
+                m.delta_merges.inc();
+            }
+        }
+    }
+
+    /// Draw `n` consecutive timestamps: from the handle's thread-local
+    /// block when a delta is engaged, from the shared counter otherwise.
+    fn take_ts(&self, delta: &mut Option<&mut DeltaHandle>, n: u64) -> u64 {
+        match delta {
+            Some(d) => d.ts.take(n, &self.enclave, self.met()),
+            None if n == 1 => self.enclave.next_timestamp(),
+            None => self.enclave.next_timestamp_block(n),
+        }
+    }
+
     // ---- protected operations (Algorithm 1 / Algorithm 3 primitives) ------
 
     /// Protected read: returns the cell's data, folding the read into
@@ -553,7 +655,23 @@ impl VerifiedMemory {
         let Some(cache) = &self.cache else {
             return self.read_uncached(addr);
         };
+        {
+            // Hot hit path: shared shard lock only, so concurrent readers
+            // of the same shard never serialize.
+            let shard = cache.shard_read(addr.page);
+            if let Some(data) = shard.get(addr) {
+                cache.count_hit();
+                if let Some(m) = self.met() {
+                    m.cache_hits.inc();
+                }
+                drop(shard);
+                self.op_tick();
+                return Ok(data);
+            }
+        }
         let mut shard = cache.shard(addr.page);
+        // Double-check under the exclusive lock: a racing miss may have
+        // filled the entry while we upgraded.
         if let Some(data) = shard.get(addr) {
             cache.count_hit();
             if let Some(m) = self.met() {
@@ -574,8 +692,8 @@ impl VerifiedMemory {
 
     /// Protected read bypassing the cell cache (the raw Algorithm 1 path).
     fn read_uncached(&self, addr: CellAddr) -> Result<Vec<u8>> {
-        let page_arc = self.get_page(addr.page)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(addr.page)?;
+        let mut page = entry.raw.lock();
 
         if !self.cfg.verify_rsws {
             let (data, _) = page.read(addr.slot)?;
@@ -590,7 +708,7 @@ impl VerifiedMemory {
 
         // A point read of a coalesced cell dissolves its scan group first,
         // restoring per-cell elements (see DESIGN.md §9).
-        self.ensure_singleton(&mut page, addr.page, addr.slot)?;
+        self.ensure_singleton(&mut page, addr.page, &entry.scan, addr.slot)?;
 
         let (data, ts_old) = {
             let (d, t) = page.read(addr.slot)?;
@@ -620,15 +738,11 @@ impl VerifiedMemory {
         page.set_ts(addr.slot, ts_new)?;
 
         {
-            let mut part = self.parts[self.part_index(addr.page)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&addr.page)
-                    .ok_or(Error::PageNotFound(addr.page))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            // Capture the routing epoch under the page lock (the scan
+            // advances it under this same lock), then hold the partition
+            // mutex only for the XOR folds themselves.
+            let se = entry.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(addr.page));
             if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
                 mp.rs.fold(mrs);
@@ -686,8 +800,8 @@ impl VerifiedMemory {
 
     /// Protected overwrite bypassing the cell cache.
     fn write_uncached(&self, addr: CellAddr, data: &[u8]) -> Result<()> {
-        let page_arc = self.get_page(addr.page)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(addr.page)?;
+        let mut page = entry.raw.lock();
         let ts_new = self.enclave.next_timestamp();
 
         if !self.cfg.verify_rsws {
@@ -700,7 +814,7 @@ impl VerifiedMemory {
             return Ok(());
         }
 
-        self.ensure_singleton(&mut page, addr.page, addr.slot)?;
+        self.ensure_singleton(&mut page, addr.page, &entry.scan, addr.slot)?;
 
         // Consume the old cell in place: the rs tag is computed from the
         // borrowed bytes, so no copy of the old payload is ever made.
@@ -728,15 +842,8 @@ impl VerifiedMemory {
         };
 
         {
-            let mut part = self.parts[self.part_index(addr.page)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&addr.page)
-                    .ok_or(Error::PageNotFound(addr.page))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = entry.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(addr.page));
             if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
                 mp.rs.fold(mrs);
@@ -761,8 +868,8 @@ impl VerifiedMemory {
     /// Protected insert into a specific page. Fails with `PageFull` when
     /// the page cannot hold the cell (the caller allocates another page).
     pub fn insert_in(&self, page_id: u64, data: &[u8]) -> Result<CellAddr> {
-        let page_arc = self.get_page(page_id)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(page_id)?;
+        let mut page = entry.raw.lock();
         let ts = self.enclave.next_timestamp();
 
         // If contiguous space is short but holes would cover it, compact
@@ -770,7 +877,7 @@ impl VerifiedMemory {
         // would otherwise spill to a fresh page still prefers reclaiming).
         let needed = data.len() + crate::page::CELL_HEADER_BYTES + crate::page::SLOT_ENTRY_BYTES;
         if page.contiguous_free() < needed && page.free_after_compaction() >= needed {
-            self.compact_locked(&mut page, page_id)?;
+            self.compact_locked(&mut page, page_id, &entry.scan)?;
         }
 
         let slot_count_before = page.slot_count();
@@ -810,15 +917,8 @@ impl VerifiedMemory {
         };
 
         {
-            let mut part = self.parts[self.part_index(page_id)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&page_id)
-                    .ok_or(Error::PageNotFound(page_id))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = entry.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(page_id));
             if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
                 if let Some(mrs) = mrs {
@@ -862,8 +962,8 @@ impl VerifiedMemory {
 
     /// Protected delete bypassing the cell cache.
     fn delete_uncached(&self, addr: CellAddr) -> Result<()> {
-        let page_arc = self.get_page(addr.page)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(addr.page)?;
+        let mut page = entry.raw.lock();
 
         if !self.cfg.verify_rsws {
             page.delete(addr.slot)?;
@@ -875,7 +975,7 @@ impl VerifiedMemory {
             return Ok(());
         }
 
-        self.ensure_singleton(&mut page, addr.page, addr.slot)?;
+        self.ensure_singleton(&mut page, addr.page, &entry.scan, addr.slot)?;
 
         // The rs tag consumes the dying cell; computed from the borrowed
         // bytes before the tombstone lands, so nothing is copied.
@@ -899,15 +999,8 @@ impl VerifiedMemory {
         };
 
         {
-            let mut part = self.parts[self.part_index(addr.page)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&addr.page)
-                    .ok_or(Error::PageNotFound(addr.page))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = entry.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(addr.page));
             if let Some((mrs, mws)) = &meta_tags {
                 let mp = part.meta_pair_for(se);
                 mp.rs.fold(mrs);
@@ -928,7 +1021,7 @@ impl VerifiedMemory {
             // Eager space reclamation: every surviving record is read and
             // re-written (fresh timestamp) — the §4.3 cost this design
             // later optimizes away.
-            self.compact_verified_locked(&mut page, addr.page)?;
+            self.compact_verified_locked(&mut page, addr.page, &entry.scan)?;
         }
         drop(page);
         self.op_tick();
@@ -965,20 +1058,20 @@ impl VerifiedMemory {
     /// Protected move bypassing the cell cache.
     fn move_cell_uncached(&self, from: CellAddr, to_page: u64) -> Result<CellAddr> {
         // Lock pages in id order to avoid deadlocks.
-        let a = self.get_page(from.page)?;
-        let b = self.get_page(to_page)?;
+        let ea = self.get_entry(from.page)?;
+        let eb = self.get_entry(to_page)?;
         let (mut src, mut dst) = if from.page < to_page {
-            let s = a.lock();
-            let d = b.lock();
+            let s = ea.raw.lock();
+            let d = eb.raw.lock();
             (s, d)
         } else {
-            let d = b.lock();
-            let s = a.lock();
+            let d = eb.raw.lock();
+            let s = ea.raw.lock();
             (s, d)
         };
 
         if self.cfg.verify_rsws {
-            self.ensure_singleton(&mut src, from.page, from.slot)?;
+            self.ensure_singleton(&mut src, from.page, &ea.scan, from.slot)?;
         }
 
         let (data, ts_old) = {
@@ -1040,15 +1133,8 @@ impl VerifiedMemory {
 
         // Source-side folds (consume the old cell).
         {
-            let mut part = self.parts[self.part_index(from.page)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&from.page)
-                    .ok_or(Error::PageNotFound(from.page))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = ea.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(from.page));
             if let Some((mrs, mws)) = &src_meta {
                 let mp = part.meta_pair_for(se);
                 mp.rs.fold(mrs);
@@ -1059,15 +1145,8 @@ impl VerifiedMemory {
         }
         // Destination-side folds (produce the new cell).
         {
-            let mut part = self.parts[self.part_index(to_page)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&to_page)
-                    .ok_or(Error::PageNotFound(to_page))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = eb.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(to_page));
             if let Some((mrs, mws)) = &dst_meta {
                 let mp = part.meta_pair_for(se);
                 if let Some(mrs) = mrs {
@@ -1175,7 +1254,13 @@ impl VerifiedMemory {
     /// Make `slot`'s outstanding element a per-cell singleton, dissolving
     /// and folding the covering scan group if one exists. No-op (and no
     /// locks beyond the held page lock) for ungrouped slots.
-    fn ensure_singleton(&self, page: &mut RawPage, page_id: u64, slot: SlotId) -> Result<()> {
+    fn ensure_singleton(
+        &self,
+        page: &mut RawPage,
+        page_id: u64,
+        scan: &PageScanState,
+        slot: SlotId,
+    ) -> Result<()> {
         if page.group_of(slot).is_none() {
             return Ok(());
         }
@@ -1183,15 +1268,8 @@ impl VerifiedMemory {
         let mut ws = SetDigest::ZERO;
         let prfs = self.degroup_for(page, page_id, slot, &mut rs, &mut ws)?;
         {
-            let mut part = self.parts[self.part_index(page_id)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&page_id)
-                    .ok_or(Error::PageNotFound(page_id))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(page_id));
             let pair = part.pair_for(se);
             pair.rs.fold(&rs);
             pair.ws.fold(&ws);
@@ -1229,13 +1307,58 @@ impl VerifiedMemory {
         slots: &[SlotId],
         out: &mut ReadBatch,
     ) -> Result<()> {
+        self.read_page_batch_inner(page_id, slots, out, None)
+    }
+
+    /// Shared-nothing variant of [`Self::read_page_batch`]: the batch's
+    /// RS/WS contributions accumulate in `delta`'s thread-local slot and
+    /// its timestamps come from the handle's private block, so the hot
+    /// loop never touches the partition mutex or the global counter. The
+    /// folds land in partition state when the handle merges (morsel
+    /// completion / drop) or when an epoch close drains the slot —
+    /// byte-identical to the serial fold either way, because XOR commutes.
+    pub fn read_page_batch_delta(
+        &self,
+        page_id: u64,
+        slots: &[SlotId],
+        out: &mut ReadBatch,
+        delta: &mut DeltaHandle,
+    ) -> Result<()> {
+        self.read_page_batch_inner(page_id, slots, out, Some(delta))
+    }
+
+    fn read_page_batch_inner(
+        &self,
+        page_id: u64,
+        slots: &[SlotId],
+        out: &mut ReadBatch,
+        delta: Option<&mut DeltaHandle>,
+    ) -> Result<()> {
         let Some(cache) = &self.cache else {
-            return self.read_page_batch_uncached(page_id, slots, out);
+            return self.read_page_batch_uncached(page_id, slots, out, delta);
         };
+        {
+            // Shared-mode fast path for hot read-only morsels: if none of
+            // the requested slots is pinned dirty, the batch needs no
+            // cache mutation at all — hold the shard lock in read mode so
+            // concurrent scans of the same shard proceed in parallel.
+            let shard = cache.shard_read(page_id);
+            let any_dirty = slots.iter().any(|&slot| {
+                shard.is_dirty(CellAddr {
+                    page: page_id,
+                    slot,
+                })
+            });
+            if !any_dirty {
+                return self.read_page_batch_uncached(page_id, slots, out, delta);
+            }
+        }
         // Coherence with coalesced scan groups: flush dirty pinned cells
         // among the requested slots first (the entries stay pinned, now
         // clean), so the group element the batch forms covers the current
-        // payloads. Clean entries already match the host bytes.
+        // payloads. Clean entries already match the host bytes. The
+        // exclusive guard is re-acquired, so the dirty set is re-examined
+        // from scratch (a racing writer may have changed it).
         let shard = &mut *cache.shard(page_id);
         let before = shard.bytes();
         for &slot in slots {
@@ -1248,20 +1371,23 @@ impl VerifiedMemory {
             }
         }
         cache.adjust_resident(before, shard.bytes());
-        self.read_page_batch_uncached(page_id, slots, out)
+        self.read_page_batch_uncached(page_id, slots, out, delta)
     }
 
     /// Batched protected read bypassing the cell cache (the caller holds
-    /// the covering shard lock when the cache is enabled).
+    /// the covering shard lock when the cache is enabled). With `delta`,
+    /// folds go to the thread-local slot *before the page lock is
+    /// released* — the invariant the epoch close's slot drain relies on.
     fn read_page_batch_uncached(
         &self,
         page_id: u64,
         slots: &[SlotId],
         out: &mut ReadBatch,
+        mut delta: Option<&mut DeltaHandle>,
     ) -> Result<()> {
         out.clear();
-        let page_arc = self.get_page(page_id)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(page_id)?;
+        let mut page = entry.raw.lock();
 
         if !self.cfg.verify_rsws {
             for &slot in slots {
@@ -1340,7 +1466,7 @@ impl VerifiedMemory {
                 if let Some(m) = self.met() {
                     m.groups_dissolved.inc();
                 }
-                let ts_base = self.enclave.next_timestamp_block(outside.len() as u64);
+                let ts_base = self.take_ts(&mut delta, outside.len() as u64);
                 for (i, &s) in outside.iter().enumerate() {
                     let ts_new = ts_base + i as u64;
                     {
@@ -1375,7 +1501,7 @@ impl VerifiedMemory {
         }
         let mut meta_acc = None;
         if self.cfg.verify_metadata {
-            let mts_base = self.enclave.next_timestamp_block(n);
+            let mts_base = self.take_ts(&mut delta, n);
             let mut meta_rs = SetDigest::ZERO;
             let mut meta_ws = SetDigest::ZERO;
             for i in 0..out.len() {
@@ -1396,7 +1522,7 @@ impl VerifiedMemory {
         }
         // Re-insert: the whole batch becomes one scan-group element under
         // a single fresh timestamp.
-        let group_ts = self.enclave.next_timestamp();
+        let group_ts = self.take_ts(&mut delta, 1);
         let members: Vec<SlotId> = out.cells.iter().map(|c| c.0).collect();
         ws_acc.fold(&self.group_tag_from_page(&page, page_id, &members, group_ts, &mut scratch)?);
         prf_count += 1;
@@ -1405,26 +1531,37 @@ impl VerifiedMemory {
         }
         page.add_group(members, group_ts);
 
-        // One partition-lock acquisition for the whole batch.
+        // One fold destination for the whole batch: the thread-local
+        // delta slot on the shared-nothing path, the partition mutex
+        // otherwise. Either way the routing epoch is captured under the
+        // page lock, and on the delta path the fold lands in the slot
+        // before the page lock is released (fold-before-unlatch).
         {
-            let mut part = self.parts[self.part_index(page_id)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&page_id)
-                    .ok_or(Error::PageNotFound(page_id))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
-            if let Some((meta_rs, meta_ws)) = &meta_acc {
-                let mp = part.meta_pair_for(se);
-                mp.rs.fold(meta_rs);
-                mp.ws.fold(meta_ws);
+            let se = entry.scan.touch_and_capture();
+            match delta {
+                Some(d) => {
+                    d.slot.fold(
+                        self.part_index(page_id),
+                        se,
+                        &rs_acc,
+                        &ws_acc,
+                        meta_acc.as_ref().map(|t| (&t.0, &t.1)),
+                        n,
+                    );
+                }
+                None => {
+                    let mut part = self.lock_part(self.part_index(page_id));
+                    if let Some((meta_rs, meta_ws)) = &meta_acc {
+                        let mp = part.meta_pair_for(se);
+                        mp.rs.fold(meta_rs);
+                        mp.ws.fold(meta_ws);
+                    }
+                    let pair = part.pair_for(se);
+                    pair.rs.fold(&rs_acc);
+                    pair.ws.fold(&ws_acc);
+                    part.ops_since_close += n;
+                }
             }
-            let pair = part.pair_for(se);
-            pair.rs.fold(&rs_acc);
-            pair.ws.fold(&ws_acc);
-            part.ops_since_close += n;
         }
         self.enclave.cost().charge_prf(prf_count);
         self.enclave.cost().charge_verified_reads(n);
@@ -1468,8 +1605,8 @@ impl VerifiedMemory {
 
     /// Batched protected write bypassing the cell cache.
     fn write_page_batch_uncached(&self, page_id: u64, writes: &[(SlotId, &[u8])]) -> Result<()> {
-        let page_arc = self.get_page(page_id)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(page_id)?;
+        let mut page = entry.raw.lock();
         let n = writes.len() as u64;
         let ts_base = self.enclave.next_timestamp_block(n);
 
@@ -1537,15 +1674,8 @@ impl VerifiedMemory {
         }
 
         if applied > 0 || degroup_prfs > 0 {
-            let mut part = self.parts[self.part_index(page_id)].lock();
-            let se = {
-                let meta = part
-                    .pages
-                    .get_mut(&page_id)
-                    .ok_or(Error::PageNotFound(page_id))?;
-                meta.touched = true;
-                meta.scan_epoch
-            };
+            let se = entry.scan.touch_and_capture();
+            let mut part = self.lock_part(self.part_index(page_id));
             if self.cfg.verify_metadata {
                 let mp = part.meta_pair_for(se);
                 mp.rs.fold(&meta_rs);
@@ -1582,7 +1712,7 @@ impl VerifiedMemory {
     /// if metadata verification is on. Record data and timestamps do not
     /// change, so the record digests are untouched — this is the "free"
     /// compaction of §4.3.
-    fn compact_locked(&self, page: &mut RawPage, page_id: u64) -> Result<()> {
+    fn compact_locked(&self, page: &mut RawPage, page_id: u64, scan: &PageScanState) -> Result<()> {
         if !self.cfg.verify_rsws || !self.cfg.verify_metadata {
             page.compact();
             return Ok(());
@@ -1613,15 +1743,8 @@ impl VerifiedMemory {
             page.set_meta_ts(slot, mts_new);
         }
         self.enclave.cost().charge_prf(2 * n);
-        let mut part = self.parts[self.part_index(page_id)].lock();
-        let se = {
-            let meta = part
-                .pages
-                .get_mut(&page_id)
-                .ok_or(Error::PageNotFound(page_id))?;
-            meta.touched = true;
-            meta.scan_epoch
-        };
+        let se = scan.touch_and_capture();
+        let mut part = self.lock_part(self.part_index(page_id));
         let mp = part.meta_pair_for(se);
         mp.rs.fold(&meta_rs);
         mp.ws.fold(&meta_ws);
@@ -1630,7 +1753,12 @@ impl VerifiedMemory {
 
     /// Eager-mode compaction: verified read + re-timestamped write of every
     /// surviving record (the expensive behaviour §4.3 optimizes away).
-    fn compact_verified_locked(&self, page: &mut RawPage, page_id: u64) -> Result<()> {
+    fn compact_verified_locked(
+        &self,
+        page: &mut RawPage,
+        page_id: u64,
+        scan: &PageScanState,
+    ) -> Result<()> {
         let mut rs_acc = SetDigest::ZERO;
         let mut ws_acc = SetDigest::ZERO;
         // Eager compaction consumes every record as a singleton, so any
@@ -1659,16 +1787,9 @@ impl VerifiedMemory {
             page.set_ts(*slot, ts_new)?;
         }
         self.enclave.cost().charge_prf(2 * n);
-        self.compact_locked(page, page_id)?;
-        let mut part = self.parts[self.part_index(page_id)].lock();
-        let se = {
-            let meta = part
-                .pages
-                .get_mut(&page_id)
-                .ok_or(Error::PageNotFound(page_id))?;
-            meta.touched = true;
-            meta.scan_epoch
-        };
+        self.compact_locked(page, page_id, scan)?;
+        let se = scan.touch_and_capture();
+        let mut part = self.lock_part(self.part_index(page_id));
         let pair = part.pair_for(se);
         pair.rs.fold(&rs_acc);
         pair.ws.fold(&ws_acc);
@@ -1706,31 +1827,31 @@ impl VerifiedMemory {
     /// cached digest (§4.3); touched pages are re-read, and compacted as a
     /// side task (§4.3).
     fn process_page(&self, pi: usize, page_id: u64) -> Result<()> {
-        let page_arc = self.get_page(page_id)?;
-        let mut page = page_arc.lock();
+        let entry = self.get_entry(page_id)?;
+        let mut page = entry.raw.lock();
 
         // Compaction side-task, before computing the contribution.
         if self.cfg.compact_during_verification && page.needs_compaction() {
-            self.compact_locked(&mut page, page_id)?;
+            self.compact_locked(&mut page, page_id, &entry.scan)?;
         }
 
-        // Short partition lock: read the page's scan state. Dropping the
-        // lock before the (expensive) contribution computation is safe
+        // Short partition lock: read the page's cached digests. Dropping
+        // the lock before the (expensive) contribution computation is safe
         // because the caller holds this partition's pass lock — no other
         // verifier can process it — and we hold the page lock, so every
-        // protected op on this page (the only writers of its PageMeta) is
-        // blocked until we are done.
+        // protected op on this page (the writers of its scan state and the
+        // delta-path folders) is blocked until we are done.
         let (touched, cached, cached_meta) = {
-            let mut part = self.parts[pi].lock();
+            let part = self.parts[pi].lock();
             let part_epoch = part.epoch;
-            let meta = part
-                .pages
-                .get_mut(&page_id)
-                .ok_or(Error::PageNotFound(page_id))?;
-            if meta.scan_epoch != part_epoch {
+            if !part.pages.contains_key(&page_id) {
+                return Err(Error::PageNotFound(page_id));
+            }
+            if entry.scan.scan_epoch() != part_epoch {
                 return Ok(()); // already processed in this pass
             }
-            (meta.touched, meta.cached, meta.cached_meta)
+            let meta = &part.pages[&page_id];
+            (entry.scan.touched(), meta.cached, meta.cached_meta)
         };
 
         let (c_data, c_meta, was_read) = if touched || !self.cfg.track_touched_pages {
@@ -1783,8 +1904,10 @@ impl VerifiedMemory {
         };
 
         // Re-acquire the partition lock only for the folds and the state
-        // flip; the page's meta is unchanged since the read above (see the
-        // safety note there).
+        // flip; the page's state is unchanged since the read above (see
+        // the safety note there). The scan-state flip happens with both
+        // the page lock and the partition lock held, so an op's
+        // touch_and_capture (page lock) can never interleave with it.
         let mut part = self.parts[pi].lock();
         part.cur.rs.fold(&c_data);
         part.next.ws.fold(&c_data);
@@ -1796,8 +1919,8 @@ impl VerifiedMemory {
         let meta = part.pages.get_mut(&page_id).expect("checked above");
         meta.cached = c_data;
         meta.cached_meta = c_meta;
-        meta.touched = false;
-        meta.scan_epoch = epoch + 1;
+        entry.scan.clear_touched();
+        entry.scan.set_scan_epoch(epoch + 1);
         let _ = was_read;
         Ok(())
     }
@@ -1807,6 +1930,21 @@ impl VerifiedMemory {
         let mut part = self.parts[pi].lock();
         if part.next_pending_page().is_some() {
             return Ok(false);
+        }
+        // Reconcile every live thread-local delta before the consistency
+        // check: any fold destined for the closing epoch is already in its
+        // slot (ops fold before releasing the page lock, and every page of
+        // this partition was processed under its page lock), so draining
+        // here completes `cur` exactly as the serial fold would have.
+        // Lock order: partition → slot registry → slot.
+        let slots: Vec<Arc<DeltaSlot>> = self.delta_slots.lock().clone();
+        for slot in &slots {
+            for (se, b) in slot.drain_partition(pi) {
+                delta::apply_bucket(&mut part, se, &b);
+                if let Some(m) = self.met() {
+                    m.delta_merges.inc();
+                }
+            }
         }
         let epoch = part.epoch;
         let lag = part.ops_since_close;
@@ -1848,12 +1986,7 @@ impl VerifiedMemory {
     }
 
     fn scan_step_inner(&self) -> Result<bool> {
-        let pi = {
-            let mut cursor = self.scan_cursor.lock();
-            let pi = *cursor;
-            *cursor = (pi + 1) % self.parts.len();
-            pi
-        };
+        let pi = self.scan_cursor.fetch_add(1, Ordering::Relaxed) % self.parts.len();
         for offset in 0..self.parts.len() {
             let pi = (pi + offset) % self.parts.len();
             let _pass = self.scan_locks[pi].lock();
@@ -1966,6 +2099,54 @@ impl std::fmt::Debug for VerifiedMemory {
             .field("pages", &self.page_count())
             .field("partitions", &self.parts.len())
             .field("poisoned", &self.poisoned.lock().is_some())
+            .finish()
+    }
+}
+
+/// A worker's handle for shared-nothing verified execution
+/// ([`VerifiedMemory::delta_handle`]): a private digest-delta slot plus a
+/// private timestamp-block allocator. One per worker per morsel is the
+/// intended granularity — allocate at morsel claim, drop (= merge) at
+/// morsel completion. The handle is `Send`, so it can ride inside a
+/// scan/cursor that migrates between pool threads.
+pub struct DeltaHandle {
+    mem: Arc<VerifiedMemory>,
+    pub(crate) slot: Arc<DeltaSlot>,
+    pub(crate) ts: TsAlloc,
+}
+
+impl DeltaHandle {
+    /// Merge all accumulated folds into their partitions now. The handle
+    /// stays usable; remaining block timestamps stay reserved.
+    pub fn merge(&mut self) {
+        self.mem.merge_slot(&self.slot);
+    }
+
+    /// Whether any folds are pending (un-merged).
+    pub fn is_pending(&self) -> bool {
+        !self.slot.is_empty()
+    }
+}
+
+impl Drop for DeltaHandle {
+    fn drop(&mut self) {
+        // Merge the remainder, then deregister the slot. An epoch close
+        // that raced us may have drained it already — merge_slot on an
+        // empty slot is a no-op per partition list, so this is safe either
+        // way. Abandoned timestamps in the block remainder were never
+        // folded and are never re-issued, so no digest references them.
+        self.mem.merge_slot(&self.slot);
+        self.mem
+            .delta_slots
+            .lock()
+            .retain(|s| !Arc::ptr_eq(s, &self.slot));
+    }
+}
+
+impl std::fmt::Debug for DeltaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaHandle")
+            .field("pending", &self.is_pending())
             .finish()
     }
 }
@@ -2686,6 +2867,182 @@ mod tests {
             h.join().unwrap();
         }
         assert!(v.stop().is_none(), "honest run must not alarm");
+        m.verify_now().unwrap();
+        assert!(m.poisoned().is_none());
+    }
+
+    // ---- shared-nothing delta handles --------------------------------------
+
+    #[test]
+    fn delta_batched_reads_match_direct_folds_and_verify() {
+        let m = mem();
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..8)
+            .map(|i| m.insert_in(p, format!("d{i}").as_bytes()).unwrap().slot)
+            .collect();
+        let mut batch = ReadBatch::new();
+        let mut h = m.delta_handle();
+        for _ in 0..3 {
+            m.read_page_batch_delta(p, &slots, &mut batch, &mut h)
+                .unwrap();
+            assert_eq!(batch.len(), 8);
+        }
+        assert!(h.is_pending());
+        h.merge();
+        assert!(!h.is_pending());
+        // Interleave with the shared path and a point read: the merged
+        // folds must be indistinguishable from direct ones.
+        m.read_page_batch(p, &slots, &mut batch).unwrap();
+        m.read(CellAddr {
+            page: p,
+            slot: slots[0],
+        })
+        .unwrap();
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn dropping_delta_handle_merges_remainder() {
+        let m = mem();
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..4)
+            .map(|i| m.insert_in(p, format!("r{i}").as_bytes()).unwrap().slot)
+            .collect();
+        let mut batch = ReadBatch::new();
+        {
+            let mut h = m.delta_handle();
+            m.read_page_batch_delta(p, &slots, &mut batch, &mut h)
+                .unwrap();
+            assert!(h.is_pending());
+            // Dropped without an explicit merge: Drop must fold the
+            // remainder in, or the close below cannot balance.
+        }
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn epoch_close_drains_live_delta_slots() {
+        let m = mem();
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..4)
+            .map(|i| m.insert_in(p, format!("e{i}").as_bytes()).unwrap().slot)
+            .collect();
+        let mut batch = ReadBatch::new();
+        let mut h = m.delta_handle();
+        m.read_page_batch_delta(p, &slots, &mut batch, &mut h)
+            .unwrap();
+        assert!(h.is_pending());
+        // The handle is live and unmerged: the close must drain its
+        // registered slot or `h(RS) ≠ h(WS)`.
+        m.verify_now().unwrap();
+        assert!(!h.is_pending(), "close drained the slot");
+        // The handle keeps working after a drain.
+        m.read_page_batch_delta(p, &slots, &mut batch, &mut h)
+            .unwrap();
+        drop(h);
+        m.verify_now().unwrap();
+    }
+
+    #[test]
+    fn tamper_under_delta_reader_is_detected() {
+        let m = mem();
+        let p = m.allocate_page();
+        let addrs: Vec<CellAddr> = (0..4)
+            .map(|i| m.insert_in(p, format!("t{i}").as_bytes()).unwrap())
+            .collect();
+        let slots: Vec<_> = addrs.iter().map(|a| a.slot).collect();
+        let mut batch = ReadBatch::new();
+        let mut h = m.delta_handle();
+        m.read_page_batch_delta(p, &slots, &mut batch, &mut h)
+            .unwrap();
+        crate::tamper::overwrite_cell(&m, addrs[2], b"ev").unwrap();
+        drop(h);
+        assert!(m.verify_now().is_err(), "forged cell must break the close");
+        assert!(m.poisoned().is_some());
+    }
+
+    #[test]
+    fn delta_counters_record_merges_and_blocks() {
+        let m = mem();
+        let p = m.allocate_page();
+        let slots: Vec<SlotId> = (0..6)
+            .map(|i| m.insert_in(p, format!("c{i}").as_bytes()).unwrap().slot)
+            .collect();
+        let mut batch = ReadBatch::new();
+        let mut h = m.delta_handle();
+        m.read_page_batch_delta(p, &slots, &mut batch, &mut h)
+            .unwrap();
+        h.merge();
+        let met = m.metrics().unwrap();
+        assert!(met.delta_merges.get() >= 1, "merge must be counted");
+        assert!(
+            met.ts_blocks_allocated.get() >= 1,
+            "delta timestamps come from blocks"
+        );
+        m.verify_now().unwrap();
+    }
+
+    /// Per-worker delta handles racing the verification scanner: the
+    /// shared-nothing path must produce the same always-balancing epochs
+    /// the serial fold does (the tentpole's correctness claim).
+    #[test]
+    fn threaded_delta_readers_race_scan_and_stay_consistent() {
+        let m = mem_with(|c| c.partitions = 8);
+        let pages: Vec<u64> = (0..8).map(|_| m.allocate_page()).collect();
+        let mut by_page: Vec<(u64, Vec<SlotId>)> = Vec::new();
+        for &p in &pages {
+            let slots = (0..6)
+                .map(|j| {
+                    m.insert_in(p, format!("sn-{p}-{j}").as_bytes())
+                        .unwrap()
+                        .slot
+                })
+                .collect();
+            by_page.push((p, slots));
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = Arc::clone(&m);
+            let by_page = by_page.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut h = m.delta_handle();
+                let mut batch = ReadBatch::new();
+                let mut i = t;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let (page, slots) = &by_page[i % by_page.len()];
+                    m.read_page_batch_delta(*page, slots, &mut batch, &mut h)
+                        .unwrap();
+                    assert_eq!(batch.len(), slots.len());
+                    if i % 17 == 0 {
+                        h.merge(); // periodic morsel-completion merge
+                    }
+                    i += 5;
+                }
+            }));
+        }
+        let scanner = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    m.scan_step().unwrap();
+                }
+            })
+        };
+        let _ = veridb_common::backoff::Backoff::wait_for(
+            || {
+                m.metrics()
+                    .is_some_and(|mm| mm.batched_read_cells.get() >= 5_000)
+            },
+            2_000,
+        );
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        scanner.join().unwrap();
         m.verify_now().unwrap();
         assert!(m.poisoned().is_none());
     }

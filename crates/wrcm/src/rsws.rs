@@ -15,6 +15,8 @@
 
 use crate::digest::SetDigest;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use veridb_enclave::EpcAllocation;
 
 /// One `⟨h(RS), h(WS)⟩` accumulator pair.
@@ -38,19 +40,90 @@ impl RswsPair {
     }
 }
 
-/// Enclave-side bookkeeping for one registered page.
+/// Lock-free per-page scan coordination state, shared (via `Arc`) between
+/// the untrusted page registry and the enclave's [`PageMeta`].
+///
+/// Protected ops read/write it under the *page* lock only; the
+/// verification scan updates it while holding both the page lock and the
+/// partition lock. Keeping it out of [`PartitionState`] is what lets the
+/// hot path capture a page's routing epoch and set its touched bit
+/// without ever taking the partition mutex.
 #[derive(Debug)]
-pub struct PageMeta {
+pub struct PageScanState {
     /// Number of completed scans of this page. Equal to the partition's
     /// `epoch` when the page has not yet been processed in the current
     /// pass; `epoch + 1` once it has.
-    pub scan_epoch: u64,
+    scan_epoch: AtomicU64,
     /// Whether any verified op touched the page since its last scan
     /// (the §4.3 touched-page optimization; 1 bit/page in the paper).
-    pub touched: bool,
+    touched: AtomicBool,
+    /// Whether the page currently sits on the free list (guards against
+    /// double-release pushing a duplicate id).
+    freed: AtomicBool,
+}
+
+impl PageScanState {
+    /// Fresh state for a page registered at partition epoch `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        PageScanState {
+            scan_epoch: AtomicU64::new(epoch),
+            touched: AtomicBool::new(false),
+            freed: AtomicBool::new(false),
+        }
+    }
+
+    /// The page's scan epoch (digest-pair routing key).
+    pub fn scan_epoch(&self) -> u64 {
+        self.scan_epoch.load(Ordering::Acquire)
+    }
+
+    /// Record a completed scan (or initial registration) of this page.
+    pub fn set_scan_epoch(&self, epoch: u64) {
+        self.scan_epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Whether the page was touched since its last scan.
+    pub fn touched(&self) -> bool {
+        self.touched.load(Ordering::Acquire)
+    }
+
+    /// Clear the touched bit (scan completed with the page lock held).
+    pub fn clear_touched(&self) {
+        self.touched.store(false, Ordering::Release);
+    }
+
+    /// Mark the page touched and return its scan epoch, atomically enough
+    /// for the protocol: callers hold the page lock, which is also held
+    /// by the scan when it advances `scan_epoch`, so the captured epoch
+    /// is exactly the one the op's folds must route by.
+    pub fn touch_and_capture(&self) -> u64 {
+        self.touched.store(true, Ordering::Release);
+        self.scan_epoch.load(Ordering::Acquire)
+    }
+
+    /// Claim the free-list slot for this page. Returns `false` if the
+    /// page is already on the free list (double release).
+    pub fn try_mark_freed(&self) -> bool {
+        self.freed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Take the page back off the free list (reallocation).
+    pub fn unmark_freed(&self) {
+        self.freed.store(false, Ordering::Release);
+    }
+}
+
+/// Enclave-side bookkeeping for one registered page.
+#[derive(Debug)]
+pub struct PageMeta {
+    /// Scan coordination state, shared with the page registry so the hot
+    /// path reads it without the partition lock.
+    pub scan: Arc<PageScanState>,
     /// XOR of the PRF images of the page's live cells as of the last scan.
-    /// Valid only while `touched == false`; lets the scan process an
-    /// untouched page in O(1) instead of re-reading it.
+    /// Valid only while `scan.touched() == false`; lets the scan process
+    /// an untouched page in O(1) instead of re-reading it.
     pub cached: SetDigest,
     /// Same, for the slot-directory metadata cells (only maintained when
     /// metadata verification is on).
@@ -62,9 +135,14 @@ pub struct PageMeta {
 impl PageMeta {
     /// Metadata for a freshly registered page at partition epoch `epoch`.
     pub fn new(epoch: u64, epc: Option<EpcAllocation>) -> Self {
+        Self::with_scan(Arc::new(PageScanState::new(epoch)), epc)
+    }
+
+    /// Metadata wrapping an existing shared scan state (the registry owns
+    /// the other reference).
+    pub fn with_scan(scan: Arc<PageScanState>, epc: Option<EpcAllocation>) -> Self {
         PageMeta {
-            scan_epoch: epoch,
-            touched: false,
+            scan,
             cached: SetDigest::ZERO,
             cached_meta: SetDigest::ZERO,
             epc,
@@ -133,7 +211,7 @@ impl PartitionState {
     pub fn next_pending_page(&self) -> Option<u64> {
         self.pages
             .iter()
-            .find(|(_, m)| m.scan_epoch == self.epoch)
+            .find(|(_, m)| m.scan.scan_epoch() == self.epoch)
             .map(|(&id, _)| id)
     }
 
@@ -212,8 +290,23 @@ mod tests {
         s.pages.insert(11, PageMeta::new(0, None));
         assert!(s.next_pending_page().is_some());
         for id in [10u64, 11] {
-            s.pages.get_mut(&id).unwrap().scan_epoch = 1;
+            s.pages.get_mut(&id).unwrap().scan.set_scan_epoch(1);
         }
         assert_eq!(s.next_pending_page(), None);
+    }
+
+    #[test]
+    fn scan_state_touch_and_free_protocol() {
+        let st = PageScanState::new(3);
+        assert_eq!(st.scan_epoch(), 3);
+        assert!(!st.touched());
+        assert_eq!(st.touch_and_capture(), 3);
+        assert!(st.touched());
+        st.clear_touched();
+        assert!(!st.touched());
+        assert!(st.try_mark_freed());
+        assert!(!st.try_mark_freed(), "double release must not re-free");
+        st.unmark_freed();
+        assert!(st.try_mark_freed());
     }
 }
