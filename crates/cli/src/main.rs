@@ -32,6 +32,8 @@ fn main() {
     let mut cell_cache: Option<usize> = None;
     let mut listen: Option<String> = None;
     let mut channel: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut net_queue: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -45,6 +47,10 @@ fn main() {
             listen = Some(v.to_owned());
         } else if let Some(v) = a.strip_prefix("--channel=") {
             channel = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--max-conns=") {
+            max_conns = parse_flag("--max-conns", Some(v.to_owned()));
+        } else if let Some(v) = a.strip_prefix("--net-queue=") {
+            net_queue = parse_flag("--net-queue", Some(v.to_owned()));
         } else {
             match a.as_str() {
                 "--workers" => workers = parse_flag("--workers", it.next()),
@@ -52,6 +58,8 @@ fn main() {
                 "--cell-cache" => cell_cache = parse_flag("--cell-cache", it.next()),
                 "--listen" => listen = parse_flag("--listen", it.next()),
                 "--channel" => channel = parse_flag("--channel", it.next()),
+                "--max-conns" => max_conns = parse_flag("--max-conns", it.next()),
+                "--net-queue" => net_queue = parse_flag("--net-queue", it.next()),
                 _ => positional.push(a),
             }
         }
@@ -65,6 +73,12 @@ fn main() {
     }
     if let Some(b) = cell_cache {
         config.cell_cache_bytes = b;
+    }
+    if let Some(n) = max_conns {
+        config.max_conns = n.max(1);
+    }
+    if let Some(n) = net_queue {
+        config.net_queue_depth = n.clamp(1, 1 << 20);
     }
     // Unless overridden, synchronous verification uses the same pool size
     // as query execution (the MemConfig knob); `--verify-threads` decouples
@@ -105,7 +119,13 @@ fn main() {
                  \x20 --listen <addr>       serve: listen address\n\
                  \x20                       (default: $VERIDB_LISTEN or 127.0.0.1:5433)\n\
                  \x20 --channel <name>      connect: portal channel name (default: repl)\n\
-                 net knobs: $VERIDB_MAX_CONNS, $VERIDB_NET_TIMEOUT_MS, $VERIDB_REPLAY_WINDOW"
+                 \x20 --max-conns <n>       serve: concurrent connection cap\n\
+                 \x20                       (default: $VERIDB_MAX_CONNS or 64)\n\
+                 \x20 --net-queue <n>       serve: admission queue depth; queries past it\n\
+                 \x20                       get a retryable Overloaded error\n\
+                 \x20                       (default: $VERIDB_NET_QUEUE or 256)\n\
+                 net knobs: $VERIDB_MAX_CONNS, $VERIDB_NET_TIMEOUT_MS, $VERIDB_NET_QUEUE,\n\
+                 \x20         $VERIDB_REPLAY_WINDOW"
             );
             return;
         }
@@ -265,10 +285,11 @@ fn cmd_serve(listen: Option<String>, config: VeriDbConfig) -> i32 {
         }
     };
     println!(
-        "VeriDB serving on {} — {} max conn(s), {} ms frame timeout, \
-         replay window {}. Type 'quit' (or close stdin) to stop.",
+        "VeriDB serving on {} — {} max conn(s), {}-query admission queue, \
+         {} ms frame timeout, replay window {}. Type 'quit' (or close stdin) to stop.",
         server.local_addr(),
         db.config().max_conns,
+        db.config().net_queue_depth,
         db.config().net_timeout_ms,
         db.config().replay_window
     );

@@ -97,6 +97,12 @@ pub struct VeriDbConfig {
     /// `VERIDB_NET_TIMEOUT_MS`.
     #[serde(default = "default_net_timeout_ms")]
     pub net_timeout_ms: u64,
+    /// Maximum number of decoded QUERY frames queued for execution across
+    /// all connections. When the queue is full, further queries are
+    /// refused with a retryable `Overloaded` error instead of being
+    /// buffered without bound. Honours `VERIDB_NET_QUEUE`.
+    #[serde(default = "default_net_queue_depth")]
+    pub net_queue_depth: usize,
     /// Number of exactly-tracked query ids in each portal's replay filter
     /// (above the low watermark). Concurrent remote clients multiplexed
     /// over one channel need a wider window than the in-process default.
@@ -137,6 +143,9 @@ pub const DEFAULT_NET_TIMEOUT_MS: u64 = 5_000;
 /// Default portal replay-window size when `VERIDB_REPLAY_WINDOW` is
 /// unset (matches the pre-knob hardcoded window).
 pub const DEFAULT_REPLAY_WINDOW: usize = 1024;
+/// Default admission-queue depth when `VERIDB_NET_QUEUE` is unset: four
+/// queued queries per default connection slot.
+pub const DEFAULT_NET_QUEUE_DEPTH: usize = 256;
 
 fn default_listen_addr() -> Option<String> {
     std::env::var("VERIDB_LISTEN")
@@ -185,6 +194,10 @@ fn default_replay_window() -> usize {
     env_knob("VERIDB_REPLAY_WINDOW", 1, 1 << 22, DEFAULT_REPLAY_WINDOW)
 }
 
+fn default_net_queue_depth() -> usize {
+    env_knob("VERIDB_NET_QUEUE", 1, 1 << 20, DEFAULT_NET_QUEUE_DEPTH)
+}
+
 fn default_cell_cache_bytes() -> usize {
     match std::env::var("VERIDB_CELL_CACHE") {
         Err(_) => DEFAULT_CELL_CACHE_BYTES,
@@ -220,6 +233,7 @@ impl Default for VeriDbConfig {
             listen_addr: default_listen_addr(),
             max_conns: default_max_conns(),
             net_timeout_ms: default_net_timeout_ms(),
+            net_queue_depth: default_net_queue_depth(),
             replay_window: default_replay_window(),
         }
     }
@@ -291,6 +305,15 @@ impl VeriDbConfig {
         }
         if self.net_timeout_ms == 0 {
             return Err(Error::Config("net_timeout_ms must be >= 1".into()));
+        }
+        if self.net_queue_depth == 0 {
+            return Err(Error::Config("net_queue_depth must be >= 1".into()));
+        }
+        if self.net_queue_depth > 1 << 20 {
+            return Err(Error::Config(format!(
+                "net_queue_depth {} exceeds the 1M-frame ceiling",
+                self.net_queue_depth
+            )));
         }
         if self.replay_window == 0 {
             return Err(Error::Config("replay_window must be >= 1".into()));
@@ -382,9 +405,18 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = VeriDbConfig::default();
+        c.net_queue_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.net_queue_depth = (1 << 20) + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
         c.replay_window = 64;
         c.max_conns = 1;
         c.net_timeout_ms = 10;
+        c.net_queue_depth = 4;
         c.listen_addr = Some("127.0.0.1:5433".into());
         c.validate().unwrap();
     }

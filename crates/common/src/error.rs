@@ -69,6 +69,16 @@ pub enum Error {
         /// Underlying failure detail.
         detail: String,
     },
+    /// The server's admission queue is full: the query was *not* executed
+    /// (its qid is unspent) and the client may retry it verbatim. Like
+    /// [`Error::Net`] this is a load condition, never a security
+    /// violation — the portal never saw the query.
+    Overloaded {
+        /// Requests already queued when this one was refused.
+        queued: usize,
+        /// The configured admission-queue limit.
+        limit: usize,
+    },
 
     // ---- security violations -------------------------------------------
     /// Deferred verification found `h(RS) != h(WS)`: the untrusted memory
@@ -135,6 +145,11 @@ impl fmt::Display for Error {
             Error::Net { peer, op, detail } => {
                 write!(f, "network error ({op}, peer {peer}): {detail}")
             }
+            Error::Overloaded { queued, limit } => write!(
+                f,
+                "server overloaded: {queued} requests queued (limit {limit}); \
+                 retry the same signed query"
+            ),
             Error::VerificationFailed { partition, epoch } => write!(
                 f,
                 "VERIFICATION FAILED: h(RS) != h(WS) for RSWS partition \
@@ -183,6 +198,18 @@ mod tests {
         assert!(s.contains("10.0.0.7:5433"));
         assert!(s.contains("read frame"));
         assert!(s.contains("connection reset"));
+    }
+
+    #[test]
+    fn overloaded_is_retryable_not_security() {
+        let e = Error::Overloaded {
+            queued: 256,
+            limit: 256,
+        };
+        assert!(!e.is_security_violation());
+        let s = e.to_string();
+        assert!(s.contains("256"));
+        assert!(s.contains("retry"));
     }
 
     #[test]

@@ -441,6 +441,14 @@ pub struct Metrics {
     pub net_auth_rejects: Counter,
     /// Connections currently inside the query loop.
     pub net_active_conns: Gauge,
+    /// Queries refused with a retryable `Overloaded` error because the
+    /// admission queue was full.
+    pub net_overloaded: Counter,
+    /// Executor worker turns that panicked (caught, counted, and the
+    /// worker kept alive).
+    pub net_worker_panics: Counter,
+    /// Decoded QUERY frames currently queued for execution.
+    pub net_queued: Gauge,
     /// Server-side wire latency per query: frame-in to response flushed
     /// (nanoseconds).
     pub net_wire_ns: Histogram,
@@ -545,6 +553,9 @@ impl Metrics {
             net_frame_rejects: self.net_frame_rejects.get(),
             net_auth_rejects: self.net_auth_rejects.get(),
             net_active_conns: self.net_active_conns.get(),
+            net_overloaded: self.net_overloaded.get(),
+            net_worker_panics: self.net_worker_panics.get(),
+            net_queued: self.net_queued.get(),
             net_wire_ns: self.net_wire_ns.snapshot(),
             prf_evals: 0,
             ecalls: 0,
@@ -610,6 +621,9 @@ pub struct MetricsSnapshot {
     pub net_frame_rejects: u64,
     pub net_auth_rejects: u64,
     pub net_active_conns: u64,
+    pub net_overloaded: u64,
+    pub net_worker_panics: u64,
+    pub net_queued: u64,
     pub net_wire_ns: HistogramSnapshot,
     /// PRF evaluations (from the enclave cost substrate).
     pub prf_evals: u64,
@@ -755,8 +769,13 @@ impl MetricsSnapshot {
             net_auth_rejects: self
                 .net_auth_rejects
                 .saturating_sub(earlier.net_auth_rejects),
-            // Gauge: carries the later snapshot's value.
+            net_overloaded: self.net_overloaded.saturating_sub(earlier.net_overloaded),
+            net_worker_panics: self
+                .net_worker_panics
+                .saturating_sub(earlier.net_worker_panics),
+            // Gauges: carry the later snapshot's value.
             net_active_conns: self.net_active_conns,
+            net_queued: self.net_queued,
             net_wire_ns: self.net_wire_ns.since(&earlier.net_wire_ns),
             prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
             ecalls: self.ecalls.saturating_sub(earlier.ecalls),
@@ -880,6 +899,9 @@ impl MetricsSnapshot {
             ("net.frame_rejects", self.net_frame_rejects),
             ("net.auth_rejects", self.net_auth_rejects),
             ("net.active_conns", self.net_active_conns),
+            ("net.overloaded", self.net_overloaded),
+            ("net.worker_panics", self.net_worker_panics),
+            ("net.queued", self.net_queued),
             ("net.wire_ns.count", self.net_wire_ns.count),
             ("net.wire_ns.sum", self.net_wire_ns.sum),
             ("net.wire_ns.max", self.net_wire_ns.max),
@@ -1033,6 +1055,9 @@ mod tests {
         assert!(names.contains(&"wrcm.cache_hits"));
         assert!(names.contains(&"wrcm.cache_hit_ratio_pct"));
         assert!(names.contains(&"net.accepted"));
+        assert!(names.contains(&"net.overloaded"));
+        assert!(names.contains(&"net.worker_panics"));
+        assert!(names.contains(&"net.queued"));
         assert!(names.contains(&"net.wire_ns.count"));
         assert!(names.contains(&"wrcm.part_lock_wait_ns"));
         assert!(names.contains(&"wrcm.delta_merges"));
@@ -1057,6 +1082,21 @@ mod tests {
         assert_eq!(d.net_frames_in, 2);
         assert_eq!(d.net_active_conns, 1, "gauge carries the later value");
         assert_eq!(a.net_wire_ns.count, 1);
+    }
+
+    #[test]
+    fn admission_metrics_snapshot_and_diff() {
+        let m = Metrics::new();
+        m.net_overloaded.add(3);
+        m.net_worker_panics.inc();
+        m.net_queued.set(9);
+        let a = m.snapshot();
+        m.net_overloaded.inc();
+        m.net_queued.set(4);
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.net_overloaded, 1);
+        assert_eq!(d.net_worker_panics, 0);
+        assert_eq!(d.net_queued, 4, "gauge carries the later value");
     }
 
     #[test]

@@ -13,6 +13,18 @@
 //!   retry is safe). A loss while *awaiting* a response is surfaced to the
 //!   caller, because the server may already have endorsed the result and a
 //!   blind retry would be indistinguishable from a replay.
+//! - **Overload refusals** ([`Error::Overloaded`]): retryable by
+//!   construction — the server refused the query at admission, before any
+//!   portal saw it, so its qid is unspent and the *identical* signed query
+//!   is resent after a bounded backoff.
+//! - **Duplicate responses**: a `RESULT` frame that is byte-identical to
+//!   one this client already verified (same qid, same endorsement MAC) is
+//!   a transport-level replay. It is refused visibly — counted in
+//!   [`RemoteClient::duplicates_refused`] — but does *not* poison the
+//!   session: the connection keeps serving subsequent queries. A stale
+//!   qid with a *different* endorsement is a conflicting answer for a
+//!   spent sequence number and goes through full verification, where the
+//!   rollback defense rejects it.
 //! - **Verification failures** (`AuthFailed`, `RollbackDetected`,
 //!   `ReplayDetected`, `VerificationFailed`, `TamperDetected`): never
 //!   retried, never downgraded. They propagate exactly as the in-process
@@ -29,19 +41,23 @@ use crate::proto::{
     MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_STATS, MSG_STATS_OK,
 };
 use crate::server::SIM_ATTESTATION_ROOT;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::TcpStream;
 use std::time::Duration;
 use veridb_common::backoff::{Backoff, RETRY_ATTEMPTS};
 use veridb_common::{Error, Result, Row};
 use veridb_enclave::attestation::{Quote, QuoteVerifier, Report};
+use veridb_enclave::mac::Mac;
 use veridb_enclave::{mac::sha256, MacKey, Measurement, QuotingEnclave};
 use veridb_query::{Client, QueryResult, SignedQuery};
 
-/// How many recently answered queries the client remembers. A late or
-/// replayed `RESULT` frame for one of these is *verified*, not skipped:
-/// its sequence number is already in `SeqIntervals`, so a replay surfaces
-/// as `RollbackDetected` instead of passing silently.
+/// How many recently answered queries the client remembers, along with
+/// the endorsement MAC it accepted for each. A late or replayed `RESULT`
+/// frame for one of these is compared against the remembered MAC: a
+/// byte-identical duplicate is refused visibly but harmlessly, while a
+/// *different* endorsement for a spent qid is verified in full — its
+/// sequence number is already in `SeqIntervals`, so it surfaces as
+/// `RollbackDetected` instead of passing silently.
 const RECENT_QUERIES: usize = 64;
 
 /// A remote VeriDB client over the untrusted wire.
@@ -58,9 +74,13 @@ pub struct RemoteClient {
     /// different key on reconnect means a different enclave instance is
     /// answering — rejected rather than silently re-keyed.
     key_id: Option<[u8; 32]>,
-    /// Recently answered queries, for verifying stale/replayed responses.
-    recent: HashMap<u64, SignedQuery>,
+    /// Recently answered queries and the endorsement MAC accepted for
+    /// each, for classifying stale/replayed responses.
+    recent: HashMap<u64, (SignedQuery, Mac)>,
     recent_order: Vec<u64>,
+    /// Byte-identical duplicate `RESULT` frames refused (transport-level
+    /// replays that did not disturb the session).
+    duplicates_refused: u64,
 }
 
 impl RemoteClient {
@@ -85,6 +105,7 @@ impl RemoteClient {
             key_id: None,
             recent: HashMap::new(),
             recent_order: Vec::new(),
+            duplicates_refused: 0,
         };
         c.reconnect()?;
         Ok(c)
@@ -203,13 +224,20 @@ impl RemoteClient {
         Ok(())
     }
 
-    fn remember(&mut self, q: SignedQuery) {
+    fn remember(&mut self, q: SignedQuery, mac: Mac) {
         if self.recent_order.len() >= RECENT_QUERIES {
             let evict = self.recent_order.remove(0);
             self.recent.remove(&evict);
         }
         self.recent_order.push(q.qid);
-        self.recent.insert(q.qid, q);
+        self.recent.insert(q.qid, (q, mac));
+    }
+
+    /// How many byte-identical duplicate `RESULT` frames this client has
+    /// refused. Each was a transport-level replay of a response already
+    /// verified; the refusal is per-frame and leaves the session usable.
+    pub fn duplicates_refused(&self) -> u64 {
+        self.duplicates_refused
     }
 
     /// Execute one query remotely with full verification. See the module
@@ -220,26 +248,38 @@ impl RemoteClient {
             .as_mut()
             .expect("connected client has an inner verifier")
             .sign_query(sql);
-        // Send, retrying transport failures with the same signed query
-        // (safe: the portal spends a qid only on endorsement).
-        let mut backoff = Backoff::new();
-        let mut attempt = 0;
+        let mut overload_backoff = Backoff::new();
+        let mut overload_attempt = 0;
         loop {
-            let send = self.send_query(&q);
-            match send {
-                Ok(()) => break,
-                Err(e) if e.is_security_violation() => return Err(e),
-                Err(e) => {
-                    attempt += 1;
-                    if attempt >= RETRY_ATTEMPTS {
-                        return Err(e);
+            // Send, retrying transport failures with the same signed query
+            // (safe: the portal spends a qid only on endorsement).
+            let mut backoff = Backoff::new();
+            let mut attempt = 0;
+            loop {
+                let send = self.send_query(&q);
+                match send {
+                    Ok(()) => break,
+                    Err(e) if e.is_security_violation() => return Err(e),
+                    Err(e) => {
+                        attempt += 1;
+                        if attempt >= RETRY_ATTEMPTS {
+                            return Err(e);
+                        }
+                        backoff.wait();
+                        self.reconnect()?;
                     }
-                    backoff.wait();
-                    self.reconnect()?;
                 }
             }
+            match self.await_result(q.clone()) {
+                // An admission refusal: the qid is unspent, the identical
+                // signed query may be resent once the server breathes.
+                Err(Error::Overloaded { .. }) if overload_attempt + 1 < RETRY_ATTEMPTS => {
+                    overload_attempt += 1;
+                    overload_backoff.wait();
+                }
+                other => return other,
+            }
         }
-        self.await_result(q)
     }
 
     fn send_query(&mut self, q: &SignedQuery) -> Result<()> {
@@ -285,18 +325,24 @@ impl RemoteClient {
                             columns: endorsed.result.columns,
                             rows,
                         };
-                        self.remember(q);
+                        self.remember(q, endorsed.mac);
                         return Ok(result);
                     }
                     // A result for a query we did not just send. If it is
-                    // one we recently completed, verify it: a replayed
-                    // response re-presents a spent sequence number →
-                    // RollbackDetected. Unknown qids are unauthenticated
-                    // noise → AuthFailed.
+                    // byte-identical to one we recently completed, it is a
+                    // transport-level replay: refuse it (counted) and keep
+                    // the session. A *different* endorsement for a spent
+                    // qid is verified in full — its sequence number is
+                    // already recorded, so it trips the rollback defense.
+                    // Unknown qids are unauthenticated noise → AuthFailed.
                     match self.recent.get(&endorsed.qid) {
-                        Some(orig) => {
+                        Some((_, mac)) if mac.0 == endorsed.mac.0 => {
+                            self.duplicates_refused += 1;
+                            continue;
+                        }
+                        Some((orig, _)) => {
                             inner.verify_result(orig, &endorsed)?;
-                            // Verified but duplicate-free: genuinely
+                            // Verified but conflict-free: genuinely
                             // impossible (sequence already recorded), but
                             // be explicit rather than continue silently.
                             return Err(Error::AuthFailed(format!(
@@ -343,22 +389,58 @@ impl RemoteClient {
     /// returned in the order of `sqls`. Any verification failure aborts
     /// the whole batch.
     pub fn query_batch(&mut self, sqls: &[&str]) -> Result<Vec<QueryResult>> {
+        self.query_pipelined(sqls, sqls.len().max(1))
+    }
+
+    /// Execute `sqls` with at most `depth` queries in flight at once on
+    /// this connection. The server processes one connection's queries
+    /// serially and delivers `RESULT` frames in submission order; this
+    /// method additionally absorbs two benign interleavings:
+    ///
+    /// - [`Error::Overloaded`] refusals (the qid is unspent) — the
+    ///   identical signed query is resent after a bounded backoff, up to
+    ///   [`RETRY_ATTEMPTS`] times per query;
+    /// - byte-identical duplicate `RESULT` frames — refused and counted
+    ///   ([`RemoteClient::duplicates_refused`]) without disturbing the
+    ///   in-flight window.
+    ///
+    /// Results are returned in the order of `sqls`. Any verification
+    /// failure aborts the whole pipeline.
+    pub fn query_pipelined(&mut self, sqls: &[&str], depth: usize) -> Result<Vec<QueryResult>> {
+        let depth = depth.max(1);
         let inner = self
             .inner
             .as_mut()
             .expect("connected client has an inner verifier");
         let queries: Vec<SignedQuery> = sqls.iter().map(|s| inner.sign_query(s)).collect();
-        for q in &queries {
-            self.send_query(q)?;
-        }
-        let mut pending: HashMap<u64, SignedQuery> =
-            queries.iter().map(|q| (q.qid, q.clone())).collect();
+        let total = queries.len();
+        let mut next = 0usize;
+        // qid → index into `queries`, for everything in flight.
+        let mut pending: HashMap<u64, usize> = HashMap::new();
+        // Indices refused with Overloaded, awaiting a resend slot.
+        let mut resend: VecDeque<usize> = VecDeque::new();
+        let mut overload_attempts: HashMap<u64, usize> = HashMap::new();
+        let mut overload_backoff = Backoff::new();
         let mut done: HashMap<u64, QueryResult> = HashMap::new();
         let addr = self.addr.clone();
-        while !pending.is_empty() {
+        while done.len() < total {
+            // Keep the window full: refused queries first (they are the
+            // oldest), then fresh ones.
+            while pending.len() < depth && (!resend.is_empty() || next < total) {
+                let idx = match resend.pop_front() {
+                    Some(idx) => idx,
+                    None => {
+                        let idx = next;
+                        next += 1;
+                        idx
+                    }
+                };
+                self.send_query(&queries[idx])?;
+                pending.insert(queries[idx].qid, idx);
+            }
             let stream = self.stream.as_mut().ok_or_else(|| Error::Net {
                 peer: addr.clone(),
-                op: "await batch".into(),
+                op: "await pipeline".into(),
                 detail: "connection lost".into(),
             })?;
             let (kind, payload) = read_frame(stream, &addr).inspect_err(|_| {
@@ -367,14 +449,25 @@ impl RemoteClient {
             match kind {
                 MSG_RESULT => {
                     let endorsed = decode_result(&payload)?;
-                    let Some(orig) = pending.remove(&endorsed.qid) else {
-                        return Err(Error::AuthFailed(format!(
-                            "batch result for unexpected qid {}",
-                            endorsed.qid
-                        )));
+                    let Some(idx) = pending.remove(&endorsed.qid) else {
+                        // Not in flight: a transport replay of a completed
+                        // response is refused harmlessly; anything else is
+                        // unauthenticated noise.
+                        match self.recent.get(&endorsed.qid) {
+                            Some((_, mac)) if mac.0 == endorsed.mac.0 => {
+                                self.duplicates_refused += 1;
+                                continue;
+                            }
+                            _ => {
+                                return Err(Error::AuthFailed(format!(
+                                    "pipeline result for unexpected qid {}",
+                                    endorsed.qid
+                                )))
+                            }
+                        }
                     };
                     let inner = self.inner.as_mut().expect("inner set after handshake");
-                    let rows = inner.verify_result(&orig, &endorsed)?;
+                    let rows = inner.verify_result(&queries[idx], &endorsed)?;
                     done.insert(
                         endorsed.qid,
                         QueryResult {
@@ -382,15 +475,31 @@ impl RemoteClient {
                             rows,
                         },
                     );
-                    self.remember(orig);
+                    self.remember(queries[idx].clone(), endorsed.mac);
                 }
                 MSG_ERROR => {
-                    let (_, err) = decode_error(&payload)?;
-                    return Err(err);
+                    let (eqid, err) = decode_error(&payload)?;
+                    match (&err, pending.get(&eqid)) {
+                        (Error::Overloaded { .. }, Some(&idx)) => {
+                            let attempts = overload_attempts.entry(eqid).or_insert(0);
+                            *attempts += 1;
+                            if *attempts >= RETRY_ATTEMPTS {
+                                return Err(err);
+                            }
+                            pending.remove(&eqid);
+                            resend.push_back(idx);
+                            overload_backoff.wait();
+                        }
+                        _ => return Err(err),
+                    }
+                }
+                MSG_BYE => {
+                    self.stream = None;
+                    return Err(self.net_err("await pipeline", "server closed the session"));
                 }
                 other => {
                     return Err(
-                        self.net_err("await batch", format!("unexpected frame kind {other}"))
+                        self.net_err("await pipeline", format!("unexpected frame kind {other}"))
                     );
                 }
             }

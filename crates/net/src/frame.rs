@@ -149,6 +149,87 @@ fn parse_header(peer: &str, header: &[u8; HEADER_BYTES]) -> Result<(u8, usize, u
     Ok((kind, len, crc))
 }
 
+/// Incremental frame decoder for non-blocking sockets.
+///
+/// The reactor feeds whatever bytes `read(2)` produced into [`extend`]
+/// and drains complete frames with [`next_frame`]; partial headers and
+/// payloads stay buffered across readiness events. Validation is
+/// identical to [`read_frame`] (magic, version, length cap, CRC), and a
+/// failure poisons the decoder — framing state is unrecoverable once the
+/// byte stream desynchronizes, so the connection must be closed.
+///
+/// [`extend`]: FrameDecoder::extend
+/// [`next_frame`]: FrameDecoder::next_frame
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames; compacted
+    /// lazily so each readiness event is O(bytes read), not O(buffered).
+    consumed: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing when the dead prefix dominates.
+        if self.consumed > 0 && self.consumed >= self.buf.len() / 2 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pop the next complete, validated frame, or `None` if more bytes
+    /// are needed. After an `Err` the decoder is poisoned and every
+    /// subsequent call returns the same framing failure.
+    pub fn next_frame(&mut self, peer: &str) -> Result<Option<(u8, Vec<u8>)>> {
+        if self.poisoned {
+            return Err(net_err(
+                peer,
+                "read frame",
+                "decoder poisoned by earlier framing error",
+            ));
+        }
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let mut header = [0u8; HEADER_BYTES];
+        header.copy_from_slice(&avail[..HEADER_BYTES]);
+        let (kind, len, crc) = match parse_header(peer, &header) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        if avail.len() < HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let payload = avail[HEADER_BYTES..HEADER_BYTES + len].to_vec();
+        let mut crc_input = Vec::with_capacity(1 + len);
+        crc_input.push(kind);
+        crc_input.extend_from_slice(&payload);
+        if crc32(&crc_input) != crc {
+            self.poisoned = true;
+            return Err(net_err(peer, "read frame", "frame CRC mismatch"));
+        }
+        self.consumed += HEADER_BYTES + len;
+        Ok(Some((kind, payload)))
+    }
+}
+
 /// Read one frame as raw bytes (header + payload) *without* CRC
 /// validation. Used by the adversarial proxy, which must be able to carry
 /// and tamper with frames it does not interpret.
@@ -249,6 +330,61 @@ mod tests {
         let buf = encode_frame(1, b"longer payload");
         let cut = &buf[..buf.len() - 4];
         let err = read_frame(&mut &cut[..], "t").unwrap_err();
+        assert!(!err.is_security_violation());
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_from_arbitrary_splits() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(3, b"first"));
+        stream.extend_from_slice(&encode_frame(4, b""));
+        stream.extend_from_slice(&encode_frame(5, b"third payload"));
+        // Feed the stream byte-at-a-time, 7-at-a-time, and all-at-once:
+        // the decoded frame sequence must be identical.
+        for chunk in [1usize, 7, stream.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.extend(piece);
+                while let Some(f) = dec.next_frame("test").unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(
+                got,
+                vec![
+                    (3u8, b"first".to_vec()),
+                    (4u8, Vec::new()),
+                    (5u8, b"third payload".to_vec()),
+                ],
+                "chunk size {chunk}"
+            );
+            assert_eq!(dec.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn decoder_poisons_on_framing_error_and_stays_poisoned() {
+        let mut bad = encode_frame(3, b"payload");
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // break the CRC
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bad);
+        assert!(dec.next_frame("test").is_err());
+        // A valid frame after the poison is never surfaced: the stream
+        // position is untrustworthy once framing fails.
+        dec.extend(&encode_frame(4, b"good"));
+        assert!(dec.next_frame("test").is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_before_buffering_payload() {
+        let mut buf = encode_frame(1, b"x");
+        buf[0] = b'X';
+        let mut dec = FrameDecoder::new();
+        dec.extend(&buf);
+        let err = dec.next_frame("test").unwrap_err();
+        assert!(err.to_string().contains("magic"));
         assert!(!err.is_security_violation());
     }
 

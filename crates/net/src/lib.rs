@@ -11,9 +11,12 @@
 //!   never security (DESIGN.md §13).
 //! - [`proto`] — codecs for the handshake, signed queries, endorsed
 //!   results, and errors, built on the workspace's canonical codec.
-//! - [`server`] — a multi-threaded server over one shared [`veridb::VeriDb`]
-//!   with per-channel persistent portals, a connection cap with accept
-//!   backpressure, timeouts, idle reaping, and graceful shutdown.
+//! - [`server`] — an event-driven reactor over one shared
+//!   [`veridb::VeriDb`]: a single epoll loop owns every socket, decodes
+//!   frames incrementally, and feeds a bounded executor pool; per-channel
+//!   persistent portals, CAS-exact connection admission, a global query
+//!   queue with retryable `Overloaded` refusals, per-connection
+//!   backpressure windows, idle reaping, and graceful draining shutdown.
 //! - [`client`] — [`RemoteClient`], which reuses the in-process verifying
 //!   client unchanged for attestation, MACs, and the `SeqIntervals`
 //!   rollback defense, adding only transport concerns.
@@ -22,6 +25,7 @@
 
 pub mod client;
 pub mod frame;
+mod poll;
 pub mod proto;
 pub mod proxy;
 pub mod server;

@@ -138,6 +138,14 @@ pub fn decode_query(payload: &[u8]) -> Result<SignedQuery> {
     Ok(SignedQuery { qid, sql, mac })
 }
 
+/// Read just the qid off a QUERY payload without decoding the rest.
+/// Used by the admission path to echo the refused query's id in the
+/// `Overloaded` error frame; a payload too short to carry a qid yields
+/// `None` (the error is then sent with qid 0, a session-level error).
+pub fn peek_query_qid(payload: &[u8]) -> Option<u64> {
+    Reader::new(payload).get_u64().ok()
+}
+
 // ---- RESULT --------------------------------------------------------------
 
 /// Encode an endorsed result.
@@ -206,6 +214,7 @@ fn error_tag(e: &Error) -> u8 {
         Error::AuthFailed(_) => 19,
         Error::RollbackDetected { .. } => 20,
         Error::ReplayDetected { .. } => 21,
+        Error::Overloaded { .. } => 22,
     }
 }
 
@@ -259,6 +268,10 @@ pub fn encode_error(qid: u64, e: &Error) -> Vec<u8> {
         }
         Error::RollbackDetected { sequence } => put_u64(&mut buf, *sequence),
         Error::ReplayDetected { qid } => put_u64(&mut buf, *qid),
+        Error::Overloaded { queued, limit } => {
+            put_u64(&mut buf, *queued as u64);
+            put_u64(&mut buf, *limit as u64);
+        }
     }
     buf
 }
@@ -309,6 +322,10 @@ pub fn decode_error(payload: &[u8]) -> Result<(u64, Error)> {
             sequence: r.get_u64()?,
         },
         21 => Error::ReplayDetected { qid: r.get_u64()? },
+        22 => Error::Overloaded {
+            queued: r.get_u64()? as usize,
+            limit: r.get_u64()? as usize,
+        },
         t => return Err(Error::Codec(format!("unknown error tag {t}"))),
     };
     Ok((qid, err))
@@ -415,6 +432,10 @@ mod tests {
             Error::AuthFailed("af".into()),
             Error::RollbackDetected { sequence: 11 },
             Error::ReplayDetected { qid: 12 },
+            Error::Overloaded {
+                queued: 13,
+                limit: 14,
+            },
         ];
         for e in all {
             let (qid, got) = decode_error(&encode_error(77, &e)).unwrap();
@@ -422,6 +443,20 @@ mod tests {
             assert_eq!(got, e, "variant failed to round-trip");
             assert_eq!(got.is_security_violation(), e.is_security_violation());
         }
+    }
+
+    #[test]
+    fn peek_reads_the_qid_without_full_decode() {
+        let q = SignedQuery {
+            qid: 0xDEAD_BEEF,
+            sql: "SELECT 1".into(),
+            mac: Mac([7u8; 32]),
+        };
+        let buf = encode_query(&q);
+        assert_eq!(peek_query_qid(&buf), Some(0xDEAD_BEEF));
+        // A truncated header peeks to None, never panics.
+        assert_eq!(peek_query_qid(&buf[..3]), None);
+        assert_eq!(peek_query_qid(&[]), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The multi-threaded VeriDB network server.
+//! The reactor-based VeriDB network server.
 //!
 //! One shared [`VeriDb`] engine serves many concurrent connections. Each
 //! connection runs the §5.1 protocol over the untrusted wire:
@@ -15,22 +15,64 @@
 //! increasing sequence counter, so neither a dropped TCP connection nor a
 //! malicious reconnect resets the §5.1 defenses.
 //!
-//! Operational behavior: a connection cap with accept backpressure (at the
-//! cap the server simply stops accepting; the kernel backlog queues), per
-//! connection read/write timeouts, idle reaping, and graceful shutdown
-//! that drains in-flight queries (shutdown is only observed between
-//! frames, never mid-query).
+//! # Architecture
+//!
+//! A single **reactor** thread owns the listener and every socket. It
+//! runs a level-triggered epoll loop ([`crate::poll`]), decodes bytes
+//! incrementally ([`crate::frame::FrameDecoder`]), and hands complete
+//! frames to a bounded **executor pool** (sized off the engine's
+//! `workers` knob, i.e. `VERIDB_WORKERS`). Each connection's frames are
+//! processed serially by at most one worker at a time, so pipelined
+//! queries on one connection yield `RESULT` frames in submission order;
+//! different connections execute concurrently. Workers never touch
+//! sockets — they queue response frames on the connection's outbound
+//! buffer and nudge the reactor through a wake pipe.
+//!
+//! The registry the reactor keys by token *is* the session table: each
+//! entry pins the connection's portal (replay window + sequence counter +
+//! channel key) for its lifetime.
+//!
+//! # Admission control
+//!
+//! Three bounds keep a busy or adversarial peer from exhausting memory:
+//!
+//! - **Connection cap** (`max_conns`): admission is one compare-and-swap
+//!   loop on the active-connection count, so the cap holds exactly even
+//!   under accept storms. At the cap the listener's readiness interest is
+//!   dropped — pending connections wait in the kernel backlog instead of
+//!   being reset — and is re-armed when a slot frees.
+//! - **Global query queue** (`net_queue_depth`): decoded `QUERY` frames
+//!   waiting for a worker are counted globally; past the limit a query is
+//!   refused with a *retryable* [`Error::Overloaded`] frame. The refused
+//!   query never reached a portal, so its qid is unspent and the client
+//!   may resend the identical signed query — overload is a load
+//!   condition, never a security violation.
+//! - **Per-connection frame window**: a connection whose inbound or
+//!   outbound queue fills has its read interest paused (bytes back up
+//!   into TCP flow control) and resumed once the executor drains below
+//!   half — so one fast pipeliner cannot starve the rest.
+//!
+//! Shutdown is graceful: accepting stops, queued queries drain through
+//! the pool, responses flush, every session gets a `BYE`, and the pool is
+//! joined (a panicking worker turn is caught and surfaced through the
+//! `net.worker_panics` counter rather than wedging the pool).
 
-use crate::frame::{read_frame, write_frame, HEADER_BYTES};
+use crate::frame::{encode_frame, FrameDecoder};
+use crate::poll::{Interest, Poller};
 use crate::proto::{
-    decode_hello, decode_query, encode_error, encode_quote, encode_result, QuoteMsg, MSG_BYE,
-    MSG_ERROR, MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_STATS, MSG_STATS_OK,
+    decode_hello, decode_query, encode_error, encode_quote, encode_result, peek_query_qid,
+    QuoteMsg, MSG_BYE, MSG_ERROR, MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_STATS,
+    MSG_STATS_OK,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 use veridb::{QueryPortal, QuotingEnclave, VeriDb};
 use veridb_common::{Error, Metrics, Result};
@@ -46,8 +88,32 @@ pub const SIM_ATTESTATION_ROOT: [u8; 32] = *b"veridb-simulated-attestation-svc";
 /// server reaps it, expressed as a multiple of the per-frame timeout.
 const IDLE_TIMEOUT_FACTOR: u32 = 12;
 
-/// Tick used to poll the shutdown flag while waiting for socket activity.
-const POLL_TICK: Duration = Duration::from_millis(25);
+/// epoll housekeeping tick: the longest the reactor sleeps when nothing
+/// is ready. Idle CPU cost is one `epoll_wait` return per tick.
+const TICK_MS: i32 = 100;
+
+/// Idle/write-stall sweep cadence.
+const SWEEP_EVERY: Duration = Duration::from_millis(500);
+
+/// Frames a worker processes per turn before requeueing the connection —
+/// round-robin fairness across busy connections.
+const FAIR_BATCH: usize = 4;
+
+/// Decoded frames buffered per connection before its read interest is
+/// paused (TCP flow control takes over).
+const INBOUND_CAP: usize = 64;
+
+/// Encoded response frames buffered per connection before its read
+/// interest is paused.
+const OUTBOUND_CAP: usize = 128;
+
+/// Bytes per `read(2)` call on a ready socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Token for the reactor wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Token for the listener.
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
 
 /// Server tunables, derived from [`veridb_common::VeriDbConfig`].
 #[derive(Debug, Clone)]
@@ -55,20 +121,43 @@ pub struct NetConfig {
     /// Maximum concurrent connections; beyond it the server stops
     /// accepting (backpressure), it does not reset queued connections.
     pub max_conns: usize,
-    /// Per-frame read/write timeout.
+    /// Per-frame write-stall timeout (a connection whose peer stops
+    /// reading its responses for this long is reaped).
     pub timeout: Duration,
     /// Idle-session reaping deadline.
     pub idle_timeout: Duration,
+    /// Global bound on decoded queries awaiting execution; past it new
+    /// queries are refused with a retryable `Overloaded` error.
+    pub queue_depth: usize,
+    /// Executor pool size. `from_config` uses the engine's `workers`
+    /// knob (`VERIDB_WORKERS`) when it is set above 1, else the machine
+    /// parallelism.
+    pub exec_workers: usize,
 }
 
 impl NetConfig {
-    /// Build from the engine configuration's `max_conns`/`net_timeout_ms`.
+    /// Build from the engine configuration.
     pub fn from_config(config: &veridb_common::VeriDbConfig) -> Self {
         let timeout = Duration::from_millis(config.net_timeout_ms);
+        let exec_workers = if config.workers > 1 {
+            config.workers
+        } else {
+            // The serial-engine default: size the pool to the machine so
+            // independent connections still execute concurrently. On a
+            // single core extra workers only add time-slicing (per-query
+            // wall time doubles while throughput stays flat), so the pool
+            // follows the core count exactly.
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(1, 16)
+        };
         NetConfig {
             max_conns: config.max_conns,
             timeout,
             idle_timeout: timeout * IDLE_TIMEOUT_FACTOR,
+            queue_depth: config.net_queue_depth,
+            exec_workers,
         }
     }
 }
@@ -77,7 +166,8 @@ impl NetConfig {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    wake_tx: UnixStream,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -86,11 +176,13 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Graceful shutdown: stop accepting, let in-flight queries finish,
-    /// close every session, join all threads.
+    /// Graceful shutdown: stop accepting, drain queued queries through
+    /// the executor pool, flush responses, close every session, join all
+    /// threads.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        let _ = (&self.wake_tx).write(&[1]);
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
@@ -102,6 +194,26 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Reserve one slot of a capped counter with a compare-and-swap loop.
+/// Unlike a load-then-increment pair this can never over-admit: the
+/// increment happens only if the observed value was still below the cap.
+pub(crate) fn try_reserve_slot(counter: &AtomicUsize, cap: usize) -> bool {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        if cur >= cap {
+            return false;
+        }
+        match counter.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
 struct ServerShared {
     db: Arc<VeriDb>,
     qe: QuotingEnclave,
@@ -109,9 +221,17 @@ struct ServerShared {
     /// Channel name → portal. Persistent across reconnects so the replay
     /// window and sequence counter outlive any one TCP connection.
     portals: Mutex<HashMap<String, Arc<QueryPortal>>>,
+    /// Active connections (admission-controlled by `try_reserve_slot`).
     active: AtomicUsize,
+    /// Decoded QUERY frames awaiting execution, across all connections.
+    queued: AtomicUsize,
     shutdown: Arc<AtomicBool>,
     metrics: Option<Arc<Metrics>>,
+    /// Tokens whose outbound queue gained frames (worker → reactor).
+    notify: Mutex<Vec<u64>>,
+    /// Write end of the reactor wake pipe (nonblocking; a full pipe is
+    /// fine — any pending byte wakes the reactor).
+    wake_tx: UnixStream,
 }
 
 impl ServerShared {
@@ -123,6 +243,267 @@ impl ServerShared {
                 .or_insert_with(|| Arc::new(self.db.portal(channel))),
         )
     }
+
+    /// Tell the reactor `token` has fresh outbound frames (or state to
+    /// re-examine) and wake it.
+    fn notify_token(&self, token: u64) {
+        self.notify.lock().push(token);
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// Per-connection state shared between the reactor and the executor.
+struct Conn {
+    token: u64,
+    peer: String,
+    /// Decoded frames awaiting a worker, in arrival order.
+    inbound: Mutex<VecDeque<(u8, Vec<u8>)>>,
+    /// Encoded response frames awaiting the socket, in production order.
+    outbound: Mutex<Outbound>,
+    /// Claim flag: true while the connection is queued on (or being
+    /// processed by) the executor. Guarantees per-connection serial
+    /// execution and hence in-order RESULT delivery.
+    scheduled: AtomicBool,
+    /// Close once the outbound queue drains.
+    closing: AtomicBool,
+    /// Read interest dropped due to a full inbound/outbound window.
+    read_paused: AtomicBool,
+    /// The session's portal, pinned at handshake.
+    portal: Mutex<Option<Arc<QueryPortal>>>,
+}
+
+#[derive(Default)]
+struct Outbound {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written.
+    head_off: usize,
+}
+
+fn push_out(conn: &Conn, kind: u8, payload: &[u8]) {
+    conn.outbound
+        .lock()
+        .frames
+        .push_back(encode_frame(kind, payload));
+}
+
+// ---------------------------------------------------------------------------
+// Executor pool
+// ---------------------------------------------------------------------------
+
+/// The bounded worker pool. Connections (not frames) are the scheduling
+/// unit: a connection is queued at most once (`Conn::scheduled`), a
+/// worker drains up to [`FAIR_BATCH`] of its frames per turn, then either
+/// requeues it (more work pending) or releases the claim.
+struct Executor {
+    state: StdMutex<ExecState>,
+    cv: Condvar,
+}
+
+struct ExecState {
+    queue: VecDeque<Arc<Conn>>,
+    draining: bool,
+}
+
+impl Executor {
+    fn new() -> Arc<Executor> {
+        Arc::new(Executor {
+            state: StdMutex::new(ExecState {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Queue `conn` for processing unless it is already queued.
+    fn schedule(&self, conn: &Arc<Conn>) {
+        if !conn.scheduled.swap(true, Ordering::AcqRel) {
+            self.push(Arc::clone(conn));
+        }
+    }
+
+    fn push(&self, conn: Arc<Conn>) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.queue.push_back(conn);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Block for the next claimed connection; `None` once draining and
+    /// empty (worker exits).
+    fn next(&self) -> Option<Arc<Conn>> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(c) = st.queue.pop_front() {
+                return Some(c);
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Let workers finish every queued connection, then exit.
+    fn drain_and_stop(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .draining = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One worker thread: claim → process a fair batch → requeue or release.
+/// A panic inside the turn is caught, counted (`net.worker_panics`), and
+/// the offending connection is torn down; the worker itself survives.
+fn worker_loop(exec: Arc<Executor>, shared: Arc<ServerShared>) {
+    while let Some(conn) = exec.next() {
+        let turn = catch_unwind(AssertUnwindSafe(|| process_turn(&conn, &shared)));
+        match turn {
+            Ok(()) => {
+                let more = !conn.inbound.lock().is_empty() && !conn.closing.load(Ordering::Acquire);
+                if more {
+                    // Fairness: go to the back of the line, claim kept.
+                    exec.push(Arc::clone(&conn));
+                } else {
+                    conn.scheduled.store(false, Ordering::Release);
+                    // Recheck: the reactor may have enqueued between our
+                    // drain and the release; reclaim if it did not race a
+                    // schedule of its own.
+                    if !conn.inbound.lock().is_empty()
+                        && !conn.scheduled.swap(true, Ordering::AcqRel)
+                    {
+                        exec.push(Arc::clone(&conn));
+                    }
+                }
+            }
+            Err(_) => {
+                if let Some(m) = &shared.metrics {
+                    m.net_worker_panics.inc();
+                }
+                // The session is unrecoverable mid-frame; drop it. The
+                // reactor reconciles the queue accounting at close.
+                conn.closing.store(true, Ordering::Release);
+                conn.scheduled.store(false, Ordering::Release);
+                shared.notify_token(conn.token);
+            }
+        }
+    }
+}
+
+/// Process up to [`FAIR_BATCH`] frames of one connection.
+fn process_turn(conn: &Arc<Conn>, shared: &ServerShared) {
+    let m = shared.metrics.as_deref();
+    let mut handled = 0usize;
+    while handled < FAIR_BATCH && !conn.closing.load(Ordering::Acquire) {
+        let Some((kind, payload)) = conn.inbound.lock().pop_front() else {
+            break;
+        };
+        handled += 1;
+        let was_query = kind == MSG_QUERY;
+        handle_frame(conn, shared, kind, &payload, m);
+        if was_query {
+            shared.queued.fetch_sub(1, Ordering::AcqRel);
+            if let Some(m) = m {
+                m.net_queued.dec();
+            }
+        }
+    }
+    if handled > 0 {
+        shared.notify_token(conn.token);
+    }
+}
+
+fn handle_frame(conn: &Conn, shared: &ServerShared, kind: u8, payload: &[u8], m: Option<&Metrics>) {
+    match kind {
+        MSG_QUERY => {
+            let started = Instant::now();
+            let q = match decode_query(payload) {
+                Ok(q) => q,
+                Err(e) => {
+                    // Mangled payload behind a valid CRC: the framing
+                    // layer is untrusted, so report and drop the
+                    // connection; never guess at a query.
+                    if let Some(m) = m {
+                        m.net_frame_rejects.inc();
+                    }
+                    push_out(conn, MSG_ERROR, &encode_error(0, &e));
+                    conn.closing.store(true, Ordering::Release);
+                    return;
+                }
+            };
+            let portal = conn.portal.lock().clone();
+            let Some(portal) = portal else {
+                // Unreachable: the reactor admits QUERY frames only after
+                // the handshake pinned a portal. Defensive close.
+                conn.closing.store(true, Ordering::Release);
+                return;
+            };
+            let reply = portal.submit(&q);
+            if let Err(Error::AuthFailed(_) | Error::ReplayDetected { .. }) = &reply {
+                if let Some(m) = m {
+                    m.net_auth_rejects.inc();
+                }
+            }
+            match reply {
+                Ok(endorsed) => push_out(conn, MSG_RESULT, &encode_result(&endorsed)),
+                Err(e) => push_out(conn, MSG_ERROR, &encode_error(q.qid, &e)),
+            }
+            if let Some(m) = m {
+                m.net_wire_ns.record(started.elapsed().as_nanos() as u64);
+            }
+        }
+        MSG_STATS => {
+            let snap = shared.db.metrics();
+            let mut text = String::new();
+            for (name, value) in snap.counters() {
+                text.push_str(&format!("{name} {value}\n"));
+            }
+            push_out(conn, MSG_STATS_OK, text.as_bytes());
+        }
+        MSG_BYE => conn.closing.store(true, Ordering::Release),
+        other => {
+            if let Some(m) = m {
+                m.net_frame_rejects.inc();
+            }
+            let e = Error::Net {
+                peer: conn.peer.clone(),
+                op: "read frame".into(),
+                detail: format!("unexpected frame kind {other}"),
+            };
+            push_out(conn, MSG_ERROR, &encode_error(0, &e));
+            conn.closing.store(true, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+/// Registry entry: everything only the reactor touches for one socket.
+struct ConnEntry {
+    stream: TcpStream,
+    conn: Arc<Conn>,
+    decoder: FrameDecoder,
+    interest: Interest,
+    last_activity: Instant,
+    /// Set while a write is blocked on a full socket buffer.
+    write_stalled_since: Option<Instant>,
+    handshaken: bool,
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    listener_paused: bool,
+    conns: HashMap<u64, ConnEntry>,
+    next_token: u64,
+    shared: Arc<ServerShared>,
+    exec: Arc<Executor>,
+    wake_rx: UnixStream,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Start serving `db` on `addr` ("host:port"; port 0 picks a free port).
@@ -135,21 +516,27 @@ pub fn serve(db: Arc<VeriDb>, addr: &str) -> Result<ServerHandle> {
 
 /// [`serve`] with explicit tunables.
 pub fn serve_with(db: Arc<VeriDb>, addr: &str, cfg: NetConfig) -> Result<ServerHandle> {
-    let listener = TcpListener::bind(addr).map_err(|e| Error::Net {
+    let net_err = |op: &str, e: &dyn std::fmt::Display| Error::Net {
         peer: addr.to_owned(),
-        op: "bind".into(),
+        op: op.into(),
         detail: e.to_string(),
-    })?;
-    let local_addr = listener.local_addr().map_err(|e| Error::Net {
-        peer: addr.to_owned(),
-        op: "local_addr".into(),
-        detail: e.to_string(),
-    })?;
-    listener.set_nonblocking(true).map_err(|e| Error::Net {
-        peer: addr.to_owned(),
-        op: "set_nonblocking".into(),
-        detail: e.to_string(),
-    })?;
+    };
+    let listener = TcpListener::bind(addr).map_err(|e| net_err("bind", &e))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| net_err("local_addr", &e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| net_err("set_nonblocking", &e))?;
+
+    let (wake_tx, wake_rx) = UnixStream::pair().map_err(|e| net_err("wake pipe", &e))?;
+    wake_tx
+        .set_nonblocking(true)
+        .map_err(|e| net_err("wake pipe", &e))?;
+    wake_rx
+        .set_nonblocking(true)
+        .map_err(|e| net_err("wake pipe", &e))?;
+    let handle_wake = wake_tx.try_clone().map_err(|e| net_err("wake pipe", &e))?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let metrics = db.memory().metrics().cloned();
@@ -159,320 +546,747 @@ pub fn serve_with(db: Arc<VeriDb>, addr: &str, cfg: NetConfig) -> Result<ServerH
         cfg,
         portals: Mutex::new(HashMap::new()),
         active: AtomicUsize::new(0),
+        queued: AtomicUsize::new(0),
         shutdown: Arc::clone(&shutdown),
         metrics,
+        notify: Mutex::new(Vec::new()),
+        wake_tx,
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("veridb-net-accept".into())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .map_err(|e| Error::Net {
-            peer: addr.to_owned(),
-            op: "spawn accept thread".into(),
-            detail: e.to_string(),
-        })?;
+    let poller = Poller::new().map_err(|e| net_err("epoll_create", &e))?;
+    poller
+        .add(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+        .map_err(|e| net_err("epoll register wake", &e))?;
+    poller
+        .add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+        .map_err(|e| net_err("epoll register listener", &e))?;
+
+    let exec = Executor::new();
+    let mut workers = Vec::with_capacity(shared.cfg.exec_workers);
+    for i in 0..shared.cfg.exec_workers {
+        let exec = Arc::clone(&exec);
+        let shared = Arc::clone(&shared);
+        let w = std::thread::Builder::new()
+            .name(format!("veridb-net-exec-{i}"))
+            .spawn(move || worker_loop(exec, shared))
+            .map_err(|e| net_err("spawn executor worker", &e))?;
+        workers.push(w);
+    }
+
+    let reactor = Reactor {
+        poller,
+        listener,
+        listener_paused: false,
+        conns: HashMap::new(),
+        next_token: 0,
+        shared,
+        exec,
+        wake_rx,
+        workers,
+    };
+    let reactor_thread = std::thread::Builder::new()
+        .name("veridb-net-reactor".into())
+        .spawn(move || reactor.run())
+        .map_err(|e| net_err("spawn reactor thread", &e))?;
 
     Ok(ServerHandle {
         local_addr,
         shutdown,
-        accept_thread: Some(accept_thread),
+        wake_tx: handle_wake,
+        reactor_thread: Some(reactor_thread),
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
-    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        sessions.retain(|t| !t.is_finished());
-        // Backpressure: at the connection cap, stop accepting. Pending
-        // connections wait in the kernel backlog instead of being reset.
-        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
-            std::thread::sleep(POLL_TICK);
-            continue;
-        }
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                shared.active.fetch_add(1, Ordering::SeqCst);
-                if let Some(m) = &shared.metrics {
-                    m.net_accepted.inc();
-                    m.net_active_conns.inc();
-                }
-                let conn_shared = Arc::clone(&shared);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("veridb-net-conn-{peer}"))
-                    .spawn(move || {
-                        session(stream, peer, &conn_shared);
-                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
-                        if let Some(m) = &conn_shared.metrics {
-                            m.net_active_conns.dec();
-                        }
-                    });
-                if let Err(e) = spawned {
-                    eprintln!("veridb-net: failed to spawn session thread: {e}");
-                    shared.active.fetch_sub(1, Ordering::SeqCst);
-                    if let Some(m) = &shared.metrics {
-                        m.net_rejected.inc();
-                        m.net_active_conns.dec();
-                    }
+impl Reactor {
+    fn metrics(&self) -> Option<&Metrics> {
+        self.shared.metrics.as_deref()
+    }
+
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut last_sweep = Instant::now();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.poller.wait(&mut events, TICK_MS) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("veridb-net: epoll_wait failed: {e}");
+                    break;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_TICK);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
             }
-            Err(e) => {
-                eprintln!("veridb-net: accept failed: {e}");
-                std::thread::sleep(POLL_TICK);
-            }
-        }
-    }
-    // Graceful drain: sessions observe the shutdown flag between frames
-    // and finish whatever query is in flight before exiting.
-    for t in sessions {
-        let _ = t.join();
-    }
-}
-
-/// Why a wait for the next frame ended.
-enum Wait {
-    /// Data is available to read.
-    Ready,
-    /// The idle deadline passed with no complete frame.
-    Idle,
-    /// The server is shutting down.
-    Shutdown,
-    /// The peer closed the connection.
-    Closed,
-}
-
-/// Poll until the stream is readable, the session idles out, or the server
-/// shuts down. Uses short read-timeout slices so the shutdown flag is
-/// observed promptly without busy-waiting.
-fn wait_readable(stream: &TcpStream, shared: &ServerShared, idle_deadline: Instant) -> Wait {
-    let mut probe = [0u8; 1];
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Wait::Shutdown;
-        }
-        if Instant::now() >= idle_deadline {
-            return Wait::Idle;
-        }
-        match stream.peek(&mut probe) {
-            Ok(0) => return Wait::Closed,
-            Ok(_) => return Wait::Ready,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => return Wait::Closed,
-        }
-    }
-}
-
-fn session(mut stream: TcpStream, peer: SocketAddr, shared: &ServerShared) {
-    let peer_str = peer.to_string();
-    if let Err(e) = run_session(&mut stream, &peer_str, shared) {
-        // A session error is either transport noise (logged, common under
-        // adversarial proxies) or a protocol violation already counted in
-        // the metrics; the connection just ends.
-        if !matches!(e, Error::Net { .. }) {
-            eprintln!("veridb-net: session {peer_str} ended: {e}");
-        }
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-}
-
-fn run_session(stream: &mut TcpStream, peer: &str, shared: &ServerShared) -> Result<()> {
-    let m = shared.metrics.as_deref();
-    // Per-frame read/write timeouts; the read timeout doubles as the
-    // shutdown-poll tick for `wait_readable`.
-    let io_err = |op: &str, e: std::io::Error| Error::Net {
-        peer: peer.to_owned(),
-        op: op.to_owned(),
-        detail: e.to_string(),
-    };
-    stream
-        .set_read_timeout(Some(POLL_TICK))
-        .map_err(|e| io_err("set_read_timeout", e))?;
-    stream
-        .set_write_timeout(Some(shared.cfg.timeout))
-        .map_err(|e| io_err("set_write_timeout", e))?;
-
-    // ---- handshake ------------------------------------------------------
-    let (kind, payload) = read_frame_sliced(stream, peer, shared, m)?;
-    if kind != MSG_HELLO {
-        count_frame_reject(m);
-        return Err(Error::Net {
-            peer: peer.to_owned(),
-            op: "handshake".into(),
-            detail: format!("expected HELLO, got frame kind {kind}"),
-        });
-    }
-    let (channel, nonce) = decode_hello(&payload).inspect_err(|_| count_frame_reject(m))?;
-    let portal = shared.portal(&channel);
-    let quote = shared.db.enclave().quote(&shared.qe, &nonce);
-    let msg = QuoteMsg {
-        measurement: *quote.report.measurement.as_bytes(),
-        user_data: quote.report.user_data,
-        signature: quote.signature,
-        key: portal
-            .channel_key_for_attested_client()
-            .key_exchange_bytes(),
-    };
-    send_frame(stream, peer, m, MSG_QUOTE, &encode_quote(&msg))?;
-
-    // ---- query loop -----------------------------------------------------
-    loop {
-        let idle_deadline = Instant::now() + shared.cfg.idle_timeout;
-        match wait_readable(stream, shared, idle_deadline) {
-            Wait::Ready => {}
-            Wait::Idle => {
-                if let Some(m) = m {
-                    m.net_timeouts.inc();
-                }
-                let _ = write_frame(stream, peer, MSG_BYE, &[]);
-                return Ok(());
-            }
-            Wait::Shutdown => {
-                let _ = write_frame(stream, peer, MSG_BYE, &[]);
-                return Ok(());
-            }
-            Wait::Closed => return Ok(()),
-        }
-        let (kind, payload) = read_frame_sliced(stream, peer, shared, m)?;
-        match kind {
-            MSG_QUERY => {
-                let started = Instant::now();
-                let q = match decode_query(&payload) {
-                    Ok(q) => q,
-                    Err(e) => {
-                        // Mangled payload behind a valid CRC: the framing
-                        // layer is untrusted, so report and drop the
-                        // connection; never guess at a query.
-                        count_frame_reject(m);
-                        send_frame(stream, peer, m, MSG_ERROR, &encode_error(0, &e))?;
-                        return Err(e);
-                    }
-                };
-                let reply = portal.submit(&q);
-                if let Err(Error::AuthFailed(_) | Error::ReplayDetected { .. }) = &reply {
-                    if let Some(m) = m {
-                        m.net_auth_rejects.inc();
-                    }
-                }
-                match reply {
-                    Ok(endorsed) => {
-                        send_frame(stream, peer, m, MSG_RESULT, &encode_result(&endorsed))?
-                    }
-                    Err(e) => send_frame(stream, peer, m, MSG_ERROR, &encode_error(q.qid, &e))?,
-                }
-                if let Some(m) = m {
-                    m.net_wire_ns.record(started.elapsed().as_nanos() as u64);
+            for ev in events.iter().copied() {
+                match ev.token {
+                    WAKE_TOKEN => self.drain_wake(),
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token, ev.readable || ev.hangup, ev.writable),
                 }
             }
-            MSG_STATS => {
-                let snap = shared.db.metrics();
-                let mut text = String::new();
-                for (name, value) in snap.counters() {
-                    text.push_str(&format!("{name} {value}\n"));
-                }
-                send_frame(stream, peer, m, MSG_STATS_OK, text.as_bytes())?;
-            }
-            MSG_BYE => return Ok(()),
-            other => {
-                count_frame_reject(m);
-                return Err(Error::Net {
-                    peer: peer.to_owned(),
-                    op: "read frame".into(),
-                    detail: format!("unexpected frame kind {other}"),
-                });
+            self.flush_notified();
+            if last_sweep.elapsed() >= SWEEP_EVERY {
+                self.sweep(Instant::now());
+                last_sweep = Instant::now();
             }
         }
+        self.graceful_shutdown();
     }
-}
 
-/// Read one frame after `wait_readable` said data is ready. The stream's
-/// short read-timeout slices mean `read_exact` may see `WouldBlock` mid
-/// frame; retry within the per-frame timeout budget.
-fn read_frame_sliced(
-    stream: &mut TcpStream,
-    peer: &str,
-    shared: &ServerShared,
-    m: Option<&Metrics>,
-) -> Result<(u8, Vec<u8>)> {
-    let deadline = Instant::now() + shared.cfg.timeout;
-    let mut sliced = SlicedReader {
-        stream,
-        deadline,
-        peer,
-    };
-    match read_frame(&mut sliced, peer) {
-        Ok((kind, payload)) => {
-            if let Some(m) = m {
-                m.net_frames_in.inc();
-                m.net_bytes_in.add((HEADER_BYTES + payload.len()) as u64);
-            }
-            Ok((kind, payload))
-        }
-        Err(e) => {
-            // Distinguish CRC/framing rejects (counted) from plain socket
-            // errors; both are transport-level.
-            if e.to_string().contains("CRC")
-                || e.to_string().contains("magic")
-                || e.to_string().contains("version")
-                || e.to_string().contains("cap")
-            {
-                count_frame_reject(m);
-            }
-            Err(e)
-        }
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
     }
-}
 
-fn count_frame_reject(m: Option<&Metrics>) {
-    if let Some(m) = m {
-        m.net_frame_rejects.inc();
-    }
-}
-
-fn send_frame(
-    stream: &mut TcpStream,
-    peer: &str,
-    m: Option<&Metrics>,
-    kind: u8,
-    payload: &[u8],
-) -> Result<()> {
-    write_frame(stream, peer, kind, payload)?;
-    if let Some(m) = m {
-        m.net_frames_out.inc();
-        m.net_bytes_out.add((HEADER_BYTES + payload.len()) as u64);
-    }
-    Ok(())
-}
-
-/// A reader that retries `WouldBlock`/`TimedOut` slices until a deadline,
-/// so short shutdown-poll read timeouts do not truncate frames mid-read.
-struct SlicedReader<'a> {
-    stream: &'a mut TcpStream,
-    deadline: Instant,
-    peer: &'a str,
-}
-
-impl std::io::Read for SlicedReader<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+    /// Accept as many pending connections as the cap admits; at the cap,
+    /// pause the listener (kernel backlog holds the rest).
+    fn accept_ready(&mut self) {
         loop {
-            match self.stream.read(buf) {
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if Instant::now() >= self.deadline {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            format!("frame read from {} timed out", self.peer),
-                        ));
+            if !try_reserve_slot(&self.shared.active, self.shared.cfg.max_conns) {
+                self.pause_listener();
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Err(e) = self.register_conn(stream, peer) {
+                        eprintln!("veridb-net: failed to register {peer}: {e}");
+                        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+                        if let Some(m) = self.metrics() {
+                            m.net_rejected.inc();
+                        }
                     }
                 }
-                other => return other,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.shared.active.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("veridb-net: accept failed: {e}");
+                    self.shared.active.fetch_sub(1, Ordering::AcqRel);
+                    return;
+                }
             }
         }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream, peer: SocketAddr) -> std::io::Result<()> {
+        stream.set_nonblocking(true)?;
+        // Responses are written as whole frames; don't let Nagle delay
+        // the tail of a pipelined burst.
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.poller.add(stream.as_raw_fd(), token, Interest::READ)?;
+        let conn = Arc::new(Conn {
+            token,
+            peer: peer.to_string(),
+            inbound: Mutex::new(VecDeque::new()),
+            outbound: Mutex::new(Outbound::default()),
+            scheduled: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            read_paused: AtomicBool::new(false),
+            portal: Mutex::new(None),
+        });
+        self.conns.insert(
+            token,
+            ConnEntry {
+                stream,
+                conn,
+                decoder: FrameDecoder::new(),
+                interest: Interest::READ,
+                last_activity: Instant::now(),
+                write_stalled_since: None,
+                handshaken: false,
+            },
+        );
+        if let Some(m) = self.metrics() {
+            m.net_accepted.inc();
+            m.net_active_conns.inc();
+        }
+        Ok(())
+    }
+
+    fn pause_listener(&mut self) {
+        if !self.listener_paused {
+            self.listener_paused = true;
+            let _ = self
+                .poller
+                .modify(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::NONE);
+        }
+    }
+
+    fn maybe_resume_listener(&mut self) {
+        if self.listener_paused
+            && self.shared.active.load(Ordering::Acquire) < self.shared.cfg.max_conns
+        {
+            self.listener_paused = false;
+            let _ = self
+                .poller
+                .modify(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ);
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
+        let keep = match self.conns.get_mut(&token) {
+            None => return,
+            Some(entry) => {
+                if readable {
+                    entry.last_activity = Instant::now();
+                    handle_readable(&self.poller, &self.shared, &self.exec, entry)
+                } else {
+                    true
+                }
+            }
+        };
+        if !keep {
+            self.close_conn(token);
+            return;
+        }
+        if readable || writable {
+            self.flush_token(token);
+        }
+    }
+
+    /// Flush connections whose workers queued fresh output (or flagged
+    /// state changes like closing).
+    fn flush_notified(&mut self) {
+        let tokens = std::mem::take(&mut *self.shared.notify.lock());
+        for token in tokens {
+            self.flush_token(token);
+        }
+    }
+
+    fn flush_token(&mut self, token: u64) {
+        let keep = match self.conns.get_mut(&token) {
+            None => return,
+            Some(entry) => flush_entry(&self.poller, &self.shared, &self.exec, entry),
+        };
+        if !keep {
+            self.close_conn(token);
+        }
+    }
+
+    /// Reap idle sessions and write-stalled peers.
+    fn sweep(&mut self, now: Instant) {
+        let idle = self.shared.cfg.idle_timeout;
+        let stall = self.shared.cfg.timeout;
+        let mut doomed: Vec<(u64, bool)> = Vec::new();
+        for (&token, entry) in &self.conns {
+            if now.duration_since(entry.last_activity) >= idle
+                && !entry.conn.closing.load(Ordering::Acquire)
+            {
+                doomed.push((token, true));
+            } else if entry
+                .write_stalled_since
+                .is_some_and(|t| now.duration_since(t) >= stall)
+            {
+                doomed.push((token, false));
+            }
+        }
+        for (token, send_bye) in doomed {
+            if let Some(m) = self.metrics() {
+                m.net_timeouts.inc();
+            }
+            if send_bye {
+                if let Some(entry) = self.conns.get_mut(&token) {
+                    push_out(&entry.conn, MSG_BYE, &[]);
+                    let _ = flush_entry(&self.poller, &self.shared, &self.exec, entry);
+                }
+            }
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(entry) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.delete(entry.stream.as_raw_fd());
+        // Stop any in-flight worker turn at the next frame boundary and
+        // reconcile the global queue count for frames it will never see.
+        entry.conn.closing.store(true, Ordering::Release);
+        let abandoned: Vec<(u8, Vec<u8>)> = entry.conn.inbound.lock().drain(..).collect();
+        let m = self.shared.metrics.as_deref();
+        for (kind, _) in abandoned {
+            if kind == MSG_QUERY {
+                self.shared.queued.fetch_sub(1, Ordering::AcqRel);
+                if let Some(m) = m {
+                    m.net_queued.dec();
+                }
+            }
+        }
+        if let Some(m) = m {
+            m.net_active_conns.dec();
+            if !entry.handshaken {
+                m.net_rejected.inc();
+            }
+        }
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        self.maybe_resume_listener();
+        let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// One bounded iteration of the event loop — used while draining
+    /// during shutdown, when the main loop has already exited.
+    fn pump(&mut self, timeout_ms: i32) {
+        let mut events = Vec::new();
+        if self.poller.wait(&mut events, timeout_ms).is_err() {
+            return;
+        }
+        for ev in events.iter().copied() {
+            match ev.token {
+                WAKE_TOKEN => self.drain_wake(),
+                LISTENER_TOKEN => {}
+                token => self.conn_event(token, ev.readable || ev.hangup, ev.writable),
+            }
+        }
+        self.flush_notified();
+        // Push on every pending outbound queue, not just notified ones.
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| !e.conn.outbound.lock().frames.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in tokens {
+            self.flush_token(t);
+        }
+    }
+
+    fn graceful_shutdown(&mut self) {
+        // 1. Stop accepting.
+        let _ = self.poller.delete(self.listener.as_raw_fd());
+        self.listener_paused = true;
+        // 2. Drain: workers finish every queued frame, then exit.
+        self.exec.drain_and_stop();
+        let deadline = Instant::now() + self.shared.cfg.idle_timeout;
+        loop {
+            let workers_done = self.workers.iter().all(|w| w.is_finished());
+            self.pump(25);
+            let flushed = self
+                .conns
+                .values()
+                .all(|e| e.conn.outbound.lock().frames.is_empty());
+            if (workers_done && flushed) || Instant::now() >= deadline {
+                break;
+            }
+        }
+        // 3. Orderly goodbye to every remaining session.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in &tokens {
+            if let Some(entry) = self.conns.get_mut(token) {
+                push_out(&entry.conn, MSG_BYE, &[]);
+            }
+        }
+        self.pump(0);
+        self.pump(25);
+        // 4. Join the pool; a panic that escaped the per-turn catch still
+        //    gets counted rather than lost.
+        for w in self.workers.drain(..) {
+            if w.join().is_err() {
+                if let Some(m) = self.shared.metrics.as_deref() {
+                    m.net_worker_panics.inc();
+                }
+            }
+        }
+        for token in tokens {
+            self.close_conn(token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor ↔ socket helpers (free functions so the borrow of one registry
+// entry never aliases the whole reactor)
+// ---------------------------------------------------------------------------
+
+/// Read until `WouldBlock` (or pause/EOF/error), decoding and dispatching
+/// complete frames. Returns false when the connection must close.
+fn handle_readable(
+    poller: &Poller,
+    shared: &Arc<ServerShared>,
+    exec: &Executor,
+    entry: &mut ConnEntry,
+) -> bool {
+    let mut buf = [0u8; READ_CHUNK];
+    loop {
+        if entry.conn.read_paused.load(Ordering::Acquire) {
+            return true;
+        }
+        match entry.stream.read(&mut buf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                if let Some(m) = shared.metrics.as_deref() {
+                    m.net_bytes_in.add(n as u64);
+                }
+                entry.decoder.extend(&buf[..n]);
+                if !drain_decoded(poller, shared, exec, entry) {
+                    return false;
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Dispatch every complete frame sitting in the decoder, stopping early
+/// if dispatch pauses reading. Returns false when the connection must
+/// close (framing error or protocol violation).
+fn drain_decoded(
+    poller: &Poller,
+    shared: &Arc<ServerShared>,
+    exec: &Executor,
+    entry: &mut ConnEntry,
+) -> bool {
+    loop {
+        if entry.conn.read_paused.load(Ordering::Acquire) {
+            return true;
+        }
+        match entry.decoder.next_frame(&entry.conn.peer) {
+            Ok(None) => return true,
+            Ok(Some((kind, payload))) => {
+                if let Some(m) = shared.metrics.as_deref() {
+                    m.net_frames_in.inc();
+                }
+                if !dispatch_frame(poller, shared, exec, entry, kind, payload) {
+                    return false;
+                }
+            }
+            Err(_) => {
+                // Any decoder failure is a framing reject: bad magic,
+                // version, oversize, or CRC. Count and close; the byte
+                // stream is unrecoverable.
+                if let Some(m) = shared.metrics.as_deref() {
+                    m.net_frame_rejects.inc();
+                }
+                return false;
+            }
+        }
+    }
+}
+
+/// Route one complete frame: handshake inline (cheap — one quote), BYE /
+/// STATS / QUERY through the executor for in-order processing. Returns
+/// false when the connection must close.
+fn dispatch_frame(
+    poller: &Poller,
+    shared: &Arc<ServerShared>,
+    exec: &Executor,
+    entry: &mut ConnEntry,
+    kind: u8,
+    payload: Vec<u8>,
+) -> bool {
+    let m = shared.metrics.as_deref();
+    if !entry.handshaken {
+        if kind != MSG_HELLO {
+            if let Some(m) = m {
+                m.net_frame_rejects.inc();
+            }
+            return false;
+        }
+        let Ok((channel, nonce)) = decode_hello(&payload) else {
+            if let Some(m) = m {
+                m.net_frame_rejects.inc();
+            }
+            return false;
+        };
+        let portal = shared.portal(&channel);
+        let quote = shared.db.enclave().quote(&shared.qe, &nonce);
+        let msg = QuoteMsg {
+            measurement: *quote.report.measurement.as_bytes(),
+            user_data: quote.report.user_data,
+            signature: quote.signature,
+            key: portal
+                .channel_key_for_attested_client()
+                .key_exchange_bytes(),
+        };
+        *entry.conn.portal.lock() = Some(portal);
+        entry.handshaken = true;
+        push_out(&entry.conn, MSG_QUOTE, &encode_quote(&msg));
+        return true;
+    }
+    match kind {
+        MSG_QUERY => {
+            // Admission: reserve a slot in the global query queue or
+            // refuse visibly and retryably. The refused query never
+            // reaches a portal, so its qid stays unspent.
+            if !try_reserve_slot(&shared.queued, shared.cfg.queue_depth) {
+                if let Some(m) = m {
+                    m.net_overloaded.inc();
+                }
+                let qid = peek_query_qid(&payload).unwrap_or(0);
+                let e = Error::Overloaded {
+                    queued: shared.queued.load(Ordering::Relaxed),
+                    limit: shared.cfg.queue_depth,
+                };
+                push_out(&entry.conn, MSG_ERROR, &encode_error(qid, &e));
+                return true;
+            }
+            if let Some(m) = m {
+                m.net_queued.inc();
+            }
+            enqueue_inbound(poller, exec, entry, kind, payload);
+        }
+        MSG_STATS | MSG_BYE => {
+            // Through the inbound queue so they stay ordered behind any
+            // pipelined queries ahead of them.
+            enqueue_inbound(poller, exec, entry, kind, payload);
+        }
+        other => {
+            if let Some(m) = m {
+                m.net_frame_rejects.inc();
+            }
+            let e = Error::Net {
+                peer: entry.conn.peer.clone(),
+                op: "read frame".into(),
+                detail: format!("unexpected frame kind {other}"),
+            };
+            push_out(&entry.conn, MSG_ERROR, &encode_error(0, &e));
+            return false;
+        }
+    }
+    true
+}
+
+fn enqueue_inbound(
+    poller: &Poller,
+    exec: &Executor,
+    entry: &mut ConnEntry,
+    kind: u8,
+    payload: Vec<u8>,
+) {
+    let inbound_len = {
+        let mut q = entry.conn.inbound.lock();
+        q.push_back((kind, payload));
+        q.len()
+    };
+    let outbound_len = entry.conn.outbound.lock().frames.len();
+    if inbound_len >= INBOUND_CAP || outbound_len >= OUTBOUND_CAP {
+        pause_read(poller, entry);
+    }
+    exec.schedule(&entry.conn);
+}
+
+fn pause_read(poller: &Poller, entry: &mut ConnEntry) {
+    if !entry.conn.read_paused.swap(true, Ordering::AcqRel) {
+        entry.interest.readable = false;
+        let _ = poller.modify(entry.stream.as_raw_fd(), entry.conn.token, entry.interest);
+    }
+}
+
+/// Write as much queued output as the socket takes. Handles write-
+/// interest arming, read resumption after backpressure, and deferred
+/// close. Returns false when the connection must close.
+fn flush_entry(
+    poller: &Poller,
+    shared: &Arc<ServerShared>,
+    exec: &Executor,
+    entry: &mut ConnEntry,
+) -> bool {
+    let m = shared.metrics.as_deref();
+    let drained = loop {
+        let mut ob = entry.conn.outbound.lock();
+        let (wrote, front_len) = {
+            let Some(front) = ob.frames.front() else {
+                break true;
+            };
+            (entry.stream.write(&front[ob.head_off..]), front.len())
+        };
+        match wrote {
+            Ok(n) => {
+                ob.head_off += n;
+                if ob.head_off >= front_len {
+                    let len = front_len as u64;
+                    ob.frames.pop_front();
+                    ob.head_off = 0;
+                    if let Some(m) = m {
+                        m.net_frames_out.inc();
+                        m.net_bytes_out.add(len);
+                    }
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                drop(ob);
+                if !entry.interest.writable {
+                    entry.interest.writable = true;
+                    let _ =
+                        poller.modify(entry.stream.as_raw_fd(), entry.conn.token, entry.interest);
+                }
+                entry.write_stalled_since.get_or_insert_with(Instant::now);
+                break false;
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    };
+    if !drained {
+        return true;
+    }
+    entry.write_stalled_since = None;
+    if entry.interest.writable {
+        entry.interest.writable = false;
+        let _ = poller.modify(entry.stream.as_raw_fd(), entry.conn.token, entry.interest);
+    }
+    if entry.conn.closing.load(Ordering::Acquire)
+        && !entry.conn.scheduled.load(Ordering::Acquire)
+        && entry.conn.inbound.lock().is_empty()
+    {
+        return false;
+    }
+    maybe_resume_read(poller, shared, exec, entry);
+    true
+}
+
+/// Re-arm read interest once the frame windows have drained below half,
+/// then immediately dispatch any frames still buffered in the decoder —
+/// the kernel will not re-signal readability for bytes we already read.
+fn maybe_resume_read(
+    poller: &Poller,
+    shared: &Arc<ServerShared>,
+    exec: &Executor,
+    entry: &mut ConnEntry,
+) {
+    if !entry.conn.read_paused.load(Ordering::Acquire) {
+        return;
+    }
+    let inbound_len = entry.conn.inbound.lock().len();
+    let outbound_len = entry.conn.outbound.lock().frames.len();
+    if inbound_len > INBOUND_CAP / 2 || outbound_len > OUTBOUND_CAP / 2 {
+        return;
+    }
+    entry.conn.read_paused.store(false, Ordering::Release);
+    if !drain_decoded(poller, shared, exec, entry) {
+        // Framing violation discovered in the backlog: defer the close
+        // through the normal path.
+        entry.conn.closing.store(true, Ordering::Release);
+        shared.notify_token(entry.conn.token);
+        return;
+    }
+    if !entry.conn.read_paused.load(Ordering::Acquire) && !entry.interest.readable {
+        entry.interest.readable = true;
+        let _ = poller.modify(entry.stream.as_raw_fd(), entry.conn.token, entry.interest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_admission_never_exceeds_cap_under_contention() {
+        // Satellite regression: the old accept loop did a load followed
+        // by a separate fetch_add, so two racing admits could both pass
+        // the cap check. The CAS loop cannot.
+        let cap = 8;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            let admitted = Arc::clone(&admitted);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    if try_reserve_slot(&counter, cap) {
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                        let now = counter.load(Ordering::Relaxed);
+                        peak.fetch_max(now, Ordering::Relaxed);
+                        assert!(now <= cap, "admitted past the cap: {now}");
+                        counter.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(admitted.load(Ordering::Relaxed) > 0);
+        assert!(peak.load(Ordering::Relaxed) <= cap);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn executor_survives_a_panicking_turn() {
+        // A worker turn that panics must be caught: the panic is counted,
+        // the offending connection is marked closing, and the worker
+        // keeps serving other connections.
+        let exec = Executor::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let panics = Arc::new(AtomicUsize::new(0));
+
+        let make_conn = |token: u64| {
+            Arc::new(Conn {
+                token,
+                peer: format!("test-{token}"),
+                inbound: Mutex::new(VecDeque::new()),
+                outbound: Mutex::new(Outbound::default()),
+                scheduled: AtomicBool::new(false),
+                closing: AtomicBool::new(false),
+                read_paused: AtomicBool::new(false),
+                portal: Mutex::new(None),
+            })
+        };
+        let bad = make_conn(1);
+        let good = make_conn(2);
+        // Mirror worker_loop's catch-and-count contract with a handler
+        // that panics for the poisoned connection.
+        let worker = {
+            let exec = Arc::clone(&exec);
+            let hits = Arc::clone(&hits);
+            let panics = Arc::clone(&panics);
+            std::thread::spawn(move || {
+                while let Some(conn) = exec.next() {
+                    let turn = catch_unwind(AssertUnwindSafe(|| {
+                        if conn.token == 1 {
+                            panic!("poisoned turn");
+                        }
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }));
+                    if turn.is_err() {
+                        panics.fetch_add(1, Ordering::SeqCst);
+                        conn.closing.store(true, Ordering::Release);
+                    }
+                    conn.scheduled.store(false, Ordering::Release);
+                }
+            })
+        };
+        exec.schedule(&bad);
+        exec.schedule(&good);
+        exec.drain_and_stop();
+        worker
+            .join()
+            .expect("worker must not die from a caught panic");
+        assert_eq!(panics.load(Ordering::SeqCst), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(bad.closing.load(Ordering::Acquire));
+        assert!(!good.closing.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn executor_requeue_keeps_per_conn_serial_claim() {
+        let exec = Executor::new();
+        let conn = Arc::new(Conn {
+            token: 7,
+            peer: "test".into(),
+            inbound: Mutex::new(VecDeque::new()),
+            outbound: Mutex::new(Outbound::default()),
+            scheduled: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            read_paused: AtomicBool::new(false),
+            portal: Mutex::new(None),
+        });
+        // Double-schedule while claimed: only one queue entry appears.
+        exec.schedule(&conn);
+        exec.schedule(&conn);
+        let st = exec.state.lock().unwrap();
+        assert_eq!(st.queue.len(), 1);
+        drop(st);
+        // Release the claim; scheduling again enqueues again.
+        let first = exec.next().unwrap();
+        first.scheduled.store(false, Ordering::Release);
+        exec.schedule(&conn);
+        assert_eq!(exec.state.lock().unwrap().queue.len(), 1);
     }
 }
