@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-2161a33bf9da5a37.d: crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-2161a33bf9da5a37.rmeta: crates/bench/benches/ablation.rs Cargo.toml
+
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-2d4bd2bbb31751ae.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-2d4bd2bbb31751ae.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-0a05fa1afa389f5c.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-0a05fa1afa389f5c: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-9e595df7cc327306.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9e595df7cc327306.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

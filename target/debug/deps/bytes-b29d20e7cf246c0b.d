@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-b29d20e7cf246c0b.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b29d20e7cf246c0b.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b29d20e7cf246c0b.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

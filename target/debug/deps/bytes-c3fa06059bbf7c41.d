@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-c3fa06059bbf7c41.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c3fa06059bbf7c41.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-ddfa30fc7462bc6e.d: .stubs/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-ddfa30fc7462bc6e.rmeta: .stubs/bytes/src/lib.rs Cargo.toml
+
+.stubs/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-f65870f444192ca5.d: .stubs/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-f65870f444192ca5.rmeta: .stubs/bytes/src/lib.rs Cargo.toml
+
+.stubs/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-04a062e247212a05.d: tests/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-04a062e247212a05.rmeta: tests/tests/concurrency.rs Cargo.toml
+
+tests/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-cf0decec9cfb611d.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/libconcurrency-cf0decec9cfb611d.rmeta: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

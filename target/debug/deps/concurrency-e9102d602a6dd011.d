@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-e9102d602a6dd011.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-e9102d602a6dd011: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-22901f80619037f0.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-22901f80619037f0.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-ff7476e1ba3660de.d: .stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-ff7476e1ba3660de.rmeta: .stubs/criterion/src/lib.rs Cargo.toml
+
+.stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-1e266c39ed8f644f.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1e266c39ed8f644f.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

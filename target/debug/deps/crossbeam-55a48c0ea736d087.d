@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-55a48c0ea736d087.d: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-55a48c0ea736d087.rmeta: .stubs/crossbeam/src/lib.rs Cargo.toml
+
+.stubs/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

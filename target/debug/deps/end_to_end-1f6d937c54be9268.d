@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1f6d937c54be9268.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1f6d937c54be9268: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

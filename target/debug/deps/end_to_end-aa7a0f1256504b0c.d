@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-aa7a0f1256504b0c.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-aa7a0f1256504b0c.rmeta: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

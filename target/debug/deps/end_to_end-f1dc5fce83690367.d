@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-f1dc5fce83690367.d: tests/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-f1dc5fce83690367.rmeta: tests/tests/end_to_end.rs Cargo.toml
+
+tests/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_rsws_latency-a8b4ca0133f118ae.d: crates/bench/benches/fig09_rsws_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_rsws_latency-a8b4ca0133f118ae.rmeta: crates/bench/benches/fig09_rsws_latency.rs Cargo.toml
+
+crates/bench/benches/fig09_rsws_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

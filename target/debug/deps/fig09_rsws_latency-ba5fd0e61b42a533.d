@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_rsws_latency-ba5fd0e61b42a533.d: crates/bench/benches/fig09_rsws_latency.rs
+
+/root/repo/target/debug/deps/libfig09_rsws_latency-ba5fd0e61b42a533.rmeta: crates/bench/benches/fig09_rsws_latency.rs
+
+crates/bench/benches/fig09_rsws_latency.rs:

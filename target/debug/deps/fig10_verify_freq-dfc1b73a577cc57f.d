@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_verify_freq-dfc1b73a577cc57f.d: crates/bench/benches/fig10_verify_freq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_verify_freq-dfc1b73a577cc57f.rmeta: crates/bench/benches/fig10_verify_freq.rs Cargo.toml
+
+crates/bench/benches/fig10_verify_freq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

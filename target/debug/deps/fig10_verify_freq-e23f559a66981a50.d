@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_verify_freq-e23f559a66981a50.d: crates/bench/benches/fig10_verify_freq.rs
+
+/root/repo/target/debug/deps/libfig10_verify_freq-e23f559a66981a50.rmeta: crates/bench/benches/fig10_verify_freq.rs
+
+crates/bench/benches/fig10_verify_freq.rs:

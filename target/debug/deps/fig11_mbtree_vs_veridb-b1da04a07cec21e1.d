@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_mbtree_vs_veridb-b1da04a07cec21e1.d: crates/bench/benches/fig11_mbtree_vs_veridb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_mbtree_vs_veridb-b1da04a07cec21e1.rmeta: crates/bench/benches/fig11_mbtree_vs_veridb.rs Cargo.toml
+
+crates/bench/benches/fig11_mbtree_vs_veridb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_mbtree_vs_veridb-b505083c92abe05f.d: crates/bench/benches/fig11_mbtree_vs_veridb.rs
+
+/root/repo/target/debug/deps/libfig11_mbtree_vs_veridb-b505083c92abe05f.rmeta: crates/bench/benches/fig11_mbtree_vs_veridb.rs
+
+crates/bench/benches/fig11_mbtree_vs_veridb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_scaling-51329e3b83ce5a2d.d: crates/bench/benches/fig12_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_scaling-51329e3b83ce5a2d.rmeta: crates/bench/benches/fig12_scaling.rs Cargo.toml
+
+crates/bench/benches/fig12_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

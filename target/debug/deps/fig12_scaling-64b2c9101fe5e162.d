@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_scaling-64b2c9101fe5e162.d: crates/bench/benches/fig12_scaling.rs
+
+/root/repo/target/debug/deps/libfig12_scaling-64b2c9101fe5e162.rmeta: crates/bench/benches/fig12_scaling.rs
+
+crates/bench/benches/fig12_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_tpch-ae1825b9bbc4c398.d: crates/bench/benches/fig12_tpch.rs
+
+/root/repo/target/debug/deps/libfig12_tpch-ae1825b9bbc4c398.rmeta: crates/bench/benches/fig12_tpch.rs
+
+crates/bench/benches/fig12_tpch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_tpch-f0e904304c20825b.d: crates/bench/benches/fig12_tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_tpch-f0e904304c20825b.rmeta: crates/bench/benches/fig12_tpch.rs Cargo.toml
+
+crates/bench/benches/fig12_tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

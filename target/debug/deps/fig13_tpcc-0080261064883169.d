@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_tpcc-0080261064883169.d: crates/bench/benches/fig13_tpcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_tpcc-0080261064883169.rmeta: crates/bench/benches/fig13_tpcc.rs Cargo.toml
+
+crates/bench/benches/fig13_tpcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_tpcc-b046f741378567a1.d: crates/bench/benches/fig13_tpcc.rs
+
+/root/repo/target/debug/deps/libfig13_tpcc-b046f741378567a1.rmeta: crates/bench/benches/fig13_tpcc.rs
+
+crates/bench/benches/fig13_tpcc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_net-bdf647a7a69ffb00.d: crates/bench/benches/fig_net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_net-bdf647a7a69ffb00.rmeta: crates/bench/benches/fig_net.rs Cargo.toml
+
+crates/bench/benches/fig_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_net-e5a534958681a19c.d: crates/bench/benches/fig_net.rs
+
+/root/repo/target/debug/deps/libfig_net-e5a534958681a19c.rmeta: crates/bench/benches/fig_net.rs
+
+crates/bench/benches/fig_net.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmac-01b082e43cb01c07.d: .stubs/hmac/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmac-01b082e43cb01c07.rmeta: .stubs/hmac/src/lib.rs Cargo.toml
+
+.stubs/hmac/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

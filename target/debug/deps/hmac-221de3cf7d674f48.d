@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmac-221de3cf7d674f48.d: .stubs/hmac/src/lib.rs
+
+/root/repo/target/debug/deps/libhmac-221de3cf7d674f48.rmeta: .stubs/hmac/src/lib.rs
+
+.stubs/hmac/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmac-6a3c8a3aabb747a8.d: .stubs/hmac/src/lib.rs
+
+/root/repo/target/debug/deps/libhmac-6a3c8a3aabb747a8.rmeta: .stubs/hmac/src/lib.rs
+
+.stubs/hmac/src/lib.rs:

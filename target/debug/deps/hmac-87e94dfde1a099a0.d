@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmac-87e94dfde1a099a0.d: .stubs/hmac/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmac-87e94dfde1a099a0.rmeta: .stubs/hmac/src/lib.rs Cargo.toml
+
+.stubs/hmac/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmac-9692b2af79096dd4.d: .stubs/hmac/src/lib.rs
+
+/root/repo/target/debug/deps/hmac-9692b2af79096dd4: .stubs/hmac/src/lib.rs
+
+.stubs/hmac/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hmac-cb7b1564a7e5e486.d: .stubs/hmac/src/lib.rs
+
+/root/repo/target/debug/deps/libhmac-cb7b1564a7e5e486.rlib: .stubs/hmac/src/lib.rs
+
+/root/repo/target/debug/deps/libhmac-cb7b1564a7e5e486.rmeta: .stubs/hmac/src/lib.rs
+
+.stubs/hmac/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbtree_proptests-421a1dab452bc0ab.d: crates/mbtree/tests/mbtree_proptests.rs
+
+/root/repo/target/debug/deps/libmbtree_proptests-421a1dab452bc0ab.rmeta: crates/mbtree/tests/mbtree_proptests.rs
+
+crates/mbtree/tests/mbtree_proptests.rs:

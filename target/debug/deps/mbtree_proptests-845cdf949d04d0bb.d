@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbtree_proptests-845cdf949d04d0bb.d: crates/mbtree/tests/mbtree_proptests.rs
+
+/root/repo/target/debug/deps/mbtree_proptests-845cdf949d04d0bb: crates/mbtree/tests/mbtree_proptests.rs
+
+crates/mbtree/tests/mbtree_proptests.rs:

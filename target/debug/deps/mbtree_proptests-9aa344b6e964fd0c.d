@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbtree_proptests-9aa344b6e964fd0c.d: crates/mbtree/tests/mbtree_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbtree_proptests-9aa344b6e964fd0c.rmeta: crates/mbtree/tests/mbtree_proptests.rs Cargo.toml
+
+crates/mbtree/tests/mbtree_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

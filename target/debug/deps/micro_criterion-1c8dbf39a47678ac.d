@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_criterion-1c8dbf39a47678ac.d: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_criterion-1c8dbf39a47678ac.rmeta: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+crates/bench/benches/micro_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_criterion-6ea1750f73e12e24.d: crates/bench/benches/micro_criterion.rs
+
+/root/repo/target/debug/deps/libmicro_criterion-6ea1750f73e12e24.rmeta: crates/bench/benches/micro_criterion.rs
+
+crates/bench/benches/micro_criterion.rs:

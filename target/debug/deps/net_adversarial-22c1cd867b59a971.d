@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_adversarial-22c1cd867b59a971.d: tests/tests/net_adversarial.rs
+
+/root/repo/target/debug/deps/libnet_adversarial-22c1cd867b59a971.rmeta: tests/tests/net_adversarial.rs
+
+tests/tests/net_adversarial.rs:

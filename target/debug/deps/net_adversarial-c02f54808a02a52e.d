@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_adversarial-c02f54808a02a52e.d: tests/tests/net_adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_adversarial-c02f54808a02a52e.rmeta: tests/tests/net_adversarial.rs Cargo.toml
+
+tests/tests/net_adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

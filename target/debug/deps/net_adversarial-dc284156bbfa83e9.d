@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_adversarial-dc284156bbfa83e9.d: tests/tests/net_adversarial.rs
+
+/root/repo/target/debug/deps/net_adversarial-dc284156bbfa83e9: tests/tests/net_adversarial.rs
+
+tests/tests/net_adversarial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_idle-6691f97e332d1530.d: tests/tests/net_idle.rs
+
+/root/repo/target/debug/deps/net_idle-6691f97e332d1530: tests/tests/net_idle.rs
+
+tests/tests/net_idle.rs:

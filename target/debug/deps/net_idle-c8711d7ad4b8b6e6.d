@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_idle-c8711d7ad4b8b6e6.d: tests/tests/net_idle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_idle-c8711d7ad4b8b6e6.rmeta: tests/tests/net_idle.rs Cargo.toml
+
+tests/tests/net_idle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_reactor-20e70fd23c1ee241.d: tests/tests/net_reactor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_reactor-20e70fd23c1ee241.rmeta: tests/tests/net_reactor.rs Cargo.toml
+
+tests/tests/net_reactor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

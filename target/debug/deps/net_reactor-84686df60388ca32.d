@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_reactor-84686df60388ca32.d: tests/tests/net_reactor.rs
+
+/root/repo/target/debug/deps/net_reactor-84686df60388ca32: tests/tests/net_reactor.rs
+
+tests/tests/net_reactor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_remote-579af47bed7eb388.d: tests/tests/net_remote.rs
+
+/root/repo/target/debug/deps/libnet_remote-579af47bed7eb388.rmeta: tests/tests/net_remote.rs
+
+tests/tests/net_remote.rs:

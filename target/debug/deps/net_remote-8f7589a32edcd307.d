@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_remote-8f7589a32edcd307.d: tests/tests/net_remote.rs
+
+/root/repo/target/debug/deps/net_remote-8f7589a32edcd307: tests/tests/net_remote.rs
+
+tests/tests/net_remote.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_remote-a7590a190fece072.d: tests/tests/net_remote.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_remote-a7590a190fece072.rmeta: tests/tests/net_remote.rs Cargo.toml
+
+tests/tests/net_remote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-1c697c1adc5a4a74.d: tests/tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-1c697c1adc5a4a74.rmeta: tests/tests/paper_examples.rs Cargo.toml
+
+tests/tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

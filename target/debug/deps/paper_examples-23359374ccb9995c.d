@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-23359374ccb9995c.d: tests/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-23359374ccb9995c.rmeta: tests/tests/paper_examples.rs
+
+tests/tests/paper_examples.rs:

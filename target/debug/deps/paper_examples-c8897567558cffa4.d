@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-c8897567558cffa4.d: tests/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-c8897567558cffa4: tests/tests/paper_examples.rs
+
+tests/tests/paper_examples.rs:

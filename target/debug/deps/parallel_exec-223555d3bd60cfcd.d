@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_exec-223555d3bd60cfcd.d: tests/tests/parallel_exec.rs
+
+/root/repo/target/debug/deps/libparallel_exec-223555d3bd60cfcd.rmeta: tests/tests/parallel_exec.rs
+
+tests/tests/parallel_exec.rs:

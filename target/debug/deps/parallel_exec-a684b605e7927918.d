@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_exec-a684b605e7927918.d: tests/tests/parallel_exec.rs
+
+/root/repo/target/debug/deps/parallel_exec-a684b605e7927918: tests/tests/parallel_exec.rs
+
+tests/tests/parallel_exec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_exec-b94bd2b22dd67f0e.d: tests/tests/parallel_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_exec-b94bd2b22dd67f0e.rmeta: tests/tests/parallel_exec.rs Cargo.toml
+
+tests/tests/parallel_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

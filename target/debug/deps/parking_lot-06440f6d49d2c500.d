@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-06440f6d49d2c500.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-06440f6d49d2c500: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-07b3144cc6c7911d.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-07b3144cc6c7911d.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

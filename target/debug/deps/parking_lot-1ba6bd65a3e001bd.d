@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-1ba6bd65a3e001bd.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1ba6bd65a3e001bd.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-5dd0fb6f053e5f26.d: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-5dd0fb6f053e5f26.rmeta: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+.stubs/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-dd259a4e4ae0ce0d.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dd259a4e4ae0ce0d.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dd259a4e4ae0ce0d.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-e9fc4d4574368103.d: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-e9fc4d4574368103.rmeta: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+.stubs/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz-34536d1ee0b7ce98.d: crates/query/tests/parser_fuzz.rs
+
+/root/repo/target/debug/deps/parser_fuzz-34536d1ee0b7ce98: crates/query/tests/parser_fuzz.rs
+
+crates/query/tests/parser_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_fuzz-96d8c0b5cf633bcb.d: crates/query/tests/parser_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_fuzz-96d8c0b5cf633bcb.rmeta: crates/query/tests/parser_fuzz.rs Cargo.toml
+
+crates/query/tests/parser_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz-f27ec7cc41416cf8.d: crates/query/tests/parser_fuzz.rs
+
+/root/repo/target/debug/deps/libparser_fuzz-f27ec7cc41416cf8.rmeta: crates/query/tests/parser_fuzz.rs
+
+crates/query/tests/parser_fuzz.rs:

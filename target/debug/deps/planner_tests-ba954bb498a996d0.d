@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_tests-ba954bb498a996d0.d: crates/query/tests/planner_tests.rs
+
+/root/repo/target/debug/deps/planner_tests-ba954bb498a996d0: crates/query/tests/planner_tests.rs
+
+crates/query/tests/planner_tests.rs:

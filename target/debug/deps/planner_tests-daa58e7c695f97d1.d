@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_tests-daa58e7c695f97d1.d: crates/query/tests/planner_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_tests-daa58e7c695f97d1.rmeta: crates/query/tests/planner_tests.rs Cargo.toml
+
+crates/query/tests/planner_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_tests-f8a212bad486fdeb.d: crates/query/tests/planner_tests.rs
+
+/root/repo/target/debug/deps/libplanner_tests-f8a212bad486fdeb.rmeta: crates/query/tests/planner_tests.rs
+
+crates/query/tests/planner_tests.rs:

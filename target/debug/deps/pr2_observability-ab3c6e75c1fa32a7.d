@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pr2_observability-ab3c6e75c1fa32a7.d: tests/tests/pr2_observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpr2_observability-ab3c6e75c1fa32a7.rmeta: tests/tests/pr2_observability.rs Cargo.toml
+
+tests/tests/pr2_observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

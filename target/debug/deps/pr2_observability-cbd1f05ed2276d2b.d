@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pr2_observability-cbd1f05ed2276d2b.d: tests/tests/pr2_observability.rs
+
+/root/repo/target/debug/deps/pr2_observability-cbd1f05ed2276d2b: tests/tests/pr2_observability.rs
+
+tests/tests/pr2_observability.rs:

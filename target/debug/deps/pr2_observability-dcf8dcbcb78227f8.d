@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pr2_observability-dcf8dcbcb78227f8.d: tests/tests/pr2_observability.rs
+
+/root/repo/target/debug/deps/libpr2_observability-dcf8dcbcb78227f8.rmeta: tests/tests/pr2_observability.rs
+
+tests/tests/pr2_observability.rs:

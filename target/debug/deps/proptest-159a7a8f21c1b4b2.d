@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-159a7a8f21c1b4b2.d: .stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-159a7a8f21c1b4b2.rmeta: .stubs/proptest/src/lib.rs Cargo.toml
+
+.stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

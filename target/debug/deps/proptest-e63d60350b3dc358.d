@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e63d60350b3dc358.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e63d60350b3dc358.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-34b8cd800d509d9c.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-34b8cd800d509d9c.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-24154ef75caffb20.d: tests/tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-24154ef75caffb20.rmeta: tests/tests/security.rs Cargo.toml
+
+tests/tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-779d54eeee79d0dd.d: tests/tests/security.rs
+
+/root/repo/target/debug/deps/security-779d54eeee79d0dd: tests/tests/security.rs
+
+tests/tests/security.rs:

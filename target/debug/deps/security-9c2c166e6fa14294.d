@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-9c2c166e6fa14294.d: tests/tests/security.rs
+
+/root/repo/target/debug/deps/libsecurity-9c2c166e6fa14294.rmeta: tests/tests/security.rs
+
+tests/tests/security.rs:

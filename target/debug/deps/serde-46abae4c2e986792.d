@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-46abae4c2e986792.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-46abae4c2e986792.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-65fdcc2c388a275a.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-65fdcc2c388a275a.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-65fdcc2c388a275a.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

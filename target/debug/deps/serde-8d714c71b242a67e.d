@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-8d714c71b242a67e.d: .stubs/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-8d714c71b242a67e.rmeta: .stubs/serde/src/lib.rs Cargo.toml
+
+.stubs/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

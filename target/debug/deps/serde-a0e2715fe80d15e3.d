@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a0e2715fe80d15e3.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a0e2715fe80d15e3.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-ae696871194c3310.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-ae696871194c3310: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

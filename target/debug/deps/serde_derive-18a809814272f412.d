@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-18a809814272f412.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-18a809814272f412.rmeta: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

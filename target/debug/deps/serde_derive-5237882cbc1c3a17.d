@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-5237882cbc1c3a17.d: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-5237882cbc1c3a17.so: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+.stubs/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6eeeb54f76f5384d.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-6eeeb54f76f5384d: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ebe4dadc91d9ca92.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ebe4dadc91d9ca92.rmeta: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

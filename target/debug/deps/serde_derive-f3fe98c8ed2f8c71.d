@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-f3fe98c8ed2f8c71.d: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-f3fe98c8ed2f8c71.rmeta: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+.stubs/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

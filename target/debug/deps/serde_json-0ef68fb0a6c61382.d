@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0ef68fb0a6c61382.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0ef68fb0a6c61382.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0ef68fb0a6c61382.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

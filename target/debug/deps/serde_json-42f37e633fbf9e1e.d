@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-42f37e633fbf9e1e.d: .stubs/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-42f37e633fbf9e1e.rmeta: .stubs/serde_json/src/lib.rs Cargo.toml
+
+.stubs/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ac9987818187d998.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-ac9987818187d998: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-bebbc5adc6f29dd2.d: .stubs/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-bebbc5adc6f29dd2.rmeta: .stubs/serde_json/src/lib.rs Cargo.toml
+
+.stubs/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c0ffb42b04cd3c4f.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c0ffb42b04cd3c4f.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ce7c86fbbbc3a21d.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ce7c86fbbbc3a21d.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sha2-3a4669a3d0cebf7b.d: .stubs/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/sha2-3a4669a3d0cebf7b: .stubs/sha2/src/lib.rs
+
+.stubs/sha2/src/lib.rs:

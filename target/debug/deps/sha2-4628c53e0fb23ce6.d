@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sha2-4628c53e0fb23ce6.d: .stubs/sha2/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsha2-4628c53e0fb23ce6.rmeta: .stubs/sha2/src/lib.rs Cargo.toml
+
+.stubs/sha2/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sha2-5f15c641c5a04e70.d: .stubs/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/libsha2-5f15c641c5a04e70.rmeta: .stubs/sha2/src/lib.rs
+
+.stubs/sha2/src/lib.rs:

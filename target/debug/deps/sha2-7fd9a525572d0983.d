@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sha2-7fd9a525572d0983.d: .stubs/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/libsha2-7fd9a525572d0983.rmeta: .stubs/sha2/src/lib.rs
+
+.stubs/sha2/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sha2-9feb2275de843aab.d: .stubs/sha2/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsha2-9feb2275de843aab.rmeta: .stubs/sha2/src/lib.rs Cargo.toml
+
+.stubs/sha2/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

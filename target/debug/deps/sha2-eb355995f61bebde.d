@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sha2-eb355995f61bebde.d: .stubs/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/libsha2-eb355995f61bebde.rlib: .stubs/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/libsha2-eb355995f61bebde.rmeta: .stubs/sha2/src/lib.rs
+
+.stubs/sha2/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_tests-0999374e7f098598.d: crates/query/tests/sql_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_tests-0999374e7f098598.rmeta: crates/query/tests/sql_tests.rs Cargo.toml
+
+crates/query/tests/sql_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

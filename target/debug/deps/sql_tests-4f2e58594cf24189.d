@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_tests-4f2e58594cf24189.d: crates/query/tests/sql_tests.rs
+
+/root/repo/target/debug/deps/libsql_tests-4f2e58594cf24189.rmeta: crates/query/tests/sql_tests.rs
+
+crates/query/tests/sql_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_tests-f816bb58bbf42563.d: crates/query/tests/sql_tests.rs
+
+/root/repo/target/debug/deps/sql_tests-f816bb58bbf42563: crates/query/tests/sql_tests.rs
+
+crates/query/tests/sql_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_proptests-0da66fcdf0f9a31d.d: crates/storage/tests/table_proptests.rs
+
+/root/repo/target/debug/deps/libtable_proptests-0da66fcdf0f9a31d.rmeta: crates/storage/tests/table_proptests.rs
+
+crates/storage/tests/table_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_proptests-c00fa61b9bb75e8c.d: crates/storage/tests/table_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_proptests-c00fa61b9bb75e8c.rmeta: crates/storage/tests/table_proptests.rs Cargo.toml
+
+crates/storage/tests/table_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

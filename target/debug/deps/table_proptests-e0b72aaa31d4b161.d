@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_proptests-e0b72aaa31d4b161.d: crates/storage/tests/table_proptests.rs
+
+/root/repo/target/debug/deps/table_proptests-e0b72aaa31d4b161: crates/storage/tests/table_proptests.rs
+
+crates/storage/tests/table_proptests.rs:

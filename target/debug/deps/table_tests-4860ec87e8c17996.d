@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_tests-4860ec87e8c17996.d: crates/storage/tests/table_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_tests-4860ec87e8c17996.rmeta: crates/storage/tests/table_tests.rs Cargo.toml
+
+crates/storage/tests/table_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

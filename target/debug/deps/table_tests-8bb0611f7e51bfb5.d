@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_tests-8bb0611f7e51bfb5.d: crates/storage/tests/table_tests.rs
+
+/root/repo/target/debug/deps/libtable_tests-8bb0611f7e51bfb5.rmeta: crates/storage/tests/table_tests.rs
+
+crates/storage/tests/table_tests.rs:

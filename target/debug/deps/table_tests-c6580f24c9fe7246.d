@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_tests-c6580f24c9fe7246.d: crates/storage/tests/table_tests.rs
+
+/root/repo/target/debug/deps/table_tests-c6580f24c9fe7246: crates/storage/tests/table_tests.rs
+
+crates/storage/tests/table_tests.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/veridb-312809bcc6ce7465.d: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libveridb-312809bcc6ce7465.rmeta: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:

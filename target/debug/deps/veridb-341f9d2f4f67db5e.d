@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veridb-341f9d2f4f67db5e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libveridb-341f9d2f4f67db5e.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veridb-3e88327ae83cdd26.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libveridb-3e88327ae83cdd26.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

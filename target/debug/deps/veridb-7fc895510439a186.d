@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/veridb-7fc895510439a186.d: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libveridb-7fc895510439a186.rmeta: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veridb-81551f4128475d3a.d: crates/core/src/lib.rs crates/core/src/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb-81551f4128475d3a.rmeta: crates/core/src/lib.rs crates/core/src/recovery.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veridb-87c4b892ee5b5039.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb-87c4b892ee5b5039.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veridb-88e450789c3e0bcc.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/veridb-88e450789c3e0bcc: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/veridb-9f139222f9fce81a.d: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/veridb-9f139222f9fce81a: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:

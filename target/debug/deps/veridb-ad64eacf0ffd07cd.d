@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veridb-ad64eacf0ffd07cd.d: crates/core/src/lib.rs crates/core/src/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb-ad64eacf0ffd07cd.rmeta: crates/core/src/lib.rs crates/core/src/recovery.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/veridb-cc4b653b40367d26.d: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libveridb-cc4b653b40367d26.rlib: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libveridb-cc4b653b40367d26.rmeta: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:

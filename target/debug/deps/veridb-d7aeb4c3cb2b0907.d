@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veridb-d7aeb4c3cb2b0907.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb-d7aeb4c3cb2b0907.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

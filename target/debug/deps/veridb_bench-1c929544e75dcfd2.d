@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veridb_bench-1c929544e75dcfd2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_bench-1c929544e75dcfd2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_bench-1c929544e75dcfd2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veridb_bench-46c1be81fd4e1270.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_bench-46c1be81fd4e1270.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veridb_bench-846b1bcd275597e5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_bench-846b1bcd275597e5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veridb_bench-a2ead151f50998ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_bench-a2ead151f50998ef.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

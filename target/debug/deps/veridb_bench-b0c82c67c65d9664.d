@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veridb_bench-b0c82c67c65d9664.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_bench-b0c82c67c65d9664.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veridb_bench-d09a235e5268e42f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/veridb_bench-d09a235e5268e42f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

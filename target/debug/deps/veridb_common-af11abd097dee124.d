@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/veridb_common-af11abd097dee124.d: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libveridb_common-af11abd097dee124.rlib: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libveridb_common-af11abd097dee124.rmeta: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/backoff.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/obs.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

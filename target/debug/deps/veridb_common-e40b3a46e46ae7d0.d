@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/veridb_common-e40b3a46e46ae7d0.d: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/veridb_common-e40b3a46e46ae7d0: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/backoff.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/obs.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veridb_enclave-759bf179264027fc.d: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs
+
+/root/repo/target/debug/deps/libveridb_enclave-759bf179264027fc.rmeta: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs
+
+crates/enclave/src/lib.rs:
+crates/enclave/src/attestation.rs:
+crates/enclave/src/calls.rs:
+crates/enclave/src/cost.rs:
+crates/enclave/src/counter.rs:
+crates/enclave/src/epc.rs:
+crates/enclave/src/mac.rs:
+crates/enclave/src/sealing.rs:

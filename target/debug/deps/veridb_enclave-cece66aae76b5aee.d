@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/veridb_enclave-cece66aae76b5aee.d: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_enclave-cece66aae76b5aee.rmeta: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs Cargo.toml
+
+crates/enclave/src/lib.rs:
+crates/enclave/src/attestation.rs:
+crates/enclave/src/calls.rs:
+crates/enclave/src/cost.rs:
+crates/enclave/src/counter.rs:
+crates/enclave/src/epc.rs:
+crates/enclave/src/mac.rs:
+crates/enclave/src/sealing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veridb_integration_tests-5635c9e41ed45b9a.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/veridb_integration_tests-5635c9e41ed45b9a: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veridb_integration_tests-8620d6ade4115179.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_integration_tests-8620d6ade4115179.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

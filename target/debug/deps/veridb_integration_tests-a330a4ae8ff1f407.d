@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/veridb_integration_tests-a330a4ae8ff1f407.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_integration_tests-a330a4ae8ff1f407.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_integration_tests-a330a4ae8ff1f407.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

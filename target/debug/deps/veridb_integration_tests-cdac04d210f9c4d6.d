@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/veridb_integration_tests-cdac04d210f9c4d6.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_integration_tests-cdac04d210f9c4d6.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

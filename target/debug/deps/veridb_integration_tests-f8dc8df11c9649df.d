@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/veridb_integration_tests-f8dc8df11c9649df.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libveridb_integration_tests-f8dc8df11c9649df.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veridb_mbtree-08c6b477f82ccf7c.d: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_mbtree-08c6b477f82ccf7c.rmeta: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs Cargo.toml
+
+crates/mbtree/src/lib.rs:
+crates/mbtree/src/hash.rs:
+crates/mbtree/src/tree.rs:
+crates/mbtree/src/vo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

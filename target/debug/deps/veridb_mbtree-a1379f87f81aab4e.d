@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/veridb_mbtree-a1379f87f81aab4e.d: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+/root/repo/target/debug/deps/libveridb_mbtree-a1379f87f81aab4e.rmeta: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+crates/mbtree/src/lib.rs:
+crates/mbtree/src/hash.rs:
+crates/mbtree/src/tree.rs:
+crates/mbtree/src/vo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/veridb_mbtree-efa09211d614fdab.d: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_mbtree-efa09211d614fdab.rmeta: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs Cargo.toml
+
+crates/mbtree/src/lib.rs:
+crates/mbtree/src/hash.rs:
+crates/mbtree/src/tree.rs:
+crates/mbtree/src/vo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

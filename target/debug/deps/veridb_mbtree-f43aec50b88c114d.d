@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veridb_mbtree-f43aec50b88c114d.d: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+/root/repo/target/debug/deps/libveridb_mbtree-f43aec50b88c114d.rlib: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+/root/repo/target/debug/deps/libveridb_mbtree-f43aec50b88c114d.rmeta: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+crates/mbtree/src/lib.rs:
+crates/mbtree/src/hash.rs:
+crates/mbtree/src/tree.rs:
+crates/mbtree/src/vo.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/veridb_net-06438c1448e92b5b.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_net-06438c1448e92b5b.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/poll.rs:
+crates/net/src/proto.rs:
+crates/net/src/proxy.rs:
+crates/net/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/veridb_net-2c12720e11c357fe.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libveridb_net-2c12720e11c357fe.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/poll.rs:
+crates/net/src/proto.rs:
+crates/net/src/proxy.rs:
+crates/net/src/server.rs:

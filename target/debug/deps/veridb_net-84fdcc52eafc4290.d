@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/veridb_net-84fdcc52eafc4290.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libveridb_net-84fdcc52eafc4290.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libveridb_net-84fdcc52eafc4290.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/poll.rs:
+crates/net/src/proto.rs:
+crates/net/src/proxy.rs:
+crates/net/src/server.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/veridb_query-5ad8275ee74a9d2a.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_query-5ad8275ee74a9d2a.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/client.rs:
+crates/query/src/engine.rs:
+crates/query/src/exec.rs:
+crates/query/src/expr.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parallel.rs:
+crates/query/src/parser.rs:
+crates/query/src/planner.rs:
+crates/query/src/portal.rs:
+crates/query/src/replay.rs:
+crates/query/src/spill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/veridb_query-a32e3af6ee8aa169.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs
+
+/root/repo/target/debug/deps/libveridb_query-a32e3af6ee8aa169.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/client.rs:
+crates/query/src/engine.rs:
+crates/query/src/exec.rs:
+crates/query/src/expr.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parallel.rs:
+crates/query/src/parser.rs:
+crates/query/src/planner.rs:
+crates/query/src/portal.rs:
+crates/query/src/replay.rs:
+crates/query/src/spill.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/veridb_storage-95a3fd2af11b671f.d: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_storage-95a3fd2af11b671f.rmeta: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/backoff.rs:
+crates/storage/src/bpindex.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/cursor.rs:
+crates/storage/src/evidence.rs:
+crates/storage/src/index.rs:
+crates/storage/src/record.rs:
+crates/storage/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/veridb_storage-cc85196221d9dfe6.d: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs
+
+/root/repo/target/debug/deps/libveridb_storage-cc85196221d9dfe6.rmeta: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backoff.rs:
+crates/storage/src/bpindex.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/cursor.rs:
+crates/storage/src/evidence.rs:
+crates/storage/src/index.rs:
+crates/storage/src/record.rs:
+crates/storage/src/table.rs:

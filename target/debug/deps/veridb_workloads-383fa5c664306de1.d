@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/veridb_workloads-383fa5c664306de1.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/veridb_workloads-383fa5c664306de1: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/veridb_workloads-5d0d8ea023034e91.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libveridb_workloads-5d0d8ea023034e91.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpch.rs:

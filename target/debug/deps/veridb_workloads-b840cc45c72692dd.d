@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/veridb_workloads-b840cc45c72692dd.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libveridb_workloads-b840cc45c72692dd.rlib: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libveridb_workloads-b840cc45c72692dd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/veridb_workloads-f365b0ee04eb9f67.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libveridb_workloads-f365b0ee04eb9f67.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpch.rs:

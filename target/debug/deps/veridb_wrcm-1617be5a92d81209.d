@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/veridb_wrcm-1617be5a92d81209.d: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+/root/repo/target/debug/deps/libveridb_wrcm-1617be5a92d81209.rmeta: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+crates/wrcm/src/lib.rs:
+crates/wrcm/src/cache.rs:
+crates/wrcm/src/delta.rs:
+crates/wrcm/src/digest.rs:
+crates/wrcm/src/memory.rs:
+crates/wrcm/src/page.rs:
+crates/wrcm/src/prf.rs:
+crates/wrcm/src/rsws.rs:
+crates/wrcm/src/tamper.rs:
+crates/wrcm/src/verifier.rs:

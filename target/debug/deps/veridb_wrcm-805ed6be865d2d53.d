@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/veridb_wrcm-805ed6be865d2d53.d: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+/root/repo/target/debug/deps/veridb_wrcm-805ed6be865d2d53: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+crates/wrcm/src/lib.rs:
+crates/wrcm/src/cache.rs:
+crates/wrcm/src/delta.rs:
+crates/wrcm/src/digest.rs:
+crates/wrcm/src/memory.rs:
+crates/wrcm/src/page.rs:
+crates/wrcm/src/prf.rs:
+crates/wrcm/src/rsws.rs:
+crates/wrcm/src/tamper.rs:
+crates/wrcm/src/verifier.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/veridb_wrcm-8f0b4320d2e7b791.d: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libveridb_wrcm-8f0b4320d2e7b791.rmeta: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs Cargo.toml
+
+crates/wrcm/src/lib.rs:
+crates/wrcm/src/cache.rs:
+crates/wrcm/src/delta.rs:
+crates/wrcm/src/digest.rs:
+crates/wrcm/src/memory.rs:
+crates/wrcm/src/page.rs:
+crates/wrcm/src/prf.rs:
+crates/wrcm/src/rsws.rs:
+crates/wrcm/src/tamper.rs:
+crates/wrcm/src/verifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics_tpch-af37159eef297e8c.d: crates/workloads/../../examples/analytics_tpch.rs
+
+/root/repo/target/debug/examples/analytics_tpch-af37159eef297e8c: crates/workloads/../../examples/analytics_tpch.rs
+
+crates/workloads/../../examples/analytics_tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics_tpch-d40b6d5edf579191.d: crates/workloads/../../examples/analytics_tpch.rs
+
+/root/repo/target/debug/examples/libanalytics_tpch-d40b6d5edf579191.rmeta: crates/workloads/../../examples/analytics_tpch.rs
+
+crates/workloads/../../examples/analytics_tpch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analytics_tpch-d91ad69d4c32a5f4.d: crates/workloads/../../examples/analytics_tpch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalytics_tpch-d91ad69d4c32a5f4.rmeta: crates/workloads/../../examples/analytics_tpch.rs Cargo.toml
+
+crates/workloads/../../examples/analytics_tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_detection-68dd91b7ed811418.d: crates/core/../../examples/attack_detection.rs
+
+/root/repo/target/debug/examples/attack_detection-68dd91b7ed811418: crates/core/../../examples/attack_detection.rs
+
+crates/core/../../examples/attack_detection.rs:

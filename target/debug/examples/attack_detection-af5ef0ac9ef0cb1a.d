@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_detection-af5ef0ac9ef0cb1a.d: crates/core/../../examples/attack_detection.rs
+
+/root/repo/target/debug/examples/libattack_detection-af5ef0ac9ef0cb1a.rmeta: crates/core/../../examples/attack_detection.rs
+
+crates/core/../../examples/attack_detection.rs:

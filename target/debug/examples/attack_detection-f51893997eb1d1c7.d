@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_detection-f51893997eb1d1c7.d: crates/core/../../examples/attack_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_detection-f51893997eb1d1c7.rmeta: crates/core/../../examples/attack_detection.rs Cargo.toml
+
+crates/core/../../examples/attack_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

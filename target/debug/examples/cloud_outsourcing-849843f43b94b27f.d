@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cloud_outsourcing-849843f43b94b27f.d: crates/core/../../examples/cloud_outsourcing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcloud_outsourcing-849843f43b94b27f.rmeta: crates/core/../../examples/cloud_outsourcing.rs Cargo.toml
+
+crates/core/../../examples/cloud_outsourcing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

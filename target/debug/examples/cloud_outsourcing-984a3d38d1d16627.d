@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_outsourcing-984a3d38d1d16627.d: crates/core/../../examples/cloud_outsourcing.rs
+
+/root/repo/target/debug/examples/cloud_outsourcing-984a3d38d1d16627: crates/core/../../examples/cloud_outsourcing.rs
+
+crates/core/../../examples/cloud_outsourcing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_outsourcing-ed8d5e02d8cda30a.d: crates/core/../../examples/cloud_outsourcing.rs
+
+/root/repo/target/debug/examples/libcloud_outsourcing-ed8d5e02d8cda30a.rmeta: crates/core/../../examples/cloud_outsourcing.rs
+
+crates/core/../../examples/cloud_outsourcing.rs:

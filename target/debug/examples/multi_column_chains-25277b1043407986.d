@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_column_chains-25277b1043407986.d: crates/core/../../examples/multi_column_chains.rs
+
+/root/repo/target/debug/examples/libmulti_column_chains-25277b1043407986.rmeta: crates/core/../../examples/multi_column_chains.rs
+
+crates/core/../../examples/multi_column_chains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_column_chains-c9db5a031da60cf1.d: crates/core/../../examples/multi_column_chains.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_column_chains-c9db5a031da60cf1.rmeta: crates/core/../../examples/multi_column_chains.rs Cargo.toml
+
+crates/core/../../examples/multi_column_chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

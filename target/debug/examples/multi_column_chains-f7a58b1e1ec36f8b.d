@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_column_chains-f7a58b1e1ec36f8b.d: crates/core/../../examples/multi_column_chains.rs
+
+/root/repo/target/debug/examples/multi_column_chains-f7a58b1e1ec36f8b: crates/core/../../examples/multi_column_chains.rs
+
+crates/core/../../examples/multi_column_chains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0e688db8c14d2310.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-0e688db8c14d2310.rmeta: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ec7346de67a9e8f2.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ec7346de67a9e8f2: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

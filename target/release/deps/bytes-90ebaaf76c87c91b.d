@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-90ebaaf76c87c91b.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-90ebaaf76c87c91b.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-90ebaaf76c87c91b.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

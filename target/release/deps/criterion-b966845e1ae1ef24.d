@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b966845e1ae1ef24.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b966845e1ae1ef24.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b966845e1ae1ef24.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f518fe9b8a74c1ca.d: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f518fe9b8a74c1ca.rlib: .stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f518fe9b8a74c1ca.rmeta: .stubs/crossbeam/src/lib.rs
+
+.stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_net-526c3f8a4ecfbf61.d: crates/bench/benches/fig_net.rs
+
+/root/repo/target/release/deps/fig_net-526c3f8a4ecfbf61: crates/bench/benches/fig_net.rs
+
+crates/bench/benches/fig_net.rs:

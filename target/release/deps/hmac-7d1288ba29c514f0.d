@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hmac-7d1288ba29c514f0.d: .stubs/hmac/src/lib.rs
+
+/root/repo/target/release/deps/libhmac-7d1288ba29c514f0.rlib: .stubs/hmac/src/lib.rs
+
+/root/repo/target/release/deps/libhmac-7d1288ba29c514f0.rmeta: .stubs/hmac/src/lib.rs
+
+.stubs/hmac/src/lib.rs:

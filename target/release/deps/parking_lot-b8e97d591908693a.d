@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-b8e97d591908693a.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b8e97d591908693a.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b8e97d591908693a.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1ba12e2b0bc29297.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1ba12e2b0bc29297.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1ba12e2b0bc29297.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6acf0ef41c4aac6b.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6acf0ef41c4aac6b.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6acf0ef41c4aac6b.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-808972c7003ada40.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-808972c7003ada40.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-808972c7003ada40.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-06b5104ce2e8d1c4.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-06b5104ce2e8d1c4.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

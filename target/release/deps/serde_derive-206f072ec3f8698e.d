@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-206f072ec3f8698e.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-206f072ec3f8698e.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

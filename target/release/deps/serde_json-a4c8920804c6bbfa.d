@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a4c8920804c6bbfa.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a4c8920804c6bbfa.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a4c8920804c6bbfa.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sha2-b7f973444f901eba.d: .stubs/sha2/src/lib.rs
+
+/root/repo/target/release/deps/libsha2-b7f973444f901eba.rlib: .stubs/sha2/src/lib.rs
+
+/root/repo/target/release/deps/libsha2-b7f973444f901eba.rmeta: .stubs/sha2/src/lib.rs
+
+.stubs/sha2/src/lib.rs:

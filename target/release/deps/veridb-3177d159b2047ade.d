@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/veridb-3177d159b2047ade.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/veridb-3177d159b2047ade: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/veridb-3a9b6ab5a799b42f.d: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/libveridb-3a9b6ab5a799b42f.rlib: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/libveridb-3a9b6ab5a799b42f.rmeta: crates/core/src/lib.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/veridb_bench-e3245640e7176ab8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libveridb_bench-e3245640e7176ab8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libveridb_bench-e3245640e7176ab8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

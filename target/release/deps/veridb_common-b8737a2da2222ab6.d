@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/veridb_common-b8737a2da2222ab6.d: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libveridb_common-b8737a2da2222ab6.rlib: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libveridb_common-b8737a2da2222ab6.rmeta: crates/common/src/lib.rs crates/common/src/backoff.rs crates/common/src/codec.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/obs.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/backoff.rs:
+crates/common/src/codec.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/obs.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/veridb_enclave-6b23e5477618b470.d: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs
+
+/root/repo/target/release/deps/libveridb_enclave-6b23e5477618b470.rlib: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs
+
+/root/repo/target/release/deps/libveridb_enclave-6b23e5477618b470.rmeta: crates/enclave/src/lib.rs crates/enclave/src/attestation.rs crates/enclave/src/calls.rs crates/enclave/src/cost.rs crates/enclave/src/counter.rs crates/enclave/src/epc.rs crates/enclave/src/mac.rs crates/enclave/src/sealing.rs
+
+crates/enclave/src/lib.rs:
+crates/enclave/src/attestation.rs:
+crates/enclave/src/calls.rs:
+crates/enclave/src/cost.rs:
+crates/enclave/src/counter.rs:
+crates/enclave/src/epc.rs:
+crates/enclave/src/mac.rs:
+crates/enclave/src/sealing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/veridb_integration_tests-887df66353123a0e.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libveridb_integration_tests-887df66353123a0e.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libveridb_integration_tests-887df66353123a0e.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

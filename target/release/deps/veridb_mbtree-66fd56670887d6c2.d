@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/veridb_mbtree-66fd56670887d6c2.d: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+/root/repo/target/release/deps/libveridb_mbtree-66fd56670887d6c2.rlib: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+/root/repo/target/release/deps/libveridb_mbtree-66fd56670887d6c2.rmeta: crates/mbtree/src/lib.rs crates/mbtree/src/hash.rs crates/mbtree/src/tree.rs crates/mbtree/src/vo.rs
+
+crates/mbtree/src/lib.rs:
+crates/mbtree/src/hash.rs:
+crates/mbtree/src/tree.rs:
+crates/mbtree/src/vo.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/veridb_net-f5f21442bda962e6.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libveridb_net-f5f21442bda962e6.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libveridb_net-f5f21442bda962e6.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/poll.rs crates/net/src/proto.rs crates/net/src/proxy.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/poll.rs:
+crates/net/src/proto.rs:
+crates/net/src/proxy.rs:
+crates/net/src/server.rs:

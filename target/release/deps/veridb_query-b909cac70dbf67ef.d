@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/veridb_query-b909cac70dbf67ef.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs
+
+/root/repo/target/release/deps/libveridb_query-b909cac70dbf67ef.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs
+
+/root/repo/target/release/deps/libveridb_query-b909cac70dbf67ef.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/client.rs crates/query/src/engine.rs crates/query/src/exec.rs crates/query/src/expr.rs crates/query/src/lexer.rs crates/query/src/parallel.rs crates/query/src/parser.rs crates/query/src/planner.rs crates/query/src/portal.rs crates/query/src/replay.rs crates/query/src/spill.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/client.rs:
+crates/query/src/engine.rs:
+crates/query/src/exec.rs:
+crates/query/src/expr.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parallel.rs:
+crates/query/src/parser.rs:
+crates/query/src/planner.rs:
+crates/query/src/portal.rs:
+crates/query/src/replay.rs:
+crates/query/src/spill.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/veridb_storage-69d2d008c91b9ae6.d: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libveridb_storage-69d2d008c91b9ae6.rlib: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libveridb_storage-69d2d008c91b9ae6.rmeta: crates/storage/src/lib.rs crates/storage/src/backoff.rs crates/storage/src/bpindex.rs crates/storage/src/catalog.rs crates/storage/src/chain.rs crates/storage/src/cursor.rs crates/storage/src/evidence.rs crates/storage/src/index.rs crates/storage/src/record.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backoff.rs:
+crates/storage/src/bpindex.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/cursor.rs:
+crates/storage/src/evidence.rs:
+crates/storage/src/index.rs:
+crates/storage/src/record.rs:
+crates/storage/src/table.rs:

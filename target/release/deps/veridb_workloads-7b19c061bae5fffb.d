@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/veridb_workloads-7b19c061bae5fffb.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libveridb_workloads-7b19c061bae5fffb.rlib: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libveridb_workloads-7b19c061bae5fffb.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/veridb_wrcm-7a0687fb4baa856a.d: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+/root/repo/target/release/deps/libveridb_wrcm-7a0687fb4baa856a.rlib: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+/root/repo/target/release/deps/libveridb_wrcm-7a0687fb4baa856a.rmeta: crates/wrcm/src/lib.rs crates/wrcm/src/cache.rs crates/wrcm/src/delta.rs crates/wrcm/src/digest.rs crates/wrcm/src/memory.rs crates/wrcm/src/page.rs crates/wrcm/src/prf.rs crates/wrcm/src/rsws.rs crates/wrcm/src/tamper.rs crates/wrcm/src/verifier.rs
+
+crates/wrcm/src/lib.rs:
+crates/wrcm/src/cache.rs:
+crates/wrcm/src/delta.rs:
+crates/wrcm/src/digest.rs:
+crates/wrcm/src/memory.rs:
+crates/wrcm/src/page.rs:
+crates/wrcm/src/prf.rs:
+crates/wrcm/src/rsws.rs:
+crates/wrcm/src/tamper.rs:
+crates/wrcm/src/verifier.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libbytes.rlib: /root/repo/.stubs/bytes/src/lib.rs

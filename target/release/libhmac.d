@@ -1,0 +1,1 @@
+/root/repo/target/release/libhmac.rlib: /root/repo/.stubs/hmac/src/lib.rs /root/repo/.stubs/sha2/src/lib.rs

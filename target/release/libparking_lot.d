@@ -1,0 +1,1 @@
+/root/repo/target/release/libparking_lot.rlib: /root/repo/.stubs/parking_lot/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/.stubs/serde/src/lib.rs /root/repo/.stubs/serde_derive/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsha2.rlib: /root/repo/.stubs/sha2/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libveridb_integration_tests.rlib: /root/repo/tests/src/lib.rs
