@@ -27,6 +27,10 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SAMPLES: usize = 3;
 /// Minimum Q1 speedup at 8 workers on a multi-core host (gate).
 const MIN_Q1_8W_SPEEDUP: f64 = 2.0;
+/// Minimum Q3 speedup at 8 workers on a multi-core host (gate): the
+/// work-stealing scheduler, partitioned join build, and parallel sort
+/// tail must keep the post-scan pipeline off the serial path.
+const MIN_Q3_8W_SPEEDUP: f64 = 2.5;
 
 fn config(scale: Scale) -> TpchConfig {
     match scale {
@@ -99,12 +103,13 @@ fn main() {
         "Figure 12 scaling: TPC-H under shared-nothing morsel-driven \
          parallel execution (time in s; speedup vs 1 worker)",
         &[
-            "query", "workers", "time", "speedup", "morsels", "merges", "ts_blks", "rows",
+            "query", "workers", "time", "speedup", "morsels", "steals", "merges", "ts_blks", "rows",
         ],
     );
     let mut json = serde_json::Map::new();
     let mut summaries = Vec::new();
     let mut q1_8w_speedup = None;
+    let mut q3_8w_speedup = None;
     for (name, sql, target) in cases {
         let mut serial: Option<(f64, Vec<veridb::Row>)> = None;
         for w in WORKER_COUNTS {
@@ -139,6 +144,9 @@ fn main() {
             if name == "Q1" && w == 8 {
                 q1_8w_speedup = Some(speedup);
             }
+            if name == "Q3" && w == 8 {
+                q3_8w_speedup = Some(speedup);
+            }
             let mut s = summarize(&format!("{name}/workers={w}"), &samples, wall, SAMPLES);
             s.speedup_vs_1w = Some(speedup);
             summaries.push(s);
@@ -148,22 +156,26 @@ fn main() {
                 f2(secs),
                 format!("{speedup:.2}x"),
                 delta.morsels_dispatched.to_string(),
+                delta.morsels_stolen.to_string(),
                 delta.delta_merges.to_string(),
                 delta.ts_blocks_allocated.to_string(),
                 r.rows.len().to_string(),
             ]);
             let worker_morsels: Vec<u64> = delta.worker_morsels.to_vec();
+            let worker_steals: Vec<u64> = delta.worker_steals.to_vec();
             json.insert(
                 format!("{name}/workers={w}"),
                 serde_json::json!({
                     "seconds": secs,
                     "speedup_vs_1w": speedup,
                     "morsels_dispatched": delta.morsels_dispatched,
+                    "morsels_stolen": delta.morsels_stolen,
                     "parallel_regions": delta.parallel_regions,
                     "delta_merges": delta.delta_merges,
                     "ts_blocks_allocated": delta.ts_blocks_allocated,
                     "part_lock_wait_ns": delta.part_lock_wait_ns,
                     "worker_morsels": worker_morsels,
+                    "worker_steals": worker_steals,
                     "rows": r.rows.len(),
                 }),
             );
@@ -188,22 +200,39 @@ fn main() {
     veridb_bench::write_json("fig12_scaling", &serde_json::Value::Object(json));
     veridb_bench::write_bench_summary("scaling", &summaries);
 
-    // Scaling gate (multi-core hosts only).
+    // Scaling gates (multi-core hosts only).
     let q1 = q1_8w_speedup.expect("Q1 swept to 8 workers");
+    let q3 = q3_8w_speedup.expect("Q3 swept to 8 workers");
     if cores >= 4 {
+        let mut failed = false;
         if q1 < MIN_Q1_8W_SPEEDUP {
             eprintln!(
                 "SCALING REGRESSION: Q1 at 8 workers reached only {q1:.2}x its \
                  1-worker throughput (gate: ≥ {MIN_Q1_8W_SPEEDUP:.1}x on a \
                  {cores}-core host). The verified read path has re-serialized."
             );
+            failed = true;
+        }
+        if q3 < MIN_Q3_8W_SPEEDUP {
+            eprintln!(
+                "SCALING REGRESSION: Q3 at 8 workers reached only {q3:.2}x its \
+                 1-worker throughput (gate: ≥ {MIN_Q3_8W_SPEEDUP:.1}x on a \
+                 {cores}-core host). The join build or sort tail has \
+                 re-serialized (Amdahl gap reopened)."
+            );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("  scaling gate passed: Q1@8w = {q1:.2}x (≥ {MIN_Q1_8W_SPEEDUP:.1}x)");
+        println!(
+            "  scaling gates passed: Q1@8w = {q1:.2}x (≥ {MIN_Q1_8W_SPEEDUP:.1}x), \
+             Q3@8w = {q3:.2}x (≥ {MIN_Q3_8W_SPEEDUP:.1}x)"
+        );
     } else {
         println!(
-            "  scaling gate skipped: host has {cores} core(s); equivalence \
-             checks still ran at every pool size (Q1@8w = {q1:.2}x)"
+            "  scaling gates skipped: host has {cores} core(s); equivalence \
+             checks still ran at every pool size (Q1@8w = {q1:.2}x, Q3@8w = {q3:.2}x)"
         );
     }
 }

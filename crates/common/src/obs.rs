@@ -256,10 +256,12 @@ pub enum OperatorKind {
     Distinct,
     /// Gather: morsel-order merge of a parallel (Exchange) region.
     Gather,
+    /// Partitioned hash join: parallel partition-hashed build + probe.
+    PartitionedJoin,
 }
 
 /// Number of [`OperatorKind`] variants.
-pub const OPERATOR_KINDS: usize = 12;
+pub const OPERATOR_KINDS: usize = 13;
 
 /// Per-worker counters are kept for this many workers; workers beyond the
 /// window fold onto slot `id % MAX_TRACKED_WORKERS` (counts stay exact in
@@ -282,6 +284,7 @@ impl OperatorKind {
             OperatorKind::Limit => "limit",
             OperatorKind::Distinct => "distinct",
             OperatorKind::Gather => "gather",
+            OperatorKind::PartitionedJoin => "partitioned_join",
         }
     }
 
@@ -300,6 +303,7 @@ impl OperatorKind {
             OperatorKind::Limit,
             OperatorKind::Distinct,
             OperatorKind::Gather,
+            OperatorKind::PartitionedJoin,
         ]
     }
 }
@@ -417,6 +421,14 @@ pub struct Metrics {
     /// distribution means claims are spread, a skewed one means most
     /// workers sat idle while one drained the queue).
     pub worker_morsels: [Counter; MAX_TRACKED_WORKERS],
+    /// Morsels a worker claimed from another worker's deque (per-worker
+    /// steal counts; a nonzero value means the static round-robin seed
+    /// was skewed and stealing rebalanced it).
+    pub worker_steals: [Counter; MAX_TRACKED_WORKERS],
+    /// Total morsels executed by a worker other than the one they were
+    /// seeded to (sum of `worker_steals`, kept separately so the
+    /// aggregate survives the `MAX_TRACKED_WORKERS` fold).
+    pub morsels_stolen: Counter,
     // -- net: the veridb-net wire front end ------------------------------
     /// Client connections accepted by the network server.
     pub net_accepted: Counter,
@@ -452,6 +464,9 @@ pub struct Metrics {
     /// Server-side wire latency per query: frame-in to response flushed
     /// (nanoseconds).
     pub net_wire_ns: Histogram,
+    /// Outbound frames coalesced into each vectored `writev` syscall
+    /// (sampled per flush write; >1 means pipelined responses batched).
+    pub net_writev_frames: Histogram,
 }
 
 impl Metrics {
@@ -481,6 +496,11 @@ impl Metrics {
         &self.worker_morsels[worker % MAX_TRACKED_WORKERS]
     }
 
+    /// The steal counter for one parallel worker.
+    pub fn worker_steals(&self, worker: usize) -> &Counter {
+        &self.worker_steals[worker % MAX_TRACKED_WORKERS]
+    }
+
     /// Copy every metric. Enclave-substrate fields (`ecalls`,
     /// `prf_evals`, `epc_*`) are zero here; `Enclave::metrics_snapshot`
     /// fills them in.
@@ -499,6 +519,10 @@ impl Metrics {
         }
         let mut worker_morsels = [0u64; MAX_TRACKED_WORKERS];
         for (o, c) in worker_morsels.iter_mut().zip(&self.worker_morsels) {
+            *o = c.get();
+        }
+        let mut worker_steals = [0u64; MAX_TRACKED_WORKERS];
+        for (o, c) in worker_steals.iter_mut().zip(&self.worker_steals) {
             *o = c.get();
         }
         MetricsSnapshot {
@@ -543,6 +567,8 @@ impl Metrics {
             worker_rows,
             worker_busy_ns,
             worker_morsels,
+            worker_steals,
+            morsels_stolen: self.morsels_stolen.get(),
             net_accepted: self.net_accepted.get(),
             net_rejected: self.net_rejected.get(),
             net_frames_in: self.net_frames_in.get(),
@@ -557,6 +583,7 @@ impl Metrics {
             net_worker_panics: self.net_worker_panics.get(),
             net_queued: self.net_queued.get(),
             net_wire_ns: self.net_wire_ns.snapshot(),
+            net_writev_frames: self.net_writev_frames.snapshot(),
             prf_evals: 0,
             ecalls: 0,
             epc_swaps: 0,
@@ -611,6 +638,8 @@ pub struct MetricsSnapshot {
     pub worker_rows: [u64; MAX_TRACKED_WORKERS],
     pub worker_busy_ns: [u64; MAX_TRACKED_WORKERS],
     pub worker_morsels: [u64; MAX_TRACKED_WORKERS],
+    pub worker_steals: [u64; MAX_TRACKED_WORKERS],
+    pub morsels_stolen: u64,
     pub net_accepted: u64,
     pub net_rejected: u64,
     pub net_frames_in: u64,
@@ -625,6 +654,7 @@ pub struct MetricsSnapshot {
     pub net_worker_panics: u64,
     pub net_queued: u64,
     pub net_wire_ns: HistogramSnapshot,
+    pub net_writev_frames: HistogramSnapshot,
     /// PRF evaluations (from the enclave cost substrate).
     pub prf_evals: u64,
     /// ECall boundary crossings (from the enclave cost substrate).
@@ -674,6 +704,13 @@ impl MetricsSnapshot {
         for (r, (now, then)) in worker_morsels
             .iter_mut()
             .zip(self.worker_morsels.iter().zip(&earlier.worker_morsels))
+        {
+            *r = now.saturating_sub(*then);
+        }
+        let mut worker_steals = [0u64; MAX_TRACKED_WORKERS];
+        for (r, (now, then)) in worker_steals
+            .iter_mut()
+            .zip(self.worker_steals.iter().zip(&earlier.worker_steals))
         {
             *r = now.saturating_sub(*then);
         }
@@ -756,6 +793,8 @@ impl MetricsSnapshot {
             worker_rows,
             worker_busy_ns,
             worker_morsels,
+            worker_steals,
+            morsels_stolen: self.morsels_stolen.saturating_sub(earlier.morsels_stolen),
             net_accepted: self.net_accepted.saturating_sub(earlier.net_accepted),
             net_rejected: self.net_rejected.saturating_sub(earlier.net_rejected),
             net_frames_in: self.net_frames_in.saturating_sub(earlier.net_frames_in),
@@ -777,6 +816,7 @@ impl MetricsSnapshot {
             net_active_conns: self.net_active_conns,
             net_queued: self.net_queued,
             net_wire_ns: self.net_wire_ns.since(&earlier.net_wire_ns),
+            net_writev_frames: self.net_writev_frames.since(&earlier.net_writev_frames),
             prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
             ecalls: self.ecalls.saturating_sub(earlier.ecalls),
             epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
@@ -838,6 +878,7 @@ impl MetricsSnapshot {
             "query.rows.limit",
             "query.rows.distinct",
             "query.rows.gather",
+            "query.rows.partitioned_join",
         ];
         for (name, v) in OPERATOR_ROW_NAMES.iter().zip(self.operator_rows) {
             out.push((name, v));
@@ -865,6 +906,7 @@ impl MetricsSnapshot {
         out.extend([
             ("query.parallel_regions", self.parallel_regions),
             ("query.morsels_dispatched", self.morsels_dispatched),
+            ("query.morsels_stolen", self.morsels_stolen),
         ]);
         for (name, v) in WORKER_ROW_NAMES.iter().zip(self.worker_rows) {
             out.push((name, v));
@@ -883,6 +925,19 @@ impl MetricsSnapshot {
             "query.worker7.morsels",
         ];
         for (name, v) in WORKER_MORSEL_NAMES.iter().zip(self.worker_morsels) {
+            out.push((name, v));
+        }
+        const WORKER_STEAL_NAMES: [&str; MAX_TRACKED_WORKERS] = [
+            "query.worker0.steals",
+            "query.worker1.steals",
+            "query.worker2.steals",
+            "query.worker3.steals",
+            "query.worker4.steals",
+            "query.worker5.steals",
+            "query.worker6.steals",
+            "query.worker7.steals",
+        ];
+        for (name, v) in WORKER_STEAL_NAMES.iter().zip(self.worker_steals) {
             out.push((name, v));
         }
         out.extend([
@@ -905,6 +960,12 @@ impl MetricsSnapshot {
             ("net.wire_ns.count", self.net_wire_ns.count),
             ("net.wire_ns.sum", self.net_wire_ns.sum),
             ("net.wire_ns.max", self.net_wire_ns.max),
+            (
+                "net.writev_frames_per_call.count",
+                self.net_writev_frames.count,
+            ),
+            ("net.writev_frames_per_call.sum", self.net_writev_frames.sum),
+            ("net.writev_frames_per_call.max", self.net_writev_frames.max),
             ("enclave.prf_evals", self.prf_evals),
             ("enclave.ecalls", self.ecalls),
             ("enclave.epc_swaps", self.epc_swaps),
@@ -1064,6 +1125,11 @@ mod tests {
         assert!(names.contains(&"wrcm.ts_blocks_allocated"));
         assert!(names.contains(&"query.worker0.morsels"));
         assert!(names.contains(&"query.worker7.morsels"));
+        assert!(names.contains(&"query.worker0.steals"));
+        assert!(names.contains(&"query.worker7.steals"));
+        assert!(names.contains(&"query.morsels_stolen"));
+        assert!(names.contains(&"query.rows.partitioned_join"));
+        assert!(names.contains(&"net.writev_frames_per_call.count"));
     }
 
     #[test]

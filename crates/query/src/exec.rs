@@ -94,6 +94,29 @@ pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operat
                 residual.clone(),
             )),
         ),
+        // Parallel partitioned hash join (see `parallel`): build-side
+        // morsels bucket rows by key hash, per-partition tables build
+        // concurrently, probe runs in parallel — output byte-identical to
+        // the serial HashJoin.
+        PhysicalPlan::PartitionedJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+            workers,
+        } => (
+            OperatorKind::PartitionedJoin,
+            Box::new(crate::parallel::PartitionedJoinOp::new(
+                left,
+                right,
+                *left_key,
+                *right_key,
+                residual.clone(),
+                *workers,
+                ctx,
+            )),
+        ),
         PhysicalPlan::MergeJoin {
             left,
             right,
@@ -155,7 +178,7 @@ pub fn open_ctx(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operat
         ),
         PhysicalPlan::Sort { input, keys } => (
             OperatorKind::Sort,
-            Box::new(SortOp::new(open_ctx(input, ctx)?, keys.clone())),
+            Box::new(SortOp::new(open_ctx(input, ctx)?, keys.clone(), ctx)),
         ),
         PhysicalPlan::Limit { input, n } => (
             OperatorKind::Limit,
@@ -983,14 +1006,16 @@ impl Operator for AggregateOp {
 struct SortOp {
     input: Box<dyn Operator>,
     keys: Vec<(Expr, bool)>,
+    ctx: ExecContext,
     output: Option<std::vec::IntoIter<Row>>,
 }
 
 impl SortOp {
-    fn new(input: Box<dyn Operator>, keys: Vec<(Expr, bool)>) -> Self {
+    fn new(input: Box<dyn Operator>, keys: Vec<(Expr, bool)>, ctx: &ExecContext) -> Self {
         SortOp {
             input,
             keys,
+            ctx: ctx.clone(),
             output: None,
         }
     }
@@ -1003,37 +1028,31 @@ impl Operator for SortOp {
             while let Some(r) = self.input.next()? {
                 rows.push(r);
             }
-            // Precompute sort keys; Value's total order handles NULLs
-            // (first) and floats (total_cmp).
-            let mut keyed: Vec<(Vec<Value>, Row)> = rows
-                .into_iter()
-                .map(|r| -> Result<(Vec<Value>, Row)> {
-                    let ks = self
-                        .keys
-                        .iter()
-                        .map(|(e, _)| eval(e, &r))
-                        .collect::<Result<Vec<Value>>>()?;
-                    Ok((ks, r))
-                })
-                .collect::<Result<_>>()?;
-            let descs: Vec<bool> = self.keys.iter().map(|(_, d)| *d).collect();
-            keyed.sort_by(|(a, _), (b, _)| {
-                for ((x, y), desc) in a.iter().zip(b.iter()).zip(&descs) {
-                    let ord = x.cmp(y);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            self.output = Some(
-                keyed
-                    .into_iter()
-                    .map(|(_, r)| r)
-                    .collect::<Vec<_>>()
-                    .into_iter(),
-            );
+            // Large inputs under a worker pool take the parallel tail:
+            // per-worker sorted runs + tournament-tree merge, byte-identical
+            // to the serial stable sort (see `parallel::parallel_sort`).
+            let sorted =
+                if self.ctx.workers > 1 && rows.len() >= crate::parallel::PARALLEL_SORT_MIN_ROWS {
+                    crate::parallel::parallel_sort(rows, &self.keys, self.ctx.workers, &self.ctx)?
+                } else {
+                    // Precompute sort keys; Value's total order handles NULLs
+                    // (first) and floats (total_cmp).
+                    let mut keyed: Vec<(Vec<Value>, Row)> = rows
+                        .into_iter()
+                        .map(|r| -> Result<(Vec<Value>, Row)> {
+                            let ks = self
+                                .keys
+                                .iter()
+                                .map(|(e, _)| eval(e, &r))
+                                .collect::<Result<Vec<Value>>>()?;
+                            Ok((ks, r))
+                        })
+                        .collect::<Result<_>>()?;
+                    let descs: Vec<bool> = self.keys.iter().map(|(_, d)| *d).collect();
+                    keyed.sort_by(|(a, _), (b, _)| crate::parallel::cmp_sort_keys(a, b, &descs));
+                    keyed.into_iter().map(|(_, r)| r).collect()
+                };
+            self.output = Some(sorted.into_iter());
         }
         Ok(self.output.as_mut().expect("set above").next())
     }

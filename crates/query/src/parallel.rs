@@ -1,11 +1,16 @@
-//! Morsel-driven parallel execution of Exchange/Gather regions.
+//! Morsel-driven parallel execution of Exchange/Gather regions, the
+//! partitioned hash join, and the parallel sort tail.
 //!
 //! A parallel region (the subtree under [`PhysicalPlan::Exchange`]) is a
 //! scan-driven pipeline. The driving verified scan's key range is split
 //! into **morsels** — contiguous sub-ranges sampled from the untrusted
 //! index ([`Table::morsel_ranges`]) that tile the original range exactly —
-//! and a fixed pool of worker threads claims morsels from a shared atomic
-//! counter, instantiating the region's operator tree once per morsel.
+//! and a fixed pool of worker threads executes them through a
+//! **work-stealing scheduler**: morsel indices are seeded round-robin
+//! across per-worker deques; a worker pops the front of its own deque and,
+//! when empty, steals from the back of a victim's. Steals are counted per
+//! worker (`query.worker*.steals`), so a skewed tiling shows up in
+//! `.stats` as steal traffic instead of idle workers.
 //!
 //! Verification is unchanged: each worker's leaf scan is an ordinary
 //! [`VerifiedScan`](veridb_storage::VerifiedScan) over its sub-range, so
@@ -17,26 +22,64 @@
 //!
 //! Determinism: the number of morsels is fixed by [`MORSEL_TARGET`]
 //! (independent of the pool size) and results are merged in morsel-index
-//! order, which equals the serial scan's chain order. Row order is thus
-//! identical to serial execution for any worker count; float aggregates
-//! are bit-identical across worker counts ≥ 2 (partial-sum association is
-//! fixed by the tiling, not by scheduling).
+//! order, which equals the serial scan's chain order. Scheduling — which
+//! worker runs which morsel, in what real-time order — never affects the
+//! merge order, so work stealing preserves the guarantee: row order is
+//! identical to serial execution for any worker count, and float
+//! aggregates are bit-identical across worker counts ≥ 2 (partial-sum
+//! association is fixed by the tiling, not by scheduling).
+//!
+//! The same scheduler backs two post-scan parallel operators:
+//!
+//! - [`PartitionedJoinOp`]: build-side morsels emit partition-hashed row
+//!   buckets; buckets are concatenated in morsel order per partition (so
+//!   every key's row list preserves the serial build's insertion order),
+//!   the per-partition hash tables are built concurrently, and the probe
+//!   side runs in parallel with outputs merged in morsel/chunk order —
+//!   byte-identical to the serial [`HashJoin`](PhysicalPlan::HashJoin).
+//! - [`parallel_sort`]: contiguous input chunks are key-precomputed and
+//!   stably sorted as independent runs (spill-capable via
+//!   [`SpilledRows`]), then merged through a tournament tree whose ties
+//!   break on run index — reproducing a global stable sort exactly.
 
 use crate::ast::{AggFunc, Expr};
 use crate::exec::{open_ctx, GroupedPartial, Operator};
-use crate::planner::{AccessPath, PhysicalPlan};
-use crate::spill::ExecContext;
+use crate::expr::{eval, passes};
+use crate::planner::{partitionable, AccessPath, PhysicalPlan};
+use crate::spill::{ExecContext, SpilledRows};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use veridb_common::obs::Metrics;
 use veridb_common::{Result, Row, Value};
 use veridb_storage::Table;
 
 /// Morsel count a parallel region aims for, independent of the worker
 /// pool size. Keeping the tiling fixed makes results (including float
-/// partial-sum rounding) identical for every pool size, and a few dozen
-/// morsels give enough scheduling slack to absorb skewed ranges.
-pub(crate) const MORSEL_TARGET: usize = 32;
+/// partial-sum rounding) identical for every pool size. The target is
+/// deliberately several× the maximum pool size: finer morsels give the
+/// work-stealing scheduler slack to rebalance skewed ranges (the
+/// 256-row floor in [`Table::morsel_ranges`] still bounds the count for
+/// small tables).
+pub(crate) const MORSEL_TARGET: usize = 64;
+
+/// Number of hash partitions a [`PartitionedJoinOp`] build fans into.
+/// Fixed (power of two) so the partitioning is independent of the pool
+/// size; partitions only group build rows into independently-buildable
+/// tables and never affect output order.
+pub(crate) const JOIN_PARTITIONS: usize = 32;
+
+/// Probe-side chunk size when the probe input is not morsel-partitionable
+/// (e.g. the output of a nested join) and is probed from a materialized
+/// buffer instead. Chunk boundaries cannot affect the output: the probe
+/// is a pure per-row map and chunks are concatenated in input order.
+const PROBE_CHUNK_ROWS: usize = 1024;
+
+/// Below this many rows a sort stays on the serial single-`sort_by` path
+/// — run setup and merge bookkeeping would cost more than they save.
+pub(crate) const PARALLEL_SORT_MIN_ROWS: usize = 1024;
 
 /// The region's driving verified scan: the table plus the chain and key
 /// range that morsels partition.
@@ -132,64 +175,104 @@ fn morsel_plans(region: &PhysicalPlan) -> Vec<PhysicalPlan> {
         .collect()
 }
 
-/// Execute one closure per morsel plan on a pool of `pool` threads and
-/// return the per-morsel results in morsel-index order.
+// ---- work-stealing scheduler -------------------------------------------------------
+
+/// Per-worker index deques. Indices are seeded round-robin (queue `w`
+/// holds `w, w+threads, w+2·threads, …` in increasing order), a worker
+/// pops the *front* of its own deque and steals from the *back* of a
+/// victim's, so each worker walks its own seed in index order while
+/// thieves take the work its owner would reach last.
+struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    fn seed(n: usize, threads: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..threads).map(|_| VecDeque::new()).collect();
+        for i in 0..n {
+            queues[i % threads].push_back(i);
+        }
+        WorkQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Claim the next index for worker `w`. Returns `(index, stolen)`;
+    /// `None` means every deque was empty at inspection time (in-flight
+    /// indices are already claimed by other workers).
+    fn claim(&self, w: usize) -> Option<(usize, bool)> {
+        if let Some(i) = self.queues[w].lock().pop_front() {
+            return Some((i, false));
+        }
+        let t = self.queues.len();
+        for d in 1..t {
+            let v = (w + d) % t;
+            if let Some(i) = self.queues[v].lock().pop_back() {
+                return Some((i, true));
+            }
+        }
+        None
+    }
+}
+
+/// Execute `work(0..n)` on a pool of `pool` threads through the
+/// work-stealing scheduler and return results in index order.
 ///
 /// The closure returns `(result, rows_processed)`; row counts feed the
-/// per-worker observability counters. With one morsel or one worker the
-/// plans run inline on the calling thread (no pool, no extra metrics).
-/// The first error in morsel-index order aborts the region; remaining
-/// workers stop claiming new morsels once any error is recorded.
-fn run_morsels<T, F>(
-    plans: &[PhysicalPlan],
+/// per-worker observability counters. With one task or one worker the
+/// closures run inline on the calling thread (no pool, no extra metrics).
+/// The lowest-indexed recorded error aborts the region; workers stop
+/// claiming new tasks once any error is recorded.
+pub(crate) fn run_indexed<T, F>(
+    n: usize,
     pool: usize,
-    ctx: &ExecContext,
+    metrics: &Option<Arc<Metrics>>,
     work: F,
 ) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(&PhysicalPlan, &ExecContext) -> Result<(T, u64)> + Sync,
+    F: Fn(usize) -> Result<(T, u64)> + Sync,
 {
-    if plans.len() <= 1 || pool <= 1 {
-        let mut out = Vec::with_capacity(plans.len());
-        for p in plans {
-            out.push(work(p, ctx)?.0);
+    if n <= 1 || pool <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(work(i)?.0);
         }
         return Ok(out);
     }
-    if let Some(m) = &ctx.metrics {
+    if let Some(m) = metrics {
         m.parallel_regions.inc();
-        m.morsels_dispatched.add(plans.len() as u64);
+        m.morsels_dispatched.add(n as u64);
     }
-    let threads = pool.min(plans.len());
-    let next = AtomicUsize::new(0);
+    let threads = pool.min(n);
+    let queues = WorkQueues::seed(n, threads);
     let failed = AtomicBool::new(false);
     let mut slots: Vec<Option<Result<T>>> = Vec::new();
-    slots.resize_with(plans.len(), || None);
+    slots.resize_with(n, || None);
     let collected: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
-                let next = &next;
+                let queues = &queues;
                 let failed = &failed;
                 let work = &work;
                 s.spawn(move || {
                     let started = std::time::Instant::now();
                     let mut rows_done: u64 = 0;
                     let mut local: Vec<(usize, Result<T>)> = Vec::new();
-                    loop {
-                        if failed.load(Ordering::Relaxed) {
+                    while !failed.load(Ordering::Relaxed) {
+                        let Some((i, stolen)) = queues.claim(w) else {
                             break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= plans.len() {
-                            break;
-                        }
-                        if let Some(m) = &ctx.metrics {
+                        };
+                        if let Some(m) = metrics {
                             m.worker_morsels(w).inc();
+                            if stolen {
+                                m.worker_steals(w).inc();
+                                m.morsels_stolen.inc();
+                            }
                         }
-                        match work(&plans[i], ctx) {
-                            Ok((t, n)) => {
-                                rows_done += n;
+                        match work(i) {
+                            Ok((t, k)) => {
+                                rows_done += k;
                                 local.push((i, Ok(t)));
                             }
                             Err(e) => {
@@ -198,7 +281,7 @@ where
                             }
                         }
                     }
-                    if let Some(m) = &ctx.metrics {
+                    if let Some(m) = metrics {
                         m.worker_rows(w).add(rows_done);
                         m.worker_busy_ns(w).add(started.elapsed().as_nanos() as u64);
                     }
@@ -214,19 +297,52 @@ where
     for (i, r) in collected.into_iter().flatten() {
         slots[i] = Some(r);
     }
-    let mut out = Vec::with_capacity(plans.len());
+    // Lowest-indexed recorded error wins. Under work stealing an
+    // abandoned (never-claimed) index can sit anywhere relative to the
+    // error, so scan for errors before requiring every slot be filled.
+    if failed.load(Ordering::Relaxed) {
+        for slot in slots.into_iter().flatten() {
+            if let Err(e) = slot {
+                return Err(e);
+            }
+        }
+        unreachable!("failure flag set without a recorded error");
+    }
+    let mut out = Vec::with_capacity(n);
     for slot in slots {
         match slot {
             Some(Ok(t)) => out.push(t),
-            // Lowest-indexed recorded error wins. Morsels are claimed in
-            // index order, so every slot below an error is filled; an
-            // empty slot can only follow a recorded error, which this
-            // scan returns first.
-            Some(Err(e)) => return Err(e),
-            None => unreachable!("unclaimed morsel implies an earlier recorded error"),
+            Some(Err(_)) => unreachable!("error recorded without the failure flag"),
+            None => unreachable!("unclaimed index without a recorded failure"),
         }
     }
     Ok(out)
+}
+
+/// Execute one closure per morsel plan via [`run_indexed`] and return the
+/// per-morsel results in morsel-index order.
+fn run_morsels<T, F>(
+    plans: &[PhysicalPlan],
+    pool: usize,
+    ctx: &ExecContext,
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&PhysicalPlan, &ExecContext) -> Result<(T, u64)> + Sync,
+{
+    run_indexed(plans.len(), pool, &ctx.metrics, |i| work(&plans[i], ctx))
+}
+
+/// Resolve the pool size for an operator: the execution context's worker
+/// count when set, else the size recorded at plan time.
+fn pool_size(ctx: &ExecContext, planned_workers: usize) -> usize {
+    let p = if ctx.workers > 0 {
+        ctx.workers
+    } else {
+        planned_workers
+    };
+    p.max(1)
 }
 
 /// Merge operator over a parallel region: materializes every morsel's
@@ -249,22 +365,14 @@ impl GatherOp {
             output: None,
         }
     }
-
-    fn pool(&self) -> usize {
-        let p = if self.ctx.workers > 0 {
-            self.ctx.workers
-        } else {
-            self.planned_workers
-        };
-        p.max(1)
-    }
 }
 
 impl Operator for GatherOp {
     fn next(&mut self) -> Result<Option<Row>> {
         if self.output.is_none() {
             let plans = morsel_plans(&self.region);
-            let per_morsel = run_morsels(&plans, self.pool(), &self.ctx, |p, c| {
+            let pool = pool_size(&self.ctx, self.planned_workers);
+            let per_morsel = run_morsels(&plans, pool, &self.ctx, |p, c| {
                 let mut op = open_ctx(p, c)?;
                 let mut rows = Vec::new();
                 while let Some(r) = op.next()? {
@@ -328,20 +436,12 @@ impl ParallelAggregateOp {
         }
     }
 
-    fn pool(&self) -> usize {
-        let p = if self.ctx.workers > 0 {
-            self.ctx.workers
-        } else {
-            self.planned_workers
-        };
-        p.max(1)
-    }
-
     fn materialize(&self) -> Result<Vec<Row>> {
         let plans = morsel_plans(&self.region);
+        let pool = pool_size(&self.ctx, self.planned_workers);
         let group = &self.group;
         let aggs = &self.aggs;
-        let partials = run_morsels(&plans, self.pool(), &self.ctx, |p, c| {
+        let partials = run_morsels(&plans, pool, &self.ctx, |p, c| {
             let mut n: u64 = 0;
             let mut input = CountingOp {
                 inner: open_ctx(p, c)?,
@@ -365,5 +465,583 @@ impl Operator for ParallelAggregateOp {
             self.output = Some(self.materialize()?.into_iter());
         }
         Ok(self.output.as_mut().expect("set above").next())
+    }
+}
+
+// ---- partitioned hash join ---------------------------------------------------------
+
+type PartTable = HashMap<Value, Vec<Row>>;
+
+/// Hash partition of one join-key value. Uses the std `DefaultHasher`
+/// with its fixed default keys, so build and probe agree within a
+/// process; the choice never leaks into results (partitions only group
+/// rows into independently-built tables).
+fn partition_of(v: &Value) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    (h.finish() as usize) & (JOIN_PARTITIONS - 1)
+}
+
+/// Bucket `rows` by join-key hash partition, preserving input order
+/// within each bucket. Null keys are dropped — inner equi-join semantics,
+/// exactly as the serial build skips them.
+pub(crate) fn bucket_rows(rows: Vec<Row>, key: usize) -> Vec<Vec<Row>> {
+    let mut buckets: Vec<Vec<Row>> = (0..JOIN_PARTITIONS).map(|_| Vec::new()).collect();
+    for row in rows {
+        let k = &row[key];
+        if k.is_null() {
+            continue;
+        }
+        buckets[partition_of(k)].push(row);
+    }
+    buckets
+}
+
+/// Build the per-partition hash tables from per-morsel bucket sets, in
+/// parallel over partitions. Buckets are concatenated in morsel order
+/// first, so each key's row vector preserves the build stream's order —
+/// the serial HashJoin's insertion order — making probe output
+/// byte-identical to serial execution.
+pub(crate) fn build_partition_tables(
+    morsel_buckets: Vec<Vec<Vec<Row>>>,
+    key: usize,
+    pool: usize,
+    metrics: &Option<Arc<Metrics>>,
+) -> Result<Vec<PartTable>> {
+    let mut parts: Vec<Vec<Row>> = (0..JOIN_PARTITIONS).map(|_| Vec::new()).collect();
+    for buckets in morsel_buckets {
+        for (p, rows) in buckets.into_iter().enumerate() {
+            parts[p].extend(rows);
+        }
+    }
+    // Ownership handoff to the pool: each build task takes its partition's
+    // rows out of the shared cell exactly once.
+    let cells: Vec<Mutex<Vec<Row>>> = parts.into_iter().map(Mutex::new).collect();
+    run_indexed(JOIN_PARTITIONS, pool, metrics, |p| {
+        let rows = std::mem::take(&mut *cells[p].lock());
+        let n = rows.len() as u64;
+        let mut table = PartTable::new();
+        for row in rows {
+            table.entry(row[key].clone()).or_default().push(row);
+        }
+        Ok((table, n))
+    })
+}
+
+/// Probe one left row against the partition tables, appending joined rows
+/// that pass the residual. Match order is the per-key build order, the
+/// same order the serial HashJoin emits.
+fn probe_one(
+    lrow: &Row,
+    tables: &[PartTable],
+    left_key: usize,
+    residual: &Option<Expr>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let k = &lrow[left_key];
+    if k.is_null() {
+        return Ok(());
+    }
+    if let Some(matches) = tables[partition_of(k)].get(k) {
+        for rrow in matches {
+            let joined = lrow.joined(rrow);
+            let keep = match residual {
+                Some(p) => passes(p, &joined)?,
+                None => true,
+            };
+            if keep {
+                out.push(joined);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parallel partitioned hash join (see [`PhysicalPlan::PartitionedJoin`]).
+///
+/// Build: if the right input is morsel-partitionable its morsels run on
+/// the pool, each emitting partition-hashed buckets; otherwise the input
+/// is executed once (itself possibly parallel inside) and bucketed. The
+/// per-partition tables are then built concurrently. Probe: partitionable
+/// left inputs probe per morsel; others are materialized and probed in
+/// fixed-size chunks. Both merge outputs in morsel/chunk order, so the
+/// result is byte-identical to the serial HashJoin for any pool size.
+pub(crate) struct PartitionedJoinOp {
+    left: PhysicalPlan,
+    right: PhysicalPlan,
+    left_key: usize,
+    right_key: usize,
+    residual: Option<Expr>,
+    planned_workers: usize,
+    ctx: ExecContext,
+    output: Option<std::vec::IntoIter<Row>>,
+}
+
+impl PartitionedJoinOp {
+    pub(crate) fn new(
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        left_key: usize,
+        right_key: usize,
+        residual: Option<Expr>,
+        planned_workers: usize,
+        ctx: &ExecContext,
+    ) -> Self {
+        PartitionedJoinOp {
+            left: left.clone(),
+            right: right.clone(),
+            left_key,
+            right_key,
+            residual,
+            planned_workers,
+            ctx: ctx.clone(),
+            output: None,
+        }
+    }
+
+    fn materialize(&self) -> Result<Vec<Row>> {
+        let pool = pool_size(&self.ctx, self.planned_workers);
+        let right_key = self.right_key;
+        // Build phase: partition-hashed buckets per morsel, in morsel
+        // order.
+        let morsel_buckets: Vec<Vec<Vec<Row>>> = if partitionable(&self.right) {
+            let plans = morsel_plans(&self.right);
+            run_morsels(&plans, pool, &self.ctx, |p, c| {
+                let mut op = open_ctx(p, c)?;
+                let mut rows = Vec::new();
+                while let Some(r) = op.next()? {
+                    rows.push(r);
+                }
+                let n = rows.len() as u64;
+                Ok((bucket_rows(rows, right_key), n))
+            })?
+        } else {
+            let mut op = open_ctx(&self.right, &self.ctx)?;
+            let mut rows = Vec::new();
+            while let Some(r) = op.next()? {
+                rows.push(r);
+            }
+            vec![bucket_rows(rows, right_key)]
+        };
+        let tables = build_partition_tables(morsel_buckets, right_key, pool, &self.ctx.metrics)?;
+        // Probe phase: outputs merged in morsel/chunk order = left input
+        // order.
+        let left_key = self.left_key;
+        let residual = &self.residual;
+        let tables = &tables;
+        let per_chunk: Vec<Vec<Row>> = if partitionable(&self.left) {
+            let plans = morsel_plans(&self.left);
+            run_morsels(&plans, pool, &self.ctx, |p, c| {
+                let mut op = open_ctx(p, c)?;
+                let mut out = Vec::new();
+                let mut scanned: u64 = 0;
+                while let Some(lrow) = op.next()? {
+                    scanned += 1;
+                    probe_one(&lrow, tables, left_key, residual, &mut out)?;
+                }
+                Ok((out, scanned))
+            })?
+        } else {
+            let mut op = open_ctx(&self.left, &self.ctx)?;
+            let mut lrows = Vec::new();
+            while let Some(r) = op.next()? {
+                lrows.push(r);
+            }
+            let chunks = lrows.len().div_ceil(PROBE_CHUNK_ROWS).max(1);
+            let lrows = &lrows;
+            run_indexed(chunks, pool, &self.ctx.metrics, |ci| {
+                let lo = ci * PROBE_CHUNK_ROWS;
+                let hi = ((ci + 1) * PROBE_CHUNK_ROWS).min(lrows.len());
+                let mut out = Vec::new();
+                for lrow in &lrows[lo..hi] {
+                    probe_one(lrow, tables, left_key, residual, &mut out)?;
+                }
+                Ok((out, (hi - lo) as u64))
+            })?
+        };
+        Ok(per_chunk.into_iter().flatten().collect())
+    }
+}
+
+impl Operator for PartitionedJoinOp {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.output.is_none() {
+            self.output = Some(self.materialize()?.into_iter());
+        }
+        Ok(self.output.as_mut().expect("set above").next())
+    }
+}
+
+// ---- parallel sort tail ------------------------------------------------------------
+
+/// Compare two precomputed key vectors under per-key descending flags.
+/// Value's total order handles NULLs (first) and floats (total_cmp).
+pub(crate) fn cmp_sort_keys(a: &[Value], b: &[Value], descs: &[bool]) -> std::cmp::Ordering {
+    for ((x, y), desc) in a.iter().zip(b.iter()).zip(descs) {
+        let ord = x.cmp(y);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// One sorted run: precomputed sort keys (in run-sorted order) plus the
+/// rows themselves in a spill-capable buffer — large runs overflow into
+/// verified storage through the same [`SpilledRows`] machinery every
+/// other materializing operator uses, so tampering with a spilled run is
+/// caught by deferred verification like any base-table corruption.
+struct SortRun {
+    keys: Vec<Vec<Value>>,
+    rows: SpilledRows,
+}
+
+/// Tournament tree (winner tree) over sorted runs: a complete binary
+/// tree whose leaves are run cursors and whose internal nodes cache the
+/// winning run of their subtree, giving O(log k) replay per emitted row.
+/// Ties break on the lower run index; since runs are contiguous input
+/// chunks, that reproduces a global stable sort's order exactly.
+struct TournamentTree<'a> {
+    runs: &'a [SortRun],
+    descs: &'a [bool],
+    pos: Vec<usize>,
+    /// Leaves occupy `node[size..size+k]`; `node[1]` is the winner.
+    /// `usize::MAX` marks an exhausted (or padding) slot.
+    node: Vec<usize>,
+    size: usize,
+}
+
+const EXHAUSTED: usize = usize::MAX;
+
+impl<'a> TournamentTree<'a> {
+    fn new(runs: &'a [SortRun], descs: &'a [bool]) -> Self {
+        let k = runs.len();
+        let size = k.next_power_of_two().max(1);
+        let mut t = TournamentTree {
+            runs,
+            descs,
+            pos: vec![0; k],
+            node: vec![EXHAUSTED; 2 * size],
+            size,
+        };
+        for r in 0..k {
+            t.node[size + r] = if runs[r].keys.is_empty() {
+                EXHAUSTED
+            } else {
+                r
+            };
+        }
+        for n in (1..size).rev() {
+            t.node[n] = t.winner(t.node[2 * n], t.node[2 * n + 1]);
+        }
+        t
+    }
+
+    fn winner(&self, a: usize, b: usize) -> usize {
+        match (a, b) {
+            (EXHAUSTED, other) | (other, EXHAUSTED) => other,
+            (a, b) => {
+                let ka = &self.runs[a].keys[self.pos[a]];
+                let kb = &self.runs[b].keys[self.pos[b]];
+                match cmp_sort_keys(ka, kb, self.descs) {
+                    std::cmp::Ordering::Greater => b,
+                    // Less or Equal: the lower run index wins ties (the
+                    // leaf layout puts lower indices on the `a` side).
+                    _ => a.min(b),
+                }
+            }
+        }
+    }
+
+    /// Pop the globally next row, advancing its run's cursor and
+    /// replaying the path from that leaf to the root.
+    fn pop(&mut self) -> Result<Option<Row>> {
+        let w = self.node[1];
+        if w == EXHAUSTED {
+            return Ok(None);
+        }
+        let row = self.runs[w].rows.get(self.pos[w])?;
+        self.pos[w] += 1;
+        let mut n = self.size + w;
+        self.node[n] = if self.pos[w] >= self.runs[w].keys.len() {
+            EXHAUSTED
+        } else {
+            w
+        };
+        while n > 1 {
+            n /= 2;
+            self.node[n] = self.winner(self.node[2 * n], self.node[2 * n + 1]);
+        }
+        Ok(Some(row))
+    }
+}
+
+/// Sort `rows` by `keys` on the worker pool: contiguous chunks become
+/// per-worker sorted runs (keys precomputed once, stable in-run sort,
+/// spill-capable storage), merged through a tournament tree whose ties
+/// break on run index. The output is byte-identical to the serial
+/// stable `sort_by` for any pool size — chunk boundaries cannot be
+/// observed because the merge is stable across runs in input order.
+pub(crate) fn parallel_sort(
+    mut rows: Vec<Row>,
+    keys: &[(Expr, bool)],
+    pool: usize,
+    ctx: &ExecContext,
+) -> Result<Vec<Row>> {
+    let n = rows.len();
+    let descs: Vec<bool> = keys.iter().map(|(_, d)| *d).collect();
+    let run_count = pool.min(n.div_ceil(PARALLEL_SORT_MIN_ROWS / 2)).max(1);
+    // Carve contiguous chunks (ownership moves, no row clones).
+    let chunk = n.div_ceil(run_count);
+    let mut chunks: Vec<Vec<Row>> = Vec::with_capacity(run_count);
+    for _ in 0..run_count {
+        let rest = rows.split_off(chunk.min(rows.len()));
+        chunks.push(std::mem::replace(&mut rows, rest));
+    }
+    let cells: Vec<Mutex<Vec<Row>>> = chunks.into_iter().map(Mutex::new).collect();
+    let descs_ref = &descs;
+    let mut runs = run_indexed(run_count, pool, &ctx.metrics, |r| {
+        let chunk_rows = std::mem::take(&mut *cells[r].lock());
+        let n = chunk_rows.len() as u64;
+        let mut keyed: Vec<(Vec<Value>, Row)> = chunk_rows
+            .into_iter()
+            .map(|row| -> Result<(Vec<Value>, Row)> {
+                let ks = keys
+                    .iter()
+                    .map(|(e, _)| eval(e, &row))
+                    .collect::<Result<Vec<Value>>>()?;
+                Ok((ks, row))
+            })
+            .collect::<Result<_>>()?;
+        keyed.sort_by(|(a, _), (b, _)| cmp_sort_keys(a, b, descs_ref));
+        let mut run = SortRun {
+            keys: Vec::with_capacity(keyed.len()),
+            rows: SpilledRows::new(ctx.clone()),
+        };
+        for (ks, row) in keyed {
+            run.keys.push(ks);
+            run.rows.push(row)?;
+        }
+        Ok((run, n))
+    })?;
+    if runs.len() == 1 {
+        return runs.remove(0).rows.to_vec();
+    }
+    let mut tree = TournamentTree::new(&runs, &descs);
+    let mut out = Vec::with_capacity(n);
+    while let Some(row) = tree.pop()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    // ---- scheduler ----------------------------------------------------
+
+    /// Skewed-range work-stealing: worker 0's seeded morsels are 10× the
+    /// cost of everyone else's. With per-worker deques and stealing, no
+    /// worker's claim count may exceed 2× the mean, results arrive in
+    /// index order, and at least one steal must have happened.
+    #[test]
+    fn skewed_work_is_stolen_and_claims_stay_balanced() {
+        const N: usize = 32;
+        const THREADS: usize = 4;
+        let m = Arc::new(Metrics::new());
+        let metrics = Some(Arc::clone(&m));
+        let claims: Vec<AtomicUsize> = (0..THREADS).map(|_| AtomicUsize::new(0)).collect();
+        // Worker w is seeded indices i with i % THREADS == w; make worker
+        // 0's seed slow so the others drain their own deques and steal
+        // from the back of worker 0's.
+        let out = run_indexed(N, THREADS, &metrics, |i| {
+            let slow = i % THREADS == 0;
+            std::thread::sleep(std::time::Duration::from_millis(if slow { 10 } else { 1 }));
+            Ok((i, 1))
+        })
+        .unwrap();
+        assert_eq!(out, (0..N).collect::<Vec<_>>(), "index-order merge");
+        let snap = m.snapshot();
+        let total: u64 = snap.worker_morsels.iter().sum();
+        assert_eq!(total, N as u64, "every morsel claimed exactly once");
+        let mean = N as u64 / THREADS as u64;
+        for (w, &c) in snap.worker_morsels.iter().take(THREADS).enumerate() {
+            assert!(
+                c <= 2 * mean,
+                "worker {w} claimed {c} morsels (> 2x mean {mean}): {:?}",
+                snap.worker_morsels
+            );
+        }
+        assert!(snap.morsels_stolen > 0, "skewed seed must trigger stealing");
+        assert_eq!(
+            snap.morsels_stolen,
+            snap.worker_steals.iter().sum::<u64>(),
+            "aggregate steal counter matches per-worker counts"
+        );
+        let _ = claims;
+    }
+
+    /// First-error-wins must survive stealing: whichever worker hits an
+    /// error, the lowest-indexed recorded error is returned and workers
+    /// stop claiming.
+    #[test]
+    fn lowest_indexed_error_wins_under_stealing() {
+        use veridb_common::Error;
+        let metrics = None;
+        let err = run_indexed::<usize, _>(16, 4, &metrics, |i| {
+            if i >= 10 {
+                Err(Error::InvalidArgument(format!("boom {i}")))
+            } else {
+                Ok((i, 1))
+            }
+        })
+        .unwrap_err();
+        let msg = format!("{err}");
+        // Exactly which of 10..16 is recorded first depends on timing,
+        // but the returned one must be the lowest *recorded* index, and
+        // must always be an injected error.
+        assert!(msg.contains("boom"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn inline_path_skips_pool_and_metrics() {
+        let m = Arc::new(Metrics::new());
+        let metrics = Some(Arc::clone(&m));
+        let out = run_indexed(5, 1, &metrics, |i| Ok((i * 2, 1))).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        assert_eq!(m.snapshot().parallel_regions, 0);
+        assert_eq!(m.snapshot().morsels_dispatched, 0);
+    }
+
+    // ---- commutativity proptests over join build and sort merge -------
+
+    fn int_rows(vals: &[(i64, i64)]) -> Vec<Row> {
+        vals.iter()
+            .map(|(k, p)| Row::new(vec![Value::Int(*k), Value::Int(*p)]))
+            .collect()
+    }
+
+    /// Serial hash-join reference: build right in stream order, probe
+    /// left in stream order, emit matches in per-key insertion order —
+    /// the exact semantics of `exec::HashJoinOp`.
+    fn serial_hash_join(left: &[Row], right: &[Row]) -> Vec<Row> {
+        let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+        for row in right {
+            let k = row[0].clone();
+            if k.is_null() {
+                continue;
+            }
+            table.entry(k).or_default().push(row.clone());
+        }
+        let mut out = Vec::new();
+        for lrow in left {
+            let k = &lrow[0];
+            if k.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(k) {
+                for rrow in matches {
+                    out.push(lrow.joined(rrow));
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        /// Partitioned build commutativity: bucketing the build rows by
+        /// an arbitrary morsel split, building per-partition tables on a
+        /// pool, and probing in chunks must reproduce the serial hash
+        /// join byte-for-byte — for any split point, pool size, and key
+        /// distribution (small key domain forces heavy duplicates).
+        #[test]
+        fn partitioned_join_build_matches_serial(
+            left in proptest::collection::vec((0i64..16, 0i64..1000), 0..80),
+            right in proptest::collection::vec((0i64..16, 0i64..1000), 0..80),
+            split in 0usize..80,
+            pool in 1usize..5,
+        ) {
+            let left = int_rows(&left);
+            let right = int_rows(&right);
+            let expect = serial_hash_join(&left, &right);
+
+            let split = split.min(right.len());
+            let (a, b) = right.split_at(split);
+            let morsel_buckets = vec![
+                bucket_rows(a.to_vec(), 0),
+                bucket_rows(b.to_vec(), 0),
+            ];
+            let tables = build_partition_tables(morsel_buckets, 0, pool, &None).unwrap();
+            let mut got = Vec::new();
+            for lrow in &left {
+                probe_one(lrow, &tables, 0, &None, &mut got).unwrap();
+            }
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Sort-merge commutativity: chunked stable runs merged through
+        /// the tournament tree must equal one global stable sort, for
+        /// any chunking and any mix of ascending/descending keys with
+        /// heavy duplicate keys (ties exercise run-index stability).
+        #[test]
+        fn parallel_sort_merge_matches_stable_sort(
+            vals in proptest::collection::vec((0i64..8, 0i64..1000), 0..200),
+            pool in 1usize..5,
+            desc in any::<bool>(),
+        ) {
+            let rows = int_rows(&vals);
+            let keys = vec![(Expr::ColumnRef(0), desc)];
+            let descs = vec![desc];
+
+            // Serial reference: precomputed keys + stable sort_by.
+            let mut keyed: Vec<(Vec<Value>, Row)> = rows
+                .iter()
+                .map(|r| (vec![r[0].clone()], r.clone()))
+                .collect();
+            keyed.sort_by(|(a, _), (b, _)| cmp_sort_keys(a, b, &descs));
+            let expect: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+
+            let got = parallel_sort(rows, &keys, pool, &ExecContext::default()).unwrap();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// The tournament tree must also be correct at run counts that are
+    /// not powers of two and with exhausted/empty runs interleaved.
+    #[test]
+    fn tournament_tree_handles_ragged_runs() {
+        let mk_run = |vals: &[i64]| {
+            let mut run = SortRun {
+                keys: Vec::new(),
+                rows: SpilledRows::new(ExecContext::default()),
+            };
+            for v in vals {
+                run.keys.push(vec![Value::Int(*v)]);
+                run.rows.push(Row::new(vec![Value::Int(*v)])).unwrap();
+            }
+            run
+        };
+        let runs = vec![
+            mk_run(&[1, 4, 9]),
+            mk_run(&[]),
+            mk_run(&[2, 2, 2, 2, 11]),
+            mk_run(&[0]),
+            mk_run(&[3, 5]),
+        ];
+        let descs = vec![false];
+        let mut tree = TournamentTree::new(&runs, &descs);
+        let mut got = Vec::new();
+        while let Some(r) = tree.pop().unwrap() {
+            got.push(match &r[0] {
+                Value::Int(i) => *i,
+                other => panic!("unexpected value {other:?}"),
+            });
+        }
+        assert_eq!(got, vec![0, 1, 2, 2, 2, 2, 3, 4, 5, 9, 11]);
     }
 }

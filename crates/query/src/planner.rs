@@ -175,6 +175,31 @@ pub enum PhysicalPlan {
         /// The Exchange (parallel region) below.
         input: Box<PhysicalPlan>,
     },
+    /// Parallel partitioned hash join, emitted by [`parallelize`] in place
+    /// of [`PhysicalPlan::HashJoin`]. Build-side rows are hashed into a
+    /// fixed number of partitions (per-morsel buckets concatenated in
+    /// morsel order, so per-key row order equals the serial build's
+    /// insertion order), the per-partition hash tables are built
+    /// concurrently, and the probe side is scanned in parallel — output
+    /// rows are merged in morsel/chunk order, making the result
+    /// byte-identical to the serial HashJoin.
+    PartitionedJoin {
+        /// Left (probe) input. A morsel-partitionable region is kept
+        /// unwrapped (the operator morselizes it itself); anything else
+        /// is materialized and probed in fixed chunks.
+        left: Box<PhysicalPlan>,
+        /// Right (build) input, same convention as `left`.
+        right: Box<PhysicalPlan>,
+        /// Key index within the left row.
+        left_key: usize,
+        /// Key index within the right row.
+        right_key: usize,
+        /// Residual predicate over the concatenated row.
+        residual: Option<Expr>,
+        /// Worker pool size this join was planned for (`0` = inherit from
+        /// the execution context at open time).
+        workers: usize,
+    },
 }
 
 impl PhysicalPlan {
@@ -187,7 +212,8 @@ impl PhysicalPlan {
             PhysicalPlan::IndexNlJoin { outer, inner, .. } => outer.width() + inner.schema().len(),
             PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::MergeJoin { left, right, .. }
-            | PhysicalPlan::BlockNlJoin { left, right, .. } => left.width() + right.width(),
+            | PhysicalPlan::BlockNlJoin { left, right, .. }
+            | PhysicalPlan::PartitionedJoin { left, right, .. } => left.width() + right.width(),
             PhysicalPlan::Aggregate { group, aggs, .. } => group.len() + aggs.len(),
             PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. }
@@ -289,6 +315,16 @@ impl PhysicalPlan {
                 out.push_str(&format!("{pad}Gather\n"));
                 input.explain_into(depth + 1, out);
             }
+            PhysicalPlan::PartitionedJoin {
+                left,
+                right,
+                workers,
+                ..
+            } => {
+                out.push_str(&format!("{pad}PartitionedHashJoin [{workers} workers]\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
         }
     }
 }
@@ -299,7 +335,7 @@ impl PhysicalPlan {
 /// sub-range of its driving scan and executed by independent workers, with
 /// each worker's [`VerifiedScan`](veridb_storage::VerifiedScan) proving
 /// completeness of its own sub-range.
-fn partitionable(plan: &PhysicalPlan) -> bool {
+pub(crate) fn partitionable(plan: &PhysicalPlan) -> bool {
     match plan {
         PhysicalPlan::TableScan { access, .. } => {
             matches!(access, AccessPath::Full | AccessPath::Range { .. })
@@ -383,19 +419,38 @@ pub(crate) fn parallelize(plan: PhysicalPlan, workers: usize) -> PhysicalPlan {
             outer_key,
             residual,
         },
+        // Hash joins become partitioned joins: the build side is hashed
+        // into per-morsel partition buckets and the per-partition tables
+        // built concurrently; the probe side runs in parallel too. A
+        // partitionable child is left unwrapped (the join operator
+        // morselizes it itself); other children (e.g. a nested join) are
+        // parallelized recursively and materialized by the operator.
         PhysicalPlan::HashJoin {
             left,
             right,
             left_key,
             right_key,
             residual,
-        } => PhysicalPlan::HashJoin {
-            left: Box::new(parallelize(*left, workers)),
-            right: Box::new(parallelize(*right, workers)),
-            left_key,
-            right_key,
-            residual,
-        },
+        } => {
+            let left = if partitionable(&left) {
+                left
+            } else {
+                Box::new(parallelize(*left, workers))
+            };
+            let right = if partitionable(&right) {
+                right
+            } else {
+                Box::new(parallelize(*right, workers))
+            };
+            PhysicalPlan::PartitionedJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+                workers,
+            }
+        }
         PhysicalPlan::MergeJoin {
             left,
             right,
@@ -433,7 +488,8 @@ pub(crate) fn parallelize(plan: PhysicalPlan, workers: usize) -> PhysicalPlan {
         // Leaves that cannot partition, and already-parallel nodes.
         other @ (PhysicalPlan::TableScan { .. }
         | PhysicalPlan::Exchange { .. }
-        | PhysicalPlan::Gather { .. }) => other,
+        | PhysicalPlan::Gather { .. }
+        | PhysicalPlan::PartitionedJoin { .. }) => other,
     }
 }
 
