@@ -79,6 +79,10 @@ fn main() {
 
     let mut v_cfg = VeriDbConfig::rsws();
     v_cfg.verify_every_ops = None;
+    // Pin the shared scheduler pool to the sweep's widest DOP so the
+    // worker sweep measures per-query parallelism, not pool sizing (and
+    // stays comparable with the per-query-pool numbers of earlier runs).
+    v_cfg.pool_threads = *WORKER_COUNTS.iter().max().expect("non-empty sweep");
     let db = VeriDb::open(v_cfg).expect("open");
     data.load(&db).expect("load");
 
@@ -87,6 +91,7 @@ fn main() {
     // the cache-off run the pure delta path.
     let mut nc_cfg = VeriDbConfig::rsws();
     nc_cfg.verify_every_ops = None;
+    nc_cfg.pool_threads = *WORKER_COUNTS.iter().max().expect("non-empty sweep");
     nc_cfg.cell_cache_bytes = 0;
     let db_nocache = VeriDb::open(nc_cfg).expect("open (cache off)");
     data.load(&db_nocache).expect("load (cache off)");

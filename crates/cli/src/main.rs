@@ -28,6 +28,7 @@ fn main() {
     // Global flags (taken anywhere on the command line); the rest are
     // positional arguments.
     let mut workers: Option<usize> = None;
+    let mut pool: Option<usize> = None;
     let mut verify_threads: Option<usize> = None;
     let mut cell_cache: Option<usize> = None;
     let mut listen: Option<String> = None;
@@ -39,6 +40,8 @@ fn main() {
     while let Some(a) = it.next() {
         if let Some(v) = a.strip_prefix("--workers=") {
             workers = parse_flag("--workers", Some(v.to_owned()));
+        } else if let Some(v) = a.strip_prefix("--pool=") {
+            pool = parse_flag("--pool", Some(v.to_owned()));
         } else if let Some(v) = a.strip_prefix("--verify-threads=") {
             verify_threads = parse_flag("--verify-threads", Some(v.to_owned()));
         } else if let Some(v) = a.strip_prefix("--cell-cache=") {
@@ -54,6 +57,7 @@ fn main() {
         } else {
             match a.as_str() {
                 "--workers" => workers = parse_flag("--workers", it.next()),
+                "--pool" => pool = parse_flag("--pool", it.next()),
                 "--verify-threads" => verify_threads = parse_flag("--verify-threads", it.next()),
                 "--cell-cache" => cell_cache = parse_flag("--cell-cache", it.next()),
                 "--listen" => listen = parse_flag("--listen", it.next()),
@@ -70,6 +74,12 @@ fn main() {
             eprintln!("warning: --workers {w} out of range (1..=64); clamping");
         }
         config.workers = w.clamp(1, 64);
+    }
+    if let Some(p) = pool {
+        if !(1..=64).contains(&p) {
+            eprintln!("warning: --pool {p} out of range (1..=64); clamping");
+        }
+        config.pool_threads = p.clamp(1, 64);
     }
     if let Some(b) = cell_cache {
         config.cell_cache_bytes = b;
@@ -110,8 +120,11 @@ fn main() {
                  \x20      veridb [flags] serve        serve the verifiable protocol over TCP\n\
                  \x20      veridb connect <host:port>  remote verifying SQL shell\n\
                  flags:\n\
-                 \x20 --workers <n>         worker threads for parallel query execution\n\
-                 \x20                       (default: $VERIDB_WORKERS or 1)\n\
+                 \x20 --workers <n>         per-query parallelism cap (DOP) on the shared\n\
+                 \x20                       scheduler pool (default: $VERIDB_WORKERS or 1)\n\
+                 \x20 --pool <n>            shared scheduler pool size — one pool serves all\n\
+                 \x20                       concurrent queries and net turns (default:\n\
+                 \x20                       $VERIDB_POOL, $VERIDB_WORKERS, or machine cores)\n\
                  \x20 --verify-threads <n>  concurrent verifiers for .verify / stats\n\
                  \x20                       (default: same as --workers)\n\
                  \x20 --cell-cache <bytes>  enclave-resident verified cell cache capacity\n\

@@ -64,14 +64,26 @@ pub struct VeriDbConfig {
     /// enclave cost-substrate figures.
     #[serde(default = "default_metrics")]
     pub metrics: bool,
-    /// Worker threads for intra-query parallelism (morsel-driven scans,
-    /// joins, aggregation) and for synchronous verification passes.
-    /// `1` disables parallel execution entirely (plans carry no
-    /// Exchange/Gather nodes and are bit-identical to the serial planner's
-    /// output). The default honours the `VERIDB_WORKERS` environment
-    /// variable so test/CI runs can sweep the knob without code changes.
+    /// Per-query degree-of-parallelism cap for intra-query parallelism
+    /// (morsel-driven scans, joins, aggregation) and for synchronous
+    /// verification passes: the maximum number of *shared-pool* workers
+    /// one query's parallel region may occupy (it no longer sizes a
+    /// private per-query pool — see `pool_threads`). `1` disables
+    /// parallel execution entirely (plans carry no Exchange/Gather nodes
+    /// and are bit-identical to the serial planner's output). The default
+    /// honours the `VERIDB_WORKERS` environment variable so test/CI runs
+    /// can sweep the knob without code changes.
     #[serde(default = "default_workers")]
     pub workers: usize,
+    /// Size of the process-wide scheduler worker pool shared by every
+    /// concurrent query (`veridb_common::sched`). `0` (the default) sizes
+    /// it automatically: `VERIDB_POOL` if set, else `VERIDB_WORKERS`
+    /// (preserving legacy single-knob deployments' thread budgets), else
+    /// machine parallelism. The pool is created once per process on
+    /// first use; the first database open wins and later conflicting
+    /// sizes are warned about and ignored.
+    #[serde(default = "default_pool_threads")]
+    pub pool_threads: usize,
     /// Capacity in bytes of the enclave-resident verified cell cache
     /// (§4.3-style hot-path optimization): cells verified by a protected
     /// read are pinned in trusted memory so subsequent reads and writes of
@@ -119,6 +131,12 @@ fn default_metrics() -> bool {
 /// enough to pin the TPC-C warehouse/district hot set, small next to the
 /// 96 MB EPC budget.
 pub const DEFAULT_CELL_CACHE_BYTES: usize = 4 * 1024 * 1024;
+
+/// `0` = auto: the scheduler resolves `VERIDB_POOL` → `VERIDB_WORKERS` →
+/// machine parallelism at pool-start time (`sched::default_pool_threads`).
+fn default_pool_threads() -> usize {
+    0
+}
 
 fn default_workers() -> usize {
     match std::env::var("VERIDB_WORKERS") {
@@ -229,6 +247,7 @@ impl Default for VeriDbConfig {
             model_sgx_costs: true,
             metrics: true,
             workers: default_workers(),
+            pool_threads: default_pool_threads(),
             cell_cache_bytes: default_cell_cache_bytes(),
             listen_addr: default_listen_addr(),
             max_conns: default_max_conns(),
@@ -293,6 +312,13 @@ impl VeriDbConfig {
         }
         if self.workers == 0 {
             return Err(Error::Config("workers must be >= 1".into()));
+        }
+        if self.pool_threads > crate::sched::MAX_POOL_THREADS {
+            return Err(Error::Config(format!(
+                "pool_threads {} exceeds the {} ceiling (0 = auto)",
+                self.pool_threads,
+                crate::sched::MAX_POOL_THREADS
+            )));
         }
         if self.cell_cache_bytes > 0 && self.cell_cache_bytes > self.epc_budget {
             return Err(Error::Config(format!(
@@ -377,6 +403,19 @@ mod tests {
         let mut c = VeriDbConfig::default();
         c.cell_cache_bytes = c.epc_budget + 1;
         assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.pool_threads = crate::sched::MAX_POOL_THREADS + 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pool_threads_zero_is_auto_and_validates() {
+        let c = VeriDbConfig::default();
+        assert_eq!(c.pool_threads, 0, "default is auto-sizing");
+        let mut c = VeriDbConfig::default();
+        c.pool_threads = crate::sched::MAX_POOL_THREADS;
+        c.validate().unwrap();
     }
 
     #[test]

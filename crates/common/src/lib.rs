@@ -26,6 +26,7 @@ pub mod config;
 pub mod error;
 pub mod obs;
 pub mod row;
+pub mod sched;
 pub mod schema;
 pub mod value;
 

@@ -429,6 +429,22 @@ pub struct Metrics {
     /// seeded to (sum of `worker_steals`, kept separately so the
     /// aggregate survives the `MAX_TRACKED_WORKERS` fold).
     pub morsels_stolen: Counter,
+    /// Microseconds from a parallel region's job submission to its first
+    /// task starting on a shared-pool worker (scheduler admission
+    /// latency: near zero on an idle pool, grows under concurrent load).
+    pub sched_wait_us: Histogram,
+    /// Peak share of the global worker pool attached to the most recent
+    /// parallel region, in percent (100 = the region had the whole pool;
+    /// 25 = it ran at quarter strength because other jobs held workers).
+    pub pool_utilization: Gauge,
+    /// Cross-job steals per worker slot: tasks a shared-pool worker
+    /// claimed immediately after switching onto one of this registry's
+    /// jobs from a *different* job (folded onto the tracked window like
+    /// the other worker counters).
+    pub worker_cross_steals: [Counter; MAX_TRACKED_WORKERS],
+    /// Total cross-job steals benefiting this registry's jobs (sum of
+    /// `worker_cross_steals`, fold-proof aggregate).
+    pub cross_job_steals: Counter,
     // -- net: the veridb-net wire front end ------------------------------
     /// Client connections accepted by the network server.
     pub net_accepted: Counter,
@@ -501,6 +517,11 @@ impl Metrics {
         &self.worker_steals[worker % MAX_TRACKED_WORKERS]
     }
 
+    /// The cross-job steal counter for one parallel worker.
+    pub fn worker_cross_steals(&self, worker: usize) -> &Counter {
+        &self.worker_cross_steals[worker % MAX_TRACKED_WORKERS]
+    }
+
     /// Copy every metric. Enclave-substrate fields (`ecalls`,
     /// `prf_evals`, `epc_*`) are zero here; `Enclave::metrics_snapshot`
     /// fills them in.
@@ -523,6 +544,13 @@ impl Metrics {
         }
         let mut worker_steals = [0u64; MAX_TRACKED_WORKERS];
         for (o, c) in worker_steals.iter_mut().zip(&self.worker_steals) {
+            *o = c.get();
+        }
+        let mut worker_cross_steals = [0u64; MAX_TRACKED_WORKERS];
+        for (o, c) in worker_cross_steals
+            .iter_mut()
+            .zip(&self.worker_cross_steals)
+        {
             *o = c.get();
         }
         MetricsSnapshot {
@@ -569,6 +597,10 @@ impl Metrics {
             worker_morsels,
             worker_steals,
             morsels_stolen: self.morsels_stolen.get(),
+            sched_wait_us: self.sched_wait_us.snapshot(),
+            pool_utilization: self.pool_utilization.get(),
+            worker_cross_steals,
+            cross_job_steals: self.cross_job_steals.get(),
             net_accepted: self.net_accepted.get(),
             net_rejected: self.net_rejected.get(),
             net_frames_in: self.net_frames_in.get(),
@@ -640,6 +672,10 @@ pub struct MetricsSnapshot {
     pub worker_morsels: [u64; MAX_TRACKED_WORKERS],
     pub worker_steals: [u64; MAX_TRACKED_WORKERS],
     pub morsels_stolen: u64,
+    pub sched_wait_us: HistogramSnapshot,
+    pub pool_utilization: u64,
+    pub worker_cross_steals: [u64; MAX_TRACKED_WORKERS],
+    pub cross_job_steals: u64,
     pub net_accepted: u64,
     pub net_rejected: u64,
     pub net_frames_in: u64,
@@ -712,6 +748,14 @@ impl MetricsSnapshot {
             .iter_mut()
             .zip(self.worker_steals.iter().zip(&earlier.worker_steals))
         {
+            *r = now.saturating_sub(*then);
+        }
+        let mut worker_cross_steals = [0u64; MAX_TRACKED_WORKERS];
+        for (r, (now, then)) in worker_cross_steals.iter_mut().zip(
+            self.worker_cross_steals
+                .iter()
+                .zip(&earlier.worker_cross_steals),
+        ) {
             *r = now.saturating_sub(*then);
         }
         MetricsSnapshot {
@@ -795,6 +839,13 @@ impl MetricsSnapshot {
             worker_morsels,
             worker_steals,
             morsels_stolen: self.morsels_stolen.saturating_sub(earlier.morsels_stolen),
+            sched_wait_us: self.sched_wait_us.since(&earlier.sched_wait_us),
+            // Gauge: carries the later snapshot's value.
+            pool_utilization: self.pool_utilization,
+            worker_cross_steals,
+            cross_job_steals: self
+                .cross_job_steals
+                .saturating_sub(earlier.cross_job_steals),
             net_accepted: self.net_accepted.saturating_sub(earlier.net_accepted),
             net_rejected: self.net_rejected.saturating_sub(earlier.net_rejected),
             net_frames_in: self.net_frames_in.saturating_sub(earlier.net_frames_in),
@@ -938,6 +989,29 @@ impl MetricsSnapshot {
             "query.worker7.steals",
         ];
         for (name, v) in WORKER_STEAL_NAMES.iter().zip(self.worker_steals) {
+            out.push((name, v));
+        }
+        out.extend([
+            ("query.sched_wait_us.count", self.sched_wait_us.count),
+            ("query.sched_wait_us.sum", self.sched_wait_us.sum),
+            ("query.sched_wait_us.max", self.sched_wait_us.max),
+            ("query.pool_utilization", self.pool_utilization),
+            ("query.cross_job_steals", self.cross_job_steals),
+        ]);
+        const WORKER_CROSS_STEAL_NAMES: [&str; MAX_TRACKED_WORKERS] = [
+            "query.worker0.cross_job_steals",
+            "query.worker1.cross_job_steals",
+            "query.worker2.cross_job_steals",
+            "query.worker3.cross_job_steals",
+            "query.worker4.cross_job_steals",
+            "query.worker5.cross_job_steals",
+            "query.worker6.cross_job_steals",
+            "query.worker7.cross_job_steals",
+        ];
+        for (name, v) in WORKER_CROSS_STEAL_NAMES
+            .iter()
+            .zip(self.worker_cross_steals)
+        {
             out.push((name, v));
         }
         out.extend([
@@ -1130,6 +1204,40 @@ mod tests {
         assert!(names.contains(&"query.morsels_stolen"));
         assert!(names.contains(&"query.rows.partitioned_join"));
         assert!(names.contains(&"net.writev_frames_per_call.count"));
+        assert!(names.contains(&"query.sched_wait_us.count"));
+        assert!(names.contains(&"query.sched_wait_us.sum"));
+        assert!(names.contains(&"query.pool_utilization"));
+        assert!(names.contains(&"query.cross_job_steals"));
+        assert!(names.contains(&"query.worker0.cross_job_steals"));
+        assert!(names.contains(&"query.worker7.cross_job_steals"));
+    }
+
+    #[test]
+    fn sched_family_snapshots_and_diffs() {
+        let m = Metrics::new();
+        m.sched_wait_us.record(40);
+        m.sched_wait_us.record(60);
+        m.pool_utilization.set(100);
+        m.worker_cross_steals(1).inc();
+        m.cross_job_steals.inc();
+        let a = m.snapshot();
+        assert_eq!(a.sched_wait_us.count, 2);
+        assert_eq!(a.sched_wait_us.sum, 100);
+        assert_eq!(a.pool_utilization, 100);
+        assert_eq!(a.worker_cross_steals[1], 1);
+        assert_eq!(a.cross_job_steals, 1);
+
+        m.sched_wait_us.record(10);
+        m.pool_utilization.set(25);
+        m.worker_cross_steals(9).inc(); // folds onto slot 1
+        m.cross_job_steals.inc();
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.sched_wait_us.count, 1);
+        assert_eq!(d.sched_wait_us.sum, 10);
+        // Gauge semantics: the later value, not a difference.
+        assert_eq!(d.pool_utilization, 25);
+        assert_eq!(d.worker_cross_steals[1], 1);
+        assert_eq!(d.cross_job_steals, 1);
     }
 
     #[test]

@@ -87,6 +87,26 @@ impl VeriDb {
         entropy: [u8; 32],
     ) -> Result<VeriDb> {
         config.validate()?;
+        // One shared scheduler pool per process: request the configured
+        // size (0 = auto: VERIDB_POOL → VERIDB_WORKERS → cores) before
+        // anything submits work. The first open wins; conflicting later
+        // sizes warn inside `configure`.
+        let pool = if config.pool_threads > 0 {
+            veridb_common::sched::configure(config.pool_threads)
+        } else {
+            veridb_common::sched::configure(veridb_common::sched::default_pool_threads())
+        };
+        if config.workers > pool {
+            static OVERSUBSCRIBE_WARNED: std::sync::Once = std::sync::Once::new();
+            OVERSUBSCRIBE_WARNED.call_once(|| {
+                eprintln!(
+                    "warning: --workers {} exceeds the shared scheduler pool of {pool} threads; \
+                     per-query parallelism is capped at the pool size (the legacy per-query \
+                     pools that would have oversubscribed no longer exist)",
+                    config.workers
+                );
+            });
+        }
         let enclave = Enclave::create(identity, config.epc_budget, entropy);
         let mem = VerifiedMemory::from_config(enclave.clone(), &config);
         let catalog = Arc::new(Catalog::new(Arc::clone(&mem)));

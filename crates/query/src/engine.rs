@@ -31,10 +31,12 @@ pub enum PreferredJoin {
 pub struct PlanOptions {
     /// Join algorithm preference.
     pub prefer_join: PreferredJoin,
-    /// Worker threads for morsel-driven parallel execution. `0` (the
-    /// default) inherits the engine-level setting
-    /// ([`QueryEngine::set_workers`]); `1` forces a serial plan with no
-    /// Exchange/Gather nodes.
+    /// Per-query degree of parallelism for morsel-driven execution —
+    /// a cap on how many of the process-wide scheduler pool's workers
+    /// one parallel region may occupy, not a thread count (no threads
+    /// are created per query). `0` (the default) inherits the
+    /// engine-level setting ([`QueryEngine::set_workers`]); `1` forces
+    /// a serial plan with no Exchange/Gather nodes.
     pub workers: usize,
 }
 
@@ -94,8 +96,8 @@ pub struct QueryEngine {
     /// When set, materialization points overflow into verified storage
     /// (§5.4) instead of growing enclave-resident buffers.
     spill_threshold: std::sync::atomic::AtomicUsize,
-    /// Default worker-pool size for morsel-driven parallel execution,
-    /// used when [`PlanOptions::workers`] is `0`.
+    /// Default per-query degree of parallelism (DOP cap on the shared
+    /// scheduler pool), used when [`PlanOptions::workers`] is `0`.
     workers: std::sync::atomic::AtomicUsize,
 }
 
@@ -116,9 +118,11 @@ impl QueryEngine {
             .store(bytes.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Set the default worker-pool size for parallel query execution
-    /// (clamped to at least 1). Queries pick this up unless their
-    /// [`PlanOptions::workers`] overrides it.
+    /// Set the default per-query degree of parallelism (clamped to at
+    /// least 1). This caps how many shared-pool workers one query's
+    /// parallel regions use; it no longer sizes any private pool.
+    /// Queries pick this up unless their [`PlanOptions::workers`]
+    /// overrides it.
     pub fn set_workers(&self, workers: usize) {
         self.workers
             .store(workers.max(1), std::sync::atomic::Ordering::Relaxed);

@@ -5,12 +5,19 @@
 //! scan-driven pipeline. The driving verified scan's key range is split
 //! into **morsels** — contiguous sub-ranges sampled from the untrusted
 //! index ([`Table::morsel_ranges`]) that tile the original range exactly —
-//! and a fixed pool of worker threads executes them through a
-//! **work-stealing scheduler**: morsel indices are seeded round-robin
-//! across per-worker deques; a worker pops the front of its own deque and,
-//! when empty, steals from the back of a victim's. Steals are counted per
-//! worker (`query.worker*.steals`), so a skewed tiling shows up in
-//! `.stats` as steal traffic instead of idle workers.
+//! and submitted as one **job** to the process-wide scheduler pool
+//! ([`veridb_common::sched`]): morsel indices are seeded round-robin
+//! across per-job lanes; an attached pool worker pops the front of its
+//! own lane and, when empty, steals from the back of a victim's. Steals
+//! are counted per lane (`query.worker*.steals`), so a skewed tiling
+//! shows up in `.stats` as steal traffic instead of idle workers. The
+//! pool is shared by every concurrent query in the process — its fixed
+//! worker set bounds total threads, and the per-job `dop` cap (the
+//! `--workers` knob) decides how much of it one query may occupy, so a
+//! lone query gets the whole pool while many queries share it without
+//! oversubscription. Workers finishing one query's region migrate to
+//! another's (`query.cross_job_steals`), and scheduler admission latency
+//! is visible as `query.sched_wait_us`.
 //!
 //! Verification is unchanged: each worker's leaf scan is an ordinary
 //! [`VerifiedScan`](veridb_storage::VerifiedScan) over its sub-range, so
@@ -48,12 +55,12 @@ use crate::expr::{eval, passes};
 use crate::planner::{partitionable, AccessPath, PhysicalPlan};
 use crate::spill::{ExecContext, SpilledRows};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use veridb_common::obs::Metrics;
-use veridb_common::{Result, Row, Value};
+use veridb_common::{sched, Result, Row, Value};
 use veridb_storage::Table;
 
 /// Morsel count a parallel region aims for, independent of the worker
@@ -175,57 +182,27 @@ fn morsel_plans(region: &PhysicalPlan) -> Vec<PhysicalPlan> {
         .collect()
 }
 
-// ---- work-stealing scheduler -------------------------------------------------------
+// ---- shared-pool work-stealing execution ------------------------------------------
 
-/// Per-worker index deques. Indices are seeded round-robin (queue `w`
-/// holds `w, w+threads, w+2·threads, …` in increasing order), a worker
-/// pops the *front* of its own deque and steals from the *back* of a
-/// victim's, so each worker walks its own seed in index order while
-/// thieves take the work its owner would reach last.
-struct WorkQueues {
-    queues: Vec<Mutex<VecDeque<usize>>>,
-}
-
-impl WorkQueues {
-    fn seed(n: usize, threads: usize) -> Self {
-        let mut queues: Vec<VecDeque<usize>> = (0..threads).map(|_| VecDeque::new()).collect();
-        for i in 0..n {
-            queues[i % threads].push_back(i);
-        }
-        WorkQueues {
-            queues: queues.into_iter().map(Mutex::new).collect(),
-        }
-    }
-
-    /// Claim the next index for worker `w`. Returns `(index, stolen)`;
-    /// `None` means every deque was empty at inspection time (in-flight
-    /// indices are already claimed by other workers).
-    fn claim(&self, w: usize) -> Option<(usize, bool)> {
-        if let Some(i) = self.queues[w].lock().pop_front() {
-            return Some((i, false));
-        }
-        let t = self.queues.len();
-        for d in 1..t {
-            let v = (w + d) % t;
-            if let Some(i) = self.queues[v].lock().pop_back() {
-                return Some((i, true));
-            }
-        }
-        None
-    }
-}
-
-/// Execute `work(0..n)` on a pool of `pool` threads through the
-/// work-stealing scheduler and return results in index order.
+/// Execute `work(0..n)` as one job on the process-wide scheduler pool
+/// ([`sched`]) and return results in index order.
+///
+/// `dop` caps how many pool workers may execute this job concurrently
+/// (the `--workers` knob); the pool itself is sized once per process, so
+/// concurrent queries share a fixed set of threads instead of spawning
+/// their own. Task indices are seeded round-robin across per-job lanes;
+/// an attached worker pops the front of its own lane and steals from the
+/// back of a victim's, exactly as the old per-query scoped pool did —
+/// lane numbers feed the per-worker observability counters.
 ///
 /// The closure returns `(result, rows_processed)`; row counts feed the
-/// per-worker observability counters. With one task or one worker the
+/// per-worker observability counters. With one task or a DOP of one the
 /// closures run inline on the calling thread (no pool, no extra metrics).
 /// The lowest-indexed recorded error aborts the region; workers stop
-/// claiming new tasks once any error is recorded.
+/// claiming new tasks once any error is recorded (or a task panics).
 pub(crate) fn run_indexed<T, F>(
     n: usize,
-    pool: usize,
+    dop: usize,
     metrics: &Option<Arc<Metrics>>,
     work: F,
 ) -> Result<Vec<T>>
@@ -233,7 +210,7 @@ where
     T: Send,
     F: Fn(usize) -> Result<(T, u64)> + Sync,
 {
-    if n <= 1 || pool <= 1 {
+    if n <= 1 || dop <= 1 {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             out.push(work(i)?.0);
@@ -244,77 +221,65 @@ where
         m.parallel_regions.inc();
         m.morsels_dispatched.add(n as u64);
     }
-    let threads = pool.min(n);
-    let queues = WorkQueues::seed(n, threads);
     let failed = AtomicBool::new(false);
-    let mut slots: Vec<Option<Result<T>>> = Vec::new();
-    slots.resize_with(n, || None);
-    let collected: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let queues = &queues;
-                let failed = &failed;
-                let work = &work;
-                s.spawn(move || {
-                    let started = std::time::Instant::now();
-                    let mut rows_done: u64 = 0;
-                    let mut local: Vec<(usize, Result<T>)> = Vec::new();
-                    while !failed.load(Ordering::Relaxed) {
-                        let Some((i, stolen)) = queues.claim(w) else {
-                            break;
-                        };
-                        if let Some(m) = metrics {
-                            m.worker_morsels(w).inc();
-                            if stolen {
-                                m.worker_steals(w).inc();
-                                m.morsels_stolen.inc();
-                            }
-                        }
-                        match work(i) {
-                            Ok((t, k)) => {
-                                rows_done += k;
-                                local.push((i, Ok(t)));
-                            }
-                            Err(e) => {
-                                failed.store(true, Ordering::Relaxed);
-                                local.push((i, Err(e)));
-                            }
-                        }
-                    }
-                    if let Some(m) = metrics {
-                        m.worker_rows(w).add(rows_done);
-                        m.worker_busy_ns(w).add(started.elapsed().as_nanos() as u64);
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("morsel worker panicked"))
-            .collect()
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let stats = sched::run_job(n, dop, &|t: sched::JobTask| {
+        if failed.load(Ordering::Relaxed) {
+            // Another task already recorded an error; abort without
+            // running (mirrors the old pre-claim failure check).
+            return false;
+        }
+        let started = std::time::Instant::now();
+        if let Some(m) = metrics {
+            m.worker_morsels(t.lane).inc();
+            if t.stolen {
+                m.worker_steals(t.lane).inc();
+                m.morsels_stolen.inc();
+            }
+            if t.cross_job {
+                m.worker_cross_steals(t.lane).inc();
+                m.cross_job_steals.inc();
+            }
+        }
+        let result = work(t.index);
+        let ok = result.is_ok();
+        if let Some(m) = metrics {
+            if let Ok((_, rows)) = &result {
+                m.worker_rows(t.lane).add(*rows);
+            }
+            m.worker_busy_ns(t.lane)
+                .add(started.elapsed().as_nanos() as u64);
+        }
+        if !ok {
+            failed.store(true, Ordering::Relaxed);
+        }
+        *slots[t.index].lock() = Some(result.map(|(value, _rows)| value));
+        ok
     });
-    for (i, r) in collected.into_iter().flatten() {
-        slots[i] = Some(r);
+    if let Some(m) = metrics {
+        m.sched_wait_us.record(stats.sched_wait_us);
+        let pct = (stats.workers_attached * 100) / stats.pool_size.max(1);
+        m.pool_utilization.set(pct as u64);
     }
     // Lowest-indexed recorded error wins. Under work stealing an
     // abandoned (never-claimed) index can sit anywhere relative to the
     // error, so scan for errors before requiring every slot be filled.
-    if failed.load(Ordering::Relaxed) {
-        for slot in slots.into_iter().flatten() {
-            if let Err(e) = slot {
-                return Err(e);
-            }
-        }
-        unreachable!("failure flag set without a recorded error");
-    }
     let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        match slot {
-            Some(Ok(t)) => out.push(t),
-            Some(Err(_)) => unreachable!("error recorded without the failure flag"),
-            None => unreachable!("unclaimed index without a recorded failure"),
+    let mut panicked = false;
+    for slot in &slots {
+        match slot.lock().take() {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(e)) => return Err(e),
+            // A missing slot with no recorded error means the task body
+            // panicked inside the pool (the scheduler caught it and
+            // failed the job without a result).
+            None => panicked = true,
         }
+    }
+    if panicked || failed.load(Ordering::Relaxed) {
+        return Err(veridb_common::Error::Plan(
+            "parallel region aborted: a morsel task panicked on the scheduler pool".into(),
+        ));
     }
     Ok(out)
 }
@@ -334,8 +299,10 @@ where
     run_indexed(plans.len(), pool, &ctx.metrics, |i| work(&plans[i], ctx))
 }
 
-/// Resolve the pool size for an operator: the execution context's worker
-/// count when set, else the size recorded at plan time.
+/// Resolve the degree-of-parallelism cap for an operator: the execution
+/// context's worker count when set, else the value recorded at plan
+/// time. This caps how many *shared-pool* workers the operator's job may
+/// occupy; it no longer sizes a private pool.
 fn pool_size(ctx: &ExecContext, planned_workers: usize) -> usize {
     let p = if ctx.workers > 0 {
         ctx.workers
@@ -726,12 +693,8 @@ impl<'a> TournamentTree<'a> {
             node: vec![EXHAUSTED; 2 * size],
             size,
         };
-        for r in 0..k {
-            t.node[size + r] = if runs[r].keys.is_empty() {
-                EXHAUSTED
-            } else {
-                r
-            };
+        for (r, run) in runs.iter().enumerate() {
+            t.node[size + r] = if run.keys.is_empty() { EXHAUSTED } else { r };
         }
         for n in (1..size).rev() {
             t.node[n] = t.winner(t.node[2 * n], t.node[2 * n + 1]);
@@ -841,26 +804,27 @@ pub(crate) fn parallel_sort(
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use std::sync::atomic::AtomicUsize;
 
     // ---- scheduler ----------------------------------------------------
 
-    /// Skewed-range work-stealing: worker 0's seeded morsels are 10× the
-    /// cost of everyone else's. With per-worker deques and stealing, no
-    /// worker's claim count may exceed 2× the mean, results arrive in
-    /// index order, and at least one steal must have happened.
+    /// Skewed-range work-stealing on the shared pool: lane 0's seeded
+    /// morsels are 10× the cost of everyone else's. Results must arrive
+    /// in index order, every morsel is claimed exactly once, stealing
+    /// must happen (a lone pool worker drains the other lanes by
+    /// stealing; multiple workers steal lane 0's backlog), and — when the
+    /// process pool really has `DOP` workers — no lane's claim count may
+    /// exceed 2× the mean.
     #[test]
     fn skewed_work_is_stolen_and_claims_stay_balanced() {
         const N: usize = 32;
-        const THREADS: usize = 4;
+        const DOP: usize = 4;
         let m = Arc::new(Metrics::new());
         let metrics = Some(Arc::clone(&m));
-        let claims: Vec<AtomicUsize> = (0..THREADS).map(|_| AtomicUsize::new(0)).collect();
-        // Worker w is seeded indices i with i % THREADS == w; make worker
-        // 0's seed slow so the others drain their own deques and steal
-        // from the back of worker 0's.
-        let out = run_indexed(N, THREADS, &metrics, |i| {
-            let slow = i % THREADS == 0;
+        // Lane w is seeded indices i with i % DOP == w; make lane 0's
+        // seed slow so other workers drain their own lanes and steal
+        // from the back of lane 0's.
+        let out = run_indexed(N, DOP, &metrics, |i| {
+            let slow = i % DOP == 0;
             std::thread::sleep(std::time::Duration::from_millis(if slow { 10 } else { 1 }));
             Ok((i, 1))
         })
@@ -869,21 +833,29 @@ mod tests {
         let snap = m.snapshot();
         let total: u64 = snap.worker_morsels.iter().sum();
         assert_eq!(total, N as u64, "every morsel claimed exactly once");
-        let mean = N as u64 / THREADS as u64;
-        for (w, &c) in snap.worker_morsels.iter().take(THREADS).enumerate() {
-            assert!(
-                c <= 2 * mean,
-                "worker {w} claimed {c} morsels (> 2x mean {mean}): {:?}",
-                snap.worker_morsels
-            );
-        }
         assert!(snap.morsels_stolen > 0, "skewed seed must trigger stealing");
         assert_eq!(
             snap.morsels_stolen,
             snap.worker_steals.iter().sum::<u64>(),
             "aggregate steal counter matches per-worker counts"
         );
-        let _ = claims;
+        assert_eq!(
+            snap.sched_wait_us.count, 1,
+            "one region records one scheduler wait sample"
+        );
+        // Claim balance needs real parallelism: with fewer pool workers
+        // than DOP (e.g. a 1-core CI box) a single worker legitimately
+        // claims most morsels through steals.
+        if sched::pool_size() >= DOP {
+            let mean = N as u64 / DOP as u64;
+            for (w, &c) in snap.worker_morsels.iter().take(DOP).enumerate() {
+                assert!(
+                    c <= 2 * mean,
+                    "lane {w} claimed {c} morsels (> 2x mean {mean}): {:?}",
+                    snap.worker_morsels
+                );
+            }
+        }
     }
 
     /// First-error-wins must survive stealing: whichever worker hits an
@@ -906,6 +878,27 @@ mod tests {
         // but the returned one must be the lowest *recorded* index, and
         // must always be an injected error.
         assert!(msg.contains("boom"), "unexpected error: {msg}");
+    }
+
+    /// A panicking task body must surface as a query error (the shared
+    /// pool catches it and fails the job), never tear down pool workers.
+    #[test]
+    fn panicking_task_becomes_an_error_not_a_crash() {
+        let metrics = None;
+        let err = run_indexed::<usize, _>(8, 4, &metrics, |i| {
+            if i == 5 {
+                panic!("morsel panic");
+            }
+            Ok((i, 1))
+        })
+        .unwrap_err();
+        assert!(
+            format!("{err}").contains("panicked"),
+            "unexpected error: {err}"
+        );
+        // The pool survives and still runs work.
+        let ok = run_indexed::<usize, _>(4, 2, &metrics, |i| Ok((i, 1))).unwrap();
+        assert_eq!(ok, vec![0, 1, 2, 3]);
     }
 
     #[test]

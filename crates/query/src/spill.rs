@@ -32,8 +32,10 @@ pub struct ExecContext {
     pub spill_threshold: Option<usize>,
     /// `veridb-obs` registry for executor metrics (`None` = unmetered).
     pub metrics: Option<Arc<Metrics>>,
-    /// Worker-pool size for parallel regions (`0` = use the size recorded
-    /// in the plan's Exchange nodes; `1` = run regions serially inline).
+    /// Per-query degree of parallelism for parallel regions — the cap
+    /// on shared scheduler-pool workers one region may occupy (`0` =
+    /// use the DOP recorded in the plan's Exchange nodes; `1` = run
+    /// regions serially inline).
     pub workers: usize,
 }
 
