@@ -35,6 +35,8 @@ fn main() {
     let mut channel: Option<String> = None;
     let mut max_conns: Option<usize> = None;
     let mut net_queue: Option<usize> = None;
+    let mut data_dir: Option<String> = None;
+    let mut replica_of: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +56,10 @@ fn main() {
             max_conns = parse_flag("--max-conns", Some(v.to_owned()));
         } else if let Some(v) = a.strip_prefix("--net-queue=") {
             net_queue = parse_flag("--net-queue", Some(v.to_owned()));
+        } else if let Some(v) = a.strip_prefix("--data-dir=") {
+            data_dir = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--replica-of=") {
+            replica_of = Some(v.to_owned());
         } else {
             match a.as_str() {
                 "--workers" => workers = parse_flag("--workers", it.next()),
@@ -64,6 +70,8 @@ fn main() {
                 "--channel" => channel = parse_flag("--channel", it.next()),
                 "--max-conns" => max_conns = parse_flag("--max-conns", it.next()),
                 "--net-queue" => net_queue = parse_flag("--net-queue", it.next()),
+                "--data-dir" => data_dir = parse_flag("--data-dir", it.next()),
+                "--replica-of" => replica_of = parse_flag("--replica-of", it.next()),
                 _ => positional.push(a),
             }
         }
@@ -89,6 +97,20 @@ fn main() {
     }
     if let Some(n) = net_queue {
         config.net_queue_depth = n.clamp(1, 1 << 20);
+    }
+    if let Some(d) = data_dir {
+        config.data_dir = Some(d);
+    }
+    if let Some(p) = replica_of {
+        if config.data_dir.is_none() {
+            eprintln!("--replica-of requires --data-dir (the replica keeps its own endorsed log)");
+            std::process::exit(2);
+        }
+        if positional.first().map(String::as_str) != Some("serve") {
+            eprintln!("--replica-of only makes sense with the serve subcommand");
+            std::process::exit(2);
+        }
+        config.replica_of = Some(p);
     }
     // Unless overridden, synchronous verification uses the same pool size
     // as query execution (the MemConfig knob); `--verify-threads` decouples
@@ -137,6 +159,12 @@ fn main() {
                  \x20 --net-queue <n>       serve: admission queue depth; queries past it\n\
                  \x20                       get a retryable Overloaded error\n\
                  \x20                       (default: $VERIDB_NET_QUEUE or 256)\n\
+                 \x20 --data-dir <path>     durable mode: MAC-chained write-ahead log,\n\
+                 \x20                       snapshots, sealed epoch manifests; restart\n\
+                 \x20                       recovers (or refuses, on rollback) from here\n\
+                 \x20 --replica-of <addr>   serve: run as a warm replica of the primary at\n\
+                 \x20                       <addr> — tail its endorsed log, auto-promote\n\
+                 \x20                       when it dies (requires --data-dir)\n\
                  net knobs: $VERIDB_MAX_CONNS, $VERIDB_NET_TIMEOUT_MS, $VERIDB_NET_QUEUE,\n\
                  \x20         $VERIDB_REPLAY_WINDOW"
             );
@@ -282,6 +310,15 @@ fn cmd_serve(listen: Option<String>, config: VeriDbConfig) -> i32 {
     let addr = listen
         .or_else(|| config.listen_addr.clone())
         .unwrap_or_else(|| "127.0.0.1:5433".to_owned());
+    let net_timeout = std::time::Duration::from_millis(config.net_timeout_ms);
+    // A cold replica needs the primary's sealed root entropy before its
+    // first durable open — fetched over the attested wire, written once.
+    if let (Some(primary), Some(dir)) = (config.replica_of.clone(), config.data_dir.clone()) {
+        if let Err(e) = veridb_net::ensure_replica_seed(&dir, &primary, "veridb", net_timeout) {
+            eprintln!("failed to bootstrap replica seed from {primary}: {e}");
+            return 1;
+        }
+    }
     let db = match VeriDb::open(config) {
         Ok(db) => db,
         Err(e) => {
@@ -290,6 +327,9 @@ fn cmd_serve(listen: Option<String>, config: VeriDbConfig) -> i32 {
         }
     };
     let db = std::sync::Arc::new(db);
+    let runner = db.config().replica_of.clone().map(|primary| {
+        veridb_net::ReplicaRunner::spawn(std::sync::Arc::clone(&db), &primary, "veridb", net_timeout)
+    });
     let mut server = match veridb_net::serve(std::sync::Arc::clone(&db), &addr) {
         Ok(s) => s,
         Err(e) => {
@@ -306,6 +346,19 @@ fn cmd_serve(listen: Option<String>, config: VeriDbConfig) -> i32 {
         db.config().net_timeout_ms,
         db.config().replay_window
     );
+    match (&db.config().data_dir, &db.config().replica_of) {
+        (Some(dir), Some(primary)) => println!(
+            "durable: data dir {dir} — warm replica of {primary}, applying its endorsed \
+             log through the verified path (auto-promotes if the primary dies)."
+        ),
+        (Some(dir), None) => println!(
+            "durable: data dir {dir} — MAC-chained log, group commit, sealed epoch \
+             manifests; restart recovers or refuses on rollback."
+        ),
+        (None, _) => println!(
+            "durable: OFF — ephemeral instance; pass --data-dir to enable the endorsed log."
+        ),
+    }
     let stdin = std::io::stdin();
     loop {
         let mut line = String::new();
@@ -327,6 +380,9 @@ fn cmd_serve(listen: Option<String>, config: VeriDbConfig) -> i32 {
     }
     println!("shutting down (draining in-flight queries)…");
     server.shutdown();
+    if let Some(r) = runner {
+        let _ = r.stop();
+    }
     0
 }
 

@@ -121,6 +121,34 @@ pub struct VeriDbConfig {
     /// Honours `VERIDB_REPLAY_WINDOW`.
     #[serde(default = "default_replay_window")]
     pub replay_window: usize,
+    /// Directory for durable state: the MAC-chained write-ahead log,
+    /// sealed snapshot manifests, the trusted monotonic counter and the
+    /// sealed enclave seed. `None` (the default) keeps the instance purely
+    /// in-memory, exactly as before the durability subsystem existed.
+    /// Honours `VERIDB_DATA_DIR`.
+    #[serde(default = "default_data_dir")]
+    pub data_dir: Option<String>,
+    /// Address of a primary to follow as a warm replica (`veridb serve
+    /// --replica-of host:port`). The replica subscribes to the primary's
+    /// endorsed log stream and applies every record through the same
+    /// verified write path. `None` means standalone/primary.
+    #[serde(default)]
+    pub replica_of: Option<String>,
+    /// Group-commit window in microseconds: how long the WAL flusher
+    /// lingers to let more appends join one fsync. `0` degenerates to
+    /// fsync-per-commit. Honours `VERIDB_GROUP_COMMIT_US`.
+    #[serde(default = "default_group_commit_window_us")]
+    pub group_commit_window_us: u64,
+    /// Seal a snapshot + manifest (and bump the trusted counter) every
+    /// this many durable log records, bounding recovery replay time.
+    /// `0` disables automatic sealing (a seal still happens on clean
+    /// recovery). Honours `VERIDB_SNAPSHOT_EVERY`.
+    #[serde(default = "default_snapshot_every_records")]
+    pub snapshot_every_records: u64,
+    /// WAL segment rotation threshold in bytes. Honours
+    /// `VERIDB_WAL_SEGMENT_BYTES`.
+    #[serde(default = "default_wal_segment_bytes")]
+    pub wal_segment_bytes: u64,
 }
 
 fn default_metrics() -> bool {
@@ -216,6 +244,47 @@ fn default_net_queue_depth() -> usize {
     env_knob("VERIDB_NET_QUEUE", 1, 1 << 20, DEFAULT_NET_QUEUE_DEPTH)
 }
 
+/// Default group-commit window when `VERIDB_GROUP_COMMIT_US` is unset:
+/// long enough to batch concurrent commits, short next to a query.
+pub const DEFAULT_GROUP_COMMIT_WINDOW_US: u64 = 100;
+/// Default seal cadence when `VERIDB_SNAPSHOT_EVERY` is unset.
+pub const DEFAULT_SNAPSHOT_EVERY_RECORDS: u64 = 10_000;
+/// Default WAL segment size when `VERIDB_WAL_SEGMENT_BYTES` is unset.
+pub const DEFAULT_WAL_SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
+
+fn default_data_dir() -> Option<String> {
+    std::env::var("VERIDB_DATA_DIR")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+fn default_group_commit_window_us() -> u64 {
+    env_knob(
+        "VERIDB_GROUP_COMMIT_US",
+        0,
+        1_000_000,
+        DEFAULT_GROUP_COMMIT_WINDOW_US,
+    )
+}
+
+fn default_snapshot_every_records() -> u64 {
+    env_knob(
+        "VERIDB_SNAPSHOT_EVERY",
+        0,
+        u64::MAX,
+        DEFAULT_SNAPSHOT_EVERY_RECORDS,
+    )
+}
+
+fn default_wal_segment_bytes() -> u64 {
+    env_knob(
+        "VERIDB_WAL_SEGMENT_BYTES",
+        1 << 16,
+        1 << 40,
+        DEFAULT_WAL_SEGMENT_BYTES,
+    )
+}
+
 fn default_cell_cache_bytes() -> usize {
     match std::env::var("VERIDB_CELL_CACHE") {
         Err(_) => DEFAULT_CELL_CACHE_BYTES,
@@ -245,7 +314,7 @@ impl Default for VeriDbConfig {
             prf: PrfBackend::HmacSha256,
             epc_budget: 96 * 1024 * 1024,
             model_sgx_costs: true,
-            metrics: true,
+            metrics: default_metrics(),
             workers: default_workers(),
             pool_threads: default_pool_threads(),
             cell_cache_bytes: default_cell_cache_bytes(),
@@ -254,6 +323,11 @@ impl Default for VeriDbConfig {
             net_timeout_ms: default_net_timeout_ms(),
             net_queue_depth: default_net_queue_depth(),
             replay_window: default_replay_window(),
+            data_dir: default_data_dir(),
+            replica_of: None,
+            group_commit_window_us: default_group_commit_window_us(),
+            snapshot_every_records: default_snapshot_every_records(),
+            wal_segment_bytes: default_wal_segment_bytes(),
         }
     }
 }
@@ -348,6 +422,30 @@ impl VeriDbConfig {
             return Err(Error::Config(format!(
                 "replay_window {} exceeds the 4M-entry EPC-budget ceiling",
                 self.replay_window
+            )));
+        }
+        if let Some(dir) = &self.data_dir {
+            if dir.is_empty() {
+                return Err(Error::Config(
+                    "data_dir must be a non-empty path (or None)".into(),
+                ));
+            }
+        }
+        if self.replica_of.is_some() && self.data_dir.is_none() {
+            return Err(Error::Config(
+                "replica_of requires data_dir (a replica persists the shipped log)".into(),
+            ));
+        }
+        if self.group_commit_window_us > 1_000_000 {
+            return Err(Error::Config(format!(
+                "group_commit_window_us {} exceeds the 1s ceiling",
+                self.group_commit_window_us
+            )));
+        }
+        if self.wal_segment_bytes < 1 << 16 {
+            return Err(Error::Config(format!(
+                "wal_segment_bytes {} too small (min 64 KiB)",
+                self.wal_segment_bytes
             )));
         }
         Ok(())
@@ -457,6 +555,34 @@ mod tests {
         c.net_timeout_ms = 10;
         c.net_queue_depth = 4;
         c.listen_addr = Some("127.0.0.1:5433".into());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn durability_knobs_validate() {
+        let mut c = VeriDbConfig::default();
+        c.data_dir = Some(String::new());
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.data_dir = None;
+        c.replica_of = Some("127.0.0.1:5433".into());
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.group_commit_window_us = 2_000_000;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.wal_segment_bytes = 1024;
+        assert!(c.validate().is_err());
+
+        let mut c = VeriDbConfig::default();
+        c.data_dir = Some("/tmp/veridb-data".into());
+        c.replica_of = Some("127.0.0.1:5433".into());
+        c.group_commit_window_us = 0;
+        c.snapshot_every_records = 0;
+        c.wal_segment_bytes = 1 << 16;
         c.validate().unwrap();
     }
 }

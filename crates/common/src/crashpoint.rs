@@ -1,0 +1,88 @@
+//! Deterministic crash injection for durability testing.
+//!
+//! The crash-recovery test suite must be able to kill a server process at
+//! *exact* points in the commit pipeline — between buffering a log record,
+//! fsyncing it, sealing a snapshot manifest, and acknowledging the client —
+//! to prove that every interleaving recovers to a correct state or a
+//! visible refusal, never a silently wrong one.
+//!
+//! [`crashpoint`] is a named no-op unless the process was started with
+//! `VERIDB_CRASH_AT=<name>` (abort on the first hit of that point) or
+//! `VERIDB_CRASH_AT=<name>:<n>` (abort on the n-th hit, 1-based). On a
+//! match the process calls [`std::process::abort`] — no destructors, no
+//! flushes, the closest userspace gets to yanking the power cord.
+//!
+//! The environment variable is read once; the hit counter only ever tracks
+//! the single armed point, so unarmed production processes pay one atomic
+//! load per call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+struct Armed {
+    name: String,
+    nth: u64,
+    hits: AtomicU64,
+}
+
+fn armed() -> Option<&'static Armed> {
+    static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            let spec = std::env::var("VERIDB_CRASH_AT").ok()?;
+            let spec = spec.trim();
+            if spec.is_empty() {
+                return None;
+            }
+            let (name, nth) = match spec.rsplit_once(':') {
+                Some((name, n)) => match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => (name, n),
+                    _ => {
+                        eprintln!(
+                            "warning: invalid VERIDB_CRASH_AT count in {spec:?}; \
+                             expected <name> or <name>:<n> with n >= 1"
+                        );
+                        return None;
+                    }
+                },
+                None => (spec, 1),
+            };
+            Some(Armed {
+                name: name.to_owned(),
+                nth,
+                hits: AtomicU64::new(0),
+            })
+        })
+        .as_ref()
+}
+
+/// Abort the process if the crash point `name` is armed via
+/// `VERIDB_CRASH_AT` and this is its n-th hit. No-op otherwise.
+pub fn crashpoint(name: &str) {
+    let Some(armed) = armed() else {
+        return;
+    };
+    if armed.name != name {
+        return;
+    }
+    let hit = armed.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    if hit == armed.nth {
+        // stderr is best-effort: the whole point is to die unceremoniously.
+        eprintln!("VERIDB_CRASH_AT: aborting at crash point {name:?} (hit {hit})");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The env var is read once per process, so in-process tests can only
+    // exercise the unarmed path; the armed path is exercised by the
+    // child-process suite in tests/tests/crash_recovery.rs.
+    #[test]
+    fn unarmed_crashpoint_is_a_no_op() {
+        crashpoint("wal-pre-fsync");
+        crashpoint("anything-at-all");
+    }
+}

@@ -56,6 +56,11 @@ pub enum Error {
     Config(String),
     /// Generic invalid-argument error.
     InvalidArgument(String),
+    /// A local storage I/O failure (write-ahead log, snapshot files).
+    /// Like [`Error::Net`] this is an availability problem, not a
+    /// security violation: a disk that *lies* is caught by the MAC chain
+    /// and sealed manifests, a disk that merely *fails* surfaces here.
+    Io(String),
     /// A network-transport failure (socket I/O, framing, timeouts) with
     /// enough context to debug it: the peer address and the operation
     /// that failed. Deliberately *not* a security violation — the framing
@@ -142,6 +147,7 @@ impl fmt::Display for Error {
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Io(m) => write!(f, "I/O error: {m}"),
             Error::Net { peer, op, detail } => {
                 write!(f, "network error ({op}, peer {peer}): {detail}")
             }
@@ -222,6 +228,7 @@ mod tests {
         }
         .is_security_violation());
         assert!(!Error::Parse("x".into()).is_security_violation());
+        assert!(!Error::Io("disk full".into()).is_security_violation());
     }
 
     #[test]

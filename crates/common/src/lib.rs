@@ -23,6 +23,8 @@
 pub mod backoff;
 pub mod codec;
 pub mod config;
+pub mod crashpoint;
+pub mod crc;
 pub mod error;
 pub mod obs;
 pub mod row;
@@ -31,6 +33,7 @@ pub mod schema;
 pub mod value;
 
 pub use config::{PrfBackend, VeriDbConfig};
+pub use crashpoint::crashpoint;
 pub use error::{Error, Result};
 pub use obs::{Metrics, MetricsSnapshot, OperatorKind};
 pub use row::Row;

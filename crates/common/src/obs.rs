@@ -483,6 +483,30 @@ pub struct Metrics {
     /// Outbound frames coalesced into each vectored `writev` syscall
     /// (sampled per flush write; >1 means pipelined responses batched).
     pub net_writev_frames: Histogram,
+    // -- log: the MAC-chained write-ahead log -----------------------------
+    /// Records appended to the write-ahead log.
+    pub log_appends: Counter,
+    /// Bytes appended to the write-ahead log (framed record bytes).
+    pub log_append_bytes: Counter,
+    /// WAL fsync latency (microseconds, one sample per group commit).
+    pub log_fsync_us: Histogram,
+    /// Records made durable per fsync (group-commit batch size).
+    pub log_group_commit_batch: Histogram,
+    /// Replica lag in records: primary durable LSN minus the newest LSN
+    /// the replica has acknowledged applying.
+    pub log_ship_lag_records: Gauge,
+    /// Records shipped to the replica over the wire.
+    pub log_shipped_records: Counter,
+    // -- snapshot: sealed epoch manifests ---------------------------------
+    /// Snapshots sealed (snapshot + manifest + counter bump).
+    pub snapshot_written: Counter,
+    /// Bytes written across all sealed snapshots.
+    pub snapshot_bytes: Counter,
+    /// Recoveries that replayed a snapshot + log tail successfully.
+    pub snapshot_replays: Counter,
+    /// Recoveries refused because the host offered rolled-back state
+    /// (stale manifest, truncated log, substituted snapshot).
+    pub snapshot_rollbacks_refused: Counter,
 }
 
 impl Metrics {
@@ -616,6 +640,16 @@ impl Metrics {
             net_queued: self.net_queued.get(),
             net_wire_ns: self.net_wire_ns.snapshot(),
             net_writev_frames: self.net_writev_frames.snapshot(),
+            log_appends: self.log_appends.get(),
+            log_append_bytes: self.log_append_bytes.get(),
+            log_fsync_us: self.log_fsync_us.snapshot(),
+            log_group_commit_batch: self.log_group_commit_batch.snapshot(),
+            log_ship_lag_records: self.log_ship_lag_records.get(),
+            log_shipped_records: self.log_shipped_records.get(),
+            snapshot_written: self.snapshot_written.get(),
+            snapshot_bytes: self.snapshot_bytes.get(),
+            snapshot_replays: self.snapshot_replays.get(),
+            snapshot_rollbacks_refused: self.snapshot_rollbacks_refused.get(),
             prf_evals: 0,
             ecalls: 0,
             epc_swaps: 0,
@@ -691,6 +725,16 @@ pub struct MetricsSnapshot {
     pub net_queued: u64,
     pub net_wire_ns: HistogramSnapshot,
     pub net_writev_frames: HistogramSnapshot,
+    pub log_appends: u64,
+    pub log_append_bytes: u64,
+    pub log_fsync_us: HistogramSnapshot,
+    pub log_group_commit_batch: HistogramSnapshot,
+    pub log_ship_lag_records: u64,
+    pub log_shipped_records: u64,
+    pub snapshot_written: u64,
+    pub snapshot_bytes: u64,
+    pub snapshot_replays: u64,
+    pub snapshot_rollbacks_refused: u64,
     /// PRF evaluations (from the enclave cost substrate).
     pub prf_evals: u64,
     /// ECall boundary crossings (from the enclave cost substrate).
@@ -868,6 +912,29 @@ impl MetricsSnapshot {
             net_queued: self.net_queued,
             net_wire_ns: self.net_wire_ns.since(&earlier.net_wire_ns),
             net_writev_frames: self.net_writev_frames.since(&earlier.net_writev_frames),
+            log_appends: self.log_appends.saturating_sub(earlier.log_appends),
+            log_append_bytes: self
+                .log_append_bytes
+                .saturating_sub(earlier.log_append_bytes),
+            log_fsync_us: self.log_fsync_us.since(&earlier.log_fsync_us),
+            log_group_commit_batch: self
+                .log_group_commit_batch
+                .since(&earlier.log_group_commit_batch),
+            // Gauge: carries the later snapshot's value.
+            log_ship_lag_records: self.log_ship_lag_records,
+            log_shipped_records: self
+                .log_shipped_records
+                .saturating_sub(earlier.log_shipped_records),
+            snapshot_written: self
+                .snapshot_written
+                .saturating_sub(earlier.snapshot_written),
+            snapshot_bytes: self.snapshot_bytes.saturating_sub(earlier.snapshot_bytes),
+            snapshot_replays: self
+                .snapshot_replays
+                .saturating_sub(earlier.snapshot_replays),
+            snapshot_rollbacks_refused: self
+                .snapshot_rollbacks_refused
+                .saturating_sub(earlier.snapshot_rollbacks_refused),
             prf_evals: self.prf_evals.saturating_sub(earlier.prf_evals),
             ecalls: self.ecalls.saturating_sub(earlier.ecalls),
             epc_swaps: self.epc_swaps.saturating_sub(earlier.epc_swaps),
@@ -1040,6 +1107,23 @@ impl MetricsSnapshot {
             ),
             ("net.writev_frames_per_call.sum", self.net_writev_frames.sum),
             ("net.writev_frames_per_call.max", self.net_writev_frames.max),
+            ("log.appends", self.log_appends),
+            ("log.append_bytes", self.log_append_bytes),
+            ("log.fsync_us.count", self.log_fsync_us.count),
+            ("log.fsync_us.sum", self.log_fsync_us.sum),
+            ("log.fsync_us.max", self.log_fsync_us.max),
+            (
+                "log.group_commit_batch.count",
+                self.log_group_commit_batch.count,
+            ),
+            ("log.group_commit_batch.sum", self.log_group_commit_batch.sum),
+            ("log.group_commit_batch.max", self.log_group_commit_batch.max),
+            ("log.ship_lag_records", self.log_ship_lag_records),
+            ("log.shipped_records", self.log_shipped_records),
+            ("snapshot.written", self.snapshot_written),
+            ("snapshot.bytes", self.snapshot_bytes),
+            ("snapshot.replays", self.snapshot_replays),
+            ("snapshot.rollbacks_refused", self.snapshot_rollbacks_refused),
             ("enclave.prf_evals", self.prf_evals),
             ("enclave.ecalls", self.ecalls),
             ("enclave.epc_swaps", self.epc_swaps),
@@ -1210,6 +1294,36 @@ mod tests {
         assert!(names.contains(&"query.cross_job_steals"));
         assert!(names.contains(&"query.worker0.cross_job_steals"));
         assert!(names.contains(&"query.worker7.cross_job_steals"));
+        assert!(names.contains(&"log.appends"));
+        assert!(names.contains(&"log.append_bytes"));
+        assert!(names.contains(&"log.fsync_us.count"));
+        assert!(names.contains(&"log.group_commit_batch.count"));
+        assert!(names.contains(&"log.ship_lag_records"));
+        assert!(names.contains(&"snapshot.written"));
+        assert!(names.contains(&"snapshot.rollbacks_refused"));
+    }
+
+    #[test]
+    fn log_family_snapshots_and_diffs() {
+        let m = Metrics::new();
+        m.log_appends.add(4);
+        m.log_append_bytes.add(512);
+        m.log_fsync_us.record(80);
+        m.log_group_commit_batch.record(4);
+        m.log_ship_lag_records.set(7);
+        m.snapshot_written.inc();
+        let a = m.snapshot();
+        m.log_appends.inc();
+        m.log_ship_lag_records.set(2);
+        m.snapshot_rollbacks_refused.inc();
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.log_appends, 1);
+        assert_eq!(d.log_append_bytes, 0);
+        assert_eq!(d.snapshot_written, 0);
+        assert_eq!(d.snapshot_rollbacks_refused, 1);
+        assert_eq!(d.log_ship_lag_records, 2, "gauge carries the later value");
+        assert_eq!(a.log_fsync_us.count, 1);
+        assert_eq!(a.log_group_commit_batch.sum, 4);
     }
 
     #[test]

@@ -42,9 +42,12 @@
 //! db.verify_now().unwrap();
 //! ```
 
+pub mod durable;
 pub mod recovery;
 
+pub use durable::DurableState;
 pub use recovery::Replica;
+pub use veridb_log::{LogRecord, Wal};
 pub use veridb_common::{
     ColumnDef, ColumnType, Error, Metrics, MetricsSnapshot, OperatorKind, PrfBackend, Result, Row,
     Schema, Value, VeriDbConfig,
@@ -68,12 +71,22 @@ pub struct VeriDb {
     engine: Arc<QueryEngine>,
     verifier: Mutex<Option<BackgroundVerifier>>,
     config: VeriDbConfig,
+    /// Durability subsystem (WAL + sealed epochs); `None` for the
+    /// classic in-memory instance.
+    durable: Option<Arc<durable::DurableState>>,
 }
 
 impl VeriDb {
     /// Open a database with OS-random enclave keys. Starts the background
-    /// verifier if `config.verify_every_ops` is set.
+    /// verifier if `config.verify_every_ops` is set. With
+    /// `config.data_dir` set, routes to [`VeriDb::open_durable`]: the
+    /// instance is WAL-backed and crash-recoverable, and its keys come
+    /// from sealed entropy in the data directory instead of fresh OS
+    /// randomness.
     pub fn open(config: VeriDbConfig) -> Result<VeriDb> {
+        if config.data_dir.is_some() {
+            return Self::open_durable(config);
+        }
         let mut entropy = [0u8; 32];
         rand::RngCore::fill_bytes(&mut rand::thread_rng(), &mut entropy);
         Self::open_with_entropy(config, "veridb", entropy)
@@ -118,6 +131,7 @@ impl VeriDb {
             engine,
             verifier: Mutex::new(None),
             config,
+            durable: None,
         };
         if db.config.verify_every_ops.is_some() {
             db.start_verifier();
@@ -260,6 +274,11 @@ impl VeriDb {
 impl Drop for VeriDb {
     fn drop(&mut self) {
         let _ = self.stop_verifier();
+        // Push buffered log records to disk; a clean shutdown should not
+        // depend on the next commit's group-commit leader.
+        if let Some(d) = &self.durable {
+            let _ = d.wal().flush_all();
+        }
     }
 }
 

@@ -16,7 +16,6 @@
 //! client-side sequence-number defense would catch.
 
 use crate::VeriDb;
-use std::sync::Arc;
 use veridb_common::{Result, Row, Schema, VeriDbConfig};
 
 /// A replica snapshot: everything needed to rebuild the database through
@@ -51,15 +50,20 @@ impl VeriDb {
     /// keys — the old ones died with the machine), then replay the
     /// replica's rows through the protected insert path, rebuilding
     /// `h(WS)` as a side effect, exactly as §5.1 describes.
+    ///
+    /// This is the same replay engine disk recovery uses
+    /// ([`replay_tables`]) — one replay path, two sources: an in-process
+    /// [`Replica`] snapshot here, a sealed on-disk snapshot + WAL tail in
+    /// [`VeriDb::open_durable`].
     pub fn recover_from_replica(config: VeriDbConfig, replica: &Replica) -> Result<VeriDb> {
         let db = VeriDb::open(config)?;
-        for (name, schema, rows) in &replica.tables {
-            let table = db.catalog().create_table(name, schema.clone())?;
-            for row in rows {
-                table.insert(row.clone())?;
-            }
-            let _ = Arc::strong_count(&table);
-        }
+        replay_tables(
+            &db,
+            replica
+                .tables
+                .iter()
+                .map(|(n, s, r)| (n.clone(), s.clone(), r.clone())),
+        )?;
         // Never reuse sequence numbers from before the failure.
         db.enclave()
             .advance_timestamp_to(replica.sequence_high_water);
@@ -67,6 +71,24 @@ impl VeriDb {
         db.verify_now()?;
         Ok(db)
     }
+}
+
+/// The single snapshot-replay engine: rebuild tables through the
+/// protected write path (create + verified inserts), so `h(WS)` is
+/// re-established as a side effect. Both recovery sources — in-process
+/// [`Replica`] snapshots and `veridb-log`'s sealed on-disk snapshots —
+/// route through here.
+pub(crate) fn replay_tables(
+    db: &VeriDb,
+    tables: impl IntoIterator<Item = (String, Schema, Vec<Row>)>,
+) -> Result<()> {
+    for (name, schema, rows) in tables {
+        let table = db.catalog().create_table(&name, schema)?;
+        for row in rows {
+            table.insert(row)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

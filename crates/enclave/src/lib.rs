@@ -93,6 +93,22 @@ impl Enclave {
         }
     }
 
+    /// The sealing key bound to "CPU fuses" + the measurement of
+    /// `identity` — derivable *before* any enclave instance exists,
+    /// which is what lets a restarted enclave recover its sealed root
+    /// entropy from disk and come back up with the same derived keys.
+    ///
+    /// In real SGX this is `EGETKEY(SEAL_KEY)`: hardware fuse secrets
+    /// mixed with MRENCLAVE, identical across launches of the same
+    /// enclave on the same CPU. The simulation has one "CPU", so the
+    /// fuse secret is a process-wide constant; the measurement binding
+    /// still ensures different enclave identities get different keys.
+    pub fn fuse_seal_key(identity: &str) -> [u8; 32] {
+        const SIMULATED_FUSE_SECRET: [u8; 32] = *b"veridb-simulated-cpu-fuse-secret";
+        let m = Measurement::of_code(identity.as_bytes());
+        mac::derive_key(&SIMULATED_FUSE_SECRET, m.as_bytes())
+    }
+
     /// Create an enclave with OS randomness for the root key.
     pub fn create_random(identity: &str, epc_budget: usize) -> Self {
         let mut entropy = [0u8; 32];

@@ -16,7 +16,8 @@
 //! tampering), sufficient for a simulation whose adversary model we also
 //! control.
 
-use crate::mac::{derive_key, Mac, MacKey};
+use crate::mac::{derive_key, Mac, MacKey, MAC_LEN};
+use veridb_common::codec::{put_bytes, Reader};
 use veridb_common::{Error, Result};
 
 /// A sealed blob: safe to hand to the untrusted host.
@@ -44,6 +45,50 @@ impl SealedBlob {
         if let Some(b) = self.ciphertext.first_mut() {
             *b ^= 1;
         }
+    }
+
+    /// Canonical byte encoding, for handing the blob to the untrusted host
+    /// for persistence (manifest files) or transport (the replica seed
+    /// hand-off). The bytes are exactly what [`Sealer::unseal`]
+    /// authenticates, so a host that mangles them gets `AuthFailed`, never
+    /// a silent misparse.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 4 + self.ciphertext.len() + MAC_LEN);
+        buf.extend_from_slice(&self.nonce);
+        put_bytes(&mut buf, &self.ciphertext);
+        buf.extend_from_slice(&self.tag.0);
+        buf
+    }
+
+    /// Decode bytes produced by [`SealedBlob::to_bytes`]. The input comes
+    /// from untrusted storage: truncation or trailing garbage is
+    /// [`Error::Codec`], never a panic. Decoding performs no integrity
+    /// check — that is [`Sealer::unseal`]'s job.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SealedBlob> {
+        let mut r = Reader::new(bytes);
+        let mut nonce = [0u8; 16];
+        if r.remaining() < 16 {
+            return Err(Error::Codec("sealed blob truncated before nonce".into()));
+        }
+        for b in nonce.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        let ciphertext = r.get_bytes()?.to_vec();
+        let mut tag = [0u8; MAC_LEN];
+        if r.remaining() != MAC_LEN {
+            return Err(Error::Codec(format!(
+                "sealed blob tag is {} bytes, expected {MAC_LEN}",
+                r.remaining()
+            )));
+        }
+        for b in tag.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        Ok(SealedBlob {
+            nonce,
+            ciphertext,
+            tag: Mac(tag),
+        })
     }
 }
 
@@ -158,5 +203,39 @@ mod tests {
         let a = s.seal(b"same plaintext", [1u8; 16]);
         let b = s.seal(b"same plaintext", [2u8; 16]);
         assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    fn byte_encoding_round_trips_and_still_unseals() {
+        let s = sealer(5);
+        let blob = s.seal(b"manifest payload", [3u8; 16]);
+        let bytes = blob.to_bytes();
+        let back = SealedBlob::from_bytes(&bytes).unwrap();
+        assert_eq!(back, blob);
+        assert_eq!(s.unseal(&back).unwrap(), b"manifest payload");
+    }
+
+    #[test]
+    fn truncated_encoding_errors_cleanly_at_every_offset() {
+        let bytes = sealer(6).seal(b"some payload", [4u8; 16]).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SealedBlob::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+        // Trailing garbage is rejected too (tag length check).
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SealedBlob::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn tampered_encoding_fails_unseal_not_decode() {
+        let s = sealer(7);
+        let mut bytes = s.seal(b"payload", [5u8; 16]).to_bytes();
+        bytes[20] ^= 0x40; // inside the ciphertext
+        let blob = SealedBlob::from_bytes(&bytes).unwrap();
+        assert!(s.unseal(&blob).unwrap_err().is_security_violation());
     }
 }

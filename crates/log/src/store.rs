@@ -1,0 +1,671 @@
+//! Sealed epoch manifests, snapshots, and the trusted monotonic counter.
+//!
+//! An *epoch* is one sealed checkpoint of the database. Sealing epoch `E`
+//! writes three things, in a crash-safe order:
+//!
+//! 1. `snap-<E>.bin` — a plaintext snapshot of every table (the rows
+//!    already live in host-readable untrusted pages, so confidentiality
+//!    of the snapshot adds nothing; *integrity* comes from its hash being
+//!    pinned inside the sealed manifest).
+//! 2. `manifest-<E>.sealed` — a [`Manifest`] sealed under an
+//!    enclave-derived key: the snapshot hash, the WAL position and chain
+//!    MAC the snapshot corresponds to, the enclave timestamp high-water
+//!    mark, and the epoch number itself.
+//! 3. The [`TrustedCounter`] is bumped to `E` — the *only* step that
+//!    commits the epoch. A crash after (1) or (2) leaves a dangling
+//!    snapshot/manifest that recovery ignores, because the counter still
+//!    names the previous epoch.
+//!
+//! Recovery then refuses rollback by construction: the host must produce
+//! the manifest whose epoch equals the counter (an older one fails the
+//! equality), with the snapshot matching the sealed hash (a substituted
+//! snapshot fails), and a WAL extending at least to the manifest's
+//! `last_lsn` with the manifest's chain MAC at that position (a truncated
+//! or forked log fails).
+//!
+//! The counter file stands in for SGX's hardware monotonic counter. Its
+//! MAC (under a key derived from the simulated CPU fuse key) stops the
+//! host *editing* it; a host that deletes the entire data directory
+//! simulates destroying the hardware counter itself, which no software
+//! defense survives — the paper's §5.1 remedy for that is the
+//! client-side sequence-interval check, which `veridb-query::portal`
+//! implements.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use veridb_common::codec::{put_bytes, put_u16, put_u32, put_u64, Reader};
+use veridb_common::{ColumnDef, ColumnType, Error, Result, Row, Schema};
+use veridb_enclave::mac::{sha256, Mac, MacKey, MAC_LEN};
+use veridb_enclave::sealing::{SealedBlob, Sealer};
+
+/// Map an I/O error to [`Error::Io`] with the path and operation named.
+pub(crate) fn io_err(path: &Path, op: &str, e: &std::io::Error) -> Error {
+    Error::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// Fsync a directory so a just-created/renamed file's directory entry is
+/// durable.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err(dir, "fsync dir", &e))
+}
+
+/// Write `bytes` to `path` atomically: write + fsync a temp file, rename
+/// it into place, fsync the directory. A crash at any point leaves either
+/// the old file or the new one, never a torn mix.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let tmp = path.with_extension("tmp");
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err(&tmp, "create temp", &e))?;
+    f.write_all(bytes)
+        .and_then(|()| f.sync_data())
+        .map_err(|e| io_err(&tmp, "write temp", &e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, "rename into place", &e))?;
+    fsync_dir(dir)
+}
+
+// ---------------------------------------------------------------------
+// Trusted monotonic counter
+// ---------------------------------------------------------------------
+
+const COUNTER_FILE: &str = "counter.bin";
+
+/// The simulated hardware monotonic counter: an 8-byte value MAC'd under
+/// a fuse-derived key. [`TrustedCounter::advance_to`] is the only
+/// mutation and it never goes backwards.
+pub struct TrustedCounter {
+    path: PathBuf,
+    key: MacKey,
+    value: u64,
+}
+
+impl std::fmt::Debug for TrustedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedCounter")
+            .field("path", &self.path)
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TrustedCounter {
+    /// Open the counter in `dir`, creating it at zero if absent. A
+    /// present-but-forged counter file is `AuthFailed`.
+    pub fn open(dir: &Path, key: MacKey) -> Result<TrustedCounter> {
+        let path = dir.join(COUNTER_FILE);
+        let value = match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(io_err(&path, "read counter", &e)),
+            Ok(bytes) => {
+                if bytes.len() != 8 + MAC_LEN {
+                    return Err(Error::AuthFailed(format!(
+                        "trusted counter file is {} bytes, expected {}",
+                        bytes.len(),
+                        8 + MAC_LEN
+                    )));
+                }
+                let mut v = [0u8; 8];
+                v.copy_from_slice(&bytes[..8]);
+                let mut tag = [0u8; MAC_LEN];
+                tag.copy_from_slice(&bytes[8..]);
+                if !key.verify(&[b"trusted-counter", &v], &Mac(tag)) {
+                    return Err(Error::AuthFailed(
+                        "trusted counter file failed its MAC (host edited it)".into(),
+                    ));
+                }
+                u64::from_le_bytes(v)
+            }
+        };
+        Ok(TrustedCounter { path, key, value })
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Raise the counter to `v` durably. Lowering it is a programming
+    /// error and is refused.
+    pub fn advance_to(&mut self, v: u64) -> Result<()> {
+        if v < self.value {
+            return Err(Error::InvalidArgument(format!(
+                "monotonic counter cannot go backwards ({} -> {v})",
+                self.value
+            )));
+        }
+        if v == self.value {
+            return Ok(());
+        }
+        let le = v.to_le_bytes();
+        let tag = self.key.sign(&[b"trusted-counter", &le]);
+        let mut bytes = Vec::with_capacity(8 + MAC_LEN);
+        bytes.extend_from_slice(&le);
+        bytes.extend_from_slice(&tag.0);
+        write_file_atomic(&self.path, &bytes)?;
+        self.value = v;
+        Ok(())
+    }
+
+    /// `value + 1`, durably. Returns the new value.
+    pub fn bump(&mut self) -> Result<u64> {
+        self.advance_to(self.value + 1)?;
+        Ok(self.value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+const MANIFEST_MAGIC: &[u8; 8] = b"VDBMAN1\0";
+
+/// The sealed description of one epoch: what state the snapshot captures
+/// and where the log continues from.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Epoch number; must equal the trusted counter to be fresh.
+    pub epoch: u64,
+    /// LSN of the newest record folded into the snapshot (0 = none).
+    pub last_lsn: u64,
+    /// WAL chain MAC at `last_lsn` ([`crate::record::GENESIS_MAC`] when
+    /// `last_lsn` is 0). Pins the exact log prefix the snapshot covers.
+    pub chain_mac: Mac,
+    /// Enclave timestamp high-water mark at seal time; recovery advances
+    /// past it so endorsement sequence numbers never repeat.
+    pub seq_high_water: u64,
+    /// SHA-256 of the plaintext snapshot file.
+    pub snapshot_hash: [u8; 32],
+    /// The verified memory's logical state fingerprint at seal time
+    /// (XOR-fold of live cell digests); recovery re-derives it after
+    /// replay as a defense-in-depth equality witness.
+    pub state_fingerprint: [u8; 32],
+}
+
+impl std::fmt::Debug for Manifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manifest")
+            .field("epoch", &self.epoch)
+            .field("last_lsn", &self.last_lsn)
+            .field("seq_high_water", &self.seq_high_water)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Manifest {
+    /// Plaintext encoding (what gets sealed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 8 * 3 + MAC_LEN + 64);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        put_u64(&mut buf, self.epoch);
+        put_u64(&mut buf, self.last_lsn);
+        buf.extend_from_slice(&self.chain_mac.0);
+        put_u64(&mut buf, self.seq_high_water);
+        buf.extend_from_slice(&self.snapshot_hash);
+        buf.extend_from_slice(&self.state_fingerprint);
+        buf
+    }
+
+    /// Decode a plaintext manifest (after unsealing).
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        let mut r = Reader::new(bytes);
+        let mut magic = [0u8; 8];
+        for b in magic.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        if &magic != MANIFEST_MAGIC {
+            return Err(Error::Codec("bad manifest magic".into()));
+        }
+        let epoch = r.get_u64()?;
+        let last_lsn = r.get_u64()?;
+        let mut chain = [0u8; MAC_LEN];
+        for b in chain.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        let seq_high_water = r.get_u64()?;
+        let mut snapshot_hash = [0u8; 32];
+        for b in snapshot_hash.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        let mut state_fingerprint = [0u8; 32];
+        for b in state_fingerprint.iter_mut() {
+            *b = r.get_u8()?;
+        }
+        if r.remaining() != 0 {
+            return Err(Error::Codec("trailing bytes after manifest".into()));
+        }
+        Ok(Manifest {
+            epoch,
+            last_lsn,
+            chain_mac: Mac(chain),
+            seq_high_water,
+            snapshot_hash,
+            state_fingerprint,
+        })
+    }
+
+    /// Seal the manifest for persistence. The nonce is derived from the
+    /// epoch, which is unique per seal (the counter bump enforces it).
+    pub fn seal(&self, sealer: &Sealer) -> Vec<u8> {
+        let mut nonce = [0u8; 16];
+        nonce.copy_from_slice(&sha256(&[b"manifest-nonce", &self.epoch.to_le_bytes()])[..16]);
+        sealer.seal(&self.encode(), nonce).to_bytes()
+    }
+
+    /// Decode + unseal + parse a manifest file's bytes. Tampering is
+    /// `AuthFailed`; truncation is `Codec`.
+    pub fn unseal(bytes: &[u8], sealer: &Sealer) -> Result<Manifest> {
+        let blob = SealedBlob::from_bytes(bytes)?;
+        Manifest::decode(&sealer.unseal(&blob)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"VDBSNAP1";
+
+/// One table's complete contents at seal time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Table name.
+    pub name: String,
+    /// Schema, including which columns are chained.
+    pub schema: Schema,
+    /// Every live row, in verified-scan order.
+    pub rows: Vec<Row>,
+}
+
+fn type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Str => 2,
+        ColumnType::Date => 3,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<ColumnType> {
+    Ok(match tag {
+        0 => ColumnType::Int,
+        1 => ColumnType::Float,
+        2 => ColumnType::Str,
+        3 => ColumnType::Date,
+        _ => return Err(Error::Codec(format!("unknown column type tag {tag}"))),
+    })
+}
+
+/// Encode a full-database snapshot.
+pub fn encode_snapshot(tables: &[TableSnapshot]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut buf, tables.len() as u32);
+    for t in tables {
+        put_bytes(&mut buf, t.name.as_bytes());
+        let cols = t.schema.columns();
+        put_u16(&mut buf, cols.len() as u16);
+        for c in cols {
+            put_bytes(&mut buf, c.name.as_bytes());
+            buf.push(type_tag(c.ty));
+            buf.push(c.chained as u8);
+        }
+        put_u64(&mut buf, t.rows.len() as u64);
+        for row in &t.rows {
+            row.encode(&mut buf);
+        }
+    }
+    buf
+}
+
+/// Decode a snapshot produced by [`encode_snapshot`]. Bounds-checked
+/// throughout: truncated or trailing bytes are `Codec` errors, never
+/// panics — the file comes from the untrusted host (its *integrity* is
+/// established separately by the sealed manifest hash).
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<TableSnapshot>> {
+    let mut r = Reader::new(bytes);
+    let mut magic = [0u8; 8];
+    for b in magic.iter_mut() {
+        *b = r.get_u8()?;
+    }
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(Error::Codec("bad snapshot magic".into()));
+    }
+    let ntables = r.get_u32()?;
+    let mut tables = Vec::new();
+    for _ in 0..ntables {
+        let name = String::from_utf8(r.get_bytes()?.to_vec())
+            .map_err(|_| Error::Codec("table name is not UTF-8".into()))?;
+        let ncols = r.get_u16()?;
+        if ncols == 0 {
+            return Err(Error::Codec(format!("table {name} has no columns")));
+        }
+        let mut cols = Vec::with_capacity(ncols as usize);
+        for _ in 0..ncols {
+            let cname = String::from_utf8(r.get_bytes()?.to_vec())
+                .map_err(|_| Error::Codec("column name is not UTF-8".into()))?;
+            let ty = tag_type(r.get_u8()?)?;
+            let chained = r.get_u8()? != 0;
+            cols.push(ColumnDef {
+                name: cname,
+                ty,
+                chained,
+            });
+        }
+        let schema =
+            Schema::new(cols).map_err(|e| Error::Codec(format!("bad snapshot schema: {e}")))?;
+        let nrows = r.get_u64()?;
+        let mut rows = Vec::new();
+        for _ in 0..nrows {
+            rows.push(Row::decode(&mut r)?);
+        }
+        tables.push(TableSnapshot { name, schema, rows });
+    }
+    if r.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes after snapshot".into()));
+    }
+    Ok(tables)
+}
+
+// ---------------------------------------------------------------------
+// Epoch store: files on disk
+// ---------------------------------------------------------------------
+
+/// Path layout and crash-ordered writes for epochs in one data directory.
+pub struct EpochStore {
+    dir: PathBuf,
+}
+
+impl EpochStore {
+    /// An epoch store rooted at `dir` (created if absent).
+    pub fn new(dir: &Path) -> Result<EpochStore> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir_all", &e))?;
+        Ok(EpochStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// `snap-<epoch>.bin`.
+    pub fn snapshot_path(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("snap-{epoch:020}.bin"))
+    }
+
+    /// `manifest-<epoch>.sealed`.
+    pub fn manifest_path(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("manifest-{epoch:020}.sealed"))
+    }
+
+    /// Write snapshot then sealed manifest, each atomically, in that
+    /// order. The caller bumps the trusted counter *afterwards*; a crash
+    /// anywhere in between leaves the previous epoch fully intact.
+    pub fn write_epoch(
+        &self,
+        manifest: &Manifest,
+        sealer: &Sealer,
+        snapshot_bytes: &[u8],
+    ) -> Result<()> {
+        debug_assert_eq!(manifest.snapshot_hash, sha256(&[snapshot_bytes]));
+        write_file_atomic(&self.snapshot_path(manifest.epoch), snapshot_bytes)?;
+        veridb_common::crashpoint("seal-snapshot-written");
+        write_file_atomic(&self.manifest_path(manifest.epoch), &manifest.seal(sealer))?;
+        veridb_common::crashpoint("seal-manifest-written");
+        Ok(())
+    }
+
+    /// Read + unseal the manifest for `epoch`. A missing file reports as
+    /// `RollbackDetected` carrying the epoch — if the trusted counter
+    /// says epoch `E` was sealed, only the host losing/hiding it explains
+    /// its absence.
+    pub fn read_manifest(&self, epoch: u64, sealer: &Sealer) -> Result<Manifest> {
+        let path = self.manifest_path(epoch);
+        let bytes = match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(Error::RollbackDetected { sequence: epoch });
+            }
+            Err(e) => return Err(io_err(&path, "read manifest", &e)),
+            Ok(b) => b,
+        };
+        let m = Manifest::unseal(&bytes, sealer)?;
+        if m.epoch != epoch {
+            // The host renamed some other epoch's manifest into place.
+            return Err(Error::RollbackDetected { sequence: epoch });
+        }
+        Ok(m)
+    }
+
+    /// Read the snapshot for `epoch` and check it against the manifest's
+    /// sealed hash. A mismatch (or absence) is `RollbackDetected`: the
+    /// host substituted or lost the state the manifest promises.
+    pub fn read_snapshot(&self, manifest: &Manifest) -> Result<Vec<u8>> {
+        let path = self.snapshot_path(manifest.epoch);
+        let bytes = match fs::read(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(Error::RollbackDetected {
+                    sequence: manifest.epoch,
+                });
+            }
+            Err(e) => return Err(io_err(&path, "read snapshot", &e)),
+            Ok(b) => b,
+        };
+        if sha256(&[&bytes]) != manifest.snapshot_hash {
+            return Err(Error::RollbackDetected {
+                sequence: manifest.epoch,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Whether any durable VeriDB state (wal/manifest/snapshot/counter)
+    /// exists in the directory. Used to catch the "host deleted just the
+    /// counter" rollback: counter at zero with state present is refused.
+    pub fn any_state_present(dir: &Path) -> bool {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return false;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("wal-")
+                || name.starts_with("manifest-")
+                || name.starts_with("snap-")
+                || name == COUNTER_FILE
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use veridb_common::Value;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "veridb-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sealer() -> Sealer {
+        Sealer::new([3u8; 32])
+    }
+
+    fn manifest(epoch: u64, snap: &[u8]) -> Manifest {
+        Manifest {
+            epoch,
+            last_lsn: 42,
+            chain_mac: Mac([7u8; MAC_LEN]),
+            seq_high_water: 1000,
+            snapshot_hash: sha256(&[snap]),
+            state_fingerprint: [9u8; 32],
+        }
+    }
+
+    #[test]
+    fn counter_persists_and_is_monotonic() {
+        let dir = tmpdir("ctr");
+        let key = MacKey::new([2u8; 32]);
+        let mut c = TrustedCounter::open(&dir, key.clone()).unwrap();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.bump().unwrap(), 1);
+        c.advance_to(5).unwrap();
+        assert!(c.advance_to(3).is_err(), "backwards refused");
+        drop(c);
+        let c = TrustedCounter::open(&dir, key).unwrap();
+        assert_eq!(c.value(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forged_counter_file_is_auth_failed() {
+        let dir = tmpdir("ctrforge");
+        let key = MacKey::new([2u8; 32]);
+        let mut c = TrustedCounter::open(&dir, key.clone()).unwrap();
+        c.advance_to(9).unwrap();
+        // Host rewrites the value without the key.
+        let path = dir.join(COUNTER_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = 1; // 9 -> rolled back to 1
+        fs::write(&path, &bytes).unwrap();
+        let err = TrustedCounter::open(&dir, key).unwrap_err();
+        assert!(err.is_security_violation());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_seals_round_trips_and_detects_tampering() {
+        let m = manifest(3, b"snapbytes");
+        let sealed = m.seal(&sealer());
+        let back = Manifest::unseal(&sealed, &sealer()).unwrap();
+        assert_eq!(back, m);
+        // Flip one ciphertext byte: AuthFailed, not a misparse.
+        let mut evil = sealed.clone();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 1;
+        let err = Manifest::unseal(&evil, &sealer()).unwrap_err();
+        assert!(err.is_security_violation());
+        // Wrong enclave identity cannot unseal.
+        assert!(Manifest::unseal(&sealed, &Sealer::new([4u8; 32])).is_err());
+        let _ = fs::remove_dir_all(std::env::temp_dir().join("unused"));
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let t = TableSnapshot {
+            name: "quotes".into(),
+            schema: Schema::new(vec![
+                ColumnDef {
+                    name: "id".into(),
+                    ty: ColumnType::Int,
+                    chained: true,
+                },
+                ColumnDef {
+                    name: "sym".into(),
+                    ty: ColumnType::Str,
+                    chained: false,
+                },
+            ])
+            .unwrap(),
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Str("AAPL".into())]),
+                Row::new(vec![Value::Int(2), Value::Str("MSFT".into())]),
+            ],
+        };
+        let empty = TableSnapshot {
+            name: "empty".into(),
+            schema: Schema::new(vec![ColumnDef {
+                name: "k".into(),
+                ty: ColumnType::Int,
+                chained: true,
+            }])
+            .unwrap(),
+            rows: vec![],
+        };
+        let bytes = encode_snapshot(&[t.clone(), empty.clone()]);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, vec![t, empty]);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncation_at_every_offset() {
+        let t = TableSnapshot {
+            name: "t".into(),
+            schema: Schema::new(vec![ColumnDef {
+                name: "a".into(),
+                ty: ColumnType::Int,
+                chained: true,
+            }])
+            .unwrap(),
+            rows: vec![Row::new(vec![Value::Int(7)])],
+        };
+        let bytes = encode_snapshot(&[t]);
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_snapshot(&long).is_err());
+    }
+
+    #[test]
+    fn epoch_store_detects_substitution_and_absence() {
+        let dir = tmpdir("epoch");
+        let store = EpochStore::new(&dir).unwrap();
+        let snap = encode_snapshot(&[]);
+        let m = manifest(1, &snap);
+        store.write_epoch(&m, &sealer(), &snap).unwrap();
+        // Round trip.
+        let back = store.read_manifest(1, &sealer()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(store.read_snapshot(&back).unwrap(), snap);
+        // Missing manifest for a later epoch: rollback.
+        let err = store.read_manifest(2, &sealer()).unwrap_err();
+        assert_eq!(err, Error::RollbackDetected { sequence: 2 });
+        // Substituted snapshot: rollback.
+        fs::write(store.snapshot_path(1), b"different bytes").unwrap();
+        let err = store.read_snapshot(&back).unwrap_err();
+        assert_eq!(err, Error::RollbackDetected { sequence: 1 });
+        // Manifest renamed across epochs: rollback.
+        fs::rename(store.manifest_path(1), store.manifest_path(2)).unwrap();
+        let err = store.read_manifest(2, &sealer()).unwrap_err();
+        assert_eq!(err, Error::RollbackDetected { sequence: 2 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn any_state_present_spots_partial_deletions() {
+        let dir = tmpdir("present");
+        assert!(!EpochStore::any_state_present(&dir));
+        fs::write(dir.join("wal-00000000000000000001.seg"), b"").unwrap();
+        assert!(EpochStore::any_state_present(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_file_atomic_replaces_whole_files() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("blob.bin");
+        write_file_atomic(&path, b"first version").unwrap();
+        write_file_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_extension("tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

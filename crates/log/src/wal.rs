@@ -1,0 +1,843 @@
+//! Append-only segment store with leader/follower group commit.
+//!
+//! ## Concurrency design
+//!
+//! `append` is called under the engine's commit-order lock and only
+//! *buffers* the framed record (cheap: one MAC, one memcpy). The caller
+//! then releases the commit lock and calls `wait_durable(ticket)`, so
+//! slow `fsync`s never serialize commits — they amortize across them.
+//!
+//! Durability waits use a **leader/follower** protocol rather than a
+//! background flusher thread: the first waiter to find no flush in
+//! progress elects itself leader, lingers for the group-commit window so
+//! concurrent commits can pile into the batch, then writes and fsyncs the
+//! whole batch with one syscall pair. Everyone else waits on a condvar
+//! with a short timeout and re-checks — so if a leader dies or the
+//! notify is missed, the next waiter simply takes over. This keeps the
+//! WAL live even on a single-threaded scheduler pool (a dedicated flusher
+//! task could starve if every pool worker blocked waiting on it).
+//!
+//! ## Segments
+//!
+//! Records are written to `wal-<first-lsn>.seg` files (zero-padded so
+//! lexical order is LSN order), rotated once a segment passes the
+//! configured size. A batch is always written whole to one segment. A
+//! torn tail — a partially written final batch — is legal *only in the
+//! last segment* and is truncated away on open; a short or corrupt frame
+//! in any earlier segment means the host edited history and is reported
+//! as `TamperDetected`.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use veridb_common::crashpoint;
+use veridb_common::obs::Metrics;
+use veridb_common::{Error, Result};
+use veridb_enclave::mac::{Mac, MacKey};
+
+use crate::record::{scan_records, LogRecord, GENESIS_MAC};
+use crate::store::{fsync_dir, io_err};
+
+/// Tunables for one [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// How long a group-commit leader lingers before flushing, letting
+    /// concurrent commits join the batch. Zero degenerates to
+    /// fsync-per-commit.
+    pub group_commit_window: Duration,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 64 * 1024 * 1024,
+            group_commit_window: Duration::from_micros(100),
+        }
+    }
+}
+
+/// A record buffered but not yet durable.
+struct Pending {
+    lsn: u64,
+    frame: Vec<u8>,
+}
+
+/// Chain/tip state and the group-commit buffer.
+struct WalInner {
+    next_lsn: u64,
+    tip_mac: Mac,
+    pending: Vec<Pending>,
+    /// True while some thread is the elected flush leader.
+    flushing: bool,
+}
+
+/// The current segment file; touched only by the elected flush leader.
+struct SegWriter {
+    file: Option<File>,
+    len: u64,
+}
+
+/// What the waiters watch.
+struct DurableMark {
+    lsn: u64,
+    /// A write/fsync failure poisons the WAL: every current and future
+    /// waiter gets the same error — a log that silently skipped a batch
+    /// would be indistinguishable from a rollback later.
+    error: Option<Error>,
+}
+
+/// The MAC-chained write-ahead log.
+pub struct Wal {
+    dir: PathBuf,
+    key: MacKey,
+    opts: WalOptions,
+    metrics: std::sync::Arc<Metrics>,
+    inner: Mutex<WalInner>,
+    writer: Mutex<SegWriter>,
+    durable: Mutex<DurableMark>,
+    durable_cv: Condvar,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("dir", &self.dir).finish_non_exhaustive()
+    }
+}
+
+fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:020}.seg"))
+}
+
+/// Segment files in `dir`, sorted by first LSN.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, "read_dir", &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, "read_dir entry", &e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(lsn_str) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        {
+            if let Ok(first_lsn) = lsn_str.parse::<u64>() {
+                segs.push((first_lsn, entry.path()));
+            }
+        }
+    }
+    segs.sort_unstable_by_key(|(lsn, _)| *lsn);
+    Ok(segs)
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, verifying every record's chain
+    /// MAC from genesis and truncating a torn tail in the last segment.
+    /// Returns the WAL positioned after the last durable record, plus all
+    /// records for replay.
+    ///
+    /// Failure modes: `TamperDetected` for a broken chain, a
+    /// non-contiguous LSN run, or a torn frame anywhere but the last
+    /// segment's tail; `Io` for plain I/O trouble.
+    pub fn open(
+        dir: &Path,
+        key: MacKey,
+        opts: WalOptions,
+        metrics: std::sync::Arc<Metrics>,
+    ) -> Result<(Wal, Vec<LogRecord>)> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir_all", &e))?;
+        let segs = list_segments(dir)?;
+        let mut records: Vec<LogRecord> = Vec::new();
+        let mut expected_lsn = 1u64;
+        let mut prev = GENESIS_MAC;
+        let last_idx = segs.len().wrapping_sub(1);
+        let mut tail_len = 0u64;
+        for (i, (first_lsn, path)) in segs.iter().enumerate() {
+            let mut bytes = Vec::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| io_err(path, "read segment", &e))?;
+            let (recs, clean) = scan_records(&bytes);
+            if clean < bytes.len() {
+                if i != last_idx {
+                    return Err(Error::TamperDetected(format!(
+                        "wal segment {} is corrupt mid-log ({} clean of {} bytes); \
+                         only the final segment may carry a torn tail",
+                        path.display(),
+                        clean,
+                        bytes.len()
+                    )));
+                }
+                // Torn tail from a crash mid-write: discard it.
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| io_err(path, "open for truncate", &e))?;
+                f.set_len(clean as u64)
+                    .and_then(|()| f.sync_data())
+                    .map_err(|e| io_err(path, "truncate torn tail", &e))?;
+            }
+            if recs.is_empty() {
+                if i != last_idx {
+                    return Err(Error::TamperDetected(format!(
+                        "wal segment {} is empty mid-log",
+                        path.display()
+                    )));
+                }
+                tail_len = clean as u64;
+                continue;
+            }
+            if recs[0].lsn != *first_lsn {
+                return Err(Error::TamperDetected(format!(
+                    "wal segment {} starts at lsn {}, not its named lsn {}",
+                    path.display(),
+                    recs[0].lsn,
+                    first_lsn
+                )));
+            }
+            for rec in recs {
+                if rec.lsn != expected_lsn {
+                    return Err(Error::TamperDetected(format!(
+                        "wal lsn gap: expected {}, found {} in {}",
+                        expected_lsn,
+                        rec.lsn,
+                        path.display()
+                    )));
+                }
+                if !rec.verify_chain(&key, &prev) {
+                    return Err(Error::TamperDetected(format!(
+                        "wal chain MAC broken at lsn {} in {}",
+                        rec.lsn,
+                        path.display()
+                    )));
+                }
+                prev = rec.mac;
+                expected_lsn += 1;
+                records.push(rec);
+            }
+            if i == last_idx {
+                tail_len = clean as u64;
+            }
+        }
+        // Keep appending to the last segment if it has room.
+        let writer = match segs.last() {
+            Some((_, path)) if tail_len < opts.segment_bytes => SegWriter {
+                file: Some(
+                    OpenOptions::new()
+                        .append(true)
+                        .open(path)
+                        .map_err(|e| io_err(path, "open for append", &e))?,
+                ),
+                len: tail_len,
+            },
+            _ => SegWriter { file: None, len: 0 },
+        };
+        let next_lsn = expected_lsn;
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                key,
+                opts,
+                metrics,
+                inner: Mutex::new(WalInner {
+                    next_lsn,
+                    tip_mac: prev,
+                    pending: Vec::new(),
+                    flushing: false,
+                }),
+                writer: Mutex::new(writer),
+                durable: Mutex::new(DurableMark {
+                    lsn: next_lsn - 1,
+                    error: None,
+                }),
+                durable_cv: Condvar::new(),
+            },
+            records,
+        ))
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.durable.lock().unwrap().error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Append one record to the in-memory commit buffer, chaining it onto
+    /// the tip. Returns the assigned LSN as the durability ticket for
+    /// [`Wal::wait_durable`]. Cheap (no I/O): safe to call under the
+    /// engine's commit-order lock.
+    pub fn append(&self, epoch: u64, seq_high_water: u64, kind: u8, sql: &str) -> Result<u64> {
+        self.check_poisoned()?;
+        let mut inner = self.inner.lock().unwrap();
+        let lsn = inner.next_lsn;
+        let rec = LogRecord::new_chained(
+            &self.key,
+            &inner.tip_mac,
+            lsn,
+            epoch,
+            seq_high_water,
+            kind,
+            sql.to_owned(),
+        );
+        let frame = rec.to_framed_bytes();
+        self.metrics.log_appends.inc();
+        self.metrics.log_append_bytes.add(frame.len() as u64);
+        inner.tip_mac = rec.mac;
+        inner.next_lsn += 1;
+        inner.pending.push(Pending { lsn, frame });
+        drop(inner);
+        crashpoint("wal-append-buffered");
+        Ok(lsn)
+    }
+
+    /// Append a record received from elsewhere (the replication stream)
+    /// byte-identically, verifying it chains onto our tip first. Returns
+    /// the LSN ticket.
+    pub fn append_raw(&self, rec: &LogRecord) -> Result<u64> {
+        self.check_poisoned()?;
+        let mut inner = self.inner.lock().unwrap();
+        if rec.lsn != inner.next_lsn {
+            return Err(Error::TamperDetected(format!(
+                "shipped record lsn {} does not extend local wal tip {}",
+                rec.lsn,
+                inner.next_lsn - 1
+            )));
+        }
+        if !rec.verify_chain(&self.key, &inner.tip_mac) {
+            return Err(Error::AuthFailed(format!(
+                "shipped record lsn {} fails the wal chain MAC",
+                rec.lsn
+            )));
+        }
+        let frame = rec.to_framed_bytes();
+        self.metrics.log_appends.inc();
+        self.metrics.log_append_bytes.add(frame.len() as u64);
+        inner.tip_mac = rec.mac;
+        inner.next_lsn += 1;
+        inner.pending.push(Pending {
+            lsn: rec.lsn,
+            frame,
+        });
+        Ok(rec.lsn)
+    }
+
+    /// Block until the record with the given ticket (LSN) is fsynced, or
+    /// the WAL is poisoned. Leader/follower: see the module docs.
+    pub fn wait_durable(&self, ticket: u64) -> Result<()> {
+        loop {
+            {
+                let d = self.durable.lock().unwrap();
+                if let Some(e) = &d.error {
+                    return Err(e.clone());
+                }
+                if d.lsn >= ticket {
+                    return Ok(());
+                }
+            }
+            let elected = {
+                let mut inner = self.inner.lock().unwrap();
+                if inner.flushing {
+                    false
+                } else {
+                    inner.flushing = true;
+                    true
+                }
+            };
+            if elected {
+                let window = self.opts.group_commit_window;
+                if !window.is_zero() {
+                    std::thread::sleep(window);
+                }
+                let res = self.flush_batch();
+                self.inner.lock().unwrap().flushing = false;
+                self.durable_cv.notify_all();
+                res?;
+            } else {
+                let d = self.durable.lock().unwrap();
+                if d.lsn >= ticket || d.error.is_some() {
+                    continue;
+                }
+                // Short timeout so a vanished leader can't strand us.
+                let _ = self
+                    .durable_cv
+                    .wait_timeout(d, Duration::from_millis(1))
+                    .unwrap();
+            }
+        }
+    }
+
+    /// Block until the durable mark moves past `lsn` (returning the new
+    /// mark) or `timeout` elapses (returning the current mark). For
+    /// shipper threads waiting on fresh records: unlike
+    /// [`wait_durable`](Self::wait_durable) it never elects itself
+    /// flusher — nothing may be pending at all, and a commit waiter will
+    /// do the flushing when there is.
+    pub fn wait_for_durable_past(&self, lsn: u64, timeout: Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut d = self.durable.lock().unwrap();
+        loop {
+            if d.lsn > lsn || d.error.is_some() {
+                return d.lsn;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return d.lsn;
+            }
+            let (guard, _) = self
+                .durable_cv
+                .wait_timeout(d, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            d = guard;
+        }
+    }
+
+    /// Drive the WAL until nothing is pending and everything appended so
+    /// far is durable. Returns the durable tip `(last_lsn, chain_mac)` —
+    /// the pair a sealed manifest pins. Call with appends quiesced if the
+    /// returned tip must cover *all* records.
+    pub fn flush_all(&self) -> Result<(u64, Mac)> {
+        loop {
+            self.check_poisoned()?;
+            let target = {
+                let inner = self.inner.lock().unwrap();
+                inner.next_lsn - 1
+            };
+            if target == 0 || self.durable.lock().unwrap().lsn >= target {
+                let inner = self.inner.lock().unwrap();
+                if inner.pending.is_empty() {
+                    return Ok((inner.next_lsn - 1, inner.tip_mac));
+                }
+                continue;
+            }
+            self.wait_durable(target)?;
+        }
+    }
+
+    /// One leader flush: drain the commit buffer, write it whole to one
+    /// segment (rotating first if needed), fsync, advance the durable
+    /// mark. Crash points bracket every durability transition.
+    fn flush_batch(&self) -> Result<()> {
+        let (frames, first_lsn, last_lsn) = {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.pending.is_empty() {
+                return Ok(());
+            }
+            let batch: Vec<Pending> = std::mem::take(&mut inner.pending);
+            let first = batch[0].lsn;
+            let last = batch[batch.len() - 1].lsn;
+            let mut bytes = Vec::with_capacity(batch.iter().map(|p| p.frame.len()).sum());
+            for p in &batch {
+                bytes.extend_from_slice(&p.frame);
+            }
+            (bytes, first, last)
+        };
+        let n_records = last_lsn - first_lsn + 1;
+        let res = self.write_and_sync(&frames, first_lsn);
+        match res {
+            Ok(()) => {
+                self.metrics.log_group_commit_batch.record(n_records);
+                let mut d = self.durable.lock().unwrap();
+                d.lsn = last_lsn;
+                drop(d);
+                self.durable_cv.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                let mut d = self.durable.lock().unwrap();
+                if d.error.is_none() {
+                    d.error = Some(e.clone());
+                }
+                drop(d);
+                self.durable_cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn write_and_sync(&self, frames: &[u8], first_lsn: u64) -> Result<()> {
+        crashpoint("wal-pre-write");
+        let mut w = self.writer.lock().unwrap();
+        if w.file.is_none() || w.len >= self.opts.segment_bytes {
+            let path = segment_path(&self.dir, first_lsn);
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err(&path, "create segment", &e))?;
+            fsync_dir(&self.dir)?;
+            w.file = Some(file);
+            w.len = 0;
+        }
+        let file = w.file.as_mut().expect("segment open");
+        file.write_all(frames)
+            .map_err(|e| io_err(&self.dir, "write wal batch", &e))?;
+        crashpoint("wal-pre-fsync");
+        let t0 = Instant::now();
+        file.sync_data()
+            .map_err(|e| io_err(&self.dir, "fsync wal segment", &e))?;
+        self.metrics
+            .log_fsync_us
+            .record(t0.elapsed().as_micros() as u64);
+        crashpoint("wal-post-fsync");
+        w.len += frames.len() as u64;
+        Ok(())
+    }
+
+    /// The LSN of the newest record known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable.lock().unwrap().lsn
+    }
+
+    /// `(next_lsn, tip_mac)`: where the next append will chain.
+    pub fn tip(&self) -> (u64, Mac) {
+        let inner = self.inner.lock().unwrap();
+        (inner.next_lsn, inner.tip_mac)
+    }
+
+    /// Read up to `max` durable records with `lsn >= from_lsn` back off
+    /// disk (the replication feed). Never returns records past the
+    /// durable mark: a replica must not get ahead of what a recovered
+    /// primary would still have.
+    pub fn records_from(&self, from_lsn: u64, max: usize) -> Result<Vec<LogRecord>> {
+        let durable = self.durable_lsn();
+        if from_lsn > durable || max == 0 {
+            return Ok(Vec::new());
+        }
+        let segs = list_segments(&self.dir)?;
+        // Start at the last segment whose first LSN is <= from_lsn.
+        let start = segs
+            .iter()
+            .rposition(|(first, _)| *first <= from_lsn)
+            .unwrap_or(0);
+        let mut out = Vec::new();
+        for (_, path) in &segs[start..] {
+            let mut bytes = Vec::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| io_err(path, "read segment", &e))?;
+            // The clean prefix is all we trust structurally; the durable
+            // cap filters any fsync-pending suffix.
+            let (recs, _) = scan_records(&bytes);
+            for rec in recs {
+                if rec.lsn < from_lsn || rec.lsn > durable {
+                    continue;
+                }
+                out.push(rec);
+                if out.len() >= max {
+                    return Ok(out);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::KIND_INSERT;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "veridb-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts_fast() -> WalOptions {
+        WalOptions {
+            segment_bytes: 64 * 1024 * 1024,
+            group_commit_window: Duration::ZERO,
+        }
+    }
+
+    fn open(dir: &Path, opts: WalOptions) -> (Wal, Vec<LogRecord>) {
+        Wal::open(dir, MacKey::new([1u8; 32]), opts, Arc::new(Metrics::new())).unwrap()
+    }
+
+    #[test]
+    fn append_flush_reopen_round_trip() {
+        let dir = tmpdir("round");
+        {
+            let (wal, recovered) = open(&dir, opts_fast());
+            assert!(recovered.is_empty());
+            for i in 0..10 {
+                let t = wal
+                    .append(1, 100 + i, KIND_INSERT, &format!("INSERT {i}"))
+                    .unwrap();
+                wal.wait_durable(t).unwrap();
+            }
+            assert_eq!(wal.durable_lsn(), 10);
+        }
+        let (wal, recovered) = open(&dir, opts_fast());
+        assert_eq!(recovered.len(), 10);
+        assert_eq!(recovered[9].sql, "INSERT 9");
+        assert_eq!(wal.tip().0, 11);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_appends() {
+        let dir = tmpdir("group");
+        let metrics = Arc::new(Metrics::new());
+        let (wal, _) = Wal::open(
+            &dir,
+            MacKey::new([1u8; 32]),
+            WalOptions {
+                segment_bytes: 64 * 1024 * 1024,
+                group_commit_window: Duration::from_millis(2),
+            },
+            metrics.clone(),
+        )
+        .unwrap();
+        let wal = Arc::new(wal);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let wal = wal.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let ticket = wal
+                        .append(1, 0, KIND_INSERT, &format!("t{t} i{i}"))
+                        .unwrap();
+                    wal.wait_durable(ticket).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wal.durable_lsn(), 160);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.log_appends, 160);
+        // Group commit must have amortized: strictly fewer fsyncs than
+        // records (the 2 ms window batches the 8 concurrent writers).
+        assert!(
+            snap.log_fsync_us.count < 160,
+            "no batching: {} fsyncs for 160 records",
+            snap.log_fsync_us.count
+        );
+        assert_eq!(snap.log_group_commit_batch.sum, 160);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_last_segment_truncates_cleanly() {
+        let dir = tmpdir("torn");
+        {
+            let (wal, _) = open(&dir, opts_fast());
+            for i in 0..5 {
+                let t = wal.append(1, i, KIND_INSERT, &format!("r{i}")).unwrap();
+                wal.wait_durable(t).unwrap();
+            }
+        }
+        // Simulate a crash mid-write: append garbage to the segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        drop(f);
+        let (wal, recovered) = open(&dir, opts_fast());
+        assert_eq!(recovered.len(), 5);
+        // The torn bytes are gone and the log keeps extending cleanly.
+        let t = wal.append(1, 9, KIND_INSERT, "after-torn").unwrap();
+        wal.wait_durable(t).unwrap();
+        drop(wal);
+        let (_, recovered) = open(&dir, opts_fast());
+        assert_eq!(recovered.len(), 6);
+        assert_eq!(recovered[5].sql, "after-torn");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_segment_is_tamper_not_torn_tail() {
+        let dir = tmpdir("middle");
+        {
+            let (wal, _) = open(
+                &dir,
+                WalOptions {
+                    segment_bytes: 64, // force rotation every batch
+                    group_commit_window: Duration::ZERO,
+                },
+            );
+            for i in 0..6 {
+                let t = wal
+                    .append(1, i, KIND_INSERT, &format!("record number {i}"))
+                    .unwrap();
+                wal.wait_durable(t).unwrap();
+            }
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 3, "expected rotation, got {}", segs.len());
+        // Damage the first segment's tail byte: mid-log corruption.
+        let bytes = fs::read(&segs[0].1).unwrap();
+        fs::write(&segs[0].1, &bytes[..bytes.len() - 1]).unwrap();
+        let err = Wal::open(
+            &dir,
+            MacKey::new([1u8; 32]),
+            opts_fast(),
+            Arc::new(Metrics::new()),
+        )
+        .unwrap_err();
+        assert!(err.is_security_violation(), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn edited_record_breaks_the_chain_on_open() {
+        let dir = tmpdir("edit");
+        {
+            let (wal, _) = open(&dir, opts_fast());
+            for i in 0..3 {
+                let t = wal.append(1, i, KIND_INSERT, "INSERT 100").unwrap();
+                wal.wait_durable(t).unwrap();
+            }
+        }
+        let (_, path) = list_segments(&dir).unwrap().remove(0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte *and* fix up the frame CRC so only the MAC
+        // chain can catch it.
+        let (recs, _) = scan_records(&bytes);
+        assert_eq!(recs.len(), 3);
+        let mut evil = recs[0].clone();
+        evil.sql = "INSERT 999".into();
+        let mut forged = evil.to_framed_bytes();
+        let rest = bytes.split_off(recs[0].to_framed_bytes().len());
+        forged.extend_from_slice(&rest);
+        fs::write(&path, &forged).unwrap();
+        let err = Wal::open(
+            &dir,
+            MacKey::new([1u8; 32]),
+            opts_fast(),
+            Arc::new(Metrics::new()),
+        )
+        .unwrap_err();
+        assert!(err.is_security_violation(), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_cannot_read_the_log() {
+        let dir = tmpdir("key");
+        {
+            let (wal, _) = open(&dir, opts_fast());
+            let t = wal.append(1, 0, KIND_INSERT, "x").unwrap();
+            wal.wait_durable(t).unwrap();
+        }
+        let err = Wal::open(
+            &dir,
+            MacKey::new([2u8; 32]),
+            opts_fast(),
+            Arc::new(Metrics::new()),
+        )
+        .unwrap_err();
+        assert!(err.is_security_violation());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments_and_reopens() {
+        let dir = tmpdir("rotate");
+        {
+            let (wal, _) = open(
+                &dir,
+                WalOptions {
+                    segment_bytes: 256,
+                    group_commit_window: Duration::ZERO,
+                },
+            );
+            for i in 0..40 {
+                let t = wal
+                    .append(1, i, KIND_INSERT, &format!("INSERT INTO t VALUES ({i})"))
+                    .unwrap();
+                wal.wait_durable(t).unwrap();
+            }
+        }
+        assert!(list_segments(&dir).unwrap().len() > 1);
+        let (wal, recovered) = open(
+            &dir,
+            WalOptions {
+                segment_bytes: 256,
+                group_commit_window: Duration::ZERO,
+            },
+        );
+        assert_eq!(recovered.len(), 40);
+        assert_eq!(wal.tip().0, 41);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_raw_verifies_the_chain() {
+        let dir_a = tmpdir("rawa");
+        let dir_b = tmpdir("rawb");
+        let (primary, _) = open(&dir_a, opts_fast());
+        let (replica, _) = open(&dir_b, opts_fast());
+        for i in 0..5 {
+            let t = primary.append(1, i, KIND_INSERT, &format!("r{i}")).unwrap();
+            primary.wait_durable(t).unwrap();
+        }
+        let shipped = primary.records_from(1, 100).unwrap();
+        assert_eq!(shipped.len(), 5);
+        for rec in &shipped {
+            let t = replica.append_raw(rec).unwrap();
+            replica.wait_durable(t).unwrap();
+        }
+        assert_eq!(replica.tip(), primary.tip());
+        // Re-applying an already-applied record is refused (wrong LSN).
+        assert!(replica.append_raw(&shipped[0]).is_err());
+        // A forged record is refused by the chain MAC.
+        let mut forged = shipped[4].clone();
+        forged.lsn = 6;
+        forged.sql = "evil".into();
+        let err = replica.append_raw(&forged).unwrap_err();
+        assert!(err.is_security_violation());
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn records_from_respects_durable_cap_and_limit() {
+        let dir = tmpdir("feed");
+        let (wal, _) = open(&dir, opts_fast());
+        let mut last = 0;
+        for i in 0..10 {
+            last = wal.append(1, i, KIND_INSERT, &format!("r{i}")).unwrap();
+        }
+        wal.wait_durable(last).unwrap();
+        // Buffer two more without waiting: not durable, must not ship.
+        wal.append(1, 90, KIND_INSERT, "pending-a").unwrap();
+        wal.append(1, 91, KIND_INSERT, "pending-b").unwrap();
+        let recs = wal.records_from(4, 100).unwrap();
+        assert_eq!(recs.first().map(|r| r.lsn), Some(4));
+        assert_eq!(recs.last().map(|r| r.lsn), Some(10));
+        let capped = wal.records_from(1, 3).unwrap();
+        assert_eq!(capped.len(), 3);
+        assert!(wal.records_from(11, 100).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_all_returns_the_sealed_tip() {
+        let dir = tmpdir("seal");
+        let (wal, _) = open(&dir, opts_fast());
+        assert_eq!(wal.flush_all().unwrap().0, 0, "empty wal tip is lsn 0");
+        for i in 0..7 {
+            wal.append(2, i, KIND_INSERT, &format!("r{i}")).unwrap();
+        }
+        let (last, mac) = wal.flush_all().unwrap();
+        assert_eq!(last, 7);
+        assert_eq!(wal.durable_lsn(), 7);
+        assert_eq!(wal.tip(), (8, mac));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -154,6 +154,22 @@ impl RemoteClient {
         Err(last)
     }
 
+    /// Re-point this client at a different server — the promoted warm
+    /// replica after the primary died — and re-run the attested
+    /// handshake there. Everything that makes this client a *verifying*
+    /// client survives the switch: the expected measurement, the pinned
+    /// channel-key fingerprint (`key_id`), the qid counter, and the
+    /// `SeqIntervals` endorsement history. A replica that does not hold
+    /// the primary's sealed entropy derives a different channel key and
+    /// is refused at the `key_id` check; a replica that rolled the
+    /// sequence counter back trips `RollbackDetected` on its first
+    /// answer. Failover is therefore only possible onto a replica that
+    /// is cryptographically the same database.
+    pub fn fail_over(&mut self, addr: &str) -> Result<()> {
+        self.addr = addr.to_owned();
+        self.reconnect()
+    }
+
     fn try_handshake(&mut self) -> Result<()> {
         let stream = TcpStream::connect(&self.addr).map_err(|e| self.net_err("connect", e))?;
         stream

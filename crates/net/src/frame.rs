@@ -33,31 +33,9 @@ pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4 + 4;
 /// receiver allocate from a single length prefix.
 pub const MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
-pub fn crc32(data: &[u8]) -> u32 {
-    // Build the table on first use; 1 KiB, cheap to race.
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
-        }
-        t
-    });
-    let mut crc = !0u32;
-    for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
-}
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Shared with the WAL record
+/// codec via `veridb_common::crc`.
+pub use veridb_common::crc::crc32;
 
 fn net_err(peer: &str, op: &str, detail: impl std::fmt::Display) -> Error {
     Error::Net {

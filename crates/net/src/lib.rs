@@ -22,16 +22,25 @@
 //!   rollback defense, adding only transport concerns.
 //! - [`proxy`] — [`TamperProxy`], an adversarial man-in-the-middle for
 //!   tests: bit-flips, truncation, replay, reordering, drops.
+//! - [`replica`] — the warm-replica runtime: [`ShipSubscription`] tails a
+//!   primary's MAC-chained log, [`ReplicaRunner`] applies it through the
+//!   verified replay path and ACKs durability, and on primary loss the
+//!   replica promotes itself so clients can
+//!   [`RemoteClient::fail_over`] with their rollback defenses intact.
 
 pub mod client;
 pub mod frame;
 mod poll;
 pub mod proto;
 pub mod proxy;
+pub mod replica;
 pub mod server;
 
 pub use client::RemoteClient;
 pub use proxy::{Dir, Tamper, TamperProxy};
+pub use replica::{
+    ensure_replica_seed, fetch_seed, run_replica, ReplicaOutcome, ReplicaRunner, ShipSubscription,
+};
 pub use server::{serve, serve_with, NetConfig, ServerHandle, SIM_ATTESTATION_ROOT};
 
 #[cfg(test)]

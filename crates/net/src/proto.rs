@@ -10,6 +10,7 @@
 use veridb_common::codec::{put_bytes, put_u16, put_u32, put_u64, Reader};
 use veridb_common::{Error, Result, Row};
 use veridb_enclave::{Mac, MAC_LEN};
+use veridb_log::{scan_records, LogRecord};
 use veridb_query::{EndorsedResult, QueryResult, SignedQuery};
 
 /// Client → server: open a channel. Carries the channel name and the
@@ -30,6 +31,19 @@ pub const MSG_STATS: u8 = 6;
 pub const MSG_STATS_OK: u8 = 7;
 /// Either direction: orderly close.
 pub const MSG_BYE: u8 = 8;
+/// Replica → primary: subscribe to the endorsed log from a given LSN.
+pub const MSG_SHIP_SUB: u8 = 9;
+/// Primary → replica: subscription accepted — current sealed epoch plus
+/// the sealed root-entropy blob (useless without the enclave fuse key),
+/// so a fresh replica can derive the same keys before applying records.
+pub const MSG_SHIP_META: u8 = 10;
+/// Primary → replica: a batch of MAC-chained log records. A batch of
+/// zero records is a heartbeat (the subscription is alive, the log tip
+/// has not moved).
+pub const MSG_SHIP: u8 = 11;
+/// Replica → primary: records up to this LSN are durable on the
+/// replica's own disk (never acknowledged before then).
+pub const MSG_SHIP_ACK: u8 = 12;
 
 fn get_mac(r: &mut Reader<'_>) -> Result<Mac> {
     let bytes = r.get_bytes()?;
@@ -189,6 +203,111 @@ pub fn decode_result(payload: &[u8]) -> Result<EndorsedResult> {
     })
 }
 
+// ---- SHIP ----------------------------------------------------------------
+
+/// The primary's answer to a `SHIP_SUB`: where the log stands and the
+/// sealed seed a cold replica needs before it can open its own data
+/// directory with matching enclave keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipMeta {
+    /// The primary's current sealed epoch.
+    pub epoch: u64,
+    /// The primary's durable log tip at subscription time.
+    pub durable_lsn: u64,
+    /// The sealed root-entropy blob (`enclave.seed.sealed` bytes).
+    pub sealed_seed: Vec<u8>,
+}
+
+/// Encode a SHIP_SUB payload (the first LSN the replica wants).
+pub fn encode_ship_sub(from_lsn: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, from_lsn);
+    buf
+}
+
+/// Decode a SHIP_SUB payload.
+pub fn decode_ship_sub(payload: &[u8]) -> Result<u64> {
+    let mut r = Reader::new(payload);
+    let from_lsn = r.get_u64()?;
+    Ok(from_lsn)
+}
+
+/// Encode a SHIP_META payload.
+pub fn encode_ship_meta(meta: &ShipMeta) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, meta.epoch);
+    put_u64(&mut buf, meta.durable_lsn);
+    put_bytes(&mut buf, &meta.sealed_seed);
+    buf
+}
+
+/// Decode a SHIP_META payload.
+pub fn decode_ship_meta(payload: &[u8]) -> Result<ShipMeta> {
+    let mut r = Reader::new(payload);
+    Ok(ShipMeta {
+        epoch: r.get_u64()?,
+        durable_lsn: r.get_u64()?,
+        sealed_seed: r.get_bytes()?.to_vec(),
+    })
+}
+
+/// Encode a SHIP payload: `count:u32 ‖ framed records`. Each record uses
+/// the canonical WAL framing, so the bytes that travel the wire are the
+/// bytes the replica appends to its own log — and the MAC chain the
+/// replica verifies is the one the primary's enclave produced. An empty
+/// batch is a heartbeat.
+pub fn encode_ship(records: &[LogRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, records.len() as u32);
+    for rec in records {
+        rec.encode_framed(&mut buf);
+    }
+    buf
+}
+
+/// Decode a SHIP payload. The count must match the records that cleanly
+/// decode — a mangled batch is a codec error, never a silent short read.
+pub fn decode_ship(payload: &[u8]) -> Result<Vec<LogRecord>> {
+    let mut r = Reader::new(payload);
+    let count = r.get_u32()? as usize;
+    if count > MAX_SHIP_RECORDS {
+        return Err(Error::Codec(format!(
+            "ship batch claims {count} records, limit {MAX_SHIP_RECORDS}"
+        )));
+    }
+    let rest = payload
+        .get(4..)
+        .ok_or_else(|| Error::Codec("ship payload truncated".into()))?;
+    let (records, clean) = scan_records(rest);
+    if records.len() != count || clean != rest.len() {
+        return Err(Error::Codec(format!(
+            "ship batch decoded {} of {count} records ({} of {} bytes clean)",
+            records.len(),
+            clean,
+            rest.len()
+        )));
+    }
+    Ok(records)
+}
+
+/// Ceiling on records per SHIP batch, bounding what one length prefix can
+/// make the replica allocate.
+pub const MAX_SHIP_RECORDS: usize = 4096;
+
+/// Encode a SHIP_ACK payload.
+pub fn encode_ship_ack(acked_lsn: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, acked_lsn);
+    buf
+}
+
+/// Decode a SHIP_ACK payload.
+pub fn decode_ship_ack(payload: &[u8]) -> Result<u64> {
+    let mut r = Reader::new(payload);
+    let lsn = r.get_u64()?;
+    Ok(lsn)
+}
+
 // ---- ERROR ---------------------------------------------------------------
 
 fn error_tag(e: &Error) -> u8 {
@@ -215,6 +334,7 @@ fn error_tag(e: &Error) -> u8 {
         Error::RollbackDetected { .. } => 20,
         Error::ReplayDetected { .. } => 21,
         Error::Overloaded { .. } => 22,
+        Error::Io(_) => 23,
     }
 }
 
@@ -251,6 +371,7 @@ pub fn encode_error(qid: u64, e: &Error) -> Vec<u8> {
         | Error::Codec(s)
         | Error::Config(s)
         | Error::InvalidArgument(s)
+        | Error::Io(s)
         | Error::TamperDetected(s)
         | Error::AuthFailed(s) => put_bytes(&mut buf, s.as_bytes()),
         Error::EpcExhausted { requested, budget } => {
@@ -307,6 +428,7 @@ pub fn decode_error(payload: &[u8]) -> Result<(u64, Error)> {
         13 => Error::Codec(get_str(&mut r)?),
         14 => Error::Config(get_str(&mut r)?),
         15 => Error::InvalidArgument(get_str(&mut r)?),
+        23 => Error::Io(get_str(&mut r)?),
         16 => Error::Net {
             peer: get_str(&mut r)?,
             op: get_str(&mut r)?,
@@ -419,6 +541,7 @@ mod tests {
             Error::Codec("co".into()),
             Error::Config("cf".into()),
             Error::InvalidArgument("ia".into()),
+            Error::Io("disk gone".into()),
             Error::Net {
                 peer: "1.2.3.4:5".into(),
                 op: "read".into(),
@@ -457,6 +580,50 @@ mod tests {
         // A truncated header peeks to None, never panics.
         assert_eq!(peek_query_qid(&buf[..3]), None);
         assert_eq!(peek_query_qid(&[]), None);
+    }
+
+    #[test]
+    fn ship_codecs_round_trip() {
+        assert_eq!(decode_ship_sub(&encode_ship_sub(42)).unwrap(), 42);
+        assert_eq!(decode_ship_ack(&encode_ship_ack(7)).unwrap(), 7);
+        let meta = ShipMeta {
+            epoch: 3,
+            durable_lsn: 99,
+            sealed_seed: vec![1, 2, 3, 4],
+        };
+        assert_eq!(decode_ship_meta(&encode_ship_meta(&meta)).unwrap(), meta);
+
+        use veridb_enclave::MacKey;
+        use veridb_log::GENESIS_MAC;
+        let key = MacKey::new([3u8; 32]);
+        let r1 = LogRecord::new_chained(&key, &GENESIS_MAC, 1, 1, 10, 3, "INSERT".into());
+        let r2 = LogRecord::new_chained(&key, &r1.mac, 2, 1, 11, 4, "UPDATE".into());
+        let batch = vec![r1, r2];
+        let decoded = decode_ship(&encode_ship(&batch)).unwrap();
+        assert_eq!(decoded, batch);
+        // Heartbeat: zero records.
+        assert!(decode_ship(&encode_ship(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mangled_ship_batch_is_a_codec_error() {
+        use veridb_enclave::MacKey;
+        use veridb_log::GENESIS_MAC;
+        let key = MacKey::new([3u8; 32]);
+        let r = LogRecord::new_chained(&key, &GENESIS_MAC, 1, 1, 10, 3, "INSERT".into());
+        let mut buf = encode_ship(&[r]);
+        // Truncation at every offset fails loudly, never misparses.
+        for cut in 0..buf.len() {
+            assert!(decode_ship(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped body byte breaks the record CRC.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        assert!(decode_ship(&buf).is_err());
+        // An absurd count is refused before any allocation.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, (MAX_SHIP_RECORDS + 1) as u32);
+        assert!(decode_ship(&huge).is_err());
     }
 
     #[test]

@@ -66,9 +66,10 @@
 use crate::frame::{encode_frame, FrameDecoder};
 use crate::poll::{Interest, Poller};
 use crate::proto::{
-    decode_hello, decode_query, encode_error, encode_quote, encode_result, peek_query_qid,
-    QuoteMsg, MSG_BYE, MSG_ERROR, MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_STATS,
-    MSG_STATS_OK,
+    decode_hello, decode_query, decode_ship_ack, decode_ship_sub, encode_error, encode_quote,
+    encode_result, encode_ship, encode_ship_meta, peek_query_qid, QuoteMsg, ShipMeta,
+    MAX_SHIP_RECORDS, MSG_BYE, MSG_ERROR, MSG_HELLO, MSG_QUERY, MSG_QUOTE, MSG_RESULT, MSG_SHIP,
+    MSG_SHIP_ACK, MSG_SHIP_META, MSG_SHIP_SUB, MSG_STATS, MSG_STATS_OK,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -115,6 +116,18 @@ const OUTBOUND_CAP: usize = 128;
 
 /// Bytes per `read(2)` call on a ready socket.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// Records per SHIP frame pushed to a subscribed replica.
+const SHIP_BATCH_RECORDS: usize = 512;
+
+/// How long a shipper waits for the log tip to move before sending an
+/// empty SHIP frame (a heartbeat) so the replica knows the subscription
+/// is alive.
+const SHIP_HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// Shipper backoff while the connection's outbound window is saturated
+/// (a slow replica backpressures through TCP, not through memory).
+const SHIP_STALL_PAUSE: Duration = Duration::from_millis(5);
 
 /// Token for the reactor wake pipe.
 const WAKE_TOKEN: u64 = u64::MAX;
@@ -262,6 +275,9 @@ struct Conn {
     read_paused: AtomicBool,
     /// The session's portal, pinned at handshake.
     portal: Mutex<Option<Arc<QueryPortal>>>,
+    /// Set once a SHIP_SUB claimed this connection for log shipping (at
+    /// most one shipper thread per connection).
+    shipping: AtomicBool,
 }
 
 #[derive(Default)]
@@ -404,7 +420,7 @@ impl Executor {
 static TEST_PANIC_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(u64::MAX);
 
 /// Process up to [`FAIR_BATCH`] frames of one connection.
-fn process_turn(conn: &Arc<Conn>, shared: &ServerShared) {
+fn process_turn(conn: &Arc<Conn>, shared: &Arc<ServerShared>) {
     #[cfg(test)]
     if conn.token == TEST_PANIC_TOKEN.load(Ordering::Relaxed) {
         panic!("injected turn panic");
@@ -430,7 +446,13 @@ fn process_turn(conn: &Arc<Conn>, shared: &ServerShared) {
     }
 }
 
-fn handle_frame(conn: &Conn, shared: &ServerShared, kind: u8, payload: &[u8], m: Option<&Metrics>) {
+fn handle_frame(
+    conn: &Arc<Conn>,
+    shared: &Arc<ServerShared>,
+    kind: u8,
+    payload: &[u8],
+    m: Option<&Metrics>,
+) {
     match kind {
         MSG_QUERY => {
             let started = Instant::now();
@@ -477,6 +499,54 @@ fn handle_frame(conn: &Conn, shared: &ServerShared, kind: u8, payload: &[u8], m:
             }
             push_out(conn, MSG_STATS_OK, text.as_bytes());
         }
+        MSG_SHIP_SUB => {
+            let refuse = |conn: &Conn, e: &Error| {
+                push_out(conn, MSG_ERROR, &encode_error(0, e));
+                conn.closing.store(true, Ordering::Release);
+            };
+            let Ok(from_lsn) = decode_ship_sub(payload) else {
+                if let Some(m) = m {
+                    m.net_frame_rejects.inc();
+                }
+                refuse(conn, &Error::Codec("mangled SHIP_SUB".into()));
+                return;
+            };
+            let Some(durable) = shared.db.durable() else {
+                refuse(
+                    conn,
+                    &Error::InvalidArgument(
+                        "log shipping needs a durable server (start with --data-dir)".into(),
+                    ),
+                );
+                return;
+            };
+            if conn.shipping.swap(true, Ordering::AcqRel) {
+                refuse(
+                    conn,
+                    &Error::InvalidArgument("connection already has a ship subscription".into()),
+                );
+                return;
+            }
+            let meta = ShipMeta {
+                epoch: durable.epoch(),
+                durable_lsn: durable.wal().durable_lsn(),
+                sealed_seed: durable.seed_bytes().to_vec(),
+            };
+            push_out(conn, MSG_SHIP_META, &encode_ship_meta(&meta));
+            spawn_shipper(Arc::clone(shared), Arc::clone(conn), from_lsn.max(1));
+        }
+        MSG_SHIP_ACK => {
+            let Ok(acked) = decode_ship_ack(payload) else {
+                if let Some(m) = m {
+                    m.net_frame_rejects.inc();
+                }
+                conn.closing.store(true, Ordering::Release);
+                return;
+            };
+            if let Some(durable) = shared.db.durable() {
+                durable.note_ship_lag(acked);
+            }
+        }
         MSG_BYE => conn.closing.store(true, Ordering::Release),
         other => {
             if let Some(m) = m {
@@ -490,6 +560,58 @@ fn handle_frame(conn: &Conn, shared: &ServerShared, kind: u8, payload: &[u8], m:
             push_out(conn, MSG_ERROR, &encode_error(0, &e));
             conn.closing.store(true, Ordering::Release);
         }
+    }
+}
+
+/// Stream the endorsed log to a subscribed replica on a dedicated thread.
+///
+/// The thread tails the WAL with [`Wal::wait_for_durable_past`] (it never
+/// elects itself group-commit flusher — commit latency stays with the
+/// committers) and pushes SHIP frames through the connection's normal
+/// outbound queue, waking the reactor per batch. When the tip is idle it
+/// emits an empty SHIP as a heartbeat. A saturated outbound window pauses
+/// shipping rather than buffering without bound, and the thread exits as
+/// soon as the connection closes or the server shuts down.
+fn spawn_shipper(shared: Arc<ServerShared>, conn: Arc<Conn>, from_lsn: u64) {
+    let conn_for_err = Arc::clone(&conn);
+    let spawned = std::thread::Builder::new()
+        .name("veridb-net-shipper".into())
+        .spawn(move || {
+            let Some(durable) = shared.db.durable().cloned() else {
+                return;
+            };
+            let wal = Arc::clone(durable.wal());
+            let mut next = from_lsn;
+            while !shared.shutdown.load(Ordering::SeqCst) && !conn.closing.load(Ordering::Acquire)
+            {
+                if conn.outbound.lock().frames.len() >= OUTBOUND_CAP / 2 {
+                    std::thread::sleep(SHIP_STALL_PAUSE);
+                    continue;
+                }
+                let batch = match wal.records_from(next, SHIP_BATCH_RECORDS.min(MAX_SHIP_RECORDS))
+                {
+                    Ok(batch) => batch,
+                    Err(_) => break, // WAL poisoned/closed: drop the subscription
+                };
+                if batch.is_empty() {
+                    // Wait for the durable tip to reach `next`; heartbeat
+                    // if it does not within the window.
+                    if wal.wait_for_durable_past(next - 1, SHIP_HEARTBEAT) < next {
+                        push_out(&conn, MSG_SHIP, &encode_ship(&[]));
+                        shared.notify_token(conn.token);
+                    }
+                    continue;
+                }
+                next = batch.last().expect("non-empty batch").lsn + 1;
+                if let Some(m) = shared.metrics.as_deref() {
+                    m.log_shipped_records.add(batch.len() as u64);
+                }
+                push_out(&conn, MSG_SHIP, &encode_ship(&batch));
+                shared.notify_token(conn.token);
+            }
+        });
+    if spawned.is_err() {
+        conn_for_err.closing.store(true, Ordering::Release);
     }
 }
 
@@ -690,6 +812,7 @@ impl Reactor {
             closing: AtomicBool::new(false),
             read_paused: AtomicBool::new(false),
             portal: Mutex::new(None),
+            shipping: AtomicBool::new(false),
         });
         self.conns.insert(
             token,
@@ -1031,7 +1154,7 @@ fn dispatch_frame(
             }
             enqueue_inbound(poller, shared, exec, entry, kind, payload);
         }
-        MSG_STATS | MSG_BYE => {
+        MSG_STATS | MSG_BYE | MSG_SHIP_SUB | MSG_SHIP_ACK => {
             // Through the inbound queue so they stay ordered behind any
             // pipelined queries ahead of them.
             enqueue_inbound(poller, shared, exec, entry, kind, payload);
@@ -1271,6 +1394,7 @@ mod tests {
             closing: AtomicBool::new(false),
             read_paused: AtomicBool::new(false),
             portal: Mutex::new(None),
+            shipping: AtomicBool::new(false),
         })
     }
 

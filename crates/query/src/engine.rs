@@ -5,9 +5,63 @@ use crate::exec;
 use crate::expr::eval;
 use crate::parser::parse;
 use crate::planner::{plan_select, PlannedQuery};
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 use veridb_common::{ColumnDef, Error, Result, Row, Schema, Value};
 use veridb_storage::Catalog;
+
+/// Statement kind tags for durability-log records. The values are the
+/// wire format of `veridb-log`'s record codec (that crate re-declares
+/// them as `KIND_*`; the two lists are kept in sync by the round-trip
+/// tests in `veridb` core).
+pub mod stmt_kind {
+    /// `CREATE TABLE`.
+    pub const CREATE_TABLE: u8 = 1;
+    /// `DROP TABLE`.
+    pub const DROP_TABLE: u8 = 2;
+    /// `INSERT`.
+    pub const INSERT: u8 = 3;
+    /// `UPDATE`.
+    pub const UPDATE: u8 = 4;
+    /// `DELETE`.
+    pub const DELETE: u8 = 5;
+}
+
+/// Where the engine announces protected writes so they survive a crash.
+///
+/// The engine calls [`append`](DurabilitySink::append) *before* applying
+/// a mutation, with its commit-order lock held — so the log's record
+/// order is exactly the apply order — and expects the sink to only
+/// buffer (no I/O under the lock). After the lock is released the engine
+/// calls [`wait_durable`](DurabilitySink::wait_durable) and does not
+/// report success to the client until the record is on stable storage
+/// (group commit happens inside the sink).
+///
+/// Write-ahead discipline: a statement that *fails* during apply stays
+/// in the log. Replay re-executes it and deterministically re-fails at
+/// the same point, reproducing whatever partial effects the original
+/// had — recovered state always equals pre-crash state for every
+/// *acknowledged* statement, and errored statements were never
+/// acknowledged.
+pub trait DurabilitySink: Send + Sync {
+    /// Buffer one statement; returns a ticket to wait on. Called with
+    /// the commit-order lock held — must not block on I/O.
+    fn append(&self, kind: u8, sql: &str) -> Result<u64>;
+    /// Block until `ticket` is on stable storage.
+    fn wait_durable(&self, ticket: u64) -> Result<()>;
+}
+
+/// The log-record kind for `stmt`, or `None` for reads (SELECT/EXPLAIN).
+fn statement_kind(stmt: &Statement) -> Option<u8> {
+    Some(match stmt {
+        Statement::CreateTable { .. } => stmt_kind::CREATE_TABLE,
+        Statement::DropTable { .. } => stmt_kind::DROP_TABLE,
+        Statement::Insert { .. } => stmt_kind::INSERT,
+        Statement::Update { .. } => stmt_kind::UPDATE,
+        Statement::Delete { .. } => stmt_kind::DELETE,
+        Statement::Select(_) | Statement::Explain(_) => return None,
+    })
+}
 
 /// Join-algorithm preference, used by the Figure 12 Q19 experiment to
 /// compare the MergeJoin and NestedLoopJoin plans the paper discusses.
@@ -99,6 +153,13 @@ pub struct QueryEngine {
     /// Default per-query degree of parallelism (DOP cap on the shared
     /// scheduler pool), used when [`PlanOptions::workers`] is `0`.
     workers: std::sync::atomic::AtomicUsize,
+    /// Serializes mutations (and their log appends): DML was already
+    /// effectively serial through the storage layer's per-table locks;
+    /// this lock pins down a *total* order so the durability log's
+    /// record order provably matches the apply order.
+    commit_order: Mutex<()>,
+    /// Durability sink, if the database is running durable.
+    sink: RwLock<Option<Arc<dyn DurabilitySink>>>,
 }
 
 impl QueryEngine {
@@ -108,7 +169,25 @@ impl QueryEngine {
             catalog,
             spill_threshold: std::sync::atomic::AtomicUsize::new(0),
             workers: std::sync::atomic::AtomicUsize::new(1),
+            commit_order: Mutex::new(()),
+            sink: RwLock::new(None),
         }
+    }
+
+    /// Install (or remove, with `None`) the durability sink. Recovery
+    /// installs it only *after* replay, so replayed statements are not
+    /// re-logged.
+    pub fn set_sink(&self, sink: Option<Arc<dyn DurabilitySink>>) {
+        *self.sink.write() = sink;
+    }
+
+    /// Run `f` with the engine quiesced: the commit-order lock is held,
+    /// so no mutation can start, finish, or append to the durability log
+    /// while `f` observes the database (sealing a snapshot, shipping a
+    /// log range whose tip must stay put, …). Reads are unaffected.
+    pub fn quiesce<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let _commit = self.commit_order.lock();
+        f()
     }
 
     /// Enable (or disable with `None`) spilling of large intermediate
@@ -169,7 +248,40 @@ impl QueryEngine {
             m.queries_executed.inc();
         }
         let opts = &self.resolve_opts(opts);
-        match parse(sql)? {
+        let stmt = parse(sql)?;
+        let Some(kind) = statement_kind(&stmt) else {
+            // Reads never take the commit-order lock.
+            return self.apply(stmt, opts);
+        };
+        let (sink, ticket, applied) = {
+            let _commit = self.commit_order.lock();
+            let sink = self.sink.read().clone();
+            let ticket = match &sink {
+                Some(s) => Some(s.append(kind, sql)?),
+                None => None,
+            };
+            (sink, ticket, self.apply(stmt, opts))
+        };
+        let result = applied?;
+        if let (Some(s), Some(t)) = (sink, ticket) {
+            s.wait_durable(t)?;
+        }
+        Ok(result)
+    }
+
+    /// Execute one statement for log replay: no durability-sink append
+    /// (the statement came *from* the log) and no commit-order lock (the
+    /// caller already holds it via [`quiesce`](Self::quiesce), or is
+    /// single-threaded recovery running before any client can connect).
+    pub fn execute_replay(&self, sql: &str) -> Result<QueryResult> {
+        let opts = &self.resolve_opts(&PlanOptions::default());
+        self.apply(parse(sql)?, opts)
+    }
+
+    /// Apply one parsed statement against the catalog. Mutations must be
+    /// called with the commit-order lock held (see `execute_with`).
+    fn apply(&self, stmt: Statement, opts: &PlanOptions) -> Result<QueryResult> {
+        match stmt {
             Statement::CreateTable { name, columns } => {
                 let defs: Vec<ColumnDef> = columns
                     .into_iter()

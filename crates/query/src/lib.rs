@@ -43,7 +43,7 @@ pub mod replay;
 pub mod spill;
 
 pub use client::{Client, SeqIntervals};
-pub use engine::{PlanOptions, PreferredJoin, QueryEngine, QueryResult};
+pub use engine::{stmt_kind, DurabilitySink, PlanOptions, PreferredJoin, QueryEngine, QueryResult};
 pub use portal::{EndorsedResult, QueryPortal, SignedQuery};
 pub use replay::ReplayWindow;
 pub use spill::{ExecContext, SpilledRows};

@@ -289,10 +289,10 @@ mod tests {
         assert!(nxt >= base + TS_BLOCK + 10);
     }
 
-    /// Satellite regression: random interleaved protected-op folds applied
-    /// serially to a partition vs. sharded across N worker slots (in a
-    /// seeded interleaving) and then merged must produce byte-identical
-    /// digest pairs — the commutativity the shared-nothing path rests on.
+    // Satellite regression: random interleaved protected-op folds applied
+    // serially to a partition vs. sharded across N worker slots (in a
+    // seeded interleaving) and then merged must produce byte-identical
+    // digest pairs — the commutativity the shared-nothing path rests on.
     proptest! {
         #[test]
         fn sharded_delta_merge_matches_serial_fold(

@@ -125,6 +125,13 @@ pub struct VerifyReport {
     pub pages_read: u64,
     /// Epoch number of each partition after the pass.
     pub epochs: Vec<u64>,
+    /// Logical state fingerprint: XOR of `sha256("cell-fp" ‖ payload)`
+    /// over every live cell. Keyless and timestamp-free by design, so it
+    /// is *not* a tamper defense (the PRF digests are) — it is an
+    /// equality witness between two verified memories that should hold
+    /// the same records, e.g. the live state at seal time and the state a
+    /// crash recovery rebuilt by replay.
+    pub fingerprint: [u8; 32],
 }
 
 /// Reusable scratch buffer for [`VerifiedMemory::read_page_batch`]: cell
@@ -1841,7 +1848,7 @@ impl VerifiedMemory {
         // verifier can process it — and we hold the page lock, so every
         // protected op on this page (the writers of its scan state and the
         // delta-path folders) is blocked until we are done.
-        let (touched, cached, cached_meta) = {
+        let (touched, cached, cached_meta, cached_fp) = {
             let part = self.parts[pi].lock();
             let part_epoch = part.epoch;
             if !part.pages.contains_key(&page_id) {
@@ -1851,10 +1858,15 @@ impl VerifiedMemory {
                 return Ok(()); // already processed in this pass
             }
             let meta = &part.pages[&page_id];
-            (entry.scan.touched(), meta.cached, meta.cached_meta)
+            (
+                entry.scan.touched(),
+                meta.cached,
+                meta.cached_meta,
+                meta.cached_fp,
+            )
         };
 
-        let (c_data, c_meta, was_read) = if touched || !self.cfg.track_touched_pages {
+        let (c_data, c_meta, c_fp, was_read) = if touched || !self.cfg.track_touched_pages {
             let mut c = SetDigest::ZERO;
             let mut n = 0u64;
             // Grouped cells contribute through their group element; a
@@ -1871,7 +1883,15 @@ impl VerifiedMemory {
                 }
                 in_group.extend(group.slots.iter().copied());
             }
+            let mut fp = [0u8; 32];
             for (slot, data, ts) in page.iter_live() {
+                // Every live cell contributes to the logical fingerprint,
+                // grouped or not — the fingerprint witnesses *contents*,
+                // the digests witness integrity.
+                let h = veridb_enclave::mac::sha256(&[b"cell-fp", data]);
+                for (a, b) in fp.iter_mut().zip(h.iter()) {
+                    *a ^= b;
+                }
                 if in_group.contains(&slot) {
                     continue;
                 }
@@ -1898,9 +1918,9 @@ impl VerifiedMemory {
             }
             self.enclave.cost().charge_prf(n);
             self.enclave.cost().charge_page_scan();
-            (c, cm, true)
+            (c, cm, fp, true)
         } else {
-            (cached, cached_meta, false)
+            (cached, cached_meta, cached_fp, false)
         };
 
         // Re-acquire the partition lock only for the folds and the state
@@ -1919,6 +1939,7 @@ impl VerifiedMemory {
         let meta = part.pages.get_mut(&page_id).expect("checked above");
         meta.cached = c_data;
         meta.cached_meta = c_meta;
+        meta.cached_fp = c_fp;
         entry.scan.clear_touched();
         entry.scan.set_scan_epoch(epoch + 1);
         let _ = was_read;
@@ -2072,11 +2093,25 @@ impl VerifiedMemory {
             return Err(e);
         }
         let (pages_processed, pages_read) = totals.into_inner();
-        let epochs = self.parts.iter().map(|p| p.lock().epoch).collect();
+        let mut epochs = Vec::with_capacity(self.parts.len());
+        let mut fingerprint = [0u8; 32];
+        for p in self.parts.iter() {
+            let part = p.lock();
+            epochs.push(part.epoch);
+            // Every page was just processed (or carried a still-valid
+            // cached value), so XOR-ing the per-page fingerprints yields
+            // the whole memory's.
+            for meta in part.pages.values() {
+                for (a, b) in fingerprint.iter_mut().zip(meta.cached_fp.iter()) {
+                    *a ^= b;
+                }
+            }
+        }
         Ok(VerifyReport {
             pages_processed,
             pages_read,
             epochs,
+            fingerprint,
         })
     }
 

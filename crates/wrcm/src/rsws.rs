@@ -128,6 +128,14 @@ pub struct PageMeta {
     /// Same, for the slot-directory metadata cells (only maintained when
     /// metadata verification is on).
     pub cached_meta: SetDigest,
+    /// XOR of `sha256("cell-fp" ‖ payload)` over the page's live cells as
+    /// of the last scan — the page's contribution to the *logical state
+    /// fingerprint* ([`crate::memory::VerifyReport::fingerprint`]).
+    /// Unlike the PRF digests above it is keyless and timestamp-free, so
+    /// two memories holding the same records fingerprint identically even
+    /// when their write histories differ (e.g. live state vs. a
+    /// crash-recovered replay of it).
+    pub cached_fp: [u8; 32],
     /// EPC accounting guard for this page's enclave-resident metadata.
     pub epc: Option<EpcAllocation>,
 }
@@ -145,6 +153,7 @@ impl PageMeta {
             scan,
             cached: SetDigest::ZERO,
             cached_meta: SetDigest::ZERO,
+            cached_fp: [0u8; 32],
             epc,
         }
     }
